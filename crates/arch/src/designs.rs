@@ -1,0 +1,174 @@
+//! The five architectures of Section 3, plus the paper's reported
+//! results for each (Table 3) for comparison.
+
+use dwt_core::coeffs::LiftingConstants;
+
+use crate::datapath::{build_datapath, AdderStyle, BuiltDatapath, DatapathSpec, MultiplierImpl};
+use crate::error::Result;
+use crate::shift_add::Recoding;
+
+/// One of the paper's five design points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Design {
+    /// Behavioral, generic integer multipliers (Section 3.1).
+    D1,
+    /// Behavioral, shifted integer adders (Section 3.2).
+    D2,
+    /// Behavioral, pipelined shifted integer adders (Section 3.3).
+    D3,
+    /// Structural, shifted integer adders (Section 3.4).
+    D4,
+    /// Structural, pipelined shifted integer adders (Section 3.5).
+    D5,
+}
+
+/// One row of the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Area cost in logic elements.
+    pub les: usize,
+    /// Maximum operating frequency in MHz.
+    pub fmax_mhz: f64,
+    /// Power at the 15 MHz reference, in mW.
+    pub power_mw_15mhz: f64,
+    /// Pipeline stages.
+    pub stages: usize,
+}
+
+impl Design {
+    /// All five designs in Table 3 order.
+    #[must_use]
+    pub fn all() -> [Design; 5] {
+        [Design::D1, Design::D2, Design::D3, Design::D4, Design::D5]
+    }
+
+    /// Table 3 index name ("Design 1" …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Design::D1 => "Design 1",
+            Design::D2 => "Design 2",
+            Design::D3 => "Design 3",
+            Design::D4 => "Design 4",
+            Design::D5 => "Design 5",
+        }
+    }
+
+    /// The paper's description of the design.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Design::D1 => "behavioral, generic integer multipliers",
+            Design::D2 => "behavioral, shifted integer adders",
+            Design::D3 => "behavioral, pipelined shifted integer adders",
+            Design::D4 => "structural, shifted integer adders",
+            Design::D5 => "structural, pipelined shifted integer adders",
+        }
+    }
+
+    /// The datapath specification realising this design.
+    #[must_use]
+    pub fn spec(self, constants: LiftingConstants) -> DatapathSpec {
+        let (multiplier, adder_style, pipelined) = match self {
+            Design::D1 => (
+                MultiplierImpl::GenericArray,
+                AdderStyle::CarryChain,
+                false,
+            ),
+            Design::D2 => (
+                MultiplierImpl::ShiftAdd(Recoding::BinaryReuse),
+                AdderStyle::CarryChain,
+                false,
+            ),
+            Design::D3 => (
+                MultiplierImpl::ShiftAdd(Recoding::BinaryReuse),
+                AdderStyle::CarryChain,
+                true,
+            ),
+            Design::D4 => (
+                MultiplierImpl::ShiftAdd(Recoding::BinaryReuse),
+                AdderStyle::Ripple,
+                false,
+            ),
+            Design::D5 => (
+                MultiplierImpl::ShiftAdd(Recoding::BinaryReuse),
+                AdderStyle::Ripple,
+                true,
+            ),
+        };
+        DatapathSpec {
+            multiplier,
+            adder_style,
+            pipelined_operators: pipelined,
+            constants,
+            input_bits: 8,
+        }
+    }
+
+    /// Builds the design with the default (Table 1) constants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator failures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), dwt_arch::Error> {
+    /// use dwt_arch::designs::Design;
+    ///
+    /// let built = Design::D3.build()?;
+    /// assert_eq!(built.latency, 21);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn build(self) -> Result<BuiltDatapath> {
+        build_datapath(&self.spec(LiftingConstants::default()))
+    }
+
+    /// The paper's Table 3 row for this design.
+    #[must_use]
+    pub fn paper_row(self) -> PaperRow {
+        match self {
+            Design::D1 => PaperRow { les: 781, fmax_mhz: 16.6, power_mw_15mhz: 310.0, stages: 8 },
+            Design::D2 => PaperRow { les: 480, fmax_mhz: 44.0, power_mw_15mhz: 248.0, stages: 8 },
+            Design::D3 => PaperRow { les: 766, fmax_mhz: 157.0, power_mw_15mhz: 105.0, stages: 21 },
+            Design::D4 => PaperRow { les: 701, fmax_mhz: 54.4, power_mw_15mhz: 232.0, stages: 8 },
+            Design::D5 => PaperRow { les: 1002, fmax_mhz: 105.0, power_mw_15mhz: 91.4, stages: 21 },
+        }
+    }
+}
+
+impl std::fmt::Display for Design {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_designs_build() {
+        for d in Design::all() {
+            let built = d.build().unwrap_or_else(|e| panic!("{d}: {e}"));
+            assert_eq!(built.latency, d.paper_row().stages, "{d}");
+        }
+    }
+
+    #[test]
+    fn names_and_descriptions() {
+        assert_eq!(Design::D1.to_string(), "Design 1");
+        for d in Design::all() {
+            assert!(!d.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_rows_match_table3() {
+        assert_eq!(Design::D2.paper_row().les, 480);
+        assert_eq!(Design::D5.paper_row().les, 1002);
+        assert_eq!(Design::D3.paper_row().stages, 21);
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type aggregating the failure modes of the architecture layer.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors reported while generating or verifying architectures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A netlist-construction failure (indicates a generator bug).
+    Rtl(dwt_rtl::Error),
+    /// A transform-level failure from the golden model.
+    Core(dwt_core::Error),
+    /// Equivalence checking found a mismatch between a netlist and the
+    /// golden software model.
+    Mismatch {
+        /// Name of the differing output port.
+        port: String,
+        /// Output index (coefficient number) where they diverged.
+        index: usize,
+        /// Value produced by the netlist.
+        hardware: i64,
+        /// Value produced by the golden model.
+        golden: i64,
+    },
+    /// A stimulus drove an internal node outside the Section 3.1
+    /// register ranges, so the paper-width hardware cannot represent it.
+    StimulusOutOfRange {
+        /// Which register class overflowed.
+        node: &'static str,
+        /// The offending value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Rtl(e) => write!(f, "netlist error: {e}"),
+            Error::Core(e) => write!(f, "transform error: {e}"),
+            Error::Mismatch { port, index, hardware, golden } => write!(
+                f,
+                "netlist disagrees with golden model on {port}[{index}]: {hardware} vs {golden}"
+            ),
+            Error::StimulusOutOfRange { node, value } => write!(
+                f,
+                "stimulus drives the '{node}' register class to {value}, outside its paper width"
+            ),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Rtl(e) => Some(e),
+            Error::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dwt_rtl::Error> for Error {
+    fn from(e: dwt_rtl::Error) -> Self {
+        Error::Rtl(e)
+    }
+}
+
+impl From<dwt_core::Error> for Error {
+    fn from(e: dwt_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let mismatch = Error::Mismatch {
+            port: "low".into(),
+            index: 7,
+            hardware: 12,
+            golden: 13,
+        };
+        let text = mismatch.to_string();
+        assert!(text.contains("low[7]"));
+        assert!(text.contains("12"));
+        assert!(text.contains("13"));
+
+        let range = Error::StimulusOutOfRange { node: "after gamma", value: 300 };
+        assert!(range.to_string().contains("after gamma"));
+        assert!(range.to_string().contains("300"));
+    }
+
+    #[test]
+    fn sources_chain_to_the_underlying_layer() {
+        use std::error::Error as _;
+        let rtl = Error::from(dwt_rtl::Error::BadWidth { width: 0 });
+        assert!(rtl.source().is_some());
+        let core = Error::from(dwt_core::Error::Empty);
+        assert!(core.source().is_some());
+        let mismatch = Error::Mismatch {
+            port: "high".into(),
+            index: 0,
+            hardware: 0,
+            golden: 1,
+        };
+        assert!(mismatch.source().is_none());
+    }
+}

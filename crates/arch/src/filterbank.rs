@@ -1,0 +1,346 @@
+//! Direct-form 9/7 filter-bank architecture — the comparison baseline.
+//!
+//! Section 4 compares the lifting designs against the reusable silicon
+//! IP core of Masud & McCanny ("implemented by filter banks using 785
+//! LEs at maximum operating frequency of 85.5 MHz"). This module builds
+//! an equivalent architecture with the same substrate so the comparison
+//! is internally consistent: a Figure 2 style convolution datapath with
+//!
+//! * a two-samples-per-cycle delay line over the input,
+//! * symmetry folding (`h[k] = h[-k]`, so mirrored taps share one
+//!   multiplier — the classic filter-bank area optimisation),
+//! * Q2.8 integer taps realised as shift-add trees feeding one merged
+//!   accumulation tree per band, adjusted by the 8-bit right shift,
+//! * pipeline registers every two adder levels by default, the
+//!   intermediate depth typical of MAC-based IP cores (between the
+//!   paper's 8-stage and 21-stage extremes).
+
+use dwt_core::coeffs::{FirBank, IntFirBank};
+use dwt_core::fixed::bits_for_range;
+use dwt_rtl::builder::NetlistBuilder;
+use dwt_rtl::net::Bus;
+use dwt_rtl::netlist::Netlist;
+
+use crate::error::{Error, Result};
+
+/// How many adder levels share one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterbankPipelining {
+    /// All arithmetic combinational between input and output registers.
+    Combinational,
+    /// A register after every two adder levels (the default, matching
+    /// MAC-style IP cores).
+    EveryTwoLevels,
+    /// A register after every adder level.
+    EveryLevel,
+}
+
+/// A generated filter-bank datapath.
+///
+/// Ports match the lifting designs: `in_even`/`in_odd` (8-bit) in,
+/// `low`/`high` (11-bit) out, one coefficient pair per cycle after
+/// `latency` cycles.
+#[derive(Debug)]
+pub struct BuiltFilterbank {
+    /// The synthesizable netlist.
+    pub netlist: Netlist,
+    /// Input-to-output latency in cycles.
+    pub latency: usize,
+}
+
+/// One signed node of the accumulation tree: `value = ±(bus << shift)`,
+/// with `max_abs` bounding `|bus value|` for width sizing.
+#[derive(Debug, Clone)]
+struct Leaf {
+    bus: Bus,
+    shift: u32,
+    negate: bool,
+    max_abs: i64,
+}
+
+/// Builds the filter-bank architecture.
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_arch::Error> {
+/// use dwt_arch::filterbank::{build_filterbank, FilterbankPipelining};
+///
+/// let built = build_filterbank(FilterbankPipelining::EveryTwoLevels)?;
+/// assert!(built.latency > 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_filterbank(pipelining: FilterbankPipelining) -> Result<BuiltFilterbank> {
+    let bank: IntFirBank = FirBank::daubechies_9_7().integer_rounded();
+    let mut b = NetlistBuilder::new();
+
+    let in_even = b.input("in_even", 8)?;
+    let in_odd = b.input("in_odd", 8)?;
+
+    // Delay line: after tick t, line[k] holds x[2t+1-k]. Ten entries
+    // cover the 9-tap window centred on line[5] (= x[2t-4], the even
+    // sample of output pair n = t-2).
+    let mut line: Vec<Bus> = Vec::with_capacity(10);
+    line.push(b.register("line0", &in_odd)?);
+    line.push(b.register("line1", &in_even)?);
+    for k in 2..10 {
+        let prev = line[k - 2].clone();
+        line.push(b.register(&format!("line{k}"), &prev)?);
+    }
+
+    // Fold stage (one pipeline layer): mirrored taps share an adder.
+    let fold = |b: &mut NetlistBuilder, i: usize, j: usize, name: &str| -> Result<Bus> {
+        let sum = b.carry_add(name, &line[i], &line[j], 9)?;
+        Ok(b.register(&format!("{name}_r"), &sum)?)
+    };
+    let low_pairs = [
+        fold(&mut b, 4, 6, "fold_l1")?,
+        fold(&mut b, 3, 7, "fold_l2")?,
+        fold(&mut b, 2, 8, "fold_l3")?,
+        fold(&mut b, 1, 9, "fold_l4")?,
+    ];
+    let high_pairs = [
+        fold(&mut b, 3, 5, "fold_h1")?,
+        fold(&mut b, 2, 6, "fold_h2")?,
+        fold(&mut b, 1, 7, "fold_h3")?,
+    ];
+    let centre_low = b.register("c_low", &line[5])?;
+    let centre_high = b.register("c_high", &line[4])?;
+
+    // Gather the shift-add terms of every tap applied to its operand.
+    let gather = |taps: &[(i32, Bus, i64)]| -> Vec<Leaf> {
+        let mut leaves = Vec::new();
+        for (coeff, bus, max_abs) in taps {
+            let magnitude = u64::from(coeff.unsigned_abs());
+            let negative = *coeff < 0;
+            for bit in 0..16 {
+                if magnitude & (1 << bit) != 0 {
+                    leaves.push(Leaf {
+                        bus: bus.clone(),
+                        shift: bit,
+                        negate: negative,
+                        max_abs: *max_abs,
+                    });
+                }
+            }
+        }
+        leaves
+    };
+    let low_leaves = gather(&[
+        (bank.low[4], centre_low, 128),
+        (bank.low[3], low_pairs[0].clone(), 256),
+        (bank.low[2], low_pairs[1].clone(), 256),
+        (bank.low[1], low_pairs[2].clone(), 256),
+        (bank.low[0], low_pairs[3].clone(), 256),
+    ]);
+    let high_leaves = gather(&[
+        (bank.high[3], centre_high, 128),
+        (bank.high[2], high_pairs[0].clone(), 256),
+        (bank.high[1], high_pairs[1].clone(), 256),
+        (bank.high[0], high_pairs[2].clone(), 256),
+    ]);
+
+    let reg_every = match pipelining {
+        FilterbankPipelining::Combinational => u32::MAX,
+        FilterbankPipelining::EveryTwoLevels => 2,
+        FilterbankPipelining::EveryLevel => 1,
+    };
+
+    // Balanced accumulation tree per band; returns the >>8-adjusted bus
+    // and the number of pipeline layers inserted.
+    let reduce = |b: &mut NetlistBuilder, mut leaves: Vec<Leaf>, stem: &str| -> Result<(Bus, u32)> {
+        let mut level = 0u32;
+        let mut layers = 0u32;
+        while leaves.len() > 1 {
+            level += 1;
+            let stage_registered = level.is_multiple_of(reg_every);
+            leaves.sort_by_key(|l| l.negate);
+            let mut next = Vec::with_capacity(leaves.len().div_ceil(2));
+            let mut idx = 0;
+            while idx < leaves.len() {
+                let name = format!("{stem}_l{level}_{idx}");
+                let combined = if idx + 1 < leaves.len() {
+                    let (a, bb) = (&leaves[idx], &leaves[idx + 1]);
+                    let s = a.shift.min(bb.shift);
+                    let (hi, lo, sub, neg) = match (a.negate, bb.negate) {
+                        (false, false) => (a, bb, false, false),
+                        (false, true) => (a, bb, true, false),
+                        (true, false) => (bb, a, true, false),
+                        (true, true) => (a, bb, false, true),
+                    };
+                    let ia = b.shift_left(&hi.bus, (hi.shift - s) as usize)?;
+                    let ib = b.shift_left(&lo.bus, (lo.shift - s) as usize)?;
+                    let max_val =
+                        (hi.max_abs << (hi.shift - s)) + (lo.max_abs << (lo.shift - s));
+                    let width = bits_for_range(-max_val, max_val) as usize;
+                    let sum = if sub {
+                        b.carry_sub(&name, &ia, &ib, width)?
+                    } else {
+                        b.carry_add(&name, &ia, &ib, width)?
+                    };
+                    Leaf { bus: sum, shift: s, negate: neg, max_abs: max_val }
+                } else {
+                    leaves[idx].clone()
+                };
+                let combined = if stage_registered {
+                    let bus = b.register(&format!("{name}_r"), &combined.bus)?;
+                    Leaf { bus, ..combined }
+                } else {
+                    combined
+                };
+                next.push(combined);
+                idx += 2;
+            }
+            if stage_registered {
+                layers += 1;
+            }
+            leaves = next;
+        }
+        let root = leaves.remove(0);
+        assert!(!root.negate, "net filter response must be positive-form");
+        let bus = if root.shift >= 8 {
+            b.shift_left(&root.bus, (root.shift - 8) as usize)?
+        } else {
+            b.shift_right_arith(&root.bus, (8 - root.shift) as usize)?
+        };
+        Ok((bus, layers))
+    };
+
+    let (low_raw, low_layers) = reduce(&mut b, low_leaves, "mac_low")?;
+    let (high_raw, high_layers) = reduce(&mut b, high_leaves, "mac_high")?;
+
+    // Output registers + latency balancing between the two bands.
+    let low_bus = b.resize(&low_raw, 11)?;
+    let high_bus = b.resize(&high_raw, 11)?;
+    let mut low = b.register("low_out", &low_bus)?;
+    let mut high = b.register("high_out", &high_bus)?;
+    // Pipeline layers per band: line (1) + fold (1) + tree + output (1).
+    let (lt, ht) = (3 + low_layers, 3 + high_layers);
+    let out_tau = lt.max(ht);
+    for i in 0..out_tau - lt {
+        low = b.register(&format!("low_bal{i}"), &low)?;
+    }
+    for i in 0..out_tau - ht {
+        high = b.register(&format!("high_bal{i}"), &high)?;
+    }
+    b.output("low", &low)?;
+    b.output("high", &high)?;
+
+    let netlist = b.finish().map_err(Error::Rtl)?;
+    // The window centre lags the newest input by two pairs, and the
+    // data crosses out_tau register layers, so the coefficient of pair
+    // n is readable after tick n + out_tau + 2.
+    Ok(BuiltFilterbank { netlist, latency: out_tau as usize + 2 })
+}
+
+/// Software golden model of the filter bank under the streaming (zero
+/// history) convention, for equivalence checking. Returns
+/// `(low, high)`, one coefficient per input pair.
+#[must_use]
+pub fn golden_filterbank(pairs: &[(i64, i64)]) -> (Vec<i64>, Vec<i64>) {
+    let bank = FirBank::daubechies_9_7().integer_rounded();
+    let x: Vec<i64> = pairs.iter().flat_map(|&(e, o)| [e, o]).collect();
+    let at = |i: i64| -> i64 {
+        if i < 0 || i as usize >= x.len() {
+            0
+        } else {
+            x[i as usize]
+        }
+    };
+    let n_out = pairs.len();
+    let mut low = Vec::with_capacity(n_out);
+    let mut high = Vec::with_capacity(n_out);
+    for n in 0..n_out as i64 {
+        let mut acc = 0i64;
+        for (j, &tap) in bank.low.iter().enumerate() {
+            acc += i64::from(tap) * at(2 * n + j as i64 - 4);
+        }
+        low.push(acc >> 8);
+        let mut acc = 0i64;
+        for (j, &tap) in bank.high.iter().enumerate() {
+            acc += i64::from(tap) * at(2 * n + 1 + j as i64 - 3);
+        }
+        high.push(acc >> 8);
+    }
+    (low, high)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::still_tone_pairs;
+    use dwt_rtl::sim::Simulator;
+
+    fn run_and_compare(pipelining: FilterbankPipelining) {
+        let built = build_filterbank(pipelining).unwrap();
+        let pairs = still_tone_pairs(64, 17);
+        let (gold_low, gold_high) = golden_filterbank(&pairs);
+
+        let mut sim = Simulator::new(built.netlist.clone()).unwrap();
+        let total = pairs.len() + built.latency + 4;
+        let mut hw_low = Vec::new();
+        let mut hw_high = Vec::new();
+        for t in 0..total {
+            let (e, o) = if t < pairs.len() { pairs[t] } else { (0, 0) };
+            sim.set_input("in_even", e).unwrap();
+            sim.set_input("in_odd", o).unwrap();
+            sim.tick();
+            if t + 1 > built.latency && hw_low.len() < pairs.len() {
+                hw_low.push(sim.peek("low").unwrap());
+                hw_high.push(sim.peek("high").unwrap());
+            }
+        }
+        assert_eq!(hw_low, gold_low[..hw_low.len()], "{pipelining:?} low");
+        assert_eq!(hw_high, gold_high[..hw_high.len()], "{pipelining:?} high");
+    }
+
+    #[test]
+    fn combinational_matches_golden() {
+        run_and_compare(FilterbankPipelining::Combinational);
+    }
+
+    #[test]
+    fn two_level_pipelined_matches_golden() {
+        run_and_compare(FilterbankPipelining::EveryTwoLevels);
+    }
+
+    #[test]
+    fn fully_pipelined_matches_golden() {
+        run_and_compare(FilterbankPipelining::EveryLevel);
+    }
+
+    #[test]
+    fn golden_interior_matches_block_fir() {
+        // Away from the boundary the streaming golden equals the
+        // mirrored block transform of dwt-core.
+        let pairs = still_tone_pairs(48, 3);
+        let (low, high) = golden_filterbank(&pairs);
+        let flat: Vec<i32> =
+            pairs.iter().flat_map(|&(e, o)| [e as i32, o as i32]).collect();
+        let bank = FirBank::daubechies_9_7().integer_rounded();
+        let block = dwt_core::fir::analyze_i32(&flat, &bank).unwrap();
+        for m in 4..44 {
+            assert_eq!(low[m], i64::from(block.low[m]), "low[{m}]");
+            assert_eq!(high[m], i64::from(block.high[m]), "high[{m}]");
+        }
+    }
+
+    #[test]
+    fn deeper_pipelining_is_faster() {
+        use dwt_fpga::device::Device;
+        use dwt_fpga::timing::analyze;
+        let t = Device::apex20ke().timing;
+        let fmax = |p| {
+            analyze(&build_filterbank(p).unwrap().netlist, &t).fmax_mhz
+        };
+        let comb = fmax(FilterbankPipelining::Combinational);
+        let two = fmax(FilterbankPipelining::EveryTwoLevels);
+        let one = fmax(FilterbankPipelining::EveryLevel);
+        assert!(comb < two && two < one, "{comb} {two} {one}");
+    }
+}

@@ -1,0 +1,61 @@
+//! # dwt-arch
+//!
+//! The five pipelined lifting-DWT architectures of Silva & Bampi
+//! (DATE 2005), generated as synthesizable netlists over the
+//! [`dwt_rtl`] substrate, plus the shift-add constant-multiplier
+//! planning of Section 3.2, a cycle-faithful software golden model, and
+//! bit-exact netlist-vs-golden equivalence checking.
+//!
+//! ## The five designs
+//!
+//! | Design | Multipliers | Adders | Pipeline |
+//! |--------|-------------|--------|----------|
+//! | [`designs::Design::D1`] | generic integer arrays | behavioral (carry chain) | 8 stages |
+//! | [`designs::Design::D2`] | shift-add | behavioral (carry chain) | 8 stages |
+//! | [`designs::Design::D3`] | shift-add | behavioral (carry chain) | 21 stages |
+//! | [`designs::Design::D4`] | shift-add | structural full adders | 8 stages |
+//! | [`designs::Design::D5`] | shift-add | structural full adders | 21 stages |
+//!
+//! Beyond the paper's five designs, the crate carries the extension
+//! architectures indexed in DESIGN.md: the inverse datapath
+//! ([`idwt`]), the multiplier-free 5/3 datapath ([`lifting53_dp`]), the
+//! mode-switched combined 5/3+9/7 core ([`combined`]), and the
+//! Figure 4 memory/controller systems in gates ([`system2d`]), and the
+//! line-based vertical engine ([`line_based`]).
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), dwt_arch::Error> {
+//! use dwt_arch::designs::Design;
+//! use dwt_arch::golden::still_tone_pairs;
+//! use dwt_arch::verify::verify_datapath;
+//!
+//! // Build Design 3 and prove it equivalent to the software transform.
+//! let built = Design::D3.build()?;
+//! assert_eq!(built.latency, 21); // the paper's 21 pipeline stages
+//! let report = verify_datapath(&built, &still_tone_pairs(48, 0))?;
+//! assert_eq!(report.coefficients_checked, 48);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod combined;
+pub mod datapath;
+pub mod designs;
+mod error;
+pub mod filterbank;
+pub mod golden;
+pub mod idwt;
+pub mod lifting53_dp;
+pub mod line_based;
+pub mod report;
+pub mod shift_add;
+pub mod system2d;
+pub mod verify;
+
+pub use error::{Error, Result};

@@ -1,0 +1,258 @@
+//! Streaming datapath for the reversible 5/3 transform — an extension
+//! toward the paper's reference \[6\] (Dillen et al., "Combined Line-Based
+//! Architecture for the 5-3 and 9-7 Wavelet Transform of JPEG2000").
+//!
+//! The 5/3 needs no multipliers at all:
+//!
+//! ```text
+//! high[n] = x[2n+1] − ⌊(x[2n] + x[2n+2]) / 2⌋
+//! low[n]  = x[2n]   + ⌊(high[n−1] + high[n] + 2) / 4⌋
+//! ```
+//!
+//! — five adders and a few shifts versus the 9/7 datapath's 29 adders,
+//! which is exactly why JPEG2000 pairs the two transforms. The
+//! synthesis comparison between this datapath and Design 2 quantifies
+//! the gap with the same device model used for Table 3.
+
+use dwt_rtl::builder::NetlistBuilder;
+use dwt_rtl::netlist::Netlist;
+
+use crate::datapath::{AdderStyle, Ctx, Sig};
+use crate::error::{Error, Result};
+
+/// A generated 5/3 datapath.
+///
+/// Ports: `in_even`/`in_odd` (8-bit) in, `low`/`high` (10-bit) out; one
+/// coefficient pair per cycle after `latency` cycles.
+#[derive(Debug)]
+pub struct Built53 {
+    /// The synthesizable netlist.
+    pub netlist: Netlist,
+    /// Input-to-output latency in cycles.
+    pub latency: usize,
+}
+
+/// Builds the 5/3 datapath (behavioral adders, stage pipelining).
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_arch::Error> {
+/// use dwt_arch::lifting53_dp::build_53_datapath;
+///
+/// let built = build_53_datapath()?;
+/// assert!(built.latency <= 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_53_datapath() -> Result<Built53> {
+    let mut ctx = Ctx {
+        b: NetlistBuilder::new(),
+        style: AdderStyle::CarryChain,
+        pipelined: false,
+        optimize_shifts: true,
+        seq: 0,
+    };
+
+    let in_even = ctx.b.input("in_even", 8)?;
+    let in_odd = ctx.b.input("in_odd", 8)?;
+    let input_range = (-128i64, 127i64);
+    let se0 = Sig { bus: in_even, tau: 0, range: input_range };
+    let so0 = Sig { bus: in_odd, tau: 0, range: input_range };
+    let se = ctx.reg("r_in_even", &se0)?;
+    let so = ctx.reg("r_in_odd", &so0)?;
+
+    // Predict: high[m] = odd[m] - ((even[m] + even[m+1]) >> 1).
+    let s_prev = ctx.reg("predict_sprev", &se)?;
+    let pair_range = (input_range.0 * 2, input_range.1 * 2);
+    let pair_bus = ctx.b.carry_add("predict_pair", &se.bus, &s_prev.bus, 9)?;
+    let pair = Sig { bus: pair_bus, tau: s_prev.tau, range: pair_range };
+    let half_bus = ctx.b.shift_right_arith(&pair.bus, 1)?;
+    let half = Sig {
+        bus: half_bus,
+        tau: pair.tau,
+        range: (pair.range.0 >> 1, pair.range.1 >> 1),
+    };
+    let so_al = ctx.align_to("predict_dal", &so, half.tau)?;
+    let high_comb = ctx.add("predict_sub", &so_al, &half, true)?;
+    let high = ctx.reg("predict_out", &high_comb)?;
+
+    // Update: low[m] = even[m] + ((high[m-1] + high[m] + 2) >> 2).
+    let d_prev = ctx.reg("update_dprev", &high)?;
+    let pair2_bus = ctx.b.carry_add("update_pair", &high.bus, &d_prev.bus, 11)?;
+    let pair2 = Sig {
+        bus: pair2_bus,
+        tau: high.tau,
+        range: (high.range.0 * 2, high.range.1 * 2),
+    };
+    let two = ctx.b.constant(2, 3)?;
+    let two = Sig { bus: two, tau: pair2.tau, range: (2, 2) };
+    let biased = ctx.add("update_bias", &pair2, &two, false)?;
+    let quarter_bus = ctx.b.shift_right_arith(&biased.bus, 2)?;
+    let quarter = Sig {
+        bus: quarter_bus,
+        tau: biased.tau,
+        range: (biased.range.0 >> 2, biased.range.1 >> 2),
+    };
+    let se_al = ctx.align_to("update_sal", &s_prev, quarter.tau)?;
+    let low_comb = ctx.add("update_add", &se_al, &quarter, false)?;
+    let low = ctx.reg("update_out", &low_comb)?;
+
+    // Align outputs.
+    let tau = low.tau.max(high.tau);
+    let low = ctx.align_to("low_bal", &low, tau)?;
+    let high = ctx.align_to("high_bal", &high, tau)?;
+    let low_bus = ctx.b.resize(&low.bus, 10)?;
+    let high_bus = ctx.b.resize(&high.bus, 10)?;
+    ctx.b.output("low", &low_bus)?;
+    ctx.b.output("high", &high_bus)?;
+
+    Ok(Built53 {
+        netlist: ctx.b.finish().map_err(Error::Rtl)?,
+        latency: tau as usize,
+    })
+}
+
+/// Zero pairs prepended to mirror the hardware's cleared registers
+/// (the 5/3 recurrences look back at most two pairs).
+const WARMUP53: usize = 2;
+
+/// Streaming golden 5/3 (zero history), one pair per push.
+#[derive(Debug, Clone)]
+pub struct Golden53 {
+    e: Vec<i64>,
+    o: Vec<i64>,
+    low: Vec<i64>,
+    high: Vec<i64>,
+}
+
+impl Default for Golden53 {
+    fn default() -> Self {
+        let mut g = Golden53 {
+            e: Vec::new(),
+            o: Vec::new(),
+            low: Vec::new(),
+            high: Vec::new(),
+        };
+        for _ in 0..WARMUP53 {
+            g.push(0, 0);
+        }
+        g
+    }
+}
+
+impl Golden53 {
+    /// Accepts the next sample pair.
+    pub fn push(&mut self, even: i64, odd: i64) {
+        let at = |v: &[i64], i: i64| if i < 0 { 0 } else { v[i as usize] };
+        self.e.push(even);
+        self.o.push(odd);
+        let n = self.e.len() as i64 - 1;
+        if n >= 1 {
+            let m = n - 1;
+            let h = at(&self.o, m) - ((at(&self.e, m) + at(&self.e, m + 1)) >> 1);
+            self.high.push(h);
+            let l = at(&self.e, m) + ((at(&self.high, m - 1) + at(&self.high, m) + 2) >> 2);
+            self.low.push(l);
+        }
+    }
+
+    /// Low coefficients so far (index = pair number).
+    #[must_use]
+    pub fn low(&self) -> &[i64] {
+        if self.low.len() <= WARMUP53 {
+            &[]
+        } else {
+            &self.low[WARMUP53..]
+        }
+    }
+
+    /// High coefficients so far.
+    #[must_use]
+    pub fn high(&self) -> &[i64] {
+        if self.high.len() <= WARMUP53 {
+            &[]
+        } else {
+            &self.high[WARMUP53..]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::still_tone_pairs;
+    use dwt_core::lifting53::forward_53;
+    use dwt_rtl::sim::Simulator;
+
+    #[test]
+    fn golden_interior_matches_block_53() {
+        let pairs = still_tone_pairs(48, 8);
+        let mut g = Golden53::default();
+        for &(e, o) in &pairs {
+            g.push(e, o);
+        }
+        let flat: Vec<i32> = pairs.iter().flat_map(|&(e, o)| [e as i32, o as i32]).collect();
+        let block = forward_53(&flat).unwrap();
+        for m in 2..g.low().len().min(block.low.len() - 2) {
+            assert_eq!(g.low()[m], i64::from(block.low[m]), "low[{m}]");
+            assert_eq!(g.high()[m], i64::from(block.high[m]), "high[{m}]");
+        }
+    }
+
+    #[test]
+    fn netlist_matches_golden() {
+        let built = build_53_datapath().unwrap();
+        let pairs = still_tone_pairs(64, 15);
+        let mut g = Golden53::default();
+        for &(e, o) in &pairs {
+            g.push(e, o);
+        }
+        for _ in 0..built.latency + 2 {
+            g.push(0, 0);
+        }
+
+        let mut sim = Simulator::new(built.netlist.clone()).unwrap();
+        let mut hw = Vec::new();
+        for t in 0..pairs.len() + built.latency {
+            let (e, o) = if t < pairs.len() { pairs[t] } else { (0, 0) };
+            sim.set_input("in_even", e).unwrap();
+            sim.set_input("in_odd", o).unwrap();
+            sim.tick();
+            if t + 1 > built.latency && hw.len() < pairs.len() {
+                hw.push((sim.peek("low").unwrap(), sim.peek("high").unwrap()));
+            }
+        }
+        for (m, &(l, h)) in hw.iter().enumerate() {
+            assert_eq!(l, g.low()[m], "low[{m}]");
+            assert_eq!(h, g.high()[m], "high[{m}]");
+        }
+    }
+
+    #[test]
+    fn five_three_is_far_smaller_than_nine_seven() {
+        use dwt_fpga::map::map_netlist;
+        let d53 = build_53_datapath().unwrap();
+        let d97 = crate::designs::Design::D2.build().unwrap();
+        let les53 = map_netlist(&d53.netlist).le_count();
+        let les97 = map_netlist(&d97.netlist).le_count();
+        assert!(
+            (les53 as f64) < 0.35 * les97 as f64,
+            "5/3 {les53} LEs vs 9/7 {les97} LEs"
+        );
+    }
+
+    #[test]
+    fn five_three_is_faster_than_design2() {
+        use dwt_fpga::device::Device;
+        use dwt_fpga::timing::analyze;
+        let t = Device::apex20ke().timing;
+        let f53 = analyze(&build_53_datapath().unwrap().netlist, &t).fmax_mhz;
+        let f97 = analyze(&crate::designs::Design::D2.build().unwrap().netlist, &t).fmax_mhz;
+        assert!(f53 > f97, "5/3 {f53} MHz vs D2 {f97} MHz");
+    }
+}

@@ -1,0 +1,103 @@
+//! Textual architecture reports: a machine-generated rendering of the
+//! Figure 5 structure for each design — stage inventory, multiplier
+//! plans, register widths and synthesis summary — the documentation a
+//! design-space explorer would print next to Table 3.
+
+use dwt_core::bitwidth::paper;
+use dwt_core::coeffs::{KRound, LiftingConstants};
+
+use crate::designs::Design;
+use crate::error::Result;
+use crate::shift_add::{paper_stage_adder_counts, Recoding, ShiftAddPlan};
+
+/// Renders a multi-line description of one design.
+///
+/// # Errors
+///
+/// Propagates generator failures (the design is built to report its
+/// real cell census and latency).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_arch::Error> {
+/// use dwt_arch::designs::Design;
+/// use dwt_arch::report::describe;
+///
+/// let text = describe(Design::D3)?;
+/// assert!(text.contains("21"));
+/// assert!(text.contains("alpha"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn describe(design: Design) -> Result<String> {
+    use std::fmt::Write as _;
+
+    let built = design.build()?;
+    let census = built.netlist.census();
+    let constants = LiftingConstants::table1(KRound::Truncated);
+    let ranges = paper();
+    let counts = paper_stage_adder_counts(&constants);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {}", design.name(), design.description());
+    let _ = writeln!(out, "pipeline: {} stages (paper: {})", built.latency, design.paper_row().stages);
+    let _ = writeln!(
+        out,
+        "cells: {} carry-chain adders ({} bits), {} full adders, {} register banks ({} flip-flop bits)",
+        census.carry_adders,
+        census.carry_adder_bits,
+        census.full_adders,
+        census.registers,
+        census.register_bits
+    );
+    let _ = writeln!(out, "\nlifting stages (Figure 5):");
+    let stage_info: [(&str, dwt_core::fixed::Q2x8, dwt_core::bitwidth::NodeRange); 6] = [
+        ("alpha", constants.alpha, ranges.after_alpha),
+        ("beta", constants.beta, ranges.after_beta),
+        ("gamma", constants.gamma, ranges.after_gamma),
+        ("delta", constants.delta, ranges.after_delta),
+        ("-k", constants.minus_k, ranges.high_output),
+        ("1/k", constants.inv_k, ranges.low_output),
+    ];
+    for ((name, coeff, range), adders) in stage_info.iter().zip(counts) {
+        let plan = ShiftAddPlan::new(*coeff, Recoding::Binary);
+        let _ = writeln!(
+            out,
+            "  {name:<6} x {coeff} ({}), {adders} adders, {} partial products, result {range}",
+            coeff.to_binary_string(),
+            plan.terms().len(),
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_design_describes_itself() {
+        for design in Design::all() {
+            let text = describe(design).unwrap();
+            assert!(text.contains(design.name()));
+            for stage in ["alpha", "beta", "gamma", "delta", "-k", "1/k"] {
+                assert!(text.contains(stage), "{design}: missing {stage}");
+            }
+        }
+    }
+
+    #[test]
+    fn structural_designs_report_full_adders() {
+        let text = describe(Design::D4).unwrap();
+        assert!(text.contains("full adders"));
+        assert!(!describe(Design::D2).unwrap().contains(" 0 carry-chain"));
+    }
+
+    #[test]
+    fn report_mentions_register_widths() {
+        let text = describe(Design::D2).unwrap();
+        assert!(text.contains("[-530, 530]"));
+        assert!(text.contains("11 bits"));
+    }
+}

@@ -1,0 +1,381 @@
+//! Shift-add plans for the constant multipliers (Section 3.2, Figure 7).
+//!
+//! "Multiplication by constant can be performed by shifted additions."
+//! A [`ShiftAddPlan`] decomposes a Q2.8 constant into signed, shifted
+//! copies of the operand. Three recodings are provided:
+//!
+//! * [`Recoding::Binary`] — one term per set bit of the two's-complement
+//!   pattern, the sign bit contributing a subtracted term. This is the
+//!   paper's decomposition and reproduces its adder counts.
+//! * [`Recoding::BinaryReuse`] — as above, plus the shared-subexpression
+//!   trick the paper applies to β ("one adder result can be re-used,
+//!   reducing this stage to 7 adders").
+//! * [`Recoding::Csd`] — canonical signed digit, the textbook-optimal
+//!   recoding, provided as an ablation of the paper's choice.
+
+use dwt_core::coeffs::LiftingConstants;
+use dwt_core::fixed::Q2x8;
+
+/// How a constant is decomposed into shift-add terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Recoding {
+    /// Plain two's-complement bits (the paper's method).
+    #[default]
+    Binary,
+    /// Two's-complement bits with adjacent-pair factoring (β trick).
+    BinaryReuse,
+    /// Canonical signed digit.
+    Csd,
+}
+
+/// One partial product: `±(operand << shift)`, where the operand is the
+/// multiplier input or, for factored plans, the shared subexpression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Term {
+    /// Left shift applied to the operand.
+    pub shift: u32,
+    /// Whether the term is subtracted.
+    pub negate: bool,
+    /// Whether the term uses the shared subexpression instead of the raw
+    /// operand (only in [`Recoding::BinaryReuse`] plans).
+    pub uses_shared: bool,
+}
+
+/// A complete decomposition of one Q2.8 constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShiftAddPlan {
+    coeff: Q2x8,
+    recoding: Recoding,
+    /// The shared subexpression, as the shift applied in `x + (x << k)`,
+    /// when the plan factors one out.
+    shared: Option<u32>,
+    terms: Vec<Term>,
+}
+
+impl ShiftAddPlan {
+    /// Plans the multiplication by `coeff` under the chosen recoding.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dwt_core::fixed::Q2x8;
+    /// use dwt_arch::shift_add::{Recoding, ShiftAddPlan};
+    ///
+    /// // alpha = 10.01101010 -> bits 1,3,5,6 plus a subtracted 2^9 term.
+    /// let plan = ShiftAddPlan::new(Q2x8::from_raw(-406), Recoding::Binary);
+    /// assert_eq!(plan.terms().len(), 5);
+    /// assert_eq!(plan.value(), -406);
+    /// ```
+    #[must_use]
+    pub fn new(coeff: Q2x8, recoding: Recoding) -> Self {
+        match recoding {
+            Recoding::Binary => Self::binary(coeff),
+            Recoding::BinaryReuse => Self::binary_reuse(coeff),
+            Recoding::Csd => Self::csd(coeff),
+        }
+    }
+
+    fn binary(coeff: Q2x8) -> Self {
+        let (bits, sign) = coeff.magnitude_bits();
+        let mut terms: Vec<Term> = bits
+            .iter()
+            .map(|&b| Term { shift: b, negate: false, uses_shared: false })
+            .collect();
+        if sign {
+            terms.push(Term { shift: 9, negate: true, uses_shared: false });
+        }
+        ShiftAddPlan { coeff, recoding: Recoding::Binary, shared: None, terms }
+    }
+
+    fn binary_reuse(coeff: Q2x8) -> Self {
+        let plain = Self::binary(coeff);
+        // Look for the adjacent-bit pair (b, b+1) occurring at two or
+        // more distinct positions among the positive terms: each such
+        // pair can be produced from one shared y = x + (x << 1).
+        let bits: Vec<u32> = plain
+            .terms
+            .iter()
+            .filter(|t| !t.negate)
+            .map(|t| t.shift)
+            .collect();
+        let mut used = vec![false; bits.len()];
+        let mut pairs: Vec<u32> = Vec::new(); // base shift of each pair
+        let mut i = 0;
+        while i < bits.len() {
+            if !used[i] {
+                if let Some(j) = bits
+                    .iter()
+                    .enumerate()
+                    .position(|(j, &b)| j > i && !used[j] && b == bits[i] + 1)
+                {
+                    used[i] = true;
+                    used[j] = true;
+                    pairs.push(bits[i]);
+                }
+            }
+            i += 1;
+        }
+        if pairs.len() < 2 {
+            return plain; // factoring only pays off when reused
+        }
+        let mut terms: Vec<Term> = Vec::new();
+        for (i, &b) in bits.iter().enumerate() {
+            if !used[i] {
+                terms.push(Term { shift: b, negate: false, uses_shared: false });
+            }
+        }
+        for &base in &pairs {
+            terms.push(Term { shift: base, negate: false, uses_shared: true });
+        }
+        for t in plain.terms.iter().filter(|t| t.negate) {
+            terms.push(*t);
+        }
+        terms.sort_by_key(|t| t.shift);
+        ShiftAddPlan {
+            coeff,
+            recoding: Recoding::BinaryReuse,
+            shared: Some(1),
+            terms,
+        }
+    }
+
+    fn csd(coeff: Q2x8) -> Self {
+        // Standard CSD: no two adjacent non-zero digits.
+        let mut value = i64::from(coeff.raw());
+        let mut terms = Vec::new();
+        let mut shift = 0u32;
+        while value != 0 {
+            if value & 1 != 0 {
+                // Choose +1 or -1 so the remaining value becomes even
+                // with minimal weight: take v mod 4.
+                let digit: i64 = if value & 3 == 3 { -1 } else { 1 };
+                terms.push(Term { shift, negate: digit < 0, uses_shared: false });
+                value -= digit;
+            }
+            value >>= 1;
+            shift += 1;
+        }
+        ShiftAddPlan { coeff, recoding: Recoding::Csd, shared: None, terms }
+    }
+
+    /// The constant this plan multiplies by.
+    #[must_use]
+    pub fn coeff(&self) -> Q2x8 {
+        self.coeff
+    }
+
+    /// The recoding used.
+    #[must_use]
+    pub fn recoding(&self) -> Recoding {
+        self.recoding
+    }
+
+    /// The partial-product terms.
+    #[must_use]
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// The shared subexpression's inner shift (`y = x + (x << k)`), when
+    /// the plan factors one.
+    #[must_use]
+    pub fn shared_shift(&self) -> Option<u32> {
+        self.shared
+    }
+
+    /// Evaluates the plan symbolically: must equal `coeff.raw()`.
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        let shared_factor = self.shared.map_or(1, |k| 1 + (1i64 << k));
+        self.terms
+            .iter()
+            .map(|t| {
+                let base = if t.uses_shared { shared_factor } else { 1 };
+                let v = base << t.shift;
+                if t.negate {
+                    -v
+                } else {
+                    v
+                }
+            })
+            .sum()
+    }
+
+    /// Number of adders needed to *sum the partial products* (terms − 1,
+    /// plus one for the shared subexpression when present).
+    #[must_use]
+    pub fn adder_count(&self) -> usize {
+        let shared = usize::from(self.shared.is_some());
+        self.terms.len().saturating_sub(1) + shared
+    }
+
+    /// Applies the plan numerically (before the 8-bit adjustment shift):
+    /// returns `coeff.raw() * x`.
+    #[must_use]
+    pub fn apply(&self, x: i64) -> i64 {
+        let shared_val = self.shared.map_or(x, |k| x + (x << k));
+        self.terms
+            .iter()
+            .map(|t| {
+                let base = if t.uses_shared { shared_val } else { x };
+                let v = base << t.shift;
+                if t.negate {
+                    -v
+                } else {
+                    v
+                }
+            })
+            .sum()
+    }
+}
+
+/// The per-stage adder counts Section 3.2 reports for the lifting
+/// datapath, in the order α, β, γ, δ, −k, 1/k.
+///
+/// For the four lifting stages the count includes the input pair adder
+/// and the final accumulation adder (e.g. α: "the first one to perform
+/// r0+r2 … the last one performs the sum with r3"); the two scaling
+/// stages are bare multiplications.
+pub const PAPER_STAGE_ADDERS: [usize; 6] = [6, 7, 5, 5, 4, 2];
+
+/// Computes the Section 3.2 adder count for each datapath stage using
+/// the paper's recodings (binary, with the β reuse).
+#[must_use]
+pub fn paper_stage_adder_counts(constants: &LiftingConstants) -> [usize; 6] {
+    let lifting_stage = |c: Q2x8, recoding: Recoding| -> usize {
+        // pair adder + partial-product adders + final accumulation adder
+        ShiftAddPlan::new(c, recoding).adder_count() + 2
+    };
+    [
+        lifting_stage(constants.alpha, Recoding::Binary),
+        lifting_stage(constants.beta, Recoding::BinaryReuse),
+        lifting_stage(constants.gamma, Recoding::Binary),
+        lifting_stage(constants.delta, Recoding::Binary),
+        ShiftAddPlan::new(constants.minus_k, Recoding::Binary).adder_count(),
+        ShiftAddPlan::new(constants.inv_k, Recoding::Binary).adder_count(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwt_core::coeffs::{KRound, LiftingConstants};
+
+    fn all_constants() -> Vec<Q2x8> {
+        let c = LiftingConstants::table1(KRound::Truncated);
+        c.named().iter().map(|(_, q)| *q).collect()
+    }
+
+    #[test]
+    fn binary_plans_evaluate_to_the_constant() {
+        for c in all_constants() {
+            let plan = ShiftAddPlan::new(c, Recoding::Binary);
+            assert_eq!(plan.value(), i64::from(c.raw()), "{c}");
+        }
+    }
+
+    #[test]
+    fn reuse_plans_evaluate_to_the_constant() {
+        for c in all_constants() {
+            let plan = ShiftAddPlan::new(c, Recoding::BinaryReuse);
+            assert_eq!(plan.value(), i64::from(c.raw()), "{c}");
+        }
+    }
+
+    #[test]
+    fn csd_plans_evaluate_to_the_constant() {
+        for c in all_constants() {
+            let plan = ShiftAddPlan::new(c, Recoding::Csd);
+            assert_eq!(plan.value(), i64::from(c.raw()), "{c}");
+        }
+    }
+
+    #[test]
+    fn csd_has_no_adjacent_nonzero_digits() {
+        for c in all_constants() {
+            let plan = ShiftAddPlan::new(c, Recoding::Csd);
+            let mut shifts: Vec<u32> = plan.terms().iter().map(|t| t.shift).collect();
+            shifts.sort_unstable();
+            for w in shifts.windows(2) {
+                assert!(w[1] > w[0] + 1, "adjacent digits in CSD of {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_matches_plain_multiplication() {
+        for c in all_constants() {
+            for recoding in [Recoding::Binary, Recoding::BinaryReuse, Recoding::Csd] {
+                let plan = ShiftAddPlan::new(c, recoding);
+                for x in [-530i64, -128, -1, 0, 1, 127, 529] {
+                    assert_eq!(
+                        plan.apply(x),
+                        i64::from(c.raw()) * x,
+                        "{c} {recoding:?} x={x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_adder_counts_reproduced() {
+        let counts = paper_stage_adder_counts(&LiftingConstants::table1(KRound::Truncated));
+        assert_eq!(counts, PAPER_STAGE_ADDERS);
+    }
+
+    #[test]
+    fn beta_reuse_saves_exactly_one_adder() {
+        let beta = Q2x8::from_raw(-14);
+        let plain = ShiftAddPlan::new(beta, Recoding::Binary);
+        let reuse = ShiftAddPlan::new(beta, Recoding::BinaryReuse);
+        assert_eq!(plain.adder_count(), 6); // 7 partials
+        assert_eq!(reuse.adder_count(), 5); // paper: 8 -> 7 per stage
+    }
+
+    #[test]
+    fn csd_never_needs_more_adders_than_binary() {
+        for c in all_constants() {
+            let bin = ShiftAddPlan::new(c, Recoding::Binary).adder_count();
+            let csd = ShiftAddPlan::new(c, Recoding::Csd).adder_count();
+            assert!(csd <= bin, "{c}: csd {csd} > binary {bin}");
+        }
+    }
+
+    #[test]
+    fn alpha_partials_match_paper_description() {
+        // "the sum between second, fourth, sixth, seventh and two
+        // complement of tenth shifted partial products"
+        let plan = ShiftAddPlan::new(Q2x8::from_raw(-406), Recoding::Binary);
+        let pos: Vec<u32> = plan
+            .terms()
+            .iter()
+            .filter(|t| !t.negate)
+            .map(|t| t.shift)
+            .collect();
+        assert_eq!(pos, vec![1, 3, 5, 6]);
+        let neg: Vec<u32> = plan
+            .terms()
+            .iter()
+            .filter(|t| t.negate)
+            .map(|t| t.shift)
+            .collect();
+        assert_eq!(neg, vec![9]);
+    }
+
+    #[test]
+    fn minus_k_has_five_high_bits() {
+        // "-k equivalent constant has 5 high bits ... 4 adders"
+        let plan = ShiftAddPlan::new(Q2x8::from_raw(-314), Recoding::Binary);
+        assert_eq!(plan.terms().len(), 5);
+        assert_eq!(plan.adder_count(), 4);
+    }
+
+    #[test]
+    fn inv_k_has_three_high_bits() {
+        // "1/k equivalent has 3 high bits, so 2 adders"
+        let plan = ShiftAddPlan::new(Q2x8::from_raw(208), Recoding::Binary);
+        assert_eq!(plan.terms().len(), 3);
+        assert_eq!(plan.adder_count(), 2);
+    }
+}

@@ -1,0 +1,217 @@
+//! Netlist-vs-golden equivalence checking.
+//!
+//! Each design's netlist is simulated cycle by cycle on a stimulus
+//! stream and its outputs are compared, coefficient by coefficient,
+//! against the [`crate::golden::GoldenStream`] software model. Because
+//! the netlists size their registers to the paper's Section 3.1 widths,
+//! the stimulus must stay inside those ranges (checked first) — on such
+//! data the match is required to be **bit-exact**.
+
+use dwt_rtl::sim::{ActivityStats, Simulator};
+
+use crate::datapath::BuiltDatapath;
+use crate::error::{Error, Result};
+use crate::golden::GoldenStream;
+
+/// The outcome of a successful equivalence run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Coefficient pairs compared.
+    pub coefficients_checked: usize,
+    /// Switching activity accumulated during the run (reusable for
+    /// power estimation — the run doubles as a power vector set).
+    pub activity: ActivityStats,
+}
+
+/// Simulates `built` on `pairs` and compares every emitted coefficient
+/// with the golden model.
+///
+/// # Errors
+///
+/// * [`Error::StimulusOutOfRange`] when the stimulus exceeds the paper's
+///   register ranges (the comparison would be meaningless).
+/// * [`Error::Mismatch`] at the first differing coefficient.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_arch::Error> {
+/// use dwt_arch::designs::Design;
+/// use dwt_arch::golden::still_tone_pairs;
+/// use dwt_arch::verify::verify_datapath;
+///
+/// let built = Design::D2.build()?;
+/// let report = verify_datapath(&built, &still_tone_pairs(64, 1))?;
+/// assert_eq!(report.coefficients_checked, 64);
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify_datapath(built: &BuiltDatapath, pairs: &[(i64, i64)]) -> Result<VerifyReport> {
+    // Golden pass (also accumulates the range check): feed the real
+    // pairs plus enough zero flush pairs for every output to emerge.
+    let flush = built.latency + 2;
+    let input_bits = built.netlist.port("in_even")?.bus.width() as u32;
+    let mut golden = GoldenStream::default();
+    for &(e, o) in pairs {
+        golden.push(e, o);
+    }
+    for _ in 0..flush {
+        golden.push(0, 0);
+    }
+    golden.check_ranges_scaled(1 << (input_bits - 8))?;
+
+    // Hardware pass.
+    let mut sim = Simulator::new(built.netlist.clone())?;
+    let mut hw_low = Vec::with_capacity(pairs.len());
+    let mut hw_high = Vec::with_capacity(pairs.len());
+    let total_cycles = pairs.len() + flush;
+    for t in 0..total_cycles {
+        let (e, o) = if t < pairs.len() { pairs[t] } else { (0, 0) };
+        sim.set_input("in_even", e)?;
+        sim.set_input("in_odd", o)?;
+        sim.tick();
+        // At the end of cycle t the outputs hold coefficient t - latency.
+        if t + 1 > built.latency {
+            let m = t - built.latency;
+            if m < pairs.len() {
+                hw_low.push(sim.peek("low")?);
+                hw_high.push(sim.peek("high")?);
+            }
+        }
+    }
+
+    for (m, (&hw, &gold)) in hw_low.iter().zip(golden.low()).enumerate() {
+        if hw != gold {
+            return Err(Error::Mismatch {
+                port: "low".to_owned(),
+                index: m,
+                hardware: hw,
+                golden: gold,
+            });
+        }
+    }
+    for (m, (&hw, &gold)) in hw_high.iter().zip(golden.high()).enumerate() {
+        if hw != gold {
+            return Err(Error::Mismatch {
+                port: "high".to_owned(),
+                index: m,
+                hardware: hw,
+                golden: gold,
+            });
+        }
+    }
+
+    Ok(VerifyReport {
+        coefficients_checked: hw_low.len(),
+        activity: sim.stats().clone(),
+    })
+}
+
+/// Streams sample pairs through any datapath netlist with the standard
+/// `in_even`/`in_odd` → `low`/`high` port convention, collecting one
+/// output pair per input pair after the given latency (zero pairs are
+/// fed during the flush).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_stream(
+    netlist: &dwt_rtl::netlist::Netlist,
+    latency: usize,
+    pairs: &[(i64, i64)],
+) -> Result<Vec<(i64, i64)>> {
+    let mut sim = Simulator::new(netlist.clone())?;
+    let mut out = Vec::with_capacity(pairs.len());
+    for t in 0..pairs.len() + latency {
+        let (e, o) = if t < pairs.len() { pairs[t] } else { (0, 0) };
+        sim.set_input("in_even", e)?;
+        sim.set_input("in_odd", o)?;
+        sim.tick();
+        if t + 1 > latency && out.len() < pairs.len() {
+            out.push((sim.peek("low")?, sim.peek("high")?));
+        }
+    }
+    Ok(out)
+}
+
+/// Runs a netlist on a stimulus purely to collect switching activity
+/// (the power measurement vector run of Section 4), without comparing
+/// outputs. Statistics exclude a warm-up of `latency` cycles so pipeline
+/// fill does not bias the per-cycle averages.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_activity(built: &BuiltDatapath, pairs: &[(i64, i64)]) -> Result<ActivityStats> {
+    let mut sim = Simulator::new(built.netlist.clone())?;
+    for (t, &(e, o)) in pairs.iter().enumerate() {
+        sim.set_input("in_even", e)?;
+        sim.set_input("in_odd", o)?;
+        sim.tick();
+        if t + 1 == built.latency {
+            sim.reset_stats();
+        }
+    }
+    Ok(sim.stats().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::Design;
+    use crate::golden::still_tone_pairs;
+
+    #[test]
+    fn every_design_matches_golden_bit_exactly() {
+        let pairs = still_tone_pairs(96, 42);
+        for d in Design::all() {
+            let built = d.build().unwrap();
+            let report =
+                verify_datapath(&built, &pairs).unwrap_or_else(|e| panic!("{d}: {e}"));
+            assert_eq!(report.coefficients_checked, 96, "{d}");
+        }
+    }
+
+    #[test]
+    fn multiple_seeds_design2() {
+        let built = Design::D2.build().unwrap();
+        for seed in 0..8 {
+            let pairs = still_tone_pairs(64, seed);
+            verify_datapath(&built, &pairs).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn adversarial_stimulus_is_rejected_not_miscompared() {
+        let built = Design::D2.build().unwrap();
+        let pairs: Vec<(i64, i64)> = vec![(-128, 127); 32];
+        match verify_datapath(&built, &pairs) {
+            Err(Error::StimulusOutOfRange { .. }) => {}
+            other => panic!("expected range rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn activity_measurement_counts_cycles() {
+        let built = Design::D2.build().unwrap();
+        let pairs = still_tone_pairs(100, 5);
+        let stats = measure_activity(&built, &pairs).unwrap();
+        assert_eq!(stats.cycles as usize, 100 - built.latency);
+        assert!(stats.total_cell_toggles() > 0);
+    }
+
+    #[test]
+    fn pipelined_designs_toggle_less() {
+        // The headline power mechanism: D3's registers stop glitch
+        // propagation, so its per-cycle transition count undercuts D2's.
+        let pairs = still_tone_pairs(200, 9);
+        let d2 = measure_activity(&Design::D2.build().unwrap(), &pairs).unwrap();
+        let d3 = measure_activity(&Design::D3.build().unwrap(), &pairs).unwrap();
+        assert!(
+            d3.toggles_per_cycle() < d2.toggles_per_cycle(),
+            "D3 {} should toggle less than D2 {}",
+            d3.toggles_per_cycle(),
+            d2.toggles_per_cycle()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the compression back end: transform +
+//! quantize + entropy-code throughput, and the raw Rice coder.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use dwt_codec::image::{compress, compress_subband, decompress, CodecConfig};
+use dwt_codec::rice;
+use dwt_imaging::synth::StillToneImage;
+
+fn bench_image_codec(c: &mut Criterion) {
+    let image = StillToneImage::new(128, 128).seed(1).generate();
+    let cfg = CodecConfig::default();
+    let bytes = compress(&image, &cfg).expect("compress");
+
+    let mut group = c.benchmark_group("image_codec_128x128");
+    group.throughput(Throughput::Elements(128 * 128));
+    group.bench_function("compress", |b| {
+        b.iter(|| compress(std::hint::black_box(&image), &cfg).unwrap().len())
+    });
+    group.bench_function("compress_subband", |b| {
+        b.iter(|| compress_subband(std::hint::black_box(&image), &cfg).unwrap().len())
+    });
+    group.bench_function("decompress", |b| {
+        b.iter(|| decompress(std::hint::black_box(&bytes)).unwrap().dims())
+    });
+    group.finish();
+}
+
+fn bench_rice(c: &mut Criterion) {
+    let values: Vec<i64> = (0..65536)
+        .map(|i: i64| {
+            let h = (i as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 48;
+            ((h % 31) as i64 - 15) * ((i % 7 == 0) as i64)
+        })
+        .collect();
+    let encoded = rice::encode(&values);
+
+    let mut group = c.benchmark_group("rice_64k");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| rice::encode(std::hint::black_box(&values)).len())
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| rice::decode(std::hint::black_box(&encoded), values.len()).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_image_codec, bench_rice
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the glitch-aware netlist simulator: cycles
+//! per second achieved on each of the five design netlists (the cost of
+//! one power-vector measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use dwt_arch::designs::Design;
+use dwt_arch::golden::still_tone_pairs;
+use dwt_rtl::sim::Simulator;
+
+fn bench_designs(c: &mut Criterion) {
+    let pairs = still_tone_pairs(256, 7);
+    let mut group = c.benchmark_group("netlist_sim_256_pairs");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    for design in Design::all() {
+        let built = design.build().expect("build");
+        group.bench_function(design.name(), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(built.netlist.clone()).unwrap();
+                for &(e, o) in &pairs {
+                    sim.set_input("in_even", e).unwrap();
+                    sim.set_input("in_odd", o).unwrap();
+                    sim.tick();
+                }
+                sim.stats().total_cell_toggles()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_golden(c: &mut Criterion) {
+    let pairs = still_tone_pairs(4096, 3);
+    let mut group = c.benchmark_group("golden_stream");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.bench_function("push_4096_pairs", |b| {
+        b.iter(|| {
+            let mut g = dwt_arch::golden::GoldenStream::default();
+            for &(e, o) in &pairs {
+                g.push(e, o);
+            }
+            g.low().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_line_engine(c: &mut Criterion) {
+    use dwt_arch::system2d::{build_line_engine, run_line};
+    let engine = build_line_engine(Design::D2).expect("engine");
+    let pairs = still_tone_pairs(64, 7);
+    let mut group = c.benchmark_group("line_engine");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.bench_function("transform_64_pairs", |b| {
+        let mut sim = Simulator::new(engine.netlist.clone()).unwrap();
+        b.iter(|| run_line(&mut sim, &engine, &pairs).unwrap().0.len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_designs, bench_golden, bench_line_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benchmarks of the software transform kernels: the
+//! throughput backdrop for the architecture study (how fast each
+//! arithmetic variant runs on a CPU, 1-D and 2-D).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dwt_core::lifting::IntLifting;
+use dwt_core::transform1d::{decompose, FirF64Kernel, IntFirKernel, LiftingF64Kernel};
+use dwt_core::transform2d::forward_2d;
+use dwt_imaging::synth::StillToneImage;
+
+fn bench_1d(c: &mut Criterion) {
+    let n = 4096usize;
+    let xi: Vec<i32> = (0..n).map(|i| ((i * 37) % 255) as i32 - 127).collect();
+    let xf: Vec<f64> = xi.iter().map(|&v| f64::from(v)).collect();
+
+    let mut group = c.benchmark_group("forward_1d");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("lifting_f64", |b| {
+        b.iter(|| dwt_core::lifting::forward_f64(std::hint::black_box(&xf)).unwrap())
+    });
+    group.bench_function("lifting_i32", |b| {
+        let k = IntLifting::default();
+        b.iter(|| k.forward(std::hint::black_box(&xi)).unwrap())
+    });
+    group.bench_function("fir_f64", |b| {
+        let bank = dwt_core::coeffs::FirBank::daubechies_9_7();
+        b.iter(|| dwt_core::fir::analyze_f64(std::hint::black_box(&xf), &bank).unwrap())
+    });
+    group.bench_function("fir_i32", |b| {
+        let bank = dwt_core::coeffs::FirBank::daubechies_9_7().integer_rounded();
+        b.iter(|| dwt_core::fir::analyze_i32(std::hint::black_box(&xi), &bank).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_multi_octave(c: &mut Criterion) {
+    let n = 4096usize;
+    let xf: Vec<f64> = (0..n).map(|i| ((i * 13) % 251) as f64 - 125.0).collect();
+    let mut group = c.benchmark_group("decompose_1d");
+    for octaves in [1usize, 3, 6] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(octaves),
+            &octaves,
+            |b, &octaves| {
+                b.iter(|| decompose(std::hint::black_box(&xf), octaves, &LiftingF64Kernel).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_2d(c: &mut Criterion) {
+    let image = StillToneImage::new(128, 128).seed(1).generate();
+    let imagef = image.map(f64::from);
+    let mut group = c.benchmark_group("forward_2d_128x128_3oct");
+    group.throughput(Throughput::Elements(128 * 128));
+    group.bench_function("lifting_f64", |b| {
+        b.iter(|| forward_2d(std::hint::black_box(&imagef), 3, &LiftingF64Kernel).unwrap())
+    });
+    group.bench_function("lifting_i32", |b| {
+        b.iter(|| forward_2d(std::hint::black_box(&image), 3, &IntLifting::default()).unwrap())
+    });
+    group.bench_function("fir_f64", |b| {
+        let k = FirF64Kernel::new();
+        b.iter(|| forward_2d(std::hint::black_box(&imagef), 3, &k).unwrap())
+    });
+    group.bench_function("fir_i32", |b| {
+        let k = IntFirKernel::new();
+        b.iter(|| forward_2d(std::hint::black_box(&image), 3, &k).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_1d, bench_multi_octave, bench_2d
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the synthesis flow itself: netlist
+//! generation, technology mapping and static timing analysis per design
+//! (the cost of one Table 3 row without the power vectors).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dwt_arch::designs::Design;
+use dwt_fpga::device::Device;
+use dwt_fpga::map::map_netlist;
+use dwt_fpga::timing::analyze;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_netlist");
+    for design in Design::all() {
+        group.bench_function(design.name(), |b| {
+            b.iter(|| design.build().unwrap().netlist.cell_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_and_time(c: &mut Criterion) {
+    let device = Device::apex20ke();
+    let mut group = c.benchmark_group("map_and_sta");
+    for design in [Design::D1, Design::D3, Design::D5] {
+        let built = design.build().expect("build");
+        group.bench_function(design.name(), |b| {
+            b.iter(|| {
+                let m = map_netlist(&built.netlist);
+                let t = analyze(&built.netlist, &device.timing);
+                (m.le_count(), t.fmax_mhz)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generate, bench_map_and_time
+}
+criterion_main!(benches);

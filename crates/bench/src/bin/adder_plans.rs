@@ -1,0 +1,45 @@
+//! Regenerates the Section 3.2 / Figure 7 analysis: the shift-add
+//! decomposition of every lifting constant, the per-stage adder counts
+//! (alpha 6, beta 7 with reuse, gamma 5, delta 5, -k 4, 1/k 2), and the
+//! CSD recoding as an ablation of the paper's plain-binary choice.
+
+use dwt_arch::shift_add::{paper_stage_adder_counts, Recoding, ShiftAddPlan, PAPER_STAGE_ADDERS};
+use dwt_core::coeffs::{KRound, LiftingConstants};
+
+fn main() {
+    let c = LiftingConstants::table1(KRound::Truncated);
+    println!("Shift-add multiplier plans (Section 3.2)\n");
+    for (name, coeff) in c.named() {
+        println!("{name} = {coeff} = {}", coeff.to_binary_string());
+        for recoding in [Recoding::Binary, Recoding::BinaryReuse, Recoding::Csd] {
+            let plan = ShiftAddPlan::new(coeff, recoding);
+            let terms: Vec<String> = plan
+                .terms()
+                .iter()
+                .map(|t| {
+                    let base = if t.uses_shared { "y" } else { "x" };
+                    format!("{}({base}<<{})", if t.negate { "-" } else { "+" }, t.shift)
+                })
+                .collect();
+            let shared = plan
+                .shared_shift()
+                .map(|k| format!("  [y = x + (x<<{k})]"))
+                .unwrap_or_default();
+            println!(
+                "  {recoding:?}: {} adders: {}{shared}",
+                plan.adder_count(),
+                terms.join(" ")
+            );
+        }
+        println!();
+    }
+
+    println!("Per-stage adder counts (pair + partial products + accumulate):");
+    let counts = paper_stage_adder_counts(&c);
+    let names = ["alpha", "beta", "gamma", "delta", "-k", "1/k"];
+    for ((name, count), paper) in names.iter().zip(counts).zip(PAPER_STAGE_ADDERS) {
+        println!("  {name:<6} {count}  (paper: {paper})");
+    }
+    let total: usize = counts.iter().sum();
+    println!("  total  {total} (paper: 29)");
+}

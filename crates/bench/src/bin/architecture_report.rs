@@ -1,0 +1,13 @@
+//! Prints the machine-generated architecture report of every design —
+//! the textual rendering of Figure 5 with the Section 3.1 register
+//! widths and Section 3.2 multiplier plans.
+
+use dwt_arch::designs::Design;
+use dwt_arch::report::describe;
+
+fn main() {
+    for design in Design::all() {
+        println!("{}", describe(design).expect("describe"));
+        println!("{}", "-".repeat(72));
+    }
+}

@@ -1,0 +1,87 @@
+//! Developer tool: fits the device timing constants against the paper's
+//! Table 3 Fmax column and reports activity so the energy constants can
+//! be chosen. Not part of the reproduction outputs; the fitted constants
+//! are frozen in `dwt_fpga::device::Device::apex20ke`.
+
+use dwt_arch::designs::Design;
+use dwt_arch::golden::still_tone_pairs;
+use dwt_arch::verify::measure_activity;
+use dwt_fpga::device::Timing;
+use dwt_fpga::map::map_netlist;
+use dwt_fpga::timing::analyze;
+
+fn main() {
+    let built: Vec<_> = Design::all()
+        .into_iter()
+        .map(|d| (d, d.build().expect("build")))
+        .collect();
+
+    // Activity report (for energy calibration).
+    let pairs = still_tone_pairs(1024, 2005);
+    println!("design  routed   local   carry   ff_tpc  ff_bits  les");
+    for (d, b) in &built {
+        let stats = measure_activity(b, &pairs).expect("sim");
+        let m = map_netlist(&b.netlist);
+        let (routed, local, carry) = stats.class_toggles_per_cycle();
+        println!(
+            "{}  {:7.1} {:7.1} {:7.1}  {:7.1}  {:6}  {:5}",
+            d.name(),
+            routed,
+            local,
+            carry,
+            stats.ff_toggles_per_cycle(),
+            m.ff_bits,
+            m.le_count(),
+        );
+    }
+
+    // Timing grid search.
+    let paper = [16.6, 44.0, 157.0, 54.4, 105.0];
+    let mut best = (f64::MAX, Timing {
+        t_lut_ns: 0.0, t_carry_ns: 0.0, t_route_ns: 0.0,
+        t_route_local_ns: 0.0, t_lab_feed_ns: 0.0,
+        t_clk_to_q_ns: 0.3, t_setup_ns: 0.4, t_esb_ns: 3.8,
+    });
+    for lut in [0.35f64, 0.4, 0.45, 0.5, 0.55] {
+        for carry in [0.12f64, 0.16, 0.2, 0.24, 0.28] {
+            for route in [0.8f64, 0.95, 1.1, 1.25, 1.4] {
+                for local in [0.08f64, 0.1, 0.14, 0.18] {
+                    for lab in [0.6f64, 0.75, 0.9, 1.05, 1.2] {
+                        let t = Timing {
+                            t_lut_ns: lut,
+                            t_carry_ns: carry,
+                            t_route_ns: route,
+                            t_route_local_ns: local,
+                            t_lab_feed_ns: lab,
+                            t_clk_to_q_ns: 0.3,
+                            t_setup_ns: 0.4,
+                            t_esb_ns: 3.8,
+                        };
+                        let mut err = 0.0;
+                        for ((_, b), target) in built.iter().zip(paper) {
+                            let f = analyze(&b.netlist, &t).fmax_mhz;
+                            err += (f / target).ln().powi(2);
+                        }
+                        if err < best.0 {
+                            best = (err, t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let t = best.1;
+    println!("\nbest timing (rms log err {:.3}):", (best.0 / 5.0).sqrt());
+    println!("{t:#?}");
+    for ((d, b), target) in built.iter().zip(paper) {
+        let r = analyze(&b.netlist, &t);
+        println!(
+            "{}: {:6.1} MHz (paper {:6.1})  path {:5.2} ns @ {}",
+            d.name(),
+            r.fmax_mhz,
+            target,
+            r.critical_path_ns,
+            r.endpoint
+        );
+    }
+}

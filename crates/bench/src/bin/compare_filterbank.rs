@@ -1,0 +1,51 @@
+//! Regenerates the Section 4 comparison against the filter-bank IP core
+//! of Masud & McCanny \[5\] (785 LEs @ 85.5 MHz on the same family):
+//! "design 2 has half of area cost and its maximum operating frequency
+//! is nearly half... design 3 has the same area cost and its maximum
+//! operating frequency is double that of \[5\]".
+
+use dwt_arch::designs::Design;
+use dwt_arch::filterbank::{build_filterbank, FilterbankPipelining};
+use dwt_bench::synthesize_design;
+use dwt_fpga::device::Device;
+use dwt_fpga::map::map_netlist;
+use dwt_fpga::timing::analyze;
+
+fn main() {
+    let device = Device::apex20ke();
+    println!("Comparison with the filter-bank architecture (Masud & McCanny [5])\n");
+
+    println!("{:<42} {:>7} {:>10}", "Architecture", "LEs", "Fmax MHz");
+    let mut fb_les = 0usize;
+    let mut fb_fmax = 0.0f64;
+    for (label, pipelining) in [
+        ("filter bank, combinational MACs", FilterbankPipelining::Combinational),
+        ("filter bank, 2-level pipelined MACs", FilterbankPipelining::EveryTwoLevels),
+        ("filter bank, fully pipelined MACs", FilterbankPipelining::EveryLevel),
+    ] {
+        let built = build_filterbank(pipelining).expect("filterbank");
+        let les = map_netlist(&built.netlist).le_count();
+        let fmax = analyze(&built.netlist, &device.timing).fmax_mhz;
+        println!("{label:<42} {les:>7} {fmax:>10.1}");
+        if pipelining == FilterbankPipelining::EveryTwoLevels {
+            fb_les = les;
+            fb_fmax = fmax;
+        }
+    }
+    println!("{:<42} {:>7} {:>10}", "paper's reference [5]", 785, 85.5);
+
+    println!("\nRelative positions (our model, 2-level filter bank as baseline):");
+    for design in [Design::D2, Design::D3] {
+        let r = synthesize_design(design).expect("synthesis").report;
+        println!(
+            "  {} / filter bank: area x{:.2}, fmax x{:.2}   (paper: {} )",
+            design.name(),
+            r.les as f64 / fb_les as f64,
+            r.fmax_mhz / fb_fmax,
+            match design {
+                Design::D2 => "area x0.61, fmax x0.51",
+                _ => "area x0.98, fmax x1.84",
+            }
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Full design-space sweep — beyond the paper's five points.
+//!
+//! The paper samples five points of a larger space
+//! (multiplier ∈ {generic, shift-add-binary, shift-add-CSD} ×
+//! adders ∈ {behavioral, structural} × operator pipelining ∈ {off, on}).
+//! This bench synthesizes all twelve combinations, each verified
+//! bit-exact first, and prints the complete area/frequency/power map so
+//! the paper's chosen trade-off points can be seen in context.
+
+use dwt_arch::datapath::{build_datapath, AdderStyle, DatapathSpec, MultiplierImpl};
+use dwt_arch::golden::still_tone_pairs;
+use dwt_arch::shift_add::Recoding;
+use dwt_arch::verify::{measure_activity, verify_datapath};
+use dwt_core::coeffs::LiftingConstants;
+use dwt_fpga::device::Device;
+use dwt_fpga::map::map_netlist;
+use dwt_fpga::power::estimate;
+use dwt_fpga::timing::analyze;
+
+fn main() {
+    let device = Device::apex20ke();
+    let pairs = still_tone_pairs(768, 2005);
+    println!("Design-space sweep (paper's five points marked *)\n");
+    println!(
+        "{:<44} {:>6} {:>9} {:>8} {:>7} {:>9}",
+        "multiplier / adders / pipelined", "LEs", "Fmax MHz", "mW@15", "stages", "MHz/LE"
+    );
+
+    let multipliers = [
+        ("generic", MultiplierImpl::GenericArray),
+        ("shift-add binary", MultiplierImpl::ShiftAdd(Recoding::BinaryReuse)),
+        ("shift-add CSD", MultiplierImpl::ShiftAdd(Recoding::Csd)),
+    ];
+    for (mname, multiplier) in multipliers {
+        for (aname, adder_style) in
+            [("behavioral", AdderStyle::CarryChain), ("structural", AdderStyle::Ripple)]
+        {
+            for pipelined in [false, true] {
+                let spec = DatapathSpec {
+                    multiplier,
+                    adder_style,
+                    pipelined_operators: pipelined,
+                    constants: LiftingConstants::default(),
+                    input_bits: 8,
+                };
+                let built = build_datapath(&spec).expect("build");
+                verify_datapath(&built, &still_tone_pairs(32, 4)).expect("equivalence");
+                let mapped = map_netlist(&built.netlist);
+                let timing = analyze(&built.netlist, &device.timing);
+                let act = measure_activity(&built, &pairs).expect("sim");
+                let p = estimate(&act, mapped.ff_bits, &device.energy, 15.0);
+                let star = match (mname, aname, pipelined) {
+                    ("generic", "behavioral", false) => "*D1",
+                    ("shift-add binary", "behavioral", false) => "*D2",
+                    ("shift-add binary", "behavioral", true) => "*D3",
+                    ("shift-add binary", "structural", false) => "*D4",
+                    ("shift-add binary", "structural", true) => "*D5",
+                    _ => "",
+                };
+                println!(
+                    "{:<44} {:>6} {:>9.1} {:>8.1} {:>7} {:>9.3} {}",
+                    format!("{mname} / {aname} / {}", if pipelined { "yes" } else { "no" }),
+                    mapped.le_count(),
+                    timing.fmax_mhz,
+                    p.total_mw(),
+                    built.latency,
+                    timing.fmax_mhz / mapped.le_count() as f64,
+                    star,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Regenerates the Section 4 power-at-speed figures:
+//! Design 2 at 40 MHz (paper: 626 mW), Design 3 at 128 MHz (808 mW),
+//! Design 5 at 95 MHz (476 mW), plus a sweep of every design across its
+//! operating range.
+
+use dwt_arch::designs::Design;
+use dwt_bench::{pct_error, synthesize_design};
+
+fn main() {
+    println!("Power vs operating frequency (activity measured on the");
+    println!("standard still-tone vector set)\n");
+
+    let spot = [
+        (Design::D2, 40.0, 626.0),
+        (Design::D3, 128.0, 808.0),
+        (Design::D5, 95.0, 476.0),
+    ];
+    println!("Spot checks from the Section 4 prose:");
+    for (design, f, paper) in spot {
+        let result = synthesize_design(design).expect("synthesis");
+        let p = result.power_at(f).total_mw();
+        println!(
+            "  {} @ {:>5.1} MHz: {:>7.1} mW  (paper {:>5.1} mW, {:+.1}%)",
+            design.name(),
+            f,
+            p,
+            paper,
+            pct_error(p, paper)
+        );
+    }
+
+    println!("\nFull sweep (mW at each frequency, '-' above the design's Fmax):");
+    let freqs = [15.0, 30.0, 45.0, 60.0, 90.0, 120.0, 150.0];
+    print!("{:<10}", "Design");
+    for f in freqs {
+        print!(" {f:>8.0}");
+    }
+    println!(" | Fmax");
+    for design in Design::all() {
+        let result = synthesize_design(design).expect("synthesis");
+        print!("{:<10}", design.name());
+        for f in freqs {
+            if f <= result.report.fmax_mhz {
+                print!(" {:>8.1}", result.power_at(f).total_mw());
+            } else {
+                print!(" {:>8}", "-");
+            }
+        }
+        println!(" | {:.1} MHz", result.report.fmax_mhz);
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates Table 1: the lifting coefficient constants in floating
+//! point, integer-rounded, and binary (Q2.8 two's complement) form —
+//! including the two internal inconsistencies of the printed table
+//! (the -k and delta binary rows).
+
+use dwt_core::coeffs::{lifting, KRound, LiftingConstants};
+
+fn main() {
+    println!("Table 1 — Lifting coefficients constants");
+    println!(
+        "{:<10} {:>16} {:>10} {:>14}",
+        "Coeff", "Floating point", "Integer", "Binary (Q2.8)"
+    );
+    let floats = [
+        lifting::ALPHA,
+        lifting::BETA,
+        lifting::GAMMA,
+        lifting::DELTA,
+        -lifting::K,
+        lifting::INV_K,
+    ];
+    let c = LiftingConstants::table1(KRound::Truncated);
+    for ((name, q), f) in c.named().iter().zip(floats) {
+        println!(
+            "{:<10} {:>16.9} {:>10} {:>14}",
+            name,
+            f,
+            q.to_string(),
+            q.to_binary_string()
+        );
+    }
+    println!();
+    println!("Notes on the printed table's internal inconsistencies:");
+    println!(
+        "  -k: integer column -314/256 (truncated) but printed pattern 10.11000101 = {}",
+        dwt_core::fixed::Q2x8::from_raw(-315)
+    );
+    println!(
+        "  delta: integer column 114/256 (rounded) but printed pattern 00.01110001 = {}",
+        dwt_core::fixed::Q2x8::from_raw(113)
+    );
+}

@@ -1,0 +1,44 @@
+//! Regenerates Table 2: PSNR of the four transform/coefficient choices
+//! on a still-tone tile, through the Figure 6 measurement (forward
+//! transform, shared quantizer, inverse transform).
+//!
+//! The paper's absolute values are for a Lena tile; ours are for the
+//! procedural still-tone tile, so the *deltas* between methods are the
+//! reproduced quantity.
+
+use dwt_bench::{table2_psnr, Table2Method};
+use dwt_imaging::synth::standard_tile;
+
+fn main() {
+    let image = standard_tile();
+    let octaves = 3;
+    let step = 8.0;
+    println!("Table 2 — Measurement of rounding error (128x128 still-tone tile,");
+    println!("          {octaves} octaves, deadzone quantizer step {step})");
+    println!("{:<60} {:>9} {:>9}", "Method", "PSNR dB", "paper dB");
+    let mut psnrs = Vec::new();
+    for method in Table2Method::all() {
+        let value = table2_psnr(method, &image, octaves, step).expect("transform");
+        match method.paper_psnr() {
+            Some(p) => println!("{:<60} {:>9.3} {:>9.3}", method.label(), value, p),
+            None => println!("{:<60} {:>9.3} {:>9}", method.label(), value, "-"),
+        }
+        psnrs.push(value);
+    }
+    println!();
+    println!(
+        "integer-rounding penalty, FIR path:     {:+.3} dB (paper {:+.3})",
+        psnrs[1] - psnrs[0],
+        37.483 - 37.497
+    );
+    println!(
+        "integer-rounding penalty, lifting path: {:+.3} dB (paper {:+.3})",
+        psnrs[3] - psnrs[2],
+        36.974 - 37.094
+    );
+    println!(
+        "lifting vs FIR (floating point):        {:+.3} dB (paper {:+.3})",
+        psnrs[2] - psnrs[0],
+        37.094 - 37.497
+    );
+}

@@ -1,0 +1,42 @@
+//! Regenerates Table 3: area cost, maximum operating frequency, power at
+//! the 15 MHz reference, and pipeline stages for all five designs.
+
+use dwt_arch::designs::Design;
+use dwt_bench::{pct_error, synthesize_design};
+use dwt_fpga::floorplan::pack;
+use dwt_fpga::map::map_netlist;
+
+fn main() {
+    println!("Table 3 — Implementation results (model vs paper)");
+    println!(
+        "{:<10} {:>10} {:>10} {:>7} | {:>10} {:>10} {:>7} | {:>6} {:>6} {:>6}",
+        "Design", "LEs", "Fmax MHz", "mW@15", "LEs(p)", "Fmax(p)", "mW(p)", "ΔLE%", "ΔF%", "ΔP%"
+    );
+    for design in Design::all() {
+        let result = synthesize_design(design).expect("synthesis");
+        let r = &result.report;
+        let p = design.paper_row();
+        let power = r.power_mw_at_15mhz.unwrap_or(0.0);
+        println!(
+            "{:<10} {:>10} {:>10.1} {:>7.1} | {:>10} {:>10.1} {:>7.1} | {:>+6.1} {:>+6.1} {:>+6.1}",
+            design.name(),
+            r.les,
+            r.fmax_mhz,
+            power,
+            p.les,
+            p.fmax_mhz,
+            p.power_mw_15mhz,
+            pct_error(r.les as f64, p.les as f64),
+            pct_error(r.fmax_mhz, p.fmax_mhz),
+            pct_error(power, p.power_mw_15mhz),
+        );
+        let mapped = map_netlist(&result.built.netlist);
+        let plan = pack(&result.built.netlist, &mapped);
+        println!(
+            "           stages {} (paper {}) | critical path {:.2} ns at {} | carry {} fa {} ff-LE {} lut {} | {} LABs ({:.0}% util)",
+            r.pipeline_stages, p.stages, r.critical_path_ns, r.critical_endpoint,
+            r.les_carry_chain, r.les_full_adder, r.les_standalone_ff, r.les_lut,
+            plan.labs, plan.utilization() * 100.0,
+        );
+    }
+}

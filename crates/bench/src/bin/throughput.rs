@@ -1,0 +1,67 @@
+//! System throughput per design — the "data throughput" of the paper's
+//! title, turned into end-to-end figures: each design's maximum sample
+//! rate and the frame rates it sustains for full multi-octave 2-D
+//! transforms of common image sizes (using the Figure 4 cycle model:
+//! one pair per cycle per line plus the pipeline latency per line).
+
+use dwt_arch::designs::Design;
+use dwt_bench::synthesize_design;
+use dwt_core::lifting::IntLifting;
+use dwt_core::memory::{FrameMemory, MemoryController};
+use dwt_imaging::synth::StillToneImage;
+
+fn main() {
+    println!("Throughput analysis (one sample pair per cycle at Fmax)\n");
+    println!(
+        "{:<10} {:>10} {:>12} | {:>14} {:>14}",
+        "Design", "Fmax MHz", "Msamples/s", "512x512x3 fps", "1024x1024x5 fps"
+    );
+
+    // Cycle counts from the Figure 4 controller model (independent of
+    // the design except for pipeline latency).
+    let cycles_for = |size: usize, octaves: usize, latency: u64| -> u64 {
+        // Analytic form of the controller's cost: ceil(len/2) + latency
+        // cycles per line, rows then columns, region halving per octave.
+        let mut total = 0u64;
+        let (mut r, mut c) = (size as u64, size as u64);
+        for _ in 0..octaves {
+            total += r * (c / 2 + latency); // row pass
+            total += c * (r / 2 + latency); // column pass
+            r /= 2;
+            c /= 2;
+        }
+        total
+    };
+
+    for design in Design::all() {
+        let result = synthesize_design(design).expect("synthesis");
+        let fmax = result.report.fmax_mhz;
+        let latency = result.built.latency as u64;
+        let msps = fmax * 2.0; // one pair per cycle
+        let fps = |size: usize, octaves: usize| -> f64 {
+            fmax * 1.0e6 / cycles_for(size, octaves, latency) as f64
+        };
+        println!(
+            "{:<10} {:>10.1} {:>12.1} | {:>14.1} {:>14.2}",
+            design.name(),
+            fmax,
+            msps,
+            fps(512, 3),
+            fps(1024, 5),
+        );
+    }
+
+    // Cross-check the analytic cycle formula against the executable
+    // Figure 4 model on a small tile.
+    let mut mem = FrameMemory::new(StillToneImage::new(64, 64).seed(3).generate());
+    let stats = MemoryController::new(2, 8)
+        .run(&mut mem, &IntLifting::default())
+        .expect("controller");
+    let analytic = cycles_for(64, 2, 8);
+    println!(
+        "\ncycle-model cross-check (64x64, 2 octaves, latency 8): controller {} vs analytic {}",
+        stats.total_cycles(),
+        analytic
+    );
+    assert_eq!(stats.total_cycles(), analytic);
+}

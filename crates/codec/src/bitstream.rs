@@ -1,0 +1,160 @@
+//! Bit-granular stream writer and reader.
+
+/// Accumulates bits MSB-first into a byte vector.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the trailing byte (0..8).
+    fill: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends one bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        if self.fill == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= 1 << (7 - self.fill);
+        }
+        self.fill = (self.fill + 1) % 8;
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn put_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64);
+        for i in (0..count).rev() {
+            self.put_bit(value & (1 << i) != 0);
+        }
+    }
+
+    /// Appends `count` in unary (count ones then a zero).
+    pub fn put_unary(&mut self, count: u64) {
+        for _ in 0..count {
+            self.put_bit(true);
+        }
+        self.put_bit(false);
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 - if self.fill == 0 { 0 } else { (8 - self.fill) as usize }
+    }
+
+    /// Finishes the stream, returning the padded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit; `None` at end of stream.
+    pub fn get_bit(&mut self) -> Option<bool> {
+        let byte = self.bytes.get(self.pos / 8)?;
+        let bit = byte & (1 << (7 - (self.pos % 8) as u8)) != 0;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `count` bits MSB-first.
+    pub fn get_bits(&mut self, count: u32) -> Option<u64> {
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = (v << 1) | u64::from(self.get_bit()?);
+        }
+        Some(v)
+    }
+
+    /// Reads a unary count (ones terminated by a zero).
+    pub fn get_unary(&mut self) -> Option<u64> {
+        let mut n = 0;
+        while self.get_bit()? {
+            n += 1;
+        }
+        Some(n)
+    }
+
+    /// Bits consumed so far.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, false, true, true];
+        for &b in &pattern {
+            w.put_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.get_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101_1001_0110, 11);
+        w.put_bits(0x3ff, 10);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(11), Some(0b101_1001_0110));
+        assert_eq!(r.get_bits(10), Some(0x3ff));
+    }
+
+    #[test]
+    fn unary_roundtrip() {
+        let mut w = BitWriter::new();
+        for n in [0u64, 1, 7, 20] {
+            w.put_unary(n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for n in [0u64, 1, 7, 20] {
+            assert_eq!(r.get_unary(), Some(n));
+        }
+    }
+
+    #[test]
+    fn end_of_stream_is_none() {
+        let mut r = BitReader::new(&[0xff]);
+        assert_eq!(r.get_bits(8), Some(0xff));
+        assert_eq!(r.get_bit(), None);
+        assert_eq!(r.get_bits(4), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for the codec crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors reported while encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The compressed stream ended before all coefficients were decoded.
+    Truncated,
+    /// The stream header is malformed or from an incompatible version.
+    BadHeader(String),
+    /// A transform-layer failure.
+    Transform(dwt_core::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "compressed stream is truncated"),
+            Error::BadHeader(msg) => write!(f, "malformed header: {msg}"),
+            Error::Transform(e) => write!(f, "transform error: {e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Transform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dwt_core::Error> for Error {
+    fn from(e: dwt_core::Error) -> Self {
+        Error::Transform(e)
+    }
+}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,451 @@
+//! The complete lossy image codec of the paper's introduction: linear
+//! transform (9/7 DWT), deadzone quantization, entropy coding — and the
+//! lossless variant over the reversible 5/3 transform.
+
+use dwt_core::grid::Grid;
+use dwt_core::lifting::IntLifting;
+use dwt_core::lifting53::Lifting53Kernel;
+use dwt_core::quant::Quantizer;
+use dwt_core::transform2d::{
+    forward_2d, inverse_2d, max_octaves_2d, Decomposition2d, Subband,
+};
+
+use crate::error::{Error, Result};
+use crate::rice;
+
+/// Magic bytes identifying a compressed stream.
+const MAGIC: &[u8; 4] = b"DWTc";
+
+/// Codec configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecConfig {
+    /// Decomposition octaves.
+    pub octaves: usize,
+    /// Quantizer step for the lossy (9/7) mode; ignored when lossless.
+    pub step: f64,
+    /// Lossless mode uses the reversible 5/3 transform and no quantizer.
+    pub lossless: bool,
+}
+
+impl Default for CodecConfig {
+    fn default() -> Self {
+        CodecConfig { octaves: 3, step: 8.0, lossless: false }
+    }
+}
+
+/// Compresses a level-shifted 8-bit image (−128..127 samples).
+///
+/// # Errors
+///
+/// Propagates transform errors (e.g. too many octaves for the image).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use dwt_codec::image::{compress, decompress, CodecConfig};
+/// use dwt_core::grid::Grid;
+///
+/// let image = Grid::from_vec(16, 16, (0..256).map(|v| (v % 200) - 100).collect())?;
+/// let bytes = compress(&image, &CodecConfig { lossless: true, ..CodecConfig::default() })?;
+/// let back = decompress(&bytes)?;
+/// assert_eq!(back, image); // lossless mode is bit-exact
+/// # Ok(())
+/// # }
+/// ```
+pub fn compress(image: &Grid<i32>, config: &CodecConfig) -> Result<Vec<u8>> {
+    let (rows, cols) = image.dims();
+    let octaves = config.octaves.min(max_octaves_2d(rows, cols));
+
+    // Transform.
+    let coeffs: Vec<i64> = if config.lossless {
+        let dec = forward_2d(image, octaves, &Lifting53Kernel)?;
+        dec.coeffs.iter().map(|&v| i64::from(v)).collect()
+    } else {
+        let dec = forward_2d(image, octaves, &IntLifting::default())?;
+        let quant = Quantizer::new(config.step)?;
+        dec.coeffs.iter().map(|&v| quant.quantize(f64::from(v))).collect()
+    };
+
+    // Header: magic, mode, octaves, dims, step (milli-units).
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(u8::from(config.lossless));
+    out.push(octaves as u8);
+    out.extend_from_slice(&(rows as u32).to_le_bytes());
+    out.extend_from_slice(&(cols as u32).to_le_bytes());
+    out.extend_from_slice(&((config.step * 1000.0) as u32).to_le_bytes());
+    out.extend_from_slice(&rice::encode(&coeffs));
+    Ok(out)
+}
+
+/// Decompresses a stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`Error::BadHeader`] for foreign data and
+/// [`Error::Truncated`] for cut streams.
+pub fn decompress(bytes: &[u8]) -> Result<Grid<i32>> {
+    if bytes.len() < 18 || &bytes[0..4] != MAGIC {
+        return Err(Error::BadHeader("missing magic".into()));
+    }
+    let lossless = bytes[4] != 0;
+    let octaves = bytes[5] as usize;
+    let rows = u32::from_le_bytes(bytes[6..10].try_into().expect("len checked")) as usize;
+    let cols = u32::from_le_bytes(bytes[10..14].try_into().expect("len checked")) as usize;
+    let step = f64::from(u32::from_le_bytes(bytes[14..18].try_into().expect("len checked")))
+        / 1000.0;
+    if rows == 0 || cols == 0 || rows.checked_mul(cols).is_none() {
+        return Err(Error::BadHeader(format!("bad dimensions {rows}x{cols}")));
+    }
+    let values = rice::decode(&bytes[18..], rows * cols)?;
+
+    if lossless {
+        let coeffs: Vec<i32> = values.iter().map(|&v| v as i32).collect();
+        let dec = Decomposition2d { coeffs: Grid::from_vec(rows, cols, coeffs)?, octaves };
+        Ok(inverse_2d(&dec, &Lifting53Kernel)?)
+    } else {
+        let quant = Quantizer::new(step)?;
+        let coeffs: Vec<i32> = values
+            .iter()
+            .map(|&q| quant.dequantize(q).round() as i32)
+            .collect();
+        let dec = Decomposition2d { coeffs: Grid::from_vec(rows, cols, coeffs)?, octaves };
+        Ok(inverse_2d(&dec, &IntLifting::default())?)
+    }
+}
+
+/// The Mallat subbands of an `octaves`-deep decomposition of the given
+/// dimensions, coarsest first — the coding order of the per-subband
+/// stream layout.
+fn subband_order(octaves: usize) -> Vec<Subband> {
+    let mut order = vec![Subband::Ll];
+    for oct in (1..=octaves).rev() {
+        order.push(Subband::Hl(oct));
+        order.push(Subband::Lh(oct));
+        order.push(Subband::Hh(oct));
+    }
+    order
+}
+
+/// Splits a Mallat-layout coefficient grid into per-subband vectors,
+/// coarsest first.
+fn split_subbands(dec: &Decomposition2d<i64>) -> Vec<Vec<i64>> {
+    subband_order(dec.octaves)
+        .into_iter()
+        .map(|band| dec.subband(band).into_vec())
+        .collect()
+}
+
+/// Reassembles per-subband vectors into the Mallat layout.
+fn join_subbands(
+    rows: usize,
+    cols: usize,
+    octaves: usize,
+    parts: &[Vec<i64>],
+) -> Result<Grid<i64>> {
+    let mut grid = Grid::filled(rows, cols, 0i64);
+    let template = Decomposition2d { coeffs: grid.clone(), octaves };
+    for (band, values) in subband_order(octaves).into_iter().zip(parts) {
+        let (r0, c0, nr, nc) = template.subband_rect(band);
+        if values.len() != nr * nc {
+            return Err(Error::Truncated);
+        }
+        for r in 0..nr {
+            let dst = grid.row_mut(r0 + r);
+            dst[c0..c0 + nc].copy_from_slice(&values[r * nc..(r + 1) * nc]);
+        }
+    }
+    Ok(grid)
+}
+
+/// Compresses with one Rice stream per subband (each with its own
+/// adaptation state), coarsest first — typically 10–25 % smaller than
+/// the single-stream [`compress`] because the magnitude statistics of
+/// LL and the fine detail bands differ wildly.
+///
+/// # Errors
+///
+/// Propagates transform errors.
+pub fn compress_subband(image: &Grid<i32>, config: &CodecConfig) -> Result<Vec<u8>> {
+    let (rows, cols) = image.dims();
+    let octaves = config.octaves.min(max_octaves_2d(rows, cols));
+
+    let coeffs: Grid<i64> = if config.lossless {
+        forward_2d(image, octaves, &Lifting53Kernel)?
+            .coeffs
+            .map(i64::from)
+    } else {
+        let quant = Quantizer::new(config.step)?;
+        forward_2d(image, octaves, &IntLifting::default())?
+            .coeffs
+            .map(|v| quant.quantize(f64::from(v)))
+    };
+    let dec = Decomposition2d { coeffs, octaves };
+
+    let mut out = Vec::new();
+    out.extend_from_slice(b"DWTs");
+    out.push(u8::from(config.lossless));
+    out.push(octaves as u8);
+    out.extend_from_slice(&(rows as u32).to_le_bytes());
+    out.extend_from_slice(&(cols as u32).to_le_bytes());
+    out.extend_from_slice(&((config.step * 1000.0) as u32).to_le_bytes());
+    for band in split_subbands(&dec) {
+        let encoded = rice::encode(&band);
+        out.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
+        out.extend_from_slice(&encoded);
+    }
+    Ok(out)
+}
+
+/// Decompresses a [`compress_subband`] stream.
+///
+/// # Errors
+///
+/// Returns [`Error::BadHeader`] / [`Error::Truncated`] on malformed
+/// input.
+pub fn decompress_subband(bytes: &[u8]) -> Result<Grid<i32>> {
+    if bytes.len() < 18 || &bytes[0..4] != b"DWTs" {
+        return Err(Error::BadHeader("missing subband magic".into()));
+    }
+    let lossless = bytes[4] != 0;
+    let octaves = bytes[5] as usize;
+    let rows = u32::from_le_bytes(bytes[6..10].try_into().expect("len checked")) as usize;
+    let cols = u32::from_le_bytes(bytes[10..14].try_into().expect("len checked")) as usize;
+    let step = f64::from(u32::from_le_bytes(bytes[14..18].try_into().expect("len checked")))
+        / 1000.0;
+    if rows == 0 || cols == 0 {
+        return Err(Error::BadHeader("zero dimension".into()));
+    }
+
+    // Walk the per-subband chunks.
+    let template = Decomposition2d { coeffs: Grid::filled(rows, cols, 0i64), octaves };
+    let mut parts = Vec::new();
+    let mut cursor = 18usize;
+    for band in subband_order(octaves) {
+        if cursor + 4 > bytes.len() {
+            return Err(Error::Truncated);
+        }
+        let len =
+            u32::from_le_bytes(bytes[cursor..cursor + 4].try_into().expect("len checked"))
+                as usize;
+        cursor += 4;
+        if cursor + len > bytes.len() {
+            return Err(Error::Truncated);
+        }
+        let (_, _, nr, nc) = template.subband_rect(band);
+        parts.push(rice::decode(&bytes[cursor..cursor + len], nr * nc)?);
+        cursor += len;
+    }
+    let values = join_subbands(rows, cols, octaves, &parts)?;
+
+    if lossless {
+        let dec = Decomposition2d { coeffs: values.map(|v| v as i32), octaves };
+        Ok(inverse_2d(&dec, &Lifting53Kernel)?)
+    } else {
+        let quant = Quantizer::new(step)?;
+        let dec = Decomposition2d {
+            coeffs: values.map(|q| quant.dequantize(q).round() as i32),
+            octaves,
+        };
+        Ok(inverse_2d(&dec, &IntLifting::default())?)
+    }
+}
+
+/// Convenience: compressed size in bits per pixel.
+#[must_use]
+pub fn bits_per_pixel(bytes: &[u8], rows: usize, cols: usize) -> f64 {
+    bytes.len() as f64 * 8.0 / (rows * cols) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwt_core::metrics::psnr_i32;
+    use dwt_imaging::synth::StillToneImage;
+
+    fn tile() -> Grid<i32> {
+        StillToneImage::new(64, 64).seed(4).generate()
+    }
+
+    #[test]
+    fn lossless_mode_is_bit_exact() {
+        let image = tile();
+        let cfg = CodecConfig { lossless: true, ..CodecConfig::default() };
+        let bytes = compress(&image, &cfg).unwrap();
+        assert_eq!(decompress(&bytes).unwrap(), image);
+        // And it must actually compress a still-tone image.
+        let bpp = bits_per_pixel(&bytes, 64, 64);
+        assert!(bpp < 6.5, "lossless {bpp} bpp");
+    }
+
+    #[test]
+    fn lossy_mode_meets_quality_and_rate() {
+        let image = tile();
+        let cfg = CodecConfig { octaves: 3, step: 8.0, lossless: false };
+        let bytes = compress(&image, &cfg).unwrap();
+        let back = decompress(&bytes).unwrap();
+        let db = psnr_i32(image.as_slice(), back.as_slice(), 255.0).unwrap();
+        let bpp = bits_per_pixel(&bytes, 64, 64);
+        // The codec runs the hardware-faithful fixed-point transform, so
+        // quality sits at the fixed-point extension row of Table 2
+        // (~30 dB at step 8), not the floating-point 37 dB.
+        assert!(db > 28.0, "{db} dB");
+        assert!(bpp < 2.0, "{bpp} bpp");
+    }
+
+    #[test]
+    fn coarser_steps_trade_rate_for_quality() {
+        let image = tile();
+        let mut last_bpp = f64::MAX;
+        let mut last_db = f64::MAX;
+        for step in [2.0, 8.0, 32.0] {
+            let cfg = CodecConfig { octaves: 3, step, lossless: false };
+            let bytes = compress(&image, &cfg).unwrap();
+            let back = decompress(&bytes).unwrap();
+            let db = psnr_i32(image.as_slice(), back.as_slice(), 255.0).unwrap();
+            let bpp = bits_per_pixel(&bytes, 64, 64);
+            assert!(bpp < last_bpp, "rate must fall with step");
+            assert!(db < last_db, "quality must fall with step");
+            last_bpp = bpp;
+            last_db = db;
+        }
+    }
+
+    #[test]
+    fn foreign_data_is_rejected() {
+        assert!(matches!(decompress(b"nope"), Err(Error::BadHeader(_))));
+        assert!(matches!(
+            decompress(b"PNG\x89and more data here..."),
+            Err(Error::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let image = tile();
+        let bytes = compress(&image, &CodecConfig::default()).unwrap();
+        let cut = &bytes[..bytes.len() - bytes.len() / 3];
+        assert!(matches!(decompress(cut), Err(Error::Truncated)));
+    }
+
+    #[test]
+    fn tiny_images_roundtrip() {
+        for (r, c) in [(2usize, 2usize), (3, 5), (8, 2)] {
+            let data: Vec<i32> = (0..r * c).map(|i| (i as i32 * 17 % 200) - 100).collect();
+            let image = Grid::from_vec(r, c, data).unwrap();
+            let cfg = CodecConfig { octaves: 5, lossless: true, ..CodecConfig::default() };
+            let bytes = compress(&image, &cfg).unwrap();
+            assert_eq!(decompress(&bytes).unwrap(), image, "{r}x{c}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod subband_tests {
+    use super::*;
+    use dwt_imaging::synth::StillToneImage;
+
+    #[test]
+    fn subband_stream_roundtrips_lossless() {
+        let image = StillToneImage::new(64, 48).seed(6).generate();
+        let cfg = CodecConfig { lossless: true, octaves: 3, step: 8.0 };
+        let bytes = compress_subband(&image, &cfg).unwrap();
+        assert_eq!(decompress_subband(&bytes).unwrap(), image);
+    }
+
+    #[test]
+    fn subband_stream_roundtrips_lossy() {
+        let image = StillToneImage::new(64, 64).seed(7).generate();
+        let cfg = CodecConfig::default();
+        let a = compress(&image, &cfg).unwrap();
+        let b = compress_subband(&image, &cfg).unwrap();
+        // Both decoders reconstruct to the same image (same quantizer).
+        assert_eq!(decompress(&a).unwrap(), decompress_subband(&b).unwrap());
+    }
+
+    #[test]
+    fn per_subband_adaptation_compresses_better() {
+        let image = StillToneImage::new(128, 128).seed(2).generate();
+        let cfg = CodecConfig { octaves: 4, step: 4.0, lossless: false };
+        let single = compress(&image, &cfg).unwrap().len();
+        let per_band = compress_subband(&image, &cfg).unwrap().len();
+        assert!(
+            (per_band as f64) < single as f64 * 1.02,
+            "per-band {per_band} vs single {single}"
+        );
+    }
+
+    #[test]
+    fn truncated_subband_stream_rejected() {
+        let image = StillToneImage::new(32, 32).seed(3).generate();
+        let bytes = compress_subband(&image, &CodecConfig::default()).unwrap();
+        for cut in [10usize, 20, bytes.len() - 3] {
+            assert!(matches!(
+                decompress_subband(&bytes[..cut]),
+                Err(Error::Truncated) | Err(Error::BadHeader(_))
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod image_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn lossless_codec_is_exact_on_any_image(
+            rows in 2usize..24,
+            cols in 2usize..24,
+            seed in 0u64..10_000,
+        ) {
+            let splitmix = |mut z: u64| -> u64 {
+                z = z.wrapping_add(0x9e3779b97f4a7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z ^ (z >> 31)
+            };
+            let data: Vec<i32> = (0..rows * cols)
+                .map(|i| (splitmix(seed + i as u64) % 256) as i32 - 128)
+                .collect();
+            let image = Grid::from_vec(rows, cols, data).unwrap();
+            for octaves in [0usize, 1, 3] {
+                let cfg = CodecConfig { octaves, step: 8.0, lossless: true };
+                let bytes = compress(&image, &cfg).unwrap();
+                prop_assert_eq!(&decompress(&bytes).unwrap(), &image);
+                let bytes = compress_subband(&image, &cfg).unwrap();
+                prop_assert_eq!(&decompress_subband(&bytes).unwrap(), &image);
+            }
+        }
+
+        #[test]
+        fn lossy_error_is_bounded_by_the_step(
+            seed in 0u64..1000,
+            step in 1.0f64..32.0,
+        ) {
+            let image = dwt_imaging::synth::StillToneImage::new(24, 24)
+                .seed(seed)
+                .generate();
+            let cfg = CodecConfig { octaves: 2, step, lossless: false };
+            let bytes = compress(&image, &cfg).unwrap();
+            let back = decompress(&bytes).unwrap();
+            // Error scales with the quantizer step plus the fixed-point
+            // noise floor; the bound below is loose but meaningful.
+            let worst = image
+                .iter()
+                .zip(back.iter())
+                .map(|(a, b)| (a - b).abs())
+                .max()
+                .unwrap();
+            prop_assert!(
+                f64::from(worst) < 4.0 * step + 24.0,
+                "worst {} at step {}",
+                worst,
+                step
+            );
+        }
+    }
+}

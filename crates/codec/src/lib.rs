@@ -1,0 +1,36 @@
+//! # dwt-codec
+//!
+//! The compression back end the paper's introduction describes: "after
+//! the linear transform the large amount of coefficients that are close
+//! to zero are eliminated by the quantizer block, and the quantized
+//! coefficients are entropy-coded for achieving high compression ratio."
+//!
+//! * [`bitstream`] — bit-granular writer/reader.
+//! * [`rice`] — adaptive Golomb–Rice coding, near-optimal for the
+//!   Laplacian statistics of quantized detail subbands.
+//! * [`image`] — the full codec: 9/7 DWT + deadzone quantizer + entropy
+//!   coding (lossy), or the reversible 5/3 transform (lossless).
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use dwt_codec::image::{compress, decompress, CodecConfig};
+//! use dwt_core::grid::Grid;
+//!
+//! let image = Grid::from_vec(8, 8, (0..64).map(|v| v * 2 - 64).collect())?;
+//! let bytes = compress(&image, &CodecConfig::default())?;
+//! let reconstructed = decompress(&bytes)?;
+//! assert_eq!(reconstructed.dims(), (8, 8));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod bitstream;
+mod error;
+pub mod image;
+pub mod rice;
+
+pub use error::{Error, Result};

@@ -1,0 +1,149 @@
+//! Symmetric (mirror) boundary extension.
+//!
+//! Section 2 of the paper: "A simple method to eliminate this problem
+//! consists in mirroring the boundaries of the samples." The 9/7 transform
+//! uses whole-sample symmetric extension — the edge sample is the mirror
+//! axis and is not repeated: for a signal `x[0..n)`,
+//! `x[-j] = x[j]` and `x[(n-1)+j] = x[(n-1)-j]`.
+
+/// Maps an arbitrary integer index onto `0..len` by whole-sample symmetric
+/// reflection about both edges.
+///
+/// # Examples
+///
+/// ```
+/// use dwt_core::boundary::mirror;
+///
+/// assert_eq!(mirror(-1, 5), 1);
+/// assert_eq!(mirror(-2, 5), 2);
+/// assert_eq!(mirror(5, 5), 3);
+/// assert_eq!(mirror(6, 5), 2);
+/// assert_eq!(mirror(3, 5), 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+#[must_use]
+pub fn mirror(index: i64, len: usize) -> usize {
+    assert!(len > 0, "cannot mirror into an empty signal");
+    if len == 1 {
+        return 0;
+    }
+    // Reflection has period 2*(len-1).
+    let period = 2 * (len as i64 - 1);
+    let mut i = index.rem_euclid(period);
+    if i >= len as i64 {
+        i = period - i;
+    }
+    i as usize
+}
+
+/// A borrowed signal with symmetric-extension indexing, so filter code can
+/// read "virtual" samples past either edge without copying.
+///
+/// # Examples
+///
+/// ```
+/// use dwt_core::boundary::Mirrored;
+///
+/// let m = Mirrored::new(&[10.0, 20.0, 30.0]);
+/// assert_eq!(m.at(-1), 20.0);
+/// assert_eq!(m.at(3), 20.0);
+/// assert_eq!(m.at(1), 20.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Mirrored<'a, T> {
+    data: &'a [T],
+}
+
+impl<'a, T: Copy> Mirrored<'a, T> {
+    /// Wraps a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    #[must_use]
+    pub fn new(data: &'a [T]) -> Self {
+        assert!(!data.is_empty(), "mirrored view of an empty slice");
+        Mirrored { data }
+    }
+
+    /// Reads the (possibly reflected) sample at `index`.
+    #[must_use]
+    pub fn at(&self, index: i64) -> T {
+        self.data[mirror(index, self.data.len())]
+    }
+
+    /// Length of the underlying signal.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the underlying signal is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_inside_range() {
+        for i in 0..7 {
+            assert_eq!(mirror(i as i64, 7), i);
+        }
+    }
+
+    #[test]
+    fn left_edge_reflection() {
+        assert_eq!(mirror(-1, 8), 1);
+        assert_eq!(mirror(-3, 8), 3);
+        assert_eq!(mirror(-7, 8), 7);
+    }
+
+    #[test]
+    fn right_edge_reflection() {
+        assert_eq!(mirror(8, 8), 6);
+        assert_eq!(mirror(9, 8), 5);
+        assert_eq!(mirror(14, 8), 0);
+    }
+
+    #[test]
+    fn reflection_is_periodic() {
+        let len = 6usize;
+        let period = 2 * (len as i64 - 1);
+        for i in -20..20 {
+            assert_eq!(mirror(i, len), mirror(i + period, len));
+        }
+    }
+
+    #[test]
+    fn deep_reflection_beyond_one_period() {
+        // For len 4, period 6: index 17 -> 17 mod 6 = 5 -> 6-5 = 1.
+        assert_eq!(mirror(17, 4), 1);
+        assert_eq!(mirror(-17, 4), 1);
+    }
+
+    #[test]
+    fn singleton_always_maps_to_zero() {
+        for i in -5..5 {
+            assert_eq!(mirror(i, 1), 0);
+        }
+    }
+
+    #[test]
+    fn mirrored_view_matches_function() {
+        let data: Vec<i32> = (0..9).collect();
+        let m = Mirrored::new(&data);
+        for i in -12..24 {
+            assert_eq!(m.at(i), data[mirror(i, 9)] );
+        }
+        assert_eq!(m.len(), 9);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,394 @@
+//! Filter and lifting coefficients of the irreversible 9/7 transform.
+//!
+//! Two equivalent parameterisations are provided:
+//!
+//! * the 9-tap low-pass / 7-tap high-pass Daubechies FIR bank of Figure 2,
+//! * the lifting factorisation (α, β, γ, δ, K) of Figure 3 / Table 1.
+//!
+//! Each comes in a floating-point and an integer-rounded (Q2.8) flavour,
+//! matching the four methods compared in Table 2 of the paper.
+
+use crate::fixed::Q2x8;
+
+/// The four real lifting constants plus the scaling constant of the
+/// Daubechies–Sweldens factorisation, with the paper's normalisation
+/// (`k = 1.230174105`, low band scaled by `1/k`, high band by `-k`).
+pub mod lifting {
+    /// Predict 1 constant (α).
+    pub const ALPHA: f64 = -1.586_134_342;
+    /// Update 1 constant (β).
+    pub const BETA: f64 = -0.052_980_118;
+    /// Predict 2 constant (γ).
+    pub const GAMMA: f64 = 0.882_911_075;
+    /// Update 2 constant (δ).
+    pub const DELTA: f64 = 0.443_506_852;
+    /// Scaling constant `k`; the low band is multiplied by `1/k` and the
+    /// high band by `-k`, as drawn in Figure 3 of the paper.
+    pub const K: f64 = 1.230_174_105;
+    /// `1/k`, tabulated separately in Table 1.
+    pub const INV_K: f64 = 0.812_893_066;
+}
+
+/// How the `-k` constant is encoded in Q2.8.
+///
+/// Table 1 of the paper is internally inconsistent for this entry: the
+/// "integer rounded" column says −314/256 (truncation toward zero of
+/// −314.93) while the printed binary pattern `10.11000101` equals −315/256
+/// (round to nearest). Both encodings are supported so either reading of
+/// the paper can be reproduced; [`KRound::Truncated`] is the default
+/// because the architecture text uses the integer column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KRound {
+    /// `-k ≈ -314/256`, Table 1's integer column.
+    #[default]
+    Truncated,
+    /// `-k ≈ -315/256`, Table 1's binary-pattern row.
+    Nearest,
+}
+
+/// The six Q2.8 lifting constants of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LiftingConstants {
+    /// α in Q2.8 (−406/256).
+    pub alpha: Q2x8,
+    /// β in Q2.8 (−14/256).
+    pub beta: Q2x8,
+    /// γ in Q2.8 (226/256).
+    pub gamma: Q2x8,
+    /// δ in Q2.8 (114/256).
+    pub delta: Q2x8,
+    /// −k in Q2.8 (−314/256 or −315/256 depending on [`KRound`]).
+    pub minus_k: Q2x8,
+    /// 1/k in Q2.8 (208/256).
+    pub inv_k: Q2x8,
+}
+
+impl LiftingConstants {
+    /// The constants exactly as printed in Table 1 of the paper.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dwt_core::coeffs::{KRound, LiftingConstants};
+    ///
+    /// let c = LiftingConstants::table1(KRound::Truncated);
+    /// assert_eq!(c.alpha.raw(), -406);
+    /// assert_eq!(c.minus_k.raw(), -314);
+    /// ```
+    #[must_use]
+    pub fn table1(k_round: KRound) -> Self {
+        LiftingConstants {
+            alpha: Q2x8::from_raw(-406),
+            beta: Q2x8::from_raw(-14),
+            gamma: Q2x8::from_raw(226),
+            delta: Q2x8::from_raw(114),
+            minus_k: match k_round {
+                KRound::Truncated => Q2x8::from_raw(-314),
+                KRound::Nearest => Q2x8::from_raw(-315),
+            },
+            inv_k: Q2x8::from_raw(208),
+        }
+    }
+
+    /// The constants re-derived from the floating-point values (nearest
+    /// rounding everywhere). Used by tests to confirm Table 1's integer
+    /// column, modulo the documented `-k` discrepancy.
+    #[must_use]
+    pub fn from_floats() -> Self {
+        LiftingConstants {
+            alpha: Q2x8::from_f64(lifting::ALPHA),
+            beta: Q2x8::from_f64(lifting::BETA),
+            gamma: Q2x8::from_f64(lifting::GAMMA),
+            delta: Q2x8::from_f64(lifting::DELTA),
+            minus_k: Q2x8::from_f64(-lifting::K),
+            inv_k: Q2x8::from_f64(lifting::INV_K),
+        }
+    }
+
+    /// The constants in datapath order, paired with their Table 1 names.
+    #[must_use]
+    pub fn named(&self) -> [(&'static str, Q2x8); 6] {
+        [
+            ("alpha", self.alpha),
+            ("beta", self.beta),
+            ("gamma", self.gamma),
+            ("delta", self.delta),
+            ("-k", self.minus_k),
+            ("1/k", self.inv_k),
+        ]
+    }
+}
+
+impl Default for LiftingConstants {
+    fn default() -> Self {
+        LiftingConstants::table1(KRound::default())
+    }
+}
+
+/// The 9/7 Daubechies analysis FIR bank in floating point.
+///
+/// `low` holds the symmetric 9-tap low-pass filter `h[-4..=4]` indexed by
+/// `low[k + 4]`; `high` the symmetric 7-tap high-pass filter `g[-3..=3]`
+/// indexed by `high[k + 3]`. The taps are derived from the lifting
+/// factorisation (this crate's property tests regenerate them by feeding
+/// impulses through the lifting kernel, so the two parameterisations are
+/// equivalent by construction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirBank {
+    /// 9-tap low-pass analysis filter, centre at index 4.
+    pub low: [f64; 9],
+    /// 7-tap high-pass analysis filter, centre at index 3.
+    pub high: [f64; 7],
+}
+
+impl FirBank {
+    /// The analysis bank matching [`lifting`]'s normalisation: these taps
+    /// are exactly the impulse response of the floating-point lifting
+    /// kernel, so FIR filtering and lifting produce identical subbands.
+    #[must_use]
+    pub fn daubechies_9_7() -> Self {
+        // h[k] = response of the low band to an impulse at even position;
+        // g[k] = response of the high band. Derived analytically from the
+        // lifting factorisation with the paper's k = 1.230174105:
+        //   h = (1/k) * hs,  g = (-k) * gs
+        // where hs/gs are the unscaled lifting responses.
+        let a = lifting::ALPHA;
+        let b = lifting::BETA;
+        let g = lifting::GAMMA;
+        let d = lifting::DELTA;
+        let k = lifting::K;
+
+        let (low, high) = impulse_responses(a, b, g, d);
+        let inv_k = 1.0 / k;
+        let mut low_t = [0.0; 9];
+        let mut high_t = [0.0; 7];
+        for (i, tap) in low.iter().enumerate() {
+            low_t[i] = tap * inv_k;
+        }
+        for (i, tap) in high.iter().enumerate() {
+            high_t[i] = tap * -k;
+        }
+        FirBank { low: low_t, high: high_t }
+    }
+
+    /// Integer-rounded version of the bank (`round(tap * 256)`), the
+    /// "FIR filter by integer rounded 9/7 Daubechies coefficients" method
+    /// of Table 2.
+    #[must_use]
+    pub fn integer_rounded(&self) -> IntFirBank {
+        let mut low = [0i32; 9];
+        let mut high = [0i32; 7];
+        for (dst, src) in low.iter_mut().zip(self.low.iter()) {
+            *dst = (src * 256.0).round() as i32;
+        }
+        for (dst, src) in high.iter_mut().zip(self.high.iter()) {
+            *dst = (src * 256.0).round() as i32;
+        }
+        IntFirBank { low, high }
+    }
+}
+
+impl Default for FirBank {
+    fn default() -> Self {
+        FirBank::daubechies_9_7()
+    }
+}
+
+/// The 9/7 bank with taps rounded to Q2.8 integers (value × 256).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntFirBank {
+    /// 9-tap low-pass filter × 256.
+    pub low: [i32; 9],
+    /// 7-tap high-pass filter × 256.
+    pub high: [i32; 7],
+}
+
+impl IntFirBank {
+    /// The rounded taps as real values (`tap/256`), for floating-point
+    /// filtering with quantized coefficient values (Table 2's
+    /// "integer rounded" FIR method).
+    #[must_use]
+    pub fn to_f64_bank(&self) -> FirBank {
+        let mut low = [0.0; 9];
+        let mut high = [0.0; 7];
+        for (dst, src) in low.iter_mut().zip(self.low.iter()) {
+            *dst = f64::from(*src) / 256.0;
+        }
+        for (dst, src) in high.iter_mut().zip(self.high.iter()) {
+            *dst = f64::from(*src) / 256.0;
+        }
+        FirBank { low, high }
+    }
+}
+
+/// Computes the unscaled lifting impulse responses numerically.
+///
+/// Returns `(low\[9\], high\[7\])` where `low` is indexed by `k + 4` for
+/// `k in -4..=4` and `high` by `k + 3` for `k in -3..=3`, **before** the
+/// `1/k` and `-k` band scalings.
+fn impulse_responses(a: f64, b: f64, g: f64, d: f64) -> ([f64; 9], [f64; 7]) {
+    // Work on a signal long enough that boundaries cannot reach the centre.
+    const N: usize = 32;
+    const CENTER_EVEN: usize = 16; // x[16] -> s[8]
+    let mut low = [0.0; 9];
+    let mut high = [0.0; 7];
+    // The analysis operator is linear and periodically time-varying with
+    // period 2; the response of output sample low[8] to an impulse at
+    // position CENTER_EVEN + k gives tap h[k] (analysis correlation
+    // convention: y_low[n] = sum_k h[k] x[2n + k]; the filters are
+    // symmetric so h[k] = h[-k]). The high band is centred on the odd
+    // sample positions: y_high[n] = sum_k g[k] x[2n + 1 + k].
+    for k in -4i64..=4 {
+        let mut x = [0.0f64; N];
+        x[(CENTER_EVEN as i64 + k) as usize] = 1.0;
+        let (s, _) = lift_unscaled(&x, a, b, g, d);
+        low[(k + 4) as usize] = s[8];
+    }
+    for k in -3i64..=3 {
+        let mut x = [0.0f64; N];
+        x[(CENTER_EVEN as i64 + 1 + k) as usize] = 1.0;
+        let (_, dd) = lift_unscaled(&x, a, b, g, d);
+        high[(k + 3) as usize] = dd[8];
+    }
+    (low, high)
+}
+
+/// One unscaled floating-point lifting pass over an even-length signal,
+/// without boundary handling (callers guarantee the impulse stays away
+/// from the edges). Returns `(s, d)` after all four steps.
+fn lift_unscaled(x: &[f64], a: f64, b: f64, g: f64, d: f64) -> (Vec<f64>, Vec<f64>) {
+    let ns = x.len() / 2;
+    let mut s: Vec<f64> = (0..ns).map(|i| x[2 * i]).collect();
+    let mut dd: Vec<f64> = (0..ns).map(|i| x[2 * i + 1]).collect();
+    for i in 0..ns {
+        let sp = if i + 1 < ns { s[i + 1] } else { s[i] };
+        dd[i] += a * (s[i] + sp);
+    }
+    for i in 0..ns {
+        let dm = if i > 0 { dd[i - 1] } else { dd[i] };
+        s[i] += b * (dm + dd[i]);
+    }
+    for i in 0..ns {
+        let sp = if i + 1 < ns { s[i + 1] } else { s[i] };
+        dd[i] += g * (s[i] + sp);
+    }
+    for i in 0..ns {
+        let dm = if i > 0 { dd[i - 1] } else { dd[i] };
+        s[i] += d * (dm + dd[i]);
+    }
+    (s, dd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_integers_match_float_rounding() {
+        let printed = LiftingConstants::table1(KRound::Nearest);
+        let derived = LiftingConstants::from_floats();
+        assert_eq!(printed, derived);
+    }
+
+    #[test]
+    fn truncated_k_matches_integer_column() {
+        let c = LiftingConstants::table1(KRound::Truncated);
+        assert_eq!(c.minus_k.raw(), -314);
+        assert_eq!(c.alpha.raw(), -406);
+        assert_eq!(c.beta.raw(), -14);
+        assert_eq!(c.gamma.raw(), 226);
+        assert_eq!(c.delta.raw(), 114);
+        assert_eq!(c.inv_k.raw(), 208);
+    }
+
+    #[test]
+    fn named_order_is_datapath_order() {
+        let names: Vec<_> = LiftingConstants::default()
+            .named()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(names, ["alpha", "beta", "gamma", "delta", "-k", "1/k"]);
+    }
+
+    #[test]
+    fn fir_bank_is_symmetric() {
+        let bank = FirBank::daubechies_9_7();
+        for k in 0..4 {
+            assert!((bank.low[k] - bank.low[8 - k]).abs() < 1e-12, "low tap {k}");
+        }
+        for k in 0..3 {
+            assert!(
+                (bank.high[k] - bank.high[6 - k]).abs() < 1e-12,
+                "high tap {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn fir_low_pass_preserves_dc() {
+        // The low-pass filter applied to a constant must have gain equal to
+        // the lifting kernel's DC gain on the low band; the high-pass must
+        // reject DC entirely.
+        let bank = FirBank::daubechies_9_7();
+        let high_sum: f64 = bank.high.iter().sum();
+        // Not exactly zero: the paper's constants are rounded to nine
+        // decimal digits.
+        assert!(high_sum.abs() < 1e-6, "high-pass DC leak {high_sum}");
+        let low_sum: f64 = bank.low.iter().sum();
+        assert!(low_sum > 0.5, "low-pass DC gain must be positive");
+    }
+
+    #[test]
+    fn fir_bank_magnitudes_are_daubechies_like() {
+        // The centre taps of the classic 9/7 bank (JPEG2000 normalisation)
+        // are ~0.6029 and ~1.1151; the paper's normalisation only rescales
+        // each band, so tap *ratios* must match the classic values.
+        let bank = FirBank::daubechies_9_7();
+        let l = &bank.low;
+        let h = &bank.high;
+        let classic_low = [
+            0.026_748_757_410_810,
+            -0.016_864_118_442_874_95,
+            -0.078_223_266_528_987_85,
+            0.266_864_118_442_872_3,
+            0.602_949_018_236_357_9,
+        ];
+        let classic_high = [
+            0.091_271_763_114_249_48,
+            -0.057_543_526_228_499_57,
+            -0.591_271_763_114_247,
+            1.115_087_052_456_994,
+        ];
+        let scale_l = l[4] / classic_low[4];
+        for (i, c) in classic_low.iter().enumerate() {
+            assert!(
+                (l[i] - c * scale_l).abs() < 1e-6,
+                "low tap {i}: {} vs {}",
+                l[i],
+                c * scale_l
+            );
+        }
+        let scale_h = h[3] / classic_high[3];
+        for (i, c) in classic_high.iter().enumerate() {
+            assert!(
+                (h[i] - c * scale_h).abs() < 1e-6,
+                "high tap {i}: {} vs {}",
+                h[i],
+                c * scale_h
+            );
+        }
+    }
+
+    #[test]
+    fn integer_bank_rounds_each_tap() {
+        let bank = FirBank::daubechies_9_7();
+        let int = bank.integer_rounded();
+        for (f, i) in bank.low.iter().zip(int.low.iter()) {
+            assert_eq!(*i, (f * 256.0).round() as i32);
+        }
+        for (f, i) in bank.high.iter().zip(int.high.iter()) {
+            assert_eq!(*i, (f * 256.0).round() as i32);
+        }
+    }
+}

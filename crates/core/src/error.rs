@@ -1,0 +1,86 @@
+//! Error type shared by the fallible entry points of this crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors reported by the transform and analysis routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A signal shorter than the minimum supported by the 9/7 kernel
+    /// (two samples) was supplied.
+    SignalTooShort {
+        /// Number of samples that were provided.
+        len: usize,
+    },
+    /// The low/high band pair passed to an inverse transform has lengths
+    /// that cannot come from any forward transform.
+    MismatchedBands {
+        /// Length of the low-pass band.
+        low: usize,
+        /// Length of the high-pass band.
+        high: usize,
+    },
+    /// A 2-D operation received a grid whose dimensions do not match.
+    MismatchedDims {
+        /// Expected `(rows, cols)`.
+        expected: (usize, usize),
+        /// Actual `(rows, cols)`.
+        actual: (usize, usize),
+    },
+    /// The requested number of decomposition octaves cannot be applied to
+    /// a signal or image of the given size.
+    TooManyOctaves {
+        /// Octaves requested.
+        requested: usize,
+        /// Maximum supported for the given extent.
+        max: usize,
+    },
+    /// A grid constructor received a data vector whose length does not
+    /// equal `rows * cols`.
+    BadGridLength {
+        /// Declared rows.
+        rows: usize,
+        /// Declared columns.
+        cols: usize,
+        /// Length of the provided buffer.
+        len: usize,
+    },
+    /// A quantizer was configured with a non-positive step.
+    BadQuantizerStep,
+    /// An empty input was supplied where at least one element is required.
+    Empty,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SignalTooShort { len } => {
+                write!(f, "signal of {len} samples is too short for the 9/7 kernel")
+            }
+            Error::MismatchedBands { low, high } => write!(
+                f,
+                "band lengths (low {low}, high {high}) do not form a valid subband pair"
+            ),
+            Error::MismatchedDims { expected, actual } => write!(
+                f,
+                "grid dimensions {actual:?} do not match expected {expected:?}"
+            ),
+            Error::TooManyOctaves { requested, max } => write!(
+                f,
+                "requested {requested} octaves but at most {max} are possible"
+            ),
+            Error::BadGridLength { rows, cols, len } => write!(
+                f,
+                "buffer of {len} elements cannot form a {rows}x{cols} grid"
+            ),
+            Error::BadQuantizerStep => write!(f, "quantizer step must be positive"),
+            Error::Empty => write!(f, "input must not be empty"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,303 @@
+//! The 9/7 transform as a direct FIR filter bank (Figure 2 of the paper).
+//!
+//! This is the "classical" implementation the lifting scheme replaces:
+//! a 9-tap low-pass and 7-tap high-pass filter followed by decimation.
+//! Table 2 compares it (in floating-point and integer-rounded flavours)
+//! against the lifting implementations, and Section 4 compares the
+//! hardware cost against the filter-bank IP core of Masud & McCanny.
+//!
+//! The synthesis (inverse) bank is derived numerically from the inverse
+//! lifting kernel, so analysis-by-FIR followed by synthesis-by-FIR is
+//! perfect-reconstruction by construction and agrees exactly with the
+//! lifting path.
+
+use std::sync::OnceLock;
+
+use crate::boundary::mirror;
+use crate::coeffs::{FirBank, IntFirBank};
+use crate::error::{Error, Result};
+use crate::lifting::{inverse_f64, Subbands};
+
+/// The synthesis pair dual to the 9/7 analysis bank: a 7-tap low-band
+/// reconstruction filter and a 9-tap high-band reconstruction filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisBank {
+    /// 7-tap filter applied around each low-band sample (centre index 3).
+    pub low: [f64; 7],
+    /// 9-tap filter applied around each high-band sample (centre index 4).
+    pub high: [f64; 9],
+}
+
+impl SynthesisBank {
+    /// The synthesis bank dual to [`FirBank::daubechies_9_7`], derived by
+    /// feeding subband impulses through the inverse lifting transform.
+    #[must_use]
+    pub fn daubechies_9_7() -> &'static Self {
+        static BANK: OnceLock<SynthesisBank> = OnceLock::new();
+        BANK.get_or_init(|| {
+            const N: usize = 32;
+            // Impulse in the low band at position 8 (signal position 16).
+            let mut low_b = Subbands { low: vec![0.0; N / 2], high: vec![0.0; N / 2] };
+            low_b.low[8] = 1.0;
+            let xl = inverse_f64(&low_b).expect("valid bands");
+            let mut low = [0.0; 7];
+            for (i, tap) in low.iter_mut().enumerate() {
+                *tap = xl[16 + i - 3];
+            }
+            // Impulse in the high band at position 8 (signal position 17).
+            let mut high_b = Subbands { low: vec![0.0; N / 2], high: vec![0.0; N / 2] };
+            high_b.high[8] = 1.0;
+            let xh = inverse_f64(&high_b).expect("valid bands");
+            let mut high = [0.0; 9];
+            for (i, tap) in high.iter_mut().enumerate() {
+                *tap = xh[17 + i - 4];
+            }
+            SynthesisBank { low, high }
+        })
+    }
+}
+
+fn check_len(n: usize) -> Result<()> {
+    if n < 2 {
+        return Err(Error::SignalTooShort { len: n });
+    }
+    Ok(())
+}
+
+/// Forward 9/7 transform by direct FIR filtering and decimation
+/// ("FIR filter by floating point 9/7 Daubechies coefficients").
+///
+/// The low band is sampled at even signal positions, the high band at odd
+/// positions, matching the lifting phase so the two implementations
+/// produce identical subbands.
+///
+/// # Errors
+///
+/// Returns [`Error::SignalTooShort`] if `x` has fewer than two samples.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_core::Error> {
+/// use dwt_core::coeffs::FirBank;
+/// use dwt_core::fir::analyze_f64;
+/// use dwt_core::lifting::forward_f64;
+///
+/// let x: Vec<f64> = (0..32).map(|i| ((i * i) % 97) as f64).collect();
+/// let by_fir = analyze_f64(&x, &FirBank::daubechies_9_7())?;
+/// let by_lifting = forward_f64(&x)?;
+/// for (a, b) in by_fir.low.iter().zip(&by_lifting.low) {
+///     assert!((a - b).abs() < 1e-6);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_f64(x: &[f64], bank: &FirBank) -> Result<Subbands<f64>> {
+    let n = x.len();
+    check_len(n)?;
+    let ns = n.div_ceil(2);
+    let nd = n / 2;
+    let mut low = Vec::with_capacity(ns);
+    let mut high = Vec::with_capacity(nd);
+    for i in 0..ns {
+        let centre = 2 * i as i64;
+        let mut acc = 0.0;
+        for (j, tap) in bank.low.iter().enumerate() {
+            acc += tap * x[mirror(centre + j as i64 - 4, n)];
+        }
+        low.push(acc);
+    }
+    for i in 0..nd {
+        let centre = 2 * i as i64 + 1;
+        let mut acc = 0.0;
+        for (j, tap) in bank.high.iter().enumerate() {
+            acc += tap * x[mirror(centre + j as i64 - 3, n)];
+        }
+        high.push(acc);
+    }
+    Ok(Subbands { low, high })
+}
+
+/// Forward 9/7 transform with integer-rounded FIR coefficients and the
+/// 8-bit right-shift adjustment ("FIR filter by integer rounded 9/7
+/// Daubechies coefficients").
+///
+/// # Errors
+///
+/// Returns [`Error::SignalTooShort`] if `x` has fewer than two samples.
+pub fn analyze_i32(x: &[i32], bank: &IntFirBank) -> Result<Subbands<i32>> {
+    let n = x.len();
+    check_len(n)?;
+    let ns = n.div_ceil(2);
+    let nd = n / 2;
+    let mut low = Vec::with_capacity(ns);
+    let mut high = Vec::with_capacity(nd);
+    for i in 0..ns {
+        let centre = 2 * i as i64;
+        let mut acc: i64 = 0;
+        for (j, tap) in bank.low.iter().enumerate() {
+            acc += i64::from(*tap) * i64::from(x[mirror(centre + j as i64 - 4, n)]);
+        }
+        low.push((acc >> 8) as i32);
+    }
+    for i in 0..nd {
+        let centre = 2 * i as i64 + 1;
+        let mut acc: i64 = 0;
+        for (j, tap) in bank.high.iter().enumerate() {
+            acc += i64::from(*tap) * i64::from(x[mirror(centre + j as i64 - 3, n)]);
+        }
+        high.push((acc >> 8) as i32);
+    }
+    Ok(Subbands { low, high })
+}
+
+/// Inverse 9/7 transform by upsampling and FIR interpolation with the
+/// dual synthesis bank.
+///
+/// # Errors
+///
+/// Returns [`Error::MismatchedBands`] if the band lengths cannot come from
+/// a forward transform, or [`Error::SignalTooShort`] for fewer than two
+/// total samples.
+pub fn synthesize_f64(bands: &Subbands<f64>, bank: &SynthesisBank) -> Result<Vec<f64>> {
+    bands.check()?;
+    let n = bands.signal_len();
+    let mut out = vec![0.0; n];
+
+    // Mirrored access into the bands, at the level of original-signal
+    // indices, identical to the extension the lifting kernel applies.
+    let low_at = |i: i64| bands.low[mirror(2 * i, n) / 2];
+    let high_at = |i: i64| bands.high[(mirror(2 * i + 1, n) - 1) / 2];
+
+    let ilow = |i: i64| -> i64 { 2 * i }; // signal position of low sample i
+    let ihigh = |i: i64| -> i64 { 2 * i + 1 };
+
+    for (j, slot) in out.iter_mut().enumerate() {
+        let j = j as i64;
+        let mut acc = 0.0;
+        // Low-band contributions: taps span signal offsets -3..=3.
+        let i_min = (j - 3).div_euclid(2);
+        let i_max = (j + 3).div_euclid(2);
+        for i in i_min..=i_max {
+            let off = j - ilow(i);
+            if (-3..=3).contains(&off) {
+                acc += low_at(i) * bank.low[(off + 3) as usize];
+            }
+        }
+        // High-band contributions: taps span signal offsets -4..=4.
+        let i_min = (j - 5).div_euclid(2);
+        let i_max = (j + 4).div_euclid(2);
+        for i in i_min..=i_max {
+            let off = j - ihigh(i);
+            if (-4..=4).contains(&off) {
+                acc += high_at(i) * bank.high[(off + 4) as usize];
+            }
+        }
+        *slot = acc;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coeffs::FirBank;
+    use crate::lifting::forward_f64;
+
+    fn test_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                (t * 0.31).sin() * 60.0 + (t * 0.05).cos() * 40.0 + (i % 7) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fir_analysis_equals_lifting_analysis() {
+        let x = test_signal(64);
+        let bank = FirBank::daubechies_9_7();
+        let fir = analyze_f64(&x, &bank).unwrap();
+        let lift = forward_f64(&x).unwrap();
+        for (i, (a, b)) in fir.low.iter().zip(&lift.low).enumerate() {
+            assert!((a - b).abs() < 1e-6, "low[{i}]: {a} vs {b}");
+        }
+        for (i, (a, b)) in fir.high.iter().zip(&lift.high).enumerate() {
+            assert!((a - b).abs() < 1e-6, "high[{i}]: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fir_analysis_equals_lifting_analysis_odd_length() {
+        let x = test_signal(41);
+        let bank = FirBank::daubechies_9_7();
+        let fir = analyze_f64(&x, &bank).unwrap();
+        let lift = forward_f64(&x).unwrap();
+        for (a, b) in fir.low.iter().zip(&lift.low) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        for (a, b) in fir.high.iter().zip(&lift.high) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fir_roundtrip_is_perfect_reconstruction() {
+        for n in [2usize, 5, 8, 16, 33, 64] {
+            let x = test_signal(n);
+            let bands = analyze_f64(&x, &FirBank::daubechies_9_7()).unwrap();
+            let y = synthesize_f64(&bands, SynthesisBank::daubechies_9_7()).unwrap();
+            for (i, (a, b)) in x.iter().zip(&y).enumerate() {
+                assert!((a - b).abs() < 1e-8, "n={n} x[{i}]: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn synthesis_matches_inverse_lifting() {
+        let x = test_signal(48);
+        let bands = forward_f64(&x).unwrap();
+        let by_fir = synthesize_f64(&bands, SynthesisBank::daubechies_9_7()).unwrap();
+        let by_lift = crate::lifting::inverse_f64(&bands).unwrap();
+        for (a, b) in by_fir.iter().zip(&by_lift) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn integer_analysis_tracks_float_analysis() {
+        let xi: Vec<i32> = (0..64).map(|i| ((i * 31) % 255) - 127).collect();
+        let xf: Vec<f64> = xi.iter().map(|&v| f64::from(v)).collect();
+        let bank = FirBank::daubechies_9_7();
+        let fb = analyze_f64(&xf, &bank).unwrap();
+        let ib = analyze_i32(&xi, &bank.integer_rounded()).unwrap();
+        for (f, i) in fb.low.iter().zip(&ib.low) {
+            assert!((f - f64::from(*i)).abs() < 6.0, "{f} vs {i}");
+        }
+        for (f, i) in fb.high.iter().zip(&ib.high) {
+            assert!((f - f64::from(*i)).abs() < 6.0, "{f} vs {i}");
+        }
+    }
+
+    #[test]
+    fn short_inputs_rejected() {
+        assert!(analyze_f64(&[1.0], &FirBank::daubechies_9_7()).is_err());
+        let bank = FirBank::daubechies_9_7().integer_rounded();
+        assert!(analyze_i32(&[1], &bank).is_err());
+    }
+
+    #[test]
+    fn synthesis_bank_shape() {
+        let bank = SynthesisBank::daubechies_9_7();
+        // Symmetric filters.
+        for k in 0..3 {
+            assert!((bank.low[k] - bank.low[6 - k]).abs() < 1e-12);
+        }
+        for k in 0..4 {
+            assert!((bank.high[k] - bank.high[8 - k]).abs() < 1e-12);
+        }
+        // The low synthesis filter must have positive DC response.
+        let dc: f64 = bank.low.iter().sum();
+        assert!(dc > 0.0);
+    }
+}

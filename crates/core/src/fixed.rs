@@ -1,0 +1,300 @@
+//! Q2.8 fixed-point helpers used by the integer datapaths.
+//!
+//! The paper encodes every lifting constant as a 10-bit two's-complement
+//! value with 8 fractional bits ("Q2.8"): the stored integer is the real
+//! constant multiplied by 256 and rounded. After a constant multiplication
+//! the hardware performs an **arithmetic 8-bit right shift** — a truncation
+//! toward negative infinity, exactly what a wire-level shift of a
+//! two's-complement bus does. The helpers here mirror that behaviour so the
+//! software golden model and the netlists agree bit for bit.
+
+/// Number of fractional bits in the paper's fixed-point encoding.
+pub const FRAC_BITS: u32 = 8;
+
+/// The scale factor `2^FRAC_BITS` = 256.
+pub const SCALE: i64 = 1 << FRAC_BITS;
+
+/// A constant in Q2.8 format: two integer bits (including sign) and eight
+/// fractional bits, stored as the scaled integer `round(value * 256)`.
+///
+/// # Examples
+///
+/// ```
+/// use dwt_core::fixed::Q2x8;
+///
+/// let alpha = Q2x8::from_f64(-1.586_134_342);
+/// assert_eq!(alpha.raw(), -406);
+/// assert!((alpha.to_f64() + 1.5859375).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Q2x8(i16);
+
+impl Q2x8 {
+    /// Smallest representable raw value for a 10-bit two's-complement field.
+    pub const MIN_RAW: i16 = -512;
+    /// Largest representable raw value for a 10-bit two's-complement field.
+    pub const MAX_RAW: i16 = 511;
+
+    /// Creates a constant from its raw scaled integer (`value * 256`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` does not fit the 10-bit two's-complement field used
+    /// by the paper (−512 ..= 511).
+    #[must_use]
+    pub fn from_raw(raw: i16) -> Self {
+        assert!(
+            (Self::MIN_RAW..=Self::MAX_RAW).contains(&raw),
+            "raw Q2.8 value {raw} outside the 10-bit field"
+        );
+        Q2x8(raw)
+    }
+
+    /// Creates a constant by rounding a real value to the nearest
+    /// representable Q2.8 step (ties away from zero, like the paper's
+    /// "integer rounded" column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rounded value overflows the 10-bit field.
+    #[must_use]
+    pub fn from_f64(value: f64) -> Self {
+        let raw = (value * SCALE as f64).round();
+        assert!(
+            (Self::MIN_RAW as f64..=Self::MAX_RAW as f64).contains(&raw),
+            "value {value} does not fit Q2.8"
+        );
+        Q2x8(raw as i16)
+    }
+
+    /// Creates a constant by truncating a real value toward zero, which is
+    /// how the paper's integer column derives `-k = -314/256` even though
+    /// the nearest value would be −315/256.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the truncated value overflows the 10-bit field.
+    #[must_use]
+    pub fn from_f64_trunc(value: f64) -> Self {
+        let raw = (value * SCALE as f64).trunc();
+        assert!(
+            (Self::MIN_RAW as f64..=Self::MAX_RAW as f64).contains(&raw),
+            "value {value} does not fit Q2.8"
+        );
+        Q2x8(raw as i16)
+    }
+
+    /// The raw scaled integer (`value * 256`).
+    #[must_use]
+    pub fn raw(self) -> i16 {
+        self.0
+    }
+
+    /// The real value the constant represents.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.0) / SCALE as f64
+    }
+
+    /// Multiplies an integer sample by this constant and truncates the
+    /// result with the paper's arithmetic 8-bit right shift.
+    ///
+    /// This is the exact operation performed by every constant-multiplier
+    /// stage of Designs 1–5: a full-precision product followed by dropping
+    /// the eight fractional bits (floor division by 256).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dwt_core::fixed::Q2x8;
+    ///
+    /// let gamma = Q2x8::from_raw(226);
+    /// assert_eq!(gamma.mul_shift(100), (226 * 100) >> 8);
+    /// // Truncation is toward negative infinity, as in hardware:
+    /// assert_eq!(Q2x8::from_raw(-406).mul_shift(1), -2);
+    /// ```
+    #[must_use]
+    pub fn mul_shift(self, sample: i64) -> i64 {
+        (i64::from(self.0) * sample) >> FRAC_BITS
+    }
+
+    /// The 10-bit two's-complement bit pattern, MSB first, formatted with
+    /// the paper's "xx.xxxxxxxx" binary-point convention.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dwt_core::fixed::Q2x8;
+    ///
+    /// assert_eq!(Q2x8::from_raw(-406).to_binary_string(), "10.01101010");
+    /// assert_eq!(Q2x8::from_raw(226).to_binary_string(), "00.11100010");
+    /// ```
+    #[must_use]
+    pub fn to_binary_string(self) -> String {
+        let bits = (self.0 as i32) & 0x3ff;
+        let mut s = String::with_capacity(11);
+        for pos in (0..10).rev() {
+            if pos == 7 {
+                s.push('.');
+            }
+            s.push(if bits & (1 << pos) != 0 { '1' } else { '0' });
+        }
+        s
+    }
+
+    /// Bit positions (0 = LSB of the fractional part) that are set in the
+    /// two's-complement pattern, excluding the sign bit; paired with
+    /// whether the sign bit (weight −2^9 before scaling) is set.
+    ///
+    /// This is the decomposition Section 3.2 of the paper uses to derive
+    /// the shifted-adder structure of each constant multiplier.
+    #[must_use]
+    pub fn magnitude_bits(self) -> (Vec<u32>, bool) {
+        let bits = (self.0 as i32) & 0x3ff;
+        let sign = bits & (1 << 9) != 0;
+        let set = (0..9).filter(|&p| bits & (1 << p) != 0).collect();
+        (set, sign)
+    }
+}
+
+impl std::fmt::Display for Q2x8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/256", self.0)
+    }
+}
+
+/// Truncating arithmetic right shift by [`FRAC_BITS`], the post-multiply
+/// adjustment used throughout the integer datapaths.
+///
+/// # Examples
+///
+/// ```
+/// use dwt_core::fixed::shr8;
+///
+/// assert_eq!(shr8(256), 1);
+/// assert_eq!(shr8(-1), -1); // floor, not round-to-zero
+/// ```
+#[must_use]
+pub fn shr8(value: i64) -> i64 {
+    value >> FRAC_BITS
+}
+
+/// Number of bits of a two's-complement register able to hold every value
+/// in `min ..= max`.
+///
+/// # Examples
+///
+/// ```
+/// use dwt_core::fixed::bits_for_range;
+///
+/// assert_eq!(bits_for_range(-128, 127), 8);
+/// assert_eq!(bits_for_range(-530, 530), 11);
+/// assert_eq!(bits_for_range(0, 0), 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `min > max`.
+#[must_use]
+pub fn bits_for_range(min: i64, max: i64) -> u32 {
+    assert!(min <= max, "empty range {min}..={max}");
+    let mut bits = 1;
+    while !((-(1i64 << (bits - 1))..(1i64 << (bits - 1))).contains(&min)
+        && (-(1i64 << (bits - 1))..(1i64 << (bits - 1))).contains(&max))
+    {
+        bits += 1;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip() {
+        for raw in [-512, -406, -314, -14, 0, 114, 208, 226, 511] {
+            assert_eq!(Q2x8::from_raw(raw).raw(), raw);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 10-bit field")]
+    fn raw_overflow_panics() {
+        let _ = Q2x8::from_raw(512);
+    }
+
+    #[test]
+    fn from_f64_rounds_to_nearest() {
+        assert_eq!(Q2x8::from_f64(-1.230_174_105).raw(), -315);
+        assert_eq!(Q2x8::from_f64(0.812_893_066).raw(), 208);
+    }
+
+    #[test]
+    fn from_f64_trunc_truncates_toward_zero() {
+        assert_eq!(Q2x8::from_f64_trunc(-1.230_174_105).raw(), -314);
+        assert_eq!(Q2x8::from_f64_trunc(1.999).raw(), 511);
+    }
+
+    #[test]
+    fn binary_strings_match_table1() {
+        // Table 1 of the paper, binary representation column.
+        assert_eq!(Q2x8::from_raw(-406).to_binary_string(), "10.01101010");
+        assert_eq!(Q2x8::from_raw(-14).to_binary_string(), "11.11110010");
+        assert_eq!(Q2x8::from_raw(226).to_binary_string(), "00.11100010");
+        // Table 1 inconsistency: the integer column says delta = 114/256
+        // (the correct rounding of 0.4435*256 = 113.54) but the printed
+        // binary pattern "00.01110001" equals 113/256.
+        assert_eq!(Q2x8::from_raw(113).to_binary_string(), "00.01110001");
+        assert_eq!(Q2x8::from_raw(114).to_binary_string(), "00.01110010");
+        // Same for -k: the paper prints "10.11000101" = -315/256 next to
+        // the integer column's -314/256.
+        assert_eq!(Q2x8::from_raw(-315).to_binary_string(), "10.11000101");
+        assert_eq!(Q2x8::from_raw(208).to_binary_string(), "00.11010000");
+    }
+
+    #[test]
+    fn mul_shift_matches_floor_division() {
+        for k in [-406i16, -315, -14, 114, 208, 226] {
+            let c = Q2x8::from_raw(k);
+            for s in [-530i64, -129, -1, 0, 1, 77, 128, 529] {
+                let exact = (f64::from(k) * s as f64 / 256.0).floor() as i64;
+                assert_eq!(c.mul_shift(s), exact, "k={k} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_shift_truncates_toward_negative_infinity() {
+        let c = Q2x8::from_raw(1); // 1/256
+        assert_eq!(c.mul_shift(255), 0);
+        assert_eq!(c.mul_shift(-1), -1);
+        assert_eq!(c.mul_shift(-256), -1);
+        assert_eq!(c.mul_shift(-257), -2);
+    }
+
+    #[test]
+    fn magnitude_bits_of_alpha() {
+        // alpha = 10.01101010 -> sign set, magnitude bits 1,3,5,6
+        let (bits, sign) = Q2x8::from_raw(-406).magnitude_bits();
+        assert!(sign);
+        assert_eq!(bits, vec![1, 3, 5, 6]);
+    }
+
+    #[test]
+    fn bits_for_range_paper_values() {
+        // The seven register classes of Section 3.1.
+        assert_eq!(bits_for_range(-128, 127), 8);
+        assert_eq!(bits_for_range(-530, 530), 11);
+        assert_eq!(bits_for_range(-184, 184), 9);
+        assert_eq!(bits_for_range(-205, 205), 9);
+        assert_eq!(bits_for_range(-366, 366), 10);
+        assert_eq!(bits_for_range(-298, 298), 10);
+        assert_eq!(bits_for_range(-252, 252), 9);
+    }
+
+    #[test]
+    fn display_shows_ratio() {
+        assert_eq!(Q2x8::from_raw(-406).to_string(), "-406/256");
+    }
+}

@@ -1,0 +1,257 @@
+//! A minimal dense 2-D container used by the 2-D transform and the
+//! imaging crate.
+
+use crate::error::{Error, Result};
+
+/// A dense row-major 2-D grid.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_core::Error> {
+/// use dwt_core::grid::Grid;
+///
+/// let mut g = Grid::filled(2, 3, 0i32);
+/// g[(1, 2)] = 7;
+/// assert_eq!(g.rows(), 2);
+/// assert_eq!(g.cols(), 3);
+/// assert_eq!(g[(1, 2)], 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Grid<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone> Grid<T> {
+    /// Creates a grid filled with copies of `value`.
+    #[must_use]
+    pub fn filled(rows: usize, cols: usize, value: T) -> Self {
+        Grid { rows, cols, data: vec![value; rows * cols] }
+    }
+}
+
+impl<T> Grid<T> {
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadGridLength`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::BadGridLength { rows, cols, len: data.len() });
+        }
+        Ok(Grid { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the grid holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the row-major backing buffer.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable borrow of the row-major backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the grid, returning its backing buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Borrow of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[T] {
+        assert!(r < self.rows, "row {r} out of {}", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        assert!(r < self.rows, "row {r} out of {}", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over all elements in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Mutable iterator over all elements in row-major order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+}
+
+impl<T: Copy> Grid<T> {
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    #[must_use]
+    pub fn column(&self, c: usize) -> Vec<T> {
+        assert!(c < self.cols, "column {c} out of {}", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Writes `values` into column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols` or `values.len() != rows`.
+    pub fn set_column(&mut self, c: usize, values: &[T]) {
+        assert!(c < self.cols, "column {c} out of {}", self.cols);
+        assert_eq!(values.len(), self.rows, "column length mismatch");
+        for (r, &v) in values.iter().enumerate() {
+            self.data[r * self.cols + c] = v;
+        }
+    }
+
+    /// Maps every element, producing a grid of a new type.
+    #[must_use]
+    pub fn map<U, F: FnMut(T) -> U>(&self, mut f: F) -> Grid<U> {
+        Grid {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Extracts the sub-grid `[0..rows) x [0..cols)` from the top-left
+    /// corner (used to address the LL quadrant between octaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested region exceeds the grid.
+    #[must_use]
+    pub fn top_left(&self, rows: usize, cols: usize) -> Grid<T> {
+        assert!(rows <= self.rows && cols <= self.cols, "region too large");
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            data.extend_from_slice(&self.row(r)[..cols]);
+        }
+        Grid { rows, cols, data }
+    }
+
+    /// Writes `sub` into the top-left corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub` exceeds the grid.
+    pub fn set_top_left(&mut self, sub: &Grid<T>) {
+        assert!(sub.rows <= self.rows && sub.cols <= self.cols, "region too large");
+        for r in 0..sub.rows {
+            let dst = r * self.cols;
+            self.data[dst..dst + sub.cols].copy_from_slice(sub.row(r));
+        }
+    }
+}
+
+impl<T> std::ops::Index<(usize, usize)> for Grid<T> {
+    type Output = T;
+
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T> std::ops::IndexMut<(usize, usize)> for Grid<T> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let g = Grid::from_vec(2, 3, vec![1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(g[(0, 0)], 1);
+        assert_eq!(g[(1, 2)], 6);
+        assert_eq!(g.row(1), &[4, 5, 6]);
+        assert_eq!(g.column(1), vec![2, 5]);
+        assert_eq!(g.dims(), (2, 3));
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let e = Grid::from_vec(2, 3, vec![1, 2]).unwrap_err();
+        assert_eq!(e, Error::BadGridLength { rows: 2, cols: 3, len: 2 });
+    }
+
+    #[test]
+    fn set_column_roundtrip() {
+        let mut g = Grid::filled(3, 3, 0);
+        g.set_column(2, &[7, 8, 9]);
+        assert_eq!(g.column(2), vec![7, 8, 9]);
+        assert_eq!(g[(1, 2)], 8);
+    }
+
+    #[test]
+    fn top_left_roundtrip() {
+        let g = Grid::from_vec(4, 4, (0..16).collect()).unwrap();
+        let tl = g.top_left(2, 2);
+        assert_eq!(tl.as_slice(), &[0, 1, 4, 5]);
+        let mut h = Grid::filled(4, 4, -1);
+        h.set_top_left(&tl);
+        assert_eq!(h[(0, 1)], 1);
+        assert_eq!(h[(1, 0)], 4);
+        assert_eq!(h[(2, 2)], -1);
+    }
+
+    #[test]
+    fn map_changes_type() {
+        let g = Grid::from_vec(2, 2, vec![1i32, 2, 3, 4]).unwrap();
+        let f = g.map(f64::from);
+        assert!((f[(1, 1)] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let g = Grid::filled(2, 2, 0);
+        let _ = g[(2, 0)];
+    }
+}

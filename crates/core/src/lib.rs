@@ -1,0 +1,79 @@
+//! # dwt-core
+//!
+//! Algorithmic core of the reproduction of *"Area and Throughput
+//! Trade-Offs in the Design of Pipelined Discrete Wavelet Transform
+//! Architectures"* (Silva & Bampi, DATE 2005): the irreversible 9/7
+//! discrete wavelet transform of JPEG2000, in every arithmetic flavour
+//! the paper compares, plus the supporting analyses its architecture
+//! sections rely on.
+//!
+//! ## What is here
+//!
+//! * [`coeffs`] — the 9/7 Daubechies FIR bank and the lifting
+//!   factorisation constants, in floating point and in the paper's Q2.8
+//!   integer encoding (Table 1).
+//! * [`lifting`] — the lifting transform of Figure 3: floating point and
+//!   integer (with the 8-bit right-shift truncation of Section 3.1),
+//!   forward, inverse, and fully traced variants.
+//! * [`lifting53`] — the reversible integer 5/3 transform (lossless
+//!   JPEG2000 path, an extension toward the paper's reference \[6\]).
+//! * [`fir`] — the direct filter-bank implementation of Figure 2.
+//! * [`transform1d`] / [`transform2d`] — multi-octave decompositions over
+//!   pluggable kernels (Figure 1).
+//! * [`memory`] — the Figure 4 system model: frame memory + memory
+//!   control sequencing a pipelined 1-D datapath.
+//! * [`bitwidth`] — the register sizing analysis of Section 3.1.
+//! * [`quant`] / [`metrics`] — the quantizer and PSNR measurement of
+//!   Figure 6 (Table 2).
+//!
+//! ## Quick start
+//!
+//! ```
+//! # fn main() -> Result<(), dwt_core::Error> {
+//! use dwt_core::grid::Grid;
+//! use dwt_core::lifting::IntLifting;
+//! use dwt_core::transform1d::LiftingF64Kernel;
+//! use dwt_core::transform2d::{forward_2d, inverse_2d};
+//!
+//! // An 8-bit test image.
+//! let image = Grid::from_vec(16, 16, (0..256).map(|v| v % 128).collect())?;
+//!
+//! // Three-octave integer 2-D DWT, exactly as the paper's hardware
+//! // computes it, then reconstruct and compare.
+//! let dec = forward_2d(&image, 3, &IntLifting::default())?;
+//! let back = inverse_2d(&dec, &IntLifting::default())?;
+//! let worst = image
+//!     .iter()
+//!     .zip(back.iter())
+//!     .map(|(a, b)| (a - b).abs())
+//!     .max()
+//!     .unwrap_or(0);
+//! assert!(worst < 16); // bounded fixed-point error
+//!
+//! // The floating-point path is perfect-reconstruction.
+//! let dec = forward_2d(&image.map(f64::from), 3, &LiftingF64Kernel)?;
+//! let back = inverse_2d(&dec, &LiftingF64Kernel)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod bitwidth;
+pub mod boundary;
+pub mod coeffs;
+mod error;
+pub mod fir;
+pub mod fixed;
+pub mod grid;
+pub mod lifting;
+pub mod lifting53;
+pub mod memory;
+pub mod metrics;
+pub mod quant;
+pub mod transform1d;
+pub mod transform2d;
+
+pub use error::{Error, Result};

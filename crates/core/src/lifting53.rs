@@ -1,0 +1,213 @@
+//! The reversible 5/3 (LeGall) lifting transform.
+//!
+//! JPEG2000 pairs the irreversible 9/7 transform the paper implements
+//! with a reversible integer 5/3 transform for lossless coding; the
+//! paper's reference \[6\] (Dillen et al.) builds a combined 5/3 + 9/7
+//! architecture. This module provides the 5/3 so the combined design
+//! space can be explored:
+//!
+//! ```text
+//! d[n] = x[2n+1] − ⌊(x[2n] + x[2n+2]) / 2⌋
+//! s[n] = x[2n]   + ⌊(d[n−1] + d[n] + 2) / 4⌋
+//! ```
+//!
+//! Both steps are exactly invertible over the integers, so forward +
+//! inverse is lossless for *any* input — a stronger property than the
+//! 9/7's bounded error, pinned by the tests below.
+
+
+// Index-based loops mirror the paper's per-sample recurrences and read
+// neighbouring elements; iterator forms would obscure them.
+#![allow(clippy::needless_range_loop)]
+use crate::boundary::mirror;
+use crate::error::{Error, Result};
+use crate::lifting::Subbands;
+use crate::transform1d::OctaveKernel;
+
+fn check_len(n: usize) -> Result<()> {
+    if n < 2 {
+        return Err(Error::SignalTooShort { len: n });
+    }
+    Ok(())
+}
+
+fn s_at(s: &[i64], i: i64, n: usize) -> i64 {
+    s[mirror(2 * i, n) / 2]
+}
+
+fn d_at(d: &[i64], i: i64, n: usize) -> i64 {
+    d[(mirror(2 * i + 1, n) - 1) / 2]
+}
+
+/// Forward reversible 5/3 transform of one octave.
+///
+/// # Errors
+///
+/// Returns [`Error::SignalTooShort`] if `x` has fewer than two samples.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_core::Error> {
+/// use dwt_core::lifting53::{forward_53, inverse_53};
+///
+/// let x: Vec<i32> = (0..16).map(|i| (i * i) % 97).collect();
+/// let bands = forward_53(&x)?;
+/// assert_eq!(inverse_53(&bands)?, x); // losslessly reversible
+/// # Ok(())
+/// # }
+/// ```
+pub fn forward_53(x: &[i32]) -> Result<Subbands<i32>> {
+    let n = x.len();
+    check_len(n)?;
+    let wide: Vec<i64> = x.iter().map(|&v| i64::from(v)).collect();
+    let mut s: Vec<i64> = wide.iter().copied().step_by(2).collect();
+    let d0: Vec<i64> = wide.iter().copied().skip(1).step_by(2).collect();
+    let (ns, nd) = (s.len(), d0.len());
+
+    let mut d = d0;
+    for i in 0..nd {
+        let pair = s_at(&s, i as i64, n) + s_at(&s, i as i64 + 1, n);
+        d[i] -= pair >> 1; // floor division by 2
+    }
+    for i in 0..ns {
+        let pair = d_at(&d, i as i64 - 1, n) + d_at(&d, i as i64, n);
+        s[i] += (pair + 2) >> 2; // floor((d+d'+2)/4)
+    }
+    Ok(Subbands {
+        low: s.iter().map(|&v| v as i32).collect(),
+        high: d.iter().map(|&v| v as i32).collect(),
+    })
+}
+
+/// Inverse reversible 5/3 transform — the exact inverse of
+/// [`forward_53`] for every integer input.
+///
+/// # Errors
+///
+/// Returns [`Error::MismatchedBands`] / [`Error::SignalTooShort`] for
+/// invalid band pairs.
+pub fn inverse_53(bands: &Subbands<i32>) -> Result<Vec<i32>> {
+    bands.check()?;
+    let n = bands.signal_len();
+    let mut s: Vec<i64> = bands.low.iter().map(|&v| i64::from(v)).collect();
+    let mut d: Vec<i64> = bands.high.iter().map(|&v| i64::from(v)).collect();
+    let (ns, nd) = (s.len(), d.len());
+
+    for i in 0..ns {
+        let pair = d_at(&d, i as i64 - 1, n) + d_at(&d, i as i64, n);
+        s[i] -= (pair + 2) >> 2;
+    }
+    for i in 0..nd {
+        let pair = s_at(&s, i as i64, n) + s_at(&s, i as i64 + 1, n);
+        d[i] += pair >> 1;
+    }
+    let mut out = vec![0i32; n];
+    for (i, &v) in s.iter().enumerate() {
+        out[2 * i] = v as i32;
+    }
+    for (i, &v) in d.iter().enumerate() {
+        out[2 * i + 1] = v as i32;
+    }
+    Ok(out)
+}
+
+/// The 5/3 transform as an [`OctaveKernel`], so the multi-octave 1-D and
+/// 2-D engines (and therefore lossless compression pipelines) work with
+/// it directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lifting53Kernel;
+
+impl OctaveKernel<i32> for Lifting53Kernel {
+    fn forward(&self, x: &[i32]) -> Result<Subbands<i32>> {
+        forward_53(x)
+    }
+
+    fn inverse(&self, bands: &Subbands<i32>) -> Result<Vec<i32>> {
+        inverse_53(bands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform1d::{decompose, reconstruct};
+    use crate::transform2d::{forward_2d, inverse_2d};
+
+    fn signal(n: usize, seed: i32) -> Vec<i32> {
+        (0..n as i32)
+            .map(|i| ((i * (31 + seed) + seed * seed) % 255) - 128)
+            .collect()
+    }
+
+    #[test]
+    fn lossless_for_even_and_odd_lengths() {
+        for n in [2usize, 3, 5, 16, 33, 100, 255] {
+            for seed in 0..4 {
+                let x = signal(n, seed);
+                let bands = forward_53(&x).unwrap();
+                assert_eq!(inverse_53(&bands).unwrap(), x, "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_on_extreme_values() {
+        let x = vec![-128, 127, -128, 127, 0, -1, 1, 127];
+        let bands = forward_53(&x).unwrap();
+        assert_eq!(inverse_53(&bands).unwrap(), x);
+    }
+
+    #[test]
+    fn constant_signal_has_zero_details() {
+        let x = vec![55; 20];
+        let bands = forward_53(&x).unwrap();
+        assert!(bands.high.iter().all(|&v| v == 0));
+        assert!(bands.low.iter().all(|&v| v == 55));
+    }
+
+    #[test]
+    fn linear_ramp_details_vanish_in_interior() {
+        let x: Vec<i32> = (0..40).collect();
+        let bands = forward_53(&x).unwrap();
+        for (i, &v) in bands.high.iter().enumerate().take(18).skip(1) {
+            assert_eq!(v, 0, "high[{i}]");
+        }
+    }
+
+    #[test]
+    fn multi_octave_is_lossless() {
+        let x = signal(128, 7);
+        let pyr = decompose(&x, 5, &Lifting53Kernel).unwrap();
+        assert_eq!(reconstruct(&pyr, &Lifting53Kernel).unwrap(), x);
+    }
+
+    #[test]
+    fn two_d_is_lossless() {
+        let data = signal(32 * 24, 3);
+        let img = crate::grid::Grid::from_vec(32, 24, data).unwrap();
+        let dec = forward_2d(&img, 3, &Lifting53Kernel).unwrap();
+        let back = inverse_2d(&dec, &Lifting53Kernel).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert!(forward_53(&[1]).is_err());
+    }
+
+    #[test]
+    fn detail_range_growth_is_one_bit() {
+        // 5/3 detail coefficients of 8-bit input fit 9 bits.
+        for seed in 0..8 {
+            let x = signal(200, seed);
+            let bands = forward_53(&x).unwrap();
+            for &v in &bands.high {
+                assert!((-256..=255).contains(&v), "{v}");
+            }
+            for &v in &bands.low {
+                assert!((-256..=255).contains(&v), "{v}");
+            }
+        }
+    }
+}

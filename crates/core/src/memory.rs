@@ -1,0 +1,304 @@
+//! The 2-D DWT system of Figure 4: frame memory + memory control + 1-D
+//! DWT datapath.
+//!
+//! "The input image samples are stored in memory, so the memory size
+//! needs to be as large as the image size. In the main step, the memory
+//! control addresses the coefficients of band to 1D-DWT and addresses the
+//! transformed coefficients back to the memory." This module models that
+//! system: a word-addressed frame memory with access accounting, and a
+//! controller that sequences row and column passes over the shrinking LL
+//! region for every octave, charging cycles for a pipelined 1-D datapath
+//! that accepts one sample pair per cycle after a fixed latency.
+
+use crate::error::{Error, Result};
+use crate::grid::Grid;
+use crate::transform1d::OctaveKernel;
+
+/// A frame memory holding the image being transformed, with read/write
+/// accounting so memory-bandwidth trade-offs can be inspected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameMemory {
+    grid: Grid<i32>,
+    reads: u64,
+    writes: u64,
+}
+
+impl FrameMemory {
+    /// Loads an image into the memory.
+    #[must_use]
+    pub fn new(image: Grid<i32>) -> Self {
+        FrameMemory { grid: image, reads: 0, writes: 0 }
+    }
+
+    /// Reads one word, counting the access.
+    pub fn read(&mut self, r: usize, c: usize) -> i32 {
+        self.reads += 1;
+        self.grid[(r, c)]
+    }
+
+    /// Writes one word, counting the access.
+    pub fn write(&mut self, r: usize, c: usize, value: i32) {
+        self.writes += 1;
+        self.grid[(r, c)] = value;
+    }
+
+    /// Number of read accesses so far.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write accesses so far.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Borrow of the current contents.
+    #[must_use]
+    pub fn contents(&self) -> &Grid<i32> {
+        &self.grid
+    }
+
+    /// Consumes the memory, returning the transformed coefficients.
+    #[must_use]
+    pub fn into_contents(self) -> Grid<i32> {
+        self.grid
+    }
+}
+
+/// Cycle and bandwidth statistics of one full multi-octave transform.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransformStats {
+    /// Memory reads issued.
+    pub reads: u64,
+    /// Memory writes issued.
+    pub writes: u64,
+    /// Datapath cycles charged per octave.
+    pub cycles_per_octave: Vec<u64>,
+}
+
+impl TransformStats {
+    /// Total datapath cycles across all octaves.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles_per_octave.iter().sum()
+    }
+
+    /// Throughput in input samples per cycle for the given image size.
+    #[must_use]
+    pub fn samples_per_cycle(&self, rows: usize, cols: usize) -> f64 {
+        (rows * cols) as f64 / self.total_cycles() as f64
+    }
+}
+
+/// The memory controller of Figure 4.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_core::Error> {
+/// use dwt_core::grid::Grid;
+/// use dwt_core::lifting::IntLifting;
+/// use dwt_core::memory::{FrameMemory, MemoryController};
+///
+/// let image = Grid::from_vec(8, 8, (0..64).map(|v| v % 128).collect())?;
+/// let mut mem = FrameMemory::new(image);
+/// let ctrl = MemoryController::new(2, 8);
+/// let stats = ctrl.run(&mut mem, &IntLifting::default())?;
+/// assert_eq!(stats.cycles_per_octave.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryController {
+    octaves: usize,
+    /// Pipeline latency of the attached 1-D datapath, in cycles.
+    datapath_latency: u64,
+}
+
+impl MemoryController {
+    /// Creates a controller for the given octave count and 1-D datapath
+    /// pipeline latency (8 for Designs 1/2/4, 21 for Designs 3/5).
+    #[must_use]
+    pub fn new(octaves: usize, datapath_latency: u64) -> Self {
+        MemoryController { octaves, datapath_latency }
+    }
+
+    /// Number of octaves the controller sequences.
+    #[must_use]
+    pub fn octaves(&self) -> usize {
+        self.octaves
+    }
+
+    /// Runs the full transform: for every octave, a row pass then a
+    /// column pass over the current LL region, writing subbands back in
+    /// Mallat order. Any [`OctaveKernel`] serves as the datapath — the
+    /// 9/7 of the paper or the reversible 5/3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooManyOctaves`] if the image is too small for
+    /// the configured octave count, or propagates kernel errors.
+    pub fn run<K: OctaveKernel<i32>>(
+        &self,
+        mem: &mut FrameMemory,
+        kernel: &K,
+    ) -> Result<TransformStats> {
+        let (rows, cols) = mem.contents().dims();
+        let max = crate::transform2d::max_octaves_2d(rows, cols);
+        if self.octaves > max {
+            return Err(Error::TooManyOctaves { requested: self.octaves, max });
+        }
+
+        let mut stats = TransformStats::default();
+        let (mut r, mut c) = (rows, cols);
+        for _ in 0..self.octaves {
+            let mut cycles = 0u64;
+
+            // Row pass: the controller streams one line at a time into the
+            // 1-D datapath (one sample pair per cycle) and writes the two
+            // subbands back.
+            for row in 0..r {
+                let line: Vec<i32> = (0..c).map(|col| mem.read(row, col)).collect();
+                let bands = kernel.forward(&line)?;
+                for (i, &v) in bands.low.iter().enumerate() {
+                    mem.write(row, i, v);
+                }
+                let off = bands.low.len();
+                for (i, &v) in bands.high.iter().enumerate() {
+                    mem.write(row, off + i, v);
+                }
+                cycles += (c as u64).div_ceil(2) + self.datapath_latency;
+            }
+
+            // Column pass.
+            for col in 0..c {
+                let line: Vec<i32> = (0..r).map(|row| mem.read(row, col)).collect();
+                let bands = kernel.forward(&line)?;
+                for (i, &v) in bands.low.iter().enumerate() {
+                    mem.write(i, col, v);
+                }
+                let off = bands.low.len();
+                for (i, &v) in bands.high.iter().enumerate() {
+                    mem.write(off + i, col, v);
+                }
+                cycles += (r as u64).div_ceil(2) + self.datapath_latency;
+            }
+
+            stats.cycles_per_octave.push(cycles);
+            r = r.div_ceil(2);
+            c = c.div_ceil(2);
+        }
+        stats.reads = mem.reads();
+        stats.writes = mem.writes();
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifting::IntLifting;
+    use crate::transform2d::forward_2d;
+
+    fn image(rows: usize, cols: usize) -> Grid<i32> {
+        Grid::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|i| ((i * 31) % 255) as i32 - 127)
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn controller_matches_direct_2d_transform() {
+        let img = image(16, 16);
+        let kernel = IntLifting::default();
+        let mut mem = FrameMemory::new(img.clone());
+        MemoryController::new(2, 8).run(&mut mem, &kernel).unwrap();
+        let direct = forward_2d(&img, 2, &kernel).unwrap();
+        assert_eq!(mem.contents(), &direct.coeffs);
+    }
+
+    #[test]
+    fn access_counts_are_exact() {
+        // Per octave over an R x C region: R*C reads + R*C writes for the
+        // row pass, same for the column pass.
+        let img = image(8, 8);
+        let mut mem = FrameMemory::new(img);
+        let stats = MemoryController::new(1, 8)
+            .run(&mut mem, &IntLifting::default())
+            .unwrap();
+        assert_eq!(stats.reads, 2 * 64);
+        assert_eq!(stats.writes, 2 * 64);
+    }
+
+    #[test]
+    fn second_octave_touches_quarter_region() {
+        let img = image(8, 8);
+        let mut mem = FrameMemory::new(img);
+        let stats = MemoryController::new(2, 8)
+            .run(&mut mem, &IntLifting::default())
+            .unwrap();
+        assert_eq!(stats.reads, 2 * 64 + 2 * 16);
+    }
+
+    #[test]
+    fn cycle_model_charges_latency_per_line() {
+        let img = image(8, 8);
+        let mut mem = FrameMemory::new(img);
+        let lat = 21;
+        let stats = MemoryController::new(1, lat)
+            .run(&mut mem, &IntLifting::default())
+            .unwrap();
+        // 8 rows + 8 cols, each 4 pair-cycles + latency.
+        assert_eq!(stats.cycles_per_octave[0], 16 * (4 + lat));
+        assert_eq!(stats.total_cycles(), 16 * (4 + lat));
+    }
+
+    #[test]
+    fn deeper_pipeline_costs_more_cycles_per_line() {
+        let run = |lat| {
+            let mut mem = FrameMemory::new(image(16, 16));
+            MemoryController::new(3, lat)
+                .run(&mut mem, &IntLifting::default())
+                .unwrap()
+                .total_cycles()
+        };
+        assert!(run(21) > run(8));
+    }
+
+    #[test]
+    fn too_many_octaves_rejected() {
+        let mut mem = FrameMemory::new(image(4, 4));
+        let e = MemoryController::new(5, 8)
+            .run(&mut mem, &IntLifting::default())
+            .unwrap_err();
+        assert_eq!(e, Error::TooManyOctaves { requested: 5, max: 2 });
+    }
+
+    #[test]
+    fn runs_the_5_3_kernel_too() {
+        use crate::lifting53::Lifting53Kernel;
+        let img = image(16, 16);
+        let mut mem = FrameMemory::new(img.clone());
+        MemoryController::new(2, 3)
+            .run(&mut mem, &Lifting53Kernel)
+            .unwrap();
+        let direct = forward_2d(&img, 2, &Lifting53Kernel).unwrap();
+        assert_eq!(mem.contents(), &direct.coeffs);
+    }
+
+    #[test]
+    fn samples_per_cycle_sane() {
+        let mut mem = FrameMemory::new(image(32, 32));
+        let stats = MemoryController::new(1, 8)
+            .run(&mut mem, &IntLifting::default())
+            .unwrap();
+        let thr = stats.samples_per_cycle(32, 32);
+        assert!(thr > 0.4 && thr < 1.1, "throughput {thr}");
+    }
+}

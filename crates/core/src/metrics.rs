@@ -1,0 +1,126 @@
+//! Image-quality metrics: mean squared error and PSNR (Figure 6).
+
+use crate::error::{Error, Result};
+
+/// Mean squared error between two equally sized sample sets.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for empty inputs and
+/// [`Error::MismatchedDims`] when lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_core::Error> {
+/// use dwt_core::metrics::mse;
+///
+/// assert_eq!(mse(&[0.0, 0.0], &[3.0, 4.0])?, 12.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mse(reference: &[f64], reconstructed: &[f64]) -> Result<f64> {
+    if reference.is_empty() {
+        return Err(Error::Empty);
+    }
+    if reference.len() != reconstructed.len() {
+        return Err(Error::MismatchedDims {
+            expected: (1, reference.len()),
+            actual: (1, reconstructed.len()),
+        });
+    }
+    let sum: f64 = reference
+        .iter()
+        .zip(reconstructed)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    Ok(sum / reference.len() as f64)
+}
+
+/// Peak signal-to-noise ratio in decibels, `PSNR = -10 log10(MSE / S²)`
+/// exactly as defined in Figure 6 of the paper.
+///
+/// `peak` is the maximum representable sample magnitude `S` (255 for
+/// 8-bit imagery). Returns `f64::INFINITY` when the inputs are identical.
+///
+/// # Errors
+///
+/// Propagates the errors of [`mse`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_core::Error> {
+/// use dwt_core::metrics::psnr;
+///
+/// let p = psnr(&[10.0, 20.0], &[11.0, 20.0], 255.0)?;
+/// assert!((p - 51.1411).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn psnr(reference: &[f64], reconstructed: &[f64], peak: f64) -> Result<f64> {
+    let e = mse(reference, reconstructed)?;
+    if e == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(-10.0 * (e / (peak * peak)).log10())
+}
+
+/// PSNR between two integer sample sets (convenience wrapper).
+///
+/// # Errors
+///
+/// Propagates the errors of [`psnr`].
+pub fn psnr_i32(reference: &[i32], reconstructed: &[i32], peak: f64) -> Result<f64> {
+    let a: Vec<f64> = reference.iter().map(|&v| f64::from(v)).collect();
+    let b: Vec<f64> = reconstructed.iter().map(|&v| f64::from(v)).collect();
+    psnr(&a, &b, peak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&x, &x).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn psnr_of_identical_is_infinite() {
+        let x = [5.0, 6.0];
+        assert!(psnr(&x, &x, 255.0).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // MSE 1 on 8-bit scale: PSNR = 10 log10(255^2) = 48.1308 dB.
+        let a = [0.0; 100];
+        let b = [1.0; 100];
+        let p = psnr(&a, &b, 255.0).unwrap();
+        assert!((p - 48.1308).abs() < 1e-3, "{p}");
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(mse(&[], &[]).unwrap_err(), Error::Empty);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(mse(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn integer_wrapper_agrees() {
+        let a = [0i32, 10, 20];
+        let b = [1i32, 10, 22];
+        let fa: Vec<f64> = a.iter().map(|&v| f64::from(v)).collect();
+        let fb: Vec<f64> = b.iter().map(|&v| f64::from(v)).collect();
+        assert_eq!(
+            psnr_i32(&a, &b, 255.0).unwrap(),
+            psnr(&fa, &fb, 255.0).unwrap()
+        );
+    }
+}

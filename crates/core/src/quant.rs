@@ -1,0 +1,150 @@
+//! Scalar deadzone quantizer.
+//!
+//! In JPEG2000 (and in the paper's Figure 6 measurement) the transformed
+//! coefficients are quantized before entropy coding; the paper's argument
+//! that integer-rounded lifting constants are acceptable rests on the
+//! rounding noise being far below the quantization noise. This module
+//! provides the uniform deadzone quantizer used by the Table 2 harness.
+
+use crate::error::{Error, Result};
+
+/// A uniform scalar quantizer with a double-width deadzone around zero,
+/// the quantizer family used by irreversible JPEG2000.
+///
+/// Quantization maps `c` to `sign(c) * floor(|c| / step)`; dequantization
+/// reconstructs at `sign(q) * (|q| + 1/2) * step` (midpoint
+/// reconstruction), with exact zero for `q = 0`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_core::Error> {
+/// use dwt_core::quant::Quantizer;
+///
+/// let q = Quantizer::new(4.0)?;
+/// assert_eq!(q.quantize(9.7), 2);
+/// assert_eq!(q.quantize(-9.7), -2);
+/// assert_eq!(q.quantize(3.9), 0);
+/// assert!((q.dequantize(2) - 10.0).abs() < 1e-12);
+/// assert_eq!(q.dequantize(0), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    step: f64,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with the given step size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadQuantizerStep`] unless `step` is finite and
+    /// strictly positive.
+    pub fn new(step: f64) -> Result<Self> {
+        if !(step.is_finite() && step > 0.0) {
+            return Err(Error::BadQuantizerStep);
+        }
+        Ok(Quantizer { step })
+    }
+
+    /// The configured step size.
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Quantizes one coefficient.
+    #[must_use]
+    pub fn quantize(&self, c: f64) -> i64 {
+        let q = (c.abs() / self.step).floor() as i64;
+        if c < 0.0 {
+            -q
+        } else {
+            q
+        }
+    }
+
+    /// Reconstructs one coefficient from its index.
+    #[must_use]
+    pub fn dequantize(&self, q: i64) -> f64 {
+        if q == 0 {
+            0.0
+        } else {
+            let mag = (q.unsigned_abs() as f64 + 0.5) * self.step;
+            if q < 0 {
+                -mag
+            } else {
+                mag
+            }
+        }
+    }
+
+    /// Quantizes and immediately reconstructs a coefficient — the
+    /// end-to-end distortion a coefficient suffers in the pipeline.
+    #[must_use]
+    pub fn roundtrip(&self, c: f64) -> f64 {
+        self.dequantize(self.quantize(c))
+    }
+
+    /// Applies [`Quantizer::roundtrip`] to a whole slice, in place.
+    pub fn roundtrip_slice(&self, coeffs: &mut [f64]) {
+        for c in coeffs {
+            *c = self.roundtrip(*c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_steps() {
+        assert!(Quantizer::new(0.0).is_err());
+        assert!(Quantizer::new(-1.0).is_err());
+        assert!(Quantizer::new(f64::NAN).is_err());
+        assert!(Quantizer::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn deadzone_is_double_width() {
+        let q = Quantizer::new(2.0).unwrap();
+        // |c| < 2 -> 0 on both sides: total deadzone width 4 = 2 steps.
+        assert_eq!(q.quantize(1.99), 0);
+        assert_eq!(q.quantize(-1.99), 0);
+        assert_eq!(q.quantize(2.0), 1);
+        assert_eq!(q.quantize(-2.0), -1);
+    }
+
+    #[test]
+    fn quantization_is_odd_symmetric() {
+        let q = Quantizer::new(3.0).unwrap();
+        for c in [0.1, 2.9, 3.0, 7.7, 100.0] {
+            assert_eq!(q.quantize(-c), -q.quantize(c));
+            assert!((q.roundtrip(-c) + q.roundtrip(c)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_step() {
+        let q = Quantizer::new(4.0).unwrap();
+        for i in -1000..1000 {
+            let c = i as f64 * 0.37;
+            let e = (q.roundtrip(c) - c).abs();
+            assert!(e <= 4.0, "c={c} err={e}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_slice_matches_elementwise() {
+        let q = Quantizer::new(1.5).unwrap();
+        let src = [0.2, -7.3, 42.0, -0.9];
+        let mut dst = src;
+        q.roundtrip_slice(&mut dst);
+        for (s, d) in src.iter().zip(&dst) {
+            assert_eq!(*d, q.roundtrip(*s));
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Multi-octave 1-D decomposition built on pluggable octave kernels.
+//!
+//! "In a 1D-DWT each octave computes two sub-bands from one original band"
+//! (Section 2). The [`OctaveKernel`] trait abstracts over the four
+//! arithmetic variants of Table 2 so the multi-resolution recursion and
+//! the 2-D engine are written once.
+
+use crate::coeffs::{FirBank, IntFirBank};
+use crate::error::{Error, Result};
+use crate::fir;
+use crate::lifting::{self, IntLifting, Subbands};
+
+/// One analysis/synthesis octave over a sample type `T`.
+///
+/// Implementations must be inverses of one another up to their inherent
+/// arithmetic error (exact for floating point, bounded for integer).
+pub trait OctaveKernel<T: Copy + Default> {
+    /// Splits a signal into one low/high band pair.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`Error::SignalTooShort`] for signals of
+    /// fewer than two samples.
+    fn forward(&self, x: &[T]) -> Result<Subbands<T>>;
+
+    /// Reconstructs a signal from one band pair.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`Error::MismatchedBands`] when the band
+    /// lengths cannot come from a forward transform.
+    fn inverse(&self, bands: &Subbands<T>) -> Result<Vec<T>>;
+}
+
+/// Floating-point lifting kernel (Figure 3 with real constants).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiftingF64Kernel;
+
+impl OctaveKernel<f64> for LiftingF64Kernel {
+    fn forward(&self, x: &[f64]) -> Result<Subbands<f64>> {
+        lifting::forward_f64(x)
+    }
+
+    fn inverse(&self, bands: &Subbands<f64>) -> Result<Vec<f64>> {
+        lifting::inverse_f64(bands)
+    }
+}
+
+/// Floating-point direct FIR kernel (Figure 2 with real taps).
+///
+/// Synthesis always uses the ideal dual bank; when constructed
+/// [`FirF64Kernel::with_bank`] with perturbed analysis taps, the
+/// resulting analysis/synthesis mismatch *is* the error under study
+/// (Table 2's "integer rounded" FIR row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirF64Kernel {
+    bank: FirBank,
+}
+
+impl FirF64Kernel {
+    /// Creates the kernel with the standard 9/7 bank.
+    #[must_use]
+    pub fn new() -> Self {
+        FirF64Kernel { bank: FirBank::daubechies_9_7() }
+    }
+
+    /// Creates the kernel with custom analysis taps.
+    #[must_use]
+    pub fn with_bank(bank: FirBank) -> Self {
+        FirF64Kernel { bank }
+    }
+}
+
+/// Floating-point lifting kernel with explicit (e.g. integer-rounded)
+/// constant values, used for the coefficient-rounding study of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamLiftingKernel {
+    constants: lifting::FloatConstants,
+}
+
+impl ParamLiftingKernel {
+    /// Creates the kernel from explicit constants.
+    #[must_use]
+    pub fn new(constants: lifting::FloatConstants) -> Self {
+        ParamLiftingKernel { constants }
+    }
+
+    /// The kernel computing with the values of the Table 1 Q2.8
+    /// constants (`raw/256`) in floating point.
+    #[must_use]
+    pub fn from_q2x8(constants: &crate::coeffs::LiftingConstants) -> Self {
+        ParamLiftingKernel {
+            constants: lifting::FloatConstants::from_q2x8(constants),
+        }
+    }
+}
+
+impl OctaveKernel<f64> for ParamLiftingKernel {
+    fn forward(&self, x: &[f64]) -> Result<Subbands<f64>> {
+        lifting::forward_f64_with(x, &self.constants)
+    }
+
+    fn inverse(&self, bands: &Subbands<f64>) -> Result<Vec<f64>> {
+        lifting::inverse_f64_with(bands, &self.constants)
+    }
+}
+
+impl Default for FirF64Kernel {
+    fn default() -> Self {
+        FirF64Kernel::new()
+    }
+}
+
+impl OctaveKernel<f64> for FirF64Kernel {
+    fn forward(&self, x: &[f64]) -> Result<Subbands<f64>> {
+        fir::analyze_f64(x, &self.bank)
+    }
+
+    fn inverse(&self, bands: &Subbands<f64>) -> Result<Vec<f64>> {
+        fir::synthesize_f64(bands, fir::SynthesisBank::daubechies_9_7())
+    }
+}
+
+impl OctaveKernel<i32> for IntLifting {
+    fn forward(&self, x: &[i32]) -> Result<Subbands<i32>> {
+        IntLifting::forward(self, x)
+    }
+
+    fn inverse(&self, bands: &Subbands<i32>) -> Result<Vec<i32>> {
+        IntLifting::inverse(self, bands)
+    }
+}
+
+/// Integer-rounded direct FIR kernel. Analysis uses Q2.8 taps with the
+/// 8-bit shift; synthesis goes through the floating-point dual bank and
+/// rounds, mirroring how the paper's Figure 6 measurement reconstructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntFirKernel {
+    bank: IntFirBank,
+}
+
+impl IntFirKernel {
+    /// Creates the kernel from the rounded standard bank.
+    #[must_use]
+    pub fn new() -> Self {
+        IntFirKernel { bank: FirBank::daubechies_9_7().integer_rounded() }
+    }
+}
+
+impl Default for IntFirKernel {
+    fn default() -> Self {
+        IntFirKernel::new()
+    }
+}
+
+impl OctaveKernel<i32> for IntFirKernel {
+    fn forward(&self, x: &[i32]) -> Result<Subbands<i32>> {
+        fir::analyze_i32(x, &self.bank)
+    }
+
+    fn inverse(&self, bands: &Subbands<i32>) -> Result<Vec<i32>> {
+        let fb = Subbands {
+            low: bands.low.iter().map(|&v| f64::from(v)).collect(),
+            high: bands.high.iter().map(|&v| f64::from(v)).collect(),
+        };
+        let y = fir::synthesize_f64(&fb, fir::SynthesisBank::daubechies_9_7())?;
+        Ok(y.iter().map(|&v| v.round() as i32).collect())
+    }
+}
+
+/// A multi-octave 1-D decomposition: detail bands from finest to coarsest
+/// plus the final approximation band.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Pyramid1d<T> {
+    /// Detail (high-pass) bands, `details\[0\]` being the finest octave.
+    pub details: Vec<Vec<T>>,
+    /// The remaining approximation (low-pass) band.
+    pub approx: Vec<T>,
+}
+
+impl<T> Pyramid1d<T> {
+    /// Number of octaves in the decomposition.
+    #[must_use]
+    pub fn octaves(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Total number of coefficients (equals the original signal length).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.approx.len() + self.details.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Whether the pyramid holds no coefficients.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Maximum number of octaves applicable to a signal of length `n`
+/// (each octave requires at least two samples in the running band).
+#[must_use]
+pub fn max_octaves(n: usize) -> usize {
+    let mut count = 0;
+    let mut len = n;
+    while len >= 2 {
+        count += 1;
+        len = len.div_ceil(2);
+    }
+    count
+}
+
+/// Multi-octave forward decomposition.
+///
+/// # Errors
+///
+/// Returns [`Error::TooManyOctaves`] when `octaves` exceeds
+/// [`max_octaves`] for the signal length, or propagates kernel errors.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_core::Error> {
+/// use dwt_core::transform1d::{decompose, reconstruct, LiftingF64Kernel};
+///
+/// let x: Vec<f64> = (0..40).map(|i| (i as f64).sqrt() * 10.0).collect();
+/// let pyr = decompose(&x, 3, &LiftingF64Kernel)?;
+/// assert_eq!(pyr.octaves(), 3);
+/// assert_eq!(pyr.len(), 40);
+/// let y = reconstruct(&pyr, &LiftingF64Kernel)?;
+/// for (a, b) in x.iter().zip(&y) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn decompose<T: Copy + Default, K: OctaveKernel<T>>(
+    x: &[T],
+    octaves: usize,
+    kernel: &K,
+) -> Result<Pyramid1d<T>> {
+    let max = max_octaves(x.len());
+    if octaves > max {
+        return Err(Error::TooManyOctaves { requested: octaves, max });
+    }
+    let mut approx: Vec<T> = x.to_vec();
+    let mut details = Vec::with_capacity(octaves);
+    for _ in 0..octaves {
+        let bands = kernel.forward(&approx)?;
+        details.push(bands.high);
+        approx = bands.low;
+    }
+    Ok(Pyramid1d { details, approx })
+}
+
+/// Multi-octave reconstruction, the inverse of [`decompose`].
+///
+/// # Errors
+///
+/// Propagates kernel errors (mismatched band lengths).
+pub fn reconstruct<T: Copy + Default, K: OctaveKernel<T>>(
+    pyramid: &Pyramid1d<T>,
+    kernel: &K,
+) -> Result<Vec<T>> {
+    let mut approx = pyramid.approx.clone();
+    for high in pyramid.details.iter().rev() {
+        let bands = Subbands { low: approx, high: high.clone() };
+        approx = kernel.inverse(&bands)?;
+    }
+    Ok(approx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.21).sin() * 90.0 + (i % 11) as f64 * 3.0)
+            .collect()
+    }
+
+    #[test]
+    fn max_octaves_values() {
+        assert_eq!(max_octaves(0), 0);
+        assert_eq!(max_octaves(1), 0);
+        assert_eq!(max_octaves(2), 1);
+        assert_eq!(max_octaves(3), 2); // 3 -> 2 -> 1
+        assert_eq!(max_octaves(256), 8);
+        assert_eq!(max_octaves(257), 9);
+    }
+
+    #[test]
+    fn too_many_octaves_rejected() {
+        let x = signal(8);
+        let e = decompose(&x, 9, &LiftingF64Kernel).unwrap_err();
+        assert_eq!(e, Error::TooManyOctaves { requested: 9, max: 3 });
+    }
+
+    #[test]
+    fn multi_octave_roundtrip_lifting() {
+        let x = signal(100);
+        for octaves in 0..=5 {
+            let pyr = decompose(&x, octaves, &LiftingF64Kernel).unwrap();
+            assert_eq!(pyr.len(), 100);
+            let y = reconstruct(&pyr, &LiftingF64Kernel).unwrap();
+            for (a, b) in x.iter().zip(&y) {
+                assert!((a - b).abs() < 1e-8, "octaves={octaves}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_octave_roundtrip_fir() {
+        let x = signal(64);
+        let k = FirF64Kernel::new();
+        let pyr = decompose(&x, 4, &k).unwrap();
+        let y = reconstruct(&pyr, &k).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fir_and_lifting_pyramids_agree() {
+        let x = signal(96);
+        let a = decompose(&x, 3, &LiftingF64Kernel).unwrap();
+        let b = decompose(&x, 3, &FirF64Kernel::new()).unwrap();
+        for (da, db) in a.details.iter().zip(&b.details) {
+            for (u, v) in da.iter().zip(db) {
+                assert!((u - v).abs() < 1e-5);
+            }
+        }
+        for (u, v) in a.approx.iter().zip(&b.approx) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn integer_lifting_multi_octave_roundtrip_close() {
+        let x: Vec<i32> = (0..128).map(|i| ((i * 23) % 255) - 127).collect();
+        let k = IntLifting::default();
+        let pyr = decompose(&x, 3, &k).unwrap();
+        let y = reconstruct(&pyr, &k).unwrap();
+        let mut worst = 0;
+        for (a, b) in x.iter().zip(&y) {
+            worst = worst.max((a - b).abs());
+        }
+        assert!(worst <= 12, "worst integer roundtrip error {worst}");
+    }
+
+    #[test]
+    fn integer_fir_analysis_runs_and_reconstructs_close() {
+        let x: Vec<i32> = (0..64).map(|i| ((i * 7) % 200) - 100).collect();
+        let k = IntFirKernel::new();
+        let pyr = decompose(&x, 2, &k).unwrap();
+        let y = reconstruct(&pyr, &k).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() <= 6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_octaves_is_identity() {
+        let x = signal(10);
+        let pyr = decompose(&x, 0, &LiftingF64Kernel).unwrap();
+        assert!(pyr.details.is_empty());
+        assert_eq!(pyr.approx, x);
+        assert_eq!(reconstruct(&pyr, &LiftingF64Kernel).unwrap(), x);
+    }
+}

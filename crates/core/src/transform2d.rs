@@ -1,0 +1,353 @@
+//! Multi-octave 2-D decomposition (Figure 1: LL/HL/LH/HH per octave).
+//!
+//! "The two-dimensional wavelet transform is computed by recursive
+//! application of one-dimensional wavelet transform" (Section 2). Each
+//! octave filters every row, then every column, packing the results in
+//! the conventional Mallat layout: low halves toward the top-left. The
+//! next octave recurses on the LL quadrant.
+
+use crate::error::{Error, Result};
+use crate::grid::Grid;
+use crate::lifting::Subbands;
+use crate::transform1d::{max_octaves, OctaveKernel};
+
+/// A 2-D decomposition in Mallat layout plus its octave count.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Decomposition2d<T> {
+    /// Coefficients, same dimensions as the source image.
+    pub coeffs: Grid<T>,
+    /// Number of octaves applied.
+    pub octaves: usize,
+}
+
+/// Identifies one subband of a [`Decomposition2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Subband {
+    /// Approximation quadrant of the coarsest octave.
+    Ll,
+    /// Horizontal-detail quadrant (`octave` counted from 1 = finest).
+    Hl(usize),
+    /// Vertical-detail quadrant.
+    Lh(usize),
+    /// Diagonal-detail quadrant.
+    Hh(usize),
+}
+
+/// Maximum octave count for an image of the given dimensions.
+#[must_use]
+pub fn max_octaves_2d(rows: usize, cols: usize) -> usize {
+    max_octaves(rows).min(max_octaves(cols))
+}
+
+fn one_octave_forward<T: Copy + Default, K: OctaveKernel<T>>(
+    grid: &mut Grid<T>,
+    kernel: &K,
+) -> Result<()> {
+    let (rows, cols) = grid.dims();
+    // Rows.
+    for r in 0..rows {
+        let bands = kernel.forward(grid.row(r))?;
+        let row = grid.row_mut(r);
+        row[..bands.low.len()].copy_from_slice(&bands.low);
+        row[bands.low.len()..].copy_from_slice(&bands.high);
+    }
+    // Columns.
+    for c in 0..cols {
+        let col = grid.column(c);
+        let bands = kernel.forward(&col)?;
+        let mut packed = bands.low;
+        packed.extend_from_slice(&bands.high);
+        grid.set_column(c, &packed);
+    }
+    Ok(())
+}
+
+fn one_octave_inverse<T: Copy + Default, K: OctaveKernel<T>>(
+    grid: &mut Grid<T>,
+    kernel: &K,
+) -> Result<()> {
+    let (rows, cols) = grid.dims();
+    let half_r = rows.div_ceil(2);
+    let half_c = cols.div_ceil(2);
+    // Columns first (reverse of forward order).
+    for c in 0..cols {
+        let col = grid.column(c);
+        let bands = Subbands {
+            low: col[..half_r].to_vec(),
+            high: col[half_r..].to_vec(),
+        };
+        let merged = kernel.inverse(&bands)?;
+        grid.set_column(c, &merged);
+    }
+    // Rows.
+    for r in 0..rows {
+        let bands = {
+            let row = grid.row(r);
+            Subbands {
+                low: row[..half_c].to_vec(),
+                high: row[half_c..].to_vec(),
+            }
+        };
+        let merged = kernel.inverse(&bands)?;
+        grid.row_mut(r).copy_from_slice(&merged);
+    }
+    Ok(())
+}
+
+/// Forward multi-octave 2-D transform.
+///
+/// # Errors
+///
+/// Returns [`Error::TooManyOctaves`] when `octaves` exceeds
+/// [`max_octaves_2d`], or propagates kernel errors.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_core::Error> {
+/// use dwt_core::grid::Grid;
+/// use dwt_core::transform1d::LiftingF64Kernel;
+/// use dwt_core::transform2d::{forward_2d, inverse_2d};
+///
+/// let img = Grid::from_vec(8, 8, (0..64).map(f64::from).collect())?;
+/// let dec = forward_2d(&img, 2, &LiftingF64Kernel)?;
+/// let back = inverse_2d(&dec, &LiftingF64Kernel)?;
+/// for (a, b) in img.iter().zip(back.iter()) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn forward_2d<T: Copy + Default, K: OctaveKernel<T>>(
+    image: &Grid<T>,
+    octaves: usize,
+    kernel: &K,
+) -> Result<Decomposition2d<T>> {
+    let (rows, cols) = image.dims();
+    let max = max_octaves_2d(rows, cols);
+    if octaves > max {
+        return Err(Error::TooManyOctaves { requested: octaves, max });
+    }
+    let mut coeffs = image.clone();
+    let (mut r, mut c) = (rows, cols);
+    for _ in 0..octaves {
+        let mut ll = coeffs.top_left(r, c);
+        one_octave_forward(&mut ll, kernel)?;
+        coeffs.set_top_left(&ll);
+        r = r.div_ceil(2);
+        c = c.div_ceil(2);
+    }
+    Ok(Decomposition2d { coeffs, octaves })
+}
+
+/// Inverse multi-octave 2-D transform.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn inverse_2d<T: Copy + Default, K: OctaveKernel<T>>(
+    dec: &Decomposition2d<T>,
+    kernel: &K,
+) -> Result<Grid<T>> {
+    let (rows, cols) = dec.coeffs.dims();
+    // Dimensions of the LL quadrant at each octave, finest -> coarsest.
+    let mut dims = Vec::with_capacity(dec.octaves);
+    let (mut r, mut c) = (rows, cols);
+    for _ in 0..dec.octaves {
+        dims.push((r, c));
+        r = r.div_ceil(2);
+        c = c.div_ceil(2);
+    }
+    let mut out = dec.coeffs.clone();
+    for &(r, c) in dims.iter().rev() {
+        let mut ll = out.top_left(r, c);
+        one_octave_inverse(&mut ll, kernel)?;
+        out.set_top_left(&ll);
+    }
+    Ok(out)
+}
+
+impl<T: Copy> Decomposition2d<T> {
+    /// The rectangle `(row0, col0, rows, cols)` occupied by a subband in
+    /// the Mallat layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested octave is 0 or exceeds the decomposition's
+    /// octave count.
+    #[must_use]
+    pub fn subband_rect(&self, band: Subband) -> (usize, usize, usize, usize) {
+        let (rows, cols) = self.coeffs.dims();
+        let dims_at = |oct: usize| {
+            let (mut r, mut c) = (rows, cols);
+            for _ in 0..oct {
+                r = r.div_ceil(2);
+                c = c.div_ceil(2);
+            }
+            (r, c)
+        };
+        match band {
+            Subband::Ll => {
+                let (r, c) = dims_at(self.octaves);
+                (0, 0, r, c)
+            }
+            Subband::Hl(oct) | Subband::Lh(oct) | Subband::Hh(oct) => {
+                assert!(
+                    oct >= 1 && oct <= self.octaves,
+                    "octave {oct} outside 1..={}",
+                    self.octaves
+                );
+                let (pr, pc) = dims_at(oct - 1); // parent LL dims
+                let (lr, lc) = (pr.div_ceil(2), pc.div_ceil(2));
+                match band {
+                    Subband::Hl(_) => (0, lc, lr, pc - lc),
+                    Subband::Lh(_) => (lr, 0, pr - lr, lc),
+                    Subband::Hh(_) => (lr, lc, pr - lr, pc - lc),
+                    Subband::Ll => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Copies one subband out of the Mallat layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::subband_rect`].
+    #[must_use]
+    pub fn subband(&self, band: Subband) -> Grid<T> {
+        let (r0, c0, nr, nc) = self.subband_rect(band);
+        let mut data = Vec::with_capacity(nr * nc);
+        for r in r0..r0 + nr {
+            data.extend_from_slice(&self.coeffs.row(r)[c0..c0 + nc]);
+        }
+        Grid::from_vec(nr, nc, data).expect("rect dims are consistent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifting::IntLifting;
+    use crate::transform1d::{FirF64Kernel, LiftingF64Kernel};
+
+    fn image(rows: usize, cols: usize) -> Grid<f64> {
+        let data = (0..rows * cols)
+            .map(|i| {
+                let (r, c) = (i / cols, i % cols);
+                ((r as f64 * 0.3).sin() * 50.0 + (c as f64 * 0.17).cos() * 70.0).round()
+            })
+            .collect();
+        Grid::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_square_pow2() {
+        let img = image(32, 32);
+        let dec = forward_2d(&img, 3, &LiftingF64Kernel).unwrap();
+        let back = inverse_2d(&dec, &LiftingF64Kernel).unwrap();
+        for (a, b) in img.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn roundtrip_odd_rectangular() {
+        let img = image(21, 13);
+        let dec = forward_2d(&img, 2, &LiftingF64Kernel).unwrap();
+        let back = inverse_2d(&dec, &LiftingF64Kernel).unwrap();
+        for (a, b) in img.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fir_and_lifting_2d_agree() {
+        let img = image(16, 24);
+        let a = forward_2d(&img, 2, &LiftingF64Kernel).unwrap();
+        let b = forward_2d(&img, 2, &FirF64Kernel::new()).unwrap();
+        for (u, v) in a.coeffs.iter().zip(b.coeffs.iter()) {
+            assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn integer_2d_roundtrip_close() {
+        let img = image(32, 32).map(|v| v as i32);
+        let k = IntLifting::default();
+        let dec = forward_2d(&img, 3, &k).unwrap();
+        let back = inverse_2d(&dec, &k).unwrap();
+        let mut worst = 0;
+        for (a, b) in img.iter().zip(back.iter()) {
+            worst = worst.max((a - b).abs());
+        }
+        assert!(worst <= 20, "worst 2-D integer error {worst}");
+    }
+
+    #[test]
+    fn too_many_octaves_rejected() {
+        let img = image(8, 8);
+        assert!(forward_2d(&img, 4, &LiftingF64Kernel).is_err());
+        assert_eq!(max_octaves_2d(8, 8), 3);
+        assert_eq!(max_octaves_2d(8, 64), 3);
+    }
+
+    #[test]
+    fn constant_image_concentrates_in_ll() {
+        let img = Grid::filled(16, 16, 55.0);
+        let dec = forward_2d(&img, 2, &LiftingF64Kernel).unwrap();
+        // All detail bands must be (near) zero.
+        for band in [
+            Subband::Hl(1),
+            Subband::Lh(1),
+            Subband::Hh(1),
+            Subband::Hl(2),
+            Subband::Lh(2),
+            Subband::Hh(2),
+        ] {
+            let sb = dec.subband(band);
+            for v in sb.iter() {
+                assert!(v.abs() < 1e-4, "{band:?} leaked {v}");
+            }
+        }
+        // The paper normalisation gives the low-pass path DC gain 1, so
+        // the LL quadrant of a constant image keeps the pixel value.
+        let ll = dec.subband(Subband::Ll);
+        assert_eq!(ll.dims(), (4, 4));
+        for v in ll.iter() {
+            assert!((*v - 55.0).abs() < 1e-3, "LL value {v}");
+        }
+    }
+
+    #[test]
+    fn subband_rects_tile_the_plane() {
+        let img = image(16, 16);
+        let dec = forward_2d(&img, 2, &LiftingF64Kernel).unwrap();
+        let mut covered = vec![false; 256];
+        let mut mark = |rect: (usize, usize, usize, usize)| {
+            let (r0, c0, nr, nc) = rect;
+            for r in r0..r0 + nr {
+                for c in c0..c0 + nc {
+                    let idx = r * 16 + c;
+                    assert!(!covered[idx], "overlap at ({r},{c})");
+                    covered[idx] = true;
+                }
+            }
+        };
+        mark(dec.subband_rect(Subband::Ll));
+        for oct in 1..=2 {
+            mark(dec.subband_rect(Subband::Hl(oct)));
+            mark(dec.subband_rect(Subband::Lh(oct)));
+            mark(dec.subband_rect(Subband::Hh(oct)));
+        }
+        assert!(covered.iter().all(|&b| b), "subbands must tile the layout");
+    }
+
+    #[test]
+    #[should_panic(expected = "octave 3 outside")]
+    fn bad_subband_octave_panics() {
+        let img = image(16, 16);
+        let dec = forward_2d(&img, 2, &LiftingF64Kernel).unwrap();
+        let _ = dec.subband_rect(Subband::Hh(3));
+    }
+}

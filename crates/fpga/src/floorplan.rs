@@ -1,0 +1,189 @@
+//! LAB-level floorplan estimation.
+//!
+//! APEX 20KE logic elements live in logic array blocks (LABs) of ten;
+//! a carry chain must occupy physically contiguous LEs, so a behavioral
+//! adder wider than what remains in the current LAB spills into the
+//! next. This module packs a mapped netlist into LABs under those
+//! rules, giving the block-level utilization a fitter would report and
+//! letting the tests confirm every paper design fits its target device.
+
+use dwt_rtl::cell::CellKind;
+use dwt_rtl::netlist::Netlist;
+
+use crate::map::MappedNetlist;
+
+/// Logic elements per LAB in the APEX architecture.
+pub const LES_PER_LAB: usize = 10;
+
+/// The outcome of LAB packing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Floorplan {
+    /// LABs used.
+    pub labs: usize,
+    /// Logic elements actually occupied.
+    pub les_used: usize,
+    /// LEs left stranded by carry-chain alignment (allocated but empty).
+    pub fragmentation_les: usize,
+    /// The longest single carry chain, in LEs.
+    pub longest_chain: usize,
+}
+
+impl Floorplan {
+    /// Fraction of allocated LE slots that hold logic.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.labs == 0 {
+            1.0
+        } else {
+            self.les_used as f64 / (self.labs * LES_PER_LAB) as f64
+        }
+    }
+}
+
+/// Packs a mapped netlist into LABs.
+///
+/// Carry chains are placed greedily: a chain that does not fit in the
+/// space remaining in the open LAB starts a fresh one (APEX chains can
+/// continue across adjacent LABs, but the fitter prefers alignment; the
+/// stranded LEs are what the fragmentation counter reports). All other
+/// LEs fill the gaps afterwards.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_rtl::Error> {
+/// use dwt_fpga::floorplan::pack;
+/// use dwt_fpga::map::map_netlist;
+/// use dwt_rtl::builder::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.input("x", 8)?;
+/// let s = b.carry_add("s", &x, &x, 12)?;
+/// b.output("o", &s)?;
+/// let netlist = b.finish()?;
+/// let plan = pack(&netlist, &map_netlist(&netlist));
+/// assert_eq!(plan.labs, 2); // a 12-LE chain spans two LABs
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn pack(netlist: &Netlist, mapped: &MappedNetlist) -> Floorplan {
+    // Gather carry-chain lengths and the pool of loose LEs.
+    let mut chains: Vec<usize> = Vec::new();
+    let mut loose = 0usize;
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        match &cell.kind {
+            CellKind::CarryAdd { out, .. } | CellKind::CarrySub { out, .. } => {
+                chains.push(out.width());
+            }
+            _ => loose += mapped.cell_les[i],
+        }
+    }
+    // Longest chains first: the classic bin-packing heuristic.
+    chains.sort_unstable_by(|a, b| b.cmp(a));
+    let longest_chain = chains.first().copied().unwrap_or(0);
+
+    let mut labs = 0usize;
+    let mut open_space = 0usize; // LEs free in the open LAB run
+    let mut fragmentation = 0usize;
+    for chain in &chains {
+        let need = *chain;
+        if need > open_space {
+            // Start fresh LAB(s) for this chain; the remainder of the
+            // old LAB is only usable by loose LEs.
+            fragmentation += open_space;
+            let new_labs = need.div_ceil(LES_PER_LAB);
+            labs += new_labs;
+            open_space = new_labs * LES_PER_LAB;
+        }
+        open_space -= need;
+    }
+    // Loose LEs fill the fragmentation gaps first, then the open space,
+    // then fresh LABs.
+    let mut remaining_loose = loose;
+    let reclaimed = remaining_loose.min(fragmentation);
+    remaining_loose -= reclaimed;
+    fragmentation -= reclaimed;
+    if remaining_loose > open_space {
+        let extra = remaining_loose - open_space;
+        labs += extra.div_ceil(LES_PER_LAB);
+    }
+
+    let les_used: usize = chains.iter().sum::<usize>() + loose;
+    Floorplan {
+        labs,
+        les_used,
+        fragmentation_les: fragmentation,
+        longest_chain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::map_netlist;
+    use dwt_rtl::builder::NetlistBuilder;
+
+    fn adder_netlist(widths: &[usize]) -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        for (i, &w) in widths.iter().enumerate() {
+            let s = b.carry_add(&format!("s{i}"), &x, &x, w).unwrap();
+            b.output(&format!("o{i}"), &s).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn single_small_chain_fits_one_lab() {
+        let n = adder_netlist(&[8]);
+        let plan = pack(&n, &map_netlist(&n));
+        assert_eq!(plan.labs, 1);
+        assert_eq!(plan.longest_chain, 8);
+    }
+
+    #[test]
+    fn chains_that_do_not_share_a_lab_fragment() {
+        // Two 8-LE chains cannot share a 10-LE LAB.
+        let n = adder_netlist(&[8, 8]);
+        let plan = pack(&n, &map_netlist(&n));
+        assert_eq!(plan.labs, 2);
+        assert!(plan.utilization() < 1.0);
+    }
+
+    #[test]
+    fn wide_chain_spans_labs() {
+        let n = adder_netlist(&[25]);
+        let plan = pack(&n, &map_netlist(&n));
+        assert_eq!(plan.labs, 3);
+        assert_eq!(plan.longest_chain, 25);
+    }
+
+    #[test]
+    fn loose_logic_fills_gaps() {
+        // A 9-wide chain leaves 1 LE; loose registers should reclaim
+        // fragmented space before new LABs are opened.
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let s = b.carry_add("s", &x, &x, 9).unwrap();
+        let r1 = b.register("r1", &x).unwrap(); // 8 standalone FF LEs
+        b.output("o", &s).unwrap();
+        b.output("q", &r1).unwrap();
+        let n = b.finish().unwrap();
+        let plan = pack(&n, &map_netlist(&n));
+        assert_eq!(plan.labs, 2); // 9 + 8 = 17 LEs in 2 LABs
+        assert!(plan.utilization() > 0.8);
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        b.output("o", &x).unwrap();
+        let n = b.finish().unwrap();
+        let plan = pack(&n, &map_netlist(&n));
+        assert_eq!(plan.labs, 0);
+        assert_eq!(plan.les_used, 0);
+        assert!((plan.utilization() - 1.0).abs() < 1e-12);
+    }
+}

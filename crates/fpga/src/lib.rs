@@ -1,0 +1,57 @@
+//! # dwt-fpga
+//!
+//! APEX-20KE-style FPGA synthesis model: technology mapping, static
+//! timing analysis and vector-driven power estimation for netlists built
+//! with [`dwt_rtl`].
+//!
+//! This crate plays the role Quartus II played for the paper's authors.
+//! Given a netlist it produces the three quantities of Table 3:
+//!
+//! * **area** — [`map::map_netlist`] applies the paper's LE-counting
+//!   rules (carry-chain adders 1 LE/bit, structural full adders 2 LEs,
+//!   flip-flop folding);
+//! * **maximum frequency** — [`timing::analyze`] runs a per-bit static
+//!   timing analysis with the [`device::Device`] delay parameters;
+//! * **power** — [`power::estimate`] converts the transition counts
+//!   measured by the glitch-aware simulator into mW at a chosen
+//!   frequency.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), dwt_rtl::Error> {
+//! use dwt_fpga::device::Device;
+//! use dwt_fpga::map::map_netlist;
+//! use dwt_fpga::report::SynthesisReport;
+//! use dwt_fpga::timing::analyze;
+//! use dwt_rtl::builder::NetlistBuilder;
+//!
+//! let mut b = NetlistBuilder::new();
+//! let x = b.input("x", 8)?;
+//! let s = b.carry_add("s", &x, &x, 9)?;
+//! let q = b.register("q", &s)?;
+//! b.output("o", &q)?;
+//! let netlist = b.finish()?;
+//!
+//! let device = Device::apex20ke();
+//! let report = SynthesisReport::new(
+//!     "toy",
+//!     &map_netlist(&netlist),
+//!     &analyze(&netlist, &device.timing),
+//!     1,
+//! );
+//! assert_eq!(report.les, 9); // 9-bit carry chain, FFs folded
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod device;
+pub mod floorplan;
+pub mod map;
+pub mod power;
+pub mod report;
+pub mod timing;

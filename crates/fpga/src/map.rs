@@ -1,0 +1,234 @@
+//! Technology mapping: netlist cells → logic elements.
+//!
+//! The LE-counting rules come straight from the paper's Section 4:
+//!
+//! * behavioral adders use the fast carry chain, "so an 8-bit adder is
+//!   mapped onto just 8 Logic Elements" → one LE per result bit;
+//! * structural adders "do not use the fast carry chain propagation, so
+//!   an 8-bit adder requires 16 Logic Elements" → two LEs per full adder
+//!   (one for the sum function, one for the carry function);
+//! * each LE contains a flip-flop, so a register bit whose data input is
+//!   the *sole* fanout of a logic cell folds into that cell's LE for
+//!   free; any other register bit occupies an LE of its own.
+
+use dwt_rtl::cell::CellKind;
+use dwt_rtl::net::NetId;
+use dwt_rtl::netlist::Netlist;
+
+/// Where each logic element went, per cell-kind category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LeBreakdown {
+    /// LEs implementing plain LUT cells.
+    pub lut_logic: usize,
+    /// LEs on fast-carry chains (behavioral adders, one per bit).
+    pub carry_chain: usize,
+    /// LEs implementing structural full adders (two per adder).
+    pub full_adder_logic: usize,
+    /// LEs occupied only by a flip-flop (unfoldable register bits).
+    pub standalone_ff: usize,
+    /// Register bits folded into logic LEs (no area cost; informational).
+    pub folded_ff_bits: usize,
+    /// Memory bits mapped onto embedded system blocks (no LE cost).
+    pub esb_bits: usize,
+}
+
+impl LeBreakdown {
+    /// Total logic elements.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.lut_logic + self.carry_chain + self.full_adder_logic + self.standalone_ff
+    }
+}
+
+/// The result of mapping a netlist onto the device's logic elements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedNetlist {
+    /// LE cost per cell, indexed by cell id.
+    pub cell_les: Vec<usize>,
+    /// Aggregate breakdown.
+    pub breakdown: LeBreakdown,
+    /// Total flip-flop bits (folded + standalone).
+    pub ff_bits: usize,
+}
+
+impl MappedNetlist {
+    /// Total logic-element count — the paper's "Area cost (LEs)" column.
+    #[must_use]
+    pub fn le_count(&self) -> usize {
+        self.breakdown.total()
+    }
+}
+
+/// Maps a netlist using the APEX LE rules.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_rtl::Error> {
+/// use dwt_fpga::map::map_netlist;
+/// use dwt_rtl::builder::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.input("x", 8)?;
+/// let y = b.input("y", 8)?;
+/// let behavioral = b.carry_add("behavioral", &x, &y, 8)?;
+/// let structural = b.ripple_add("structural", &x, &y, 8)?;
+/// b.output("a", &behavioral)?;
+/// b.output("b", &structural)?;
+///
+/// let mapped = map_netlist(&b.finish()?);
+/// // Section 4's rules: 8 LEs behavioral vs 16 LEs structural.
+/// assert_eq!(mapped.breakdown.carry_chain, 8);
+/// assert_eq!(mapped.breakdown.full_adder_logic, 16);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn map_netlist(netlist: &Netlist) -> MappedNetlist {
+    let foldable = |net: NetId| -> bool {
+        // A register bit folds into the LE driving it when that LE
+        // belongs to a logic cell and the register is its only reader.
+        match netlist.driver(net) {
+            Some(d) => {
+                let kind = &netlist.cell(d).kind;
+                let is_logic = matches!(
+                    kind,
+                    CellKind::Lut { .. }
+                        | CellKind::FullAdder { .. }
+                        | CellKind::CarryAdd { .. }
+                        | CellKind::CarrySub { .. }
+                );
+                is_logic && netlist.fanout(net).len() == 1
+            }
+            None => false, // input port or constant: no LE to fold into
+        }
+    };
+
+    let mut breakdown = LeBreakdown::default();
+    let mut cell_les = vec![0usize; netlist.cell_count()];
+    let mut ff_bits = 0usize;
+
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        let les = match &cell.kind {
+            CellKind::Lut { .. } => {
+                breakdown.lut_logic += 1;
+                1
+            }
+            CellKind::FullAdder { .. } => {
+                breakdown.full_adder_logic += 2;
+                2
+            }
+            CellKind::CarryAdd { out, .. } | CellKind::CarrySub { out, .. } => {
+                breakdown.carry_chain += out.width();
+                out.width()
+            }
+            CellKind::Register { d, .. } => {
+                ff_bits += d.width();
+                let mut standalone = 0;
+                for &bit in d.bits() {
+                    if foldable(bit) {
+                        breakdown.folded_ff_bits += 1;
+                    } else {
+                        standalone += 1;
+                    }
+                }
+                breakdown.standalone_ff += standalone;
+                standalone
+            }
+            CellKind::Constant { .. } => 0,
+            CellKind::Ram { words, rdata, .. } => {
+                // Memories map onto the APEX embedded system blocks,
+                // not logic elements.
+                breakdown.esb_bits += words * rdata.width();
+                0
+            }
+        };
+        cell_les[i] = les;
+    }
+
+    MappedNetlist { cell_les, breakdown, ff_bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwt_rtl::builder::NetlistBuilder;
+
+    #[test]
+    fn register_after_adder_folds() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let s = b.carry_add("s", &x, &x, 9).unwrap();
+        let q = b.register("q", &s).unwrap();
+        b.output("o", &q).unwrap();
+        let m = map_netlist(&b.finish().unwrap());
+        assert_eq!(m.breakdown.carry_chain, 9);
+        assert_eq!(m.breakdown.standalone_ff, 0);
+        assert_eq!(m.breakdown.folded_ff_bits, 9);
+        assert_eq!(m.le_count(), 9);
+    }
+
+    #[test]
+    fn register_of_input_is_standalone() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let q = b.register("q", &x).unwrap();
+        b.output("o", &q).unwrap();
+        let m = map_netlist(&b.finish().unwrap());
+        assert_eq!(m.breakdown.standalone_ff, 8);
+        assert_eq!(m.le_count(), 8);
+    }
+
+    #[test]
+    fn shared_adder_output_prevents_folding() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let s = b.carry_add("s", &x, &x, 9).unwrap();
+        let q = b.register("q", &s).unwrap();
+        // Second reader of the adder output.
+        let s2 = b.carry_add("s2", &s, &x, 10).unwrap();
+        b.output("o", &q).unwrap();
+        b.output("o2", &s2).unwrap();
+        let m = map_netlist(&b.finish().unwrap());
+        assert_eq!(m.breakdown.standalone_ff, 9);
+        assert_eq!(m.breakdown.folded_ff_bits, 0);
+    }
+
+    #[test]
+    fn register_chain_shift_register_costs_les() {
+        // A shift register: r2's input is a register output, never
+        // foldable.
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let r1 = b.register("r1", &x).unwrap();
+        let r2 = b.register("r2", &r1).unwrap();
+        b.output("o", &r2).unwrap();
+        let m = map_netlist(&b.finish().unwrap());
+        assert_eq!(m.breakdown.standalone_ff, 8);
+        assert_eq!(m.ff_bits, 8);
+    }
+
+    #[test]
+    fn paper_adder_ratio_emerges() {
+        // "It is expected the design 4 would have 2 times the area cost"
+        // per adder: 8-bit behavioral = 8 LEs, structural = 16 LEs.
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let y = b.input("y", 8).unwrap();
+        let a = b.carry_add("a", &x, &y, 8).unwrap();
+        let r = b.ripple_add("r", &x, &y, 8).unwrap();
+        b.output("oa", &a).unwrap();
+        b.output("or", &r).unwrap();
+        let m = map_netlist(&b.finish().unwrap());
+        assert_eq!(m.breakdown.full_adder_logic, 2 * m.breakdown.carry_chain);
+    }
+
+    #[test]
+    fn constants_cost_nothing() {
+        let mut b = NetlistBuilder::new();
+        let c = b.constant(7, 4).unwrap();
+        b.output("o", &c).unwrap();
+        let m = map_netlist(&b.finish().unwrap());
+        assert_eq!(m.le_count(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Power estimation from measured switching activity.
+//!
+//! `P(f) = (E_le · comb_toggles + E_ff · ff_toggles + E_clk · ff_bits)
+//! per cycle · f + P_static` — a vector-driven model: the transition
+//! counts come from actually simulating the netlist on image data with
+//! the glitch-aware simulator, so the power differences between the five
+//! designs *emerge* from their structure rather than being assumed.
+
+use dwt_rtl::sim::ActivityStats;
+
+use crate::device::Energy;
+
+/// A power figure at one operating frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Operating frequency used, in MHz.
+    pub f_mhz: f64,
+    /// Data-dependent switching power, in mW.
+    pub dynamic_mw: f64,
+    /// Clock-tree power, in mW.
+    pub clock_mw: f64,
+    /// Static floor, in mW.
+    pub static_mw: f64,
+}
+
+impl PowerReport {
+    /// Total power in mW — the paper's "Power @15MHz (mW)" column when
+    /// `f_mhz == 15`.
+    #[must_use]
+    pub fn total_mw(&self) -> f64 {
+        self.dynamic_mw + self.clock_mw + self.static_mw
+    }
+}
+
+/// Estimates power at `f_mhz` from measured activity.
+///
+/// `ff_bits` is the number of flip-flop bits in the mapped design (the
+/// clock tree toggles them every cycle regardless of data).
+///
+/// # Examples
+///
+/// ```
+/// use dwt_fpga::device::Device;
+/// use dwt_fpga::power::estimate;
+/// use dwt_rtl::sim::ActivityStats;
+///
+/// let stats = ActivityStats {
+///     cell_toggles: vec![500, 500],
+///     routed_toggles: 600,
+///     local_toggles: 300,
+///     carry_toggles: 100,
+///     ff_toggles: 200,
+///     cycles: 100,
+/// };
+/// let p = estimate(&stats, 100, &Device::apex20ke().energy, 15.0);
+/// assert!(p.total_mw() > p.static_mw);
+/// ```
+#[must_use]
+pub fn estimate(stats: &ActivityStats, ff_bits: usize, energy: &Energy, f_mhz: f64) -> PowerReport {
+    let (routed, local, carry) = stats.class_toggles_per_cycle();
+    let ff_tpc = stats.ff_toggles_per_cycle();
+    // pJ per cycle × cycles/µs (= MHz) gives µW; /1000 gives mW.
+    let dynamic_pj = routed * energy.e_routed_pj
+        + local * energy.e_local_pj
+        + carry * energy.e_carry_pj
+        + ff_tpc * energy.e_ff_toggle_pj;
+    let clock_pj = ff_bits as f64 * energy.e_clock_pj;
+    PowerReport {
+        f_mhz,
+        dynamic_mw: dynamic_pj * f_mhz / 1000.0,
+        clock_mw: clock_pj * f_mhz / 1000.0,
+        static_mw: energy.static_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+
+    fn stats(toggles: u64, cycles: u64) -> ActivityStats {
+        ActivityStats {
+            cell_toggles: vec![toggles],
+            routed_toggles: toggles / 2,
+            local_toggles: toggles / 4,
+            carry_toggles: toggles / 4,
+            ff_toggles: toggles / 2,
+            cycles,
+        }
+    }
+
+    #[test]
+    fn power_scales_linearly_with_frequency() {
+        let e = Device::apex20ke().energy;
+        let s = stats(10_000, 100);
+        let p15 = estimate(&s, 120, &e, 15.0);
+        let p30 = estimate(&s, 120, &e, 30.0);
+        let d15 = p15.total_mw() - p15.static_mw;
+        let d30 = p30.total_mw() - p30.static_mw;
+        assert!((d30 / d15 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_activity_means_more_power() {
+        let e = Device::apex20ke().energy;
+        let low = estimate(&stats(1_000, 100), 120, &e, 15.0);
+        let high = estimate(&stats(50_000, 100), 120, &e, 15.0);
+        assert!(high.total_mw() > low.total_mw());
+    }
+
+    #[test]
+    fn zero_cycles_gives_static_plus_nothing() {
+        let e = Device::apex20ke().energy;
+        let p = estimate(&ActivityStats::default(), 0, &e, 15.0);
+        assert_eq!(p.dynamic_mw, 0.0);
+        assert_eq!(p.clock_mw, 0.0);
+        assert_eq!(p.total_mw(), e.static_mw);
+    }
+
+    #[test]
+    fn clock_power_charged_per_ff_bit() {
+        let e = Device::apex20ke().energy;
+        let s = stats(0, 100);
+        let small = estimate(&s, 10, &e, 15.0);
+        let big = estimate(&s, 100, &e, 15.0);
+        assert!((big.clock_mw / small.clock_mw - 10.0).abs() < 1e-9);
+    }
+}

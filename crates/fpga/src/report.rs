@@ -1,0 +1,133 @@
+//! Synthesis reports combining mapping, timing and power results — one
+//! row of the paper's Table 3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::map::MappedNetlist;
+use crate::power::PowerReport;
+use crate::timing::TimingReport;
+
+/// One design's synthesis summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisReport {
+    /// Design name.
+    pub name: String,
+    /// Area cost in logic elements.
+    pub les: usize,
+    /// LEs on carry chains.
+    pub les_carry_chain: usize,
+    /// LEs implementing structural full-adder logic.
+    pub les_full_adder: usize,
+    /// LEs holding only a flip-flop.
+    pub les_standalone_ff: usize,
+    /// LEs implementing plain LUTs.
+    pub les_lut: usize,
+    /// Total flip-flop bits.
+    pub ff_bits: usize,
+    /// Maximum operating frequency in MHz.
+    pub fmax_mhz: f64,
+    /// Critical-path length in ns.
+    pub critical_path_ns: f64,
+    /// Where the critical path ends.
+    pub critical_endpoint: String,
+    /// Pipeline depth in stages (architectural property).
+    pub pipeline_stages: usize,
+    /// Power at the 15 MHz reference, in mW (None until simulated).
+    pub power_mw_at_15mhz: Option<f64>,
+}
+
+impl SynthesisReport {
+    /// Assembles a report from the mapping and timing results.
+    #[must_use]
+    pub fn new(
+        name: &str,
+        mapped: &MappedNetlist,
+        timing: &TimingReport,
+        pipeline_stages: usize,
+    ) -> Self {
+        SynthesisReport {
+            name: name.to_owned(),
+            les: mapped.le_count(),
+            les_carry_chain: mapped.breakdown.carry_chain,
+            les_full_adder: mapped.breakdown.full_adder_logic,
+            les_standalone_ff: mapped.breakdown.standalone_ff,
+            les_lut: mapped.breakdown.lut_logic,
+            ff_bits: mapped.ff_bits,
+            fmax_mhz: timing.fmax_mhz,
+            critical_path_ns: timing.critical_path_ns,
+            critical_endpoint: timing.endpoint.clone(),
+            pipeline_stages,
+            power_mw_at_15mhz: None,
+        }
+    }
+
+    /// Attaches a measured power figure (15 MHz reference).
+    pub fn set_power(&mut self, power: &PowerReport) {
+        self.power_mw_at_15mhz = Some(power.total_mw());
+    }
+}
+
+impl std::fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<28} {:>6} LEs  {:>7.1} MHz  {:>2} stages",
+            self.name, self.les, self.fmax_mhz, self.pipeline_stages
+        )?;
+        if let Some(p) = self.power_mw_at_15mhz {
+            write!(f, "  {p:>7.1} mW@15MHz")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::map::map_netlist;
+    use crate::timing::analyze;
+    use dwt_rtl::builder::NetlistBuilder;
+
+    fn sample() -> SynthesisReport {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let s = b.carry_add("s", &x, &x, 9).unwrap();
+        let q = b.register("q", &s).unwrap();
+        b.output("o", &q).unwrap();
+        let n = b.finish().unwrap();
+        let mapped = map_netlist(&n);
+        let timing = analyze(&n, &Device::apex20ke().timing);
+        SynthesisReport::new("sample", &mapped, &timing, 1)
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let r = sample();
+        assert_eq!(
+            r.les,
+            r.les_carry_chain + r.les_full_adder + r.les_standalone_ff + r.les_lut
+        );
+        assert!(r.fmax_mhz > 0.0);
+        assert!((r.fmax_mhz - 1000.0 / r.critical_path_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders_power_when_set() {
+        let mut r = sample();
+        assert!(!r.to_string().contains("mW"));
+        r.set_power(&crate::power::PowerReport {
+            f_mhz: 15.0,
+            dynamic_mw: 100.0,
+            clock_mw: 10.0,
+            static_mw: 12.0,
+        });
+        assert!(r.to_string().contains("122.0 mW@15MHz"));
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let r = sample();
+        assert_eq!(r.clone(), r);
+    }
+}

@@ -1,0 +1,24 @@
+//! # dwt-imaging
+//!
+//! Test imagery for the DATE'05 DWT reproduction: deterministic
+//! procedural still-tone images (standing in for the paper's Lena tile,
+//! which cannot be redistributed), PGM input/output for users who have
+//! real photographs, and JPEG2000-style tiling.
+//!
+//! ```
+//! use dwt_imaging::synth::{adjacent_correlation, standard_tile};
+//!
+//! let tile = standard_tile();
+//! assert_eq!(tile.dims(), (128, 128));
+//! // Still-tone imagery is strongly correlated between neighbours.
+//! assert!(adjacent_correlation(&tile) > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod pgm;
+pub mod stats;
+pub mod synth;
+pub mod tiles;

@@ -1,0 +1,137 @@
+//! Image statistics: the quantities that make an image "still tone" —
+//! the premise of the paper's compression argument.
+
+use dwt_core::grid::Grid;
+
+/// First- and second-order statistics of an image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageStats {
+    /// Mean sample value.
+    pub mean: f64,
+    /// Sample variance.
+    pub variance: f64,
+    /// Smallest sample.
+    pub min: i32,
+    /// Largest sample.
+    pub max: i32,
+    /// Zeroth-order entropy of the sample values, in bits.
+    pub entropy_bits: f64,
+    /// Zeroth-order entropy of the horizontal first differences — the
+    /// statistic the DWT exploits: still-tone images have difference
+    /// entropy far below sample entropy.
+    pub diff_entropy_bits: f64,
+}
+
+/// Computes the statistics.
+///
+/// # Panics
+///
+/// Panics if the image is empty or has fewer than two columns.
+///
+/// # Examples
+///
+/// ```
+/// use dwt_imaging::stats::analyze;
+/// use dwt_imaging::synth::standard_tile;
+///
+/// let stats = analyze(&standard_tile());
+/// // The redundancy the paper's introduction talks about:
+/// assert!(stats.diff_entropy_bits < stats.entropy_bits);
+/// ```
+#[must_use]
+pub fn analyze(image: &Grid<i32>) -> ImageStats {
+    let (rows, cols) = image.dims();
+    assert!(rows > 0 && cols >= 2, "image too small for statistics");
+    let n = (rows * cols) as f64;
+    let mean = image.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+    let variance = image
+        .iter()
+        .map(|&v| (f64::from(v) - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    let min = image.iter().min().copied().expect("non-empty");
+    let max = image.iter().max().copied().expect("non-empty");
+
+    let entropy = |values: &mut dyn Iterator<Item = i32>| -> f64 {
+        let mut counts = std::collections::HashMap::new();
+        let mut total = 0u64;
+        for v in values {
+            *counts.entry(v).or_insert(0u64) += 1;
+            total += 1;
+        }
+        counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum()
+    };
+    let entropy_bits = entropy(&mut image.iter().copied());
+    let mut diffs = (0..rows).flat_map(|r| {
+        let row = image.row(r);
+        (1..cols).map(move |c| row[c] - row[c - 1])
+    });
+    let diff_entropy_bits = entropy(&mut diffs);
+
+    ImageStats { mean, variance, min, max, entropy_bits, diff_entropy_bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::StillToneImage;
+
+    #[test]
+    fn constant_image_has_zero_entropy() {
+        let img = Grid::filled(8, 8, 42);
+        let s = analyze(&img);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.entropy_bits, 0.0);
+        assert_eq!(s.diff_entropy_bits, 0.0);
+        assert_eq!((s.min, s.max), (42, 42));
+    }
+
+    #[test]
+    fn still_tone_images_have_low_difference_entropy() {
+        for seed in 0..6 {
+            let img = StillToneImage::new(64, 64).seed(seed).generate();
+            let s = analyze(&img);
+            assert!(
+                s.diff_entropy_bits < 0.75 * s.entropy_bits,
+                "seed {seed}: diff {} vs sample {}",
+                s.diff_entropy_bits,
+                s.entropy_bits
+            );
+        }
+    }
+
+    #[test]
+    fn noise_has_high_difference_entropy() {
+        // A hash-noise image: differences are as random as samples.
+        let splitmix = |mut z: u64| -> u64 {
+            z = z.wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let data: Vec<i32> = (0..64 * 64u64)
+            .map(|i| (splitmix(i) % 256) as i32 - 128)
+            .collect();
+        let img = Grid::from_vec(64, 64, data).unwrap();
+        let s = analyze(&img);
+        assert!(s.diff_entropy_bits > 0.9 * s.entropy_bits);
+    }
+
+    #[test]
+    fn checkerboard_statistics() {
+        let data: Vec<i32> = (0..16 * 16)
+            .map(|i| if (i / 16 + i % 16) % 2 == 0 { 100 } else { -100 })
+            .collect();
+        let img = Grid::from_vec(16, 16, data).unwrap();
+        let s = analyze(&img);
+        assert_eq!(s.mean, 0.0);
+        assert!((s.entropy_bits - 1.0).abs() < 1e-9); // two symbols
+    }
+}

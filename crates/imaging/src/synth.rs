@@ -1,0 +1,249 @@
+//! Synthetic still-tone test imagery.
+//!
+//! The paper measures Table 2 on "a tile of the Lena image", which is
+//! not redistributable. This module generates deterministic procedural
+//! images with the statistics that matter for the experiment — strong
+//! adjacent-pixel correlation (smooth shading), a handful of soft edges,
+//! and mild texture — so the DWT concentrates energy in the low band the
+//! same way it does on photographs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dwt_core::grid::Grid;
+
+/// Builder for procedural still-tone images.
+///
+/// # Examples
+///
+/// ```
+/// use dwt_imaging::synth::StillToneImage;
+///
+/// let img = StillToneImage::new(64, 64).seed(7).generate();
+/// assert_eq!(img.dims(), (64, 64));
+/// // Pixels are level-shifted 8-bit values.
+/// assert!(img.iter().all(|&v| (-128..=127).contains(&v)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StillToneImage {
+    rows: usize,
+    cols: usize,
+    seed: u64,
+    blobs: usize,
+    edges: usize,
+    texture_amplitude: f64,
+}
+
+impl StillToneImage {
+    /// Starts a builder for an image of the given dimensions.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        StillToneImage {
+            rows,
+            cols,
+            seed: 2005,
+            blobs: 6,
+            edges: 3,
+            texture_amplitude: 3.0,
+        }
+    }
+
+    /// Sets the random seed (images are deterministic per seed).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of smooth luminance blobs.
+    #[must_use]
+    pub fn blobs(mut self, blobs: usize) -> Self {
+        self.blobs = blobs;
+        self
+    }
+
+    /// Sets the number of soft directional edges.
+    #[must_use]
+    pub fn edges(mut self, edges: usize) -> Self {
+        self.edges = edges;
+        self
+    }
+
+    /// Sets the amplitude of the fine texture component (grey levels).
+    #[must_use]
+    pub fn texture_amplitude(mut self, amplitude: f64) -> Self {
+        self.texture_amplitude = amplitude;
+        self
+    }
+
+    /// Renders the image as level-shifted signed 8-bit samples
+    /// (0..255 mapped to −128..127, as JPEG2000 level-shifts inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn generate(&self) -> Grid<i32> {
+        assert!(self.rows > 0 && self.cols > 0, "empty image");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (rows, cols) = (self.rows, self.cols);
+        let fr = rows as f64;
+        let fc = cols as f64;
+
+        // Base illumination gradient.
+        let gx: f64 = rng.gen_range(-40.0..40.0);
+        let gy: f64 = rng.gen_range(-40.0..40.0);
+        let base: f64 = rng.gen_range(90.0..160.0);
+
+        // Smooth blobs.
+        let blobs: Vec<(f64, f64, f64, f64)> = (0..self.blobs)
+            .map(|_| {
+                (
+                    rng.gen_range(0.0..fr),
+                    rng.gen_range(0.0..fc),
+                    rng.gen_range(-70.0..70.0),
+                    rng.gen_range(0.08..0.35) * fr.min(fc),
+                )
+            })
+            .collect();
+
+        // Soft edges: sigmoid transitions along random directions.
+        let edges: Vec<(f64, f64, f64, f64)> = (0..self.edges)
+            .map(|_| {
+                let theta: f64 = rng.gen_range(0.0..std::f64::consts::PI);
+                (
+                    theta.cos(),
+                    theta.sin(),
+                    rng.gen_range(0.2..0.8) * (fr + fc) / 2.0,
+                    rng.gen_range(-45.0..45.0),
+                )
+            })
+            .collect();
+
+        // Texture phases.
+        let tf1: f64 = rng.gen_range(0.5..1.8);
+        let tf2: f64 = rng.gen_range(0.5..1.8);
+        let tp: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let (x, y) = (r as f64, c as f64);
+                let mut v = base + gx * (x / fr - 0.5) + gy * (y / fc - 0.5);
+                for &(br, bc, amp, sigma) in &blobs {
+                    let d2 = (x - br).powi(2) + (y - bc).powi(2);
+                    v += amp * (-d2 / (2.0 * sigma * sigma)).exp();
+                }
+                for &(dx, dy, offset, amp) in &edges {
+                    let t = (dx * x + dy * y - offset) / 3.0;
+                    v += amp / (1.0 + (-t).exp());
+                }
+                v += self.texture_amplitude
+                    * ((tf1 * x + tp).sin() * (tf2 * y).cos());
+                let pixel = v.round().clamp(0.0, 255.0) as i32;
+                data.push(pixel - 128);
+            }
+        }
+        Grid::from_vec(rows, cols, data).expect("dimensions are consistent")
+    }
+}
+
+/// The standard test tile used by the Table 2 harness: a 128×128
+/// still-tone image standing in for the paper's Lena tile.
+#[must_use]
+pub fn standard_tile() -> Grid<i32> {
+    StillToneImage::new(128, 128).seed(1972).generate()
+}
+
+/// Adjacent-pixel (horizontal) correlation coefficient of an image —
+/// the "still tone" statistic: photographs score well above 0.8.
+///
+/// # Panics
+///
+/// Panics if the image has fewer than two columns.
+#[must_use]
+pub fn adjacent_correlation(image: &Grid<i32>) -> f64 {
+    let (rows, cols) = image.dims();
+    assert!(cols >= 2, "need at least two columns");
+    let mut xs = Vec::with_capacity(rows * (cols - 1));
+    let mut ys = Vec::with_capacity(rows * (cols - 1));
+    for r in 0..rows {
+        let row = image.row(r);
+        for c in 0..cols - 1 {
+            xs.push(f64::from(row[c]));
+            ys.push(f64::from(row[c + 1]));
+        }
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        1.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = StillToneImage::new(32, 32).seed(5).generate();
+        let b = StillToneImage::new(32, 32).seed(5).generate();
+        let c = StillToneImage::new(32, 32).seed(6).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pixels_are_level_shifted_8bit() {
+        let img = standard_tile();
+        assert!(img.iter().all(|&v| (-128..=127).contains(&v)));
+    }
+
+    #[test]
+    fn images_are_still_tone() {
+        for seed in 0..8 {
+            let img = StillToneImage::new(64, 64).seed(seed).generate();
+            let corr = adjacent_correlation(&img);
+            assert!(corr > 0.85, "seed {seed}: correlation {corr}");
+        }
+    }
+
+    #[test]
+    fn images_have_dynamic_range() {
+        let img = standard_tile();
+        let min = img.iter().min().copied().unwrap();
+        let max = img.iter().max().copied().unwrap();
+        assert!(max - min > 60, "flat image: {min}..{max}");
+    }
+
+    #[test]
+    fn texture_amplitude_controls_roughness() {
+        let smooth = StillToneImage::new(48, 48).seed(3).texture_amplitude(0.0).generate();
+        let rough = StillToneImage::new(48, 48).seed(3).texture_amplitude(12.0).generate();
+        assert!(adjacent_correlation(&rough) < adjacent_correlation(&smooth));
+    }
+
+    #[test]
+    fn constant_image_correlation_is_one() {
+        let img = Grid::filled(8, 8, 42);
+        assert_eq!(adjacent_correlation(&img), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty image")]
+    fn zero_dims_panic() {
+        let _ = StillToneImage::new(0, 8).generate();
+    }
+}

@@ -1,0 +1,139 @@
+//! Tiling — JPEG2000 processes images as independent tiles, and the
+//! paper measures Table 2 "in a tile of 'Lena'".
+
+use dwt_core::grid::Grid;
+
+/// Iterator over the tiles of an image, row-major, edge tiles clipped.
+#[derive(Debug)]
+pub struct Tiles<'a> {
+    image: &'a Grid<i32>,
+    tile_rows: usize,
+    tile_cols: usize,
+    next: usize,
+}
+
+/// One tile with its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tile {
+    /// Top-left row of the tile in the source image.
+    pub row0: usize,
+    /// Top-left column.
+    pub col0: usize,
+    /// The pixel data.
+    pub data: Grid<i32>,
+}
+
+/// Splits an image into tiles of at most `tile_rows` × `tile_cols`.
+///
+/// # Panics
+///
+/// Panics if either tile dimension is zero.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_core::Error> {
+/// use dwt_core::grid::Grid;
+/// use dwt_imaging::tiles::tiles;
+///
+/// let img = Grid::from_vec(5, 6, (0..30).collect())?;
+/// let all: Vec<_> = tiles(&img, 4, 4).collect();
+/// assert_eq!(all.len(), 4); // 2x2 tile grid, edges clipped
+/// assert_eq!(all[3].data.dims(), (1, 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn tiles(image: &Grid<i32>, tile_rows: usize, tile_cols: usize) -> Tiles<'_> {
+    assert!(tile_rows > 0 && tile_cols > 0, "zero tile dimension");
+    Tiles { image, tile_rows, tile_cols, next: 0 }
+}
+
+impl Iterator for Tiles<'_> {
+    type Item = Tile;
+
+    fn next(&mut self) -> Option<Tile> {
+        let (rows, cols) = self.image.dims();
+        let tiles_across = cols.div_ceil(self.tile_cols);
+        let tiles_down = rows.div_ceil(self.tile_rows);
+        if self.next >= tiles_across * tiles_down {
+            return None;
+        }
+        let tr = self.next / tiles_across;
+        let tc = self.next % tiles_across;
+        self.next += 1;
+        let row0 = tr * self.tile_rows;
+        let col0 = tc * self.tile_cols;
+        let nr = self.tile_rows.min(rows - row0);
+        let nc = self.tile_cols.min(cols - col0);
+        let mut data = Vec::with_capacity(nr * nc);
+        for r in row0..row0 + nr {
+            data.extend_from_slice(&self.image.row(r)[col0..col0 + nc]);
+        }
+        Some(Tile {
+            row0,
+            col0,
+            data: Grid::from_vec(nr, nc, data).expect("consistent dims"),
+        })
+    }
+}
+
+/// Reassembles tiles (as produced by [`tiles`]) into an image of the
+/// given dimensions.
+///
+/// # Panics
+///
+/// Panics if a tile falls outside the target dimensions.
+#[must_use]
+pub fn assemble(rows: usize, cols: usize, parts: &[Tile]) -> Grid<i32> {
+    let mut out = Grid::filled(rows, cols, 0);
+    for tile in parts {
+        let (nr, nc) = tile.data.dims();
+        assert!(
+            tile.row0 + nr <= rows && tile.col0 + nc <= cols,
+            "tile out of bounds"
+        );
+        for r in 0..nr {
+            let dst_row = out.row_mut(tile.row0 + r);
+            dst_row[tile.col0..tile.col0 + nc].copy_from_slice(tile.data.row(r));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_cover_exactly_once() {
+        let img = Grid::from_vec(7, 9, (0..63).collect()).unwrap();
+        let parts: Vec<_> = tiles(&img, 3, 4).collect();
+        let back = assemble(7, 9, &parts);
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn exact_division_has_uniform_tiles() {
+        let img = Grid::filled(8, 8, 1);
+        let parts: Vec<_> = tiles(&img, 4, 4).collect();
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(|t| t.data.dims() == (4, 4)));
+    }
+
+    #[test]
+    fn single_tile_when_tile_bigger_than_image() {
+        let img = Grid::filled(5, 5, 2);
+        let parts: Vec<_> = tiles(&img, 100, 100).collect();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].data.dims(), (5, 5));
+    }
+
+    #[test]
+    fn positions_are_correct() {
+        let img = Grid::from_vec(4, 4, (0..16).collect()).unwrap();
+        let parts: Vec<_> = tiles(&img, 2, 2).collect();
+        assert_eq!(parts[3].row0, 2);
+        assert_eq!(parts[3].col0, 2);
+        assert_eq!(parts[3].data[(0, 0)], 10);
+    }
+}

@@ -1,0 +1,971 @@
+//! Fluent netlist construction.
+//!
+//! The builder allocates nets, emits cells, and wires buses. Wiring-only
+//! operations — sign extension, shifts, slices — rearrange net ids and
+//! emit no cells, so they are free in area and delay, exactly as in a
+//! synthesized design.
+
+use std::collections::BTreeMap;
+
+use crate::cell::{tables, Cell, CellKind};
+use crate::error::{Error, Result};
+use crate::net::{Bus, NetId};
+use crate::netlist::{Netlist, Port, PortDirection};
+
+/// Incremental netlist builder.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_rtl::Error> {
+/// use dwt_rtl::builder::NetlistBuilder;
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.input("x", 8)?;
+/// let y = b.input("y", 8)?;
+/// let sum = b.carry_add("sum", &x, &y, 9)?;
+/// let q = b.register("q", &sum)?;
+/// b.output("out", &q)?;
+/// let netlist = b.finish()?;
+/// assert_eq!(netlist.census().carry_adders, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct NetlistBuilder {
+    cells: Vec<Cell>,
+    net_count: u32,
+    ports: BTreeMap<String, Port>,
+    constants: BTreeMap<(i64, usize), Bus>,
+}
+
+/// Handle for closing a register feedback loop created by
+/// [`NetlistBuilder::register_loop`].
+#[derive(Debug)]
+pub struct LoopFeed {
+    cell_index: usize,
+}
+
+/// Handle for closing a memory write-data loop created by
+/// [`NetlistBuilder::ram_loop`].
+#[derive(Debug)]
+pub struct RamFeed {
+    cell_index: usize,
+}
+
+impl RamFeed {
+    /// Connects the memory's write-data bus to `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadWidth`] if `src` is not the memory's width.
+    pub fn connect(self, builder: &mut NetlistBuilder, src: &Bus) -> Result<()> {
+        let cell = &mut builder.cells[self.cell_index];
+        if let CellKind::Ram { rdata, wdata, .. } = &mut cell.kind {
+            if src.width() != rdata.width() {
+                return Err(Error::BadWidth { width: src.width() });
+            }
+            *wdata = src.clone();
+            Ok(())
+        } else {
+            unreachable!("RamFeed always points at a memory");
+        }
+    }
+}
+
+impl LoopFeed {
+    /// Connects the register's data input to `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadWidth`] if `src` is not the register's width.
+    pub fn connect(self, builder: &mut NetlistBuilder, src: &Bus) -> Result<()> {
+        let cell = &mut builder.cells[self.cell_index];
+        if let CellKind::Register { d, q } = &mut cell.kind {
+            if src.width() != q.width() {
+                return Err(Error::BadWidth { width: src.width() });
+            }
+            *d = src.clone();
+            Ok(())
+        } else {
+            unreachable!("LoopFeed always points at a register");
+        }
+    }
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        NetlistBuilder::default()
+    }
+
+    fn alloc(&mut self, width: usize) -> Result<Bus> {
+        if width == 0 || width > Bus::MAX_WIDTH {
+            return Err(Error::BadWidth { width });
+        }
+        let start = self.net_count;
+        self.net_count += width as u32;
+        Bus::new((start..self.net_count).map(NetId).collect())
+    }
+
+    fn add_port(&mut self, name: &str, direction: PortDirection, bus: Bus) -> Result<()> {
+        if self.ports.contains_key(name) {
+            return Err(Error::DuplicatePort { name: name.to_owned() });
+        }
+        self.ports.insert(
+            name.to_owned(),
+            Port { name: name.to_owned(), direction, bus },
+        );
+        Ok(())
+    }
+
+    /// Declares a primary input bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DuplicatePort`] or [`Error::BadWidth`].
+    pub fn input(&mut self, name: &str, width: usize) -> Result<Bus> {
+        let bus = self.alloc(width)?;
+        self.add_port(name, PortDirection::Input, bus.clone())?;
+        Ok(bus)
+    }
+
+    /// Declares a primary output observing an existing bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DuplicatePort`] if the name is taken.
+    pub fn output(&mut self, name: &str, bus: &Bus) -> Result<()> {
+        self.add_port(name, PortDirection::Output, bus.clone())
+    }
+
+    /// A constant driver (deduplicated per value/width pair).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadWidth`] or [`Error::ValueOutOfRange`].
+    pub fn constant(&mut self, value: i64, width: usize) -> Result<Bus> {
+        if let Some(bus) = self.constants.get(&(value, width)) {
+            return Ok(bus.clone());
+        }
+        let out = self.alloc(width)?;
+        out.check_value(value)?;
+        self.cells.push(Cell {
+            name: format!("const_{value}_{width}"),
+            kind: CellKind::Constant { value, out: out.clone() },
+        });
+        self.constants.insert((value, width), out.clone());
+        Ok(out)
+    }
+
+    /// The constant-0 net.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; propagates allocation errors.
+    pub fn gnd(&mut self) -> Result<NetId> {
+        Ok(self.constant(0, 1)?.bit(0))
+    }
+
+    /// The constant-1 net.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; propagates allocation errors.
+    pub fn vcc(&mut self) -> Result<NetId> {
+        Ok(self.constant(-1, 1)?.bit(0))
+    }
+
+    /// A register bank fed by `d`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    pub fn register(&mut self, name: &str, d: &Bus) -> Result<Bus> {
+        let q = self.alloc(d.width())?;
+        self.cells.push(Cell {
+            name: name.to_owned(),
+            kind: CellKind::Register { d: d.clone(), q: q.clone() },
+        });
+        Ok(q)
+    }
+
+    /// A register whose data input will be connected later (for feedback
+    /// loops). Until [`LoopFeed::connect`] is called the register holds
+    /// its value (`d` aliases `q`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    pub fn register_loop(&mut self, name: &str, width: usize) -> Result<(Bus, LoopFeed)> {
+        let q = self.alloc(width)?;
+        self.cells.push(Cell {
+            name: name.to_owned(),
+            kind: CellKind::Register { d: q.clone(), q: q.clone() },
+        });
+        Ok((q, LoopFeed { cell_index: self.cells.len() - 1 }))
+    }
+
+    /// Sign-extends `bus` to `width` by replicating its MSB net —
+    /// wiring only ("the left bits from most significant bit of an
+    /// operator are replicated in the MSB", Section 3.4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadWidth`] if `width` is smaller than the bus.
+    pub fn sign_extend(&self, bus: &Bus, width: usize) -> Result<Bus> {
+        if width < bus.width() {
+            return Err(Error::BadWidth { width });
+        }
+        let mut bits = bus.bits().to_vec();
+        let msb = bus.msb();
+        bits.resize(width, msb);
+        Bus::new(bits)
+    }
+
+    /// Left shift by `k` bits (wiring; zero-fills with the ground net).
+    /// The result is `k` bits wider than the input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors for the ground constant.
+    pub fn shift_left(&mut self, bus: &Bus, k: usize) -> Result<Bus> {
+        let gnd = self.gnd()?;
+        let mut bits = vec![gnd; k];
+        bits.extend_from_slice(bus.bits());
+        Bus::new(bits)
+    }
+
+    /// Arithmetic right shift by `k` bits (wiring; drops the low bits,
+    /// the paper's ">>8" output adjustment).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for `k < width`; returns the sign bit alone otherwise.
+    pub fn shift_right_arith(&self, bus: &Bus, k: usize) -> Result<Bus> {
+        if k >= bus.width() {
+            return Bus::new(vec![bus.msb()]);
+        }
+        Bus::new(bus.bits()[k..].to_vec())
+    }
+
+    /// Truncates or sign-extends `bus` to exactly `width` bits (wiring).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus-construction errors.
+    pub fn resize(&self, bus: &Bus, width: usize) -> Result<Bus> {
+        if width <= bus.width() {
+            Bus::new(bus.bits()[..width].to_vec())
+        } else {
+            self.sign_extend(bus, width)
+        }
+    }
+
+    /// Behavioral signed adder on a fast-carry chain; operands are
+    /// sign-extended to `width` and the result wraps modulo `2^width`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and width errors.
+    pub fn carry_add(&mut self, name: &str, a: &Bus, b: &Bus, width: usize) -> Result<Bus> {
+        let a = self.resize(a, width)?;
+        let b = self.resize(b, width)?;
+        let out = self.alloc(width)?;
+        self.cells.push(Cell {
+            name: name.to_owned(),
+            kind: CellKind::CarryAdd { a, b, out: out.clone() },
+        });
+        Ok(out)
+    }
+
+    /// Behavioral signed subtractor (`a - b`) on a fast-carry chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and width errors.
+    pub fn carry_sub(&mut self, name: &str, a: &Bus, b: &Bus, width: usize) -> Result<Bus> {
+        let a = self.resize(a, width)?;
+        let b = self.resize(b, width)?;
+        let out = self.alloc(width)?;
+        self.cells.push(Cell {
+            name: name.to_owned(),
+            kind: CellKind::CarrySub { a, b, out: out.clone() },
+        });
+        Ok(out)
+    }
+
+    fn ripple(
+        &mut self,
+        name: &str,
+        a: &Bus,
+        b: &Bus,
+        width: usize,
+        invert_b: bool,
+    ) -> Result<Bus> {
+        let a = self.resize(a, width)?;
+        let b = self.resize(b, width)?;
+        let out = self.alloc(width)?;
+        let carries = self.alloc(width)?; // cout of each stage
+        let mut cin = if invert_b { self.vcc()? } else { self.gnd()? };
+        for i in 0..width {
+            self.cells.push(Cell {
+                name: format!("{name}_fa{i}"),
+                kind: CellKind::FullAdder {
+                    a: a.bit(i),
+                    b: b.bit(i),
+                    cin,
+                    sum: out.bit(i),
+                    cout: carries.bit(i),
+                    invert_b,
+                },
+            });
+            cin = carries.bit(i);
+        }
+        Ok(out)
+    }
+
+    /// Structural signed adder built from full-adder cells (Section 3.4);
+    /// no carry chain, so the mapper charges 2 LEs per bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and width errors.
+    pub fn ripple_add(&mut self, name: &str, a: &Bus, b: &Bus, width: usize) -> Result<Bus> {
+        self.ripple(name, a, b, width, false)
+    }
+
+    /// Structural signed subtractor (`a - b`) from full-adder cells with
+    /// inverted `b` and carry-in 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and width errors.
+    pub fn ripple_sub(&mut self, name: &str, a: &Bus, b: &Bus, width: usize) -> Result<Bus> {
+        self.ripple(name, a, b, width, true)
+    }
+
+    /// Allocates one fresh net (for hand-wired bit-level structures
+    /// such as carry-save arrays).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    pub fn alloc_net(&mut self) -> Result<NetId> {
+        Ok(self.alloc(1)?.bit(0))
+    }
+
+    /// A raw structural full adder with explicit output nets (allocated
+    /// via [`NetlistBuilder::alloc_net`]).
+    ///
+    /// # Errors
+    ///
+    /// Never fails; kept fallible for interface symmetry.
+    pub fn full_adder(
+        &mut self,
+        name: &str,
+        a: NetId,
+        b: NetId,
+        cin: NetId,
+        sum: NetId,
+        cout: NetId,
+    ) -> Result<()> {
+        self.cells.push(Cell {
+            name: name.to_owned(),
+            kind: CellKind::FullAdder { a, b, cin, sum, cout, invert_b: false },
+        });
+        Ok(())
+    }
+
+    /// A raw LUT cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooManyLutInputs`] for more than four inputs.
+    pub fn lut(&mut self, name: &str, inputs: &[NetId], table: u16) -> Result<NetId> {
+        if inputs.is_empty() || inputs.len() > 4 {
+            return Err(Error::TooManyLutInputs { count: inputs.len() });
+        }
+        let out = self.alloc(1)?.bit(0);
+        self.cells.push(Cell {
+            name: name.to_owned(),
+            kind: CellKind::Lut { inputs: inputs.to_vec(), table, output: out },
+        });
+        Ok(out)
+    }
+
+    /// Bitwise NOT via one LUT per bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    pub fn not(&mut self, name: &str, bus: &Bus) -> Result<Bus> {
+        let mut bits = Vec::with_capacity(bus.width());
+        for (i, &b) in bus.bits().iter().enumerate() {
+            bits.push(self.lut(&format!("{name}_not{i}"), &[b], tables::NOT1)?);
+        }
+        Bus::new(bits)
+    }
+
+    /// A simple dual-port memory: asynchronous read (`rdata` follows
+    /// `raddr`), synchronous write. Returns the read-data bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadWidth`] for a zero-word memory or propagates
+    /// allocation errors.
+    #[allow(clippy::too_many_arguments)] // one argument per memory port pin
+    pub fn ram(
+        &mut self,
+        name: &str,
+        words: usize,
+        width: usize,
+        raddr: &Bus,
+        waddr: &Bus,
+        wdata: &Bus,
+        wen: NetId,
+    ) -> Result<Bus> {
+        if words == 0 {
+            return Err(Error::BadWidth { width: 0 });
+        }
+        let rdata = self.alloc(width)?;
+        self.cells.push(Cell {
+            name: name.to_owned(),
+            kind: CellKind::Ram {
+                words,
+                raddr: raddr.clone(),
+                rdata: rdata.clone(),
+                waddr: waddr.clone(),
+                wdata: wdata.clone(),
+                wen,
+            },
+        });
+        Ok(rdata)
+    }
+
+    /// A dual-port memory whose write-data bus is connected later —
+    /// for read-modify-write feedback loops (the memory analogue of
+    /// [`NetlistBuilder::register_loop`]). Until connected, the memory
+    /// rewrites each word with itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    pub fn ram_loop(
+        &mut self,
+        name: &str,
+        words: usize,
+        width: usize,
+        raddr: &Bus,
+        waddr: &Bus,
+        wen: NetId,
+    ) -> Result<(Bus, RamFeed)> {
+        if words == 0 {
+            return Err(Error::BadWidth { width: 0 });
+        }
+        let rdata = self.alloc(width)?;
+        self.cells.push(Cell {
+            name: name.to_owned(),
+            kind: CellKind::Ram {
+                words,
+                raddr: raddr.clone(),
+                rdata: rdata.clone(),
+                waddr: waddr.clone(),
+                wdata: rdata.clone(),
+                wen,
+            },
+        });
+        Ok((rdata, RamFeed { cell_index: self.cells.len() - 1 }))
+    }
+
+    /// Per-bit 2-to-1 multiplexer: `sel ? a : b` (operands padded to the
+    /// wider width by sign extension).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    pub fn mux(&mut self, name: &str, sel: NetId, a: &Bus, b: &Bus) -> Result<Bus> {
+        let width = a.width().max(b.width());
+        let a = self.sign_extend(a, width)?;
+        let b = self.sign_extend(b, width)?;
+        let mut bits = Vec::with_capacity(width);
+        for i in 0..width {
+            // inputs: [sel, a_i, b_i]; out = sel ? a : b.
+            // index bits: bit0 = sel, bit1 = a, bit2 = b.
+            // sel=1 -> a: minterms where (sel&a): idx 3, 7; sel=0 -> b:
+            // idx 4, 6.
+            let table = 0b1101_1000;
+            bits.push(self.lut(
+                &format!("{name}_m{i}"),
+                &[sel, a.bit(i), b.bit(i)],
+                table,
+            )?);
+        }
+        Bus::new(bits)
+    }
+
+    /// Equality comparison against a constant: a single net that is high
+    /// when `bus == value` (two's complement).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    pub fn eq_const(&mut self, name: &str, bus: &Bus, value: i64) -> Result<NetId> {
+        // Per-bit match terms, then an AND tree.
+        let mut terms = Vec::with_capacity(bus.width());
+        for (i, &bit) in bus.bits().iter().enumerate() {
+            let want = (value >> i) & 1 != 0;
+            let table = if want { tables::BUF1 } else { tables::NOT1 };
+            terms.push(self.lut(&format!("{name}_b{i}"), &[bit], table)?);
+        }
+        self.and_tree(name, &terms)
+    }
+
+    /// Equality comparison of two buses (sign-extended to the wider
+    /// width): a single net that is high when they carry equal values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    pub fn eq_bus(&mut self, name: &str, a: &Bus, b: &Bus) -> Result<NetId> {
+        let width = a.width().max(b.width());
+        let a = self.sign_extend(a, width)?;
+        let b = self.sign_extend(b, width)?;
+        let mut terms = Vec::with_capacity(width);
+        for i in 0..width {
+            // XNOR of the two bits.
+            terms.push(self.lut(
+                &format!("{name}_x{i}"),
+                &[a.bit(i), b.bit(i)],
+                !tables::XOR2 & 0xf,
+            )?);
+        }
+        self.and_tree(name, &terms)
+    }
+
+    /// AND reduction of a set of nets (4-input LUT tree).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors; an empty input yields constant 1.
+    pub fn and_tree(&mut self, name: &str, nets: &[NetId]) -> Result<NetId> {
+        if nets.is_empty() {
+            return self.vcc();
+        }
+        let mut level: Vec<NetId> = nets.to_vec();
+        let mut depth = 0;
+        while level.len() > 1 {
+            depth += 1;
+            let mut next = Vec::with_capacity(level.len().div_ceil(4));
+            for (i, chunk) in level.chunks(4).enumerate() {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    // AND of up to 4 inputs: output 1 only when all
+                    // selector bits are 1.
+                    let table = 1u16 << ((1usize << chunk.len()) - 1);
+                    next.push(self.lut(&format!("{name}_and{depth}_{i}"), chunk, table)?);
+                }
+            }
+            level = next;
+        }
+        Ok(level[0])
+    }
+
+    /// Copies every cell of `other` into this netlist with fresh nets,
+    /// connecting `other`'s input ports to the supplied buses; returns
+    /// `other`'s output ports as buses in this netlist. Cell names are
+    /// prefixed with `prefix`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPort`] if an input of `other` is missing
+    /// from `connections`, or [`Error::BadWidth`] on width mismatch.
+    pub fn instantiate(
+        &mut self,
+        other: &crate::netlist::Netlist,
+        prefix: &str,
+        connections: &BTreeMap<String, Bus>,
+    ) -> Result<BTreeMap<String, Bus>> {
+        use crate::netlist::PortDirection;
+
+        // Map each of other's nets to a net here: input-port nets bind
+        // to the provided buses, everything else gets a fresh net.
+        let mut map: Vec<Option<NetId>> = vec![None; other.net_count()];
+        for port in other.ports().values() {
+            if port.direction == PortDirection::Input {
+                let bound = connections
+                    .get(&port.name)
+                    .ok_or_else(|| Error::UnknownPort { name: port.name.clone() })?;
+                if bound.width() != port.bus.width() {
+                    return Err(Error::BadWidth { width: bound.width() });
+                }
+                for (inner, outer) in port.bus.bits().iter().zip(bound.bits()) {
+                    map[inner.index()] = Some(*outer);
+                }
+            }
+        }
+        fn map_net(
+            this: &mut NetlistBuilder,
+            map: &mut [Option<NetId>],
+            net: NetId,
+        ) -> NetId {
+            if let Some(mapped) = map[net.index()] {
+                mapped
+            } else {
+                let fresh = NetId(this.net_count);
+                this.net_count += 1;
+                map[net.index()] = Some(fresh);
+                fresh
+            }
+        }
+        fn map_bus_fn(
+            this: &mut NetlistBuilder,
+            map: &mut [Option<NetId>],
+            bus: &Bus,
+        ) -> Result<Bus> {
+            Bus::new(bus.bits().iter().map(|&n| map_net(this, map, n)).collect())
+        }
+        for cell in other.cells() {
+            let kind = match &cell.kind {
+                CellKind::Lut { inputs, table, output } => CellKind::Lut {
+                    inputs: inputs.iter().map(|&n| map_net(self, &mut map, n)).collect(),
+                    table: *table,
+                    output: map_net(self, &mut map, *output),
+                },
+                CellKind::FullAdder { a, b, cin, sum, cout, invert_b } => {
+                    CellKind::FullAdder {
+                        a: map_net(self, &mut map, *a),
+                        b: map_net(self, &mut map, *b),
+                        cin: map_net(self, &mut map, *cin),
+                        sum: map_net(self, &mut map, *sum),
+                        cout: map_net(self, &mut map, *cout),
+                        invert_b: *invert_b,
+                    }
+                }
+                CellKind::CarryAdd { a, b, out } => CellKind::CarryAdd {
+                    a: map_bus_fn(self, &mut map, a)?,
+                    b: map_bus_fn(self, &mut map, b)?,
+                    out: map_bus_fn(self, &mut map, out)?,
+                },
+                CellKind::CarrySub { a, b, out } => CellKind::CarrySub {
+                    a: map_bus_fn(self, &mut map, a)?,
+                    b: map_bus_fn(self, &mut map, b)?,
+                    out: map_bus_fn(self, &mut map, out)?,
+                },
+                CellKind::Register { d, q } => CellKind::Register {
+                    d: map_bus_fn(self, &mut map, d)?,
+                    q: map_bus_fn(self, &mut map, q)?,
+                },
+                CellKind::Constant { value, out } => CellKind::Constant {
+                    value: *value,
+                    out: map_bus_fn(self, &mut map, out)?,
+                },
+                CellKind::Ram { words, raddr, rdata, waddr, wdata, wen } => CellKind::Ram {
+                    words: *words,
+                    raddr: map_bus_fn(self, &mut map, raddr)?,
+                    rdata: map_bus_fn(self, &mut map, rdata)?,
+                    waddr: map_bus_fn(self, &mut map, waddr)?,
+                    wdata: map_bus_fn(self, &mut map, wdata)?,
+                    wen: map_net(self, &mut map, *wen),
+                },
+            };
+            self.cells.push(Cell { name: format!("{prefix}{}", cell.name), kind });
+        }
+
+        let mut outputs = BTreeMap::new();
+        for port in other.ports().values() {
+            if port.direction == PortDirection::Output {
+                outputs.insert(
+                    port.name.clone(),
+                    map_bus_fn(self, &mut map, &port.bus)?,
+                );
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Number of cells emitted so far.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Validates and seals the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found (multiple drivers,
+    /// undriven nets, combinational loops).
+    pub fn finish(self) -> Result<Netlist> {
+        Netlist::validate(self.cells, self.net_count, self.ports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_port_rejected() {
+        let mut b = NetlistBuilder::new();
+        b.input("x", 4).unwrap();
+        assert_eq!(
+            b.input("x", 4).unwrap_err(),
+            Error::DuplicatePort { name: "x".into() }
+        );
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        let mut b = NetlistBuilder::new();
+        assert!(b.input("x", 0).is_err());
+    }
+
+    #[test]
+    fn constants_are_deduplicated() {
+        let mut b = NetlistBuilder::new();
+        let c1 = b.constant(5, 4).unwrap();
+        let c2 = b.constant(5, 4).unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(b.cell_count(), 1);
+    }
+
+    #[test]
+    fn constant_out_of_range_rejected() {
+        let mut b = NetlistBuilder::new();
+        assert!(b.constant(8, 4).is_err());
+    }
+
+    #[test]
+    fn sign_extension_is_wiring() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let before = b.cell_count();
+        let y = b.sign_extend(&x, 8).unwrap();
+        assert_eq!(b.cell_count(), before);
+        assert_eq!(y.width(), 8);
+        assert_eq!(y.bit(7), x.bit(3));
+        assert_eq!(y.bit(4), x.bit(3));
+    }
+
+    #[test]
+    fn shifts_are_wiring() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let l = b.shift_left(&x, 2).unwrap();
+        assert_eq!(l.width(), 6);
+        assert_eq!(l.bit(2), x.bit(0));
+        let r = b.shift_right_arith(&x, 2).unwrap();
+        assert_eq!(r.width(), 2);
+        assert_eq!(r.bit(0), x.bit(2));
+        let all = b.shift_right_arith(&x, 7).unwrap();
+        assert_eq!(all.width(), 1);
+        assert_eq!(all.bit(0), x.bit(3));
+    }
+
+    #[test]
+    fn ripple_adder_emits_width_cells() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let y = b.input("y", 8).unwrap();
+        let s = b.ripple_add("s", &x, &y, 9).unwrap();
+        b.output("o", &s).unwrap();
+        let n = b.finish().unwrap();
+        assert_eq!(n.census().full_adders, 9);
+    }
+
+    #[test]
+    fn lut_input_limit() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 5).unwrap();
+        let bits: Vec<NetId> = x.bits().to_vec();
+        assert!(b.lut("bad", &bits, 0).is_err());
+        assert!(b.lut("ok", &bits[..4], 0xffff).is_ok());
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        // An output observing an unallocated... not constructible through
+        // the builder; instead check a register loop left dangling is ok
+        // (d aliases q) and the netlist still validates.
+        let mut b = NetlistBuilder::new();
+        let (q, _feed) = b.register_loop("r", 4).unwrap();
+        b.output("o", &q).unwrap();
+        assert!(b.finish().is_ok());
+    }
+}
+
+#[cfg(test)]
+mod hierarchy_tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn ram_write_then_read() {
+        let mut b = NetlistBuilder::new();
+        let raddr = b.input("raddr", 4).unwrap();
+        let waddr = b.input("waddr", 4).unwrap();
+        let wdata = b.input("wdata", 8).unwrap();
+        let wen = b.input("wen", 1).unwrap();
+        let rdata = b
+            .ram("mem", 16, 8, &raddr, &waddr, &wdata, wen.bit(0))
+            .unwrap();
+        b.output("rdata", &rdata).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+
+        // Write 42 to address 3: the write port samples at the edge, so
+        // the inputs must be settled before the tick that commits them.
+        sim.set_input("waddr", 3).unwrap();
+        sim.set_input("wdata", 42).unwrap();
+        sim.set_input("wen", -1).unwrap();
+        sim.set_input("raddr", 3).unwrap();
+        sim.settle();
+        sim.tick();
+        assert_eq!(sim.peek("rdata").unwrap(), 42);
+
+        // Read another address: combinational read follows raddr.
+        sim.set_input("wen", 0).unwrap();
+        sim.set_input("raddr", 5).unwrap();
+        sim.tick();
+        assert_eq!(sim.peek("rdata").unwrap(), 0);
+        sim.set_input("raddr", 3).unwrap();
+        sim.tick();
+        assert_eq!(sim.peek("rdata").unwrap(), 42);
+    }
+
+    #[test]
+    fn ram_poke_and_peek() {
+        // Address buses carry unsigned values, so they are declared one
+        // bit wider than the word-count needs.
+        let mut b = NetlistBuilder::new();
+        let raddr = b.input("raddr", 4).unwrap();
+        let gnd_bus = b.constant(0, 4).unwrap();
+        let zero8 = b.constant(0, 8).unwrap();
+        let gnd = b.gnd().unwrap();
+        let rdata = b.ram("mem", 8, 8, &raddr, &gnd_bus, &zero8, gnd).unwrap();
+        b.output("rdata", &rdata).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+
+        sim.poke_ram("mem", 6, -77).unwrap();
+        assert_eq!(sim.peek_ram("mem", 6).unwrap(), -77);
+        sim.set_input("raddr", 6).unwrap();
+        sim.tick();
+        assert_eq!(sim.peek("rdata").unwrap(), -77);
+        assert!(sim.poke_ram("mem", 99, 0).is_err());
+        assert!(sim.peek_ram("nope", 0).is_err());
+    }
+
+    #[test]
+    fn ram_feedback_loop_is_legal() {
+        // read -> +1 -> write back to the same address: a synchronous
+        // memory loop must not be flagged as combinational.
+        let mut b = NetlistBuilder::new();
+        let addr = b.input("addr", 3).unwrap();
+        let one = b.constant(1, 8).unwrap();
+        let vcc = b.vcc().unwrap();
+        let (rdata, feed) = b.ram_loop("mem", 8, 8, &addr, &addr, vcc).unwrap();
+        let inc = b.carry_add("inc", &rdata, &one, 8).unwrap();
+        feed.connect(&mut b, &inc).unwrap();
+        b.output("value", &rdata).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.set_input("addr", 2).unwrap();
+        sim.settle(); // propagate the address before the first edge
+        for expected in 1..=5 {
+            sim.tick();
+            assert_eq!(sim.peek_ram("mem", 2).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut b = NetlistBuilder::new();
+        let sel = b.input("sel", 1).unwrap();
+        let a = b.input("a", 6).unwrap();
+        let c = b.input("b", 6).unwrap();
+        let out = b.mux("m", sel.bit(0), &a, &c).unwrap();
+        b.output("o", &out).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.set_input("a", 13).unwrap();
+        sim.set_input("b", -7).unwrap();
+        sim.set_input("sel", -1).unwrap();
+        sim.settle();
+        assert_eq!(sim.peek("o").unwrap(), 13);
+        sim.set_input("sel", 0).unwrap();
+        sim.settle();
+        assert_eq!(sim.peek("o").unwrap(), -7);
+    }
+
+    #[test]
+    fn eq_const_detects_exact_value() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 7).unwrap();
+        let hit = b.eq_const("cmp", &x, 37).unwrap();
+        b.output("hit", &Bus::from(hit)).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        for v in [0i64, 36, 37, 38, -37, 63] {
+            sim.set_input("x", v).unwrap();
+            sim.settle();
+            assert_eq!(sim.peek("hit").unwrap() != 0, v == 37, "v={v}");
+        }
+    }
+
+    #[test]
+    fn and_tree_wide_reduction() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 11).unwrap();
+        let bits: Vec<NetId> = x.bits().to_vec();
+        let all = b.and_tree("t", &bits).unwrap();
+        b.output("all", &Bus::from(all)).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.set_input("x", -1).unwrap(); // all ones
+        sim.settle();
+        assert_eq!(sim.peek("all").unwrap(), -1);
+        sim.set_input("x", -2).unwrap(); // bit 0 low
+        sim.settle();
+        assert_eq!(sim.peek("all").unwrap(), 0);
+    }
+
+    #[test]
+    fn instantiate_embeds_a_subcircuit() {
+        // Child: doubler with a register.
+        let mut child = NetlistBuilder::new();
+        let x = child.input("x", 8).unwrap();
+        let d = child.carry_add("dbl", &x, &x, 9).unwrap();
+        let q = child.register("q", &d).unwrap();
+        child.output("y", &q).unwrap();
+        let child = child.finish().unwrap();
+
+        // Parent: two instances in series.
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let out1 = b
+            .instantiate(&child, "u1_", &[("x".to_owned(), x)].into())
+            .unwrap();
+        let y1 = b.resize(&out1["y"], 8).unwrap();
+        let out2 = b
+            .instantiate(&child, "u2_", &[("x".to_owned(), y1)].into())
+            .unwrap();
+        b.output("y", &out2["y"]).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.set_input("x", 11).unwrap();
+        sim.tick(); // input reaches u1's register
+        sim.tick(); // u1 output reaches u2's register
+        sim.tick();
+        assert_eq!(sim.peek("y").unwrap(), 44);
+    }
+
+    #[test]
+    fn instantiate_missing_connection_errors() {
+        let mut child = NetlistBuilder::new();
+        let x = child.input("x", 8).unwrap();
+        child.output("y", &x).unwrap();
+        let child = child.finish().unwrap();
+        let mut b = NetlistBuilder::new();
+        assert!(matches!(
+            b.instantiate(&child, "u_", &BTreeMap::new()),
+            Err(Error::UnknownPort { .. })
+        ));
+    }
+}

@@ -1,0 +1,258 @@
+//! Cell library.
+//!
+//! Two abstraction levels coexist in one netlist, mirroring the paper's
+//! behavioral-vs-structural dichotomy:
+//!
+//! * **Word-level cells** ([`CellKind::CarryAdd`], [`CellKind::CarrySub`])
+//!   correspond to behavioral VHDL `+`/`-` operators. The FPGA mapper
+//!   implements them on dedicated fast-carry chains (1 logic element per
+//!   bit — Section 4: "an 8-bit adder is mapped onto just 8 LEs").
+//! * **Bit-level cells** ([`CellKind::FullAdder`], [`CellKind::Lut`])
+//!   correspond to structural descriptions built from full-adder
+//!   components. They map to ordinary LUT logic without carry chains
+//!   (2 LEs per adder bit — "an 8-bit adder requires 16 LEs").
+//!
+//! [`CellKind::Register`] is the sequential element; its flip-flops fold
+//! into the logic element driving each data bit when that LE has no other
+//! fanout, as the APEX LE's built-in FF allows.
+
+use crate::net::{Bus, NetId};
+
+/// The operation a cell performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellKind {
+    /// A ≤4-input lookup table. Bit `i` of `table` gives the output for
+    /// the input combination whose bits (in `inputs` order, input 0 =
+    /// least significant selector bit) encode `i`.
+    Lut {
+        /// Input nets (1 to 4).
+        inputs: Vec<NetId>,
+        /// Truth table, one bit per input combination.
+        table: u16,
+        /// Output net.
+        output: NetId,
+    },
+    /// A structural full adder (optionally with inverted `b`, which turns
+    /// a ripple-carry adder into a subtractor when fed carry-in 1).
+    FullAdder {
+        /// First operand bit.
+        a: NetId,
+        /// Second operand bit.
+        b: NetId,
+        /// Carry input.
+        cin: NetId,
+        /// Sum output.
+        sum: NetId,
+        /// Carry output.
+        cout: NetId,
+        /// Whether `b` is complemented before use.
+        invert_b: bool,
+    },
+    /// Behavioral signed addition on a fast-carry chain. All three buses
+    /// must share one width; the result wraps modulo 2^width.
+    CarryAdd {
+        /// First operand.
+        a: Bus,
+        /// Second operand.
+        b: Bus,
+        /// Result.
+        out: Bus,
+    },
+    /// Behavioral signed subtraction (`a - b`) on a fast-carry chain.
+    CarrySub {
+        /// Minuend.
+        a: Bus,
+        /// Subtrahend.
+        b: Bus,
+        /// Result.
+        out: Bus,
+    },
+    /// A bank of D flip-flops: `q` takes the value of `d` at each clock
+    /// edge. `d` and `q` must share one width.
+    Register {
+        /// Data input.
+        d: Bus,
+        /// Registered output.
+        q: Bus,
+    },
+    /// A constant driver.
+    Constant {
+        /// The signed value driven.
+        value: i64,
+        /// Output bus.
+        out: Bus,
+    },
+    /// A simple dual-port synchronous-write / asynchronous-read memory
+    /// (one read port, one write port), the shape of an APEX embedded
+    /// system block. `rdata` follows `raddr` combinationally; the write
+    /// (`waddr`/`wdata` when `wen` is high) commits at the clock edge.
+    Ram {
+        /// Number of words.
+        words: usize,
+        /// Read address.
+        raddr: Bus,
+        /// Read data (combinational).
+        rdata: Bus,
+        /// Write address (sampled at the clock edge).
+        waddr: Bus,
+        /// Write data (sampled at the clock edge).
+        wdata: Bus,
+        /// Write enable (sampled at the clock edge).
+        wen: NetId,
+    },
+}
+
+impl CellKind {
+    /// Whether the cell is combinational (participates in the settle
+    /// phase and in combinational-loop checks).
+    #[must_use]
+    pub fn is_combinational(&self) -> bool {
+        !matches!(self, CellKind::Register { .. })
+    }
+
+    /// Nets the cell reads (for driver/fanout bookkeeping).
+    #[must_use]
+    pub fn input_nets(&self) -> Vec<NetId> {
+        match self {
+            CellKind::Lut { inputs, .. } => inputs.clone(),
+            CellKind::FullAdder { a, b, cin, .. } => vec![*a, *b, *cin],
+            CellKind::CarryAdd { a, b, .. } | CellKind::CarrySub { a, b, .. } => {
+                a.bits().iter().chain(b.bits()).copied().collect()
+            }
+            CellKind::Register { d, .. } => d.bits().to_vec(),
+            CellKind::Constant { .. } => vec![],
+            CellKind::Ram { raddr, waddr, wdata, wen, .. } => raddr
+                .bits()
+                .iter()
+                .chain(waddr.bits())
+                .chain(wdata.bits())
+                .chain(std::iter::once(wen))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Nets whose changes propagate *combinationally* through the cell —
+    /// a subset of [`Self::input_nets`]: a RAM's write port is sampled at
+    /// the clock edge, so only the read address feeds the read data
+    /// combinationally (this is what permits the synchronous read→logic→
+    /// write feedback every memory system has).
+    #[must_use]
+    pub fn comb_input_nets(&self) -> Vec<NetId> {
+        match self {
+            CellKind::Ram { raddr, .. } => raddr.bits().to_vec(),
+            other => other.input_nets(),
+        }
+    }
+
+    /// Nets the cell drives.
+    #[must_use]
+    pub fn output_nets(&self) -> Vec<NetId> {
+        match self {
+            CellKind::Lut { output, .. } => vec![*output],
+            CellKind::FullAdder { sum, cout, .. } => vec![*sum, *cout],
+            CellKind::CarryAdd { out, .. } | CellKind::CarrySub { out, .. } => {
+                out.bits().to_vec()
+            }
+            CellKind::Register { q, .. } => q.bits().to_vec(),
+            CellKind::Constant { out, .. } => out.bits().to_vec(),
+            CellKind::Ram { rdata, .. } => rdata.bits().to_vec(),
+        }
+    }
+}
+
+/// A named cell instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Instance name (used in diagnostics, reports and VCD scopes).
+    pub name: String,
+    /// The operation.
+    pub kind: CellKind,
+}
+
+/// Common 2-input truth tables for [`CellKind::Lut`] (input 0 is the
+/// least significant selector bit).
+pub mod tables {
+    /// 2-input AND.
+    pub const AND2: u16 = 0b1000;
+    /// 2-input OR.
+    pub const OR2: u16 = 0b1110;
+    /// 2-input XOR.
+    pub const XOR2: u16 = 0b0110;
+    /// Inverter (1 input).
+    pub const NOT1: u16 = 0b01;
+    /// Buffer (1 input).
+    pub const BUF1: u16 = 0b10;
+    /// 3-input XOR (full-adder sum).
+    pub const XOR3: u16 = 0b1001_0110;
+    /// 3-input majority (full-adder carry).
+    pub const MAJ3: u16 = 0b1110_1000;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Bus;
+
+    fn bus(ids: std::ops::Range<u32>) -> Bus {
+        Bus::new(ids.map(NetId).collect()).unwrap()
+    }
+
+    #[test]
+    fn io_nets_of_lut() {
+        let k = CellKind::Lut {
+            inputs: vec![NetId(1), NetId(2)],
+            table: tables::AND2,
+            output: NetId(3),
+        };
+        assert_eq!(k.input_nets(), vec![NetId(1), NetId(2)]);
+        assert_eq!(k.output_nets(), vec![NetId(3)]);
+        assert!(k.is_combinational());
+    }
+
+    #[test]
+    fn io_nets_of_carry_add() {
+        let k = CellKind::CarryAdd { a: bus(0..4), b: bus(4..8), out: bus(8..12) };
+        assert_eq!(k.input_nets().len(), 8);
+        assert_eq!(k.output_nets().len(), 4);
+    }
+
+    #[test]
+    fn register_is_sequential() {
+        let k = CellKind::Register { d: bus(0..4), q: bus(4..8) };
+        assert!(!k.is_combinational());
+        assert_eq!(k.input_nets().len(), 4);
+    }
+
+    #[test]
+    fn constant_has_no_inputs() {
+        let k = CellKind::Constant { value: 5, out: bus(0..4) };
+        assert!(k.input_nets().is_empty());
+        assert_eq!(k.output_nets().len(), 4);
+    }
+
+    #[test]
+    fn truth_tables_are_correct() {
+        let eval = |table: u16, bits: &[bool]| {
+            let idx = bits
+                .iter()
+                .enumerate()
+                .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i));
+            table & (1 << idx) != 0
+        };
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(eval(tables::AND2, &[a, b]), a && b);
+                assert_eq!(eval(tables::OR2, &[a, b]), a || b);
+                assert_eq!(eval(tables::XOR2, &[a, b]), a ^ b);
+                for c in [false, true] {
+                    assert_eq!(eval(tables::XOR3, &[a, b, c]), a ^ b ^ c);
+                    let maj = (a & b) | (a & c) | (b & c);
+                    assert_eq!(eval(tables::MAJ3, &[a, b, c]), maj);
+                }
+            }
+            assert_eq!(eval(tables::NOT1, &[a]), !a);
+            assert_eq!(eval(tables::BUF1, &[a]), a);
+        }
+    }
+}

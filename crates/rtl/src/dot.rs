@@ -1,0 +1,143 @@
+//! Graphviz DOT export of netlists, for visual inspection of the
+//! generated architectures.
+
+use std::fmt::Write as _;
+
+use crate::cell::CellKind;
+use crate::netlist::{Netlist, PortDirection};
+
+/// Renders the netlist as a DOT digraph: one node per cell (shaped by
+/// kind) and per port, one edge per cell-to-cell connection (collapsed
+/// per bus, labelled with the bit count).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_rtl::Error> {
+/// use dwt_rtl::builder::NetlistBuilder;
+/// use dwt_rtl::dot::to_dot;
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.input("x", 4)?;
+/// let s = b.carry_add("s", &x, &x, 5)?;
+/// b.output("o", &s)?;
+/// let dot = to_dot(&b.finish()?);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("\"s\""));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::from("digraph netlist {\n  rankdir=LR;\n  node [fontsize=9];\n");
+
+    // Port nodes.
+    for port in netlist.ports().values() {
+        let shape = match port.direction {
+            PortDirection::Input => "invhouse",
+            PortDirection::Output => "house",
+        };
+        let _ = writeln!(
+            out,
+            "  \"port:{}\" [label=\"{}[{}]\", shape={shape}, style=filled, fillcolor=lightblue];",
+            port.name,
+            port.name,
+            port.bus.width()
+        );
+    }
+
+    // Cell nodes.
+    for cell in netlist.cells() {
+        let (shape, color) = match &cell.kind {
+            CellKind::Lut { .. } => ("box", "white"),
+            CellKind::FullAdder { .. } => ("box", "lightyellow"),
+            CellKind::CarryAdd { .. } | CellKind::CarrySub { .. } => ("box", "khaki"),
+            CellKind::Register { .. } => ("box", "lightgrey"),
+            CellKind::Constant { .. } => ("plaintext", "white"),
+            CellKind::Ram { .. } => ("box3d", "lightgreen"),
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape={shape}, style=filled, fillcolor={color}];",
+            cell.name
+        );
+    }
+
+    // Edges, collapsed per (source cell/port, sink cell) with bit counts.
+    let mut edges: std::collections::BTreeMap<(String, String), usize> =
+        std::collections::BTreeMap::new();
+    let source_name = |net| -> String {
+        match netlist.driver(net) {
+            Some(d) => netlist.cell(d).name.clone(),
+            None => {
+                for port in netlist.ports().values() {
+                    if port.direction == PortDirection::Input && port.bus.bits().contains(&net) {
+                        return format!("port:{}", port.name);
+                    }
+                }
+                "(floating)".to_owned()
+            }
+        }
+    };
+    for cell in netlist.cells() {
+        for net in cell.kind.input_nets() {
+            *edges
+                .entry((source_name(net), cell.name.clone()))
+                .or_insert(0) += 1;
+        }
+    }
+    for port in netlist.ports().values() {
+        if port.direction == PortDirection::Output {
+            for &net in port.bus.bits() {
+                *edges
+                    .entry((source_name(net), format!("port:{}", port.name)))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+    for ((from, to), bits) in edges {
+        let _ = writeln!(out, "  \"{from}\" -> \"{to}\" [label=\"{bits}\"];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let s = b.carry_add("sum", &x, &x, 5).unwrap();
+        let q = b.register("q", &s).unwrap();
+        b.output("o", &q).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn contains_all_nodes() {
+        let dot = to_dot(&sample());
+        for name in ["port:x", "port:o", "\"sum\"", "\"q\""] {
+            assert!(dot.contains(name), "missing {name} in:\n{dot}");
+        }
+    }
+
+    #[test]
+    fn edges_carry_bit_counts() {
+        let dot = to_dot(&sample());
+        // x feeds sum through both sign-extended operands: 2 x 5 bit
+        // connections (the MSB net is replicated by the extension).
+        assert!(dot.contains("\"port:x\" -> \"sum\" [label=\"10\"]"), "{dot}");
+        assert!(dot.contains("\"sum\" -> \"q\" [label=\"5\"]"));
+    }
+
+    #[test]
+    fn is_valid_dot_shape() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        assert_eq!(dot.matches("digraph").count(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for netlist construction and simulation.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors reported while building, validating or simulating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A net is driven by more than one source.
+    MultipleDrivers {
+        /// The conflicting net.
+        net: u32,
+    },
+    /// A net has no driver and is not a primary input.
+    Undriven {
+        /// The floating net.
+        net: u32,
+    },
+    /// The combinational cells form a cycle.
+    CombinationalLoop {
+        /// A cell on the cycle.
+        cell: String,
+    },
+    /// A port name was used twice.
+    DuplicatePort {
+        /// The clashing name.
+        name: String,
+    },
+    /// A named port does not exist.
+    UnknownPort {
+        /// The requested name.
+        name: String,
+    },
+    /// A bus was built with zero width, or wider than the 63 bits the
+    /// word-level evaluators support.
+    BadWidth {
+        /// The offending width.
+        width: usize,
+    },
+    /// A LUT cell was given more than four inputs.
+    TooManyLutInputs {
+        /// Number of inputs supplied.
+        count: usize,
+    },
+    /// A value does not fit the width of the port it was applied to.
+    ValueOutOfRange {
+        /// The value.
+        value: i64,
+        /// The port width in bits.
+        width: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::MultipleDrivers { net } => write!(f, "net {net} has multiple drivers"),
+            Error::Undriven { net } => write!(f, "net {net} has no driver"),
+            Error::CombinationalLoop { cell } => {
+                write!(f, "combinational loop through cell '{cell}'")
+            }
+            Error::DuplicatePort { name } => write!(f, "duplicate port name '{name}'"),
+            Error::UnknownPort { name } => write!(f, "unknown port '{name}'"),
+            Error::BadWidth { width } => write!(f, "unsupported bus width {width}"),
+            Error::TooManyLutInputs { count } => {
+                write!(f, "lut cell with {count} inputs (max 4)")
+            }
+            Error::ValueOutOfRange { value, width } => {
+                write!(f, "value {value} does not fit a signed {width}-bit bus")
+            }
+        }
+    }
+}
+
+impl StdError for Error {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_displays_its_payload() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::MultipleDrivers { net: 4 }, "4"),
+            (Error::Undriven { net: 9 }, "9"),
+            (Error::CombinationalLoop { cell: "acc".into() }, "acc"),
+            (Error::DuplicatePort { name: "x".into() }, "x"),
+            (Error::UnknownPort { name: "y".into() }, "y"),
+            (Error::BadWidth { width: 77 }, "77"),
+            (Error::TooManyLutInputs { count: 5 }, "5"),
+            (Error::ValueOutOfRange { value: -300, width: 8 }, "-300"),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text} missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Nets and buses.
+//!
+//! A [`NetId`] identifies one single-bit wire. A [`Bus`] is an ordered,
+//! LSB-first collection of nets interpreted as a signed two's-complement
+//! word. Buses are cheap handles: wiring operations (sign extension,
+//! shifts, slices) just rearrange net ids and cost no hardware, exactly
+//! as they cost nothing in a synthesized design.
+
+use crate::error::{Error, Result};
+
+/// Identifier of one single-bit net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The raw index (useful for diagnostics and VCD dumping).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An LSB-first bundle of nets carrying a signed two's-complement value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bus {
+    bits: Vec<NetId>,
+}
+
+impl Bus {
+    /// Maximum width the word-level evaluators support.
+    pub const MAX_WIDTH: usize = 63;
+
+    /// Creates a bus from LSB-first nets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadWidth`] for an empty bundle or one wider than
+    /// [`Bus::MAX_WIDTH`].
+    pub fn new(bits: Vec<NetId>) -> Result<Self> {
+        if bits.is_empty() || bits.len() > Self::MAX_WIDTH {
+            return Err(Error::BadWidth { width: bits.len() });
+        }
+        Ok(Bus { bits })
+    }
+
+    /// Width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The net carrying bit `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> NetId {
+        self.bits[i]
+    }
+
+    /// The sign (most significant) bit.
+    #[must_use]
+    pub fn msb(&self) -> NetId {
+        *self.bits.last().expect("buses are non-empty")
+    }
+
+    /// All nets, LSB first.
+    #[must_use]
+    pub fn bits(&self) -> &[NetId] {
+        &self.bits
+    }
+
+    /// A sub-bus of `self` covering bits `from..to` (LSB-relative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    #[must_use]
+    pub fn slice(&self, from: usize, to: usize) -> Bus {
+        assert!(from < to && to <= self.bits.len(), "bad slice {from}..{to}");
+        Bus { bits: self.bits[from..to].to_vec() }
+    }
+
+    /// Checks that `value` fits this bus as a signed word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ValueOutOfRange`] if it does not.
+    pub fn check_value(&self, value: i64) -> Result<()> {
+        let w = self.width() as u32;
+        let min = -(1i64 << (w - 1));
+        let max = (1i64 << (w - 1)) - 1;
+        if value < min || value > max {
+            return Err(Error::ValueOutOfRange { value, width: self.width() });
+        }
+        Ok(())
+    }
+}
+
+impl From<NetId> for Bus {
+    fn from(net: NetId) -> Self {
+        Bus { bits: vec![net] }
+    }
+}
+
+/// Interprets raw bit values (LSB first) as a signed two's-complement
+/// integer.
+#[must_use]
+pub fn bits_to_signed(bits: &[bool]) -> i64 {
+    let mut v: i64 = 0;
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            v |= 1 << i;
+        }
+    }
+    if *bits.last().expect("non-empty") {
+        // Sign-extend.
+        v -= 1 << bits.len();
+    }
+    v
+}
+
+/// Expands a signed integer to `width` LSB-first bits (two's complement,
+/// truncating silently like hardware does).
+#[must_use]
+pub fn signed_to_bits(value: i64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| (value >> i) & 1 != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_basic_ops() {
+        let bus = Bus::new((0..8).map(NetId).collect()).unwrap();
+        assert_eq!(bus.width(), 8);
+        assert_eq!(bus.bit(0), NetId(0));
+        assert_eq!(bus.msb(), NetId(7));
+        let s = bus.slice(2, 5);
+        assert_eq!(s.bits(), &[NetId(2), NetId(3), NetId(4)]);
+    }
+
+    #[test]
+    fn empty_bus_rejected() {
+        assert_eq!(Bus::new(vec![]).unwrap_err(), Error::BadWidth { width: 0 });
+    }
+
+    #[test]
+    fn oversized_bus_rejected() {
+        let bits = (0..64).map(NetId).collect();
+        assert!(Bus::new(bits).is_err());
+    }
+
+    #[test]
+    fn value_range_check() {
+        let bus = Bus::new((0..4).map(NetId).collect()).unwrap();
+        assert!(bus.check_value(7).is_ok());
+        assert!(bus.check_value(-8).is_ok());
+        assert!(bus.check_value(8).is_err());
+        assert!(bus.check_value(-9).is_err());
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for v in [-8i64, -1, 0, 1, 7] {
+            let bits = signed_to_bits(v, 4);
+            assert_eq!(bits_to_signed(&bits), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn truncation_wraps_like_hardware() {
+        // 9 in 4 bits -> 1001 -> -7.
+        let bits = signed_to_bits(9, 4);
+        assert_eq!(bits_to_signed(&bits), -7);
+    }
+
+    #[test]
+    fn single_net_to_bus() {
+        let b: Bus = NetId(5).into();
+        assert_eq!(b.width(), 1);
+    }
+}

@@ -1,0 +1,377 @@
+//! The netlist graph: cells, nets, ports, validation.
+
+use std::collections::BTreeMap;
+
+use crate::cell::{Cell, CellKind};
+use crate::error::{Error, Result};
+use crate::net::{Bus, NetId};
+
+/// Direction of a named port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDirection {
+    /// Driven from outside the netlist.
+    Input,
+    /// Observed from outside the netlist.
+    Output,
+}
+
+/// A named bus crossing the netlist boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub direction: PortDirection,
+    /// The nets behind the port.
+    pub bus: Bus,
+}
+
+/// Identifier of a cell within its netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub(crate) u32);
+
+impl CellId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A validated netlist.
+///
+/// Construction goes through [`crate::builder::NetlistBuilder`]; the
+/// `validate` step run at `finish` time guarantees:
+///
+/// * every net has exactly one driver (cell output, input port, or
+///   constant),
+/// * the combinational cells are acyclic,
+/// * port names are unique.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) net_count: u32,
+    pub(crate) ports: BTreeMap<String, Port>,
+    /// For each net, the cells reading it.
+    pub(crate) fanout: Vec<Vec<CellId>>,
+    /// For each net, the cell driving it (None for input ports).
+    pub(crate) driver: Vec<Option<CellId>>,
+    /// Combinational cells in topological order.
+    pub(crate) topo: Vec<CellId>,
+}
+
+impl Netlist {
+    /// Number of cells.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.net_count as usize
+    }
+
+    /// The cells, indexable by [`CellId::index`].
+    #[must_use]
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// One cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// The ports, keyed by name.
+    #[must_use]
+    pub fn ports(&self) -> &BTreeMap<String, Port> {
+        &self.ports
+    }
+
+    /// Looks up a port by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPort`] if it does not exist.
+    pub fn port(&self, name: &str) -> Result<&Port> {
+        self.ports
+            .get(name)
+            .ok_or_else(|| Error::UnknownPort { name: name.to_owned() })
+    }
+
+    /// Cells reading the given net.
+    #[must_use]
+    pub fn fanout(&self, net: NetId) -> &[CellId] {
+        &self.fanout[net.index()]
+    }
+
+    /// The cell driving the given net, or `None` when it is driven by an
+    /// input port.
+    #[must_use]
+    pub fn driver(&self, net: NetId) -> Option<CellId> {
+        self.driver[net.index()]
+    }
+
+    /// Combinational cells in topological (input-to-output) order.
+    #[must_use]
+    pub fn topo_order(&self) -> &[CellId] {
+        &self.topo
+    }
+
+    /// Ids of all register cells.
+    #[must_use]
+    pub fn registers(&self) -> Vec<CellId> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c.kind, CellKind::Register { .. }))
+            .map(|(i, _)| CellId(i as u32))
+            .collect()
+    }
+
+    /// Validates the graph and computes fanout and topological order.
+    pub(crate) fn validate(
+        cells: Vec<Cell>,
+        net_count: u32,
+        ports: BTreeMap<String, Port>,
+    ) -> Result<Self> {
+        let n = net_count as usize;
+        // Single-driver check.
+        let mut driver: Vec<Option<CellId>> = vec![None; n];
+        let mut driven_by_input = vec![false; n];
+        for port in ports.values() {
+            if port.direction == PortDirection::Input {
+                for &b in port.bus.bits() {
+                    if driven_by_input[b.index()] {
+                        return Err(Error::MultipleDrivers { net: b.0 });
+                    }
+                    driven_by_input[b.index()] = true;
+                }
+            }
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            for net in cell.kind.output_nets() {
+                if driver[net.index()].is_some() || driven_by_input[net.index()] {
+                    return Err(Error::MultipleDrivers { net: net.0 });
+                }
+                driver[net.index()] = Some(CellId(i as u32));
+            }
+        }
+        // Only nets something actually reads must be driven: optimization
+        // passes may strand allocated-but-unused net ids.
+        let mut used = vec![false; n];
+        for cell in &cells {
+            for net in cell.kind.input_nets() {
+                used[net.index()] = true;
+            }
+        }
+        for port in ports.values() {
+            if port.direction == PortDirection::Output {
+                for &net in port.bus.bits() {
+                    used[net.index()] = true;
+                }
+            }
+        }
+        for net in 0..n {
+            if used[net] && driver[net].is_none() && !driven_by_input[net] {
+                return Err(Error::Undriven { net: net as u32 });
+            }
+        }
+
+        // Fanout.
+        let mut fanout: Vec<Vec<CellId>> = vec![Vec::new(); n];
+        for (i, cell) in cells.iter().enumerate() {
+            for net in cell.kind.input_nets() {
+                fanout[net.index()].push(CellId(i as u32));
+            }
+        }
+
+        // Topological order over combinational cells (Kahn's algorithm);
+        // register outputs and input ports are sources.
+        let mut indegree: Vec<u32> = vec![0; cells.len()];
+        for (i, cell) in cells.iter().enumerate() {
+            if !cell.kind.is_combinational() {
+                continue;
+            }
+            let mut deg = 0;
+            for net in cell.kind.comb_input_nets() {
+                if let Some(d) = driver[net.index()] {
+                    if cells[d.index()].kind.is_combinational() {
+                        deg += 1;
+                    }
+                }
+            }
+            indegree[i] = deg;
+        }
+        let mut queue: Vec<CellId> = cells
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| c.kind.is_combinational() && indegree[*i] == 0)
+            .map(|(i, _)| CellId(i as u32))
+            .collect();
+        let mut topo = Vec::with_capacity(cells.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            topo.push(id);
+            for net in cells[id.index()].kind.output_nets() {
+                for &reader in &fanout[net.index()] {
+                    let rc = &cells[reader.index()];
+                    if rc.kind.is_combinational()
+                        && rc.kind.comb_input_nets().contains(&net)
+                    {
+                        // A cell may read the same driver through several
+                        // nets; decrement once per edge.
+                        indegree[reader.index()] -= 1;
+                        if indegree[reader.index()] == 0 {
+                            queue.push(reader);
+                        }
+                    }
+                }
+            }
+        }
+        let comb_count = cells.iter().filter(|c| c.kind.is_combinational()).count();
+        if topo.len() != comb_count {
+            let stuck = cells
+                .iter()
+                .enumerate()
+                .find(|(i, c)| c.kind.is_combinational() && indegree[*i] > 0)
+                .map(|(_, c)| c.name.clone())
+                .unwrap_or_default();
+            return Err(Error::CombinationalLoop { cell: stuck });
+        }
+
+        Ok(Netlist { cells, net_count, ports, fanout, driver, topo })
+    }
+
+    /// Re-validates this netlist's ports against a modified cell list —
+    /// the rebuild step of the optimization passes.
+    pub(crate) fn revalidate(template: &Netlist, cells: Vec<Cell>) -> crate::error::Result<Self> {
+        Netlist::validate(cells, template.net_count, template.ports.clone())
+    }
+
+    /// Counts cells of each kind, useful for reports and tests.
+    #[must_use]
+    pub fn census(&self) -> NetlistCensus {
+        let mut census = NetlistCensus::default();
+        for cell in &self.cells {
+            match &cell.kind {
+                CellKind::Lut { .. } => census.luts += 1,
+                CellKind::FullAdder { .. } => census.full_adders += 1,
+                CellKind::CarryAdd { out, .. } => {
+                    census.carry_adders += 1;
+                    census.carry_adder_bits += out.width();
+                }
+                CellKind::CarrySub { out, .. } => {
+                    census.carry_adders += 1;
+                    census.carry_adder_bits += out.width();
+                }
+                CellKind::Register { q, .. } => {
+                    census.registers += 1;
+                    census.register_bits += q.width();
+                }
+                CellKind::Constant { .. } => census.constants += 1,
+                CellKind::Ram { words, rdata, .. } => {
+                    census.rams += 1;
+                    census.ram_bits += words * rdata.width();
+                }
+            }
+        }
+        census
+    }
+}
+
+/// Cell-kind population counts for one netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetlistCensus {
+    /// Raw LUT cells.
+    pub luts: usize,
+    /// Structural full adders.
+    pub full_adders: usize,
+    /// Behavioral carry-chain adders/subtractors.
+    pub carry_adders: usize,
+    /// Total result bits across carry-chain adders.
+    pub carry_adder_bits: usize,
+    /// Register banks.
+    pub registers: usize,
+    /// Total flip-flop bits.
+    pub register_bits: usize,
+    /// Constant drivers.
+    pub constants: usize,
+    /// Memory blocks.
+    pub rams: usize,
+    /// Total memory bits across RAM cells.
+    pub ram_bits: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn builder_output_is_validated() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a", 4).unwrap();
+        let c = b.input("b", 4).unwrap();
+        let sum = b.carry_add("sum", &a, &c, 5).unwrap();
+        b.output("out", &sum).unwrap();
+        let n = b.finish().unwrap();
+        assert_eq!(n.census().carry_adders, 1);
+        assert!(n.port("out").is_ok());
+        assert!(n.port("nope").is_err());
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a", 4).unwrap();
+        let c = b.input("b", 4).unwrap();
+        let s1 = b.carry_add("s1", &a, &c, 5).unwrap();
+        let s2 = b.carry_add("s2", &s1, &a, 6).unwrap();
+        let s3 = b.carry_add("s3", &s2, &s1, 7).unwrap();
+        b.output("out", &s3).unwrap();
+        let n = b.finish().unwrap();
+        let order: Vec<&str> = n
+            .topo_order()
+            .iter()
+            .map(|&id| n.cell(id).name.as_str())
+            .filter(|name| name.starts_with('s'))
+            .collect();
+        let pos = |x: &str| order.iter().position(|&n| n == x).unwrap();
+        assert!(pos("s1") < pos("s2"));
+        assert!(pos("s2") < pos("s3"));
+    }
+
+    #[test]
+    fn register_breaks_cycles() {
+        // A counter: q + 1 -> d is fine because the register is
+        // sequential.
+        let mut b = NetlistBuilder::new();
+        let one = b.constant(1, 4).unwrap();
+        let (q, feed) = b.register_loop("count", 4).unwrap();
+        let next = b.carry_add("inc", &q, &one, 4).unwrap();
+        feed.connect(&mut b, &next).unwrap();
+        b.output("count", &q).unwrap();
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn census_counts_bits() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a", 8).unwrap();
+        let r = b.register("r", &a).unwrap();
+        b.output("q", &r).unwrap();
+        let n = b.finish().unwrap();
+        let census = n.census();
+        assert_eq!(census.registers, 1);
+        assert_eq!(census.register_bits, 8);
+    }
+}

@@ -1,0 +1,354 @@
+//! Netlist optimization passes: dead-cell elimination and constant
+//! folding — the clean-up steps a synthesizer runs after elaboration.
+//!
+//! The generators in `dwt-arch` emit tidy netlists, but hierarchical
+//! composition ([`crate::builder::NetlistBuilder::instantiate`]) can
+//! leave unused outputs behind, and mode-muxed designs carry logic that
+//! constant inputs would disable. These passes make such netlists
+//! comparable to hand-trimmed ones:
+//!
+//! * [`eliminate_dead_cells`] — drops combinational cells (and
+//!   registers) whose outputs reach no output port, register, or memory
+//!   write port.
+//! * [`fold_constants`] — evaluates LUTs whose inputs are all constant
+//!   and re-expresses LUTs with *some* constant inputs over fewer
+//!   inputs.
+
+use std::collections::BTreeMap;
+
+use crate::cell::{Cell, CellKind};
+use crate::error::Result;
+use crate::net::{Bus, NetId};
+use crate::netlist::{Netlist, PortDirection};
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Cells removed as dead.
+    pub dead_cells_removed: usize,
+    /// LUTs fully evaluated into constants.
+    pub luts_folded: usize,
+    /// LUTs shrunk to fewer inputs.
+    pub luts_shrunk: usize,
+}
+
+/// Removes cells whose outputs influence nothing observable.
+///
+/// Observability roots: output ports, every register's data input, and
+/// every memory's address/data/enable pins (memories hold state the
+/// host can read back).
+///
+/// # Errors
+///
+/// Re-validation of the pruned netlist can only fail on an internal
+/// inconsistency; the error is propagated rather than panicking.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_rtl::Error> {
+/// use dwt_rtl::builder::NetlistBuilder;
+/// use dwt_rtl::opt::eliminate_dead_cells;
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.input("x", 4)?;
+/// let used = b.carry_add("used", &x, &x, 5)?;
+/// let _unused = b.carry_add("unused", &x, &x, 6)?;
+/// b.output("o", &used)?;
+/// let (netlist, stats) = eliminate_dead_cells(&b.finish()?)?;
+/// assert_eq!(stats.dead_cells_removed, 1);
+/// assert_eq!(netlist.census().carry_adders, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eliminate_dead_cells(netlist: &Netlist) -> Result<(Netlist, OptStats)> {
+    let cell_count = netlist.cell_count();
+    let mut live = vec![false; cell_count];
+
+    // Seed the worklist with the observability roots.
+    let mut work: Vec<NetId> = Vec::new();
+    for port in netlist.ports().values() {
+        if port.direction == PortDirection::Output {
+            work.extend(port.bus.bits());
+        }
+    }
+    for cell in netlist.cells() {
+        match &cell.kind {
+            CellKind::Register { d, .. } => work.extend(d.bits()),
+            CellKind::Ram { raddr, waddr, wdata, wen, .. } => {
+                work.extend(raddr.bits());
+                work.extend(waddr.bits());
+                work.extend(wdata.bits());
+                work.push(*wen);
+            }
+            _ => {}
+        }
+    }
+    // Mark transitively: the driver of a live net is live, and so are
+    // the drivers of its inputs.
+    let mut seen_net = vec![false; netlist.net_count()];
+    while let Some(net) = work.pop() {
+        if std::mem::replace(&mut seen_net[net.index()], true) {
+            continue;
+        }
+        if let Some(driver) = netlist.driver(net) {
+            if !std::mem::replace(&mut live[driver.index()], true) {
+                work.extend(netlist.cell(driver).kind.input_nets());
+            }
+        }
+    }
+    // Registers and RAMs are always kept (they are roots themselves),
+    // unless the register's own output is entirely unobservable AND its
+    // input only feeds itself — conservative: keep all state cells whose
+    // outputs were reached; drop the rest.
+    let mut kept: Vec<Cell> = Vec::new();
+    let mut removed = 0;
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        let keep = match &cell.kind {
+            CellKind::Register { q, .. } => {
+                live[i] || q.bits().iter().any(|n| seen_net[n.index()])
+            }
+            CellKind::Ram { .. } => true,
+            _ => live[i],
+        };
+        if keep {
+            kept.push(cell.clone());
+        } else {
+            removed += 1;
+        }
+    }
+
+    // Rebuild (the net space is kept as-is; dangling nets are legal to
+    // drop because validation only requires *used* nets be driven —
+    // they are no longer used).
+    let rebuilt = rebuild(netlist, kept)?;
+    Ok((
+        rebuilt,
+        OptStats { dead_cells_removed: removed, ..OptStats::default() },
+    ))
+}
+
+/// Folds constant LUT inputs: a LUT whose inputs are all constants
+/// becomes a constant driver; partially constant LUTs shrink.
+///
+/// # Errors
+///
+/// Propagates re-validation failures (internal inconsistencies only).
+pub fn fold_constants(netlist: &Netlist) -> Result<(Netlist, OptStats)> {
+    // Collect known-constant nets.
+    let mut value: BTreeMap<NetId, bool> = BTreeMap::new();
+    for cell in netlist.cells() {
+        if let CellKind::Constant { value: v, out } = &cell.kind {
+            for (i, &net) in out.bits().iter().enumerate() {
+                value.insert(net, (v >> i) & 1 != 0);
+            }
+        }
+    }
+
+    let mut stats = OptStats::default();
+    let mut kept: Vec<Cell> = Vec::new();
+    for cell in netlist.cells() {
+        if let CellKind::Lut { inputs, table, output } = &cell.kind {
+            let constant: Vec<Option<bool>> =
+                inputs.iter().map(|n| value.get(n).copied()).collect();
+            if constant.iter().all(Option::is_some) {
+                // Fully constant: evaluate.
+                let idx = constant
+                    .iter()
+                    .enumerate()
+                    .fold(0usize, |acc, (i, b)| acc | ((b.unwrap() as usize) << i));
+                let bit = table & (1 << idx) != 0;
+                value.insert(*output, bit);
+                kept.push(Cell {
+                    name: cell.name.clone(),
+                    kind: CellKind::Constant {
+                        value: if bit { -1 } else { 0 },
+                        out: Bus::from(*output),
+                    },
+                });
+                stats.luts_folded += 1;
+                continue;
+            }
+            if constant.iter().any(Option::is_some) && inputs.len() > 1 {
+                // Partially constant: specialise the table.
+                let mut new_inputs = Vec::new();
+                for (i, c) in constant.iter().enumerate() {
+                    if c.is_none() {
+                        new_inputs.push(inputs[i]);
+                    }
+                }
+                let mut new_table: u16 = 0;
+                for combo in 0..(1u16 << new_inputs.len()) {
+                    // Rebuild the original index from the combo plus the
+                    // constant bits.
+                    let mut idx = 0usize;
+                    let mut free = 0usize;
+                    for (i, c) in constant.iter().enumerate() {
+                        let bit = match c {
+                            Some(b) => *b,
+                            None => {
+                                let b = combo & (1 << free) != 0;
+                                free += 1;
+                                b
+                            }
+                        };
+                        if bit {
+                            idx |= 1 << i;
+                        }
+                    }
+                    if table & (1 << idx) != 0 {
+                        new_table |= 1 << combo;
+                    }
+                }
+                kept.push(Cell {
+                    name: cell.name.clone(),
+                    kind: CellKind::Lut {
+                        inputs: new_inputs,
+                        table: new_table,
+                        output: *output,
+                    },
+                });
+                stats.luts_shrunk += 1;
+                continue;
+            }
+        }
+        kept.push(cell.clone());
+    }
+
+    let rebuilt = rebuild(netlist, kept)?;
+    Ok((rebuilt, stats))
+}
+
+/// Re-validates a modified cell list against the original port set.
+fn rebuild(netlist: &Netlist, cells: Vec<Cell>) -> Result<Netlist> {
+    Netlist::revalidate(netlist, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::cell::tables;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn dead_chain_is_removed_transitively() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let used = b.carry_add("used", &x, &x, 5).unwrap();
+        let dead1 = b.carry_add("dead1", &x, &x, 5).unwrap();
+        let _dead2 = b.carry_add("dead2", &dead1, &x, 6).unwrap();
+        b.output("o", &used).unwrap();
+        let (n, stats) = eliminate_dead_cells(&b.finish().unwrap()).unwrap();
+        assert_eq!(stats.dead_cells_removed, 2);
+        assert_eq!(n.census().carry_adders, 1);
+    }
+
+    #[test]
+    fn live_logic_behaviour_is_preserved() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 6).unwrap();
+        let s = b.carry_add("s", &x, &x, 7).unwrap();
+        let _dead = b.carry_sub("dead", &x, &s, 8).unwrap();
+        let q = b.register("q", &s).unwrap();
+        b.output("o", &q).unwrap();
+        let original = b.finish().unwrap();
+        let (optimized, _) = eliminate_dead_cells(&original).unwrap();
+
+        let run = |n: &crate::netlist::Netlist| {
+            let mut sim = Simulator::new(n.clone()).unwrap();
+            sim.set_input("x", 17).unwrap();
+            sim.tick();
+            sim.tick();
+            sim.peek("o").unwrap()
+        };
+        assert_eq!(run(&original), run(&optimized));
+        assert_eq!(run(&optimized), 34);
+    }
+
+    #[test]
+    fn unused_instance_outputs_are_pruned() {
+        // Instantiate a child with two outputs and use only one.
+        let mut child = NetlistBuilder::new();
+        let x = child.input("x", 4).unwrap();
+        let a = child.carry_add("a", &x, &x, 5).unwrap();
+        let m = child.carry_sub("m", &x, &a, 6).unwrap();
+        child.output("sum", &a).unwrap();
+        child.output("diff", &m).unwrap();
+        let child = child.finish().unwrap();
+
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let outs = b
+            .instantiate(&child, "u_", &[("x".to_owned(), x)].into())
+            .unwrap();
+        b.output("o", &outs["sum"]).unwrap(); // "diff" unused
+        let n = b.finish().unwrap();
+        let (opt, stats) = eliminate_dead_cells(&n).unwrap();
+        assert_eq!(stats.dead_cells_removed, 1);
+        assert_eq!(opt.census().carry_adders, 1);
+    }
+
+    #[test]
+    fn fully_constant_lut_becomes_constant() {
+        let mut b = NetlistBuilder::new();
+        let one = b.vcc().unwrap();
+        let zero = b.gnd().unwrap();
+        let y = b.lut("and", &[one, zero], tables::AND2).unwrap();
+        b.output("o", &Bus::from(y)).unwrap();
+        let n = b.finish().unwrap();
+        let (opt, stats) = fold_constants(&n).unwrap();
+        assert_eq!(stats.luts_folded, 1);
+        let mut sim = Simulator::new(opt).unwrap();
+        sim.settle();
+        assert_eq!(sim.peek("o").unwrap(), 0);
+    }
+
+    #[test]
+    fn partially_constant_lut_shrinks() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 1).unwrap();
+        let one = b.vcc().unwrap();
+        // AND(x, 1) == x.
+        let y = b.lut("and", &[x.bit(0), one], tables::AND2).unwrap();
+        b.output("o", &Bus::from(y)).unwrap();
+        let n = b.finish().unwrap();
+        let (opt, stats) = fold_constants(&n).unwrap();
+        assert_eq!(stats.luts_shrunk, 1);
+        let mut sim = Simulator::new(opt).unwrap();
+        for v in [0i64, -1] {
+            sim.set_input("x", v).unwrap();
+            sim.settle();
+            assert_eq!(sim.peek("o").unwrap(), v, "x={v}");
+        }
+    }
+
+    #[test]
+    fn folding_keeps_whole_design_equivalent() {
+        // Run both passes on a full design and re-verify equivalence of
+        // an arbitrary streaming computation.
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let one = b.vcc().unwrap();
+        let masked = b.mux("m", one, &x, &x).unwrap(); // constant-select mux
+        let s = b.carry_add("s", &masked, &x, 9).unwrap();
+        let q = b.register("q", &s).unwrap();
+        b.output("o", &q).unwrap();
+        let n = b.finish().unwrap();
+        let (n2, s1) = fold_constants(&n).unwrap();
+        let (n3, _) = eliminate_dead_cells(&n2).unwrap();
+        assert!(s1.luts_shrunk > 0);
+
+        let run = |n: &crate::netlist::Netlist| {
+            let mut sim = Simulator::new(n.clone()).unwrap();
+            let mut outs = Vec::new();
+            for v in [-128i64, -3, 0, 99, 127] {
+                sim.set_input("x", v).unwrap();
+                sim.tick();
+                outs.push(sim.peek("o").unwrap());
+            }
+            outs
+        };
+        assert_eq!(run(&n), run(&n3));
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests of the simulation substrate: randomly generated
+//! netlists are checked against direct functional evaluation, and the
+//! simulator's structural invariants are exercised under random
+//! stimulus.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::builder::NetlistBuilder;
+use crate::net::Bus;
+use crate::sim::Simulator;
+
+/// A random straight-line arithmetic program over two inputs.
+#[derive(Debug, Clone)]
+enum Op {
+    AddPrev(usize, usize),
+    SubPrev(usize, usize),
+    ShiftLeft(usize, u8),
+    ShiftRight(usize, u8),
+    Register(usize),
+}
+
+fn program() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..8, 0usize..8).prop_map(|(a, b)| Op::AddPrev(a, b)),
+            (0usize..8, 0usize..8).prop_map(|(a, b)| Op::SubPrev(a, b)),
+            (0usize..8, 1u8..4).prop_map(|(a, k)| Op::ShiftLeft(a, k)),
+            (0usize..8, 1u8..4).prop_map(|(a, k)| Op::ShiftRight(a, k)),
+            (0usize..8).prop_map(Op::Register),
+        ],
+        1..12,
+    )
+}
+
+/// Builds the program as a netlist (both adder styles) and as a direct
+/// software evaluator; returns (netlist simulator, eval closure,
+/// register count on the output path).
+fn build(ops: &[Op], structural: bool) -> (Simulator, impl Fn(&[i64]) -> i64, usize) {
+    const W: usize = 20;
+    let mut b = NetlistBuilder::new();
+    let x = b.input("x", 10).unwrap();
+    let y = b.input("y", 10).unwrap();
+    let mut nodes: Vec<Bus> = vec![
+        b.sign_extend(&x, W).unwrap(),
+        b.sign_extend(&y, W).unwrap(),
+    ];
+    let mut regs_on_path = 0;
+    for (i, op) in ops.iter().enumerate() {
+        let pick = |v: &Vec<Bus>, i: usize| v[i % v.len()].clone();
+        let bus = match *op {
+            Op::AddPrev(a, c) => {
+                let (a, c) = (pick(&nodes, a), pick(&nodes, c));
+                if structural {
+                    b.ripple_add(&format!("n{i}"), &a, &c, W).unwrap()
+                } else {
+                    b.carry_add(&format!("n{i}"), &a, &c, W).unwrap()
+                }
+            }
+            Op::SubPrev(a, c) => {
+                let (a, c) = (pick(&nodes, a), pick(&nodes, c));
+                if structural {
+                    b.ripple_sub(&format!("n{i}"), &a, &c, W).unwrap()
+                } else {
+                    b.carry_sub(&format!("n{i}"), &a, &c, W).unwrap()
+                }
+            }
+            Op::ShiftLeft(a, k) => {
+                let s = b.shift_left(&pick(&nodes, a), k as usize).unwrap();
+                b.resize(&s, W).unwrap()
+            }
+            Op::ShiftRight(a, k) => {
+                let s = b.shift_right_arith(&pick(&nodes, a), k as usize).unwrap();
+                b.sign_extend(&s, W).unwrap()
+            }
+            Op::Register(a) => {
+                regs_on_path += 1;
+                b.register(&format!("n{i}"), &pick(&nodes, a)).unwrap()
+            }
+        };
+        nodes.push(bus);
+    }
+    let out = nodes.last().unwrap().clone();
+    b.output("out", &out).unwrap();
+    let sim = Simulator::new(b.finish().unwrap()).unwrap();
+
+    let ops = ops.to_vec();
+    let eval = move |inputs: &[i64]| -> i64 {
+        let wrap = |v: i64| -> i64 {
+            let m = v & ((1i64 << W) - 1);
+            if m & (1 << (W - 1)) != 0 {
+                m - (1 << W)
+            } else {
+                m
+            }
+        };
+        let mut vals: Vec<i64> = vec![inputs[0], inputs[1]];
+        for op in &ops {
+            let pick = |v: &Vec<i64>, i: usize| v[i % v.len()];
+            let next = match *op {
+                Op::AddPrev(a, c) => wrap(pick(&vals, a) + pick(&vals, c)),
+                Op::SubPrev(a, c) => wrap(pick(&vals, a) - pick(&vals, c)),
+                Op::ShiftLeft(a, k) => wrap(pick(&vals, a) << k),
+                Op::ShiftRight(a, k) => pick(&vals, a) >> k,
+                Op::Register(a) => pick(&vals, a), // steady-state value
+            };
+            vals.push(next);
+        }
+        *vals.last().unwrap()
+    };
+    (sim, eval, regs_on_path)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After holding the inputs for enough cycles, the netlist output
+    /// equals the direct functional evaluation, for both adder styles.
+    #[test]
+    fn random_netlists_compute_their_program(
+        ops in program(),
+        x in -512i64..512,
+        y in -512i64..512,
+        structural in any::<bool>(),
+    ) {
+        let (mut sim, eval, _) = build(&ops, structural);
+        sim.set_input("x", x).unwrap();
+        sim.set_input("y", y).unwrap();
+        // Hold long enough for every register stage to flush.
+        for _ in 0..ops.len() + 2 {
+            sim.tick();
+        }
+        prop_assert_eq!(sim.peek("out").unwrap(), eval(&[x, y]));
+    }
+
+    /// Behavioral and structural realisations of one program agree.
+    #[test]
+    fn adder_styles_are_equivalent(
+        ops in program(),
+        x in -512i64..512,
+        y in -512i64..512,
+    ) {
+        let (mut s1, _, _) = build(&ops, false);
+        let (mut s2, _, _) = build(&ops, true);
+        for sim in [&mut s1, &mut s2] {
+            sim.set_input("x", x).unwrap();
+            sim.set_input("y", y).unwrap();
+            for _ in 0..ops.len() + 2 {
+                sim.tick();
+            }
+        }
+        prop_assert_eq!(s1.peek("out").unwrap(), s2.peek("out").unwrap());
+    }
+
+    /// Re-applying the same inputs never changes outputs or produces
+    /// combinational transitions (settle is idempotent).
+    #[test]
+    fn settle_is_idempotent(ops in program(), x in -512i64..512, y in -512i64..512) {
+        let (mut sim, _, _) = build(&ops, false);
+        sim.set_input("x", x).unwrap();
+        sim.set_input("y", y).unwrap();
+        sim.settle();
+        let before = sim.peek("out").unwrap();
+        sim.reset_stats();
+        sim.set_input("x", x).unwrap();
+        sim.set_input("y", y).unwrap();
+        sim.settle();
+        prop_assert_eq!(sim.peek("out").unwrap(), before);
+        prop_assert_eq!(sim.stats().total_cell_toggles(), 0);
+    }
+
+    /// Simulation runs are deterministic, including activity counts.
+    #[test]
+    fn simulation_is_deterministic(ops in program(), seed in 0u64..1000) {
+        let run = || {
+            let (mut sim, _, _) = build(&ops, false);
+            let mut state = seed | 1;
+            for _ in 0..20 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                sim.set_input("x", (state % 1024) as i64 - 512).unwrap();
+                sim.set_input("y", ((state >> 20) % 1024) as i64 - 512).unwrap();
+                sim.tick();
+            }
+            (sim.peek("out").unwrap(), sim.stats().total_cell_toggles())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,852 @@
+//! Event-driven unit-delay simulation with transition counting.
+//!
+//! Every combinational cell is given one unit of delay. Within a clock
+//! cycle the simulator propagates changes event by event, so a cell whose
+//! inputs arrive at *different* times re-evaluates and may glitch —
+//! producing extra output transitions exactly as deep combinational
+//! cones do in real hardware. The per-cell transition counts are the raw
+//! material of the power model in `dwt-fpga`: pipelined designs show
+//! fewer transitions per cycle because their registers stop glitch
+//! propagation, which is the physical mechanism behind the paper's
+//! observation that the 21-stage designs cut power roughly in half.
+
+use crate::cell::CellKind;
+use crate::error::{Error, Result};
+use crate::net::{bits_to_signed, signed_to_bits, Bus, NetId};
+use crate::netlist::{CellId, Netlist, PortDirection};
+
+/// Per-cell and aggregate switching-activity counters.
+///
+/// Combinational transitions are split by the capacitance class of the
+/// net they happen on, because the energy of a transition is dominated
+/// by what it drives:
+///
+/// * **routed** — the net fans out through general-purpose routing;
+/// * **local** — the net's only reader is a register (a folded
+///   flip-flop's D pin inside the same logic element) or the next full
+///   adder of a chain (LAB-local lines);
+/// * **carry** — internal carry hops of a fast-carry chain (dedicated
+///   short wires).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ActivityStats {
+    /// Output-bit transitions per combinational cell (indexed by cell).
+    pub cell_toggles: Vec<u64>,
+    /// Transitions on generally routed nets.
+    pub routed_toggles: u64,
+    /// Transitions on LAB-local nets (folded-FF feeds, FA-chain hops).
+    pub local_toggles: u64,
+    /// Internal carry-chain transitions.
+    pub carry_toggles: u64,
+    /// Flip-flop output transitions, summed over all registers.
+    pub ff_toggles: u64,
+    /// Clock cycles simulated.
+    pub cycles: u64,
+}
+
+impl ActivityStats {
+    /// Total combinational transitions across all cells.
+    #[must_use]
+    pub fn total_cell_toggles(&self) -> u64 {
+        self.cell_toggles.iter().sum()
+    }
+
+    /// Mean combinational transitions per simulated cycle.
+    #[must_use]
+    pub fn toggles_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_cell_toggles() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean flip-flop transitions per simulated cycle.
+    #[must_use]
+    pub fn ff_toggles_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ff_toggles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean transitions per cycle in each capacitance class:
+    /// `(routed, local, carry)`.
+    #[must_use]
+    pub fn class_toggles_per_cycle(&self) -> (f64, f64, f64) {
+        if self.cycles == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let c = self.cycles as f64;
+        (
+            self.routed_toggles as f64 / c,
+            self.local_toggles as f64 / c,
+            self.carry_toggles as f64 / c,
+        )
+    }
+}
+
+/// Capacitance class of a net (see [`ActivityStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NetClass {
+    Routed,
+    Local,
+}
+
+/// Cycle-accurate simulator over an owned [`Netlist`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_rtl::Error> {
+/// use dwt_rtl::builder::NetlistBuilder;
+/// use dwt_rtl::sim::Simulator;
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.input("x", 8)?;
+/// let y = b.input("y", 8)?;
+/// let sum = b.carry_add("sum", &x, &y, 9)?;
+/// let q = b.register("q", &sum)?;
+/// b.output("out", &q)?;
+///
+/// let mut sim = Simulator::new(b.finish()?)?;
+/// sim.set_input("x", 100)?;
+/// sim.set_input("y", -30)?;
+/// sim.tick(); // inputs propagate to the adder
+/// sim.tick(); // the register captures the sum
+/// assert_eq!(sim.peek("out")?, 70);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    netlist: Netlist,
+    values: Vec<bool>,
+    staged_inputs: Vec<(Bus, i64)>,
+    stats: ActivityStats,
+    /// The value each net will have once every scheduled change has
+    /// applied; evals compare against this so a change is scheduled only
+    /// once.
+    projected: Vec<bool>,
+    /// Per-net scheduled (time, value) changes awaiting delivery, in
+    /// time order; inertial pulse filtering cancels back-to-back
+    /// opposite changes closer than [`Self::MIN_PULSE`].
+    pending: Vec<std::collections::VecDeque<(u32, bool)>>,
+    /// Capacitance class of each net, precomputed from its fanout.
+    net_class: Vec<NetClass>,
+    /// Event wheel: `(time, kind, id, value)` where kind 0 = net value
+    /// change (id = net, `value` is the new level) and kind 1 = cell
+    /// evaluation (id = cell). Net changes at an instant apply before
+    /// cell evaluations at that instant.
+    wheel: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u8, u32, bool)>>,
+    /// Last time each cell was enqueued, to coalesce same-time events.
+    enqueued_at: Vec<u32>,
+    register_ids: Vec<CellId>,
+    /// Contents of each RAM cell (empty vec for non-RAM cells).
+    ram_contents: Vec<Vec<i64>>,
+    /// Internal carry bits of each carry-chain adder, as a bitmask, so
+    /// carry transitions (which happen inside the chain's LEs and burn
+    /// energy like any other transition) can be counted per evaluation.
+    carry_state: Vec<u64>,
+}
+
+impl Simulator {
+    /// Wraps a netlist, initialising all nets to 0 (registers power up
+    /// cleared) and settling constants and combinational logic.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for validated netlists; kept fallible for
+    /// future device-specific checks.
+    pub fn new(netlist: Netlist) -> Result<Self> {
+        let register_ids = netlist.registers();
+        // Classify nets: a net stays on LAB-local wiring when its only
+        // readers are registers (folded flip-flop D pins) or the carry
+        // input of the neighbouring full adder; any other reader — an
+        // adder operand, a LUT, a word operator — is reached through
+        // general routing. Output ports count as routed.
+        let mut net_class = vec![NetClass::Local; netlist.net_count()];
+        for (idx, class) in net_class.iter_mut().enumerate() {
+            let net = crate::net::NetId(idx as u32);
+            let routed_reader = netlist.fanout(net).iter().any(|&r| {
+                match &netlist.cell(r).kind {
+                    CellKind::Register { .. } => false,
+                    CellKind::FullAdder { cin, .. } => *cin != net,
+                    _ => true,
+                }
+            });
+            if routed_reader {
+                *class = NetClass::Routed;
+            }
+        }
+        for port in netlist.ports().values() {
+            if port.direction == PortDirection::Output {
+                for &net in port.bus.bits() {
+                    net_class[net.index()] = NetClass::Routed;
+                }
+            }
+        }
+        let mut sim = Simulator {
+            values: vec![false; netlist.net_count()],
+            projected: vec![false; netlist.net_count()],
+            pending: vec![std::collections::VecDeque::new(); netlist.net_count()],
+            net_class,
+            staged_inputs: Vec::new(),
+            stats: ActivityStats {
+                cell_toggles: vec![0; netlist.cell_count()],
+                ..ActivityStats::default()
+            },
+            wheel: std::collections::BinaryHeap::new(),
+            enqueued_at: vec![u32::MAX; netlist.cell_count()],
+            register_ids,
+            ram_contents: netlist
+                .cells()
+                .iter()
+                .map(|c| match &c.kind {
+                    CellKind::Ram { words, .. } => vec![0i64; *words],
+                    _ => Vec::new(),
+                })
+                .collect(),
+            carry_state: vec![0; netlist.cell_count()],
+            netlist,
+        };
+        // Power-on settle: evaluate every combinational cell in topo
+        // order (constants included), without counting transitions.
+        for i in 0..sim.netlist.topo_order().len() {
+            let id = sim.netlist.topo_order()[i];
+            sim.eval_cell_silent(id);
+        }
+        sim.stats = ActivityStats {
+            cell_toggles: vec![0; sim.netlist.cell_count()],
+            ..ActivityStats::default()
+        };
+        Ok(sim)
+    }
+
+    /// The netlist being simulated.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Accumulated switching statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ActivityStats {
+        &self.stats
+    }
+
+    /// Clears the switching statistics (e.g. after a warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = ActivityStats {
+            cell_toggles: vec![0; self.netlist.cell_count()],
+            ..ActivityStats::default()
+        };
+    }
+
+    /// Stages a value on an input port; it is applied at the next
+    /// [`Simulator::tick`] or [`Simulator::settle`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPort`] for an unknown or non-input port,
+    /// or [`Error::ValueOutOfRange`] if the value does not fit.
+    pub fn set_input(&mut self, name: &str, value: i64) -> Result<()> {
+        let port = self.netlist.port(name)?;
+        if port.direction != PortDirection::Input {
+            return Err(Error::UnknownPort { name: name.to_owned() });
+        }
+        port.bus.check_value(value)?;
+        let bus = port.bus.clone();
+        self.staged_inputs.push((bus, value));
+        Ok(())
+    }
+
+    /// Reads the current signed value of any port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPort`] if the port does not exist.
+    pub fn peek(&self, name: &str) -> Result<i64> {
+        let port = self.netlist.port(name)?;
+        Ok(self.read_bus(&port.bus))
+    }
+
+    /// Reads the current signed value of an arbitrary bus.
+    #[must_use]
+    pub fn read_bus(&self, bus: &Bus) -> i64 {
+        let bits: Vec<bool> = bus.bits().iter().map(|n| self.values[n.index()]).collect();
+        bits_to_signed(&bits)
+    }
+
+    /// Reads a bus as a raw (zero-extended) bit pattern.
+    fn read_bus_unsigned(&self, bus: &Bus) -> i64 {
+        bus.bits()
+            .iter()
+            .enumerate()
+            .fold(0i64, |acc, (i, n)| acc | ((self.values[n.index()] as i64) << i))
+    }
+
+    /// One clock cycle: registers capture their (settled) data inputs,
+    /// then the staged input changes and new register outputs propagate
+    /// through the combinational network, counting every transition.
+    pub fn tick(&mut self) {
+        // 1. Capture D of every register from the settled state.
+        let mut new_q: Vec<(CellId, Vec<bool>)> = Vec::with_capacity(self.register_ids.len());
+        for &id in &self.register_ids {
+            if let CellKind::Register { d, .. } = &self.netlist.cell(id).kind {
+                let bits = d.bits().iter().map(|n| self.values[n.index()]).collect();
+                new_q.push((id, bits));
+            }
+        }
+        // 1b. Commit RAM writes from the settled state, and collect the
+        // RAM cells whose visible read data changes as a result.
+        let mut ram_reeval: Vec<CellId> = Vec::new();
+        for i in 0..self.netlist.cell_count() {
+            let id = CellId(i as u32);
+            if let CellKind::Ram { words, raddr, waddr, wdata, wen, .. } =
+                &self.netlist.cell(id).kind
+            {
+                if self.values[wen.index()] {
+                    let addr = self.read_bus_unsigned(waddr) as usize;
+                    if addr < *words {
+                        let value = self.read_bus(wdata);
+                        if self.ram_contents[i][addr] != value {
+                            self.ram_contents[i][addr] = value;
+                            // If the read port currently points at the
+                            // written word, the read data must update.
+                            if self.read_bus_unsigned(raddr) as usize == addr {
+                                ram_reeval.push(id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // 2. Apply register outputs and staged inputs simultaneously.
+        let mut changed: Vec<NetId> = Vec::new();
+        for (id, bits) in new_q {
+            if let CellKind::Register { q, .. } = &self.netlist.cell(id).kind {
+                for (i, &b) in bits.iter().enumerate() {
+                    let net = q.bit(i);
+                    if self.values[net.index()] != b {
+                        self.values[net.index()] = b;
+                        self.projected[net.index()] = b;
+                        self.stats.ff_toggles += 1;
+                        changed.push(net);
+                    }
+                }
+            }
+        }
+        let staged = std::mem::take(&mut self.staged_inputs);
+        for (bus, value) in staged {
+            let bits = signed_to_bits(value, bus.width());
+            for (i, &b) in bits.iter().enumerate() {
+                let net = bus.bit(i);
+                if self.values[net.index()] != b {
+                    self.values[net.index()] = b;
+                    self.projected[net.index()] = b;
+                    changed.push(net);
+                }
+            }
+        }
+        // 3. Drain.
+        self.schedule_fanout(&changed, 0);
+        for id in ram_reeval {
+            self.enqueue(id, 1);
+        }
+        self.drain();
+        self.stats.cycles += 1;
+    }
+
+    /// Applies staged inputs and settles the combinational logic without
+    /// clocking the registers (for purely combinational studies).
+    pub fn settle(&mut self) {
+        let mut changed: Vec<NetId> = Vec::new();
+        let staged = std::mem::take(&mut self.staged_inputs);
+        for (bus, value) in staged {
+            let bits = signed_to_bits(value, bus.width());
+            for (i, &b) in bits.iter().enumerate() {
+                let net = bus.bit(i);
+                if self.values[net.index()] != b {
+                    self.values[net.index()] = b;
+                    self.projected[net.index()] = b;
+                    changed.push(net);
+                }
+            }
+        }
+        self.schedule_fanout(&changed, 0);
+        self.drain();
+    }
+
+    fn schedule_fanout(&mut self, nets: &[NetId], time: u32) {
+        for &net in nets {
+            for i in 0..self.netlist.fanout(net).len() {
+                let reader = self.netlist.fanout(net)[i];
+                if self.netlist.cell(reader).kind.is_combinational() {
+                    self.enqueue(reader, time + 1);
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, cell: CellId, time: u32) {
+        if self.enqueued_at[cell.index()] == time {
+            return; // already scheduled for this instant
+        }
+        self.enqueued_at[cell.index()] = time;
+        self.wheel.push(std::cmp::Reverse((time, 1, cell.0, false)));
+    }
+
+    /// Minimum pulse width (in delay units) that survives propagation;
+    /// narrower glitch pulses are filtered inertially, as the routing
+    /// capacitance swallows them before they reach full swing.
+    const MIN_PULSE: u32 = 2;
+
+    fn drain(&mut self) {
+        while let Some(std::cmp::Reverse((time, kind, raw, _value))) = self.wheel.pop() {
+            if kind == 0 {
+                // Net value change token: deliver the queued change if it
+                // has not been cancelled by inertial filtering.
+                let net = NetId(raw);
+                let deliver = match self.pending[net.index()].front() {
+                    Some(&(t, _)) if t == time => self.pending[net.index()].pop_front(),
+                    _ => None,
+                };
+                if let Some((_, value)) = deliver {
+                    if self.values[net.index()] != value {
+                        self.values[net.index()] = value;
+                        if let Some(driver) = self.netlist.driver(net) {
+                            self.stats.cell_toggles[driver.index()] += 1;
+                        }
+                        match self.net_class[net.index()] {
+                            NetClass::Routed => self.stats.routed_toggles += 1,
+                            NetClass::Local => self.stats.local_toggles += 1,
+                        }
+                        self.schedule_fanout(&[net], time);
+                    }
+                }
+            } else {
+                // Cell evaluation.
+                let id = CellId(raw);
+                if self.enqueued_at[id.index()] == time {
+                    self.enqueued_at[id.index()] = u32::MAX;
+                }
+                self.eval_cell(id, time);
+            }
+        }
+    }
+
+    /// Evaluates a cell against the current net values and schedules the
+    /// resulting output changes as future net events, so downstream cells
+    /// observe staggered (glitching) arrivals exactly as hardware does.
+    ///
+    /// A deterministic per-net jitter models placement-dependent routing
+    /// spread: nets of one bus arrive at slightly different instants, the
+    /// main source of glitching in deep combinational cones. The jitter
+    /// is a pure function of the net id, so event delivery per net stays
+    /// first-in-first-out and results remain reproducible.
+    fn eval_cell(&mut self, id: CellId, time: u32) {
+        let outs = self.compute(id);
+        for (net, bit, extra) in outs {
+            if self.projected[net.index()] != bit {
+                let jitter = (net.0.wrapping_mul(2_654_435_761) >> 28) % 3;
+                let mut at = time + 1 + extra + jitter;
+                // Keep per-net delivery order monotone: a fast (e.g.
+                // provisional) change computed after a slow one cannot
+                // arrive before it.
+                if let Some(&(t_back, _)) = self.pending[net.index()].back() {
+                    at = at.max(t_back);
+                }
+                // Inertial filtering: a change that re-reverses a pending
+                // opposite change within MIN_PULSE cancels the pulse.
+                let cancelled = match self.pending[net.index()].back() {
+                    Some(&(t, v)) if v != bit && at.saturating_sub(t) <= Self::MIN_PULSE => {
+                        self.pending[net.index()].pop_back();
+                        true
+                    }
+                    _ => false,
+                };
+                self.projected[net.index()] = bit;
+                if !cancelled {
+                    self.pending[net.index()].push_back((at, bit));
+                    self.wheel.push(std::cmp::Reverse((at, 0, net.0, bit)));
+                }
+            }
+        }
+        // Internal carry transitions of chain adders.
+        let carries = self.chain_carries(id);
+        if let Some(c) = carries {
+            let flips = (c ^ self.carry_state[id.index()]).count_ones();
+            self.stats.cell_toggles[id.index()] += u64::from(flips);
+            self.stats.carry_toggles += u64::from(flips);
+            self.carry_state[id.index()] = c;
+        }
+    }
+
+    fn eval_cell_silent(&mut self, id: CellId) {
+        for (net, bit, _) in self.compute(id) {
+            self.values[net.index()] = bit;
+            self.projected[net.index()] = bit;
+        }
+        if let Some(c) = self.chain_carries(id) {
+            self.carry_state[id.index()] = c;
+        }
+    }
+
+    /// The internal carry bits of a carry-chain adder for its current
+    /// inputs, or `None` for other cell kinds. Carry `i` is the carry
+    /// *out of* bit position `i` of `a op b` (unsigned chain semantics).
+    fn chain_carries(&self, id: CellId) -> Option<u64> {
+        let (a, b, sub, width) = match &self.netlist.cell(id).kind {
+            CellKind::CarryAdd { a, b, out } => (a, b, false, out.width()),
+            CellKind::CarrySub { a, b, out } => (a, b, true, out.width()),
+            _ => return None,
+        };
+        let read_u = |bus: &Bus| -> u64 {
+            bus.bits()
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, n)| acc | ((self.values[n.index()] as u64) << i))
+        };
+        let av = read_u(a);
+        let bv = if sub { !read_u(b) } else { read_u(b) };
+        let cin = u64::from(sub);
+        // carries = (a + b + cin) ^ a ^ b, shifted into carry-out view.
+        let sum = av.wrapping_add(bv).wrapping_add(cin);
+        let internal = (sum ^ av ^ bv) >> 1; // carry INTO each position
+        let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        Some(internal & mask)
+    }
+
+    /// Carry-chain output bits ripple: each group of this many bit
+    /// positions adds one unit of propagation delay, so downstream cells
+    /// see staggered arrivals and glitch accordingly.
+    const CARRY_BITS_PER_UNIT: u32 = 1;
+
+    /// Computes a cell's output bits from the current net values,
+    /// returning `(net, value, extra-delay)` triples.
+    fn compute(&self, id: CellId) -> Vec<(NetId, bool, u32)> {
+        let v = |n: NetId| self.values[n.index()];
+        // A carry-chain adder's sum LUTs respond to their direct inputs
+        // immediately (provisional value a^b^cin-without-carry) and are
+        // corrected as the carry ripples in — so downstream logic sees
+        // the same double transitions a bit-level ripple adder produces.
+        let word = |out: &Bus, value: i64, provisional: u64| -> Vec<(NetId, bool, u32)> {
+            let mut events = Vec::with_capacity(out.width() * 2);
+            for (i, b) in signed_to_bits(value, out.width()).into_iter().enumerate() {
+                let ripple = i as u32 / Self::CARRY_BITS_PER_UNIT;
+                let prov = provisional & (1 << i) != 0;
+                if prov != b && ripple > 0 {
+                    events.push((out.bit(i), prov, 0));
+                }
+                events.push((out.bit(i), b, ripple));
+            }
+            events
+        };
+        match &self.netlist.cell(id).kind {
+            CellKind::Lut { inputs, table, output } => {
+                let idx = inputs
+                    .iter()
+                    .enumerate()
+                    .fold(0usize, |acc, (i, &n)| acc | ((v(n) as usize) << i));
+                vec![(*output, table & (1 << idx) != 0, 0)]
+            }
+            CellKind::FullAdder { a, b, cin, sum, cout, invert_b } => {
+                let (a, mut b, c) = (v(*a), v(*b), v(*cin));
+                if *invert_b {
+                    b = !b;
+                }
+                let s = a ^ b ^ c;
+                let co = (a & b) | (a & c) | (b & c);
+                vec![(*sum, s, 0), (*cout, co, 0)]
+            }
+            CellKind::CarryAdd { a, b, out } => {
+                let sum = self.read_bus(a) + self.read_bus(b);
+                let prov = (self.read_bus_unsigned(a) ^ self.read_bus_unsigned(b)) as u64;
+                word(out, sum, prov)
+            }
+            CellKind::CarrySub { a, b, out } => {
+                let diff = self.read_bus(a) - self.read_bus(b);
+                let prov = !(self.read_bus_unsigned(a) ^ self.read_bus_unsigned(b)) as u64;
+                word(out, diff, prov)
+            }
+            CellKind::Constant { value, out } => {
+                let bits = signed_to_bits(*value, out.width());
+                bits.into_iter()
+                    .enumerate()
+                    .map(|(i, b)| (out.bit(i), b, 0))
+                    .collect()
+            }
+            CellKind::Register { .. } => vec![],
+            CellKind::Ram { words, raddr, rdata, .. } => {
+                let addr = self.read_bus_unsigned(raddr) as usize;
+                let value = if addr < *words {
+                    self.ram_contents[id.index()][addr]
+                } else {
+                    0
+                };
+                signed_to_bits(value, rdata.width())
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, b)| (rdata.bit(i), b, 0))
+                    .collect()
+            }
+        }
+    }
+
+    /// Writes one word into a RAM cell directly (test-bench preload),
+    /// bypassing the write port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPort`] if no RAM cell has that name, or
+    /// [`Error::ValueOutOfRange`] if the address is out of bounds.
+    pub fn poke_ram(&mut self, name: &str, addr: usize, value: i64) -> Result<()> {
+        let id = self.find_ram(name)?;
+        let words = self.ram_contents[id.index()].len();
+        if addr >= words {
+            return Err(Error::ValueOutOfRange { value: addr as i64, width: words });
+        }
+        self.ram_contents[id.index()][addr] = value;
+        // Refresh the read port if it is looking at this word.
+        self.eval_cell_silent(id);
+        Ok(())
+    }
+
+    /// Reads one word from a RAM cell directly (test-bench readback).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPort`] if no RAM cell has that name, or
+    /// [`Error::ValueOutOfRange`] for an out-of-bounds address.
+    pub fn peek_ram(&self, name: &str, addr: usize) -> Result<i64> {
+        let id = self.find_ram(name)?;
+        self.ram_contents[id.index()]
+            .get(addr)
+            .copied()
+            .ok_or(Error::ValueOutOfRange {
+                value: addr as i64,
+                width: self.ram_contents[id.index()].len(),
+            })
+    }
+
+    fn find_ram(&self, name: &str) -> Result<CellId> {
+        self.netlist
+            .cells()
+            .iter()
+            .position(|c| c.name == name && matches!(c.kind, CellKind::Ram { .. }))
+            .map(|i| CellId(i as u32))
+            .ok_or_else(|| Error::UnknownPort { name: name.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn combinational_add_and_sub() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let y = b.input("y", 8).unwrap();
+        let s = b.carry_add("s", &x, &y, 9).unwrap();
+        let d = b.carry_sub("d", &x, &y, 9).unwrap();
+        b.output("sum", &s).unwrap();
+        b.output("diff", &d).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        for (a, c) in [(5i64, 7i64), (-128, 127), (-1, -1), (100, -100)] {
+            sim.set_input("x", a).unwrap();
+            sim.set_input("y", c).unwrap();
+            sim.settle();
+            assert_eq!(sim.peek("sum").unwrap(), a + c);
+            assert_eq!(sim.peek("diff").unwrap(), a - c);
+        }
+    }
+
+    #[test]
+    fn ripple_add_matches_carry_add() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let y = b.input("y", 8).unwrap();
+        let s1 = b.carry_add("s1", &x, &y, 9).unwrap();
+        let s2 = b.ripple_add("s2", &x, &y, 9).unwrap();
+        let d1 = b.carry_sub("d1", &x, &y, 9).unwrap();
+        let d2 = b.ripple_sub("d2", &x, &y, 9).unwrap();
+        b.output("o1", &s1).unwrap();
+        b.output("o2", &s2).unwrap();
+        b.output("o3", &d1).unwrap();
+        b.output("o4", &d2).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        for a in (-128..=127).step_by(17) {
+            for c in (-128..=127).step_by(23) {
+                sim.set_input("x", a).unwrap();
+                sim.set_input("y", c).unwrap();
+                sim.settle();
+                assert_eq!(sim.peek("o1").unwrap(), sim.peek("o2").unwrap());
+                assert_eq!(sim.peek("o3").unwrap(), sim.peek("o4").unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn wraparound_matches_twos_complement() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let y = b.input("y", 4).unwrap();
+        let s = b.carry_add("s", &x, &y, 4).unwrap();
+        b.output("o", &s).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.set_input("x", 7).unwrap();
+        sim.set_input("y", 2).unwrap();
+        sim.settle();
+        assert_eq!(sim.peek("o").unwrap(), -7); // 9 wraps in 4 bits
+    }
+
+    #[test]
+    fn register_pipeline_latency() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let r1 = b.register("r1", &x).unwrap();
+        let r2 = b.register("r2", &r1).unwrap();
+        b.output("o", &r2).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.set_input("x", 42).unwrap();
+        sim.tick();
+        assert_eq!(sim.peek("o").unwrap(), 0); // two-stage latency
+        sim.tick();
+        assert_eq!(sim.peek("o").unwrap(), 0);
+        sim.tick();
+        assert_eq!(sim.peek("o").unwrap(), 42);
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut b = NetlistBuilder::new();
+        let one = b.constant(1, 4).unwrap();
+        let (q, feed) = b.register_loop("count", 4).unwrap();
+        let next = b.carry_add("inc", &q, &one, 4).unwrap();
+        feed.connect(&mut b, &next).unwrap();
+        b.output("count", &q).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        for expected in 1..=7 {
+            sim.tick();
+            assert_eq!(sim.peek("count").unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn shift_semantics() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let l = b.shift_left(&x, 2).unwrap();
+        let r = b.shift_right_arith(&x, 2).unwrap();
+        b.output("l", &l).unwrap();
+        b.output("r", &r).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        for v in [-128i64, -37, -1, 0, 1, 55, 127] {
+            sim.set_input("x", v).unwrap();
+            sim.settle();
+            assert_eq!(sim.peek("l").unwrap(), v * 4, "left shift of {v}");
+            assert_eq!(sim.peek("r").unwrap(), v >> 2, "right shift of {v}");
+        }
+    }
+
+    #[test]
+    fn glitches_grow_with_combinational_depth() {
+        // A chain of dependent adders (deep cone) must produce more
+        // transitions per cycle than the same adders fed in parallel
+        // (flat cone), because late-arriving inputs force re-evaluation.
+        fn chain(depth: usize) -> Simulator {
+            let mut b = NetlistBuilder::new();
+            let x = b.input("x", 8).unwrap();
+            let mut acc = x.clone();
+            for i in 0..depth {
+                // Alternate add/sub so values stay bounded.
+                acc = if i % 2 == 0 {
+                    b.carry_add(&format!("a{i}"), &acc, &x, 12).unwrap()
+                } else {
+                    b.carry_sub(&format!("a{i}"), &acc, &x, 12).unwrap()
+                };
+            }
+            b.output("o", &acc).unwrap();
+            Simulator::new(b.finish().unwrap()).unwrap()
+        }
+        let run = |mut sim: Simulator| {
+            let mut v = 1i64;
+            for i in 0..200 {
+                v = (v * 29 + i).rem_euclid(128) - 64;
+                sim.set_input("x", v).unwrap();
+                sim.tick();
+            }
+            sim.stats().toggles_per_cycle()
+        };
+        let shallow = run(chain(2));
+        let deep = run(chain(8));
+        assert!(
+            deep > shallow * 2.0,
+            "deep {deep} should glitch much more than shallow {shallow}"
+        );
+    }
+
+    #[test]
+    fn registers_stop_glitch_propagation() {
+        // Same logical function, but with a pipeline register between the
+        // two adders: transitions downstream of the register drop.
+        fn build(pipelined: bool) -> Simulator {
+            let mut b = NetlistBuilder::new();
+            let x = b.input("x", 8).unwrap();
+            let s1 = b.carry_add("s1", &x, &x, 10).unwrap();
+            let mid = if pipelined { b.register("p", &s1).unwrap() } else { s1 };
+            let s2 = b.carry_add("s2", &mid, &x, 11).unwrap();
+            let s3 = b.carry_add("s3", &s2, &x, 12).unwrap();
+            let q = b.register("q", &s3).unwrap();
+            b.output("o", &q).unwrap();
+            Simulator::new(b.finish().unwrap()).unwrap()
+        }
+        let run = |mut sim: Simulator| {
+            let mut v = 3i64;
+            for i in 0..500 {
+                v = (v * 37 + i * 7).rem_euclid(255) - 128;
+                sim.set_input("x", v).unwrap();
+                sim.tick();
+            }
+            sim.stats().toggles_per_cycle()
+        };
+        let flat = run(build(false));
+        let piped = run(build(true));
+        assert!(
+            piped < flat,
+            "pipelined {piped} should not exceed unpipelined {flat}"
+        );
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let s = b.carry_add("s", &x, &x, 5).unwrap();
+        b.output("o", &s).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.set_input("x", 3).unwrap();
+        sim.tick();
+        assert!(sim.stats().total_cell_toggles() > 0);
+        sim.reset_stats();
+        assert_eq!(sim.stats().total_cell_toggles(), 0);
+        assert_eq!(sim.stats().cycles, 0);
+    }
+
+    #[test]
+    fn unknown_port_errors() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        b.output("o", &x).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        assert!(sim.set_input("nope", 0).is_err());
+        assert!(sim.peek("nope").is_err());
+        // Outputs cannot be driven.
+        assert!(sim.set_input("o", 0).is_err());
+        // Out-of-range values are rejected.
+        assert!(sim.set_input("x", 100).is_err());
+    }
+}

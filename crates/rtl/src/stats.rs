@@ -1,0 +1,209 @@
+//! Structural netlist statistics: logic-depth and fanout distributions,
+//! the numbers an architect reads before trusting a timing report.
+
+use crate::cell::CellKind;
+use crate::netlist::Netlist;
+
+/// Structural summary of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Combinational depth (cell evaluations) per register/output
+    /// endpoint, as a histogram: `depth_histogram[d]` = endpoints with
+    /// depth `d`.
+    pub depth_histogram: Vec<usize>,
+    /// Largest combinational depth.
+    pub max_depth: usize,
+    /// Fanout histogram over nets: `fanout_histogram[f]` = nets with
+    /// fanout `f` (saturated at the last bucket).
+    pub fanout_histogram: Vec<usize>,
+    /// The highest fanout and the name of the driving cell.
+    pub max_fanout: (usize, String),
+    /// Nets in total.
+    pub nets: usize,
+    /// Cells in total.
+    pub cells: usize,
+}
+
+/// Number of buckets in the fanout histogram (the last bucket collects
+/// everything at or above it).
+const FANOUT_BUCKETS: usize = 17;
+
+/// Computes the statistics.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dwt_rtl::Error> {
+/// use dwt_rtl::builder::NetlistBuilder;
+/// use dwt_rtl::stats::analyze_structure;
+///
+/// let mut b = NetlistBuilder::new();
+/// let x = b.input("x", 8)?;
+/// let s1 = b.carry_add("s1", &x, &x, 9)?;
+/// let s2 = b.carry_add("s2", &s1, &x, 10)?;
+/// let q = b.register("q", &s2)?;
+/// b.output("o", &q)?;
+/// let stats = analyze_structure(&b.finish()?);
+/// assert_eq!(stats.max_depth, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn analyze_structure(netlist: &Netlist) -> NetlistStats {
+    // Per-net combinational depth, via the topological order.
+    let mut depth = vec![0usize; netlist.net_count()];
+    for &id in netlist.topo_order() {
+        let cell = netlist.cell(id);
+        let d_in = cell
+            .kind
+            .comb_input_nets()
+            .iter()
+            .map(|n| depth[n.index()])
+            .max()
+            .unwrap_or(0);
+        let d_out = match cell.kind {
+            CellKind::Constant { .. } => 0,
+            _ => d_in + 1,
+        };
+        for net in cell.kind.output_nets() {
+            depth[net.index()] = d_out;
+        }
+    }
+
+    // Endpoint depths.
+    let mut endpoint_depths: Vec<usize> = Vec::new();
+    for cell in netlist.cells() {
+        if let CellKind::Register { d, .. } = &cell.kind {
+            endpoint_depths.push(d.bits().iter().map(|n| depth[n.index()]).max().unwrap_or(0));
+        }
+    }
+    for port in netlist.ports().values() {
+        if port.direction == crate::netlist::PortDirection::Output {
+            endpoint_depths
+                .push(port.bus.bits().iter().map(|n| depth[n.index()]).max().unwrap_or(0));
+        }
+    }
+    let max_depth = endpoint_depths.iter().copied().max().unwrap_or(0);
+    let mut depth_histogram = vec![0usize; max_depth + 1];
+    for d in &endpoint_depths {
+        depth_histogram[*d] += 1;
+    }
+
+    // Fanout histogram.
+    let mut fanout_histogram = vec![0usize; FANOUT_BUCKETS];
+    let mut max_fanout = (0usize, String::from("(none)"));
+    for net in 0..netlist.net_count() {
+        let f = netlist.fanout(crate::net::NetId(net as u32)).len();
+        fanout_histogram[f.min(FANOUT_BUCKETS - 1)] += 1;
+        if f > max_fanout.0 {
+            let name = netlist
+                .driver(crate::net::NetId(net as u32))
+                .map(|c| netlist.cell(c).name.clone())
+                .unwrap_or_else(|| "(input)".to_owned());
+            max_fanout = (f, name);
+        }
+    }
+
+    NetlistStats {
+        depth_histogram,
+        max_depth,
+        fanout_histogram,
+        max_fanout,
+        nets: netlist.net_count(),
+        cells: netlist.cell_count(),
+    }
+}
+
+impl std::fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} cells, {} nets, max depth {}", self.cells, self.nets, self.max_depth)?;
+        write!(f, "depth histogram:")?;
+        for (d, n) in self.depth_histogram.iter().enumerate() {
+            if *n > 0 {
+                write!(f, " {d}:{n}")?;
+            }
+        }
+        writeln!(f)?;
+        write!(
+            f,
+            "max fanout {} at '{}'",
+            self.max_fanout.0, self.max_fanout.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn depths_follow_the_chain_length() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let mut acc = x.clone();
+        for i in 0..5 {
+            acc = b.carry_add(&format!("s{i}"), &acc, &x, 8).unwrap();
+        }
+        let q = b.register("q", &acc).unwrap();
+        b.output("o", &q).unwrap();
+        let s = analyze_structure(&b.finish().unwrap());
+        assert_eq!(s.max_depth, 5);
+        // Output port endpoint (through the register) has depth 0.
+        assert!(s.depth_histogram[0] >= 1);
+    }
+
+    #[test]
+    fn pipelining_cuts_reported_depth() {
+        let build = |piped: bool| {
+            let mut b = NetlistBuilder::new();
+            let x = b.input("x", 4).unwrap();
+            let s1 = b.carry_add("s1", &x, &x, 6).unwrap();
+            let mid = if piped { b.register("p", &s1).unwrap() } else { s1 };
+            let s2 = b.carry_add("s2", &mid, &x, 7).unwrap();
+            let q = b.register("q", &s2).unwrap();
+            b.output("o", &q).unwrap();
+            analyze_structure(&b.finish().unwrap()).max_depth
+        };
+        assert_eq!(build(false), 2);
+        assert_eq!(build(true), 1);
+    }
+
+    #[test]
+    fn fanout_identifies_the_hub() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 1).unwrap();
+        let hub = b.register("hub", &x).unwrap();
+        for i in 0..6 {
+            let y = b.carry_add(&format!("s{i}"), &hub, &hub, 2).unwrap();
+            b.output(&format!("o{i}"), &y).unwrap();
+        }
+        let s = analyze_structure(&b.finish().unwrap());
+        assert_eq!(s.max_fanout.1, "hub");
+        assert!(s.max_fanout.0 >= 6);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 2).unwrap();
+        b.output("o", &x).unwrap();
+        let s = analyze_structure(&b.finish().unwrap());
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn design_depths_match_their_pipelining() {
+        // Cross-crate sanity lives in dwt-arch; here just confirm the
+        // histogram sums to the endpoint count.
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let s1 = b.carry_add("s1", &x, &x, 5).unwrap();
+        let q1 = b.register("q1", &s1).unwrap();
+        let q2 = b.register("q2", &q1).unwrap();
+        b.output("o", &q2).unwrap();
+        let s = analyze_structure(&b.finish().unwrap());
+        let endpoints: usize = s.depth_histogram.iter().sum();
+        assert_eq!(endpoints, 3); // two registers + one output port
+    }
+}

@@ -1,0 +1,61 @@
+//! Synthesize all five designs of the paper plus the filter-bank
+//! baseline and print the full trade-off table — the repository's
+//! one-command version of the paper's evaluation.
+//!
+//! Run with: `cargo run --release --example explore_architectures`
+
+use dwt_repro::arch::designs::Design;
+use dwt_repro::arch::filterbank::{build_filterbank, FilterbankPipelining};
+use dwt_repro::arch::golden::still_tone_pairs;
+use dwt_repro::arch::verify::{measure_activity, verify_datapath};
+use dwt_repro::fpga::device::Device;
+use dwt_repro::fpga::map::map_netlist;
+use dwt_repro::fpga::power::estimate;
+use dwt_repro::fpga::timing::analyze;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::apex20ke();
+    let pairs = still_tone_pairs(512, 2005);
+
+    println!(
+        "{:<46} {:>6} {:>9} {:>8} {:>7}",
+        "architecture", "LEs", "Fmax MHz", "mW@15", "stages"
+    );
+    for design in Design::all() {
+        let built = design.build()?;
+        // Every architecture is proven bit-exact against the golden
+        // software model before being reported.
+        verify_datapath(&built, &still_tone_pairs(64, 9))?;
+
+        let mapped = map_netlist(&built.netlist);
+        let timing = analyze(&built.netlist, &device.timing);
+        let activity = measure_activity(&built, &pairs)?;
+        let power = estimate(&activity, mapped.ff_bits, &device.energy, 15.0);
+        println!(
+            "{:<46} {:>6} {:>9.1} {:>8.1} {:>7}",
+            format!("{} ({})", design.name(), design.description()),
+            mapped.le_count(),
+            timing.fmax_mhz,
+            power.total_mw(),
+            built.latency,
+        );
+    }
+
+    let fb = build_filterbank(FilterbankPipelining::EveryTwoLevels)?;
+    let mapped = map_netlist(&fb.netlist);
+    let timing = analyze(&fb.netlist, &device.timing);
+    println!(
+        "{:<46} {:>6} {:>9.1} {:>8} {:>7}",
+        "filter bank (Masud & McCanny style baseline)",
+        mapped.le_count(),
+        timing.fmax_mhz,
+        "-",
+        fb.latency,
+    );
+
+    println!("\nHeadline trade-offs (the paper's conclusions):");
+    println!("  * pipelined operators (D3/D5): ~2-3x the frequency for ~40-60% more LEs");
+    println!("  * pipelined operators cut power roughly in half at iso-frequency");
+    println!("  * behavioral beats structural on area x frequency (carry chains)");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # dwt-repro
+//!
+//! Workspace façade for the reproduction of *"Area and Throughput
+//! Trade-Offs in the Design of Pipelined Discrete Wavelet Transform
+//! Architectures"* (Silva & Bampi, DATE 2005).
+//!
+//! This crate re-exports the five member crates so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`core`] — the 9/7 DWT (lifting + FIR, float + fixed point), the
+//!   register bit-width analysis, the quantizer and PSNR metrics.
+//! * [`rtl`] — netlist construction and glitch-aware cycle simulation.
+//! * [`fpga`] — APEX-20KE-style mapping, timing and power models.
+//! * [`arch`] — the paper's five datapath designs, the shift-add
+//!   multiplier planning, the filter-bank baseline, and bit-exact
+//!   hardware/software equivalence checking.
+//! * [`imaging`] — synthetic still-tone test imagery and PGM I/O.
+//! * [`codec`] — the quantizer + entropy-coding back end completing the
+//!   compression pipeline of the paper's introduction.
+//!
+//! See the `examples/` directory for runnable entry points and the
+//! `dwt-bench` crate for the binaries that regenerate every table and
+//! figure of the paper.
+//!
+//! ```
+//! // One line from each layer:
+//! let bands = dwt_repro::core::lifting::forward_f64(&[1.0, 2.0, 3.0, 4.0])?;
+//! assert_eq!(bands.low.len(), 2);
+//! let built = dwt_repro::arch::designs::Design::D2.build()?;
+//! assert_eq!(built.latency, 8);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use dwt_arch as arch;
+pub use dwt_codec as codec;
+pub use dwt_core as core;
+pub use dwt_fpga as fpga;
+pub use dwt_imaging as imaging;
+pub use dwt_rtl as rtl;

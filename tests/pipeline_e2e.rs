@@ -1,0 +1,96 @@
+//! End-to-end system tests: the Figure 4 memory-controller pipeline,
+//! the imaging stack, and the full compression loop crossing every
+//! crate.
+
+use dwt_repro::core::lifting::IntLifting;
+use dwt_repro::core::memory::{FrameMemory, MemoryController};
+use dwt_repro::core::metrics::psnr_i32;
+use dwt_repro::core::quant::Quantizer;
+use dwt_repro::core::transform2d::{forward_2d, inverse_2d, Decomposition2d, Subband};
+use dwt_repro::imaging::pgm::{read_pgm, write_pgm};
+use dwt_repro::imaging::synth::{standard_tile, StillToneImage};
+use dwt_repro::imaging::tiles::{assemble, tiles};
+
+#[test]
+fn memory_controller_transforms_the_standard_tile() {
+    let image = standard_tile();
+    let kernel = IntLifting::default();
+    let mut mem = FrameMemory::new(image.clone());
+    let stats = MemoryController::new(3, 8).run(&mut mem, &kernel).expect("run");
+
+    // Same coefficients as the direct block transform.
+    let direct = forward_2d(&image, 3, &kernel).expect("transform");
+    assert_eq!(mem.contents(), &direct.coeffs);
+
+    // Geometric access-count series: each octave touches 1/4 the data.
+    assert_eq!(stats.reads, 2 * (128 * 128 + 64 * 64 + 32 * 32));
+    assert_eq!(stats.reads, stats.writes);
+    assert!(stats.samples_per_cycle(128, 128) > 0.3);
+}
+
+#[test]
+fn deeper_pipelines_cost_cycles_but_not_correctness() {
+    let image = StillToneImage::new(32, 32).seed(4).generate();
+    let kernel = IntLifting::default();
+    let run = |latency| {
+        let mut mem = FrameMemory::new(image.clone());
+        let stats = MemoryController::new(2, latency).run(&mut mem, &kernel).unwrap();
+        (mem.into_contents(), stats.total_cycles())
+    };
+    let (c8, cycles8) = run(8);
+    let (c21, cycles21) = run(21);
+    assert_eq!(c8, c21, "latency must not change the result");
+    assert!(cycles21 > cycles8);
+}
+
+#[test]
+fn full_compression_loop_on_tiles() {
+    // Tile the image, compress each tile independently (transform +
+    // quantize + inverse), reassemble, and measure fidelity — the
+    // paper's JPEG2000 application end to end.
+    let image = StillToneImage::new(96, 96).seed(8).generate();
+    let kernel = IntLifting::default();
+    let quant = Quantizer::new(4.0).expect("step");
+
+    let mut parts = Vec::new();
+    for mut tile in tiles(&image, 32, 32) {
+        let dec = forward_2d(&tile.data, 2, &kernel).expect("fwd");
+        let coeffs = dec
+            .coeffs
+            .map(|v| quant.roundtrip(f64::from(v)).round() as i32);
+        let rec = inverse_2d(&Decomposition2d { coeffs, octaves: 2 }, &kernel).expect("inv");
+        tile.data = rec;
+        parts.push(tile);
+    }
+    let back = assemble(96, 96, &parts);
+    let db = psnr_i32(image.as_slice(), back.as_slice(), 255.0).expect("psnr");
+    assert!(db > 30.0, "tile-compressed PSNR {db:.1} dB");
+}
+
+#[test]
+fn pgm_roundtrip_preserves_the_transform_input() {
+    let image = standard_tile();
+    let mut buf = Vec::new();
+    write_pgm(&image, &mut buf).expect("write");
+    let back = read_pgm(buf.as_slice()).expect("read");
+    assert_eq!(image, back);
+
+    // And the transform of the round-tripped image is identical.
+    let kernel = IntLifting::default();
+    let a = forward_2d(&image, 2, &kernel).expect("fwd");
+    let b = forward_2d(&back, 2, &kernel).expect("fwd");
+    assert_eq!(a.coeffs, b.coeffs);
+}
+
+#[test]
+fn detail_subbands_of_still_tone_images_are_sparse() {
+    // The premise of the whole paper: the DWT concentrates still-tone
+    // image energy away from the detail bands, so the quantizer can
+    // discard most coefficients.
+    let image = standard_tile();
+    let dec = forward_2d(&image, 3, &IntLifting::default()).expect("fwd");
+    let hh1 = dec.subband(Subband::Hh(1));
+    let near_zero = hh1.iter().filter(|v| v.abs() <= 3).count();
+    let fraction = near_zero as f64 / (hh1.rows() * hh1.cols()) as f64;
+    assert!(fraction > 0.75, "HH1 sparsity only {fraction:.2}");
+}

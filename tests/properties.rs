@@ -1,0 +1,166 @@
+//! Property-based tests over the core invariants, with randomly
+//! generated signals, images and parameters.
+
+use proptest::prelude::*;
+
+use dwt_repro::core::boundary::mirror;
+use dwt_repro::core::coeffs::FirBank;
+use dwt_repro::core::fixed::{bits_for_range, Q2x8};
+use dwt_repro::core::grid::Grid;
+use dwt_repro::core::lifting::{forward_f64, inverse_f64, IntLifting};
+use dwt_repro::core::quant::Quantizer;
+use dwt_repro::core::transform1d::{decompose, max_octaves, reconstruct, LiftingF64Kernel};
+use dwt_repro::core::transform2d::{forward_2d, inverse_2d};
+
+fn signal() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-128.0f64..128.0, 2..300)
+}
+
+fn int_signal() -> impl Strategy<Value = Vec<i32>> {
+    prop::collection::vec(-128i32..=127, 2..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn float_lifting_is_perfect_reconstruction(x in signal()) {
+        let bands = forward_f64(&x).unwrap();
+        prop_assert_eq!(bands.low.len(), x.len().div_ceil(2));
+        prop_assert_eq!(bands.high.len(), x.len() / 2);
+        let y = inverse_f64(&bands).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((a - b).abs() < 1e-7, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn multi_octave_is_perfect_reconstruction(x in signal(), octaves in 0usize..6) {
+        let octaves = octaves.min(max_octaves(x.len()));
+        let pyr = decompose(&x, octaves, &LiftingF64Kernel).unwrap();
+        prop_assert_eq!(pyr.len(), x.len());
+        let y = reconstruct(&pyr, &LiftingF64Kernel).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fir_equals_lifting(x in signal()) {
+        let bank = FirBank::daubechies_9_7();
+        let fir = dwt_repro::core::fir::analyze_f64(&x, &bank).unwrap();
+        let lift = forward_f64(&x).unwrap();
+        for (a, b) in fir.low.iter().zip(&lift.low) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+        for (a, b) in fir.high.iter().zip(&lift.high) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn integer_lifting_tracks_float(x in int_signal()) {
+        let xf: Vec<f64> = x.iter().map(|&v| f64::from(v)).collect();
+        let fb = forward_f64(&xf).unwrap();
+        let ib = IntLifting::default().forward(&x).unwrap();
+        // Truncation noise through four stages is tightly bounded.
+        for (f, i) in fb.low.iter().zip(&ib.low) {
+            prop_assert!((f - f64::from(*i)).abs() < 8.0);
+        }
+        for (f, i) in fb.high.iter().zip(&ib.high) {
+            prop_assert!((f - f64::from(*i)).abs() < 8.0);
+        }
+    }
+
+    #[test]
+    fn integer_roundtrip_error_is_bounded(x in int_signal()) {
+        let k = IntLifting::default();
+        let y = k.inverse(&k.forward(&x).unwrap()).unwrap();
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((a - b).abs() <= 6, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn mirror_stays_in_range_and_is_periodic(i in -1000i64..1000, len in 1usize..50) {
+        let m = mirror(i, len);
+        prop_assert!(m < len);
+        if len > 1 {
+            let period = 2 * (len as i64 - 1);
+            prop_assert_eq!(m, mirror(i + period, len));
+            // Reflection symmetry about zero.
+            prop_assert_eq!(mirror(-i, len), mirror(i, len));
+        }
+    }
+
+    #[test]
+    fn quantizer_roundtrip_is_idempotent_and_bounded(
+        step in 0.1f64..64.0,
+        c in -10_000.0f64..10_000.0,
+    ) {
+        let q = Quantizer::new(step).unwrap();
+        let once = q.roundtrip(c);
+        prop_assert_eq!(q.roundtrip(once), once);
+        prop_assert!((once - c).abs() <= step);
+    }
+
+    #[test]
+    fn mul_shift_equals_floor_division(raw in -512i16..=511, x in -100_000i64..100_000) {
+        let c = Q2x8::from_raw(raw);
+        let exact = (f64::from(raw) * x as f64 / 256.0).floor() as i64;
+        prop_assert_eq!(c.mul_shift(x), exact);
+    }
+
+    #[test]
+    fn bits_for_range_is_minimal(v in -100_000i64..100_000) {
+        let bits = bits_for_range(v.min(0), v.max(0));
+        let lo = -(1i64 << (bits - 1));
+        let hi = (1i64 << (bits - 1)) - 1;
+        prop_assert!(v >= lo && v <= hi);
+        if bits > 1 {
+            let lo2 = -(1i64 << (bits - 2));
+            let hi2 = (1i64 << (bits - 2)) - 1;
+            prop_assert!(v < lo2 || v > hi2, "{} fits {} bits", v, bits - 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn two_d_roundtrip_any_shape(
+        rows in 2usize..40,
+        cols in 2usize..40,
+        octaves in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let octaves = octaves
+            .min(dwt_repro::core::transform2d::max_octaves_2d(rows, cols));
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| {
+                let h = i as u64 ^ seed.wrapping_mul(0x9e3779b97f4a7c15);
+                ((h.wrapping_mul(2654435761) >> 16) % 256) as f64 - 128.0
+            })
+            .collect();
+        let img = Grid::from_vec(rows, cols, data).unwrap();
+        let dec = forward_2d(&img, octaves, &LiftingF64Kernel).unwrap();
+        let back = inverse_2d(&dec, &LiftingF64Kernel).unwrap();
+        for (a, b) in img.iter().zip(back.iter()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn energy_is_preserved_within_frame_bounds(x in signal()) {
+        // The 9/7 transform is a bounded-frame expansion: subband energy
+        // is within a constant factor of signal energy.
+        let bands = forward_f64(&x).unwrap();
+        let e_sig: f64 = x.iter().map(|v| v * v).sum();
+        let e_sub: f64 = bands.low.iter().chain(&bands.high).map(|v| v * v).sum();
+        if e_sig > 1.0 {
+            let ratio = e_sub / e_sig;
+            prop_assert!(ratio > 0.2 && ratio < 5.0, "energy ratio {}", ratio);
+        }
+    }
+}
