@@ -14,7 +14,7 @@ use dwt_rtl::builder::NetlistBuilder;
 use dwt_rtl::net::Bus;
 use dwt_rtl::netlist::Netlist;
 
-use crate::datapath::{AdderStyle, Ctx, Sig};
+use crate::datapath::{AdderStyle, Ctx, Hardening, Sig};
 use crate::error::{Error, Result};
 use crate::shift_add::{Recoding, ShiftAddPlan};
 
@@ -64,6 +64,8 @@ pub fn build_combined() -> Result<BuiltCombined> {
         pipelined: false,
         optimize_shifts: true,
         seq: 0,
+        hardening: Hardening::None,
+        detect: Vec::new(),
     };
 
     let in_even = ctx.b.input("in_even", 8)?;

@@ -61,6 +61,37 @@ pub enum AdderStyle {
     Ripple,
 }
 
+/// Soft-error hardening applied to the pipeline registers.
+///
+/// Both schemes act at the single point every datapath register is
+/// created ([`Ctx::reg`]), so they compose with any [`DatapathSpec`]
+/// and the FPGA mapper prices their overhead with the ordinary cell
+/// vocabulary — no special cases in the area model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Hardening {
+    /// Plain registers (the paper's designs).
+    #[default]
+    None,
+    /// Triple modular redundancy: every register is instantiated three
+    /// times and a per-bit majority LUT votes the replicas, so any
+    /// single register-bit upset is masked outright. Latency is
+    /// unchanged; area roughly triples the flip-flop count and adds one
+    /// LUT per register bit.
+    Tmr,
+    /// Even-parity checking: each register carries one extra parity
+    /// bit, and a checker LUT tree recomputes the parity on the Q side.
+    /// Mismatches from all registers are OR-reduced onto a
+    /// `fault_detect` output port. Upsets are *detected*, not masked —
+    /// the cheap option for systems that can retry a tile.
+    Parity,
+}
+
+/// LUT mask for a 3-input majority vote (inputs a, b, c → index
+/// `a | b<<1 | c<<2`).
+const MAJ3: u16 = 0b1110_1000;
+/// LUT mask for a 2-input XOR.
+const XOR2: u16 = 0b0110;
+
 /// Full specification of one datapath variant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatapathSpec {
@@ -119,6 +150,11 @@ pub(crate) struct Ctx {
     /// code, but not inside an opaque generic multiplier).
     pub(crate) optimize_shifts: bool,
     pub(crate) seq: u32,
+    /// Register hardening scheme applied by [`Ctx::reg`].
+    pub(crate) hardening: Hardening,
+    /// Per-register parity-mismatch nets, OR-reduced onto the
+    /// `fault_detect` port when the datapath is sealed.
+    pub(crate) detect: Vec<dwt_rtl::net::NetId>,
 }
 
 impl Ctx {
@@ -131,10 +167,46 @@ impl Ctx {
         bits_for_range(range.0, range.1) as usize
     }
 
-    /// One register layer.
+    /// One register layer, hardened per [`Ctx::hardening`]. All datapath
+    /// registers flow through here, so a hardening scheme covers the
+    /// whole machine by construction.
     pub(crate) fn reg(&mut self, stem: &str, s: &Sig) -> Result<Sig> {
         let name = self.name(stem);
-        let bus = self.b.register(&name, &s.bus)?;
+        let bus = match self.hardening {
+            Hardening::None => self.b.register(&name, &s.bus)?,
+            Hardening::Tmr => {
+                let q0 = self.b.register(&format!("{name}_tmr0"), &s.bus)?;
+                let q1 = self.b.register(&format!("{name}_tmr1"), &s.bus)?;
+                let q2 = self.b.register(&format!("{name}_tmr2"), &s.bus)?;
+                let mut voted = Vec::with_capacity(s.bus.width());
+                for i in 0..s.bus.width() {
+                    voted.push(self.b.lut(
+                        &format!("{name}_vote{i}"),
+                        &[q0.bit(i), q1.bit(i), q2.bit(i)],
+                        MAJ3,
+                    )?);
+                }
+                Bus::new(voted).map_err(Error::Rtl)?
+            }
+            Hardening::Parity => {
+                let parity = self.b.xor_tree(&format!("{name}_pgen"), s.bus.bits())?;
+                let mut d_bits = s.bus.bits().to_vec();
+                d_bits.push(parity);
+                let ext = Bus::new(d_bits).map_err(Error::Rtl)?;
+                let q = self.b.register(&name, &ext)?;
+                let data =
+                    Bus::new(q.bits()[..s.bus.width()].to_vec()).map_err(Error::Rtl)?;
+                let recomputed =
+                    self.b.xor_tree(&format!("{name}_pchk"), data.bits())?;
+                let mismatch = self.b.lut(
+                    &format!("{name}_perr"),
+                    &[recomputed, q.bit(s.bus.width())],
+                    XOR2,
+                )?;
+                self.detect.push(mismatch);
+                data
+            }
+        };
         Ok(Sig { bus, tau: s.tau + 1, range: s.range })
     }
 
@@ -631,6 +703,25 @@ impl MacKind {
 /// # }
 /// ```
 pub fn build_datapath(spec: &DatapathSpec) -> Result<BuiltDatapath> {
+    build_datapath_hardened(spec, Hardening::None)
+}
+
+/// As [`build_datapath`], with soft-error hardening applied to every
+/// pipeline register.
+///
+/// With [`Hardening::Parity`] the netlist gains a 1-bit `fault_detect`
+/// output that rises the cycle after any register captured a word whose
+/// stored parity disagrees with its data — i.e. the cycle an upset
+/// becomes visible.
+///
+/// # Errors
+///
+/// Propagates netlist-construction failures (which indicate a generator
+/// bug rather than a user error).
+pub fn build_datapath_hardened(
+    spec: &DatapathSpec,
+    hardening: Hardening,
+) -> Result<BuiltDatapath> {
     assert!(
         (8..=16).contains(&spec.input_bits),
         "input precision {} outside 8..=16",
@@ -647,6 +738,8 @@ pub fn build_datapath(spec: &DatapathSpec) -> Result<BuiltDatapath> {
         pipelined: spec.pipelined_operators,
         optimize_shifts: true,
         seq: 0,
+        hardening,
+        detect: Vec::new(),
     };
 
     let plan = |coeff| -> ShiftAddPlan {
@@ -823,6 +916,11 @@ pub fn build_datapath(spec: &DatapathSpec) -> Result<BuiltDatapath> {
 
     ctx.b.output("low", &low.bus)?;
     ctx.b.output("high", &high.bus)?;
+    if !ctx.detect.is_empty() {
+        let flag = ctx.b.or_tree("fault_detect_or", &ctx.detect.clone())?;
+        let flag_bus = Bus::new(vec![flag]).map_err(Error::Rtl)?;
+        ctx.b.output("fault_detect", &flag_bus)?;
+    }
 
     let netlist = ctx.b.finish().map_err(Error::Rtl)?;
     Ok(BuiltDatapath { netlist, latency: tau as usize })

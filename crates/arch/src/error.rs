@@ -31,6 +31,18 @@ pub enum Error {
         /// The offending value.
         value: i64,
     },
+    /// A fault-injection run failed on a named design variant — the
+    /// spec did not resolve against its netlist, or the simulation
+    /// diverged under the fault. The wrapped [`dwt_rtl::Error`] carries
+    /// the net/cell/cycle detail.
+    Injection {
+        /// The design variant being campaigned ("Design 3 + TMR" …).
+        design: String,
+        /// Display form of the injected fault.
+        fault: String,
+        /// The underlying netlist/simulator failure.
+        source: dwt_rtl::Error,
+    },
 }
 
 impl fmt::Display for Error {
@@ -46,6 +58,9 @@ impl fmt::Display for Error {
                 f,
                 "stimulus drives the '{node}' register class to {value}, outside its paper width"
             ),
+            Error::Injection { design, fault, source } => {
+                write!(f, "injecting '{fault}' into {design}: {source}")
+            }
         }
     }
 }
@@ -53,7 +68,7 @@ impl fmt::Display for Error {
 impl StdError for Error {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
-            Error::Rtl(e) => Some(e),
+            Error::Rtl(e) | Error::Injection { source: e, .. } => Some(e),
             Error::Core(e) => Some(e),
             _ => None,
         }
@@ -95,6 +110,18 @@ mod tests {
         let range = Error::StimulusOutOfRange { node: "after gamma", value: 300 };
         assert!(range.to_string().contains("after gamma"));
         assert!(range.to_string().contains("300"));
+
+        let injection = Error::Injection {
+            design: "Design 3 + TMR".into(),
+            fault: "bit-flip alpha_p_4[2]@17".into(),
+            source: dwt_rtl::Error::FaultTarget {
+                target: "alpha_p_4".into(),
+                detail: "bit 2 out of range".into(),
+            },
+        };
+        let text = injection.to_string();
+        assert!(text.contains("Design 3 + TMR"));
+        assert!(text.contains("bit-flip alpha_p_4[2]@17"));
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Soft-error hardened variants of the pipelined designs.
+//!
+//! The paper's throughput-oriented designs (D3 and D5) carry 21 layers
+//! of pipeline registers — by far the largest flip-flop population of
+//! the five architectures, and therefore the largest single-event-upset
+//! cross-section. This module pairs each of them with the two classic
+//! hardening schemes of [`crate::datapath::Hardening`]:
+//!
+//! * **TMR** triplicates every pipeline register and votes per bit:
+//!   any single register-bit upset is masked, at roughly 3× the
+//!   flip-flop area plus one voter LUT per bit.
+//! * **Parity** adds one parity bit per register and a checker tree
+//!   that raises the `fault_detect` output port: upsets are flagged
+//!   (so a tile can be retried) but not corrected, at a fraction of
+//!   the TMR cost.
+//!
+//! Because both schemes are expressed in the ordinary cell vocabulary
+//! (registers and LUTs), the `dwt-fpga` mapper prices their overhead
+//! exactly like any other logic — the `fault_campaign` bench reports
+//! the resulting area-vs-vulnerability trade-off per variant.
+
+use dwt_core::coeffs::LiftingConstants;
+
+use crate::datapath::{build_datapath_hardened, BuiltDatapath, Hardening};
+use crate::designs::Design;
+use crate::error::Result;
+
+/// One hardened design point: a pipelined base design × a hardening
+/// scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HardenedVariant {
+    /// Design 3 with triplicated, majority-voted registers.
+    D3Tmr,
+    /// Design 3 with parity-checked registers and a detect flag.
+    D3Parity,
+    /// Design 5 with triplicated, majority-voted registers.
+    D5Tmr,
+    /// Design 5 with parity-checked registers and a detect flag.
+    D5Parity,
+}
+
+impl HardenedVariant {
+    /// All four hardened variants, D3 before D5, TMR before parity.
+    #[must_use]
+    pub fn all() -> [HardenedVariant; 4] {
+        [
+            HardenedVariant::D3Tmr,
+            HardenedVariant::D3Parity,
+            HardenedVariant::D5Tmr,
+            HardenedVariant::D5Parity,
+        ]
+    }
+
+    /// The unhardened design this variant is derived from.
+    #[must_use]
+    pub fn base(self) -> Design {
+        match self {
+            HardenedVariant::D3Tmr | HardenedVariant::D3Parity => Design::D3,
+            HardenedVariant::D5Tmr | HardenedVariant::D5Parity => Design::D5,
+        }
+    }
+
+    /// The hardening scheme applied to the base design's registers.
+    #[must_use]
+    pub fn hardening(self) -> Hardening {
+        match self {
+            HardenedVariant::D3Tmr | HardenedVariant::D5Tmr => Hardening::Tmr,
+            HardenedVariant::D3Parity | HardenedVariant::D5Parity => Hardening::Parity,
+        }
+    }
+
+    /// Human-readable name ("Design 3 + TMR" …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HardenedVariant::D3Tmr => "Design 3 + TMR",
+            HardenedVariant::D3Parity => "Design 3 + parity",
+            HardenedVariant::D5Tmr => "Design 5 + TMR",
+            HardenedVariant::D5Parity => "Design 5 + parity",
+        }
+    }
+
+    /// Builds the hardened datapath with the default (Table 1)
+    /// constants. The ports and latency match the base design; parity
+    /// variants additionally expose the 1-bit `fault_detect` output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator failures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), dwt_arch::Error> {
+    /// use dwt_arch::hardened::HardenedVariant;
+    ///
+    /// let built = HardenedVariant::D3Parity.build()?;
+    /// assert_eq!(built.latency, 21); // latency is untouched
+    /// assert!(built.netlist.port("fault_detect").is_ok());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn build(self) -> Result<BuiltDatapath> {
+        build_datapath_hardened(
+            &self.base().spec(LiftingConstants::default()),
+            self.hardening(),
+        )
+    }
+}
+
+impl std::fmt::Display for HardenedVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::still_tone_pairs;
+    use crate::verify::verify_datapath;
+
+    #[test]
+    fn hardened_variants_keep_base_latency_and_match_golden() {
+        let pairs = still_tone_pairs(48, 11);
+        for v in HardenedVariant::all() {
+            let built = v.build().unwrap_or_else(|e| panic!("{v}: {e}"));
+            assert_eq!(
+                built.latency,
+                v.base().paper_row().stages,
+                "{v} latency"
+            );
+            verify_datapath(&built, &pairs).unwrap_or_else(|e| panic!("{v}: {e}"));
+        }
+    }
+
+    #[test]
+    fn tmr_triplicates_the_register_population() {
+        let base = Design::D3.build().unwrap();
+        let tmr = HardenedVariant::D3Tmr.build().unwrap();
+        let base_bits = base.netlist.census().register_bits;
+        let tmr_bits = tmr.netlist.census().register_bits;
+        assert_eq!(tmr_bits, 3 * base_bits, "TMR register bits");
+        // One majority voter LUT per original register bit.
+        assert!(tmr.netlist.census().luts >= base_bits);
+    }
+
+    #[test]
+    fn parity_flag_stays_low_on_clean_runs() {
+        let built = HardenedVariant::D3Parity.build().unwrap();
+        let netlist = built.netlist.clone();
+        let mut sim = dwt_rtl::sim::Simulator::new(netlist).unwrap();
+        for &(e, o) in &still_tone_pairs(40, 3) {
+            sim.set_input("in_even", e).unwrap();
+            sim.set_input("in_odd", o).unwrap();
+            sim.tick();
+            assert_eq!(sim.peek("fault_detect").unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn parity_is_far_cheaper_than_tmr() {
+        let tmr = HardenedVariant::D5Tmr.build().unwrap();
+        let par = HardenedVariant::D5Parity.build().unwrap();
+        assert!(
+            par.netlist.census().register_bits < tmr.netlist.census().register_bits / 2,
+            "parity {} vs TMR {} register bits",
+            par.netlist.census().register_bits,
+            tmr.netlist.census().register_bits
+        );
+    }
+}

@@ -21,7 +21,7 @@ use dwt_core::fixed::Q2x8;
 use dwt_rtl::builder::NetlistBuilder;
 use dwt_rtl::netlist::Netlist;
 
-use crate::datapath::{AdderStyle, Ctx, Sig};
+use crate::datapath::{AdderStyle, Ctx, Hardening, Sig};
 use crate::error::{Error, Result};
 use crate::shift_add::{Recoding, ShiftAddPlan};
 
@@ -74,6 +74,8 @@ pub fn build_idwt(pipelined_operators: bool) -> Result<BuiltIdwt> {
         pipelined: pipelined_operators,
         optimize_shifts: true,
         seq: 0,
+        hardening: Hardening::None,
+        detect: Vec::new(),
     };
 
     let recoding = Recoding::Binary;

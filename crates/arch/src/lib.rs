@@ -50,6 +50,7 @@ pub mod designs;
 mod error;
 pub mod filterbank;
 pub mod golden;
+pub mod hardened;
 pub mod idwt;
 pub mod lifting53_dp;
 pub mod line_based;

@@ -17,7 +17,7 @@
 use dwt_rtl::builder::NetlistBuilder;
 use dwt_rtl::netlist::Netlist;
 
-use crate::datapath::{AdderStyle, Ctx, Sig};
+use crate::datapath::{AdderStyle, Ctx, Hardening, Sig};
 use crate::error::{Error, Result};
 
 /// A generated 5/3 datapath.
@@ -56,6 +56,8 @@ pub fn build_53_datapath() -> Result<Built53> {
         pipelined: false,
         optimize_shifts: true,
         seq: 0,
+        hardening: Hardening::None,
+        detect: Vec::new(),
     };
 
     let in_even = ctx.b.input("in_even", 8)?;

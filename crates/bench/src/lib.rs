@@ -18,6 +18,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
+
 use dwt_arch::designs::Design;
 use dwt_arch::golden::still_tone_pairs;
 use dwt_arch::verify::measure_activity;

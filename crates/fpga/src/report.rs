@@ -1,14 +1,12 @@
 //! Synthesis reports combining mapping, timing and power results — one
 //! row of the paper's Table 3.
 
-use serde::{Deserialize, Serialize};
-
 use crate::map::MappedNetlist;
 use crate::power::PowerReport;
 use crate::timing::TimingReport;
 
 /// One design's synthesis summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthesisReport {
     /// Design name.
     pub name: String,

@@ -573,6 +573,68 @@ impl NetlistBuilder {
         Ok(level[0])
     }
 
+    /// OR reduction of a set of nets (4-input LUT tree).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors; an empty input yields constant 0.
+    pub fn or_tree(&mut self, name: &str, nets: &[NetId]) -> Result<NetId> {
+        if nets.is_empty() {
+            return self.gnd();
+        }
+        let mut level: Vec<NetId> = nets.to_vec();
+        let mut depth = 0;
+        while level.len() > 1 {
+            depth += 1;
+            let mut next = Vec::with_capacity(level.len().div_ceil(4));
+            for (i, chunk) in level.chunks(4).enumerate() {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    // OR of up to 4 inputs: 0 only when every bit is 0.
+                    let table = (((1u32 << (1usize << chunk.len())) - 1) & !1) as u16;
+                    next.push(self.lut(&format!("{name}_or{depth}_{i}"), chunk, table)?);
+                }
+            }
+            level = next;
+        }
+        Ok(level[0])
+    }
+
+    /// XOR (parity) reduction of a set of nets (4-input LUT tree).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors; an empty input yields constant 0.
+    pub fn xor_tree(&mut self, name: &str, nets: &[NetId]) -> Result<NetId> {
+        if nets.is_empty() {
+            return self.gnd();
+        }
+        let mut level: Vec<NetId> = nets.to_vec();
+        let mut depth = 0;
+        while level.len() > 1 {
+            depth += 1;
+            let mut next = Vec::with_capacity(level.len().div_ceil(4));
+            for (i, chunk) in level.chunks(4).enumerate() {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    // Parity of up to 4 inputs: 1 where the index has an
+                    // odd number of set bits.
+                    let mut table = 0u16;
+                    for idx in 0..(1u16 << chunk.len()) {
+                        if idx.count_ones() % 2 == 1 {
+                            table |= 1 << idx;
+                        }
+                    }
+                    next.push(self.lut(&format!("{name}_xor{depth}_{i}"), chunk, table)?);
+                }
+            }
+            level = next;
+        }
+        Ok(level[0])
+    }
+
     /// Copies every cell of `other` into this netlist with fresh nets,
     /// connecting `other`'s input ports to the supplied buses; returns
     /// `other`'s output ports as buses in this netlist. Cell names are

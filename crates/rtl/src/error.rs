@@ -11,11 +11,17 @@ pub enum Error {
     MultipleDrivers {
         /// The conflicting net.
         net: u32,
+        /// The second driver claiming the net (cell name, or
+        /// `input port '<name>'`).
+        driver: String,
     },
     /// A net has no driver and is not a primary input.
     Undriven {
         /// The floating net.
         net: u32,
+        /// Who reads the floating net (cell name, or
+        /// `output port '<name>'`).
+        reader: String,
     },
     /// The combinational cells form a cycle.
     CombinationalLoop {
@@ -50,13 +56,36 @@ pub enum Error {
         /// The port width in bits.
         width: usize,
     },
+    /// A fault injection named a target the netlist does not have, or
+    /// addressed it out of bounds.
+    FaultTarget {
+        /// The net / register / RAM name the fault addressed.
+        target: String,
+        /// What exactly went wrong with the reference.
+        detail: String,
+    },
+    /// The event loop exceeded its iteration budget inside one cycle —
+    /// the netlist (possibly under an injected fault) is oscillating
+    /// instead of settling.
+    SimulationDiverged {
+        /// The cell evaluated when the budget ran out.
+        cell: String,
+        /// The clock cycle (absolute tick count) being simulated.
+        cycle: u64,
+        /// Events processed before giving up.
+        events: u64,
+    },
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::MultipleDrivers { net } => write!(f, "net {net} has multiple drivers"),
-            Error::Undriven { net } => write!(f, "net {net} has no driver"),
+            Error::MultipleDrivers { net, driver } => {
+                write!(f, "net {net} has multiple drivers (second: {driver})")
+            }
+            Error::Undriven { net, reader } => {
+                write!(f, "net {net} has no driver but is read by {reader}")
+            }
             Error::CombinationalLoop { cell } => {
                 write!(f, "combinational loop through cell '{cell}'")
             }
@@ -69,6 +98,14 @@ impl fmt::Display for Error {
             Error::ValueOutOfRange { value, width } => {
                 write!(f, "value {value} does not fit a signed {width}-bit bus")
             }
+            Error::FaultTarget { target, detail } => {
+                write!(f, "fault target '{target}': {detail}")
+            }
+            Error::SimulationDiverged { cell, cycle, events } => write!(
+                f,
+                "simulation diverged at cycle {cycle}: {events} events without settling \
+                 (last evaluated cell '{cell}')"
+            ),
         }
     }
 }
@@ -84,19 +121,38 @@ mod tests {
 
     #[test]
     fn every_variant_displays_its_payload() {
-        let cases: Vec<(Error, &str)> = vec![
-            (Error::MultipleDrivers { net: 4 }, "4"),
-            (Error::Undriven { net: 9 }, "9"),
-            (Error::CombinationalLoop { cell: "acc".into() }, "acc"),
-            (Error::DuplicatePort { name: "x".into() }, "x"),
-            (Error::UnknownPort { name: "y".into() }, "y"),
-            (Error::BadWidth { width: 77 }, "77"),
-            (Error::TooManyLutInputs { count: 5 }, "5"),
-            (Error::ValueOutOfRange { value: -300, width: 8 }, "-300"),
+        let cases: Vec<(Error, Vec<&str>)> = vec![
+            (
+                Error::MultipleDrivers { net: 4, driver: "acc2".into() },
+                vec!["4", "acc2"],
+            ),
+            (
+                Error::Undriven { net: 9, reader: "output port 'low'".into() },
+                vec!["9", "output port 'low'"],
+            ),
+            (Error::CombinationalLoop { cell: "acc".into() }, vec!["acc"]),
+            (Error::DuplicatePort { name: "x".into() }, vec!["x"]),
+            (Error::UnknownPort { name: "y".into() }, vec!["y"]),
+            (Error::BadWidth { width: 77 }, vec!["77"]),
+            (Error::TooManyLutInputs { count: 5 }, vec!["5"]),
+            (Error::ValueOutOfRange { value: -300, width: 8 }, vec!["-300"]),
+            (
+                Error::FaultTarget {
+                    target: "alpha_r".into(),
+                    detail: "bit 31 out of range".into(),
+                },
+                vec!["alpha_r", "bit 31"],
+            ),
+            (
+                Error::SimulationDiverged { cell: "osc".into(), cycle: 12, events: 99 },
+                vec!["osc", "12", "99"],
+            ),
         ];
-        for (err, needle) in cases {
+        for (err, needles) in cases {
             let text = err.to_string();
-            assert!(text.contains(needle), "{text} missing {needle}");
+            for needle in needles {
+                assert!(text.contains(needle), "{text} missing {needle}");
+            }
         }
     }
 }

@@ -54,6 +54,7 @@ pub mod builder;
 pub mod cell;
 pub mod dot;
 mod error;
+pub mod fault;
 pub mod net;
 pub mod netlist;
 pub mod opt;

