@@ -1,0 +1,198 @@
+//! Static-analysis gate over the paper's netlists: runs the `dwt-lint`
+//! passes (L001–L005) on every design and hardened variant, after the
+//! same dead-logic sweep a synthesis front-end would apply, and
+//! cross-checks the L004-inferred pipeline depth against both Table 3
+//! and the generator's own latency count.
+//!
+//! Usage: `dwt_lint [FILTER...] [--json] [--deny SEV] [--dot DIR]
+//! [--mutate NAME [--target SUBSTR]]`
+//!
+//! * `FILTER` — case-insensitive substrings selecting targets
+//!   (default: all five designs plus the TMR/parity variants).
+//! * `--deny SEV` — exit non-zero when any finding reaches `SEV`
+//!   (`info`, `warning`, `error`; default `error`).
+//! * `--json` — machine-readable report on stdout instead of text.
+//! * `--dot DIR` — write a Graphviz rendering per target with the
+//!   diagnosed cells highlighted in red.
+//! * `--mutate NAME` — plant a bug (`drop-register`, `shrink-adder`,
+//!   `disconnect-net`) before linting; the gate must then fail. This is
+//!   the suite's self-test.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use dwt_arch::designs::Design;
+use dwt_arch::hardened::HardenedVariant;
+use dwt_lint::{lint_netlist, LintConfig, LintReport, Mutation, Severity};
+use dwt_rtl::netlist::Netlist;
+use dwt_rtl::opt::eliminate_dead_cells;
+
+struct Args {
+    filters: Vec<String>,
+    json: bool,
+    deny: Severity,
+    dot: Option<String>,
+    mutate: Option<Mutation>,
+    mutate_target: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        filters: Vec::new(),
+        json: false,
+        deny: Severity::Error,
+        dot: None,
+        mutate: None,
+        mutate_target: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| panic!("{flag} expects a {what}"))
+        };
+        match flag.as_str() {
+            "--json" => parsed.json = true,
+            "--deny" => {
+                let s = value("severity");
+                parsed.deny = Severity::parse(&s)
+                    .unwrap_or_else(|| panic!("unknown severity '{s}'"));
+            }
+            "--dot" => parsed.dot = Some(value("directory")),
+            "--mutate" => {
+                let s = value("mutation");
+                parsed.mutate = Some(
+                    Mutation::parse(&s).unwrap_or_else(|| panic!("unknown mutation '{s}'")),
+                );
+            }
+            "--target" => parsed.mutate_target = Some(value("cell substring")),
+            other if other.starts_with("--") => panic!("unknown argument '{other}'"),
+            filter => parsed.filters.push(filter.to_ascii_lowercase()),
+        }
+    }
+    parsed
+}
+
+/// All gate targets: `(name, netlist, Table 3 depth, generator latency)`.
+fn targets() -> Vec<(String, Netlist, usize, usize)> {
+    let mut rows = Vec::new();
+    for d in Design::all() {
+        let built = d.build().expect("design build");
+        rows.push((d.name().to_owned(), built.netlist, d.paper_row().stages, built.latency));
+    }
+    for v in HardenedVariant::all() {
+        let built = v.build().expect("hardened build");
+        let stages = v.base().paper_row().stages;
+        rows.push((v.name().to_owned(), built.netlist, stages, built.latency));
+    }
+    rows
+}
+
+/// The default planted-bug location per mutation (alpha-stage cells of
+/// any design), overridable with `--target`.
+fn default_target(mutation: Mutation) -> &'static str {
+    match mutation {
+        Mutation::BypassRegister => "r_in_even",
+        Mutation::ShrinkAdder => "alpha_pair",
+        Mutation::DisconnectNet => "alpha_sprev",
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let selected: Vec<_> = targets()
+        .into_iter()
+        .filter(|(name, ..)| {
+            args.filters.is_empty()
+                || args.filters.iter().any(|f| name.to_ascii_lowercase().contains(f))
+        })
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no target matches the given filters");
+        return ExitCode::from(2);
+    }
+
+    let mut reports: Vec<(LintReport, usize)> = Vec::new();
+    for (name, netlist, stages, latency) in selected {
+        // Sweep-then-lint: the generators leave clean-up (sliced-off
+        // ripple tops, voters on unread bits) to the optimizer, exactly
+        // as `crates/lint/tests/designs.rs` documents.
+        let (swept, _) = eliminate_dead_cells(&netlist).expect("dead-cell sweep");
+        let linted = match args.mutate {
+            None => swept,
+            Some(m) => {
+                let target =
+                    args.mutate_target.clone().unwrap_or_else(|| default_target(m).to_owned());
+                match m.apply(&swept, &target) {
+                    Some(mutated) => mutated,
+                    None => {
+                        eprintln!("{name}: no cell matching '{target}' to {}", m.name());
+                        swept
+                    }
+                }
+            }
+        };
+        let config = LintConfig::for_paper_datapath(stages);
+        let report = lint_netlist(&name, &linted, &config);
+        if let Some(dir) = &args.dot {
+            let file = format!(
+                "{dir}/{}.dot",
+                report.target.replace(|c: char| !c.is_ascii_alphanumeric(), "_")
+            );
+            let dot = dwt_rtl::dot::render_with_diagnostics(&linted, &report.highlights());
+            std::fs::write(&file, dot).expect("write dot file");
+        }
+        reports.push((report, latency));
+    }
+
+    let mut failed = false;
+    let mut text = String::new();
+    for (report, latency) in &reports {
+        failed |= report.exceeds(args.deny);
+        let depth_ok = report.inferred_depth == Some(*latency);
+        failed |= !depth_ok;
+        if report.is_clean() && depth_ok {
+            let _ = writeln!(
+                text,
+                "{}: clean, pipeline depth {} (matches Table 3 and the generator)",
+                report.target, latency
+            );
+        } else {
+            let _ = write!(text, "{report}");
+            if !depth_ok {
+                let _ = writeln!(
+                    text,
+                    "{}: inferred depth {:?} != generator latency {}",
+                    report.target, report.inferred_depth, latency
+                );
+            }
+        }
+    }
+
+    if args.json {
+        let mut out = String::from("{\n  \"deny\": \"");
+        out.push_str(args.deny.name());
+        out.push_str("\",\n  \"failed\": ");
+        out.push_str(if failed { "true" } else { "false" });
+        out.push_str(",\n  \"targets\": [");
+        for (i, (report, _)) in reports.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n{}", report.to_json());
+        }
+        out.push_str("\n  ]\n}");
+        println!("{out}");
+    } else {
+        print!("{text}");
+        let total: usize = reports.iter().map(|(r, _)| r.findings.len()).sum();
+        println!(
+            "{} target(s), {} finding(s), gate {}",
+            reports.len(),
+            total,
+            if failed { "FAILED" } else { "passed" }
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,63 @@
+//! End-to-end checks of the `dwt_lint` CLI gate: the shipped designs
+//! pass under the strictest useful deny level, every planted bug flips
+//! the exit code, and the JSON report is machine-parseable enough for
+//! the CI artifact.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dwt_lint"))
+        .args(args)
+        .output()
+        .expect("spawn dwt_lint")
+}
+
+#[test]
+fn the_gate_passes_on_all_shipped_netlists() {
+    let out = run(&["--deny", "warning"]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("gate passed"), "{stdout}");
+    // All nine targets: five designs plus four hardened variants.
+    assert_eq!(stdout.matches(": clean, pipeline depth").count(), 9, "{stdout}");
+    assert!(stdout.contains("depth 21"), "{stdout}");
+}
+
+#[test]
+fn every_planted_bug_flips_the_exit_code() {
+    for mutation in ["drop-register", "shrink-adder", "disconnect-net"] {
+        let out = run(&["design 2", "--mutate", mutation, "--deny", "warning"]);
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(!out.status.success(), "{mutation} escaped the gate: {stdout}");
+        assert!(stdout.contains("gate FAILED"), "{mutation}: {stdout}");
+    }
+}
+
+#[test]
+fn planted_bugs_report_the_expected_rules() {
+    let cases =
+        [("drop-register", "L004"), ("shrink-adder", "L003"), ("disconnect-net", "L002")];
+    for (mutation, rule) in cases {
+        let out = run(&["design 2", "--mutate", mutation, "--deny", "warning"]);
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(stdout.contains(rule), "{mutation} should report {rule}: {stdout}");
+    }
+}
+
+#[test]
+fn json_report_has_the_gate_shape() {
+    let out = run(&["design 1", "--json", "--deny", "warning"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"failed\": false"), "{stdout}");
+    assert!(stdout.contains("\"deny\": \"warning\""), "{stdout}");
+    assert!(stdout.contains("\"inferred_depth\":8"), "{stdout}");
+    assert!(stdout.contains("\"findings\":[]"), "{stdout}");
+}
+
+#[test]
+fn unknown_filter_is_a_usage_error() {
+    let out = run(&["no-such-design"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,496 @@
+//! L004 — pipeline balance.
+//!
+//! The paper's stage counts (Table 3: 8 for Designs 1/2/4, 21 for
+//! Designs 3/5) are properties of a consistent *schedule*: a per-net
+//! time potential `P` with `P = 0` at the input ports, `P(q) = P(d)+1`
+//! across every register, and all inputs of every combinational cell
+//! equal. A lifting datapath is not a pure pipeline, though — its
+//! predict/update stages deliberately add a word to its own
+//! one-register-delayed image (`s[m] + s[m+1]`, a two-tap FIR). At
+//! such a **self-tap adder** (detected structurally: one operand is
+//! bit-for-bit the register image of the other) the sample index
+//! shifts, so its output potential is `P(newer operand) + j` with an
+//! unknown j ∈ {0, 1} — which alignment-register reconvergence
+//! elsewhere in the datapath then pins. The pass therefore solves a
+//! difference-constraint system (union-find with offsets over the j's)
+//! instead of propagating a single latency:
+//!
+//! * an **unsolvable constraint** is a genuine imbalance — words from
+//!   different cycles meet at one cell — reported at that cell;
+//! * a **j outside {0, 1}** means a register was dropped or duplicated
+//!   around a tap, reported at the tap adder;
+//! * the solved potential at each output port is the **inferred
+//!   pipeline depth**, which must be bit-consistent, agree across
+//!   ports, and match the configured Table 3 value.
+//!
+//! Cells that only feed exempt ports are skipped: a parity variant's
+//! `fault_detect` OR-tree merges check bits from every stage by
+//! design.
+
+use dwt_rtl::cell::{tables, CellKind};
+use dwt_rtl::net::NetId;
+use dwt_rtl::netlist::{Netlist, PortDirection};
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, Locus, RuleId, Severity};
+
+/// An affine schedule expression: `c`, or `c + var` for a still-unpinned
+/// sample-shift variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Expr {
+    c: i64,
+    var: Option<usize>,
+}
+
+impl Expr {
+    fn konst(c: i64) -> Expr {
+        Expr { c, var: None }
+    }
+}
+
+/// Union-find with offsets over the sample-shift variables, plus pinned
+/// values on roots.
+struct Solver {
+    parent: Vec<usize>,
+    /// `var = parent + offset`.
+    offset: Vec<i64>,
+    value: Vec<Option<i64>>,
+    /// The self-tap adder each variable belongs to.
+    cell_of: Vec<String>,
+}
+
+impl Solver {
+    fn new() -> Solver {
+        Solver { parent: Vec::new(), offset: Vec::new(), value: Vec::new(), cell_of: Vec::new() }
+    }
+
+    fn fresh(&mut self, cell: &str) -> usize {
+        self.parent.push(self.parent.len());
+        self.offset.push(0);
+        self.value.push(None);
+        self.cell_of.push(cell.to_owned());
+        self.parent.len() - 1
+    }
+
+    /// Root and accumulated offset: `v = root + delta`.
+    fn find(&mut self, v: usize) -> (usize, i64) {
+        if self.parent[v] == v {
+            return (v, 0);
+        }
+        let (root, d) = self.find(self.parent[v]);
+        self.parent[v] = root;
+        self.offset[v] += d;
+        (root, self.offset[v])
+    }
+
+    fn resolve(&mut self, e: Expr) -> Expr {
+        match e.var {
+            None => e,
+            Some(v) => {
+                let (root, d) = self.find(v);
+                match self.value[root] {
+                    Some(val) => Expr::konst(e.c + d + val),
+                    None => Expr { c: e.c + d, var: Some(root) },
+                }
+            }
+        }
+    }
+
+    /// Adds the constraint `a == b`; `Err` on an outright conflict.
+    fn equate(&mut self, a: Expr, b: Expr) -> Result<(), ()> {
+        let a = self.resolve(a);
+        let b = self.resolve(b);
+        match (a.var, b.var) {
+            (None, None) => {
+                if a.c == b.c {
+                    Ok(())
+                } else {
+                    Err(())
+                }
+            }
+            (Some(r), None) => {
+                self.value[r] = Some(b.c - a.c);
+                Ok(())
+            }
+            (None, Some(r)) => {
+                self.value[r] = Some(a.c - b.c);
+                Ok(())
+            }
+            (Some(r1), Some(r2)) => {
+                if r1 == r2 {
+                    if a.c == b.c {
+                        Ok(())
+                    } else {
+                        Err(())
+                    }
+                } else {
+                    // r2 = r1 + (a.c - b.c)
+                    self.parent[r2] = r1;
+                    self.offset[r2] = a.c - b.c;
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Runs the pass. Returns the findings and the inferred depth (when
+/// the schedule solves and the outputs agree).
+#[must_use]
+pub fn run(netlist: &Netlist, config: &LintConfig) -> (Vec<Diagnostic>, Option<usize>) {
+    let Some(order) = netlist.sequential_topo() else {
+        return (
+            vec![Diagnostic {
+                rule: RuleId::L004,
+                severity: Severity::Error,
+                locus: Locus::Path(vec![]),
+                message: "sequential feedback loop: no global pipeline schedule exists"
+                    .to_owned(),
+                fix_hint: None,
+            }],
+            None,
+        );
+    };
+
+    let relevant = reaches_checked_output(netlist, config);
+    let mut findings = Vec::new();
+    let mut solver = Solver::new();
+    let mut p: Vec<Option<Expr>> = vec![None; netlist.net_count()];
+    for port in netlist.ports().values() {
+        if port.direction == PortDirection::Input {
+            for net in port.bus.bits() {
+                p[net.index()] = Some(Expr::konst(0));
+            }
+        }
+    }
+
+    for id in order {
+        let cell = netlist.cell(id);
+        if matches!(cell.kind, CellKind::Constant { .. }) {
+            continue; // wildcard: adapts to any stage
+        }
+        let step = i64::from(matches!(cell.kind, CellKind::Register { .. }));
+
+        // The self-tap (two-tap FIR) waiver: the newer operand's bits,
+        // and the other inputs that must instead agree with the output.
+        let tap_newer = self_tap_newer(netlist, &cell.kind);
+        let (checked, out_base): (Vec<NetId>, Option<Expr>) = match &tap_newer {
+            Some((newer, others)) => {
+                let base = newer
+                    .iter()
+                    .find_map(|n| p[n.index()])
+                    .map(|e| solver.resolve(e))
+                    .map(|e| match e.var {
+                        // One pending variable is all the solver tracks;
+                        // a second would need a full linear system.
+                        Some(_) => None,
+                        None => Some(Expr { c: e.c, var: Some(solver.fresh(&cell.name)) }),
+                    })
+                    .unwrap_or(None);
+                (others.clone(), base)
+            }
+            None => {
+                let inputs = cell.kind.comb_input_nets();
+                let base = inputs.iter().find_map(|n| p[n.index()]);
+                (inputs, base)
+            }
+        };
+
+        if let Some(base) = out_base {
+            if relevant[id.index()] {
+                for net in &checked {
+                    if let Some(e) = p[net.index()] {
+                        if solver.equate(base, e).is_err() {
+                            let b = solver.resolve(base);
+                            let e = solver.resolve(e);
+                            findings.push(Diagnostic {
+                                rule: RuleId::L004,
+                                severity: Severity::Error,
+                                locus: Locus::Cell(cell.name.clone()),
+                                message: format!(
+                                    "words from different pipeline cycles meet here (schedule {} vs {})",
+                                    b.c, e.c
+                                ),
+                                fix_hint: Some(
+                                    "insert a balancing register on the shallow arm".to_owned(),
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            let out = Expr { c: base.c + step, var: base.var };
+            for net in cell.kind.output_nets() {
+                p[net.index()] = Some(out);
+            }
+        }
+    }
+
+    // Every sample-shift must have solved to 0 or 1: anything else
+    // means a register vanished from (or doubled on) one arm of a tap.
+    let mut reported_vars: Vec<usize> = Vec::new();
+    for v in 0..solver.parent.len() {
+        let (root, d) = solver.find(v);
+        if let Some(val) = solver.value[root] {
+            let j = val + d;
+            if !(0..=1).contains(&j) && !reported_vars.contains(&root) {
+                reported_vars.push(root);
+                findings.push(Diagnostic {
+                    rule: RuleId::L004,
+                    severity: Severity::Error,
+                    locus: Locus::Cell(solver.cell_of[v].clone()),
+                    message: format!(
+                        "two-tap adder needs a sample shift of {j}, outside the one register a z^-1 tap provides"
+                    ),
+                    fix_hint: Some("restore the dropped pipeline register".to_owned()),
+                });
+            }
+        }
+    }
+
+    // Output-port potentials: bit-consistent, cross-port consistent,
+    // equal to the Table 3 depth.
+    let had_schedule_findings = !findings.is_empty();
+    let mut depth: Option<i64> = None;
+    let mut consistent = true;
+    for port in netlist.ports().values() {
+        if port.direction != PortDirection::Output
+            || config.balance_exempt_ports.contains(&port.name)
+        {
+            continue;
+        }
+        let mut port_depths: Vec<i64> = Vec::new();
+        let mut unresolved = false;
+        for net in port.bus.bits() {
+            if let Some(e) = p[net.index()] {
+                let e = solver.resolve(e);
+                match e.var {
+                    None => port_depths.push(e.c),
+                    Some(_) => unresolved = true,
+                }
+            }
+        }
+        port_depths.sort_unstable();
+        port_depths.dedup();
+        if unresolved {
+            consistent = false;
+            findings.push(Diagnostic {
+                rule: RuleId::L004,
+                severity: Severity::Warning,
+                locus: Locus::Port(port.name.clone()),
+                message: "output latency depends on an unpinned sample shift".to_owned(),
+                fix_hint: None,
+            });
+            continue;
+        }
+        match port_depths.as_slice() {
+            [] => {}
+            [d] => {
+                if let Some(expect) = config.expected_depth {
+                    if *d != expect as i64 {
+                        consistent = false;
+                        findings.push(Diagnostic {
+                            rule: RuleId::L004,
+                            severity: Severity::Error,
+                            locus: Locus::Port(port.name.clone()),
+                            message: format!(
+                                "inferred pipeline depth {d} does not match the expected {expect} (Table 3)"
+                            ),
+                            fix_hint: None,
+                        });
+                    }
+                }
+                match depth {
+                    None => depth = Some(*d),
+                    Some(prev) if prev != *d => {
+                        consistent = false;
+                        findings.push(Diagnostic {
+                            rule: RuleId::L004,
+                            severity: Severity::Error,
+                            locus: Locus::Port(port.name.clone()),
+                            message: format!(
+                                "output latency {d} disagrees with the {prev} seen on other outputs"
+                            ),
+                            fix_hint: Some(
+                                "align the outputs with balancing registers".to_owned(),
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+            many => {
+                consistent = false;
+                findings.push(Diagnostic {
+                    rule: RuleId::L004,
+                    severity: Severity::Error,
+                    locus: Locus::Port(port.name.clone()),
+                    message: format!(
+                        "bits of one output arrive after different latencies ({})",
+                        many.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                    ),
+                    fix_hint: Some("align the outputs with balancing registers".to_owned()),
+                });
+            }
+        }
+    }
+    let inferred = if consistent && !had_schedule_findings {
+        depth.and_then(|d| usize::try_from(d).ok())
+    } else {
+        None
+    };
+
+    (findings, inferred)
+}
+
+/// Detects the self-tap (two-tap FIR) shape: a 2-operand adder where
+/// one operand is, bit for bit, the register image of the other —
+/// through a plain register, a TMR voter, or a parity-extended
+/// register. Returns the *newer* operand's bits and the remaining
+/// inputs that must agree with the output (a full adder's carry-in).
+fn self_tap_newer(netlist: &Netlist, kind: &CellKind) -> Option<(Vec<NetId>, Vec<NetId>)> {
+    let pairs_up = |a: &[NetId], b: &[NetId]| -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(&x, &r)| reg_image(netlist, r) == Some(x))
+    };
+    match kind {
+        CellKind::CarryAdd { a, b, .. } | CellKind::CarrySub { a, b, .. } => {
+            if pairs_up(a.bits(), b.bits()) {
+                Some((a.bits().to_vec(), Vec::new()))
+            } else if pairs_up(b.bits(), a.bits()) {
+                Some((b.bits().to_vec(), Vec::new()))
+            } else {
+                None
+            }
+        }
+        CellKind::FullAdder { a, b, cin, .. } => {
+            if reg_image(netlist, *b) == Some(*a) {
+                Some((vec![*a], vec![*cin]))
+            } else if reg_image(netlist, *a) == Some(*b) {
+                Some((vec![*b], vec![*cin]))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The data-input bit a net is the one-register-delayed image of:
+/// through a register directly (parity-extended ones included, since
+/// their data bits stay in place), or through a TMR majority voter over
+/// three registers sharing one data input.
+fn reg_image(netlist: &Netlist, net: NetId) -> Option<NetId> {
+    let through_register = |n: NetId| -> Option<NetId> {
+        let cell = netlist.cell(netlist.driver(n)?);
+        let CellKind::Register { d, q } = &cell.kind else { return None };
+        let pos = q.bits().iter().position(|&b| b == n)?;
+        Some(d.bit(pos))
+    };
+    if let Some(d) = through_register(net) {
+        return Some(d);
+    }
+    // TMR: a MAJ3 LUT over three register bits with identical inputs.
+    let cell = netlist.cell(netlist.driver(net)?);
+    let CellKind::Lut { inputs, table, .. } = &cell.kind else { return None };
+    if *table != tables::MAJ3 || inputs.len() != 3 {
+        return None;
+    }
+    let images: Vec<Option<NetId>> = inputs.iter().map(|&n| through_register(n)).collect();
+    match (images[0], images[1], images[2]) {
+        (Some(a), Some(b), Some(c)) if a == b && b == c => Some(a),
+        _ => None,
+    }
+}
+
+/// For each cell, whether it transitively feeds a non-exempt output
+/// port (through any input, register and RAM write pins included —
+/// conservative).
+fn reaches_checked_output(netlist: &Netlist, config: &LintConfig) -> Vec<bool> {
+    let mut reach = vec![false; netlist.cell_count()];
+    let mut work: Vec<NetId> = Vec::new();
+    for port in netlist.ports().values() {
+        if port.direction == PortDirection::Output
+            && !config.balance_exempt_ports.contains(&port.name)
+        {
+            work.extend(port.bus.bits());
+        }
+    }
+    let mut seen = vec![false; netlist.net_count()];
+    while let Some(net) = work.pop() {
+        if std::mem::replace(&mut seen[net.index()], true) {
+            continue;
+        }
+        if let Some(driver) = netlist.driver(net) {
+            if !std::mem::replace(&mut reach[driver.index()], true) {
+                work.extend(netlist.cell(driver).kind.input_nets());
+            }
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use dwt_rtl::builder::NetlistBuilder;
+
+    use crate::config::LintConfig;
+
+    #[test]
+    fn two_tap_fir_solves_and_the_depth_is_physical() {
+        // pair = x + z^-1(x), then pair + z^-1(x) pins the sample shift
+        // to 1, and an output register makes the total depth 2.
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let t = b.register("tap", &x).unwrap();
+        let pair = b.carry_add("pair", &x, &t, 9).unwrap();
+        let dly = b.register("dly", &x).unwrap();
+        let mix = b.carry_add("mix", &pair, &dly, 10).unwrap();
+        let q = b.register("q", &mix).unwrap();
+        b.output("y", &q).unwrap();
+        let netlist = b.finish().unwrap();
+
+        let (findings, depth) = super::run(&netlist, &LintConfig::default());
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(depth, Some(2));
+    }
+
+    #[test]
+    fn unbalanced_reconvergence_is_flagged_at_the_cell() {
+        // x and a two-registers-deep copy of x meet in one adder; that
+        // is not a z^-1 tap, so it is a genuine imbalance.
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let r1 = b.register("r1", &x).unwrap();
+        let r2 = b.register("r2", &r1).unwrap();
+        let mix = b.carry_add("mix", &x, &r2, 9).unwrap();
+        b.output("y", &mix).unwrap();
+        let netlist = b.finish().unwrap();
+
+        let (findings, depth) = super::run(&netlist, &LintConfig::default());
+        assert_eq!(depth, None);
+        assert!(findings.iter().any(|f| {
+            matches!(&f.locus, crate::diag::Locus::Cell(c) if c == "mix")
+                && f.message.contains("different pipeline cycles")
+        }), "{findings:?}");
+    }
+
+    #[test]
+    fn expected_depth_is_enforced_per_output_port() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let q = b.register("q", &x).unwrap();
+        b.output("y", &q).unwrap();
+        let netlist = b.finish().unwrap();
+
+        let config = LintConfig { expected_depth: Some(3), ..LintConfig::default() };
+        let (findings, depth) = super::run(&netlist, &config);
+        assert_eq!(depth, None);
+        assert!(findings.iter().any(|f| {
+            matches!(&f.locus, crate::diag::Locus::Port(p) if p == "y")
+                && f.message.contains("does not match")
+        }), "{findings:?}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Lint configuration: expected pipeline depth, input value ranges,
+//! and the Table 1 range anchors the width-safety pass trusts.
+
+use std::collections::BTreeMap;
+
+use dwt_core::bitwidth;
+
+/// A trusted value range for cells whose name starts with a prefix.
+///
+/// The paper's Table 1 widths rest on the *gain-based* range analysis
+/// (Section 3.1): from the γ stage onward the registers are narrower
+/// than a naive interval propagation would demand, because opposing
+/// filter taps cancel. A truncating slice is therefore legitimate
+/// exactly when the paper's range for that node fits the kept width —
+/// the anchor records that range, keyed by the datapath's cell-name
+/// stem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeAnchor {
+    /// Cell-name prefix the anchor applies to (e.g. `"gamma"`).
+    pub prefix: String,
+    /// Smallest value the analysis guarantees at such cells.
+    pub min: i64,
+    /// Largest value the analysis guarantees at such cells.
+    pub max: i64,
+}
+
+/// Configuration for one lint run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintConfig {
+    /// Pipeline depth L004 must infer (Table 3: 8 for Designs 1/2/4,
+    /// 21 for Designs 3/5). `None` skips the depth check but still
+    /// enforces balance.
+    pub expected_depth: Option<usize>,
+    /// Value range per *input port* for the interval engine; ports not
+    /// listed assume their full two's-complement range.
+    pub input_ranges: BTreeMap<String, (i64, i64)>,
+    /// Table 1 anchors consulted when a truncating slice is found.
+    pub anchors: Vec<RangeAnchor>,
+    /// Output ports exempt from pipeline-balance checking. A parity
+    /// variant's `fault_detect` OR-tree legitimately merges check bits
+    /// from every pipeline stage.
+    pub balance_exempt_ports: Vec<String>,
+}
+
+impl LintConfig {
+    /// The configuration for the paper's lifting datapath: signed-8-bit
+    /// input ports, Table 1 gain-based anchors keyed by the builder's
+    /// cell-name stems, and the `fault_detect` balance exemption.
+    #[must_use]
+    pub fn for_paper_datapath(expected_depth: usize) -> Self {
+        let ranges = bitwidth::paper();
+        let anchor = |prefix: &str, r: bitwidth::NodeRange| RangeAnchor {
+            prefix: prefix.to_owned(),
+            min: r.min,
+            max: r.max,
+        };
+        let mut input_ranges = BTreeMap::new();
+        for port in ["in_even", "in_odd"] {
+            input_ranges.insert(port.to_owned(), (ranges.input.min, ranges.input.max));
+        }
+        LintConfig {
+            expected_depth: Some(expected_depth),
+            input_ranges,
+            anchors: vec![
+                anchor("r_in", ranges.input),
+                anchor("alpha", ranges.after_alpha),
+                anchor("beta", ranges.after_beta),
+                anchor("gamma", ranges.after_gamma),
+                anchor("delta", ranges.after_delta),
+                anchor("inv_k", ranges.low_output),
+                anchor("minus_k", ranges.high_output),
+                anchor("low", ranges.low_output),
+                anchor("high", ranges.high_output),
+            ],
+            balance_exempt_ports: vec!["fault_detect".to_owned()],
+        }
+    }
+
+    /// The anchor whose prefix matches the given cell name, if any
+    /// (longest matching prefix wins).
+    #[must_use]
+    pub fn anchor_for(&self, cell_name: &str) -> Option<&RangeAnchor> {
+        self.anchors
+            .iter()
+            .filter(|a| cell_name.starts_with(a.prefix.as_str()))
+            .max_by_key(|a| a.prefix.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_carries_table1_ranges() {
+        let c = LintConfig::for_paper_datapath(8);
+        assert_eq!(c.expected_depth, Some(8));
+        assert_eq!(c.input_ranges["in_even"], (-128, 127));
+        let g = c.anchor_for("gamma_pair_3").unwrap();
+        assert_eq!((g.min, g.max), (-205, 205));
+        assert!(c.balance_exempt_ports.contains(&"fault_detect".to_owned()));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut c = LintConfig::default();
+        c.anchors.push(RangeAnchor { prefix: "a".to_owned(), min: -1, max: 1 });
+        c.anchors.push(RangeAnchor { prefix: "ab".to_owned(), min: -2, max: 2 });
+        assert_eq!(c.anchor_for("abc").unwrap().max, 2);
+        assert_eq!(c.anchor_for("axe").unwrap().max, 1);
+        assert!(c.anchor_for("zzz").is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! L002 — connectivity: undriven and multiply-driven nets, unread
+//! input bits, and dead cells.
+//!
+//! The driver/reader tables are recomputed from the raw cell list
+//! rather than taken from the netlist's cached maps, so the pass also
+//! works on [`dwt_rtl::netlist::Netlist::assemble_unchecked`] graphs
+//! whose caches are (deliberately) first-driver-wins.
+
+use dwt_rtl::cell::CellKind;
+use dwt_rtl::net::NetId;
+use dwt_rtl::netlist::{Netlist, PortDirection};
+
+use crate::diag::{Diagnostic, Locus, RuleId, Severity};
+
+/// Runs the pass.
+#[must_use]
+pub fn run(netlist: &Netlist) -> Vec<Diagnostic> {
+    let n = netlist.net_count();
+    let mut findings = Vec::new();
+
+    // Recompute drivers per net: cell outputs and input-port bits.
+    let mut drivers: Vec<Vec<String>> = vec![Vec::new(); n];
+    for cell in netlist.cells() {
+        for net in cell.kind.output_nets() {
+            drivers[net.index()].push(cell.name.clone());
+        }
+    }
+    for port in netlist.ports().values() {
+        if port.direction == PortDirection::Input {
+            for net in port.bus.bits() {
+                drivers[net.index()].push(format!("port:{}", port.name));
+            }
+        }
+    }
+
+    // Readers per net: cell inputs and output-port bits.
+    let mut readers: Vec<Vec<String>> = vec![Vec::new(); n];
+    for cell in netlist.cells() {
+        for net in cell.kind.input_nets() {
+            readers[net.index()].push(cell.name.clone());
+        }
+    }
+    for port in netlist.ports().values() {
+        if port.direction == PortDirection::Output {
+            for net in port.bus.bits() {
+                readers[net.index()].push(format!("port:{}", port.name));
+            }
+        }
+    }
+
+    for i in 0..n {
+        if drivers[i].len() > 1 {
+            findings.push(Diagnostic {
+                rule: RuleId::L002,
+                severity: Severity::Error,
+                locus: Locus::Net { net: i as u32, near: drivers[i][0].clone() },
+                message: format!("net driven {} times ({})", drivers[i].len(), drivers[i].join(", ")),
+                fix_hint: Some("keep exactly one driver per net".to_owned()),
+            });
+        }
+        if drivers[i].is_empty() && !readers[i].is_empty() {
+            findings.push(Diagnostic {
+                rule: RuleId::L002,
+                severity: Severity::Error,
+                locus: Locus::Net { net: i as u32, near: readers[i][0].clone() },
+                message: format!("undriven net read by {}", readers[i].join(", ")),
+                fix_hint: Some("drive the net or remove its readers".to_owned()),
+            });
+        }
+    }
+
+    // Input-port bits nobody reads: the port is wider than the logic.
+    for port in netlist.ports().values() {
+        if port.direction == PortDirection::Input {
+            let unread = port.bus.bits().iter().filter(|b| readers[b.index()].is_empty()).count();
+            if unread > 0 {
+                findings.push(Diagnostic {
+                    rule: RuleId::L002,
+                    severity: Severity::Warning,
+                    locus: Locus::Port(port.name.clone()),
+                    message: format!(
+                        "{unread} of {} input bit(s) are never read",
+                        port.bus.width()
+                    ),
+                    fix_hint: Some("narrow the port or connect the bits".to_owned()),
+                });
+            }
+        }
+    }
+
+    // Dead cells, with exactly the liveness `opt::eliminate_dead_cells`
+    // uses, so lint findings predict what the optimiser would strip.
+    for idx in dead_cells(netlist) {
+        let cell = &netlist.cells()[idx];
+        findings.push(Diagnostic {
+            rule: RuleId::L002,
+            severity: Severity::Warning,
+            locus: Locus::Cell(cell.name.clone()),
+            message: "cell drives nothing observable (dead logic)".to_owned(),
+            fix_hint: Some("remove it, or run opt::eliminate_dead_cells".to_owned()),
+        });
+    }
+
+    findings
+}
+
+/// Indices of cells `opt::eliminate_dead_cells` would remove: cells
+/// unreachable backward from the observability roots (output ports,
+/// register data pins, RAM write/read pins), with registers kept when
+/// their output is read anywhere and RAMs kept always.
+#[must_use]
+pub fn dead_cells(netlist: &Netlist) -> Vec<usize> {
+    let mut live = vec![false; netlist.cell_count()];
+    let mut work: Vec<NetId> = Vec::new();
+    for port in netlist.ports().values() {
+        if port.direction == PortDirection::Output {
+            work.extend(port.bus.bits());
+        }
+    }
+    for cell in netlist.cells() {
+        match &cell.kind {
+            CellKind::Register { d, .. } => work.extend(d.bits()),
+            CellKind::Ram { raddr, waddr, wdata, wen, .. } => {
+                work.extend(raddr.bits());
+                work.extend(waddr.bits());
+                work.extend(wdata.bits());
+                work.push(*wen);
+            }
+            _ => {}
+        }
+    }
+    let mut seen_net = vec![false; netlist.net_count()];
+    while let Some(net) = work.pop() {
+        if std::mem::replace(&mut seen_net[net.index()], true) {
+            continue;
+        }
+        if let Some(driver) = netlist.driver(net) {
+            if !std::mem::replace(&mut live[driver.index()], true) {
+                work.extend(netlist.cell(driver).kind.input_nets());
+            }
+        }
+    }
+    netlist
+        .cells()
+        .iter()
+        .enumerate()
+        .filter(|(i, cell)| {
+            let keep = match &cell.kind {
+                CellKind::Register { q, .. } => {
+                    live[*i] || q.bits().iter().any(|n| seen_net[n.index()])
+                }
+                CellKind::Ram { .. } => true,
+                _ => live[*i],
+            };
+            !keep
+        })
+        .map(|(i, _)| i)
+        .collect()
+}

@@ -1,0 +1,113 @@
+//! L001 — combinational-cycle detection.
+//!
+//! Kahn's algorithm over the combinational cells; anything that never
+//! reaches indegree 0 sits on (or downstream of) a cycle. A concrete
+//! cycle is then extracted by walking predecessors inside the leftover
+//! set until a cell repeats, and reported as a full path.
+
+use dwt_rtl::netlist::{CellId, Netlist};
+
+use crate::diag::{Diagnostic, Locus, RuleId, Severity};
+
+/// Runs the pass.
+#[must_use]
+pub fn run(netlist: &Netlist) -> Vec<Diagnostic> {
+    let n = netlist.cell_count();
+    let comb = |id: CellId| netlist.cell(id).kind.is_combinational();
+
+    // Combinational indegree per cell.
+    let mut indegree = vec![0u32; n];
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        if !comb(CellId::from_index(i)) {
+            continue;
+        }
+        indegree[i] = cell
+            .kind
+            .comb_input_nets()
+            .iter()
+            .filter(|&&net| netlist.driver(net).is_some_and(comb))
+            .count() as u32;
+    }
+    let mut queue: Vec<usize> = (0..n)
+        .filter(|&i| comb(CellId::from_index(i)) && indegree[i] == 0)
+        .collect();
+    let mut peeled = vec![false; n];
+    let mut head = 0;
+    while head < queue.len() {
+        let i = queue[head];
+        head += 1;
+        peeled[i] = true;
+        for net in netlist.cell(CellId::from_index(i)).kind.output_nets() {
+            for &reader in netlist.fanout(net) {
+                let r = reader.index();
+                if !comb(reader) || peeled[r] {
+                    continue;
+                }
+                indegree[r] = indegree[r].saturating_sub(
+                    netlist
+                        .cell(reader)
+                        .kind
+                        .comb_input_nets()
+                        .iter()
+                        .filter(|&&m| m == net)
+                        .count() as u32,
+                );
+                if indegree[r] == 0 && !queue[head..].contains(&r) {
+                    queue.push(r);
+                }
+            }
+        }
+    }
+
+    let leftover: Vec<usize> =
+        (0..n).filter(|&i| comb(CellId::from_index(i)) && !peeled[i]).collect();
+    let mut findings = Vec::new();
+    let mut claimed = vec![false; n];
+    while let Some(&start) = leftover.iter().find(|&&i| !claimed[i]) {
+        // Walk combinational predecessors inside the leftover set; the
+        // walk must eventually revisit a cell, closing a cycle.
+        let mut trail: Vec<usize> = vec![start];
+        let cycle = loop {
+            let cur = *trail.last().expect("non-empty trail");
+            let pred = netlist
+                .cell(CellId::from_index(cur))
+                .kind
+                .comb_input_nets()
+                .iter()
+                .filter_map(|&net| netlist.driver(net))
+                .map(CellId::index)
+                .find(|&p| comb(CellId::from_index(p)) && !peeled[p]);
+            let Some(p) = pred else {
+                // Downstream of a cycle but not on one; nothing to report
+                // for this cell beyond the cycle itself.
+                break None;
+            };
+            if let Some(pos) = trail.iter().position(|&t| t == p) {
+                let mut cycle: Vec<usize> = trail[pos..].to_vec();
+                cycle.reverse(); // predecessor walk runs against the arrows
+                break Some(cycle);
+            }
+            trail.push(p);
+        };
+        for &t in &trail {
+            claimed[t] = true;
+        }
+        if let Some(cycle) = cycle {
+            let mut names: Vec<String> =
+                cycle.iter().map(|&i| netlist.cell(CellId::from_index(i)).name.clone()).collect();
+            // Close the loop visually.
+            names.push(names[0].clone());
+            findings.push(Diagnostic {
+                rule: RuleId::L001,
+                severity: Severity::Error,
+                locus: Locus::Path(names),
+                message: format!(
+                    "combinational cycle through {} cell(s)",
+                    cycle.len()
+                ),
+                fix_hint: Some("break the loop with a register".to_owned()),
+            });
+        }
+    }
+    findings
+}

@@ -1,0 +1,275 @@
+//! Structured diagnostics: rule ids, severities, loci, findings.
+
+use std::fmt;
+
+/// The lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Combinational-cycle detection.
+    L001,
+    /// Connectivity: undriven / multiply-driven nets, dead cells.
+    L002,
+    /// Width safety via interval inference.
+    L003,
+    /// Pipeline balance and inferred depth.
+    L004,
+    /// Register controllability / observability.
+    L005,
+}
+
+impl RuleId {
+    /// The rule's code, e.g. `"L004"`.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::L001 => "L001",
+            RuleId::L002 => "L002",
+            RuleId::L003 => "L003",
+            RuleId::L004 => "L004",
+            RuleId::L005 => "L005",
+        }
+    }
+
+    /// Human-readable rule title.
+    #[must_use]
+    pub fn title(self) -> &'static str {
+        match self {
+            RuleId::L001 => "combinational cycle",
+            RuleId::L002 => "connectivity",
+            RuleId::L003 => "width safety",
+            RuleId::L004 => "pipeline balance",
+            RuleId::L005 => "register reachability",
+        }
+    }
+
+    /// All rules, in order.
+    #[must_use]
+    pub fn all() -> [RuleId; 5] {
+        [RuleId::L001, RuleId::L002, RuleId::L003, RuleId::L004, RuleId::L005]
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Finding severity, ordered `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never gates by default.
+    Info,
+    /// Suspicious but possibly intentional.
+    Warning,
+    /// Structurally broken.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name, as used in JSON output and `--deny` arguments.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a `--deny` argument (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s.to_ascii_lowercase().as_str() {
+            "info" => Some(Severity::Info),
+            "warn" | "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a finding points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Locus {
+    /// A cell, by name.
+    Cell(String),
+    /// A net, by id, with the name of its driver (or reader) for
+    /// orientation.
+    Net {
+        /// Net id.
+        net: u32,
+        /// Name of the nearest named neighbour (driving or reading
+        /// cell, or `port:NAME`).
+        near: String,
+    },
+    /// A port, by name.
+    Port(String),
+    /// A path through named cells (e.g. the cells of a combinational
+    /// cycle, or the two arms of an unbalanced reconvergence).
+    Path(Vec<String>),
+}
+
+impl Locus {
+    /// The DOT node names this locus touches (for graph overlays).
+    #[must_use]
+    pub fn nodes(&self) -> Vec<String> {
+        match self {
+            Locus::Cell(name) => vec![name.clone()],
+            Locus::Net { near, .. } => vec![near.clone()],
+            Locus::Port(name) => vec![format!("port:{name}")],
+            Locus::Path(names) => names.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Locus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Locus::Cell(name) => write!(f, "cell '{name}'"),
+            Locus::Net { net, near } => write!(f, "net #{net} (near '{near}')"),
+            Locus::Port(name) => write!(f, "port '{name}'"),
+            Locus::Path(names) => write!(f, "path {}", names.join(" -> ")),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Where it points.
+    pub locus: Locus,
+    /// What happened.
+    pub message: String,
+    /// How to fix it, when the pass can tell.
+    pub fix_hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// Renders the finding as a JSON object (hand-rolled; the build
+    /// environment has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"rule\":\"{}\"", self.rule.code()));
+        s.push_str(&format!(",\"severity\":\"{}\"", self.severity.name()));
+        let (kind, detail) = match &self.locus {
+            Locus::Cell(name) => ("cell", json_string(name)),
+            Locus::Net { net, near } => {
+                ("net", format!("{{\"id\":{net},\"near\":{}}}", json_string(near)))
+            }
+            Locus::Port(name) => ("port", json_string(name)),
+            Locus::Path(names) => {
+                let items: Vec<String> = names.iter().map(|n| json_string(n)).collect();
+                ("path", format!("[{}]", items.join(",")))
+            }
+        };
+        s.push_str(&format!(",\"locus\":{{\"kind\":\"{kind}\",\"at\":{detail}}}"));
+        s.push_str(&format!(",\"message\":{}", json_string(&self.message)));
+        match &self.fix_hint {
+            Some(h) => s.push_str(&format!(",\"fix_hint\":{}", json_string(h))),
+            None => s.push_str(",\"fix_hint\":null"),
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}/{}] {}: {}",
+            self.rule.code(),
+            self.rule.title(),
+            self.severity,
+            self.locus,
+            self.message
+        )?;
+        if let Some(hint) = &self.fix_hint {
+            write!(f, " (fix: {hint})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string into a JSON string literal (with quotes).
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severities_order() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::parse("WARNING"), Some(Severity::Warning));
+        assert_eq!(Severity::parse("warn"), Some(Severity::Warning));
+        assert_eq!(Severity::parse("bogus"), None);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn diagnostic_json_shape() {
+        let d = Diagnostic {
+            rule: RuleId::L002,
+            severity: Severity::Error,
+            locus: Locus::Net { net: 7, near: "alpha_pair".to_owned() },
+            message: "undriven net read by 'alpha_pair'".to_owned(),
+            fix_hint: None,
+        };
+        let j = d.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"rule\":\"L002\""));
+        assert!(j.contains("\"severity\":\"error\""));
+        assert!(j.contains("\"kind\":\"net\""));
+        assert!(j.contains("\"fix_hint\":null"));
+    }
+
+    #[test]
+    fn display_mentions_rule_and_locus() {
+        let d = Diagnostic {
+            rule: RuleId::L004,
+            severity: Severity::Warning,
+            locus: Locus::Cell("beta_pair".to_owned()),
+            message: "input latencies disagree".to_owned(),
+            fix_hint: Some("insert a balancing register".to_owned()),
+        };
+        let s = d.to_string();
+        assert!(s.contains("L004"));
+        assert!(s.contains("beta_pair"));
+        assert!(s.contains("fix:"));
+    }
+}

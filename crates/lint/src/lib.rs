@@ -1,0 +1,79 @@
+//! # dwt-lint
+//!
+//! Static analysis over [`dwt_rtl`] netlists: the structural invariants
+//! behind the paper's five designs — pipeline cut placement (Table 3),
+//! fixed-point register widths (Table 1), plain graph sanity — checked
+//! without a single simulation cycle, the way a real EDA flow
+//! front-loads lint/STA before any testbench runs.
+//!
+//! Five passes ship:
+//!
+//! | rule | checks |
+//! |------|--------|
+//! | L001 | combinational cycles, reported as a full path |
+//! | L002 | undriven / multiply-driven nets, unread input bits, dead cells |
+//! | L003 | width safety: truncating adds/slices via interval inference |
+//! | L004 | pipeline balance and the inferred depth vs. Table 3 |
+//! | L005 | register controllability / observability |
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), dwt_rtl::Error> {
+//! use dwt_lint::{lint_netlist, LintConfig};
+//! use dwt_rtl::builder::NetlistBuilder;
+//!
+//! let mut b = NetlistBuilder::new();
+//! let x = b.input("x", 8)?;
+//! let s = b.carry_add("s", &x, &x, 9)?;
+//! let q = b.register("q", &s)?;
+//! b.output("y", &q)?;
+//!
+//! let report = lint_netlist("demo", &b.finish()?, &LintConfig::default());
+//! assert!(report.is_clean());
+//! assert_eq!(report.inferred_depth, Some(1));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod balance;
+pub mod config;
+pub mod connectivity;
+pub mod cycles;
+pub mod diag;
+pub mod mutate;
+pub mod report;
+pub mod state;
+pub mod width;
+
+pub use config::{LintConfig, RangeAnchor};
+pub use diag::{Diagnostic, Locus, RuleId, Severity};
+pub use mutate::Mutation;
+pub use report::LintReport;
+
+use dwt_rtl::netlist::Netlist;
+
+/// Runs all five passes over a netlist.
+#[must_use]
+pub fn lint_netlist(target: &str, netlist: &Netlist, config: &LintConfig) -> LintReport {
+    let mut findings = Vec::new();
+    findings.extend(cycles::run(netlist));
+    findings.extend(connectivity::run(netlist));
+    findings.extend(width::run(netlist, config));
+    let (balance_findings, inferred_depth) = balance::run(netlist, config);
+    findings.extend(balance_findings);
+    findings.extend(state::run(netlist));
+    findings.sort_by_key(|d| d.rule);
+    LintReport { target: target.to_owned(), findings, inferred_depth }
+}
+
+/// The pipeline depth L004 infers, when the netlist is balanced from
+/// its inputs to its (non-exempt) outputs — `None` otherwise.
+#[must_use]
+pub fn inferred_pipeline_depth(netlist: &Netlist, config: &LintConfig) -> Option<usize> {
+    balance::run(netlist, config).1
+}

@@ -1,0 +1,132 @@
+//! Netlist mutations for exercising the lints.
+//!
+//! Each mutation plants one specific bug class — a dropped pipeline
+//! register (L004), a shrunk adder (L003), a disconnected net (L002) —
+//! and rebuilds the graph through
+//! [`Netlist::assemble_unchecked`], since the builder's validation
+//! would (rightly) reject some of the results. They double as the CI
+//! gate's self-test: a lint suite that no longer catches them is
+//! broken.
+
+use dwt_rtl::cell::{tables, Cell, CellKind};
+use dwt_rtl::netlist::Netlist;
+
+/// The three planted bug classes, in lint-rule order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Replace a register with per-bit buffers: one pipeline stage
+    /// vanishes from every path through it (L004).
+    BypassRegister,
+    /// Narrow an adder's operand and result buses by one bit (L003).
+    ShrinkAdder,
+    /// Delete a cell outright, leaving its output nets undriven (L002).
+    DisconnectNet,
+}
+
+impl Mutation {
+    /// All mutations.
+    #[must_use]
+    pub fn all() -> [Mutation; 3] {
+        [Mutation::BypassRegister, Mutation::ShrinkAdder, Mutation::DisconnectNet]
+    }
+
+    /// CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::BypassRegister => "drop-register",
+            Mutation::ShrinkAdder => "shrink-adder",
+            Mutation::DisconnectNet => "disconnect-net",
+        }
+    }
+
+    /// Parses a CLI name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Mutation> {
+        Mutation::all().into_iter().find(|m| m.name() == s)
+    }
+
+    /// Applies the mutation to the first matching cell whose name
+    /// contains `target`. Returns `None` when no such cell exists.
+    #[must_use]
+    pub fn apply(self, netlist: &Netlist, target: &str) -> Option<Netlist> {
+        match self {
+            Mutation::BypassRegister => bypass_register(netlist, target),
+            Mutation::ShrinkAdder => shrink_adder(netlist, target),
+            Mutation::DisconnectNet => remove_cell(netlist, target),
+        }
+    }
+}
+
+fn rebuild(netlist: &Netlist, cells: Vec<Cell>) -> Netlist {
+    Netlist::assemble_unchecked(cells, netlist.net_count() as u32, netlist.ports().clone())
+}
+
+/// Replaces the first register whose name contains `target` with
+/// per-bit buffers, so data flows through combinationally and the
+/// pipeline loses one stage along those paths.
+#[must_use]
+pub fn bypass_register(netlist: &Netlist, target: &str) -> Option<Netlist> {
+    let idx = netlist.cells().iter().position(|c| {
+        c.name.contains(target) && matches!(c.kind, CellKind::Register { .. })
+    })?;
+    let mut cells = netlist.cells().to_vec();
+    let CellKind::Register { d, q } = cells[idx].kind.clone() else { unreachable!() };
+    let name = cells[idx].name.clone();
+    cells.remove(idx);
+    for (i, (&di, &qi)) in d.bits().iter().zip(q.bits()).enumerate() {
+        cells.push(Cell {
+            name: format!("{name}_bypass{i}"),
+            kind: CellKind::Lut { inputs: vec![di], table: tables::BUF1, output: qi },
+        });
+    }
+    Some(rebuild(netlist, cells))
+}
+
+/// Narrows the first behavioral adder/subtractor whose name contains
+/// `target` by one bit, buffering the dropped MSB from the new sign bit
+/// so connectivity and pipelining stay intact — only the value range
+/// suffers.
+#[must_use]
+pub fn shrink_adder(netlist: &Netlist, target: &str) -> Option<Netlist> {
+    let idx = netlist.cells().iter().position(|c| {
+        c.name.contains(target)
+            && matches!(c.kind, CellKind::CarryAdd { .. } | CellKind::CarrySub { .. })
+    })?;
+    let mut cells = netlist.cells().to_vec();
+    let (a, b, out, sub) = match cells[idx].kind.clone() {
+        CellKind::CarryAdd { a, b, out } => (a, b, out, false),
+        CellKind::CarrySub { a, b, out } => (a, b, out, true),
+        _ => unreachable!(),
+    };
+    let w = out.width();
+    if w < 2 {
+        return None;
+    }
+    let name = cells[idx].name.clone();
+    let (na, nb, nout) = (a.slice(0, w - 1), b.slice(0, w - 1), out.slice(0, w - 1));
+    cells[idx].kind = if sub {
+        CellKind::CarrySub { a: na, b: nb, out: nout }
+    } else {
+        CellKind::CarryAdd { a: na, b: nb, out: nout }
+    };
+    cells.push(Cell {
+        name: format!("{name}_msbfill"),
+        kind: CellKind::Lut {
+            inputs: vec![out.bit(w - 2)],
+            table: tables::BUF1,
+            output: out.bit(w - 1),
+        },
+    });
+    Some(rebuild(netlist, cells))
+}
+
+/// Deletes the first cell whose name contains `target`, leaving its
+/// output nets undriven for every downstream reader.
+#[must_use]
+pub fn remove_cell(netlist: &Netlist, target: &str) -> Option<Netlist> {
+    let idx = netlist.cells().iter().position(|c| c.name.contains(target))?;
+    let mut cells = netlist.cells().to_vec();
+    cells.remove(idx);
+    Some(rebuild(netlist, cells))
+}

@@ -1,0 +1,148 @@
+//! The lint report: the ordered findings of one run, with text and
+//! JSON renderings and the DOT-overlay bridge.
+
+use std::fmt;
+
+use dwt_rtl::dot::DotHighlight;
+
+use crate::diag::{json_string, Diagnostic, Severity};
+
+/// All findings from linting one netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    /// Name of the linted netlist (design name, or caller-chosen).
+    pub target: String,
+    /// Findings, in pass order (L001 first).
+    pub findings: Vec<Diagnostic>,
+    /// Pipeline depth inferred by L004, when the netlist is balanced
+    /// input-to-output.
+    pub inferred_depth: Option<usize>,
+}
+
+impl LintReport {
+    /// Whether no rule fired at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The worst severity present, if any finding exists.
+    #[must_use]
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|d| d.severity).max()
+    }
+
+    /// Whether any finding is at or above the given severity — the
+    /// `--deny` gate.
+    #[must_use]
+    pub fn exceeds(&self, deny: Severity) -> bool {
+        self.findings.iter().any(|d| d.severity >= deny)
+    }
+
+    /// Findings of one rule.
+    #[must_use]
+    pub fn by_rule(&self, rule: crate::diag::RuleId) -> Vec<&Diagnostic> {
+        self.findings.iter().filter(|d| d.rule == rule).collect()
+    }
+
+    /// DOT-overlay highlights for [`dwt_rtl::dot::render_with_diagnostics`]:
+    /// one red node per locus node, annotated with the rule code.
+    #[must_use]
+    pub fn highlights(&self) -> Vec<DotHighlight> {
+        let mut out = Vec::new();
+        for d in &self.findings {
+            for node in d.locus.nodes() {
+                out.push(DotHighlight { node, note: format!("{}", d.rule) });
+            }
+        }
+        out
+    }
+
+    /// Renders the report as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let findings: Vec<String> = self.findings.iter().map(Diagnostic::to_json).collect();
+        let depth = match self.inferred_depth {
+            Some(d) => d.to_string(),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"target\":{},\"clean\":{},\"inferred_depth\":{},\"findings\":[{}]}}",
+            json_string(&self.target),
+            self.is_clean(),
+            depth,
+            findings.join(",")
+        )
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let depth = match self.inferred_depth {
+            Some(d) => format!("{d}"),
+            None => "?".to_owned(),
+        };
+        writeln!(
+            f,
+            "{}: {} finding(s), inferred depth {depth}",
+            self.target,
+            self.findings.len()
+        )?;
+        for d in &self.findings {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Locus, RuleId};
+
+    fn finding(severity: Severity) -> Diagnostic {
+        Diagnostic {
+            rule: RuleId::L003,
+            severity,
+            locus: Locus::Cell("gamma_pair".to_owned()),
+            message: "truncating add".to_owned(),
+            fix_hint: None,
+        }
+    }
+
+    #[test]
+    fn deny_gate_respects_ordering() {
+        let r = LintReport {
+            target: "d1".to_owned(),
+            findings: vec![finding(Severity::Warning)],
+            inferred_depth: Some(8),
+        };
+        assert!(!r.is_clean());
+        assert!(r.exceeds(Severity::Info));
+        assert!(r.exceeds(Severity::Warning));
+        assert!(!r.exceeds(Severity::Error));
+        assert_eq!(r.max_severity(), Some(Severity::Warning));
+    }
+
+    #[test]
+    fn clean_report_json() {
+        let r = LintReport { target: "d1".to_owned(), findings: vec![], inferred_depth: Some(8) };
+        assert_eq!(
+            r.to_json(),
+            "{\"target\":\"d1\",\"clean\":true,\"inferred_depth\":8,\"findings\":[]}"
+        );
+    }
+
+    #[test]
+    fn highlights_name_locus_nodes() {
+        let r = LintReport {
+            target: "d1".to_owned(),
+            findings: vec![finding(Severity::Error)],
+            inferred_depth: None,
+        };
+        let h = r.highlights();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].node, "gamma_pair");
+        assert_eq!(h[0].note, "L003");
+    }
+}

@@ -1,0 +1,84 @@
+//! L005 — register reachability.
+//!
+//! The netlist IR has an implicit always-on clock and power-up-clear
+//! registers, so the classic reset/clock-enable lints reduce to their
+//! structural core: every register must be *controllable* (some input
+//! port reaches its data pin — otherwise it can only ever hold its
+//! power-up value or a constant) and *observable* (its output reaches
+//! some output port — otherwise it is state the outside world never
+//! sees). Either way the flip-flops are area spent on nothing.
+
+use dwt_rtl::cell::CellKind;
+use dwt_rtl::net::NetId;
+use dwt_rtl::netlist::{Netlist, PortDirection};
+
+use crate::diag::{Diagnostic, Locus, RuleId, Severity};
+
+/// Runs the pass.
+#[must_use]
+pub fn run(netlist: &Netlist) -> Vec<Diagnostic> {
+    let mut findings = Vec::new();
+
+    // Forward reachability from the input ports, through every cell.
+    let mut from_input = vec![false; netlist.net_count()];
+    let mut work: Vec<NetId> = Vec::new();
+    for port in netlist.ports().values() {
+        if port.direction == PortDirection::Input {
+            work.extend(port.bus.bits());
+        }
+    }
+    while let Some(net) = work.pop() {
+        if std::mem::replace(&mut from_input[net.index()], true) {
+            continue;
+        }
+        for &reader in netlist.fanout(net) {
+            for out in netlist.cell(reader).kind.output_nets() {
+                if !from_input[out.index()] {
+                    work.push(out);
+                }
+            }
+        }
+    }
+
+    // Backward reachability from the output ports.
+    let mut to_output = vec![false; netlist.net_count()];
+    let mut work: Vec<NetId> = Vec::new();
+    for port in netlist.ports().values() {
+        if port.direction == PortDirection::Output {
+            work.extend(port.bus.bits());
+        }
+    }
+    while let Some(net) = work.pop() {
+        if std::mem::replace(&mut to_output[net.index()], true) {
+            continue;
+        }
+        if let Some(driver) = netlist.driver(net) {
+            work.extend(netlist.cell(driver).kind.input_nets());
+        }
+    }
+
+    for cell in netlist.cells() {
+        let CellKind::Register { d, q } = &cell.kind else { continue };
+        if !d.bits().iter().any(|n| from_input[n.index()]) {
+            findings.push(Diagnostic {
+                rule: RuleId::L005,
+                severity: Severity::Warning,
+                locus: Locus::Cell(cell.name.clone()),
+                message: "register is uncontrollable: no input port reaches its data pin"
+                    .to_owned(),
+                fix_hint: Some("tie it to the datapath or replace it with a constant".to_owned()),
+            });
+        }
+        if !q.bits().iter().any(|n| to_output[n.index()]) {
+            findings.push(Diagnostic {
+                rule: RuleId::L005,
+                severity: Severity::Warning,
+                locus: Locus::Cell(cell.name.clone()),
+                message: "register is unobservable: its output reaches no output port"
+                    .to_owned(),
+                fix_hint: Some("expose or remove the state".to_owned()),
+            });
+        }
+    }
+    findings
+}

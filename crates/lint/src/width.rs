@@ -1,0 +1,416 @@
+//! L003 — width safety via interval inference.
+//!
+//! Every word-level operand bus is decomposed back into the value it
+//! carries (runs of a source bus, sign replication, zero padding from
+//! shifts, and the low-bits + shifted-adder composition `Ctx::add_shifted`
+//! emits), and value intervals are propagated cell by cell in
+//! topological order. Two defects are reported:
+//!
+//! * a **truncating slice**: an operand keeps fewer bits of a source
+//!   than its proven value range needs, and
+//! * a **truncating add**: a behavioral adder whose output bus cannot
+//!   hold the proven operand-interval sum.
+//!
+//! The paper's Table 1 widths are *tighter* than any interval
+//! propagation from the γ stage on (the gain-based analysis of Section
+//! 3.1 accounts for cancelling filter taps), so the pass consults
+//! configured [`crate::config::RangeAnchor`]s before flagging: a
+//! truncation to a width the anchored range fits is exactly the
+//! paper's Q-format narrowing, not a bug. Findings are only emitted
+//! from *exact* (tight) intervals — a loose bound overflowing proves
+//! nothing — so bit-level (structural, TMR-voted, parity-extended)
+//! regions make the pass conservative rather than noisy.
+
+use dwt_rtl::cell::CellKind;
+use dwt_rtl::net::Bus;
+use dwt_rtl::netlist::{Netlist, PortDirection};
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, Locus, RuleId, Severity};
+
+/// A value interval; `exact` marks it tight (attainable end to end),
+/// as opposed to merely sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    min: i128,
+    max: i128,
+    exact: bool,
+}
+
+impl Interval {
+    fn full(width: usize) -> Interval {
+        Interval { min: -(1i128 << (width - 1)), max: (1i128 << (width - 1)) - 1, exact: false }
+    }
+
+    fn fits(self, width: usize) -> bool {
+        self.min >= -(1i128 << (width - 1)) && self.max < (1i128 << (width - 1))
+    }
+
+    fn shr(self, k: usize) -> Interval {
+        Interval { min: self.min >> k, max: self.max >> k, exact: self.exact }
+    }
+
+    fn shl(self, k: usize) -> Interval {
+        Interval { min: self.min << k, max: self.max << k, exact: self.exact }
+    }
+}
+
+/// Where one net's value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    /// Not driven by anything we track (or not driven at all).
+    Unknown,
+    /// A constant bit.
+    Const(bool),
+    /// Bit `1` of the output bus of cell `0`.
+    CellBit(usize, usize),
+    /// Bit `1` of input port `0` (index into the sorted port list).
+    PortBit(usize, usize),
+}
+
+struct WidthPass<'a> {
+    netlist: &'a Netlist,
+    config: &'a LintConfig,
+    origin: Vec<Origin>,
+    /// Output-value interval per cell (None: not a word-valued cell).
+    cell_val: Vec<Option<Interval>>,
+    /// Input ports in sorted order, with their intervals.
+    in_ports: Vec<(String, Bus, Interval)>,
+    findings: Vec<Diagnostic>,
+}
+
+/// Runs the pass.
+#[must_use]
+pub fn run(netlist: &Netlist, config: &LintConfig) -> Vec<Diagnostic> {
+    let Some(order) = netlist.sequential_topo() else {
+        // L001/L004 already report cycles; intervals are meaningless.
+        return Vec::new();
+    };
+
+    let mut in_ports: Vec<(String, Bus, Interval)> = Vec::new();
+    for port in netlist.ports().values() {
+        if port.direction == PortDirection::Input {
+            let iv = match config.input_ranges.get(&port.name) {
+                Some(&(min, max)) => Interval { min: min.into(), max: max.into(), exact: true },
+                None => Interval { exact: true, ..Interval::full(port.bus.width()) },
+            };
+            in_ports.push((port.name.clone(), port.bus.clone(), iv));
+        }
+    }
+
+    let mut origin = vec![Origin::Unknown; netlist.net_count()];
+    for (p, (_, bus, _)) in in_ports.iter().enumerate() {
+        for (i, net) in bus.bits().iter().enumerate() {
+            origin[net.index()] = Origin::PortBit(p, i);
+        }
+    }
+    for (c, cell) in netlist.cells().iter().enumerate() {
+        match &cell.kind {
+            CellKind::Constant { value, out } => {
+                for (i, net) in out.bits().iter().enumerate() {
+                    origin[net.index()] = Origin::Const((value >> i) & 1 != 0);
+                }
+            }
+            other => {
+                for (i, net) in other.output_nets().iter().enumerate() {
+                    if origin[net.index()] == Origin::Unknown {
+                        origin[net.index()] = Origin::CellBit(c, i);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut pass = WidthPass {
+        netlist,
+        config,
+        origin,
+        cell_val: vec![None; netlist.cell_count()],
+        in_ports,
+        findings: Vec::new(),
+    };
+
+    for id in order {
+        let cell = pass.netlist.cell(id);
+        let val = match &cell.kind {
+            CellKind::Constant { value, .. } => {
+                Some(Interval { min: (*value).into(), max: (*value).into(), exact: true })
+            }
+            CellKind::Register { d, .. } => Some(pass.decompose(d, &cell.name)),
+            CellKind::CarryAdd { a, b, out } | CellKind::CarrySub { a, b, out } => {
+                let ia = pass.decompose(a, &cell.name);
+                let ib = pass.decompose(b, &cell.name);
+                let sub = matches!(cell.kind, CellKind::CarrySub { .. });
+                let sum = if sub {
+                    Interval {
+                        min: ia.min - ib.max,
+                        max: ia.max - ib.min,
+                        exact: ia.exact && ib.exact,
+                    }
+                } else {
+                    Interval {
+                        min: ia.min + ib.min,
+                        max: ia.max + ib.max,
+                        exact: ia.exact && ib.exact,
+                    }
+                };
+                let w = out.width();
+                if sum.fits(w) {
+                    Some(sum)
+                } else if let Some(anchor) =
+                    pass.config.anchor_for(&cell.name).filter(|a| {
+                        Interval { min: a.min.into(), max: a.max.into(), exact: true }.fits(w)
+                    })
+                {
+                    // Table 1 narrowing: the gain-based range fits even
+                    // though naive interval propagation does not.
+                    Some(Interval { min: anchor.min.into(), max: anchor.max.into(), exact: true })
+                } else {
+                    if sum.exact {
+                        pass.findings.push(Diagnostic {
+                            rule: RuleId::L003,
+                            severity: Severity::Warning,
+                            locus: Locus::Cell(cell.name.clone()),
+                            message: format!(
+                                "truncating {}: result range [{}, {}] needs {} bit(s) but the output bus has {w}",
+                                if sub { "subtract" } else { "add" },
+                                sum.min,
+                                sum.max,
+                                bits_for(sum),
+                            ),
+                            fix_hint: Some(format!("widen the result bus to {} bit(s)", bits_for(sum))),
+                        });
+                    }
+                    Some(Interval::full(w))
+                }
+            }
+            _ => None,
+        };
+        pass.cell_val[id.index()] = val;
+    }
+    pass.findings
+}
+
+/// Two's-complement bits needed for an interval.
+fn bits_for(iv: Interval) -> usize {
+    let mut w = 1;
+    while !iv.fits(w) {
+        w += 1;
+    }
+    w
+}
+
+impl WidthPass<'_> {
+    /// Name of the cell/port a run sources from (for anchors and
+    /// messages).
+    fn source_name(&self, o: Origin) -> String {
+        match o {
+            Origin::CellBit(c, _) => self.netlist.cells()[c].name.clone(),
+            Origin::PortBit(p, _) => format!("port:{}", self.in_ports[p].0),
+            _ => "?".to_owned(),
+        }
+    }
+
+    fn source_val_width(&self, o: Origin) -> (Option<Interval>, usize) {
+        match o {
+            Origin::CellBit(c, _) => {
+                let w = match &self.netlist.cells()[c].kind {
+                    CellKind::CarryAdd { out, .. } | CellKind::CarrySub { out, .. } => out.width(),
+                    CellKind::Register { q, .. } => q.width(),
+                    CellKind::Constant { out, .. } => out.width(),
+                    other => other.output_nets().len(),
+                };
+                (self.cell_val[c], w)
+            }
+            Origin::PortBit(p, _) => (Some(self.in_ports[p].2), self.in_ports[p].1.width()),
+            _ => (None, 0),
+        }
+    }
+
+    /// Same-source check: is `b` bit `bit` of the source `a` belongs to?
+    fn is_bit_of(&self, a: Origin, b: Origin, bit: usize) -> bool {
+        match (a, b) {
+            (Origin::CellBit(c1, _), Origin::CellBit(c2, i)) => c1 == c2 && i == bit,
+            (Origin::PortBit(p1, _), Origin::PortBit(p2, i)) => p1 == p2 && i == bit,
+            _ => false,
+        }
+    }
+
+    fn run_start(o: Origin) -> Option<usize> {
+        match o {
+            Origin::CellBit(_, i) | Origin::PortBit(_, i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The value interval carried by an operand bus, reconstructed from
+    /// its bit structure. `reader` names the consuming cell for finding
+    /// loci.
+    fn decompose(&mut self, bus: &Bus, reader: &str) -> Interval {
+        let width = bus.width();
+        let bits = bus.bits();
+
+        // 1. Strip sign replication (value-preserving: the top two bits
+        //    being one net is exactly sign extension).
+        let mut w = width;
+        while w >= 2 && bits[w - 1] == bits[w - 2] {
+            w -= 1;
+        }
+
+        // 2. Strip zero padding below (shift_left's gnd fill).
+        let mut k = 0;
+        while k + 1 < w && self.origin[bits[k].index()] == Origin::Const(false) {
+            k += 1;
+        }
+        let rest = &bits[k..w];
+
+        // 3. All-constant rest: a literal.
+        if rest.iter().all(|n| matches!(self.origin[n.index()], Origin::Const(_))) {
+            let mut v: i128 = 0;
+            for (i, n) in rest.iter().enumerate() {
+                if let Origin::Const(true) = self.origin[n.index()] {
+                    if i + 1 == rest.len() {
+                        v -= 1i128 << i;
+                    } else {
+                        v += 1i128 << i;
+                    }
+                }
+            }
+            return Interval { min: v, max: v, exact: true }.shl(k);
+        }
+
+        // 4. A single run of one source?
+        let first = self.origin[rest[0].index()];
+        if let Some(j) = Self::run_start(first) {
+            let len = rest
+                .iter()
+                .enumerate()
+                .take_while(|(i, n)| self.is_bit_of(first, self.origin[n.index()], j + i))
+                .count();
+            if len == rest.len() {
+                return self.run_value(first, j, len, reader).shl(k);
+            }
+            // 5. The add_shifted composition: low bits of S, then the
+            //    full output of an adder T whose `a` operand is S >> len
+            //    — algebraically S ± (B << len), which per-part interval
+            //    arithmetic cannot bound tightly.
+            if j == 0 && k == 0 {
+                if let Some(iv) = self.add_shifted_value(first, len, &rest[len..], reader) {
+                    return iv;
+                }
+            }
+        }
+
+        Interval::full(width)
+    }
+
+    /// Value of bits `j..j+len` of the source behind `o`.
+    fn run_value(&mut self, o: Origin, j: usize, len: usize, reader: &str) -> Interval {
+        let (val, src_width) = self.source_val_width(o);
+        let Some(val) = val else {
+            return Interval::full(len);
+        };
+        let top = j + len;
+        // Keeping the source's sign bit: a pure (possibly shifted) view.
+        if top >= src_width {
+            return val.shr(j);
+        }
+        // The slice drops high bits: legitimate iff the (shifted) value
+        // range fits the kept width, or a Table 1 anchor vouches for it.
+        let shifted = val.shr(j);
+        if shifted.fits(len) {
+            return shifted;
+        }
+        if let Some(anchor) = self.config.anchor_for(&self.source_name(o)) {
+            let av = Interval { min: anchor.min.into(), max: anchor.max.into(), exact: true };
+            let av = av.shr(j);
+            if av.fits(len) {
+                return av;
+            }
+        }
+        if shifted.exact {
+            let d = Diagnostic {
+                rule: RuleId::L003,
+                severity: Severity::Warning,
+                locus: Locus::Cell(reader.to_owned()),
+                message: format!(
+                    "truncating slice of '{}': keeps {len} of {src_width} bit(s) but the value range [{}, {}] needs {}",
+                    self.source_name(o),
+                    shifted.min,
+                    shifted.max,
+                    bits_for(shifted),
+                ),
+                fix_hint: Some(
+                    "keep more bits, or register the node's Table 1 range as an anchor"
+                        .to_owned(),
+                ),
+            };
+            if !self.findings.contains(&d) {
+                self.findings.push(d);
+            }
+        }
+        Interval::full(len)
+    }
+
+    /// Tight value of `S[0..len] ++ T[..]` where `T = (S >> len) ± B`:
+    /// the composition equals `S ± (B << len)`.
+    fn add_shifted_value(
+        &mut self,
+        s: Origin,
+        len: usize,
+        high: &[dwt_rtl::net::NetId],
+        reader: &str,
+    ) -> Option<Interval> {
+        let Origin::CellBit(t_cell, 0) = self.origin[high[0].index()] else {
+            return None;
+        };
+        let (a, b, out, sub) = match &self.netlist.cells()[t_cell].kind {
+            CellKind::CarryAdd { a, b, out } => (a, b, out, false),
+            CellKind::CarrySub { a, b, out } => (a, b, out, true),
+            _ => return None,
+        };
+        if out.width() != high.len()
+            || !high
+                .iter()
+                .enumerate()
+                .all(|(i, n)| self.origin[n.index()] == Origin::CellBit(t_cell, i))
+        {
+            return None;
+        }
+        // `a` must be exactly S >> len (a run of S from bit `len` up to
+        // and including its sign bit, modulo sign replication).
+        let a_bits = a.bits();
+        let mut aw = a_bits.len();
+        while aw >= 2 && a_bits[aw - 1] == a_bits[aw - 2] {
+            aw -= 1;
+        }
+        let (s_val, s_width) = self.source_val_width(s);
+        let a_is_shifted_s = a_bits[..aw]
+            .iter()
+            .enumerate()
+            .all(|(i, n)| self.is_bit_of(s, self.origin[n.index()], len + i))
+            && len + aw == s_width;
+        if !a_is_shifted_s {
+            return None;
+        }
+        let s_val = s_val?;
+        // T itself must not have wrapped for the identity to hold.
+        if !self.cell_val[t_cell].is_some_and(|v| v.exact) {
+            return None;
+        }
+        let b_val = self.decompose(&b.clone(), reader).shl(len);
+        Some(if sub {
+            Interval {
+                min: s_val.min - b_val.max,
+                max: s_val.max - b_val.min,
+                exact: s_val.exact && b_val.exact,
+            }
+        } else {
+            Interval {
+                min: s_val.min + b_val.min,
+                max: s_val.max + b_val.max,
+                exact: s_val.exact && b_val.exact,
+            }
+        })
+    }
+}

@@ -1,0 +1,83 @@
+//! Planted-bug tests: each mutation must trip exactly the lint rule it
+//! was designed for, at the right place. A suite that stays green on a
+//! mutant is a broken suite.
+
+use dwt_arch::designs::Design;
+use dwt_lint::{lint_netlist, LintConfig, LintReport, Locus, Mutation, RuleId, Severity};
+use dwt_rtl::opt::eliminate_dead_cells;
+
+fn lint_mutant(mutation: Mutation, target: &str) -> LintReport {
+    let built = Design::D2.build().unwrap();
+    let swept = eliminate_dead_cells(&built.netlist).unwrap().0;
+    let mutated = mutation.apply(&swept, target).expect("mutation target exists");
+    lint_netlist("d2-mutant", &mutated, &LintConfig::for_paper_datapath(8))
+}
+
+#[test]
+fn baseline_without_mutation_is_clean() {
+    let built = Design::D2.build().unwrap();
+    let swept = eliminate_dead_cells(&built.netlist).unwrap().0;
+    let report = lint_netlist("d2", &swept, &LintConfig::for_paper_datapath(8));
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn dropped_input_register_breaks_the_tap_schedule() {
+    // Bypassing `r_in_even` starves the alpha stage's z^-1 tap of one
+    // register: the tap adder's sample shift must now solve to 2, which
+    // no single tap register can provide. L004, at that adder.
+    let report = lint_mutant(Mutation::BypassRegister, "r_in_even");
+    assert!(!report.is_clean());
+    assert_eq!(report.inferred_depth, None);
+    assert!(
+        report.findings.iter().any(|f| {
+            f.rule == RuleId::L004
+                && matches!(&f.locus, Locus::Cell(c) if c.contains("alpha"))
+        }),
+        "{report}"
+    );
+}
+
+#[test]
+fn dropped_output_register_shifts_the_inferred_depth() {
+    // Bypassing the `low` output register leaves that port one stage
+    // short of Table 3's 8 — and out of step with `high`.
+    let report = lint_mutant(Mutation::BypassRegister, "low_out");
+    assert!(!report.is_clean());
+    assert!(
+        report.findings.iter().any(|f| {
+            f.rule == RuleId::L004
+                && matches!(&f.locus, Locus::Port(p) if p == "low")
+                && f.message.contains("does not match")
+        }),
+        "{report}"
+    );
+}
+
+#[test]
+fn shrunk_adder_truncates_the_value_range() {
+    let report = lint_mutant(Mutation::ShrinkAdder, "alpha_pair");
+    assert!(!report.is_clean());
+    assert!(
+        report.findings.iter().any(|f| {
+            f.rule == RuleId::L003
+                && matches!(&f.locus, Locus::Cell(c) if c.contains("alpha_pair"))
+        }),
+        "{report}"
+    );
+}
+
+#[test]
+fn removed_cell_leaves_undriven_nets() {
+    let report = lint_mutant(Mutation::DisconnectNet, "alpha_sprev");
+    assert!(!report.is_clean());
+    assert!(
+        report.findings.iter().any(|f| {
+            f.rule == RuleId::L002
+                && f.severity == Severity::Error
+                && f.message.contains("undriven")
+                && matches!(&f.locus, Locus::Net { near, .. } if !near.is_empty())
+        }),
+        "{report}"
+    );
+}

@@ -1,0 +1,153 @@
+//! Property: a netlist built with the builder's own discipline —
+//! operands aligned in latency before every combine, every width sized
+//! from the exact value range, everything folded into the output — has
+//! nothing for any of the five lints to say, and L004's inferred depth
+//! equals the latency the generator tracked.
+
+use proptest::prelude::*;
+
+use dwt_lint::{lint_netlist, LintConfig};
+use dwt_rtl::builder::NetlistBuilder;
+use dwt_rtl::net::Bus;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add(usize, usize),
+    Sub(usize, usize),
+    ShiftLeft(usize, usize),
+    ShiftRight(usize, usize),
+    Register(usize),
+}
+
+fn program() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..8, 0usize..8).prop_map(|(a, b)| Op::Add(a, b)),
+            (0usize..8, 0usize..8).prop_map(|(a, b)| Op::Sub(a, b)),
+            (0usize..8, 1usize..3).prop_map(|(a, k)| Op::ShiftLeft(a, k)),
+            (0usize..8, 1usize..3).prop_map(|(a, k)| Op::ShiftRight(a, k)),
+            (0usize..8).prop_map(Op::Register),
+        ],
+        1..12,
+    )
+}
+
+#[derive(Clone)]
+struct Node {
+    bus: Bus,
+    latency: usize,
+    lo: i128,
+    hi: i128,
+}
+
+/// Smallest signed width holding `[lo, hi]`.
+fn bits_for(lo: i128, hi: i128) -> usize {
+    let mut w = 2;
+    while -(1i128 << (w - 1)) > lo || hi > (1i128 << (w - 1)) - 1 {
+        w += 1;
+    }
+    w
+}
+
+/// Registers `bus` `n` times (the builder's alignment discipline).
+fn delay(b: &mut NetlistBuilder, bus: &Bus, n: usize, tag: &str) -> Bus {
+    let mut cur = bus.clone();
+    for i in 0..n {
+        cur = b.register(&format!("bal_{tag}_{i}"), &cur).unwrap();
+    }
+    cur
+}
+
+fn build(ops: &[Op]) -> (dwt_rtl::netlist::Netlist, usize) {
+    let mut b = NetlistBuilder::new();
+    let x = b.input("x", 10).unwrap();
+    let y = b.input("y", 10).unwrap();
+    let mut nodes = vec![
+        Node { bus: x, latency: 0, lo: -512, hi: 511 },
+        Node { bus: y, latency: 0, lo: -512, hi: 511 },
+    ];
+    for (i, op) in ops.iter().enumerate() {
+        let pick = |nodes: &Vec<Node>, idx: usize| nodes[idx % nodes.len()].clone();
+        let next = match *op {
+            Op::Add(ai, bi) | Op::Sub(ai, bi) => {
+                let sub = matches!(op, Op::Sub(..));
+                let (a, c) = (pick(&nodes, ai), pick(&nodes, bi));
+                let latency = a.latency.max(c.latency);
+                let ab = delay(&mut b, &a.bus, latency - a.latency, &format!("a{i}"));
+                let cb = delay(&mut b, &c.bus, latency - c.latency, &format!("c{i}"));
+                let (lo, hi) =
+                    if sub { (a.lo - c.hi, a.hi - c.lo) } else { (a.lo + c.lo, a.hi + c.hi) };
+                let w = bits_for(lo, hi);
+                let bus = if sub {
+                    b.carry_sub(&format!("n{i}"), &ab, &cb, w).unwrap()
+                } else {
+                    b.carry_add(&format!("n{i}"), &ab, &cb, w).unwrap()
+                };
+                Node { bus, latency, lo, hi }
+            }
+            Op::ShiftLeft(ai, k) => {
+                let a = pick(&nodes, ai);
+                let (lo, hi) = (a.lo << k, a.hi << k);
+                if bits_for(lo, hi) > 24 {
+                    a // cap growth; reusing the node keeps it read
+                } else {
+                    Node { bus: b.shift_left(&a.bus, k).unwrap(), latency: a.latency, lo, hi }
+                }
+            }
+            Op::ShiftRight(ai, k) => {
+                let a = pick(&nodes, ai);
+                if a.bus.width() <= k + 1 {
+                    a
+                } else {
+                    Node {
+                        bus: b.shift_right_arith(&a.bus, k).unwrap(),
+                        latency: a.latency,
+                        lo: a.lo >> k,
+                        hi: a.hi >> k,
+                    }
+                }
+            }
+            Op::Register(ai) => {
+                let a = pick(&nodes, ai);
+                Node {
+                    bus: b.register(&format!("n{i}"), &a.bus).unwrap(),
+                    latency: a.latency + 1,
+                    ..a
+                }
+            }
+        };
+        nodes.push(next);
+    }
+    // Fold every node into the single output, aligning as the datapath
+    // generator would, so nothing is left dead and all paths agree.
+    let depth = nodes.iter().map(|n| n.latency).max().unwrap();
+    let mut acc: Option<Node> = None;
+    for (i, n) in nodes.iter().enumerate() {
+        let aligned = delay(&mut b, &n.bus, depth - n.latency, &format!("out{i}"));
+        acc = Some(match acc {
+            None => Node { bus: aligned, latency: depth, lo: n.lo, hi: n.hi },
+            Some(acc) => {
+                let (lo, hi) = (acc.lo + n.lo, acc.hi + n.hi);
+                let bus = b
+                    .carry_add(&format!("fold{i}"), &acc.bus, &aligned, bits_for(lo, hi))
+                    .unwrap();
+                Node { bus, latency: depth, lo, hi }
+            }
+        });
+    }
+    b.output("out", &acc.unwrap().bus).unwrap();
+    (b.finish().unwrap(), depth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn disciplined_pipelines_are_lint_clean(ops in program()) {
+        let (netlist, depth) = build(&ops);
+        let config = LintConfig { expected_depth: Some(depth), ..LintConfig::default() };
+        let report = lint_netlist("generated", &netlist, &config);
+        prop_assert!(report.is_clean(), "{}", report);
+        prop_assert_eq!(report.inferred_depth, Some(depth));
+    }
+}

@@ -1,10 +1,35 @@
 //! Graphviz DOT export of netlists, for visual inspection of the
-//! generated architectures.
+//! generated architectures, with an overlay mode that paints lint
+//! findings onto the graph.
 
 use std::fmt::Write as _;
 
 use crate::cell::CellKind;
 use crate::netlist::{Netlist, PortDirection};
+
+/// A node to highlight in [`render_with_diagnostics`]: the node id is a
+/// cell name, or `port:NAME` for a port node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DotHighlight {
+    /// Node to paint: a cell name, or `port:NAME`.
+    pub node: String,
+    /// Short note appended to the node label (e.g. a lint rule id).
+    pub note: String,
+}
+
+/// Escapes a string for use inside a double-quoted DOT id or label.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Renders the netlist as a DOT digraph: one node per cell (shaped by
 /// kind) and per port, one edge per cell-to-cell connection (collapsed
@@ -29,6 +54,25 @@ use crate::netlist::{Netlist, PortDirection};
 /// ```
 #[must_use]
 pub fn to_dot(netlist: &Netlist) -> String {
+    render(netlist, &[])
+}
+
+/// Like [`to_dot`], but paints the given nodes red and appends each
+/// highlight's note to its label — used to visualise `dwt-lint`
+/// findings directly on the netlist graph.
+#[must_use]
+pub fn render_with_diagnostics(netlist: &Netlist, highlights: &[DotHighlight]) -> String {
+    render(netlist, highlights)
+}
+
+fn render(netlist: &Netlist, highlights: &[DotHighlight]) -> String {
+    let notes_for = |node: &str| -> Vec<&str> {
+        highlights
+            .iter()
+            .filter(|h| h.node == node)
+            .map(|h| h.note.as_str())
+            .collect()
+    };
     let mut out = String::from("digraph netlist {\n  rankdir=LR;\n  node [fontsize=9];\n");
 
     // Port nodes.
@@ -37,12 +81,19 @@ pub fn to_dot(netlist: &Netlist) -> String {
             PortDirection::Input => "invhouse",
             PortDirection::Output => "house",
         };
+        let id = format!("port:{}", port.name);
+        let notes = notes_for(&id);
+        let mut label = format!("{}[{}]", port.name, port.bus.width());
+        for note in &notes {
+            label.push('\n');
+            label.push_str(note);
+        }
+        let color = if notes.is_empty() { "lightblue" } else { "red" };
         let _ = writeln!(
             out,
-            "  \"port:{}\" [label=\"{}[{}]\", shape={shape}, style=filled, fillcolor=lightblue];",
-            port.name,
-            port.name,
-            port.bus.width()
+            "  \"{}\" [label=\"{}\", shape={shape}, style=filled, fillcolor={color}];",
+            escape(&id),
+            escape(&label),
         );
     }
 
@@ -56,11 +107,26 @@ pub fn to_dot(netlist: &Netlist) -> String {
             CellKind::Constant { .. } => ("plaintext", "white"),
             CellKind::Ram { .. } => ("box3d", "lightgreen"),
         };
-        let _ = writeln!(
-            out,
-            "  \"{}\" [shape={shape}, style=filled, fillcolor={color}];",
-            cell.name
-        );
+        let notes = notes_for(&cell.name);
+        if notes.is_empty() {
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape={shape}, style=filled, fillcolor={color}];",
+                escape(&cell.name)
+            );
+        } else {
+            let mut label = cell.name.clone();
+            for note in &notes {
+                label.push('\n');
+                label.push_str(note);
+            }
+            let _ = writeln!(
+                out,
+                "  \"{}\" [label=\"{}\", shape={shape}, style=filled, fillcolor=red];",
+                escape(&cell.name),
+                escape(&label),
+            );
+        }
     }
 
     // Edges, collapsed per (source cell/port, sink cell) with bit counts.
@@ -96,7 +162,12 @@ pub fn to_dot(netlist: &Netlist) -> String {
         }
     }
     for ((from, to), bits) in edges {
-        let _ = writeln!(out, "  \"{from}\" -> \"{to}\" [label=\"{bits}\"];");
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{bits}\"];",
+            escape(&from),
+            escape(&to)
+        );
     }
     out.push_str("}\n");
     out
@@ -139,5 +210,37 @@ mod tests {
         assert!(dot.starts_with("digraph"));
         assert!(dot.ends_with("}\n"));
         assert_eq!(dot.matches("digraph").count(), 1);
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 2).unwrap();
+        let q = b.register("q\"evil\\", &x).unwrap();
+        b.output("o", &q).unwrap();
+        let dot = to_dot(&b.finish().unwrap());
+        assert!(dot.contains("\"q\\\"evil\\\\\""), "{dot}");
+        // No raw (unescaped) quote survives inside the node id.
+        assert!(!dot.contains("\"q\"evil"), "{dot}");
+    }
+
+    #[test]
+    fn diagnostics_paint_nodes_red() {
+        let n = sample();
+        let dot = render_with_diagnostics(
+            &n,
+            &[DotHighlight { node: "sum".to_owned(), note: "L003 truncating add".to_owned() }],
+        );
+        assert!(dot.contains("fillcolor=red"), "{dot}");
+        assert!(dot.contains("L003 truncating add"), "{dot}");
+        // Unhighlighted nodes keep their normal styling.
+        assert!(dot.contains("\"q\" [shape=box, style=filled, fillcolor=lightgrey]"));
+    }
+
+    #[test]
+    fn no_red_without_findings() {
+        let dot = render_with_diagnostics(&sample(), &[]);
+        assert!(!dot.contains("fillcolor=red"));
+        assert_eq!(dot, to_dot(&sample()));
     }
 }

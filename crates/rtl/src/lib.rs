@@ -58,6 +58,7 @@ pub mod fault;
 pub mod net;
 pub mod netlist;
 pub mod opt;
+pub mod query;
 pub mod sim;
 pub mod stats;
 pub mod vcd;

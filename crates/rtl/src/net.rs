@@ -18,6 +18,14 @@ impl NetId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The net with the given raw index. Analyses iterating over
+    /// `0..Netlist::net_count()` use this to get back to a typed id;
+    /// no range check is (or can be) performed here.
+    #[must_use]
+    pub fn from_index(idx: usize) -> NetId {
+        NetId(idx as u32)
+    }
 }
 
 /// An LSB-first bundle of nets carrying a signed two's-complement value.

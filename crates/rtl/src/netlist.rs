@@ -36,6 +36,14 @@ impl CellId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The cell with the given raw index. Analyses iterating over
+    /// `0..Netlist::cell_count()` use this to get back to a typed id;
+    /// no range check is (or can be) performed here.
+    #[must_use]
+    pub fn from_index(idx: usize) -> CellId {
+        CellId(idx as u32)
+    }
 }
 
 /// A validated netlist.
@@ -58,6 +66,9 @@ pub struct Netlist {
     pub(crate) driver: Vec<Option<CellId>>,
     /// Combinational cells in topological order.
     pub(crate) topo: Vec<CellId>,
+    /// Register cells, cached at validation time so analyses do not
+    /// re-scan the cell list per call.
+    pub(crate) registers: Vec<CellId>,
 }
 
 impl Netlist {
@@ -125,10 +136,14 @@ impl Netlist {
         &self.topo
     }
 
-    /// Ids of all register cells.
+    /// Ids of all register cells (cached at construction time).
     #[must_use]
-    pub fn registers(&self) -> Vec<CellId> {
-        self.cells
+    pub fn registers(&self) -> &[CellId] {
+        &self.registers
+    }
+
+    fn scan_registers(cells: &[Cell]) -> Vec<CellId> {
+        cells
             .iter()
             .enumerate()
             .filter(|(_, c)| matches!(c.kind, CellKind::Register { .. }))
@@ -282,7 +297,100 @@ impl Netlist {
             return Err(Error::CombinationalLoop { cell: stuck });
         }
 
-        Ok(Netlist { cells, net_count, ports, fanout, driver, topo })
+        let registers = Netlist::scan_registers(&cells);
+        Ok(Netlist { cells, net_count, ports, fanout, driver, topo, registers })
+    }
+
+    /// Assembles a netlist from raw parts **without** validating it.
+    ///
+    /// Unlike [`crate::builder::NetlistBuilder::finish`], this accepts
+    /// graphs that are structurally broken — undriven nets, multiple
+    /// drivers (the first claiming cell wins the `driver` table), and
+    /// combinational cycles (the topological order then covers only the
+    /// acyclic prefix). It exists so that *analysis* tooling — the
+    /// `dwt-lint` passes and their mutation harness — can inspect and
+    /// diagnose invalid netlists that `finish`/`revalidate` would
+    /// reject. Do not simulate the result: [`crate::sim::Simulator`]
+    /// assumes a validated graph.
+    #[must_use]
+    pub fn assemble_unchecked(
+        cells: Vec<Cell>,
+        net_count: u32,
+        ports: BTreeMap<String, Port>,
+    ) -> Self {
+        let n = net_count as usize;
+        let mut driver: Vec<Option<CellId>> = vec![None; n];
+        for (i, cell) in cells.iter().enumerate() {
+            for net in cell.kind.output_nets() {
+                if driver[net.index()].is_none() {
+                    driver[net.index()] = Some(CellId(i as u32));
+                }
+            }
+        }
+        let mut fanout: Vec<Vec<CellId>> = vec![Vec::new(); n];
+        for (i, cell) in cells.iter().enumerate() {
+            for net in cell.kind.input_nets() {
+                fanout[net.index()].push(CellId(i as u32));
+            }
+        }
+        // Kahn's algorithm over the combinational cells; cells caught in
+        // a cycle simply never enter the (partial) order.
+        let mut indegree: Vec<u32> = vec![0; cells.len()];
+        for (i, cell) in cells.iter().enumerate() {
+            if !cell.kind.is_combinational() {
+                continue;
+            }
+            let mut deg = 0;
+            for net in cell.kind.comb_input_nets() {
+                if let Some(d) = driver[net.index()] {
+                    if cells[d.index()].kind.is_combinational() {
+                        deg += 1;
+                    }
+                }
+            }
+            indegree[i] = deg;
+        }
+        let mut queue: Vec<CellId> = cells
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| c.kind.is_combinational() && indegree[*i] == 0)
+            .map(|(i, _)| CellId(i as u32))
+            .collect();
+        let mut topo = Vec::with_capacity(cells.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            topo.push(id);
+            for net in cells[id.index()].kind.output_nets() {
+                let mut visited: Vec<CellId> = Vec::new();
+                for &reader in &fanout[net.index()] {
+                    if visited.contains(&reader) {
+                        continue;
+                    }
+                    visited.push(reader);
+                    let rc = &cells[reader.index()];
+                    if !rc.kind.is_combinational() {
+                        continue;
+                    }
+                    let edges = rc
+                        .kind
+                        .comb_input_nets()
+                        .iter()
+                        .filter(|&&n| n == net)
+                        .count() as u32;
+                    if edges > 0 && driver[net.index()].is_some() {
+                        indegree[reader.index()] =
+                            indegree[reader.index()].saturating_sub(edges);
+                        if indegree[reader.index()] == 0 {
+                            queue.push(reader);
+                        }
+                    }
+                }
+            }
+        }
+        let registers = Netlist::scan_registers(&cells);
+        Netlist { cells, net_count, ports, fanout, driver, topo, registers }
     }
 
     /// Re-validates this netlist's ports against a modified cell list —

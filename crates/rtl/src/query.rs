@@ -1,0 +1,237 @@
+//! Structural path queries over a netlist: sequential topological
+//! orders, per-net combinational depth, and register-latency ranges
+//! between nets.
+//!
+//! These are the primitives static analyses build on. `dwt-lint`'s
+//! pipeline-balance pass (L004) is a client, and so is
+//! [`crate::stats::analyze_structure`], which derives its logic-depth
+//! histogram from [`Netlist::net_comb_depths`].
+
+use crate::cell::CellKind;
+use crate::net::NetId;
+use crate::netlist::{CellId, Netlist};
+
+/// Register-latency range over all structural paths between two nets.
+///
+/// For a balanced pipeline `min == max`; a spread means reconvergent
+/// paths carry different register counts and word alignment is broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathLatency {
+    /// Fewest registers along any path.
+    pub min: usize,
+    /// Most registers along any path.
+    pub max: usize,
+}
+
+impl PathLatency {
+    /// Whether every path carries the same number of registers.
+    #[must_use]
+    pub fn is_balanced(self) -> bool {
+        self.min == self.max
+    }
+}
+
+impl Netlist {
+    /// Per-net combinational depth (cell evaluations since the last
+    /// register output, input port, or constant), indexed by net id.
+    ///
+    /// Nets driven by registers, constants, or input ports have depth 0;
+    /// each combinational cell adds one level on top of its deepest
+    /// input.
+    #[must_use]
+    pub fn net_comb_depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.net_count()];
+        for &id in self.topo_order() {
+            let cell = self.cell(id);
+            let d_in = cell
+                .kind
+                .comb_input_nets()
+                .iter()
+                .map(|n| depth[n.index()])
+                .max()
+                .unwrap_or(0);
+            let d_out = match cell.kind {
+                CellKind::Constant { .. } => 0,
+                _ => d_in + 1,
+            };
+            for net in cell.kind.output_nets() {
+                depth[net.index()] = d_out;
+            }
+        }
+        depth
+    }
+
+    /// Topological order over *all* cells, registers included, treating
+    /// each register as an ordinary node with an edge from its `d`
+    /// driver to its `q` readers (a RAM contributes only its
+    /// combinational read path, like the validator's loop check).
+    ///
+    /// Returns `None` when the netlist has a sequential feedback loop
+    /// (e.g. an accumulator register feeding its own adder): no global
+    /// order exists then, and path-latency analyses must fall back to
+    /// local reasoning.
+    #[must_use]
+    pub fn sequential_topo(&self) -> Option<Vec<CellId>> {
+        let mut indegree: Vec<u32> = vec![0; self.cell_count()];
+        for (i, cell) in self.cells().iter().enumerate() {
+            let mut deg = 0;
+            for net in cell.kind.comb_input_nets() {
+                if self.driver(net).is_some() {
+                    deg += 1;
+                }
+            }
+            indegree[i] = deg;
+        }
+        let mut queue: Vec<CellId> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| CellId(i as u32))
+            .collect();
+        let mut order = Vec::with_capacity(self.cell_count());
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            for net in self.cell(id).kind.output_nets() {
+                let mut visited: Vec<CellId> = Vec::new();
+                for &reader in self.fanout(net) {
+                    if visited.contains(&reader) {
+                        continue;
+                    }
+                    visited.push(reader);
+                    let edges = self
+                        .cell(reader)
+                        .kind
+                        .comb_input_nets()
+                        .iter()
+                        .filter(|&&n| n == net)
+                        .count() as u32;
+                    if edges > 0 {
+                        indegree[reader.index()] -= edges;
+                        if indegree[reader.index()] == 0 {
+                            queue.push(reader);
+                        }
+                    }
+                }
+            }
+        }
+        (order.len() == self.cell_count()).then_some(order)
+    }
+
+    /// Register latency (pipeline-stage count) over all structural paths
+    /// from net `from` to net `to`.
+    ///
+    /// Returns `None` when no path exists, or when the netlist has a
+    /// sequential feedback loop (see [`Self::sequential_topo`]). A
+    /// register adds one stage from its `d` input to its `q` output;
+    /// combinational cells, constants, and a RAM's read path add none.
+    #[must_use]
+    pub fn register_latency(&self, from: NetId, to: NetId) -> Option<PathLatency> {
+        let order = self.sequential_topo()?;
+        let mut lat: Vec<Option<PathLatency>> = vec![None; self.net_count()];
+        lat[from.index()] = Some(PathLatency { min: 0, max: 0 });
+        for id in order {
+            let cell = self.cell(id);
+            let step = usize::from(matches!(cell.kind, CellKind::Register { .. }));
+            let mut incoming: Option<PathLatency> = None;
+            for net in cell.kind.comb_input_nets() {
+                if let Some(l) = lat[net.index()] {
+                    incoming = Some(match incoming {
+                        None => l,
+                        Some(acc) => PathLatency {
+                            min: acc.min.min(l.min),
+                            max: acc.max.max(l.max),
+                        },
+                    });
+                }
+            }
+            if let Some(l) = incoming {
+                let out = PathLatency { min: l.min + step, max: l.max + step };
+                for net in cell.kind.output_nets() {
+                    // `from` itself may be cell-driven; keep its anchor.
+                    if net != from {
+                        lat[net.index()] = Some(match lat[net.index()] {
+                            None => out,
+                            Some(acc) => PathLatency {
+                                min: acc.min.min(out.min),
+                                max: acc.max.max(out.max),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        lat[to.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn latency_counts_registers_on_a_chain() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let q1 = b.register("q1", &x).unwrap();
+        let s = b.carry_add("s", &q1, &q1, 5).unwrap();
+        let q2 = b.register("q2", &s).unwrap();
+        b.output("o", &q2).unwrap();
+        let n = b.finish().unwrap();
+        let from = n.port("x").unwrap().bus.bit(0);
+        let to = n.port("o").unwrap().bus.bit(0);
+        let l = n.register_latency(from, to).unwrap();
+        assert_eq!((l.min, l.max), (2, 2));
+        assert!(l.is_balanced());
+    }
+
+    #[test]
+    fn latency_spread_reveals_imbalance() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let q1 = b.register("q1", &x).unwrap();
+        // One arm registered, the other not: min 0 via x, max 1 via q1.
+        let s = b.carry_add("s", &q1, &x, 5).unwrap();
+        b.output("o", &s).unwrap();
+        let n = b.finish().unwrap();
+        let from = n.port("x").unwrap().bus.bit(0);
+        let to = n.port("o").unwrap().bus.bit(0);
+        let l = n.register_latency(from, to).unwrap();
+        assert_eq!((l.min, l.max), (0, 1));
+        assert!(!l.is_balanced());
+    }
+
+    #[test]
+    fn unreachable_nets_have_no_latency() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 2).unwrap();
+        let y = b.input("y", 2).unwrap();
+        b.output("ox", &x).unwrap();
+        b.output("oy", &y).unwrap();
+        let n = b.finish().unwrap();
+        let from = n.port("x").unwrap().bus.bit(0);
+        let to = n.port("oy").unwrap().bus.bit(0);
+        assert!(n.register_latency(from, to).is_none());
+    }
+
+    #[test]
+    fn sequential_topo_orders_register_chains() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 2).unwrap();
+        let q1 = b.register("q1", &x).unwrap();
+        let q2 = b.register("q2", &q1).unwrap();
+        b.output("o", &q2).unwrap();
+        let n = b.finish().unwrap();
+        let order = n.sequential_topo().unwrap();
+        assert_eq!(order.len(), n.cell_count());
+        let pos = |name: &str| {
+            order
+                .iter()
+                .position(|&id| n.cell(id).name == name)
+                .unwrap()
+        };
+        assert!(pos("q1") < pos("q2"));
+    }
+}

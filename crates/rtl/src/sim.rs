@@ -177,7 +177,7 @@ impl Simulator {
     /// Currently infallible for validated netlists; kept fallible for
     /// future device-specific checks.
     pub fn new(netlist: Netlist) -> Result<Self> {
-        let register_ids = netlist.registers();
+        let register_ids = netlist.registers().to_vec();
         // Classify nets: a net stays on LAB-local wiring when its only
         // readers are registers (folded flip-flop D pins) or the carry
         // input of the neighbouring full adder; any other reader — an

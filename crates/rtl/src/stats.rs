@@ -50,25 +50,8 @@ const FANOUT_BUCKETS: usize = 17;
 /// ```
 #[must_use]
 pub fn analyze_structure(netlist: &Netlist) -> NetlistStats {
-    // Per-net combinational depth, via the topological order.
-    let mut depth = vec![0usize; netlist.net_count()];
-    for &id in netlist.topo_order() {
-        let cell = netlist.cell(id);
-        let d_in = cell
-            .kind
-            .comb_input_nets()
-            .iter()
-            .map(|n| depth[n.index()])
-            .max()
-            .unwrap_or(0);
-        let d_out = match cell.kind {
-            CellKind::Constant { .. } => 0,
-            _ => d_in + 1,
-        };
-        for net in cell.kind.output_nets() {
-            depth[net.index()] = d_out;
-        }
-    }
+    // Per-net combinational depth, via the shared query helper.
+    let depth = netlist.net_comb_depths();
 
     // Endpoint depths.
     let mut endpoint_depths: Vec<usize> = Vec::new();

@@ -14,6 +14,9 @@
 //! * [`arch`] — the paper's five datapath designs, the shift-add
 //!   multiplier planning, the filter-bank baseline, and bit-exact
 //!   hardware/software equivalence checking.
+//! * [`lint`] — the static-analysis passes (connectivity, width
+//!   safety, pipeline balance) that check the paper's structural
+//!   invariants without a single simulation cycle.
 //! * [`imaging`] — synthetic still-tone test imagery and PGM I/O.
 //! * [`codec`] — the quantizer + entropy-coding back end completing the
 //!   compression pipeline of the paper's introduction.
@@ -39,4 +42,5 @@ pub use dwt_codec as codec;
 pub use dwt_core as core;
 pub use dwt_fpga as fpga;
 pub use dwt_imaging as imaging;
+pub use dwt_lint as lint;
 pub use dwt_rtl as rtl;
