@@ -3,7 +3,10 @@
 
 use dwt_core::coeffs::LiftingConstants;
 
-use crate::datapath::{build_datapath, AdderStyle, BuiltDatapath, DatapathSpec, MultiplierImpl};
+use crate::datapath::{
+    build_datapath, build_datapath_hardened, AdderStyle, BuiltDatapath, DatapathSpec, Hardening,
+    MultiplierImpl,
+};
 use crate::error::Result;
 use crate::shift_add::Recoding;
 
@@ -126,6 +129,35 @@ impl Design {
         build_datapath(&self.spec(LiftingConstants::default()))
     }
 
+    /// Builds the design with the default constants and the given
+    /// soft-error hardening applied to every pipeline register.
+    ///
+    /// Unlike [`crate::hardened::HardenedVariant`], which enumerates
+    /// the catalogued D3/D5 study points, this works for *any* of the
+    /// five designs — a recovery runtime uses it to re-dispatch a tile
+    /// from a faulty datapath to a TMR-protected spare of the same
+    /// design, whichever design is deployed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator failures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), dwt_arch::Error> {
+    /// use dwt_arch::datapath::Hardening;
+    /// use dwt_arch::designs::Design;
+    ///
+    /// let spare = Design::D2.build_hardened(Hardening::Tmr)?;
+    /// assert_eq!(spare.latency, 8); // hardening never changes latency
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn build_hardened(self, hardening: Hardening) -> Result<BuiltDatapath> {
+        build_datapath_hardened(&self.spec(LiftingConstants::default()), hardening)
+    }
+
     /// The paper's Table 3 row for this design.
     #[must_use]
     pub fn paper_row(self) -> PaperRow {
@@ -162,6 +194,20 @@ mod tests {
         assert_eq!(Design::D1.to_string(), "Design 1");
         for d in Design::all() {
             assert!(!d.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_design_builds_a_tmr_spare_matching_golden() {
+        use crate::golden::still_tone_pairs;
+        use crate::verify::verify_datapath;
+        let pairs = still_tone_pairs(32, 5);
+        for d in Design::all() {
+            let spare = d
+                .build_hardened(Hardening::Tmr)
+                .unwrap_or_else(|e| panic!("{d} TMR spare: {e}"));
+            assert_eq!(spare.latency, d.paper_row().stages, "{d} spare latency");
+            verify_datapath(&spare, &pairs).unwrap_or_else(|e| panic!("{d} spare: {e}"));
         }
     }
 

@@ -9,24 +9,28 @@
 //! The report pairs each outcome histogram with the variant's mapped
 //! LE cost — the area price of lowering the SDC rate.
 //!
-//! Usage: `fault_campaign [--faults N] [--pairs N] [--seed S] [--json PATH]`
-//! (markdown goes to stdout; `--json` additionally writes the full
-//! per-fault record set as JSON).
-
-use std::fmt::Write as _;
+//! Usage: `fault_campaign [--faults N] [--pairs N] [--seed S] [--json PATH]
+//! [--max-sdc N]` (markdown goes to stdout; `--json` additionally writes
+//! the full per-fault record set as JSON — with the seed echoed so a
+//! failing campaign can be replayed exactly; `--max-sdc N` makes the
+//! process exit nonzero when the *hardened* variants' combined SDC
+//! count exceeds N, so CI can gate on the protection claim — TMR masks,
+//! parity detects — instead of silently regressing).
 
 use dwt_arch::designs::Design;
 use dwt_arch::hardened::HardenedVariant;
-use dwt_bench::campaign::{run_campaign, CampaignConfig, CampaignReport, Outcome};
+use dwt_bench::campaign::{campaign_json, run_campaign, CampaignConfig, Outcome};
 
 struct Args {
     cfg: CampaignConfig,
     json: Option<String>,
+    max_sdc: Option<usize>,
 }
 
 fn parse_args() -> Args {
     let mut cfg = CampaignConfig::default();
     let mut json = None;
+    let mut max_sdc = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |what: &str| {
@@ -38,10 +42,11 @@ fn parse_args() -> Args {
             "--pairs" => cfg.pairs = value("count").parse().expect("--pairs"),
             "--seed" => cfg.seed = value("seed").parse().expect("--seed"),
             "--json" => json = Some(value("path")),
+            "--max-sdc" => max_sdc = Some(value("count").parse().expect("--max-sdc")),
             other => panic!("unknown argument '{other}'"),
         }
     }
-    Args { cfg, json }
+    Args { cfg, json, max_sdc }
 }
 
 /// The campaigned variants: every paper design, then the hardened
@@ -59,46 +64,6 @@ fn variants() -> Vec<(String, dwt_arch::datapath::BuiltDatapath, Option<Design>)
         ));
     }
     rows
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn to_json(cfg: &CampaignConfig, reports: &[CampaignReport]) -> String {
-    let mut out = String::new();
-    let _ = write!(
-        out,
-        "{{\n  \"config\": {{ \"faults\": {}, \"pairs\": {}, \"seed\": {} }},\n  \"variants\": [",
-        cfg.faults, cfg.pairs, cfg.seed
-    );
-    for (i, r) in reports.iter().enumerate() {
-        let sep = if i == 0 { "" } else { "," };
-        let _ = write!(
-            out,
-            "{sep}\n    {{\n      \"variant\": \"{}\", \"les\": {}, \"register_bits\": {},\n      \
-             \"masked\": {}, \"detected\": {}, \"sdc\": {}, \"sdc_rate\": {:.6},\n      \"records\": [",
-            json_escape(&r.variant),
-            r.les,
-            r.register_bits,
-            r.count(Outcome::Masked),
-            r.count(Outcome::Detected),
-            r.count(Outcome::Sdc),
-            r.sdc_rate(),
-        );
-        for (j, rec) in r.records.iter().enumerate() {
-            let sep = if j == 0 { "" } else { "," };
-            let _ = write!(
-                out,
-                "{sep}\n        {{ \"fault\": \"{}\", \"outcome\": \"{}\" }}",
-                json_escape(&rec.fault.to_string()),
-                rec.outcome.label()
-            );
-        }
-        let _ = write!(out, "\n      ]\n    }}");
-    }
-    out.push_str("\n  ]\n}\n");
-    out
 }
 
 fn main() {
@@ -150,8 +115,21 @@ fn main() {
     );
 
     if let Some(path) = args.json {
-        let json = to_json(&cfg, &reports);
+        let json = campaign_json(&cfg, &reports);
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("\nfull record set written to {path}");
+    }
+
+    if let Some(max) = args.max_sdc {
+        let hardened: usize = reports
+            .iter()
+            .filter(|r| HardenedVariant::all().iter().any(|v| v.name() == r.variant))
+            .map(|r| r.count(Outcome::Sdc))
+            .sum();
+        if hardened > max {
+            eprintln!("FAIL: {hardened} SDC escapes on hardened variants exceed --max-sdc {max}");
+            std::process::exit(1);
+        }
+        println!("\nSDC gate (hardened variants): {hardened} escapes ≤ {max} — ok");
     }
 }

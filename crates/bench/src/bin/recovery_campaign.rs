@@ -1,0 +1,104 @@
+//! Recovery-runtime campaign: Poisson-arrival SEUs against the
+//! checkpointed detect–rollback–replay executor, across Designs 1–5.
+//!
+//! Each design streams the same seeded stimulus tile by tile while
+//! upsets strike at the configured mean rate. Detection is online
+//! (duplication-with-comparison against the golden model, plus the
+//! watchdog's event budget); on detection the tile climbs the
+//! degradation ladder (rollback + replay → TMR spare → software golden
+//! fallback). The report gives availability, throughput degradation,
+//! mean detection latency, per-rung tile counts and SDC escapes, as a
+//! markdown table on stdout and optionally full per-tile JSON.
+//!
+//! Usage: `recovery_campaign [--pairs N] [--tile N] [--rate R]
+//! [--stuck F] [--common-mode F] [--seed S] [--max-replays N]
+//! [--event-cap N] [--no-dwc] [--json PATH] [--max-sdc N]`
+//!
+//! With `--max-sdc N` the process exits nonzero when total SDC escapes
+//! exceed N — the CI smoke job gates on `--max-sdc 0` with DWC on.
+
+use dwt_bench::recovery::{
+    recovery_json, recovery_markdown, run_recovery_campaign, total_sdc_escapes,
+    RecoveryCampaignConfig,
+};
+
+struct Args {
+    cfg: RecoveryCampaignConfig,
+    json: Option<String>,
+    max_sdc: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut cfg = RecoveryCampaignConfig::default();
+    let mut json = None;
+    let mut max_sdc = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} expects a {what}"))
+        };
+        match flag.as_str() {
+            "--pairs" => cfg.pairs = value("count").parse().expect("--pairs"),
+            "--tile" => cfg.tile_pairs = value("count").parse().expect("--tile"),
+            "--rate" => cfg.seu_rate = value("rate").parse().expect("--rate"),
+            "--stuck" => cfg.stuck_fraction = value("fraction").parse().expect("--stuck"),
+            "--common-mode" => {
+                cfg.common_mode = value("fraction").parse().expect("--common-mode");
+            }
+            "--seed" => cfg.seed = value("seed").parse().expect("--seed"),
+            "--max-replays" => {
+                cfg.max_replays = value("count").parse().expect("--max-replays");
+            }
+            "--event-cap" => {
+                cfg.event_cap = Some(value("count").parse().expect("--event-cap"));
+            }
+            "--no-dwc" => cfg.dwc = false,
+            "--json" => json = Some(value("path")),
+            "--max-sdc" => max_sdc = Some(value("count").parse().expect("--max-sdc")),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    Args { cfg, json, max_sdc }
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = args.cfg;
+    println!(
+        "Recovery campaign — {} pairs in {}-pair tiles, SEU rate {}/cycle \
+         (stuck fraction {}, common mode {}), DWC {}, seed {}",
+        cfg.pairs,
+        cfg.tile_pairs,
+        cfg.seu_rate,
+        cfg.stuck_fraction,
+        cfg.common_mode,
+        if cfg.dwc { "on" } else { "OFF" },
+        cfg.seed
+    );
+    println!();
+
+    let rows = run_recovery_campaign(&cfg).unwrap_or_else(|e| panic!("campaign: {e}"));
+    print!("{}", recovery_markdown(&rows));
+    println!();
+    println!(
+        "avail = hardware uptime (nominal cycles served by a hardware rung over \
+         nominal + recovery); degrade = extra cycles per nominal cycle; \
+         det lat = mean cycles from attempt start to first detection."
+    );
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, recovery_json(&cfg, &rows))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\nfull per-tile report written to {path}");
+    }
+
+    let escapes = total_sdc_escapes(&rows);
+    if let Some(max) = args.max_sdc {
+        if escapes > max {
+            eprintln!("FAIL: {escapes} SDC escapes exceed --max-sdc {max}");
+            std::process::exit(1);
+        }
+        println!("\nSDC gate: {escapes} escapes ≤ {max} — ok");
+    }
+}

@@ -109,6 +109,114 @@ impl CampaignReport {
     }
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A minimal right-padded markdown table builder shared by the campaign
+/// binaries (`fault_campaign`, `recovery_campaign`): collect rows as
+/// strings, render with per-column widths fitted to the content.
+#[derive(Debug, Clone)]
+pub struct MarkdownTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl MarkdownTable {
+    /// Starts a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        MarkdownTable {
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; missing cells render empty, extras are dropped.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with columns sized to their widest cell.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().take(cols).enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let empty = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).unwrap_or(&empty);
+                let pad = w.saturating_sub(cell.chars().count());
+                out.push(' ');
+                out.push_str(cell);
+                out.push_str(&" ".repeat(pad));
+                out.push_str(" |");
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        out.push('|');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Serializes a fault campaign (config echo — including the seed — plus
+/// every variant's tallies and per-fault records) as JSON.
+#[must_use]
+pub fn campaign_json(cfg: &CampaignConfig, reports: &[CampaignReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"config\": {{ \"faults\": {}, \"pairs\": {}, \"seed\": {} }},\n  \"variants\": [",
+        cfg.faults, cfg.pairs, cfg.seed
+    );
+    for (i, r) in reports.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\n      \"variant\": \"{}\", \"les\": {}, \"register_bits\": {},\n      \
+             \"masked\": {}, \"detected\": {}, \"sdc\": {}, \"sdc_rate\": {:.6},\n      \"records\": [",
+            json_escape(&r.variant),
+            r.les,
+            r.register_bits,
+            r.count(Outcome::Masked),
+            r.count(Outcome::Detected),
+            r.count(Outcome::Sdc),
+            r.sdc_rate(),
+        );
+        for (j, rec) in r.records.iter().enumerate() {
+            let sep = if j == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n        {{ \"fault\": \"{}\", \"outcome\": \"{}\" }}",
+                json_escape(&rec.fault.to_string()),
+                rec.outcome.label()
+            );
+        }
+        let _ = write!(out, "\n      ]\n    }}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 fn injection_error(
     variant: &str,
     fault: Option<&FaultSpec>,

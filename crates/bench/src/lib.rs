@@ -14,11 +14,14 @@
 //! | `compare_filterbank` | Section 4 comparison with Masud & McCanny |
 //! | `adder_plans` | Section 3.2 shift-add adder counts (Fig. 7) |
 //! | `bitwidths` | Section 3.1 register ranges |
+//! | `fault_campaign` | SEU outcome histogram per variant (masked / detected / SDC) |
+//! | `recovery_campaign` | Availability and ladder usage of the recovery runtime under Poisson SEUs |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod recovery;
 
 use dwt_arch::designs::Design;
 use dwt_arch::golden::still_tone_pairs;

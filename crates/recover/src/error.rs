@@ -1,0 +1,57 @@
+//! Error type of the recovery runtime.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors reported by the recovery runtime.
+///
+/// Note what is *not* here: detected faults. Detection, rollback and
+/// degradation are the runtime's normal operation and are reported in
+/// [`crate::executor::TileOutcome`]; an `Error` means the harness
+/// itself is broken (a design failed to build, a port is missing, a
+/// snapshot was restored into the wrong machine).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A netlist/simulator failure outside any injected fault.
+    Rtl(dwt_rtl::Error),
+    /// A datapath generator or golden-model failure.
+    Arch(dwt_arch::Error),
+    /// `run_tile` was handed an empty tile.
+    EmptyTile,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Rtl(e) => write!(f, "simulator error: {e}"),
+            Error::Arch(e) => write!(f, "architecture error: {e}"),
+            Error::EmptyTile => write!(f, "cannot execute an empty tile"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Rtl(e) => Some(e),
+            Error::Arch(e) => Some(e),
+            Error::EmptyTile => None,
+        }
+    }
+}
+
+impl From<dwt_rtl::Error> for Error {
+    fn from(e: dwt_rtl::Error) -> Self {
+        Error::Rtl(e)
+    }
+}
+
+impl From<dwt_arch::Error> for Error {
+    fn from(e: dwt_arch::Error) -> Self {
+        Error::Arch(e)
+    }
+}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

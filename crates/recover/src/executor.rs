@@ -1,0 +1,850 @@
+//! Checkpointed streaming tile execution with a degradation ladder.
+//!
+//! The [`TileExecutor`] streams sample pairs through one of the paper's
+//! datapaths in fixed-size **tiles**. Each tile window is the tile's
+//! pairs followed by `latency + 2` zero flush pairs, so every committed
+//! coefficient emerges inside its own window and the pipeline drains to
+//! a state equivalent to a freshly reset machine. Two properties follow
+//! from that drain, and the whole recovery scheme rests on them:
+//!
+//! * a [`dwt_rtl::sim::Snapshot`] taken at a tile boundary captures a
+//!   drained machine, so *rollback + replay* of a tile is bit-exact;
+//! * the flush (≥ the golden model's 4-pair lookback) isolates tiles
+//!   from each other, so a tile can be *re-dispatched* onto a freshly
+//!   constructed TMR spare and still match the continuous
+//!   [`dwt_arch::golden::GoldenStream`] at the same global indices.
+//!
+//! Detection is online: duplication-with-comparison (DWC) checks every
+//! flushed coefficient against the golden stream the cycle it emerges,
+//! a parity-hardened primary contributes its `fault_detect` flag, and
+//! the watchdog's event cap turns a non-settling (oscillating) netlist
+//! into a *detected hang* instead of a wedged service. On detection the
+//! tile climbs the ladder: rollback and replay on the primary (transient
+//! strikes do not recur — the injector clock is monotone across
+//! rollbacks), then re-dispatch to the TMR spare, then software golden
+//! fallback, which cannot be wrong. Every rung, replay, recovery cycle
+//! and detection latency is accounted in [`TileOutcome`].
+
+use dwt_arch::datapath::Hardening;
+use dwt_arch::designs::Design;
+use dwt_arch::golden::GoldenStream;
+use dwt_rtl::fault::FaultSpec;
+use dwt_rtl::netlist::Netlist;
+use dwt_rtl::sim::Simulator;
+
+use crate::error::{Error, Result};
+use crate::injector::{FaultInjector, Lane};
+use crate::watchdog::WatchdogConfig;
+
+/// The rung of the degradation ladder that finally served a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rung {
+    /// First attempt on the primary datapath succeeded.
+    Primary,
+    /// The primary succeeded after at least one rollback + replay.
+    Replay,
+    /// The tile was re-dispatched to the TMR-hardened spare.
+    Tmr,
+    /// All hardware attempts failed; the software golden model served
+    /// the tile (correct by definition, zero hardware throughput).
+    GoldenFallback,
+}
+
+impl Rung {
+    /// Stable lowercase name for reports.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Rung::Primary => "primary",
+            Rung::Replay => "replay",
+            Rung::Tmr => "tmr",
+            Rung::GoldenFallback => "golden_fallback",
+        }
+    }
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a fault announced itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Detection {
+    /// A flushed coefficient differed from the golden model (DWC).
+    OutputMismatch,
+    /// The parity-hardened primary raised its `fault_detect` port.
+    ParityFlag,
+    /// The netlist failed to settle within the watchdog's event budget
+    /// (oscillation from a fighting driver), or a persistent fault
+    /// diverged at injection time.
+    Hang,
+}
+
+impl Detection {
+    /// Stable lowercase name for reports.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Detection::OutputMismatch => "output_mismatch",
+            Detection::ParityFlag => "parity_flag",
+            Detection::Hang => "hang",
+        }
+    }
+}
+
+/// Configuration of a [`TileExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Sample pairs per tile (checkpoint interval). Larger tiles
+    /// amortise the flush overhead; smaller tiles bound rollback cost.
+    pub tile_pairs: usize,
+    /// Replay attempts on the primary before escalating to the TMR
+    /// spare (the first attempt is not a replay).
+    pub max_replays: u32,
+    /// Hardening of the primary datapath. [`Hardening::Parity`] adds
+    /// the `fault_detect` flag as a detection source.
+    pub hardening: Hardening,
+    /// Duplication-with-comparison on the primary: check each flushed
+    /// coefficient against the golden model as it emerges. Disabling
+    /// this leaves only parity/hang detection and lets silent data
+    /// corruption escape — useful for measuring the SDC rate DWC
+    /// prevents. The TMR spare is always checked; an unverified
+    /// recovery path would be no recovery at all.
+    pub dwc: bool,
+    /// Watchdog limits (event budget per cycle, cycle budget per tile).
+    pub watchdog: WatchdogConfig,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            tile_pairs: 64,
+            max_replays: 2,
+            hardening: Hardening::None,
+            dwc: true,
+            watchdog: WatchdogConfig::default(),
+        }
+    }
+}
+
+/// Accounting for one executed tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileOutcome {
+    /// Tile position in the stream.
+    pub index: usize,
+    /// Sample pairs the tile committed.
+    pub pairs: usize,
+    /// The ladder rung that served the tile.
+    pub rung: Rung,
+    /// Every detection event, in order, across all attempts.
+    pub detections: Vec<Detection>,
+    /// Replay attempts performed (0 when the first attempt committed).
+    pub replays: u32,
+    /// Fault-free cost of the tile window: pairs + flush cycles.
+    pub nominal_cycles: u64,
+    /// Cycles burnt in failed attempts before the committing one.
+    pub recovery_cycles: u64,
+    /// Cycles into the failing attempt when the tile's first detection
+    /// fired (`None` for a clean tile).
+    pub detection_latency: Option<u64>,
+    /// Whether the committed coefficients match the golden model. With
+    /// DWC enabled this is true by construction; with DWC disabled a
+    /// `false` here is a silent-data-corruption escape.
+    pub bit_exact: bool,
+}
+
+/// The result of streaming a pair sequence through a [`TileExecutor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// The design that ran the stream.
+    pub design: Design,
+    /// Per-tile accounting, in stream order.
+    pub tiles: Vec<TileOutcome>,
+    /// Committed low-pass coefficients, one per input pair.
+    pub low: Vec<i64>,
+    /// Committed high-pass coefficients, one per input pair.
+    pub high: Vec<i64>,
+}
+
+impl StreamReport {
+    /// Tiles whose committed output differs from the golden model.
+    #[must_use]
+    pub fn sdc_escapes(&self) -> usize {
+        self.tiles.iter().filter(|t| !t.bit_exact).count()
+    }
+
+    /// Cycle-weighted hardware uptime: nominal cycles of tiles served
+    /// by a hardware rung, over nominal + recovery cycles of all tiles.
+    /// 1.0 for a fault-free run; golden-fallback tiles count their full
+    /// window as downtime.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        let mut up = 0u64;
+        let mut total = 0u64;
+        for t in &self.tiles {
+            if t.rung != Rung::GoldenFallback {
+                up += t.nominal_cycles;
+            }
+            total += t.nominal_cycles + t.recovery_cycles;
+        }
+        if total == 0 {
+            return 1.0;
+        }
+        up as f64 / total as f64
+    }
+
+    /// Extra cycles spent per nominal cycle: 0.0 for a fault-free run,
+    /// 0.5 when recovery re-ran half the stream's worth of cycles.
+    #[must_use]
+    pub fn throughput_degradation(&self) -> f64 {
+        let nominal: u64 = self.tiles.iter().map(|t| t.nominal_cycles).sum();
+        let recovery: u64 = self.tiles.iter().map(|t| t.recovery_cycles).sum();
+        if nominal == 0 {
+            return 0.0;
+        }
+        recovery as f64 / nominal as f64
+    }
+
+    /// Mean cycles from attempt start to first detection, over tiles
+    /// that detected anything.
+    #[must_use]
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        let lat: Vec<u64> = self.tiles.iter().filter_map(|t| t.detection_latency).collect();
+        if lat.is_empty() {
+            return None;
+        }
+        Some(lat.iter().sum::<u64>() as f64 / lat.len() as f64)
+    }
+
+    /// How many tiles each rung served: `(primary, replay, tmr,
+    /// golden_fallback)`.
+    #[must_use]
+    pub fn rung_counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for t in &self.tiles {
+            match t.rung {
+                Rung::Primary => c.0 += 1,
+                Rung::Replay => c.1 += 1,
+                Rung::Tmr => c.2 += 1,
+                Rung::GoldenFallback => c.3 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// What one attempt at a tile window produced.
+struct Attempt {
+    /// First detection: kind and cycles into the attempt.
+    detection: Option<(Detection, u64)>,
+    /// Cycles the attempt consumed (the full window on success, up to
+    /// the detection point on failure).
+    cycles: u64,
+    low: Vec<i64>,
+    high: Vec<i64>,
+}
+
+/// The recovery runtime: checkpointed tile execution over one design.
+#[derive(Debug)]
+pub struct TileExecutor {
+    design: Design,
+    cfg: ExecutorConfig,
+    latency: usize,
+    spare_latency: usize,
+    primary: Simulator,
+    primary_netlist: Netlist,
+    spare_netlist: Netlist,
+    golden: GoldenStream,
+    /// Pairs fed into the golden stream so far (tile bases).
+    fed: usize,
+    /// Monotone wall-clock of executed simulator cycles, advancing
+    /// through rollbacks and re-dispatches. Keys the fault injector, so
+    /// a transient strike consumed by a failed attempt does not recur
+    /// on replay.
+    executed_cycles: u64,
+    tile_index: usize,
+}
+
+impl TileExecutor {
+    /// Builds the primary datapath (with the configured hardening) and
+    /// its TMR spare for `design`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath-generator and simulator construction errors.
+    pub fn new(design: Design, cfg: ExecutorConfig) -> Result<Self> {
+        let primary = design.build_hardened(cfg.hardening)?;
+        let spare = design.build_hardened(Hardening::Tmr)?;
+        let mut sim = Simulator::new(primary.netlist.clone())?;
+        if let Some(cap) = cfg.watchdog.event_cap {
+            sim.set_event_cap(cap);
+        }
+        Ok(TileExecutor {
+            design,
+            cfg,
+            latency: primary.latency,
+            spare_latency: spare.latency,
+            primary: sim,
+            primary_netlist: primary.netlist,
+            spare_netlist: spare.netlist,
+            golden: GoldenStream::default(),
+            fed: 0,
+            executed_cycles: 0,
+            tile_index: 0,
+        })
+    }
+
+    /// The design this executor runs.
+    #[must_use]
+    pub fn design(&self) -> Design {
+        self.design
+    }
+
+    /// The executor's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.cfg
+    }
+
+    /// The primary datapath netlist (fault-site discovery).
+    #[must_use]
+    pub fn primary_netlist(&self) -> &Netlist {
+        &self.primary_netlist
+    }
+
+    /// The TMR spare netlist (fault-site discovery).
+    #[must_use]
+    pub fn spare_netlist(&self) -> &Netlist {
+        &self.spare_netlist
+    }
+
+    /// Total simulator cycles executed so far, including failed
+    /// attempts — the injector's wall clock.
+    #[must_use]
+    pub fn executed_cycles(&self) -> u64 {
+        self.executed_cycles
+    }
+
+    /// Zero-pad flush length of the primary window.
+    fn flush(&self) -> usize {
+        self.latency + 2
+    }
+
+    /// Runs a whole pair stream tile by tile.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyTile`] for an empty stream; otherwise harness
+    /// failures only — detected faults are recovery, not errors.
+    pub fn run_stream(
+        &mut self,
+        pairs: &[(i64, i64)],
+        injector: &mut dyn FaultInjector,
+    ) -> Result<StreamReport> {
+        if pairs.is_empty() {
+            return Err(Error::EmptyTile);
+        }
+        let mut tiles = Vec::new();
+        let mut low = Vec::with_capacity(pairs.len());
+        let mut high = Vec::with_capacity(pairs.len());
+        for tile in pairs.chunks(self.cfg.tile_pairs.max(1)) {
+            let (outcome, l, h) = self.run_tile(tile, injector)?;
+            tiles.push(outcome);
+            low.extend(l);
+            high.extend(h);
+        }
+        Ok(StreamReport { design: self.design, tiles, low, high })
+    }
+
+    /// Executes one tile through the ladder, returning its outcome and
+    /// committed coefficients.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyTile`] when `pairs` is empty; harness failures
+    /// otherwise.
+    pub fn run_tile(
+        &mut self,
+        pairs: &[(i64, i64)],
+        injector: &mut dyn FaultInjector,
+    ) -> Result<(TileOutcome, Vec<i64>, Vec<i64>)> {
+        if pairs.is_empty() {
+            return Err(Error::EmptyTile);
+        }
+        let p = pairs.len();
+        let flush = self.flush();
+        let window = (p + flush) as u64;
+
+        // Checkpoint: drained simulator state + golden stream position.
+        let snap = self.primary.snapshot();
+        let fed_ck = self.fed;
+
+        // Reference pass: extend the continuous golden stream by the
+        // tile window. The flush (≥ the model's 4-pair lookback) makes
+        // the window's coefficients independent of anything before the
+        // checkpoint, which is what licenses replay and re-dispatch.
+        for &(e, o) in pairs {
+            self.golden.push(e, o);
+        }
+        for _ in 0..flush {
+            self.golden.push(0, 0);
+        }
+        let exp_low = self.golden.low()[fed_ck..fed_ck + p].to_vec();
+        let exp_high = self.golden.high()[fed_ck..fed_ck + p].to_vec();
+
+        let parity = self.cfg.hardening == Hardening::Parity;
+        let mut detections = Vec::new();
+        let mut replays = 0u32;
+        let mut recovery = 0u64;
+        let mut detection_latency = None;
+        let mut tile_cycles = 0u64;
+        let mut committed: Option<(Rung, Vec<i64>, Vec<i64>)> = None;
+
+        // Rungs 1–2: primary, then rollback + replay.
+        let mut attempt = 0u32;
+        loop {
+            if attempt > 0 {
+                self.primary.restore(&snap)?;
+            }
+            let persistent = injector.persistent(Lane::Primary);
+            let out = run_attempt(
+                &mut self.primary,
+                Lane::Primary,
+                self.latency,
+                pairs,
+                flush,
+                self.cfg.dwc.then_some((&exp_low[..], &exp_high[..])),
+                parity,
+                &persistent,
+                &mut self.executed_cycles,
+                injector,
+            )?;
+            tile_cycles += out.cycles;
+            match out.detection {
+                None => {
+                    let rung = if attempt == 0 { Rung::Primary } else { Rung::Replay };
+                    committed = Some((rung, out.low, out.high));
+                    break;
+                }
+                Some((kind, at)) => {
+                    detections.push(kind);
+                    detection_latency.get_or_insert(at);
+                    recovery += out.cycles;
+                    if attempt >= self.cfg.max_replays
+                        || tile_cycles >= self.cfg.watchdog.budget()
+                    {
+                        break;
+                    }
+                    attempt += 1;
+                    replays += 1;
+                }
+            }
+        }
+
+        // Rung 3: re-dispatch to a fresh TMR spare. The drained
+        // checkpoint makes the spare's zero history equivalent to the
+        // primary's, so its outputs align with the same golden window.
+        if committed.is_none() {
+            let mut spare = Simulator::new(self.spare_netlist.clone())?;
+            if let Some(cap) = self.cfg.watchdog.event_cap {
+                spare.set_event_cap(cap);
+            }
+            let persistent = injector.persistent(Lane::Tmr);
+            let out = run_attempt(
+                &mut spare,
+                Lane::Tmr,
+                self.spare_latency,
+                pairs,
+                self.spare_latency + 2,
+                // The recovery path is always checked: an unverified
+                // spare could silently commit a corrupt tile.
+                Some((&exp_low[..], &exp_high[..])),
+                false,
+                &persistent,
+                &mut self.executed_cycles,
+                injector,
+            )?;
+            match out.detection {
+                None => committed = Some((Rung::Tmr, out.low, out.high)),
+                Some((kind, at)) => {
+                    detections.push(kind);
+                    detection_latency.get_or_insert(at);
+                    recovery += out.cycles;
+                }
+            }
+        }
+
+        // Rung 4: software golden fallback — correct by definition.
+        let (rung, low, high) =
+            committed.unwrap_or((Rung::GoldenFallback, exp_low.clone(), exp_high.clone()));
+
+        // Failed hardware attempts left the primary mid-window (or a
+        // spare served the tile): park it back at the drained
+        // checkpoint so the next tile starts clean. A persistent
+        // primary fault then simply re-detects next tile.
+        if matches!(rung, Rung::Tmr | Rung::GoldenFallback) {
+            self.primary.restore(&snap)?;
+        }
+        self.fed = fed_ck + p + flush;
+
+        // Independent SDC audit, deliberately not gated on `dwc`.
+        let bit_exact = low == exp_low && high == exp_high;
+
+        let outcome = TileOutcome {
+            index: self.tile_index,
+            pairs: p,
+            rung,
+            detections,
+            replays,
+            nominal_cycles: window,
+            recovery_cycles: recovery,
+            detection_latency,
+            bit_exact,
+        };
+        self.tile_index += 1;
+        Ok((outcome, low, high))
+    }
+}
+
+/// Rebase a transient fault spec to strike at the simulator's next
+/// clock edge; persistent specs pass through.
+fn rebase(spec: FaultSpec, now: u64) -> FaultSpec {
+    match spec {
+        FaultSpec::BitFlip { register, bit, .. } => {
+            FaultSpec::BitFlip { register, bit, cycle: now }
+        }
+        FaultSpec::RamUpset { ram, addr, bit, .. } => {
+            FaultSpec::RamUpset { ram, addr, bit, cycle: now }
+        }
+        stuck @ FaultSpec::StuckAt { .. } => stuck,
+    }
+}
+
+/// Inject one fault, folding a settle divergence into a hang detection.
+fn inject_classified(sim: &mut Simulator, spec: &FaultSpec) -> Result<Option<Detection>> {
+    match sim.inject(spec) {
+        Ok(()) => Ok(None),
+        Err(dwt_rtl::Error::SimulationDiverged { .. }) => Ok(Some(Detection::Hang)),
+        Err(e) => Err(Error::Rtl(e)),
+    }
+}
+
+/// One attempt at a tile window on one lane: feed pairs + flush zeros,
+/// inject the injector's arrivals as they fall due, compare flushed
+/// coefficients online, stop at the first detection.
+// The range loop is deliberate: `t` runs past `pairs.len()` into the
+// zero flush, which no iterator over `pairs` can express.
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn run_attempt(
+    sim: &mut Simulator,
+    lane: Lane,
+    latency: usize,
+    pairs: &[(i64, i64)],
+    flush: usize,
+    expect: Option<(&[i64], &[i64])>,
+    parity: bool,
+    persistent: &[FaultSpec],
+    executed_cycles: &mut u64,
+    injector: &mut dyn FaultInjector,
+) -> Result<Attempt> {
+    let p = pairs.len();
+    let window = p + flush;
+    let mut low = Vec::with_capacity(p);
+    let mut high = Vec::with_capacity(p);
+
+    // Re-assert the lane's hard faults: the rollback reverted them
+    // along with the machine state, but a broken wire stays broken.
+    for spec in persistent {
+        if let Some(d) = inject_classified(sim, spec)? {
+            return Ok(Attempt { detection: Some((d, 0)), cycles: 0, low, high });
+        }
+    }
+
+    for t in 0..window {
+        let mut detected: Option<Detection> = None;
+        for spec in injector.arrivals(*executed_cycles, lane) {
+            if let Some(d) = inject_classified(sim, &rebase(spec, sim.cycle()))? {
+                detected = Some(d);
+            }
+        }
+        if detected.is_none() {
+            let (e, o) = if t < p { pairs[t] } else { (0, 0) };
+            sim.set_input("in_even", e).map_err(Error::Rtl)?;
+            sim.set_input("in_odd", o).map_err(Error::Rtl)?;
+            match sim.try_tick() {
+                Ok(()) => {}
+                Err(dwt_rtl::Error::SimulationDiverged { .. }) => {
+                    detected = Some(Detection::Hang);
+                }
+                Err(e) => return Err(Error::Rtl(e)),
+            }
+        }
+        *executed_cycles += 1;
+        let cycles = (t + 1) as u64;
+
+        if let Some(d) = detected {
+            return Ok(Attempt { detection: Some((d, cycles)), cycles, low, high });
+        }
+        if parity && sim.peek("fault_detect").map_err(Error::Rtl)? != 0 {
+            return Ok(Attempt {
+                detection: Some((Detection::ParityFlag, cycles)),
+                cycles,
+                low,
+                high,
+            });
+        }
+        // At the end of cycle t the outputs hold coefficient t - latency.
+        if t + 1 > latency {
+            let m = t - latency;
+            if m < p {
+                let l = sim.peek("low").map_err(Error::Rtl)?;
+                let h = sim.peek("high").map_err(Error::Rtl)?;
+                if let Some((el, eh)) = expect {
+                    if l != el[m] || h != eh[m] {
+                        return Ok(Attempt {
+                            detection: Some((Detection::OutputMismatch, cycles)),
+                            cycles,
+                            low,
+                            high,
+                        });
+                    }
+                }
+                low.push(l);
+                high.push(h);
+            }
+        }
+    }
+
+    Ok(Attempt { detection: None, cycles: window as u64, low, high })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injector::{NoFaults, ScriptedFaults};
+    use dwt_arch::golden::still_tone_pairs;
+
+    fn small_cfg() -> ExecutorConfig {
+        ExecutorConfig { tile_pairs: 16, ..ExecutorConfig::default() }
+    }
+
+    #[test]
+    fn fault_free_stream_matches_golden_on_every_design() {
+        let pairs = still_tone_pairs(48, 7);
+        for d in Design::all() {
+            let mut exec = TileExecutor::new(d, small_cfg()).unwrap();
+            let report = exec.run_stream(&pairs, &mut NoFaults).unwrap();
+            assert_eq!(report.tiles.len(), 3, "{d}");
+            assert_eq!(report.low.len(), 48, "{d}");
+            assert_eq!(report.sdc_escapes(), 0, "{d}");
+            assert!(report.tiles.iter().all(|t| t.rung == Rung::Primary), "{d}");
+            assert!((report.availability() - 1.0).abs() < 1e-12, "{d}");
+            assert_eq!(report.throughput_degradation(), 0.0, "{d}");
+            assert_eq!(report.mean_detection_latency(), None, "{d}");
+        }
+    }
+
+    #[test]
+    fn committed_stream_equals_tiled_golden_reference() {
+        // The tile transform is *tile-independent* (each window is
+        // drained with flush zeros, like JPEG2000 tile boundaries), so
+        // the reference is a golden stream fed the same tiled way. The
+        // hardware must match it bit-exactly across every boundary.
+        let pairs = still_tone_pairs(40, 3);
+        let mut exec = TileExecutor::new(Design::D3, small_cfg()).unwrap();
+        let flush = exec.flush();
+        let report = exec.run_stream(&pairs, &mut NoFaults).unwrap();
+
+        let mut golden = GoldenStream::default();
+        let mut exp_low = Vec::new();
+        let mut exp_high = Vec::new();
+        for tile in pairs.chunks(16) {
+            let base = golden.pairs_pushed();
+            for &(e, o) in tile {
+                golden.push(e, o);
+            }
+            for _ in 0..flush {
+                golden.push(0, 0);
+            }
+            exp_low.extend_from_slice(&golden.low()[base..base + tile.len()]);
+            exp_high.extend_from_slice(&golden.high()[base..base + tile.len()]);
+        }
+        assert_eq!(report.low, exp_low);
+        assert_eq!(report.high, exp_high);
+    }
+
+    #[test]
+    fn transient_flip_recovers_via_replay() {
+        let pairs = still_tone_pairs(16, 5);
+        let mut exec = TileExecutor::new(Design::D2, small_cfg()).unwrap();
+        // Strike a register mid-tile; the monotone injector clock means
+        // the replay runs clean.
+        let reg = exec
+            .primary_netlist()
+            .cells()
+            .iter()
+            .find_map(|c| match &c.kind {
+                dwt_rtl::cell::CellKind::Register { .. } => Some(c.name.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let mut inj = ScriptedFaults {
+            at: vec![(
+                6,
+                Lane::Primary,
+                FaultSpec::BitFlip { register: reg, bit: 0, cycle: 0 },
+            )],
+            ..ScriptedFaults::default()
+        };
+        let report = exec.run_stream(&pairs, &mut inj).unwrap();
+        assert_eq!(report.tiles.len(), 1);
+        let tile = &report.tiles[0];
+        assert_eq!(tile.rung, Rung::Replay, "detections: {:?}", tile.detections);
+        assert_eq!(tile.replays, 1);
+        assert!(tile.detections.contains(&Detection::OutputMismatch));
+        assert!(tile.recovery_cycles > 0);
+        assert!(tile.detection_latency.is_some());
+        assert!(tile.bit_exact);
+        assert_eq!(report.sdc_escapes(), 0);
+        assert!(report.availability() < 1.0);
+    }
+
+    #[test]
+    fn hard_primary_fault_escalates_to_tmr_spare() {
+        let pairs = still_tone_pairs(16, 5);
+        let mut exec = TileExecutor::new(Design::D1, small_cfg()).unwrap();
+        let reg = exec
+            .primary_netlist()
+            .cells()
+            .iter()
+            .find_map(|c| match &c.kind {
+                dwt_rtl::cell::CellKind::Register { .. } => Some(c.name.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let mut inj = ScriptedFaults {
+            hard_primary: vec![FaultSpec::StuckAt { net: reg, bit: 0, value: true }],
+            ..ScriptedFaults::default()
+        };
+        let report = exec.run_stream(&pairs, &mut inj).unwrap();
+        let tile = &report.tiles[0];
+        assert_eq!(tile.rung, Rung::Tmr, "detections: {:?}", tile.detections);
+        assert_eq!(tile.replays, exec.config().max_replays);
+        assert!(tile.bit_exact);
+        assert_eq!(report.sdc_escapes(), 0);
+        // The second tile hits the same persistent fault again:
+        // degraded mode, still correct.
+        assert!(report.availability() < 1.0);
+    }
+
+    #[test]
+    fn common_mode_hard_faults_reach_golden_fallback() {
+        let pairs = still_tone_pairs(16, 5);
+        let mut exec = TileExecutor::new(Design::D2, small_cfg()).unwrap();
+        let preg = exec
+            .primary_netlist()
+            .cells()
+            .iter()
+            .find_map(|c| match &c.kind {
+                dwt_rtl::cell::CellKind::Register { .. } => Some(c.name.clone()),
+                _ => None,
+            })
+            .unwrap();
+        // Break all three TMR replicas of one spare register so voting
+        // cannot mask it.
+        let spare_regs: Vec<String> = exec
+            .spare_netlist()
+            .cells()
+            .iter()
+            .filter_map(|c| match &c.kind {
+                dwt_rtl::cell::CellKind::Register { .. } => Some(c.name.clone()),
+                _ => None,
+            })
+            .take(3)
+            .collect();
+        assert_eq!(spare_regs.len(), 3);
+        let mut inj = ScriptedFaults {
+            hard_primary: vec![FaultSpec::StuckAt { net: preg, bit: 0, value: true }],
+            hard_tmr: spare_regs
+                .into_iter()
+                .map(|net| FaultSpec::StuckAt { net, bit: 0, value: true })
+                .collect(),
+            ..ScriptedFaults::default()
+        };
+        let report = exec.run_stream(&pairs, &mut inj).unwrap();
+        let tile = &report.tiles[0];
+        assert_eq!(tile.rung, Rung::GoldenFallback, "detections: {:?}", tile.detections);
+        // The fallback serves golden data, so it is still bit-exact and
+        // not an SDC escape — but the hardware was down.
+        assert!(tile.bit_exact);
+        assert_eq!(report.sdc_escapes(), 0);
+        assert_eq!(report.rung_counts().3, 1);
+    }
+
+    #[test]
+    fn dwc_off_lets_sdc_escape_and_the_audit_counts_it() {
+        let pairs = still_tone_pairs(16, 5);
+        let cfg = ExecutorConfig { dwc: false, ..small_cfg() };
+        let mut exec = TileExecutor::new(Design::D2, cfg).unwrap();
+        let reg = exec
+            .primary_netlist()
+            .cells()
+            .iter()
+            .find_map(|c| match &c.kind {
+                dwt_rtl::cell::CellKind::Register { .. } => Some(c.name.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let mut inj = ScriptedFaults {
+            hard_primary: vec![FaultSpec::StuckAt { net: reg, bit: 0, value: true }],
+            ..ScriptedFaults::default()
+        };
+        let report = exec.run_stream(&pairs, &mut inj).unwrap();
+        // Without DWC nothing notices the corruption online...
+        assert_eq!(report.tiles[0].rung, Rung::Primary);
+        assert!(report.tiles[0].detections.is_empty());
+        // ...but the independent audit does.
+        assert_eq!(report.sdc_escapes(), report.tiles.len());
+    }
+
+    #[test]
+    fn parity_hardened_primary_raises_its_flag() {
+        let pairs = still_tone_pairs(16, 5);
+        let cfg = ExecutorConfig { hardening: Hardening::Parity, dwc: false, ..small_cfg() };
+        let mut exec = TileExecutor::new(Design::D2, cfg).unwrap();
+        let reg = exec
+            .primary_netlist()
+            .cells()
+            .iter()
+            .find_map(|c| match &c.kind {
+                dwt_rtl::cell::CellKind::Register { .. } => Some(c.name.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let mut inj = ScriptedFaults {
+            at: vec![(
+                4,
+                Lane::Primary,
+                FaultSpec::BitFlip { register: reg, bit: 0, cycle: 0 },
+            )],
+            ..ScriptedFaults::default()
+        };
+        let report = exec.run_stream(&pairs, &mut inj).unwrap();
+        let tile = &report.tiles[0];
+        assert!(
+            tile.detections.contains(&Detection::ParityFlag),
+            "detections: {:?}",
+            tile.detections
+        );
+        assert!(tile.bit_exact);
+        assert_eq!(report.sdc_escapes(), 0);
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        let mut exec = TileExecutor::new(Design::D1, small_cfg()).unwrap();
+        assert_eq!(exec.run_stream(&[], &mut NoFaults), Err(Error::EmptyTile));
+    }
+}

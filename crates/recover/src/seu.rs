@@ -1,0 +1,244 @@
+//! Poisson-arrival single-event-upset model.
+//!
+//! Particle strikes on a real part arrive as a Poisson process: the
+//! number of upsets in any window is proportional to exposure time and
+//! independent of history. [`PoissonSeu`] reproduces that over the
+//! executor's executed-cycle clock: inter-arrival gaps are drawn from
+//! the exponential distribution with the configured mean rate, and
+//! every arrival upsets one uniformly chosen register bit of whichever
+//! lane is executing at that instant.
+//!
+//! A configurable fraction of arrivals can instead be **hard** faults —
+//! persistent stuck-at levels on a register output, modelling latch-up
+//! or wear-out rather than a transient flip. Hard faults survive
+//! rollback (the injector re-asserts them through
+//! [`FaultInjector::persistent`]), so they defeat the replay rung and
+//! force the executor down the degradation ladder; an optional
+//! common-mode probability lets a hard fault afflict the TMR spare too,
+//! exercising the final golden-fallback rung.
+
+use dwt_rtl::cell::CellKind;
+use dwt_rtl::fault::FaultSpec;
+use dwt_rtl::netlist::Netlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::injector::{FaultInjector, Lane};
+
+/// Upset sites of one netlist: every register, by name and width.
+fn register_sites(netlist: &Netlist) -> Vec<(String, usize)> {
+    netlist
+        .cells()
+        .iter()
+        .filter_map(|c| match &c.kind {
+            CellKind::Register { q, .. } => Some((c.name.clone(), q.width())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Seeded Poisson SEU source over the executor's executed-cycle clock.
+#[derive(Debug, Clone)]
+pub struct PoissonSeu {
+    rng: StdRng,
+    /// Mean arrivals per executed cycle.
+    rate: f64,
+    /// Executed-cycle instant of the next strike.
+    next_arrival: f64,
+    /// Fraction of arrivals that are persistent stuck-at faults.
+    stuck_fraction: f64,
+    /// Probability that a hard primary fault also afflicts the spare.
+    common_mode: f64,
+    primary_sites: Vec<(String, usize)>,
+    spare_sites: Vec<(String, usize)>,
+    hard_primary: Vec<FaultSpec>,
+    hard_spare: Vec<FaultSpec>,
+    strikes: u64,
+}
+
+impl PoissonSeu {
+    /// Creates a purely transient (bit-flip) SEU source striking the
+    /// given primary and spare netlists at `rate_per_cycle` mean
+    /// arrivals per executed cycle. Equal seeds reproduce the arrival
+    /// stream bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a netlist has no registers (no upset cross-section) or
+    /// the rate is negative.
+    #[must_use]
+    pub fn new(primary: &Netlist, spare: &Netlist, rate_per_cycle: f64, seed: u64) -> Self {
+        assert!(rate_per_cycle >= 0.0, "negative SEU rate");
+        let primary_sites = register_sites(primary);
+        let spare_sites = register_sites(spare);
+        assert!(!primary_sites.is_empty(), "primary netlist has no registers");
+        assert!(!spare_sites.is_empty(), "spare netlist has no registers");
+        let mut seu = PoissonSeu {
+            rng: StdRng::seed_from_u64(seed),
+            rate: rate_per_cycle,
+            next_arrival: 0.0,
+            stuck_fraction: 0.0,
+            common_mode: 0.0,
+            primary_sites,
+            spare_sites,
+            hard_primary: Vec::new(),
+            hard_spare: Vec::new(),
+            strikes: 0,
+        };
+        seu.next_arrival = seu.gap();
+        seu
+    }
+
+    /// Makes `stuck_fraction` of arrivals persistent stuck-at faults,
+    /// each of which with probability `common_mode` also plants a hard
+    /// fault in the TMR spare (a common-cause failure reaching the
+    /// golden-fallback rung).
+    #[must_use]
+    pub fn with_hard_faults(mut self, stuck_fraction: f64, common_mode: f64) -> Self {
+        assert!((0.0..=1.0).contains(&stuck_fraction), "stuck fraction outside [0,1]");
+        assert!((0.0..=1.0).contains(&common_mode), "common-mode outside [0,1]");
+        self.stuck_fraction = stuck_fraction;
+        self.common_mode = common_mode;
+        self
+    }
+
+    /// Total arrivals generated so far (all lanes).
+    #[must_use]
+    pub fn strikes(&self) -> u64 {
+        self.strikes
+    }
+
+    /// Exponential inter-arrival gap in cycles (infinite at rate 0).
+    fn gap(&mut self) -> f64 {
+        if self.rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        // Inverse CDF; (1 - u) avoids ln(0).
+        -(1.0 - u).ln() / self.rate
+    }
+
+    /// One uniformly chosen transient register-bit flip on a lane.
+    fn flip(&mut self, lane: Lane) -> FaultSpec {
+        let sites = match lane {
+            Lane::Primary => &self.primary_sites,
+            Lane::Tmr => &self.spare_sites,
+        };
+        let (register, width) = sites[self.rng.gen_range(0..sites.len())].clone();
+        let bit = self.rng.gen_range(0..width);
+        // The executor rebases the cycle to "strike now".
+        FaultSpec::BitFlip { register, bit, cycle: 0 }
+    }
+
+    /// One uniformly chosen persistent stuck-at on a lane's register
+    /// output.
+    fn stuck(&mut self, lane: Lane) -> FaultSpec {
+        let sites = match lane {
+            Lane::Primary => &self.primary_sites,
+            Lane::Tmr => &self.spare_sites,
+        };
+        let (net, width) = sites[self.rng.gen_range(0..sites.len())].clone();
+        let bit = self.rng.gen_range(0..width);
+        let value = self.rng.gen_range(0..2u32) == 1;
+        FaultSpec::StuckAt { net, bit, value }
+    }
+}
+
+impl FaultInjector for PoissonSeu {
+    fn arrivals(&mut self, executed_cycle: u64, lane: Lane) -> Vec<FaultSpec> {
+        let mut due = Vec::new();
+        while self.next_arrival <= executed_cycle as f64 {
+            let g = self.gap();
+            self.next_arrival += g;
+            if !self.next_arrival.is_finite() {
+                break;
+            }
+            self.strikes += 1;
+            let hard: f64 = self.rng.gen_range(0.0..1.0);
+            if hard < self.stuck_fraction {
+                let f = self.stuck(lane);
+                match lane {
+                    Lane::Primary => self.hard_primary.push(f.clone()),
+                    Lane::Tmr => self.hard_spare.push(f.clone()),
+                }
+                let cm: f64 = self.rng.gen_range(0.0..1.0);
+                if lane == Lane::Primary && cm < self.common_mode {
+                    let spare_fault = self.stuck(Lane::Tmr);
+                    self.hard_spare.push(spare_fault);
+                }
+                due.push(f);
+            } else {
+                due.push(self.flip(lane));
+            }
+        }
+        due
+    }
+
+    fn persistent(&mut self, lane: Lane) -> Vec<FaultSpec> {
+        match lane {
+            Lane::Primary => self.hard_primary.clone(),
+            Lane::Tmr => self.hard_spare.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwt_arch::datapath::Hardening;
+    use dwt_arch::designs::Design;
+
+    fn nets() -> (Netlist, Netlist) {
+        let primary = Design::D2.build().unwrap().netlist;
+        let spare = Design::D2.build_hardened(Hardening::Tmr).unwrap().netlist;
+        (primary, spare)
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_per_seed() {
+        let (p, s) = nets();
+        let run = |seed| {
+            let mut seu = PoissonSeu::new(&p, &s, 0.05, seed);
+            let mut all = Vec::new();
+            for c in 0..400 {
+                all.extend(seu.arrivals(c, Lane::Primary));
+            }
+            (all, seu.strikes())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).0, run(10).0);
+    }
+
+    #[test]
+    fn rate_scales_strike_count() {
+        let (p, s) = nets();
+        let strikes = |rate| {
+            let mut seu = PoissonSeu::new(&p, &s, rate, 1);
+            for c in 0..2000 {
+                seu.arrivals(c, Lane::Primary);
+            }
+            seu.strikes()
+        };
+        assert_eq!(strikes(0.0), 0);
+        let low = strikes(0.01);
+        let high = strikes(0.1);
+        assert!(low > 0, "some strikes at the low rate");
+        assert!(high > 2 * low, "10x rate gives far more strikes: {low} vs {high}");
+    }
+
+    #[test]
+    fn hard_fraction_accumulates_persistent_faults() {
+        let (p, s) = nets();
+        let mut seu = PoissonSeu::new(&p, &s, 0.05, 3).with_hard_faults(1.0, 1.0);
+        for c in 0..400 {
+            seu.arrivals(c, Lane::Primary);
+        }
+        assert!(seu.strikes() > 0);
+        assert!(!seu.persistent(Lane::Primary).is_empty());
+        assert!(!seu.persistent(Lane::Tmr).is_empty(), "common mode plants spare faults");
+        assert!(seu
+            .persistent(Lane::Primary)
+            .iter()
+            .all(|f| matches!(f, FaultSpec::StuckAt { .. })));
+    }
+}

@@ -1,0 +1,42 @@
+//! Watchdog limits guarding tile execution.
+//!
+//! Online detection by output comparison only works while the machine
+//! still produces outputs. Two failure modes escape it:
+//!
+//! * a fault that makes the netlist *oscillate* — the event-driven
+//!   simulator would spin inside one cycle forever, the way a real
+//!   datapath with a fighting driver never settles before the clock
+//!   edge;
+//! * a recovery loop that keeps detecting and replaying without
+//!   converging (e.g. a persistent fault with an optimistic replay
+//!   policy), silently eating throughput.
+//!
+//! The watchdog bounds both: an **event budget** per simulated cycle
+//! (enforced by [`dwt_rtl::sim::Simulator::set_event_cap`], surfacing
+//! [`dwt_rtl::Error::SimulationDiverged`] which the executor classifies
+//! as a *detected hang*, not an SDC), and a **cycle budget** per tile
+//! across all recovery attempts, past which the executor stops
+//! replaying and escalates to the next rung of the degradation ladder.
+
+/// Watchdog configuration for a [`crate::executor::TileExecutor`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Event budget per simulated cycle (per event-wheel drain). `None`
+    /// keeps the simulator's default, which scales with netlist size
+    /// and is far above anything a settling netlist produces; tests use
+    /// tight caps to force hang detection deterministically.
+    pub event_cap: Option<u64>,
+    /// Total simulated cycles one tile may consume across all recovery
+    /// attempts before the executor escalates to the next rung even if
+    /// replay attempts remain. `None` bounds tiles only by
+    /// `max_replays`.
+    pub tile_cycle_budget: Option<u64>,
+}
+
+impl WatchdogConfig {
+    /// The effective per-tile cycle budget.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.tile_cycle_budget.unwrap_or(u64::MAX)
+    }
+}

@@ -1,0 +1,98 @@
+//! Satellite scenario: a stuck-at fault that stalls settling must be
+//! caught by the watchdog's event budget *within the cycle it strikes*,
+//! classified as a detected hang — never as silent data corruption —
+//! and recovered by rollback + replay.
+//!
+//! The setup makes the detection deterministic: on an all-zero stream a
+//! drained datapath is perfectly quiet (zero events per cycle), so any
+//! event budget passes clean cycles; the injected stuck-at-1 on an
+//! input bit then fires a propagation burst through the whole lifting
+//! cone that blows a tight budget immediately, surfacing
+//! `SimulationDiverged` — the simulator-level model of a netlist that
+//! no longer settles before the clock edge.
+
+use dwt_arch::designs::Design;
+use dwt_recover::executor::{Detection, ExecutorConfig, Rung, TileExecutor};
+use dwt_recover::injector::{Lane, ScriptedFaults};
+use dwt_recover::watchdog::WatchdogConfig;
+use dwt_rtl::fault::FaultSpec;
+
+#[test]
+fn watchdog_catches_settle_stall_and_replay_recovers() {
+    let cfg = ExecutorConfig {
+        tile_pairs: 16,
+        watchdog: WatchdogConfig { event_cap: Some(8), tile_cycle_budget: None },
+        ..ExecutorConfig::default()
+    };
+    let mut exec = TileExecutor::new(Design::D2, cfg).unwrap();
+
+    let strike_cycle = 5;
+    let mut inj = ScriptedFaults {
+        at: vec![(
+            strike_cycle,
+            Lane::Primary,
+            FaultSpec::StuckAt { net: "in_even".into(), bit: 0, value: true },
+        )],
+        ..ScriptedFaults::default()
+    };
+
+    let pairs = vec![(0i64, 0i64); 16];
+    let report = exec.run_stream(&pairs, &mut inj).unwrap();
+
+    assert_eq!(report.tiles.len(), 1);
+    let tile = &report.tiles[0];
+
+    // Classified as a detected hang, not an output mismatch and not SDC.
+    assert_eq!(tile.detections, vec![Detection::Hang]);
+    assert_eq!(report.sdc_escapes(), 0);
+    assert!(tile.bit_exact);
+
+    // The watchdog fired within its budget: the event cap aborts the
+    // very cycle the fault lands, so detection latency is the strike
+    // cycle itself — no drift to the end of the tile.
+    assert_eq!(tile.detection_latency, Some(strike_cycle + 1));
+
+    // Recovery took the first ladder rung: one rollback + replay, which
+    // runs clean because the transient arrival was already consumed and
+    // the rollback reverts the stuck clamp.
+    assert_eq!(tile.rung, Rung::Replay);
+    assert_eq!(tile.replays, 1);
+    assert_eq!(tile.recovery_cycles, strike_cycle + 1);
+}
+
+#[test]
+fn tile_cycle_budget_stops_replaying_a_persistent_fault() {
+    // A hard fault defeats replay; a tight tile budget must make the
+    // executor stop burning replays and escalate to the spare early.
+    let pairs = vec![(0i64, 0i64); 8];
+    let run = |budget: Option<u64>| {
+        let cfg = ExecutorConfig {
+            tile_pairs: 8,
+            max_replays: 8,
+            watchdog: WatchdogConfig { event_cap: Some(8), tile_cycle_budget: budget },
+            ..ExecutorConfig::default()
+        };
+        let mut exec = TileExecutor::new(Design::D2, cfg).unwrap();
+        let mut inj = ScriptedFaults {
+            hard_primary: vec![FaultSpec::StuckAt {
+                net: "in_even".into(),
+                bit: 0,
+                value: true,
+            }],
+            ..ScriptedFaults::default()
+        };
+        exec.run_stream(&pairs, &mut inj).unwrap()
+    };
+
+    // Unbudgeted: all eight replays burn before escalation.
+    let free = run(None);
+    assert_eq!(free.tiles[0].rung, Rung::Tmr);
+    assert_eq!(free.tiles[0].replays, 8);
+
+    // Budgeted: escalates after the first failed attempt.
+    let tight = run(Some(1));
+    assert_eq!(tight.tiles[0].rung, Rung::Tmr);
+    assert_eq!(tight.tiles[0].replays, 0);
+    assert!(tight.tiles[0].recovery_cycles < free.tiles[0].recovery_cycles);
+    assert_eq!(tight.sdc_escapes(), 0);
+}

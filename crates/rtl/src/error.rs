@@ -64,6 +64,18 @@ pub enum Error {
         /// What exactly went wrong with the reference.
         detail: String,
     },
+    /// A snapshot was restored into a simulator whose netlist does not
+    /// match the one the snapshot was taken from.
+    SnapshotMismatch {
+        /// Net count recorded in the snapshot.
+        snapshot_nets: usize,
+        /// Net count of the restoring simulator's netlist.
+        simulator_nets: usize,
+        /// Cell count recorded in the snapshot.
+        snapshot_cells: usize,
+        /// Cell count of the restoring simulator's netlist.
+        simulator_cells: usize,
+    },
     /// The event loop exceeded its iteration budget inside one cycle —
     /// the netlist (possibly under an injected fault) is oscillating
     /// instead of settling.
@@ -101,6 +113,17 @@ impl fmt::Display for Error {
             Error::FaultTarget { target, detail } => {
                 write!(f, "fault target '{target}': {detail}")
             }
+            Error::SnapshotMismatch {
+                snapshot_nets,
+                simulator_nets,
+                snapshot_cells,
+                simulator_cells,
+            } => write!(
+                f,
+                "snapshot taken from a different netlist: {snapshot_nets} nets / \
+                 {snapshot_cells} cells vs simulator's {simulator_nets} nets / \
+                 {simulator_cells} cells"
+            ),
             Error::SimulationDiverged { cell, cycle, events } => write!(
                 f,
                 "simulation diverged at cycle {cycle}: {events} events without settling \
@@ -146,6 +169,15 @@ mod tests {
             (
                 Error::SimulationDiverged { cell: "osc".into(), cycle: 12, events: 99 },
                 vec!["osc", "12", "99"],
+            ),
+            (
+                Error::SnapshotMismatch {
+                    snapshot_nets: 10,
+                    simulator_nets: 20,
+                    snapshot_cells: 3,
+                    simulator_cells: 4,
+                },
+                vec!["10", "20", "3", "4"],
             ),
         ];
         for (err, needles) in cases {

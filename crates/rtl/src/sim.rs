@@ -94,6 +94,60 @@ enum NetClass {
     Local,
 }
 
+/// A bit-exact capture of every piece of mutable simulator state, as
+/// produced by [`Simulator::snapshot`] and consumed by
+/// [`Simulator::restore`].
+///
+/// A snapshot records net values, in-flight events, switching
+/// statistics, RAM contents, carry-chain state, the absolute cycle
+/// counter, staged inputs, and all armed faults (stuck-at clamps,
+/// pending register flips and RAM upsets) — everything needed for a
+/// restored simulator to replay the exact cycle-by-cycle behaviour of
+/// the original from the capture point onward. The immutable netlist is
+/// *not* copied; a snapshot can only be restored into a simulator built
+/// from an identical netlist (checked by net/cell counts).
+///
+/// Snapshots are the rollback substrate of checkpointed tile execution:
+/// a recovery runtime captures one at every tile boundary and rewinds
+/// to it when a fault is detected mid-tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    values: Vec<bool>,
+    projected: Vec<bool>,
+    staged_inputs: Vec<(Bus, i64)>,
+    stats: ActivityStats,
+    pending: Vec<std::collections::VecDeque<(u32, bool)>>,
+    /// Wheel contents in sorted order (heap order is unspecified, so a
+    /// canonical ordering keeps `PartialEq` meaningful).
+    wheel: Vec<std::cmp::Reverse<(u32, u8, u32, bool)>>,
+    enqueued_at: Vec<u32>,
+    ram_contents: Vec<Vec<i64>>,
+    carry_state: Vec<u64>,
+    cycle: u64,
+    stuck: Vec<(u32, bool)>,
+    flips: Vec<(CellId, usize, u64)>,
+    ram_upsets: Vec<(CellId, usize, usize, u64)>,
+    event_cap: u64,
+    last_eval: Option<CellId>,
+}
+
+impl Snapshot {
+    /// The absolute tick count at the moment of capture.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether any fault (stuck-at clamp, pending flip or RAM upset)
+    /// was armed when the snapshot was taken. Recovery runtimes use
+    /// this to tell a clean checkpoint from one that would replay a
+    /// persistent fault.
+    #[must_use]
+    pub fn has_armed_faults(&self) -> bool {
+        !self.stuck.is_empty() || !self.flips.is_empty() || !self.ram_upsets.is_empty()
+    }
+}
+
 /// Cycle-accurate simulator over an owned [`Netlist`].
 ///
 /// # Examples
@@ -716,6 +770,96 @@ impl Simulator {
         }
     }
 
+    /// Captures every piece of mutable simulator state, bit-exactly.
+    ///
+    /// The capture includes in-flight events, so a snapshot may be
+    /// taken at any point — though the natural checkpoint is right
+    /// after a [`Simulator::tick`], when the event wheel is empty.
+    /// Restoring the snapshot with [`Simulator::restore`] resumes the
+    /// simulation in a state indistinguishable from the original.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut wheel: Vec<_> = self.wheel.iter().copied().collect();
+        wheel.sort_unstable();
+        let mut stuck: Vec<(u32, bool)> = self.stuck.iter().map(|(&n, &v)| (n, v)).collect();
+        stuck.sort_unstable();
+        Snapshot {
+            values: self.values.clone(),
+            projected: self.projected.clone(),
+            staged_inputs: self.staged_inputs.clone(),
+            stats: self.stats.clone(),
+            pending: self.pending.clone(),
+            wheel,
+            enqueued_at: self.enqueued_at.clone(),
+            ram_contents: self.ram_contents.clone(),
+            carry_state: self.carry_state.clone(),
+            cycle: self.cycle,
+            stuck,
+            flips: self.flips.clone(),
+            ram_upsets: self.ram_upsets.clone(),
+            event_cap: self.event_cap,
+            last_eval: self.last_eval,
+        }
+    }
+
+    /// Rewinds the simulator to a previously captured [`Snapshot`],
+    /// discarding all state accumulated since — including injected
+    /// faults, which revert to whatever was armed at capture time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotMismatch`] if the snapshot was taken
+    /// from a netlist of different shape (net or cell counts differ);
+    /// the simulator is left untouched in that case.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<()> {
+        if snap.values.len() != self.netlist.net_count()
+            || snap.carry_state.len() != self.netlist.cell_count()
+        {
+            return Err(Error::SnapshotMismatch {
+                snapshot_nets: snap.values.len(),
+                simulator_nets: self.netlist.net_count(),
+                snapshot_cells: snap.carry_state.len(),
+                simulator_cells: self.netlist.cell_count(),
+            });
+        }
+        self.values.clone_from(&snap.values);
+        self.projected.clone_from(&snap.projected);
+        self.staged_inputs.clone_from(&snap.staged_inputs);
+        self.stats = snap.stats.clone();
+        self.pending.clone_from(&snap.pending);
+        self.wheel = snap.wheel.iter().copied().collect();
+        self.enqueued_at.clone_from(&snap.enqueued_at);
+        self.ram_contents.clone_from(&snap.ram_contents);
+        self.carry_state.clone_from(&snap.carry_state);
+        self.cycle = snap.cycle;
+        self.stuck = snap.stuck.iter().copied().collect();
+        self.flips.clone_from(&snap.flips);
+        self.ram_upsets.clone_from(&snap.ram_upsets);
+        self.event_cap = snap.event_cap;
+        self.last_eval = snap.last_eval;
+        Ok(())
+    }
+
+    /// Reads the current signed Q-side value of a named register cell
+    /// (test-bench state inspection, e.g. snapshot round-trip checks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPort`] if no register cell has that name.
+    pub fn peek_register(&self, name: &str) -> Result<i64> {
+        let id = self
+            .netlist
+            .cells()
+            .iter()
+            .position(|c| c.name == name && matches!(c.kind, CellKind::Register { .. }))
+            .map(|i| CellId(i as u32))
+            .ok_or_else(|| Error::UnknownPort { name: name.to_owned() })?;
+        match &self.netlist.cell(id).kind {
+            CellKind::Register { q, .. } => Ok(self.read_bus(q)),
+            _ => unreachable!("matched a register"),
+        }
+    }
+
     /// Writes one word into a RAM cell directly (test-bench preload),
     /// bypassing the write port.
     ///
@@ -1143,6 +1287,114 @@ mod tests {
             sim.stats().clone()
         };
         assert_eq!(run(build(), false), run(build(), true));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_registers_ram_and_outputs() {
+        let build = || {
+            let mut b = NetlistBuilder::new();
+            let x = b.input("x", 8).unwrap();
+            let s = b.carry_add("s", &x, &x, 9).unwrap();
+            let q = b.register("q", &s).unwrap();
+            let addr = b.constant(0, 2).unwrap();
+            let gnd = b.gnd().unwrap();
+            let rd = b.ram("m", 4, 9, &addr, &addr, &q, gnd).unwrap();
+            let q2 = b.register("q2", &rd).unwrap();
+            b.output("o", &q2).unwrap();
+            Simulator::new(b.finish().unwrap()).unwrap()
+        };
+        let stimulus = |i: i64| (i * 23 + 7).rem_euclid(200) - 100;
+        let mut sim = build();
+        for i in 0..10 {
+            sim.set_input("x", stimulus(i)).unwrap();
+            sim.tick();
+        }
+        let snap = sim.snapshot();
+        assert_eq!(snap.cycle(), 10);
+        assert!(!snap.has_armed_faults());
+        // Reference continuation.
+        let mut reference = Vec::new();
+        for i in 10..25 {
+            sim.set_input("x", stimulus(i * 3)).unwrap();
+            sim.tick();
+            reference.push(sim.peek("o").unwrap());
+        }
+        // Diverge the machine, then rewind and replay.
+        for i in 0..7 {
+            sim.set_input("x", stimulus(i + 99)).unwrap();
+            sim.tick();
+        }
+        let q_before = sim.peek_register("q").unwrap();
+        sim.restore(&snap).unwrap();
+        assert_eq!(sim.cycle(), 10);
+        assert_eq!(sim.snapshot(), snap, "restore is bit-exact");
+        assert_ne!(sim.peek_register("q").unwrap(), q_before, "state rewound");
+        let mut replay = Vec::new();
+        for i in 10..25 {
+            sim.set_input("x", stimulus(i * 3)).unwrap();
+            sim.tick();
+            replay.push(sim.peek("o").unwrap());
+        }
+        assert_eq!(replay, reference);
+    }
+
+    #[test]
+    fn restore_reverts_injected_faults() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let q = b.register("q", &x).unwrap();
+        b.output("o", &q).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.set_input("x", 11).unwrap();
+        sim.tick();
+        let snap = sim.snapshot();
+        sim.inject(&FaultSpec::StuckAt { net: "x".into(), bit: 0, value: true })
+            .unwrap();
+        sim.inject(&FaultSpec::BitFlip { register: "q".into(), bit: 1, cycle: 5 })
+            .unwrap();
+        assert!(sim.snapshot().has_armed_faults());
+        sim.restore(&snap).unwrap();
+        assert!(!sim.snapshot().has_armed_faults());
+        sim.set_input("x", 4).unwrap();
+        sim.tick();
+        sim.tick(); // staged input propagates, then the register captures
+        assert_eq!(sim.peek("o").unwrap(), 4, "stuck clamp lifted by restore");
+    }
+
+    #[test]
+    fn restore_rejects_foreign_netlists() {
+        let small = {
+            let mut b = NetlistBuilder::new();
+            let x = b.input("x", 4).unwrap();
+            b.output("o", &x).unwrap();
+            Simulator::new(b.finish().unwrap()).unwrap()
+        };
+        let mut big = {
+            let mut b = NetlistBuilder::new();
+            let x = b.input("x", 8).unwrap();
+            let s = b.carry_add("s", &x, &x, 9).unwrap();
+            b.output("o", &s).unwrap();
+            Simulator::new(b.finish().unwrap()).unwrap()
+        };
+        let snap = small.snapshot();
+        match big.restore(&snap) {
+            Err(Error::SnapshotMismatch { .. }) => {}
+            other => panic!("expected SnapshotMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peek_register_reads_q_side() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let q = b.register("q", &x).unwrap();
+        b.output("o", &q).unwrap();
+        let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
+        sim.set_input("x", -42).unwrap();
+        sim.tick();
+        sim.tick(); // staged input propagates, then the register captures
+        assert_eq!(sim.peek_register("q").unwrap(), -42);
+        assert!(sim.peek_register("nope").is_err());
     }
 
     #[test]

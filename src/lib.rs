@@ -17,6 +17,10 @@
 //! * [`lint`] — the static-analysis passes (connectivity, width
 //!   safety, pipeline balance) that check the paper's structural
 //!   invariants without a single simulation cycle.
+//! * [`recover`] — the detect–rollback–replay recovery runtime:
+//!   checkpointed tile execution with online fault detection and a
+//!   graceful-degradation ladder (replay → TMR spare → software
+//!   golden fallback).
 //! * [`imaging`] — synthetic still-tone test imagery and PGM I/O.
 //! * [`codec`] — the quantizer + entropy-coding back end completing the
 //!   compression pipeline of the paper's introduction.
@@ -43,4 +47,5 @@ pub use dwt_core as core;
 pub use dwt_fpga as fpga;
 pub use dwt_imaging as imaging;
 pub use dwt_lint as lint;
+pub use dwt_recover as recover;
 pub use dwt_rtl as rtl;
