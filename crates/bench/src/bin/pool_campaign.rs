@@ -1,0 +1,207 @@
+//! Pool campaign: a chaos scenario against the fault-tolerant
+//! multi-lane tile scheduler, swept over offered load.
+//!
+//! The default scenario exercises every defence at once — a baseline
+//! SEU drizzle with common-mode burst windows, lane 0 permanently stuck
+//! shortly into the run, lane 1 at double cycle cost, and a per-tile
+//! deadline — while the same seeded workload is offered at several tile
+//! inter-arrival gaps. Each sweep point reports offered load versus
+//! hardware goodput, availability, p50/p99 commit latency in cycles,
+//! shed tiles, deadline misses, breaker transitions and SDC escapes; a
+//! per-lane summary of the heaviest-load point shows where breakers and
+//! health scores ended up. Markdown on stdout, full per-tile JSON via
+//! `--json`.
+//!
+//! Usage: `pool_campaign [--lanes N] [--design N] [--pairs N] [--tile N]
+//! [--sweep A,B,C] [--rate R] [--stuck F] [--common-mode F]
+//! [--burst PERIOD,LEN,FACTOR] [--no-burst] [--stuck-lane LANE,CYCLE]
+//! [--no-stuck-lane] [--slow-lane LANE,FACTOR] [--no-slow-lane]
+//! [--deadline N] [--no-deadline] [--max-redispatch N] [--no-dwc]
+//! [--seed S] [--json PATH] [--max-sdc N] [--min-availability F]`
+//!
+//! With `--max-sdc N` the process exits nonzero when total SDC escapes
+//! across the sweep exceed N; with `--min-availability F` it exits
+//! nonzero when any sweep point's availability falls below F. The CI
+//! smoke job gates on both.
+
+use dwt_arch::designs::Design;
+use dwt_bench::pool::{
+    min_availability, pool_json, pool_lane_markdown, pool_markdown, run_pool_campaign,
+    total_sdc_escapes, PoolCampaignConfig,
+};
+use dwt_pool::chaos::{BurstConfig, SlowLaneSpec, StuckLaneSpec};
+
+struct Args {
+    cfg: PoolCampaignConfig,
+    json: Option<String>,
+    max_sdc: Option<usize>,
+    min_avail: Option<f64>,
+}
+
+/// Splits a `A,B,...` flag value into its parsed parts.
+fn parts<T: std::str::FromStr>(flag: &str, value: &str, n: usize) -> Vec<T> {
+    let out: Vec<T> = value.split(',').filter_map(|p| p.trim().parse().ok()).collect();
+    assert!(out.len() == n, "{flag} expects {n} comma-separated values, got '{value}'");
+    out
+}
+
+fn parse_args() -> Args {
+    let mut cfg = PoolCampaignConfig::default();
+    let mut json = None;
+    let mut max_sdc = None;
+    let mut min_avail = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} expects a {what}"))
+        };
+        match flag.as_str() {
+            "--lanes" => cfg.pool.lanes = value("count").parse().expect("--lanes"),
+            "--design" => {
+                let n: usize = value("1..=5").parse().expect("--design");
+                cfg.pool.design = *Design::all()
+                    .get(n.wrapping_sub(1))
+                    .unwrap_or_else(|| panic!("--design expects 1..=5, got {n}"));
+            }
+            "--pairs" => cfg.pairs = value("count").parse().expect("--pairs"),
+            "--tile" => cfg.pool.tile_pairs = value("count").parse().expect("--tile"),
+            "--sweep" => {
+                let v = value("gap list");
+                cfg.interarrivals =
+                    v.split(',').map(|p| p.trim().parse().expect("--sweep")).collect();
+                assert!(!cfg.interarrivals.is_empty(), "--sweep expects at least one gap");
+            }
+            "--rate" => cfg.pool.chaos.seu_rate = value("rate").parse().expect("--rate"),
+            "--stuck" => {
+                cfg.pool.chaos.stuck_fraction = value("fraction").parse().expect("--stuck");
+            }
+            "--common-mode" => {
+                cfg.pool.chaos.common_mode = value("fraction").parse().expect("--common-mode");
+            }
+            "--burst" => {
+                let v = value("period,len,factor");
+                let p: Vec<f64> = parts("--burst", &v, 3);
+                cfg.pool.chaos.burst = Some(BurstConfig {
+                    period: p[0] as u64,
+                    len: p[1] as u64,
+                    factor: p[2],
+                });
+            }
+            "--no-burst" => cfg.pool.chaos.burst = None,
+            "--stuck-lane" => {
+                let v = value("lane,cycle");
+                let p: Vec<u64> = parts("--stuck-lane", &v, 2);
+                cfg.pool.chaos.stuck_lanes =
+                    vec![StuckLaneSpec { lane: p[0] as usize, from_cycle: p[1] }];
+            }
+            "--no-stuck-lane" => cfg.pool.chaos.stuck_lanes.clear(),
+            "--slow-lane" => {
+                let v = value("lane,factor");
+                let p: Vec<f64> = parts("--slow-lane", &v, 2);
+                cfg.pool.chaos.slow_lanes =
+                    vec![SlowLaneSpec { lane: p[0] as usize, factor: p[1] }];
+            }
+            "--no-slow-lane" => cfg.pool.chaos.slow_lanes.clear(),
+            "--deadline" => {
+                cfg.pool.admission.deadline_cycles =
+                    Some(value("cycles").parse().expect("--deadline"));
+            }
+            "--no-deadline" => cfg.pool.admission.deadline_cycles = None,
+            "--max-redispatch" => {
+                cfg.pool.max_redispatch = value("count").parse().expect("--max-redispatch");
+            }
+            "--no-dwc" => cfg.pool.dwc = false,
+            "--seed" => {
+                let s: u64 = value("seed").parse().expect("--seed");
+                cfg.seed = s;
+                cfg.pool.chaos.seed = s;
+            }
+            "--json" => json = Some(value("path")),
+            "--max-sdc" => max_sdc = Some(value("count").parse().expect("--max-sdc")),
+            "--min-availability" => {
+                min_avail = Some(value("fraction").parse().expect("--min-availability"));
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    Args { cfg, json, max_sdc, min_avail }
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = &args.cfg;
+    let chaos = &cfg.pool.chaos;
+    println!(
+        "Pool campaign — {} lanes of {}, {} pairs in {}-pair tiles, seed {}",
+        cfg.pool.lanes,
+        cfg.pool.design.name(),
+        cfg.pairs,
+        cfg.pool.tile_pairs,
+        cfg.seed
+    );
+    println!(
+        "chaos: SEU rate {}/cycle (stuck fraction {}, common mode {}), burst {}, \
+         stuck lanes {:?}, slow lanes {:?}",
+        chaos.seu_rate,
+        chaos.stuck_fraction,
+        chaos.common_mode,
+        chaos.burst.map_or_else(
+            || "off".to_owned(),
+            |b| format!("{}x for {}/{}cy", b.factor, b.len, b.period)
+        ),
+        chaos.stuck_lanes.iter().map(|s| s.lane).collect::<Vec<_>>(),
+        chaos.slow_lanes.iter().map(|s| s.lane).collect::<Vec<_>>(),
+    );
+    println!(
+        "deadline: {}; DWC {}; sweep gaps {:?}cy",
+        cfg.pool
+            .admission
+            .deadline_cycles
+            .map_or_else(|| "none".to_owned(), |d| format!("{d}cy/tile")),
+        if cfg.pool.dwc { "on" } else { "OFF" },
+        cfg.interarrivals
+    );
+    println!();
+
+    let rows = run_pool_campaign(cfg).unwrap_or_else(|e| panic!("campaign: {e}"));
+    print!("{}", pool_markdown(&rows));
+    println!();
+    println!(
+        "gap = tile inter-arrival; offered/goodput in pairs per pool cycle; \
+         avail = hardware uptime (cycle-weighted); lat = commit latency."
+    );
+    if let Some(heaviest) = rows.last() {
+        println!("\nlane state after the heaviest load ({}cy gap):", heaviest.interarrival);
+        print!("{}", pool_lane_markdown(heaviest));
+    }
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, pool_json(cfg, &rows))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("\nfull per-tile report written to {path}");
+    }
+
+    let mut failed = false;
+    let escapes = total_sdc_escapes(&rows);
+    if let Some(max) = args.max_sdc {
+        if escapes > max {
+            eprintln!("FAIL: {escapes} SDC escapes exceed --max-sdc {max}");
+            failed = true;
+        } else {
+            println!("\nSDC gate: {escapes} escapes ≤ {max} — ok");
+        }
+    }
+    if let Some(floor) = args.min_avail {
+        let avail = min_availability(&rows);
+        if avail < floor {
+            eprintln!("FAIL: minimum availability {avail:.4} below --min-availability {floor}");
+            failed = true;
+        } else {
+            println!("availability gate: min {avail:.4} ≥ {floor} — ok");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

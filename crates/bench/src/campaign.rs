@@ -109,6 +109,85 @@ impl CampaignReport {
     }
 }
 
+/// A latency distribution in cycles, shared by the campaign binaries
+/// (`recovery_campaign` per-tile cycle costs, `pool_campaign` commit
+/// latencies): collect samples, read nearest-rank percentiles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    samples: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, cycles: u64) {
+        self.samples.push(cycles);
+    }
+
+    /// Records every sample of an iterator.
+    pub fn extend<I: IntoIterator<Item = u64>>(&mut self, samples: I) {
+        self.samples.extend(samples);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the histogram is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The nearest-rank percentile (`p` in `(0, 100]`): the smallest
+    /// recorded sample with at least `p%` of the distribution at or
+    /// below it. `None` on an empty histogram.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
+    /// Median latency (nearest rank).
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// Tail latency (nearest rank).
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99.0)
+    }
+
+    /// Mean latency.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 #[must_use]
 pub fn json_escape(s: &str) -> String {
@@ -328,6 +407,26 @@ pub fn run_campaign(
 mod tests {
     use super::*;
     use dwt_arch::designs::Design;
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.mean(), None);
+        h.extend([40, 10, 30, 20, 50]);
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.percentile(20.0), Some(10));
+        assert_eq!(h.p50(), Some(30));
+        assert_eq!(h.p99(), Some(50));
+        assert_eq!(h.max(), Some(50));
+        assert!((h.mean().unwrap() - 30.0).abs() < 1e-12);
+        // A single sample is every percentile.
+        let mut one = LatencyHistogram::new();
+        one.record(7);
+        assert_eq!(one.percentile(1.0), Some(7));
+        assert_eq!(one.p99(), Some(7));
+    }
 
     #[test]
     fn campaigns_are_deterministic() {

@@ -16,11 +16,13 @@
 //! | `bitwidths` | Section 3.1 register ranges |
 //! | `fault_campaign` | SEU outcome histogram per variant (masked / detected / SDC) |
 //! | `recovery_campaign` | Availability and ladder usage of the recovery runtime under Poisson SEUs |
+//! | `pool_campaign` | Goodput, availability and latency tails of the multi-lane scheduler under chaos |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod pool;
 pub mod recovery;
 
 use dwt_arch::designs::Design;

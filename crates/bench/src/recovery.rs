@@ -19,7 +19,15 @@ use dwt_recover::executor::{ExecutorConfig, StreamReport, TileExecutor};
 use dwt_recover::seu::PoissonSeu;
 use dwt_recover::watchdog::WatchdogConfig;
 
-use crate::campaign::{json_escape, MarkdownTable};
+use crate::campaign::{json_escape, LatencyHistogram, MarkdownTable};
+
+/// Per-tile total cycle costs (nominal + recovery) of one run, as a
+/// latency distribution.
+fn tile_cycle_histogram(report: &StreamReport) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    h.extend(report.tiles.iter().map(|t| t.nominal_cycles + t.recovery_cycles));
+    h
+}
 
 /// Parameters of one recovery campaign sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -126,10 +134,13 @@ pub fn recovery_markdown(rows: &[RecoveryRow]) -> String {
         "avail",
         "degrade",
         "det lat",
+        "p50 cyc",
+        "p99 cyc",
         "SDC esc",
     ]);
     for row in rows {
         let r = &row.report;
+        let hist = tile_cycle_histogram(r);
         let (primary, replay, tmr, fallback) = r.rung_counts();
         table.push_row(vec![
             row.design.name().to_owned(),
@@ -143,6 +154,8 @@ pub fn recovery_markdown(rows: &[RecoveryRow]) -> String {
             format!("{:+.2}%", r.throughput_degradation() * 100.0),
             r.mean_detection_latency()
                 .map_or_else(|| "—".to_owned(), |l| format!("{l:.1}cy")),
+            hist.p50().map_or_else(|| "—".to_owned(), |l| l.to_string()),
+            hist.p99().map_or_else(|| "—".to_owned(), |l| l.to_string()),
             r.sdc_escapes().to_string(),
         ]);
     }
@@ -179,7 +192,8 @@ pub fn recovery_json(cfg: &RecoveryCampaignConfig, rows: &[RecoveryRow]) -> Stri
              \"rungs\": {{ \"primary\": {primary}, \"replay\": {replay}, \"tmr\": {tmr}, \
              \"golden_fallback\": {fallback} }},\n      \
              \"availability\": {:.6}, \"throughput_degradation\": {:.6},\n      \
-             \"mean_detection_latency\": {}, \"sdc_escapes\": {},\n      \"tiles_detail\": [",
+             \"mean_detection_latency\": {}, \"tile_cycles_p50\": {}, \"tile_cycles_p99\": {}, \
+             \"sdc_escapes\": {},\n      \"tiles_detail\": [",
             json_escape(row.design.name()),
             r.tiles.len(),
             row.strikes,
@@ -187,6 +201,12 @@ pub fn recovery_json(cfg: &RecoveryCampaignConfig, rows: &[RecoveryRow]) -> Stri
             r.throughput_degradation(),
             r.mean_detection_latency()
                 .map_or_else(|| "null".to_owned(), |l| format!("{l:.3}")),
+            tile_cycle_histogram(r)
+                .p50()
+                .map_or_else(|| "null".to_owned(), |l| l.to_string()),
+            tile_cycle_histogram(r)
+                .p99()
+                .map_or_else(|| "null".to_owned(), |l| l.to_string()),
             r.sdc_escapes(),
         );
         for (j, t) in r.tiles.iter().enumerate() {

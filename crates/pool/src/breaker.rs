@@ -1,0 +1,286 @@
+//! Per-lane circuit breaker, clocked by the pool's cycle counter.
+//!
+//! A lane that keeps failing burns a full recovery ladder (replays, a
+//! spare re-dispatch, a wasted window) on every tile it touches. The
+//! breaker caps that cost the way a serving stack's breaker caps
+//! timeouts against a dying backend:
+//!
+//! * **Closed** — tiles flow; an EWMA of the failure indicator tracks
+//!   the lane. When it crosses the threshold (after a minimum sample
+//!   count, so one unlucky tile cannot trip a fresh lane), the breaker
+//!   *opens*.
+//! * **Open** — the lane is not dispatchable until a cooldown of pool
+//!   cycles elapses. Every consecutive reopen doubles the cooldown
+//!   (capped), so a permanently stuck lane asymptotically stops being
+//!   probed.
+//! * **Half-open** — the cooldown has elapsed; the next dispatch is a
+//!   **canary**: the scheduler power-cycles the lane
+//!   ([`dwt_recover::executor::TileExecutor::reset`]) and runs one real
+//!   tile. Success closes the breaker and clears the failure history;
+//!   failure reopens it with the longer cooldown.
+//!
+//! All clocks are simulator cycles — no wall time — so every breaker
+//! trajectory is a deterministic function of the outcome sequence.
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// EWMA failure rate that opens the breaker, in `(0, 1]`.
+    pub failure_threshold: f64,
+    /// EWMA weight of the newest outcome.
+    pub alpha: f64,
+    /// Outcomes observed before the breaker may trip.
+    pub min_samples: u64,
+    /// Base cooldown, in pool cycles, of the first open.
+    pub open_cycles: u64,
+    /// Cap on the exponential reopen backoff (cooldown multiplier is
+    /// `2^min(reopens, max_backoff_exp)`).
+    pub max_backoff_exp: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 0.5,
+            alpha: 0.4,
+            min_samples: 2,
+            open_cycles: 256,
+            max_backoff_exp: 6,
+        }
+    }
+}
+
+/// The breaker's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Traffic flows normally.
+    Closed,
+    /// The lane is quarantined until its cooldown elapses.
+    Open,
+    /// Cooldown elapsed; the next dispatch is a canary.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name for reports.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// One recorded state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BreakerTransition {
+    /// Pool cycle of the transition.
+    pub cycle: u64,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+}
+
+/// The breaker state machine of one lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Pool cycle at which an open breaker becomes half-open.
+    open_until: u64,
+    failure_ewma: f64,
+    samples: u64,
+    /// Consecutive reopens since the last close (backoff exponent).
+    reopens: u32,
+    transitions: Vec<BreakerTransition>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with no history.
+    #[must_use]
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            open_until: 0,
+            failure_ewma: 0.0,
+            samples: 0,
+            reopens: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    fn transition(&mut self, to: BreakerState, cycle: u64) {
+        self.transitions.push(BreakerTransition { cycle, from: self.state, to });
+        self.state = to;
+    }
+
+    /// Whether a tile may be dispatched to this lane at pool cycle
+    /// `now`. Non-mutating, so the scheduler can probe every lane while
+    /// choosing — an open breaker whose cooldown has elapsed answers
+    /// yes (the dispatch itself will flip it to half-open).
+    #[must_use]
+    pub fn admits(&self, now: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => now >= self.open_until,
+        }
+    }
+
+    /// Commits a dispatch at pool cycle `now`. Returns `true` when the
+    /// dispatch is a canary (the lane should be power-cycled first).
+    pub fn on_dispatch(&mut self, now: u64) -> bool {
+        if self.state == BreakerState::Open && now >= self.open_until {
+            self.transition(BreakerState::HalfOpen, now);
+        }
+        self.state == BreakerState::HalfOpen
+    }
+
+    /// Folds in the outcome of a dispatched tile (`success` = the
+    /// lane's hardware served it) completing at pool cycle `now`.
+    pub fn record(&mut self, success: bool, now: u64) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                if success {
+                    self.transition(BreakerState::Closed, now);
+                    self.failure_ewma = 0.0;
+                    self.samples = 0;
+                    self.reopens = 0;
+                } else {
+                    self.reopen(now);
+                }
+            }
+            BreakerState::Closed => {
+                let a = self.cfg.alpha;
+                let fail = if success { 0.0 } else { 1.0 };
+                self.failure_ewma = a * fail + (1.0 - a) * self.failure_ewma;
+                self.samples += 1;
+                if self.samples >= self.cfg.min_samples
+                    && self.failure_ewma > self.cfg.failure_threshold
+                {
+                    self.reopens = 0;
+                    self.reopen(now);
+                }
+            }
+            // An outcome can only arrive for a dispatched tile, and
+            // dispatching through an elapsed Open flips to HalfOpen
+            // first — but stay total rather than panic.
+            BreakerState::Open => {}
+        }
+    }
+
+    fn reopen(&mut self, now: u64) {
+        let exp = self.reopens.min(self.cfg.max_backoff_exp);
+        let cooldown = self.cfg.open_cycles.saturating_mul(1u64 << exp);
+        self.reopens = self.reopens.saturating_add(1);
+        self.open_until = now.saturating_add(cooldown);
+        self.transition(BreakerState::Open, now);
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Every state change, in order.
+    #[must_use]
+    pub fn transitions(&self) -> &[BreakerTransition] {
+        &self.transitions
+    }
+
+    /// Current EWMA failure rate.
+    #[must_use]
+    pub fn failure_rate(&self) -> f64 {
+        self.failure_ewma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> BreakerConfig {
+        BreakerConfig { open_cycles: 100, ..BreakerConfig::default() }
+    }
+
+    #[test]
+    fn successes_never_trip_it() {
+        let mut b = CircuitBreaker::new(quick());
+        for t in 0..50 {
+            assert!(b.admits(t));
+            assert!(!b.on_dispatch(t));
+            b.record(true, t);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.transitions().is_empty());
+    }
+
+    #[test]
+    fn repeated_failures_open_then_canary_closes() {
+        let mut b = CircuitBreaker::new(quick());
+        b.record(false, 10);
+        assert_eq!(b.state(), BreakerState::Closed, "one failure is not a pattern");
+        b.record(false, 20);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admits(50), "cooldown holds");
+        assert!(b.admits(120), "cooldown elapsed");
+
+        assert!(b.on_dispatch(120), "first dispatch after cooldown is a canary");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(true, 140);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.transitions().len(), 3); // open, half-open, closed
+    }
+
+    #[test]
+    fn failed_canary_backs_off_exponentially() {
+        let mut b = CircuitBreaker::new(quick());
+        b.record(false, 0);
+        b.record(false, 10); // -> Open until 110
+        assert!(b.on_dispatch(110));
+        b.record(false, 130); // failed canary -> Open until 130 + 200
+        assert!(!b.admits(300));
+        assert!(b.admits(330));
+        assert!(b.on_dispatch(330));
+        b.record(false, 350); // -> Open until 350 + 400
+        assert!(!b.admits(700));
+        assert!(b.admits(750));
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let cfg = BreakerConfig { max_backoff_exp: 2, ..quick() };
+        let mut b = CircuitBreaker::new(cfg);
+        b.record(false, 0);
+        b.record(false, 0); // open @ 100
+        let mut now = 0;
+        for _ in 0..10 {
+            now += 100_000; // far past any cooldown
+            assert!(b.admits(now));
+            assert!(b.on_dispatch(now));
+            b.record(false, now);
+        }
+        // Cooldown never exceeds open_cycles * 2^2.
+        assert!(!b.admits(now + 399));
+        assert!(b.admits(now + 400));
+    }
+
+    #[test]
+    fn close_clears_the_failure_history() {
+        let mut b = CircuitBreaker::new(quick());
+        b.record(false, 0);
+        b.record(false, 0);
+        assert_eq!(b.state(), BreakerState::Open);
+        b.on_dispatch(200);
+        b.record(true, 210);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.failure_rate(), 0.0);
+        // One new failure alone must not re-trip.
+        b.record(false, 220);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type of the multi-lane scheduler.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use dwt_recover::seu::SeuConfigError;
+
+/// Errors reported by the pool scheduler.
+///
+/// As in `dwt-recover`, detected faults are *not* errors: lane
+/// failures, breaker trips and shed tiles are the scheduler's normal
+/// operation and are reported in the
+/// [`crate::report::PoolReport`]. An `Error` means the harness itself
+/// is broken or misconfigured.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A lane's recovery runtime failed outside any injected fault.
+    Recover(dwt_recover::Error),
+    /// A chaos SEU source was configured with invalid parameters.
+    Seu(SeuConfigError),
+    /// The pool was configured with zero lanes.
+    NoLanes,
+    /// `run` was handed an empty pair stream.
+    EmptyWorkload,
+    /// A configuration value is out of range (named in the message).
+    InvalidConfig(String),
+    /// A tile was about to commit twice — a scheduler invariant
+    /// violation, never expected in a correct build.
+    DoubleCommit {
+        /// The tile index.
+        tile: usize,
+    },
+    /// A tile was never committed — the dual invariant violation.
+    MissingTile {
+        /// The tile index.
+        tile: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Recover(e) => write!(f, "lane runtime error: {e}"),
+            Error::Seu(e) => write!(f, "chaos SEU config: {e}"),
+            Error::NoLanes => write!(f, "pool needs at least one lane"),
+            Error::EmptyWorkload => write!(f, "cannot schedule an empty pair stream"),
+            Error::InvalidConfig(msg) => write!(f, "invalid pool config: {msg}"),
+            Error::DoubleCommit { tile } => {
+                write!(f, "tile {tile} committed twice (scheduler invariant violated)")
+            }
+            Error::MissingTile { tile } => {
+                write!(f, "tile {tile} never committed (scheduler invariant violated)")
+            }
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Recover(e) => Some(e),
+            Error::Seu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dwt_recover::Error> for Error {
+    fn from(e: dwt_recover::Error) -> Self {
+        Error::Recover(e)
+    }
+}
+
+impl From<SeuConfigError> for Error {
+    fn from(e: SeuConfigError) -> Self {
+        Error::Seu(e)
+    }
+}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,118 @@
+//! Per-lane EWMA health scoring.
+//!
+//! Every tile a lane serves updates an exponentially weighted moving
+//! average of a per-outcome quality sample: a clean tile restores
+//! confidence, a tile that needed the ladder erodes it, and a tile the
+//! lane could not serve at all drives it toward zero. The scheduler
+//! dispatches each tile to the *healthiest* admissible lane, so a lane
+//! under sustained SEU pressure sheds load gradually — before its
+//! circuit breaker has to slam shut — and earns it back the same way.
+//!
+//! The score is a pure function of the outcome sequence (no wall time,
+//! no randomness), which keeps the whole pool deterministic.
+
+use dwt_recover::executor::{Rung, TileStatus};
+
+/// Health-score tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// EWMA weight of the newest sample, in `(0, 1]`. Larger values
+    /// react faster and forget faster.
+    pub alpha: f64,
+    /// Score a fresh (never exercised) lane starts at.
+    pub initial: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig { alpha: 0.3, initial: 1.0 }
+    }
+}
+
+/// The quality sample a tile outcome contributes to its lane's score.
+#[must_use]
+pub fn sample_for(status: TileStatus) -> f64 {
+    match status {
+        TileStatus::Clean => 1.0,
+        TileStatus::Recovered(Rung::Replay) => 0.7,
+        // Any other recovered rung means the primary datapath could not
+        // serve the tile — the lane is limping on its spare.
+        TileStatus::Recovered(_) => 0.35,
+        TileStatus::Shed | TileStatus::SilentCorruption => 0.0,
+    }
+}
+
+/// EWMA health score of one lane, in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthScore {
+    cfg: HealthConfig,
+    score: f64,
+    samples: u64,
+}
+
+impl HealthScore {
+    /// A fresh score at the configured initial value.
+    #[must_use]
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthScore { cfg, score: cfg.initial, samples: 0 }
+    }
+
+    /// Folds one outcome sample into the score.
+    pub fn observe(&mut self, sample: f64) {
+        let a = self.cfg.alpha;
+        self.score = a * sample + (1.0 - a) * self.score;
+        self.samples += 1;
+    }
+
+    /// The current score.
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// How many samples have been folded in.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_tiles_hold_the_score_high() {
+        let mut h = HealthScore::new(HealthConfig::default());
+        for _ in 0..10 {
+            h.observe(sample_for(TileStatus::Clean));
+        }
+        assert!((h.score() - 1.0).abs() < 1e-9);
+        assert_eq!(h.samples(), 10);
+    }
+
+    #[test]
+    fn failures_drag_it_down_and_recovery_earns_it_back() {
+        let mut h = HealthScore::new(HealthConfig::default());
+        for _ in 0..5 {
+            h.observe(sample_for(TileStatus::Shed));
+        }
+        let low = h.score();
+        assert!(low < 0.2, "sustained failure collapses the score: {low}");
+        for _ in 0..20 {
+            h.observe(sample_for(TileStatus::Clean));
+        }
+        assert!(h.score() > 0.95, "clean service earns trust back");
+    }
+
+    #[test]
+    fn sample_ordering_matches_severity() {
+        assert!(sample_for(TileStatus::Clean) > sample_for(TileStatus::Recovered(Rung::Replay)));
+        assert!(
+            sample_for(TileStatus::Recovered(Rung::Replay))
+                > sample_for(TileStatus::Recovered(Rung::Tmr))
+        );
+        assert!(sample_for(TileStatus::Recovered(Rung::Tmr)) > sample_for(TileStatus::Shed));
+        assert_eq!(sample_for(TileStatus::Shed), sample_for(TileStatus::SilentCorruption));
+    }
+}

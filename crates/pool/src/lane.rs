@@ -1,0 +1,98 @@
+//! One hardware lane: a recovery executor plus its serving-side state.
+//!
+//! A lane bundles everything the scheduler tracks per replicated
+//! datapath: the checkpointed [`TileExecutor`] (primary + TMR spare +
+//! ladder), the lane's chaos injector, its EWMA health score, its
+//! circuit breaker, its cost model for admission estimates, and a
+//! `free_at` virtual clock recording when the lane next becomes idle.
+//!
+//! The slow-lane chaos knob lives here too: a lane's *effective* cycle
+//! cost is the executor's (nominal + recovery) cycles times the lane's
+//! cost multiplier, which is how a downclocked part inflates queue
+//! depth and latency without computing anything differently.
+
+use dwt_recover::executor::{TileExecutor, TileOutcome};
+
+use crate::admission::CostModel;
+use crate::breaker::CircuitBreaker;
+use crate::chaos::ChaosInjector;
+use crate::error::Result;
+use crate::health::HealthScore;
+
+/// Serving counters of one lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LaneStats {
+    /// Tiles dispatched to this lane (including failed attempts).
+    pub attempted: usize,
+    /// Tiles the lane's hardware served.
+    pub served: usize,
+    /// Attempts where every hardware rung failed.
+    pub failed: usize,
+    /// Canary probes run while half-open.
+    pub canaries: usize,
+}
+
+/// One lane of the pool.
+#[derive(Debug)]
+pub struct Lane {
+    /// Stable lane index.
+    pub(crate) id: usize,
+    pub(crate) exec: TileExecutor,
+    pub(crate) injector: ChaosInjector,
+    pub(crate) health: HealthScore,
+    pub(crate) breaker: CircuitBreaker,
+    pub(crate) cost: CostModel,
+    /// Pool cycle at which the lane is next idle.
+    pub(crate) free_at: u64,
+    /// Chaos cycle-cost multiplier (`>= 1`).
+    pub(crate) slow_factor: f64,
+    pub(crate) stats: LaneStats,
+}
+
+impl Lane {
+    /// Effective pool-clock cost of an executed tile on this lane.
+    pub(crate) fn effective_cycles(&self, outcome: &TileOutcome) -> u64 {
+        let raw = outcome.nominal_cycles + outcome.recovery_cycles;
+        (raw as f64 * self.slow_factor).ceil() as u64
+    }
+
+    /// Power-cycles the executor ahead of a canary tile.
+    pub(crate) fn power_cycle(&mut self) -> Result<()> {
+        self.exec.reset()?;
+        self.stats.canaries += 1;
+        Ok(())
+    }
+
+    /// Runs one tile attempt through the lane's executor + injector.
+    pub(crate) fn attempt(
+        &mut self,
+        pairs: &[(i64, i64)],
+    ) -> Result<(TileOutcome, Vec<i64>, Vec<i64>)> {
+        self.stats.attempted += 1;
+        Ok(self.exec.run_tile(pairs, &mut self.injector)?)
+    }
+
+    /// The lane's current health score.
+    #[must_use]
+    pub fn health(&self) -> f64 {
+        self.health.score()
+    }
+
+    /// The lane's breaker.
+    #[must_use]
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// The lane's serving counters.
+    #[must_use]
+    pub fn stats(&self) -> LaneStats {
+        self.stats
+    }
+
+    /// The lane's stable index.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+}

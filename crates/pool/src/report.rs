@@ -1,0 +1,204 @@
+//! Per-run accounting of a pool campaign.
+
+use dwt_arch::designs::Design;
+use dwt_recover::executor::Rung;
+
+use crate::breaker::{BreakerState, BreakerTransition};
+use crate::lane::LaneStats;
+
+/// Who finally served a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// A lane's hardware committed the tile at the given rung.
+    Lane {
+        /// The serving lane.
+        lane: usize,
+        /// The ladder rung that committed inside that lane.
+        rung: Rung,
+    },
+    /// The software golden path served the tile.
+    Shed {
+        /// Why the tile was shed.
+        reason: ShedReason,
+    },
+}
+
+/// Why a tile went to the software path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// No lane was admissible at arrival: every breaker was open, or no
+    /// lane could meet the deadline given its queue depth.
+    NoAdmissibleLane,
+    /// Hardware attempts were made on one or more lanes and all failed;
+    /// the redistribution budget ran out.
+    RetriesExhausted,
+}
+
+impl ShedReason {
+    /// Stable lowercase name for reports.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShedReason::NoAdmissibleLane => "no_admissible_lane",
+            ShedReason::RetriesExhausted => "retries_exhausted",
+        }
+    }
+}
+
+/// Accounting for one scheduled tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolTileRecord {
+    /// Tile position in the workload.
+    pub index: usize,
+    /// Sample pairs in the tile.
+    pub pairs: usize,
+    /// Pool cycle the tile arrived (offered-load clock).
+    pub arrival: u64,
+    /// Pool cycle the tile's output was committed.
+    pub completion: u64,
+    /// `completion - arrival`.
+    pub latency: u64,
+    /// Who served it.
+    pub served: ServedBy,
+    /// Lane attempts made (0 for a tile shed at admission).
+    pub attempts: u32,
+    /// Fault-free window cost of the tile on a lane.
+    pub nominal_cycles: u64,
+    /// Cycles wasted on recovery and failed lane attempts.
+    pub burnt_cycles: u64,
+    /// Detections across all attempts.
+    pub detections: usize,
+    /// Rollback replays across all attempts.
+    pub replays: u32,
+    /// Whether the tile finished past its deadline (always `false`
+    /// without deadline admission).
+    pub deadline_missed: bool,
+    /// Whether the committed output matches the golden model.
+    pub bit_exact: bool,
+}
+
+/// End-of-run summary of one lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneSummary {
+    /// The lane index.
+    pub id: usize,
+    /// Final health score.
+    pub health: f64,
+    /// Final breaker state.
+    pub breaker_state: BreakerState,
+    /// Every breaker transition, in order.
+    pub breaker_transitions: Vec<BreakerTransition>,
+    /// Serving counters.
+    pub stats: LaneStats,
+    /// Whether chaos marked the lane permanently bad by run end.
+    pub stuck: bool,
+    /// The lane's cycle-cost multiplier.
+    pub slow_factor: f64,
+}
+
+/// The result of scheduling one workload across the pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolReport {
+    /// The design every lane runs.
+    pub design: Design,
+    /// Number of lanes.
+    pub lanes: usize,
+    /// Tile inter-arrival gap in pool cycles (the offered-load knob).
+    pub interarrival: u64,
+    /// Per-tile accounting, in workload order.
+    pub tiles: Vec<PoolTileRecord>,
+    /// Committed low-pass coefficients, one per input pair, in input
+    /// order regardless of which lane served each tile.
+    pub low: Vec<i64>,
+    /// Committed high-pass coefficients, likewise.
+    pub high: Vec<i64>,
+    /// Per-lane summaries.
+    pub lane_summaries: Vec<LaneSummary>,
+    /// Pool cycle the last tile committed.
+    pub makespan: u64,
+}
+
+impl PoolReport {
+    /// Tiles whose committed output differs from the golden model.
+    #[must_use]
+    pub fn sdc_escapes(&self) -> usize {
+        self.tiles.iter().filter(|t| !t.bit_exact).count()
+    }
+
+    /// Tiles served by the software path.
+    #[must_use]
+    pub fn shed_tiles(&self) -> usize {
+        self.tiles
+            .iter()
+            .filter(|t| matches!(t.served, ServedBy::Shed { .. }))
+            .count()
+    }
+
+    /// Sample pairs served by lane hardware.
+    #[must_use]
+    pub fn hardware_pairs(&self) -> usize {
+        self.tiles
+            .iter()
+            .filter(|t| matches!(t.served, ServedBy::Lane { .. }))
+            .map(|t| t.pairs)
+            .sum()
+    }
+
+    /// Cycle-weighted hardware uptime, the pool analogue of
+    /// [`dwt_recover::executor::StreamReport::availability`]: nominal
+    /// cycles of hardware-served tiles over nominal + burnt cycles of
+    /// all tiles. Shed tiles count their whole window as downtime.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        let mut up = 0u64;
+        let mut total = 0u64;
+        for t in &self.tiles {
+            if matches!(t.served, ServedBy::Lane { .. }) {
+                up += t.nominal_cycles;
+            }
+            total += t.nominal_cycles + t.burnt_cycles;
+        }
+        if total == 0 {
+            return 1.0;
+        }
+        up as f64 / total as f64
+    }
+
+    /// Pairs the workload offered per pool cycle.
+    #[must_use]
+    pub fn offered_pairs_per_cycle(&self) -> f64 {
+        let pairs: usize = self.tiles.iter().map(|t| t.pairs).sum();
+        let span = (self.tiles.len() as u64).max(1) * self.interarrival.max(1);
+        pairs as f64 / span as f64
+    }
+
+    /// Pairs lane hardware actually served per pool cycle of makespan.
+    #[must_use]
+    pub fn goodput_pairs_per_cycle(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.hardware_pairs() as f64 / self.makespan as f64
+    }
+
+    /// Per-tile commit latencies in pool cycles, workload order.
+    #[must_use]
+    pub fn latencies(&self) -> Vec<u64> {
+        self.tiles.iter().map(|t| t.latency).collect()
+    }
+
+    /// Total breaker transitions across all lanes.
+    #[must_use]
+    pub fn breaker_transitions(&self) -> usize {
+        self.lane_summaries
+            .iter()
+            .map(|l| l.breaker_transitions.len())
+            .sum()
+    }
+
+    /// Tiles that finished past their deadline.
+    #[must_use]
+    pub fn deadline_misses(&self) -> usize {
+        self.tiles.iter().filter(|t| t.deadline_missed).count()
+    }
+}

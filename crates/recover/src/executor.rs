@@ -30,7 +30,7 @@ use dwt_arch::designs::Design;
 use dwt_arch::golden::GoldenStream;
 use dwt_rtl::fault::FaultSpec;
 use dwt_rtl::netlist::Netlist;
-use dwt_rtl::sim::Simulator;
+use dwt_rtl::sim::{Simulator, Snapshot};
 
 use crate::error::{Error, Result};
 use crate::injector::{FaultInjector, Lane};
@@ -129,6 +129,47 @@ impl Default for ExecutorConfig {
     }
 }
 
+/// The condensed verdict of one tile, derived from its accounting.
+///
+/// Callers that dispatch tiles onto many executors (the `dwt-pool`
+/// scheduler) need a single structured answer to "what happened to this
+/// tile" instead of re-deriving it from rung/detection/counter fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileStatus {
+    /// First attempt on the primary committed with no detections.
+    Clean,
+    /// Hardware served the tile, but only after climbing to the given
+    /// rung ([`Rung::Replay`] or [`Rung::Tmr`]).
+    Recovered(Rung),
+    /// Every hardware rung failed; the software golden model served the
+    /// tile (correct data, zero hardware throughput).
+    Shed,
+    /// The committed output differs from the golden model — a silent
+    /// data corruption escape (only possible with DWC disabled).
+    SilentCorruption,
+}
+
+impl TileStatus {
+    /// Whether the lane's hardware served the tile (any rung short of
+    /// the golden fallback) with correct data.
+    #[must_use]
+    pub fn hardware_served(&self) -> bool {
+        matches!(self, TileStatus::Clean | TileStatus::Recovered(_))
+    }
+
+    /// Stable lowercase name for reports.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TileStatus::Clean => "clean",
+            TileStatus::Recovered(Rung::Replay) => "recovered_replay",
+            TileStatus::Recovered(_) => "recovered_tmr",
+            TileStatus::Shed => "shed",
+            TileStatus::SilentCorruption => "silent_corruption",
+        }
+    }
+}
+
 /// Accounting for one executed tile.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TileOutcome {
@@ -153,6 +194,23 @@ pub struct TileOutcome {
     /// DWC enabled this is true by construction; with DWC disabled a
     /// `false` here is a silent-data-corruption escape.
     pub bit_exact: bool,
+}
+
+impl TileOutcome {
+    /// The condensed verdict of this tile — see [`TileStatus`].
+    #[must_use]
+    pub fn status(&self) -> TileStatus {
+        if !self.bit_exact {
+            return TileStatus::SilentCorruption;
+        }
+        match self.rung {
+            // A Primary rung means the first attempt committed without
+            // any detection, so it is always clean.
+            Rung::Primary => TileStatus::Clean,
+            Rung::Replay | Rung::Tmr => TileStatus::Recovered(self.rung),
+            Rung::GoldenFallback => TileStatus::Shed,
+        }
+    }
 }
 
 /// The result of streaming a pair sequence through a [`TileExecutor`].
@@ -256,6 +314,10 @@ pub struct TileExecutor {
     primary: Simulator,
     primary_netlist: Netlist,
     spare_netlist: Netlist,
+    /// Snapshot of the freshly built (never ticked) primary, so
+    /// [`TileExecutor::reset`] can re-arm the lane without paying the
+    /// netlist rebuild.
+    initial: Snapshot,
     golden: GoldenStream,
     /// Pairs fed into the golden stream so far (tile bases).
     fed: usize,
@@ -281,6 +343,7 @@ impl TileExecutor {
         if let Some(cap) = cfg.watchdog.event_cap {
             sim.set_event_cap(cap);
         }
+        let initial = sim.snapshot();
         Ok(TileExecutor {
             design,
             cfg,
@@ -289,11 +352,49 @@ impl TileExecutor {
             primary: sim,
             primary_netlist: primary.netlist,
             spare_netlist: spare.netlist,
+            initial,
             golden: GoldenStream::default(),
             fed: 0,
             executed_cycles: 0,
             tile_index: 0,
         })
+    }
+
+    /// Re-arms the executor for a fresh stream without rebuilding the
+    /// netlists: the primary is restored to its power-on snapshot and
+    /// the golden reference stream restarts from zero history.
+    ///
+    /// This is the lane "power-cycle" a multi-lane scheduler performs
+    /// before probing a suspect lane with a canary tile. Two things
+    /// deliberately survive a reset:
+    ///
+    /// * the **executed-cycle clock** stays monotone, so a
+    ///   [`FaultInjector`] keyed on it does not replay past transients;
+    /// * injector-owned persistent faults are *not* cleared here — the
+    ///   restore reverts any faults armed in the simulator, but a broken
+    ///   lane's injector will simply re-assert its hard faults on the
+    ///   next attempt. A reset repairs state, not physics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::Rtl`] if the power-on snapshot fails to
+    /// restore (harness bug, not a detected fault).
+    pub fn reset(&mut self) -> Result<()> {
+        self.primary.restore(&self.initial)?;
+        self.golden = GoldenStream::default();
+        self.fed = 0;
+        self.tile_index = 0;
+        Ok(())
+    }
+
+    /// Fault-free cycle cost of a tile of `pairs` sample pairs on the
+    /// primary: the pairs plus the zero-pad flush that drains the
+    /// pipeline at the tile boundary. Schedulers use this to seed
+    /// queue-depth and deadline-admission estimates before any tile has
+    /// run.
+    #[must_use]
+    pub fn nominal_window(&self, pairs: usize) -> u64 {
+        (pairs + self.flush()) as u64
     }
 
     /// The design this executor runs.
@@ -840,6 +941,61 @@ mod tests {
         );
         assert!(tile.bit_exact);
         assert_eq!(report.sdc_escapes(), 0);
+    }
+
+    #[test]
+    fn reset_rearms_without_rebuilding() {
+        let pairs = still_tone_pairs(24, 11);
+        let mut exec = TileExecutor::new(Design::D3, small_cfg()).unwrap();
+        let first = exec.run_stream(&pairs, &mut NoFaults).unwrap();
+        let cycles_after_first = exec.executed_cycles();
+        assert!(cycles_after_first > 0);
+
+        // Re-arm and run the same stream again: bit-identical output,
+        // tile indices restart, but the injector clock stays monotone.
+        exec.reset().unwrap();
+        let second = exec.run_stream(&pairs, &mut NoFaults).unwrap();
+        assert_eq!(second.low, first.low);
+        assert_eq!(second.high, first.high);
+        assert_eq!(second.tiles[0].index, 0);
+        assert!(exec.executed_cycles() > cycles_after_first, "clock is monotone across resets");
+    }
+
+    #[test]
+    fn status_condenses_the_outcome() {
+        let pairs = still_tone_pairs(16, 5);
+        let mut exec = TileExecutor::new(Design::D2, small_cfg()).unwrap();
+        let clean = exec.run_stream(&pairs, &mut NoFaults).unwrap();
+        assert_eq!(clean.tiles[0].status(), TileStatus::Clean);
+        assert!(clean.tiles[0].status().hardware_served());
+
+        let reg = exec
+            .primary_netlist()
+            .cells()
+            .iter()
+            .find_map(|c| match &c.kind {
+                dwt_rtl::cell::CellKind::Register { .. } => Some(c.name.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let mut inj = ScriptedFaults {
+            hard_primary: vec![FaultSpec::StuckAt { net: reg, bit: 0, value: true }],
+            ..ScriptedFaults::default()
+        };
+        exec.reset().unwrap();
+        let hard = exec.run_stream(&pairs, &mut inj).unwrap();
+        assert_eq!(hard.tiles[0].status(), TileStatus::Recovered(Rung::Tmr));
+        assert!(hard.tiles[0].status().hardware_served());
+    }
+
+    #[test]
+    fn nominal_window_is_pairs_plus_flush() {
+        let exec = TileExecutor::new(Design::D2, small_cfg()).unwrap();
+        let report = {
+            let mut e = TileExecutor::new(Design::D2, small_cfg()).unwrap();
+            e.run_stream(&still_tone_pairs(16, 1), &mut NoFaults).unwrap()
+        };
+        assert_eq!(exec.nominal_window(16), report.tiles[0].nominal_cycles);
     }
 
     #[test]

@@ -37,6 +37,168 @@ fn register_sites(netlist: &Netlist) -> Vec<(String, usize)> {
         .collect()
 }
 
+/// A rejected [`PoissonSeuBuilder`] parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SeuConfigError {
+    /// The arrival rate is NaN, infinite, or negative.
+    InvalidRate(f64),
+    /// A probability parameter is NaN or outside `[0, 1]`.
+    InvalidFraction {
+        /// Which parameter (`"stuck_fraction"` or `"common_mode"`).
+        param: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A netlist exposes no registers — there is no upset cross-section
+    /// to strike.
+    NoRegisters {
+        /// The lane whose netlist is register-free.
+        lane: Lane,
+    },
+}
+
+impl std::fmt::Display for SeuConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeuConfigError::InvalidRate(r) => {
+                write!(f, "SEU rate must be finite and non-negative, got {r}")
+            }
+            SeuConfigError::InvalidFraction { param, value } => {
+                write!(f, "{param} must lie in [0, 1], got {value}")
+            }
+            SeuConfigError::NoRegisters { lane } => {
+                write!(f, "{lane:?} netlist has no registers to upset")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SeuConfigError {}
+
+/// Validating builder for [`PoissonSeu`].
+///
+/// The positional [`PoissonSeu::new`] constructor panics on bad
+/// parameters; campaign harnesses that take rates and fractions from
+/// the command line want a typed error instead. Every parameter is
+/// checked in [`PoissonSeuBuilder::build`], so an invalid combination
+/// can never produce a half-configured injector.
+///
+/// ```
+/// # use dwt_arch::{datapath::Hardening, designs::Design};
+/// # use dwt_recover::seu::PoissonSeuBuilder;
+/// let primary = Design::D2.build().unwrap().netlist;
+/// let spare = Design::D2.build_hardened(Hardening::Tmr).unwrap().netlist;
+/// let seu = PoissonSeuBuilder::new()
+///     .rate(0.01)
+///     .stuck_fraction(0.25)
+///     .common_mode(0.5)
+///     .seed(7)
+///     .build(&primary, &spare)
+///     .unwrap();
+/// assert_eq!(seu.strikes(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonSeuBuilder {
+    rate: f64,
+    stuck_fraction: f64,
+    common_mode: f64,
+    seed: u64,
+}
+
+impl Default for PoissonSeuBuilder {
+    fn default() -> Self {
+        PoissonSeuBuilder { rate: 0.0, stuck_fraction: 0.0, common_mode: 0.0, seed: 0 }
+    }
+}
+
+impl PoissonSeuBuilder {
+    /// Starts from a silent source: rate 0, purely transient, seed 0.
+    #[must_use]
+    pub fn new() -> Self {
+        PoissonSeuBuilder::default()
+    }
+
+    /// Mean arrivals per executed cycle.
+    #[must_use]
+    pub fn rate(mut self, rate_per_cycle: f64) -> Self {
+        self.rate = rate_per_cycle;
+        self
+    }
+
+    /// Fraction of arrivals that are persistent stuck-at faults.
+    #[must_use]
+    pub fn stuck_fraction(mut self, fraction: f64) -> Self {
+        self.stuck_fraction = fraction;
+        self
+    }
+
+    /// Probability that a hard primary fault also afflicts the spare.
+    #[must_use]
+    pub fn common_mode(mut self, probability: f64) -> Self {
+        self.common_mode = probability;
+        self
+    }
+
+    /// Seed for the arrival stream; equal seeds reproduce it bit for
+    /// bit.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates every parameter and builds the injector over the two
+    /// lanes' netlists.
+    ///
+    /// # Errors
+    ///
+    /// [`SeuConfigError::InvalidRate`] for a NaN/infinite/negative
+    /// rate, [`SeuConfigError::InvalidFraction`] for a probability
+    /// outside `[0, 1]` (NaN included), and
+    /// [`SeuConfigError::NoRegisters`] for a netlist with no upset
+    /// cross-section.
+    pub fn build(
+        self,
+        primary: &Netlist,
+        spare: &Netlist,
+    ) -> Result<PoissonSeu, SeuConfigError> {
+        if !self.rate.is_finite() || self.rate < 0.0 {
+            return Err(SeuConfigError::InvalidRate(self.rate));
+        }
+        for (param, value) in
+            [("stuck_fraction", self.stuck_fraction), ("common_mode", self.common_mode)]
+        {
+            // NaN fails this containment check too.
+            if !(0.0..=1.0).contains(&value) {
+                return Err(SeuConfigError::InvalidFraction { param, value });
+            }
+        }
+        let primary_sites = register_sites(primary);
+        if primary_sites.is_empty() {
+            return Err(SeuConfigError::NoRegisters { lane: Lane::Primary });
+        }
+        let spare_sites = register_sites(spare);
+        if spare_sites.is_empty() {
+            return Err(SeuConfigError::NoRegisters { lane: Lane::Tmr });
+        }
+        let mut seu = PoissonSeu {
+            rng: StdRng::seed_from_u64(self.seed),
+            rate: self.rate,
+            next_arrival: 0.0,
+            stuck_fraction: self.stuck_fraction,
+            common_mode: self.common_mode,
+            primary_sites,
+            spare_sites,
+            hard_primary: Vec::new(),
+            hard_spare: Vec::new(),
+            strikes: 0,
+        };
+        seu.next_arrival = seu.gap();
+        Ok(seu)
+    }
+}
+
 /// Seeded Poisson SEU source over the executor's executed-cycle clock.
 #[derive(Debug, Clone)]
 pub struct PoissonSeu {
@@ -68,31 +230,20 @@ impl PoissonSeu {
     /// the rate is negative.
     #[must_use]
     pub fn new(primary: &Netlist, spare: &Netlist, rate_per_cycle: f64, seed: u64) -> Self {
-        assert!(rate_per_cycle >= 0.0, "negative SEU rate");
-        let primary_sites = register_sites(primary);
-        let spare_sites = register_sites(spare);
-        assert!(!primary_sites.is_empty(), "primary netlist has no registers");
-        assert!(!spare_sites.is_empty(), "spare netlist has no registers");
-        let mut seu = PoissonSeu {
-            rng: StdRng::seed_from_u64(seed),
-            rate: rate_per_cycle,
-            next_arrival: 0.0,
-            stuck_fraction: 0.0,
-            common_mode: 0.0,
-            primary_sites,
-            spare_sites,
-            hard_primary: Vec::new(),
-            hard_spare: Vec::new(),
-            strikes: 0,
-        };
-        seu.next_arrival = seu.gap();
-        seu
+        PoissonSeuBuilder::new()
+            .rate(rate_per_cycle)
+            .seed(seed)
+            .build(primary, spare)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Makes `stuck_fraction` of arrivals persistent stuck-at faults,
     /// each of which with probability `common_mode` also plants a hard
     /// fault in the TMR spare (a common-cause failure reaching the
     /// golden-fallback rung).
+    ///
+    /// Prefer [`PoissonSeuBuilder`] when the parameters come from user
+    /// input — it reports bad values as [`SeuConfigError`] instead.
     #[must_use]
     pub fn with_hard_faults(mut self, stuck_fraction: f64, common_mode: f64) -> Self {
         assert!((0.0..=1.0).contains(&stuck_fraction), "stuck fraction outside [0,1]");
@@ -224,6 +375,75 @@ mod tests {
         let high = strikes(0.1);
         assert!(low > 0, "some strikes at the low rate");
         assert!(high > 2 * low, "10x rate gives far more strikes: {low} vs {high}");
+    }
+
+    #[test]
+    fn builder_rejects_invalid_parameters() {
+        let (p, s) = nets();
+        let check = |b: PoissonSeuBuilder| b.build(&p, &s).err();
+        assert_eq!(check(PoissonSeuBuilder::new().rate(-0.1)), Some(SeuConfigError::InvalidRate(-0.1)));
+        assert!(matches!(
+            check(PoissonSeuBuilder::new().rate(f64::NAN)),
+            Some(SeuConfigError::InvalidRate(_))
+        ));
+        assert!(matches!(
+            check(PoissonSeuBuilder::new().rate(f64::INFINITY)),
+            Some(SeuConfigError::InvalidRate(_))
+        ));
+        assert_eq!(
+            check(PoissonSeuBuilder::new().stuck_fraction(1.5)),
+            Some(SeuConfigError::InvalidFraction { param: "stuck_fraction", value: 1.5 })
+        );
+        assert!(matches!(
+            check(PoissonSeuBuilder::new().stuck_fraction(f64::NAN)),
+            Some(SeuConfigError::InvalidFraction { param: "stuck_fraction", .. })
+        ));
+        assert_eq!(
+            check(PoissonSeuBuilder::new().common_mode(-0.01)),
+            Some(SeuConfigError::InvalidFraction { param: "common_mode", value: -0.01 })
+        );
+        assert!(check(PoissonSeuBuilder::new().rate(0.05).stuck_fraction(1.0).common_mode(1.0))
+            .is_none());
+    }
+
+    #[test]
+    fn builder_matches_positional_constructor() {
+        let (p, s) = nets();
+        let built = PoissonSeuBuilder::new()
+            .rate(0.05)
+            .stuck_fraction(0.5)
+            .common_mode(0.25)
+            .seed(9)
+            .build(&p, &s)
+            .unwrap();
+        let legacy = PoissonSeu::new(&p, &s, 0.05, 9).with_hard_faults(0.5, 0.25);
+        let drain = |mut seu: PoissonSeu| {
+            let mut all = Vec::new();
+            for c in 0..600 {
+                all.extend(seu.arrivals(c, Lane::Primary));
+            }
+            (all, seu.persistent(Lane::Primary), seu.persistent(Lane::Tmr), seu.strikes())
+        };
+        assert_eq!(drain(built), drain(legacy));
+    }
+
+    #[test]
+    fn common_mode_zero_never_touches_the_spare() {
+        let (p, s) = nets();
+        let mut seu = PoissonSeuBuilder::new()
+            .rate(0.05)
+            .stuck_fraction(1.0)
+            .seed(4)
+            .build(&p, &s)
+            .unwrap();
+        for c in 0..600 {
+            seu.arrivals(c, Lane::Primary);
+        }
+        assert!(!seu.persistent(Lane::Primary).is_empty());
+        assert!(
+            seu.persistent(Lane::Tmr).is_empty(),
+            "common-mode 0 must leave the spare clean"
+        );
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   checkpointed tile execution with online fault detection and a
 //!   graceful-degradation ladder (replay → TMR spare → software
 //!   golden fallback).
+//! * [`pool`] — the fault-tolerant multi-lane tile scheduler built on
+//!   `recover`: health-scored lanes, cycle-clocked circuit breakers,
+//!   deadline admission control and correlated chaos scenarios.
 //! * [`imaging`] — synthetic still-tone test imagery and PGM I/O.
 //! * [`codec`] — the quantizer + entropy-coding back end completing the
 //!   compression pipeline of the paper's introduction.
@@ -47,5 +50,6 @@ pub use dwt_core as core;
 pub use dwt_fpga as fpga;
 pub use dwt_imaging as imaging;
 pub use dwt_lint as lint;
+pub use dwt_pool as pool;
 pub use dwt_recover as recover;
 pub use dwt_rtl as rtl;
