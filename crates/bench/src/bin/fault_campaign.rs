@@ -9,29 +9,31 @@
 //! The report pairs each outcome histogram with the variant's mapped
 //! LE cost — the area price of lowering the SDC rate.
 //!
-//! Usage: `fault_campaign [--faults N] [--pairs N] [--seed S] [--json PATH]
-//! [--max-sdc N]` (markdown goes to stdout; `--json` additionally writes
-//! the full per-fault record set as JSON — with the seed echoed so a
-//! failing campaign can be replayed exactly; `--max-sdc N` makes the
-//! process exit nonzero when the *hardened* variants' combined SDC
-//! count exceeds N, so CI can gate on the protection claim — TMR masks,
-//! parity detects — instead of silently regressing).
+//! Usage: `fault_campaign [--faults N] [--pairs N] [--seed S]
+//! [--backend event|compiled] [--json PATH] [--max-sdc N]` (markdown
+//! goes to stdout; `--json` additionally writes the full per-fault
+//! record set as JSON — with the seed echoed so a failing campaign can
+//! be replayed exactly; `--max-sdc N` makes the process exit nonzero
+//! when the *hardened* variants' combined SDC count exceeds N, so CI
+//! can gate on the protection claim — TMR masks, parity detects —
+//! instead of silently regressing; `--backend compiled` reruns the
+//! whole campaign on the levelized bit-sliced engine).
 
 use dwt_arch::designs::Design;
 use dwt_arch::hardened::HardenedVariant;
-use dwt_bench::campaign::{campaign_json, run_campaign, CampaignConfig, Outcome};
+use dwt_bench::campaign::{
+    campaign_json, run_campaign, BackendChoice, CampaignArgs, CampaignConfig, Outcome,
+};
+use dwt_rtl::compile::CompiledEngine;
+use dwt_rtl::engine::Engine;
+use dwt_rtl::sim::Simulator;
 
-struct Args {
-    cfg: CampaignConfig,
-    json: Option<String>,
-    max_sdc: Option<usize>,
-}
-
-fn parse_args() -> Args {
+fn parse_cfg(shared: &CampaignArgs) -> CampaignConfig {
     let mut cfg = CampaignConfig::default();
-    let mut json = None;
-    let mut max_sdc = None;
-    let mut args = std::env::args().skip(1);
+    if let Some(seed) = shared.seed {
+        cfg.seed = seed;
+    }
+    let mut args = shared.rest.iter();
     while let Some(flag) = args.next() {
         let mut value = |what: &str| {
             args.next()
@@ -40,13 +42,10 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--faults" => cfg.faults = value("count").parse().expect("--faults"),
             "--pairs" => cfg.pairs = value("count").parse().expect("--pairs"),
-            "--seed" => cfg.seed = value("seed").parse().expect("--seed"),
-            "--json" => json = Some(value("path")),
-            "--max-sdc" => max_sdc = Some(value("count").parse().expect("--max-sdc")),
             other => panic!("unknown argument '{other}'"),
         }
     }
-    Args { cfg, json, max_sdc }
+    cfg
 }
 
 /// The campaigned variants: every paper design, then the hardened
@@ -66,12 +65,14 @@ fn variants() -> Vec<(String, dwt_arch::datapath::BuiltDatapath, Option<Design>)
     rows
 }
 
-fn main() {
-    let args = parse_args();
-    let cfg = args.cfg;
+fn run<E: Engine>(shared: &CampaignArgs, cfg: &CampaignConfig) {
     println!(
-        "Fault-injection campaign — {} register-bit upsets per variant, {} sample pairs, seed {}",
-        cfg.faults, cfg.pairs, cfg.seed
+        "Fault-injection campaign — {} register-bit upsets per variant, {} sample pairs, \
+         seed {}, backend {}",
+        cfg.faults,
+        cfg.pairs,
+        cfg.seed,
+        shared.backend.name()
     );
     println!();
     println!(
@@ -83,7 +84,7 @@ fn main() {
     let mut reports = Vec::new();
     let mut base_les: Vec<(Design, usize)> = Vec::new();
     for (name, built, base) in variants() {
-        let report = run_campaign(&name, &built, &cfg)
+        let report = run_campaign::<E>(&name, &built, cfg)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         if let Some(d) = Design::all().iter().find(|d| d.name() == name) {
             base_les.push((*d, report.les));
@@ -114,22 +115,24 @@ fn main() {
          the unhardened pipelined designs carry the largest uncovered FF cross-section."
     );
 
-    if let Some(path) = args.json {
-        let json = campaign_json(&cfg, &reports);
-        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        println!("\nfull record set written to {path}");
-    }
+    shared.write_json_with(|| campaign_json(cfg, &reports));
 
-    if let Some(max) = args.max_sdc {
+    if shared.max_sdc.is_some() {
         let hardened: usize = reports
             .iter()
             .filter(|r| HardenedVariant::all().iter().any(|v| v.name() == r.variant))
             .map(|r| r.count(Outcome::Sdc))
             .sum();
-        if hardened > max {
-            eprintln!("FAIL: {hardened} SDC escapes on hardened variants exceed --max-sdc {max}");
-            std::process::exit(1);
-        }
-        println!("\nSDC gate (hardened variants): {hardened} escapes ≤ {max} — ok");
+        println!("\ngating on the hardened variants' combined SDC count:");
+        shared.enforce_gates(hardened, None);
+    }
+}
+
+fn main() {
+    let shared = CampaignArgs::parse();
+    let cfg = parse_cfg(&shared);
+    match shared.backend {
+        BackendChoice::Event => run::<Simulator>(&shared, &cfg),
+        BackendChoice::Compiled => run::<CompiledEngine>(&shared, &cfg),
     }
 }

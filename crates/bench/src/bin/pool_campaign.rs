@@ -17,26 +17,25 @@
 //! [--burst PERIOD,LEN,FACTOR] [--no-burst] [--stuck-lane LANE,CYCLE]
 //! [--no-stuck-lane] [--slow-lane LANE,FACTOR] [--no-slow-lane]
 //! [--deadline N] [--no-deadline] [--max-redispatch N] [--no-dwc]
-//! [--seed S] [--json PATH] [--max-sdc N] [--min-availability F]`
+//! [--seed S] [--backend event|compiled] [--json PATH] [--max-sdc N]
+//! [--min-availability F]`
 //!
 //! With `--max-sdc N` the process exits nonzero when total SDC escapes
 //! across the sweep exceed N; with `--min-availability F` it exits
 //! nonzero when any sweep point's availability falls below F. The CI
-//! smoke job gates on both.
+//! smoke job gates on both. `--backend compiled` runs every lane on the
+//! levelized bit-sliced engine instead of the event-driven simulator.
 
 use dwt_arch::designs::Design;
+use dwt_bench::campaign::{BackendChoice, CampaignArgs};
 use dwt_bench::pool::{
     min_availability, pool_json, pool_lane_markdown, pool_markdown, run_pool_campaign,
     total_sdc_escapes, PoolCampaignConfig,
 };
 use dwt_pool::chaos::{BurstConfig, SlowLaneSpec, StuckLaneSpec};
-
-struct Args {
-    cfg: PoolCampaignConfig,
-    json: Option<String>,
-    max_sdc: Option<usize>,
-    min_avail: Option<f64>,
-}
+use dwt_rtl::compile::CompiledEngine;
+use dwt_rtl::engine::Engine;
+use dwt_rtl::sim::Simulator;
 
 /// Splits a `A,B,...` flag value into its parsed parts.
 fn parts<T: std::str::FromStr>(flag: &str, value: &str, n: usize) -> Vec<T> {
@@ -45,12 +44,13 @@ fn parts<T: std::str::FromStr>(flag: &str, value: &str, n: usize) -> Vec<T> {
     out
 }
 
-fn parse_args() -> Args {
+fn parse_cfg(shared: &CampaignArgs) -> PoolCampaignConfig {
     let mut cfg = PoolCampaignConfig::default();
-    let mut json = None;
-    let mut max_sdc = None;
-    let mut min_avail = None;
-    let mut args = std::env::args().skip(1);
+    if let Some(seed) = shared.seed {
+        cfg.seed = seed;
+        cfg.pool.chaos.seed = seed;
+    }
+    let mut args = shared.rest.iter();
     while let Some(flag) = args.next() {
         let mut value = |what: &str| {
             args.next()
@@ -81,7 +81,7 @@ fn parse_args() -> Args {
             }
             "--burst" => {
                 let v = value("period,len,factor");
-                let p: Vec<f64> = parts("--burst", &v, 3);
+                let p: Vec<f64> = parts("--burst", v, 3);
                 cfg.pool.chaos.burst = Some(BurstConfig {
                     period: p[0] as u64,
                     len: p[1] as u64,
@@ -91,14 +91,14 @@ fn parse_args() -> Args {
             "--no-burst" => cfg.pool.chaos.burst = None,
             "--stuck-lane" => {
                 let v = value("lane,cycle");
-                let p: Vec<u64> = parts("--stuck-lane", &v, 2);
+                let p: Vec<u64> = parts("--stuck-lane", v, 2);
                 cfg.pool.chaos.stuck_lanes =
                     vec![StuckLaneSpec { lane: p[0] as usize, from_cycle: p[1] }];
             }
             "--no-stuck-lane" => cfg.pool.chaos.stuck_lanes.clear(),
             "--slow-lane" => {
                 let v = value("lane,factor");
-                let p: Vec<f64> = parts("--slow-lane", &v, 2);
+                let p: Vec<f64> = parts("--slow-lane", v, 2);
                 cfg.pool.chaos.slow_lanes =
                     vec![SlowLaneSpec { lane: p[0] as usize, factor: p[1] }];
             }
@@ -112,33 +112,22 @@ fn parse_args() -> Args {
                 cfg.pool.max_redispatch = value("count").parse().expect("--max-redispatch");
             }
             "--no-dwc" => cfg.pool.dwc = false,
-            "--seed" => {
-                let s: u64 = value("seed").parse().expect("--seed");
-                cfg.seed = s;
-                cfg.pool.chaos.seed = s;
-            }
-            "--json" => json = Some(value("path")),
-            "--max-sdc" => max_sdc = Some(value("count").parse().expect("--max-sdc")),
-            "--min-availability" => {
-                min_avail = Some(value("fraction").parse().expect("--min-availability"));
-            }
             other => panic!("unknown argument '{other}'"),
         }
     }
-    Args { cfg, json, max_sdc, min_avail }
+    cfg
 }
 
-fn main() {
-    let args = parse_args();
-    let cfg = &args.cfg;
+fn run<E: Engine>(shared: &CampaignArgs, cfg: &PoolCampaignConfig) {
     let chaos = &cfg.pool.chaos;
     println!(
-        "Pool campaign — {} lanes of {}, {} pairs in {}-pair tiles, seed {}",
+        "Pool campaign — {} lanes of {}, {} pairs in {}-pair tiles, seed {}, backend {}",
         cfg.pool.lanes,
         cfg.pool.design.name(),
         cfg.pairs,
         cfg.pool.tile_pairs,
-        cfg.seed
+        cfg.seed,
+        shared.backend.name()
     );
     println!(
         "chaos: SEU rate {}/cycle (stuck fraction {}, common mode {}), burst {}, \
@@ -164,7 +153,7 @@ fn main() {
     );
     println!();
 
-    let rows = run_pool_campaign(cfg).unwrap_or_else(|e| panic!("campaign: {e}"));
+    let rows = run_pool_campaign::<E>(cfg).unwrap_or_else(|e| panic!("campaign: {e}"));
     print!("{}", pool_markdown(&rows));
     println!();
     println!(
@@ -176,32 +165,15 @@ fn main() {
         print!("{}", pool_lane_markdown(heaviest));
     }
 
-    if let Some(path) = &args.json {
-        std::fs::write(path, pool_json(cfg, &rows))
-            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        println!("\nfull per-tile report written to {path}");
-    }
+    shared.write_json_with(|| pool_json(cfg, &rows));
+    shared.enforce_gates(total_sdc_escapes(&rows), Some(min_availability(&rows)));
+}
 
-    let mut failed = false;
-    let escapes = total_sdc_escapes(&rows);
-    if let Some(max) = args.max_sdc {
-        if escapes > max {
-            eprintln!("FAIL: {escapes} SDC escapes exceed --max-sdc {max}");
-            failed = true;
-        } else {
-            println!("\nSDC gate: {escapes} escapes ≤ {max} — ok");
-        }
-    }
-    if let Some(floor) = args.min_avail {
-        let avail = min_availability(&rows);
-        if avail < floor {
-            eprintln!("FAIL: minimum availability {avail:.4} below --min-availability {floor}");
-            failed = true;
-        } else {
-            println!("availability gate: min {avail:.4} ≥ {floor} — ok");
-        }
-    }
-    if failed {
-        std::process::exit(1);
+fn main() {
+    let shared = CampaignArgs::parse();
+    let cfg = parse_cfg(&shared);
+    match shared.backend {
+        BackendChoice::Event => run::<Simulator>(&shared, &cfg),
+        BackendChoice::Compiled => run::<CompiledEngine>(&shared, &cfg),
     }
 }

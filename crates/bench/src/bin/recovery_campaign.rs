@@ -12,27 +12,29 @@
 //!
 //! Usage: `recovery_campaign [--pairs N] [--tile N] [--rate R]
 //! [--stuck F] [--common-mode F] [--seed S] [--max-replays N]
-//! [--event-cap N] [--no-dwc] [--json PATH] [--max-sdc N]`
+//! [--event-cap N] [--no-dwc] [--backend event|compiled] [--json PATH]
+//! [--max-sdc N]`
 //!
 //! With `--max-sdc N` the process exits nonzero when total SDC escapes
 //! exceed N — the CI smoke job gates on `--max-sdc 0` with DWC on.
+//! `--backend compiled` runs every executor on the levelized
+//! bit-sliced engine instead of the event-driven simulator.
 
+use dwt_bench::campaign::{BackendChoice, CampaignArgs};
 use dwt_bench::recovery::{
     recovery_json, recovery_markdown, run_recovery_campaign, total_sdc_escapes,
     RecoveryCampaignConfig,
 };
+use dwt_rtl::compile::CompiledEngine;
+use dwt_rtl::engine::Engine;
+use dwt_rtl::sim::Simulator;
 
-struct Args {
-    cfg: RecoveryCampaignConfig,
-    json: Option<String>,
-    max_sdc: Option<usize>,
-}
-
-fn parse_args() -> Args {
+fn parse_cfg(shared: &CampaignArgs) -> RecoveryCampaignConfig {
     let mut cfg = RecoveryCampaignConfig::default();
-    let mut json = None;
-    let mut max_sdc = None;
-    let mut args = std::env::args().skip(1);
+    if let Some(seed) = shared.seed {
+        cfg.seed = seed;
+    }
+    let mut args = shared.rest.iter();
     while let Some(flag) = args.next() {
         let mut value = |what: &str| {
             args.next()
@@ -46,7 +48,6 @@ fn parse_args() -> Args {
             "--common-mode" => {
                 cfg.common_mode = value("fraction").parse().expect("--common-mode");
             }
-            "--seed" => cfg.seed = value("seed").parse().expect("--seed"),
             "--max-replays" => {
                 cfg.max_replays = value("count").parse().expect("--max-replays");
             }
@@ -54,31 +55,28 @@ fn parse_args() -> Args {
                 cfg.event_cap = Some(value("count").parse().expect("--event-cap"));
             }
             "--no-dwc" => cfg.dwc = false,
-            "--json" => json = Some(value("path")),
-            "--max-sdc" => max_sdc = Some(value("count").parse().expect("--max-sdc")),
             other => panic!("unknown argument '{other}'"),
         }
     }
-    Args { cfg, json, max_sdc }
+    cfg
 }
 
-fn main() {
-    let args = parse_args();
-    let cfg = args.cfg;
+fn run<E: Engine>(shared: &CampaignArgs, cfg: &RecoveryCampaignConfig) {
     println!(
         "Recovery campaign — {} pairs in {}-pair tiles, SEU rate {}/cycle \
-         (stuck fraction {}, common mode {}), DWC {}, seed {}",
+         (stuck fraction {}, common mode {}), DWC {}, seed {}, backend {}",
         cfg.pairs,
         cfg.tile_pairs,
         cfg.seu_rate,
         cfg.stuck_fraction,
         cfg.common_mode,
         if cfg.dwc { "on" } else { "OFF" },
-        cfg.seed
+        cfg.seed,
+        shared.backend.name()
     );
     println!();
 
-    let rows = run_recovery_campaign(&cfg).unwrap_or_else(|e| panic!("campaign: {e}"));
+    let rows = run_recovery_campaign::<E>(cfg).unwrap_or_else(|e| panic!("campaign: {e}"));
     print!("{}", recovery_markdown(&rows));
     println!();
     println!(
@@ -87,18 +85,15 @@ fn main() {
          det lat = mean cycles from attempt start to first detection."
     );
 
-    if let Some(path) = &args.json {
-        std::fs::write(path, recovery_json(&cfg, &rows))
-            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        println!("\nfull per-tile report written to {path}");
-    }
+    shared.write_json_with(|| recovery_json(cfg, &rows));
+    shared.enforce_gates(total_sdc_escapes(&rows), None);
+}
 
-    let escapes = total_sdc_escapes(&rows);
-    if let Some(max) = args.max_sdc {
-        if escapes > max {
-            eprintln!("FAIL: {escapes} SDC escapes exceed --max-sdc {max}");
-            std::process::exit(1);
-        }
-        println!("\nSDC gate: {escapes} escapes ≤ {max} — ok");
+fn main() {
+    let shared = CampaignArgs::parse();
+    let cfg = parse_cfg(&shared);
+    match shared.backend {
+        BackendChoice::Event => run::<Simulator>(&shared, &cfg),
+        BackendChoice::Compiled => run::<CompiledEngine>(&shared, &cfg),
     }
 }

@@ -1,0 +1,211 @@
+//! Simulation-throughput benchmark: event-driven versus compiled
+//! bit-sliced backend, per paper design.
+//!
+//! Each design's netlist is driven with the same seeded stimulus on
+//! both backends and timed wall-clock. The honest unit is **samples per
+//! second**: every tick consumes one `(even, odd)` pair per lane, so
+//! the event-driven simulator processes `2 × pairs` samples per run
+//! while the compiled engine — fed 64 distinct streams through its
+//! lane interface — processes `2 × pairs × 64`. Outputs are read back
+//! every cycle into a checksum on both backends so neither side skips
+//! the readback cost.
+//!
+//! Usage: `sim_throughput [--pairs N] [--seed S] [--json PATH]
+//! [--min-speedup F]`
+//!
+//! Writes the per-design table as JSON (default path
+//! `BENCH_sim_throughput.json`); with `--min-speedup F` the process
+//! exits nonzero if any design's compiled-over-event speedup falls
+//! below F — CI gates on 1.0, i.e. "the compiled backend must not be
+//! slower than what it replaces".
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dwt_arch::designs::Design;
+use dwt_arch::golden::still_tone_pairs;
+use dwt_bench::campaign::json_escape;
+use dwt_rtl::compile::{CompiledEngine, LANES};
+use dwt_rtl::engine::Engine;
+use dwt_rtl::sim::Simulator;
+
+struct Args {
+    pairs: usize,
+    seed: u64,
+    json: String,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        pairs: 512,
+        seed: 2005,
+        json: "BENCH_sim_throughput.json".to_owned(),
+        min_speedup: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} expects a {what}"))
+        };
+        match flag.as_str() {
+            "--pairs" => out.pairs = value("count").parse().expect("--pairs"),
+            "--seed" => out.seed = value("seed").parse().expect("--seed"),
+            "--json" => out.json = value("path"),
+            "--min-speedup" => {
+                out.min_speedup = Some(value("factor").parse().expect("--min-speedup"));
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    out
+}
+
+struct Row {
+    design: Design,
+    event_samples_per_sec: f64,
+    compiled_samples_per_sec: f64,
+    op_count: usize,
+    levels: usize,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.compiled_samples_per_sec / self.event_samples_per_sec
+    }
+}
+
+/// Drives `ticks` cycles on the scalar event-driven simulator, reading
+/// the outputs back every cycle. Returns `(wall_seconds, checksum)`.
+fn time_event(design: Design, stimulus: &[(i64, i64)]) -> (f64, i64) {
+    let built = design.build().expect("design build");
+    let mut sim = Simulator::new(built.netlist).expect("simulator build");
+    let start = Instant::now();
+    let mut checksum = 0i64;
+    for &(e, o) in stimulus {
+        sim.set_input("in_even", e).expect("in_even");
+        sim.set_input("in_odd", o).expect("in_odd");
+        sim.try_tick().expect("tick");
+        checksum = checksum
+            .wrapping_add(sim.peek("low").expect("low"))
+            .wrapping_add(sim.peek("high").expect("high"));
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+/// Drives the same tick count on the compiled engine with 64 distinct
+/// per-lane streams (lane `l` runs the stimulus rotated by `l`, so
+/// every lane carries real, different data), reading all lanes back
+/// every cycle. Returns `(wall_seconds, checksum_of_lane_0)`.
+fn time_compiled(design: Design, stimulus: &[(i64, i64)]) -> (f64, i64) {
+    let built = design.build().expect("design build");
+    let mut sim = CompiledEngine::new(built.netlist).expect("compiled build");
+    let n = stimulus.len();
+    let start = Instant::now();
+    let mut checksum = 0i64;
+    let mut evens = vec![0i64; LANES];
+    let mut odds = vec![0i64; LANES];
+    for (t, _) in stimulus.iter().enumerate() {
+        for lane in 0..LANES {
+            let (e, o) = stimulus[(t + lane) % n];
+            evens[lane] = e;
+            odds[lane] = o;
+        }
+        sim.set_input_lanes("in_even", &evens).expect("in_even");
+        sim.set_input_lanes("in_odd", &odds).expect("in_odd");
+        sim.try_tick().expect("tick");
+        let low = sim.peek_lanes("low").expect("low");
+        let high = sim.peek_lanes("high").expect("high");
+        checksum = checksum.wrapping_add(low[0]).wrapping_add(high[0]);
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+fn json_report(args: &Args, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"config\": {{ \"pairs\": {}, \"seed\": {}, \"lanes\": {} }},\n  \"designs\": [",
+        args.pairs, args.seed, LANES
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{ \"design\": \"{}\", \"ops\": {}, \"levels\": {}, \
+             \"event_samples_per_sec\": {:.1}, \"compiled_samples_per_sec\": {:.1}, \
+             \"speedup\": {:.2} }}",
+            json_escape(r.design.name()),
+            r.op_count,
+            r.levels,
+            r.event_samples_per_sec,
+            r.compiled_samples_per_sec,
+            r.speedup(),
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let stimulus = still_tone_pairs(args.pairs, args.seed);
+    println!(
+        "Simulation throughput — {} pairs per design, seed {}, {} compiled lanes",
+        args.pairs, args.seed, LANES
+    );
+    println!();
+    println!(
+        "| {:<10} | {:>6} | {:>6} | {:>14} | {:>14} | {:>8} |",
+        "Design", "ops", "levels", "event smp/s", "compiled smp/s", "speedup"
+    );
+    println!("|{0:-<12}|{0:-<8}|{0:-<8}|{0:-<16}|{0:-<16}|{0:-<10}|", "");
+
+    let mut rows = Vec::new();
+    for design in Design::all() {
+        let (event_secs, _) = time_event(design, &stimulus);
+        let (compiled_secs, _) = time_compiled(design, &stimulus);
+        let built = design.build().expect("design build");
+        let probe = CompiledEngine::new(built.netlist).expect("compiled build");
+        let row = Row {
+            design,
+            event_samples_per_sec: 2.0 * args.pairs as f64 / event_secs,
+            compiled_samples_per_sec: 2.0 * (args.pairs * LANES) as f64 / compiled_secs,
+            op_count: probe.program().op_count(),
+            levels: probe.program().levels(),
+        };
+        println!(
+            "| {:<10} | {:>6} | {:>6} | {:>14.0} | {:>14.0} | {:>7.1}x |",
+            row.design.name(),
+            row.op_count,
+            row.levels,
+            row.event_samples_per_sec,
+            row.compiled_samples_per_sec,
+            row.speedup(),
+        );
+        rows.push(row);
+    }
+
+    println!();
+    println!(
+        "smp/s = stimulus samples retired per wall second (2 per pair per lane); \
+         the compiled engine advances {LANES} independent lanes per tick."
+    );
+
+    std::fs::write(&args.json, json_report(&args, &rows))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", args.json));
+    println!("\nreport written to {}", args.json);
+
+    if let Some(floor) = args.min_speedup {
+        let worst = rows
+            .iter()
+            .map(Row::speedup)
+            .fold(f64::INFINITY, f64::min);
+        if worst < floor {
+            eprintln!("FAIL: worst compiled speedup {worst:.2}x below --min-speedup {floor}");
+            std::process::exit(1);
+        }
+        println!("speedup gate: worst {worst:.2}x ≥ {floor}x — ok");
+    }
+}

@@ -21,9 +21,10 @@
 use dwt_arch::datapath::BuiltDatapath;
 use dwt_arch::golden::still_tone_pairs;
 use dwt_fpga::map::map_netlist;
+use dwt_repro::DwtError;
 use dwt_rtl::cell::CellKind;
+use dwt_rtl::engine::Engine;
 use dwt_rtl::fault::FaultSpec;
-use dwt_rtl::sim::Simulator;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -296,6 +297,149 @@ pub fn campaign_json(cfg: &CampaignConfig, reports: &[CampaignReport]) -> String
     out
 }
 
+/// Which simulation backend a campaign binary drives.
+///
+/// Selected on the command line with `--backend event|compiled`; the
+/// binaries dispatch their generic campaign runner on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// The event-driven, glitch-modelling [`dwt_rtl::sim::Simulator`].
+    #[default]
+    Event,
+    /// The levelized bit-sliced [`dwt_rtl::compile::CompiledEngine`].
+    Compiled,
+}
+
+impl BackendChoice {
+    /// Stable lowercase name for reports and JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::Event => "event",
+            BackendChoice::Compiled => "compiled",
+        }
+    }
+}
+
+/// The command-line flags every campaign binary shares, parsed once.
+///
+/// [`CampaignArgs::parse`] consumes `--seed`, `--json`, `--max-sdc`,
+/// `--min-availability` and `--backend` from the process arguments and
+/// hands everything else back in [`CampaignArgs::rest`] (order
+/// preserved) for the binary's own flag loop. The gate flags carry
+/// uniform semantics across all binaries via
+/// [`CampaignArgs::enforce_gates`]: print one line per configured gate,
+/// exit nonzero if any failed.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignArgs {
+    /// `--seed S`: campaign seed override (applied by the binary).
+    pub seed: Option<u64>,
+    /// `--json PATH`: write the full machine-readable report here.
+    pub json: Option<String>,
+    /// `--max-sdc N`: fail the process when SDC escapes exceed N.
+    pub max_sdc: Option<usize>,
+    /// `--min-availability F`: fail when availability falls below F.
+    pub min_availability: Option<f64>,
+    /// `--backend event|compiled`: which engine runs the campaign.
+    pub backend: BackendChoice,
+    /// Unconsumed arguments, in their original order.
+    pub rest: Vec<String>,
+}
+
+impl CampaignArgs {
+    /// Parses the shared flags out of the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when a shared flag is missing its
+    /// value or the value fails to parse — campaign binaries treat bad
+    /// invocations as fatal.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// [`CampaignArgs::parse`] over an explicit argument iterator.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CampaignArgs::parse`].
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = CampaignArgs::default();
+        let mut args = args.into_iter();
+        while let Some(flag) = args.next() {
+            let mut value = |what: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} expects a {what}"))
+            };
+            match flag.as_str() {
+                "--seed" => out.seed = Some(value("seed").parse().expect("--seed")),
+                "--json" => out.json = Some(value("path")),
+                "--max-sdc" => {
+                    out.max_sdc = Some(value("count").parse().expect("--max-sdc"));
+                }
+                "--min-availability" => {
+                    out.min_availability =
+                        Some(value("fraction").parse().expect("--min-availability"));
+                }
+                "--backend" => {
+                    out.backend = match value("event|compiled").as_str() {
+                        "event" => BackendChoice::Event,
+                        "compiled" => BackendChoice::Compiled,
+                        other => panic!("--backend expects event|compiled, got '{other}'"),
+                    };
+                }
+                _ => out.rest.push(flag),
+            }
+        }
+        out
+    }
+
+    /// Writes the rendered report to the `--json` path, if one was
+    /// given. The renderer only runs when the flag is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write_json_with<F: FnOnce() -> String>(&self, render: F) {
+        if let Some(path) = &self.json {
+            std::fs::write(path, render())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("\nfull report written to {path}");
+        }
+    }
+
+    /// Enforces the `--max-sdc` / `--min-availability` gates with the
+    /// uniform pass/fail lines, exiting nonzero if any gate failed.
+    /// Binaries without an availability quantity pass `None`.
+    pub fn enforce_gates(&self, sdc_escapes: usize, min_availability: Option<f64>) {
+        let mut failed = false;
+        if let Some(max) = self.max_sdc {
+            if sdc_escapes > max {
+                eprintln!("FAIL: {sdc_escapes} SDC escapes exceed --max-sdc {max}");
+                failed = true;
+            } else {
+                println!("\nSDC gate: {sdc_escapes} escapes ≤ {max} — ok");
+            }
+        }
+        if let Some(floor) = self.min_availability {
+            let avail = min_availability
+                .expect("--min-availability gate needs an availability quantity");
+            if avail < floor {
+                eprintln!(
+                    "FAIL: minimum availability {avail:.4} below --min-availability {floor}"
+                );
+                failed = true;
+            } else {
+                println!("availability gate: min {avail:.4} ≥ {floor} — ok");
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}
+
 fn injection_error(
     variant: &str,
     fault: Option<&FaultSpec>,
@@ -311,12 +455,12 @@ fn injection_error(
 /// Streams `pairs` through the datapath (optionally under a fault),
 /// returning the emitted coefficient pairs and whether the variant's
 /// `fault_detect` port (if any) ever rose.
-fn run_stream_with_fault(
+fn run_stream_with_fault<E: Engine>(
     built: &BuiltDatapath,
     pairs: &[(i64, i64)],
     fault: Option<&FaultSpec>,
 ) -> Result<(Vec<(i64, i64)>, bool), dwt_rtl::Error> {
-    let mut sim = Simulator::new(built.netlist.clone())?;
+    let mut sim = E::from_netlist(built.netlist.clone())?;
     if let Some(f) = fault {
         sim.inject(f)?;
     }
@@ -340,7 +484,9 @@ fn run_stream_with_fault(
     Ok((out, detected))
 }
 
-/// Runs a seeded single-event-upset campaign against one variant.
+/// Runs a seeded single-event-upset campaign against one variant, on
+/// the simulation backend named by `E` (the backend must be turbofished
+/// at the call site: `run_campaign::<Simulator>(…)`).
 ///
 /// Every fault is a [`FaultSpec::BitFlip`] on a register bit drawn
 /// uniformly from the variant's own flip-flop population (so a TMR
@@ -349,19 +495,20 @@ fn run_stream_with_fault(
 ///
 /// # Errors
 ///
-/// Returns [`dwt_arch::Error::Injection`] naming the variant and fault
-/// if a spec fails to resolve or a simulation diverges.
+/// Returns [`dwt_arch::Error::Injection`] (wrapped in [`DwtError`])
+/// naming the variant and fault if a spec fails to resolve or a
+/// simulation diverges.
 ///
 /// # Panics
 ///
 /// Panics if the netlist contains no registers (no fault sites).
-pub fn run_campaign(
+pub fn run_campaign<E: Engine>(
     variant: &str,
     built: &BuiltDatapath,
     cfg: &CampaignConfig,
-) -> Result<CampaignReport, dwt_arch::Error> {
+) -> Result<CampaignReport, DwtError> {
     let pairs = still_tone_pairs(cfg.pairs, cfg.seed);
-    let (clean, _) = run_stream_with_fault(built, &pairs, None)
+    let (clean, _) = run_stream_with_fault::<E>(built, &pairs, None)
         .map_err(|e| injection_error(variant, None, e))?;
 
     let registers: Vec<(String, usize)> = built
@@ -383,7 +530,7 @@ pub fn run_campaign(
         let bit = rng.gen_range(0..width);
         let cycle = rng.gen_range(0..total_cycles);
         let fault = FaultSpec::BitFlip { register, bit, cycle };
-        let (outputs, detected) = run_stream_with_fault(built, &pairs, Some(&fault))
+        let (outputs, detected) = run_stream_with_fault::<E>(built, &pairs, Some(&fault))
             .map_err(|e| injection_error(variant, Some(&fault), e))?;
         let outcome = if detected {
             Outcome::Detected
@@ -407,6 +554,8 @@ pub fn run_campaign(
 mod tests {
     use super::*;
     use dwt_arch::designs::Design;
+    use dwt_rtl::compile::CompiledEngine;
+    use dwt_rtl::sim::Simulator;
 
     #[test]
     fn latency_percentiles_use_nearest_rank() {
@@ -432,19 +581,45 @@ mod tests {
     fn campaigns_are_deterministic() {
         let built = Design::D2.build().unwrap();
         let cfg = CampaignConfig { faults: 6, seed: 7, pairs: 24 };
-        let a = run_campaign("Design 2", &built, &cfg).unwrap();
-        let b = run_campaign("Design 2", &built, &cfg).unwrap();
+        let a = run_campaign::<Simulator>("Design 2", &built, &cfg).unwrap();
+        let b = run_campaign::<Simulator>("Design 2", &built, &cfg).unwrap();
         assert_eq!(a, b);
-        let c = run_campaign("Design 2", &built, &CampaignConfig { seed: 8, ..cfg })
+        let c = run_campaign::<Simulator>("Design 2", &built, &CampaignConfig { seed: 8, ..cfg })
             .unwrap();
         assert_ne!(a.records, c.records, "different seeds, different faults");
+    }
+
+    #[test]
+    fn backends_classify_faults_identically() {
+        let built = Design::D2.build().unwrap();
+        let cfg = CampaignConfig { faults: 8, seed: 11, pairs: 24 };
+        let event = run_campaign::<Simulator>("Design 2", &built, &cfg).unwrap();
+        let compiled = run_campaign::<CompiledEngine>("Design 2", &built, &cfg).unwrap();
+        assert_eq!(event, compiled, "same faults, same outcomes on both backends");
+    }
+
+    #[test]
+    fn shared_args_split_off_their_flags() {
+        let args = CampaignArgs::parse_from(
+            [
+                "--faults", "9", "--seed", "41", "--backend", "compiled", "--max-sdc", "0",
+                "--min-availability", "0.5", "--json", "out.json", "--tile", "8",
+            ]
+            .map(str::to_owned),
+        );
+        assert_eq!(args.seed, Some(41));
+        assert_eq!(args.backend, BackendChoice::Compiled);
+        assert_eq!(args.max_sdc, Some(0));
+        assert_eq!(args.min_availability, Some(0.5));
+        assert_eq!(args.json.as_deref(), Some("out.json"));
+        assert_eq!(args.rest, ["--faults", "9", "--tile", "8"]);
     }
 
     #[test]
     fn outcome_counts_partition_the_runs() {
         let built = Design::D2.build().unwrap();
         let cfg = CampaignConfig { faults: 10, seed: 3, pairs: 24 };
-        let report = run_campaign("Design 2", &built, &cfg).unwrap();
+        let report = run_campaign::<Simulator>("Design 2", &built, &cfg).unwrap();
         assert_eq!(report.records.len(), 10);
         assert_eq!(
             report.count(Outcome::Masked)

@@ -17,6 +17,12 @@
 //! | `fault_campaign` | SEU outcome histogram per variant (masked / detected / SDC) |
 //! | `recovery_campaign` | Availability and ladder usage of the recovery runtime under Poisson SEUs |
 //! | `pool_campaign` | Goodput, availability and latency tails of the multi-lane scheduler under chaos |
+//! | `sim_throughput` | Samples/sec of the event-driven vs compiled bit-sliced backends per design |
+//!
+//! The three campaign binaries share their common flags
+//! (`--seed`, `--json`, `--max-sdc`, `--min-availability`,
+//! `--backend event|compiled`) through [`campaign::CampaignArgs`], so
+//! exit-gate semantics are identical across them.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

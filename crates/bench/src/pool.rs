@@ -19,6 +19,8 @@ use dwt_pool::admission::AdmissionConfig;
 use dwt_pool::chaos::{BurstConfig, ChaosConfig, SlowLaneSpec, StuckLaneSpec};
 use dwt_pool::report::ServedBy;
 use dwt_pool::{Pool, PoolConfig, PoolReport};
+use dwt_repro::DwtError;
+use dwt_rtl::engine::Engine;
 
 use crate::campaign::{json_escape, LatencyHistogram, MarkdownTable};
 
@@ -90,18 +92,19 @@ impl PoolRow {
 }
 
 /// Runs the sweep: one pool per offered load, same workload and chaos
-/// seed throughout.
+/// seed throughout, on the simulation backend named by `E` (turbofish
+/// at the call site: `run_pool_campaign::<Simulator>(…)`).
 ///
 /// # Errors
 ///
 /// Propagates pool construction/harness failures (lane failures and
 /// shed tiles are results, not errors).
-pub fn run_pool_campaign(cfg: &PoolCampaignConfig) -> Result<Vec<PoolRow>, dwt_pool::Error> {
+pub fn run_pool_campaign<E: Engine>(cfg: &PoolCampaignConfig) -> Result<Vec<PoolRow>, DwtError> {
     let pairs = still_tone_pairs(cfg.pairs, cfg.seed);
     let mut rows = Vec::new();
     for &interarrival in &cfg.interarrivals {
         let pool_cfg = PoolConfig { interarrival_cycles: interarrival, ..cfg.pool.clone() };
-        let report = Pool::new(pool_cfg)?.run(&pairs)?;
+        let report = Pool::<E>::with_backend(pool_cfg)?.run(&pairs)?;
         rows.push(PoolRow { interarrival, report });
     }
     Ok(rows)
@@ -330,11 +333,13 @@ mod tests {
         cfg
     }
 
+    use dwt_rtl::sim::Simulator;
+
     #[test]
     fn sweep_is_deterministic_and_sdc_free_with_dwc() {
         let cfg = quick_cfg();
-        let a = run_pool_campaign(&cfg).unwrap();
-        let b = run_pool_campaign(&cfg).unwrap();
+        let a = run_pool_campaign::<Simulator>(&cfg).unwrap();
+        let b = run_pool_campaign::<Simulator>(&cfg).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.len(), 2);
         assert_eq!(total_sdc_escapes(&a), 0, "DWC must stop every escape");
@@ -347,7 +352,7 @@ mod tests {
     #[test]
     fn emitters_cover_the_sweep() {
         let cfg = quick_cfg();
-        let rows = run_pool_campaign(&cfg).unwrap();
+        let rows = run_pool_campaign::<Simulator>(&cfg).unwrap();
         let md = pool_markdown(&rows);
         assert!(md.contains("24cy") && md.contains("4cy"), "every sweep point rendered:\n{md}");
         let lanes = pool_lane_markdown(rows.last().unwrap());

@@ -18,6 +18,8 @@ use dwt_arch::golden::still_tone_pairs;
 use dwt_recover::executor::{ExecutorConfig, StreamReport, TileExecutor};
 use dwt_recover::seu::PoissonSeu;
 use dwt_recover::watchdog::WatchdogConfig;
+use dwt_repro::DwtError;
+use dwt_rtl::engine::Engine;
 
 use crate::campaign::{json_escape, LatencyHistogram, MarkdownTable};
 
@@ -80,14 +82,16 @@ pub struct RecoveryRow {
     pub strikes: u64,
 }
 
-/// Runs the campaign over all five paper designs with the same config.
+/// Runs the campaign over all five paper designs with the same config,
+/// on the simulation backend named by `E` (turbofish at the call site:
+/// `run_recovery_campaign::<Simulator>(…)`).
 ///
 /// # Errors
 ///
 /// Propagates executor construction/harness failures.
-pub fn run_recovery_campaign(
+pub fn run_recovery_campaign<E: Engine>(
     cfg: &RecoveryCampaignConfig,
-) -> Result<Vec<RecoveryRow>, dwt_recover::Error> {
+) -> Result<Vec<RecoveryRow>, DwtError> {
     let pairs = still_tone_pairs(cfg.pairs, cfg.seed);
     let mut rows = Vec::new();
     for (i, design) in Design::all().into_iter().enumerate() {
@@ -98,7 +102,7 @@ pub fn run_recovery_campaign(
             dwc: cfg.dwc,
             watchdog: WatchdogConfig { event_cap: cfg.event_cap, tile_cycle_budget: None },
         };
-        let mut exec = TileExecutor::new(design, exec_cfg)?;
+        let mut exec = TileExecutor::<E>::with_backend(design, exec_cfg)?;
         let mut seu = PoissonSeu::new(
             exec.primary_netlist(),
             exec.spare_netlist(),
@@ -248,11 +252,13 @@ mod tests {
         }
     }
 
+    use dwt_rtl::sim::Simulator;
+
     #[test]
     fn campaign_is_deterministic_and_sdc_free_with_dwc() {
         let cfg = quick_cfg();
-        let a = run_recovery_campaign(&cfg).unwrap();
-        let b = run_recovery_campaign(&cfg).unwrap();
+        let a = run_recovery_campaign::<Simulator>(&cfg).unwrap();
+        let b = run_recovery_campaign::<Simulator>(&cfg).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.len(), 5);
         assert_eq!(total_sdc_escapes(&a), 0, "DWC must stop every escape");
@@ -263,7 +269,7 @@ mod tests {
     #[test]
     fn emitters_cover_every_design() {
         let cfg = quick_cfg();
-        let rows = run_recovery_campaign(&cfg).unwrap();
+        let rows = run_recovery_campaign::<Simulator>(&cfg).unwrap();
         let md = recovery_markdown(&rows);
         let js = recovery_json(&cfg, &rows);
         for d in Design::all() {

@@ -6,13 +6,14 @@
 use dwt_arch::designs::Design;
 use dwt_arch::hardened::HardenedVariant;
 use dwt_bench::campaign::{run_campaign, CampaignConfig, Outcome};
+use dwt_rtl::sim::Simulator;
 
 #[test]
 fn small_campaign_on_design2_is_deterministic() {
     let built = Design::D2.build().unwrap();
     let cfg = CampaignConfig { faults: 12, seed: 2005, pairs: 32 };
-    let a = run_campaign("Design 2", &built, &cfg).unwrap();
-    let b = run_campaign("Design 2", &built, &cfg).unwrap();
+    let a = run_campaign::<Simulator>("Design 2", &built, &cfg).unwrap();
+    let b = run_campaign::<Simulator>("Design 2", &built, &cfg).unwrap();
     assert_eq!(a, b, "same seed must reproduce the campaign bit for bit");
 
     assert_eq!(a.records.len(), cfg.faults);
@@ -30,7 +31,7 @@ fn tmr_masks_every_upset_and_parity_detects_every_upset() {
     let cfg = CampaignConfig { faults: 6, seed: 2005, pairs: 24 };
 
     let tmr = HardenedVariant::D3Tmr.build().unwrap();
-    let report = run_campaign("Design 3 + TMR", &tmr, &cfg).unwrap();
+    let report = run_campaign::<Simulator>("Design 3 + TMR", &tmr, &cfg).unwrap();
     assert_eq!(
         report.count(Outcome::Masked),
         cfg.faults,
@@ -40,7 +41,7 @@ fn tmr_masks_every_upset_and_parity_detects_every_upset() {
     assert!((report.sdc_rate() - 0.0).abs() < f64::EPSILON);
 
     let parity = HardenedVariant::D3Parity.build().unwrap();
-    let report = run_campaign("Design 3 + parity", &parity, &cfg).unwrap();
+    let report = run_campaign::<Simulator>("Design 3 + parity", &parity, &cfg).unwrap();
     assert_eq!(
         report.count(Outcome::Detected),
         cfg.faults,

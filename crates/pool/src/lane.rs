@@ -12,6 +12,8 @@
 //! depth and latency without computing anything differently.
 
 use dwt_recover::executor::{TileExecutor, TileOutcome};
+use dwt_rtl::engine::Engine;
+use dwt_rtl::sim::Simulator;
 
 use crate::admission::CostModel;
 use crate::breaker::CircuitBreaker;
@@ -32,12 +34,13 @@ pub struct LaneStats {
     pub canaries: usize,
 }
 
-/// One lane of the pool.
+/// One lane of the pool, generic over the simulation backend its
+/// executor runs on (defaults to the event-driven [`Simulator`]).
 #[derive(Debug)]
-pub struct Lane {
+pub struct Lane<E: Engine = Simulator> {
     /// Stable lane index.
     pub(crate) id: usize,
-    pub(crate) exec: TileExecutor,
+    pub(crate) exec: TileExecutor<E>,
     pub(crate) injector: ChaosInjector,
     pub(crate) health: HealthScore,
     pub(crate) breaker: CircuitBreaker,
@@ -49,7 +52,7 @@ pub struct Lane {
     pub(crate) stats: LaneStats,
 }
 
-impl Lane {
+impl<E: Engine> Lane<E> {
     /// Effective pool-clock cost of an executed tile on this lane.
     pub(crate) fn effective_cycles(&self, outcome: &TileOutcome) -> u64 {
         let raw = outcome.nominal_cycles + outcome.recovery_cycles;

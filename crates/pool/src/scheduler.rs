@@ -26,6 +26,8 @@ use dwt_arch::designs::Design;
 use dwt_arch::golden::GoldenStream;
 use dwt_recover::executor::{ExecutorConfig, TileExecutor};
 use dwt_recover::watchdog::WatchdogConfig;
+use dwt_rtl::engine::Engine;
+use dwt_rtl::sim::Simulator;
 
 use crate::admission::{AdmissionConfig, AdmissionVerdict, CostModel};
 use crate::breaker::{BreakerConfig, CircuitBreaker};
@@ -106,15 +108,17 @@ fn golden_tile(pairs: &[(i64, i64)]) -> (Vec<i64>, Vec<i64>) {
     (g.low()[..p].to_vec(), g.high()[..p].to_vec())
 }
 
-/// The multi-lane scheduler.
+/// The multi-lane scheduler, generic over the simulation backend its
+/// lanes run on (defaults to the event-driven [`Simulator`]).
 #[derive(Debug)]
-pub struct Pool {
+pub struct Pool<E: Engine = Simulator> {
     cfg: PoolConfig,
-    lanes: Vec<Lane>,
+    lanes: Vec<Lane<E>>,
 }
 
 impl Pool {
-    /// Builds every lane (executor + chaos injector) for the config.
+    /// Builds every lane (executor + chaos injector) for the config,
+    /// on the event-driven backend.
     ///
     /// # Errors
     ///
@@ -122,6 +126,18 @@ impl Pool {
     /// for a malformed chaos scenario or tile size, and lane
     /// construction failures.
     pub fn new(cfg: PoolConfig) -> Result<Self> {
+        Pool::with_backend(cfg)
+    }
+}
+
+impl<E: Engine> Pool<E> {
+    /// Builds every lane (executor + chaos injector) for the config,
+    /// on the backend named by `E`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Pool::new`].
+    pub fn with_backend(cfg: PoolConfig) -> Result<Self> {
         if cfg.lanes == 0 {
             return Err(Error::NoLanes);
         }
@@ -144,7 +160,7 @@ impl Pool {
         };
         let mut lanes = Vec::with_capacity(cfg.lanes);
         for id in 0..cfg.lanes {
-            let exec = TileExecutor::new(cfg.design, exec_cfg)?;
+            let exec = TileExecutor::<E>::with_backend(cfg.design, exec_cfg)?;
             let injector =
                 cfg.chaos.injector_for(id, exec.primary_netlist(), exec.spare_netlist())?;
             let nominal = exec.nominal_window(cfg.tile_pairs);
@@ -175,7 +191,7 @@ impl Pool {
 
     /// Read access to the lanes (state inspection in tests/benches).
     #[must_use]
-    pub fn lanes(&self) -> &[Lane] {
+    pub fn lanes(&self) -> &[Lane<E>] {
         &self.lanes
     }
 

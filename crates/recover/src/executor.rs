@@ -28,9 +28,10 @@
 use dwt_arch::datapath::Hardening;
 use dwt_arch::designs::Design;
 use dwt_arch::golden::GoldenStream;
+use dwt_rtl::engine::Engine;
 use dwt_rtl::fault::FaultSpec;
 use dwt_rtl::netlist::Netlist;
-use dwt_rtl::sim::{Simulator, Snapshot};
+use dwt_rtl::sim::Simulator;
 
 use crate::error::{Error, Result};
 use crate::injector::{FaultInjector, Lane};
@@ -305,19 +306,25 @@ struct Attempt {
 }
 
 /// The recovery runtime: checkpointed tile execution over one design.
+///
+/// Generic over the simulation [`Engine`] driving the primary datapath
+/// and its TMR spare; defaults to the event-driven
+/// [`Simulator`] so existing callers are unchanged. Use
+/// [`TileExecutor::with_backend`] to run on the compiled bit-sliced
+/// backend instead.
 #[derive(Debug)]
-pub struct TileExecutor {
+pub struct TileExecutor<E: Engine = Simulator> {
     design: Design,
     cfg: ExecutorConfig,
     latency: usize,
     spare_latency: usize,
-    primary: Simulator,
+    primary: E,
     primary_netlist: Netlist,
     spare_netlist: Netlist,
     /// Snapshot of the freshly built (never ticked) primary, so
     /// [`TileExecutor::reset`] can re-arm the lane without paying the
     /// netlist rebuild.
-    initial: Snapshot,
+    initial: E::Snapshot,
     golden: GoldenStream,
     /// Pairs fed into the golden stream so far (tile bases).
     fed: usize,
@@ -331,15 +338,27 @@ pub struct TileExecutor {
 
 impl TileExecutor {
     /// Builds the primary datapath (with the configured hardening) and
-    /// its TMR spare for `design`.
+    /// its TMR spare for `design`, on the event-driven backend.
     ///
     /// # Errors
     ///
     /// Propagates datapath-generator and simulator construction errors.
     pub fn new(design: Design, cfg: ExecutorConfig) -> Result<Self> {
+        TileExecutor::with_backend(design, cfg)
+    }
+}
+
+impl<E: Engine> TileExecutor<E> {
+    /// Builds the primary datapath (with the configured hardening) and
+    /// its TMR spare for `design`, on the backend named by `E`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates datapath-generator and engine construction errors.
+    pub fn with_backend(design: Design, cfg: ExecutorConfig) -> Result<Self> {
         let primary = design.build_hardened(cfg.hardening)?;
         let spare = design.build_hardened(Hardening::Tmr)?;
-        let mut sim = Simulator::new(primary.netlist.clone())?;
+        let mut sim = E::from_netlist(primary.netlist.clone())?;
         if let Some(cap) = cfg.watchdog.event_cap {
             sim.set_event_cap(cap);
         }
@@ -548,7 +567,7 @@ impl TileExecutor {
         // checkpoint makes the spare's zero history equivalent to the
         // primary's, so its outputs align with the same golden window.
         if committed.is_none() {
-            let mut spare = Simulator::new(self.spare_netlist.clone())?;
+            let mut spare = E::from_netlist(self.spare_netlist.clone())?;
             if let Some(cap) = self.cfg.watchdog.event_cap {
                 spare.set_event_cap(cap);
             }
@@ -624,7 +643,7 @@ fn rebase(spec: FaultSpec, now: u64) -> FaultSpec {
 }
 
 /// Inject one fault, folding a settle divergence into a hang detection.
-fn inject_classified(sim: &mut Simulator, spec: &FaultSpec) -> Result<Option<Detection>> {
+fn inject_classified<E: Engine>(sim: &mut E, spec: &FaultSpec) -> Result<Option<Detection>> {
     match sim.inject(spec) {
         Ok(()) => Ok(None),
         Err(dwt_rtl::Error::SimulationDiverged { .. }) => Ok(Some(Detection::Hang)),
@@ -638,8 +657,8 @@ fn inject_classified(sim: &mut Simulator, spec: &FaultSpec) -> Result<Option<Det
 // The range loop is deliberate: `t` runs past `pairs.len()` into the
 // zero flush, which no iterator over `pairs` can express.
 #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
-fn run_attempt(
-    sim: &mut Simulator,
+fn run_attempt<E: Engine>(
+    sim: &mut E,
     lane: Lane,
     latency: usize,
     pairs: &[(i64, i64)],

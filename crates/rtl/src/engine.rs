@@ -1,0 +1,213 @@
+//! The unified execution surface over simulation backends.
+//!
+//! Every layer above the RTL substrate — the recovery executor, the
+//! multi-lane pool, the campaign harnesses — drives a netlist through
+//! the same small verbs: stage inputs, tick the clock, sample outputs,
+//! checkpoint and roll back, inject faults. [`Engine`] names exactly
+//! that surface so those layers can be generic over *how* a cycle is
+//! evaluated:
+//!
+//! * [`sim::Simulator`](crate::sim::Simulator) — the event-driven
+//!   backend, unit-delay with glitch modelling and activity statistics
+//!   (the power-estimation substrate of the paper reproduction);
+//! * [`compile::CompiledEngine`](crate::compile::CompiledEngine) — the
+//!   levelized, 64-way bit-sliced backend, which trades the glitch
+//!   model away for throughput.
+//!
+//! Backends self-describe through [`EngineCaps`] so callers can check
+//! at runtime which fidelity features (activity stats, divergence
+//! detection) are actually present, and how many independent sample
+//! lanes one engine instance advances per tick.
+
+use crate::fault::FaultSpec;
+use crate::netlist::Netlist;
+use crate::Result;
+
+/// Static capability description of a simulation backend.
+///
+/// Obtained from [`Engine::caps`]; lets generic code (and reports)
+/// distinguish backends without naming concrete types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCaps {
+    /// Short backend name for reports ("event-driven", "compiled").
+    pub backend: &'static str,
+    /// Independent sample streams advanced per tick (1 for the scalar
+    /// event-driven simulator, 64 for the bit-sliced engine).
+    pub lanes: usize,
+    /// Whether the backend records switching-activity statistics.
+    pub activity_stats: bool,
+    /// Whether combinational settling models glitches (unit-delay
+    /// event propagation) rather than a single functional pass.
+    pub glitch_model: bool,
+    /// Whether runaway combinational activity is detected and reported
+    /// as [`Error::SimulationDiverged`](crate::Error::SimulationDiverged).
+    pub divergence_detection: bool,
+}
+
+/// A cycle-accurate netlist execution backend.
+///
+/// The trait captures the contract the event-driven
+/// [`Simulator`](crate::sim::Simulator) always had: inputs staged with
+/// [`set_input`](Engine::set_input) take effect at the next
+/// [`try_tick`](Engine::try_tick) (or immediately after
+/// [`try_settle`](Engine::try_settle)); outputs read back settled
+/// values; snapshots capture the complete architectural state
+/// (registers, memories, staged inputs, armed faults) and restoring
+/// one resumes execution bit-exactly.
+///
+/// Backends with more than one lane (see [`EngineCaps::lanes`])
+/// broadcast scalar `set_input` values to every lane and report lane 0
+/// from `peek`, so scalar code behaves identically on every backend.
+pub trait Engine: Sized + std::fmt::Debug {
+    /// Opaque architectural-state checkpoint for this backend.
+    type Snapshot: Clone + std::fmt::Debug;
+
+    /// Builds an engine for a validated netlist, with all state at
+    /// power-on defaults (registers and memories zeroed, combinational
+    /// logic settled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation/simulation errors.
+    fn from_netlist(netlist: Netlist) -> Result<Self>;
+
+    /// The netlist under execution.
+    fn netlist(&self) -> &Netlist;
+
+    /// Capability flags of this backend.
+    fn caps(&self) -> EngineCaps;
+
+    /// Stages a value on an input port; it is applied by the next
+    /// [`try_tick`](Engine::try_tick) or
+    /// [`try_settle`](Engine::try_settle). Multi-lane backends
+    /// broadcast the value to every lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ports, non-input ports, or values
+    /// outside the port's two's-complement range.
+    fn set_input(&mut self, name: &str, value: i64) -> Result<()>;
+
+    /// Advances one clock cycle: registers capture, staged inputs
+    /// apply, combinational logic settles.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; the event-driven simulator reports
+    /// [`Error::SimulationDiverged`](crate::Error::SimulationDiverged)
+    /// when settling exceeds the event cap.
+    fn try_tick(&mut self) -> Result<()>;
+
+    /// Applies staged inputs and settles combinational logic without
+    /// advancing the clock.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`try_tick`](Engine::try_tick).
+    fn try_settle(&mut self) -> Result<()>;
+
+    /// Reads the settled value of a port (lane 0 on multi-lane
+    /// backends), sign-extended from the port width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ports.
+    fn peek(&self, name: &str) -> Result<i64>;
+
+    /// Captures the complete architectural state.
+    fn snapshot(&self) -> Self::Snapshot;
+
+    /// Restores a snapshot previously taken from a compatible engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotMismatch`](crate::Error::SnapshotMismatch)
+    /// when the snapshot belongs to a different netlist shape.
+    fn restore(&mut self, snapshot: &Self::Snapshot) -> Result<()>;
+
+    /// Arms a fault. Stuck-at faults take effect immediately;
+    /// transient faults fire at their scheduled cycle. Multi-lane
+    /// backends apply faults to every lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FaultTarget`](crate::Error::FaultTarget) when
+    /// the spec does not resolve against the netlist.
+    fn inject(&mut self, spec: &FaultSpec) -> Result<()>;
+
+    /// Removes all armed faults (stuck-at clamps and pending
+    /// transients). See backend docs for how already-forced values
+    /// decay afterwards.
+    fn clear_faults(&mut self);
+
+    /// Clock cycles executed since power-on (or since the restored
+    /// snapshot was taken).
+    fn cycle(&self) -> u64;
+
+    /// Bounds the per-cycle settling work used for divergence
+    /// detection. A no-op on backends without an event loop
+    /// ([`EngineCaps::divergence_detection`] is `false`).
+    fn set_event_cap(&mut self, cap: u64);
+}
+
+impl Engine for crate::sim::Simulator {
+    type Snapshot = crate::sim::Snapshot;
+
+    fn from_netlist(netlist: Netlist) -> Result<Self> {
+        crate::sim::Simulator::new(netlist)
+    }
+
+    fn netlist(&self) -> &Netlist {
+        self.netlist()
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            backend: "event-driven",
+            lanes: 1,
+            activity_stats: true,
+            glitch_model: true,
+            divergence_detection: true,
+        }
+    }
+
+    fn set_input(&mut self, name: &str, value: i64) -> Result<()> {
+        self.set_input(name, value)
+    }
+
+    fn try_tick(&mut self) -> Result<()> {
+        self.try_tick()
+    }
+
+    fn try_settle(&mut self) -> Result<()> {
+        self.try_settle()
+    }
+
+    fn peek(&self, name: &str) -> Result<i64> {
+        self.peek(name)
+    }
+
+    fn snapshot(&self) -> Self::Snapshot {
+        self.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &Self::Snapshot) -> Result<()> {
+        self.restore(snapshot)
+    }
+
+    fn inject(&mut self, spec: &FaultSpec) -> Result<()> {
+        self.inject(spec)
+    }
+
+    fn clear_faults(&mut self) {
+        self.clear_faults();
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle()
+    }
+
+    fn set_event_cap(&mut self, cap: u64) {
+        self.set_event_cap(cap);
+    }
+}

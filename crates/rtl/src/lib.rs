@@ -52,7 +52,9 @@
 mod proptests;
 pub mod builder;
 pub mod cell;
+pub mod compile;
 pub mod dot;
+pub mod engine;
 mod error;
 pub mod fault;
 pub mod net;

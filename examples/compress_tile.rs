@@ -4,11 +4,7 @@
 //!
 //! Run with: `cargo run --example compress_tile`
 
-use dwt_repro::core::metrics::psnr;
-use dwt_repro::core::quant::Quantizer;
-use dwt_repro::core::transform1d::LiftingF64Kernel;
-use dwt_repro::core::transform2d::{forward_2d, inverse_2d};
-use dwt_repro::imaging::synth::standard_tile;
+use dwt_repro::prelude::*;
 
 /// Zeroth-order entropy of the quantizer indices, in bits per sample —
 /// a lower bound on what an entropy coder would spend.

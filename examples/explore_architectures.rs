@@ -4,14 +4,7 @@
 //!
 //! Run with: `cargo run --release --example explore_architectures`
 
-use dwt_repro::arch::designs::Design;
-use dwt_repro::arch::filterbank::{build_filterbank, FilterbankPipelining};
-use dwt_repro::arch::golden::still_tone_pairs;
-use dwt_repro::arch::verify::{measure_activity, verify_datapath};
-use dwt_repro::fpga::device::Device;
-use dwt_repro::fpga::map::map_netlist;
-use dwt_repro::fpga::power::estimate;
-use dwt_repro::fpga::timing::analyze;
+use dwt_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = Device::apex20ke();

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example full_codec`
 
-use dwt_repro::codec::image::{bits_per_pixel, compress, decompress, CodecConfig};
-use dwt_repro::core::metrics::psnr_i32;
-use dwt_repro::imaging::synth::standard_tile;
+use dwt_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let image = standard_tile();

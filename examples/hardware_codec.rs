@@ -5,13 +5,7 @@
 //!
 //! Run with: `cargo run --release --example hardware_codec`
 
-use dwt_repro::arch::designs::Design;
-use dwt_repro::arch::system2d::{build_pass_engine, run_pass};
-use dwt_repro::codec::rice;
-use dwt_repro::core::grid::Grid;
-use dwt_repro::core::quant::Quantizer;
-use dwt_repro::imaging::synth::StillToneImage;
-use dwt_repro::rtl::sim::Simulator;
+use dwt_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (rows, cols) = (32usize, 32usize);

@@ -7,12 +7,7 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use dwt_repro::codec::image::{bits_per_pixel, compress, decompress, CodecConfig};
-use dwt_repro::core::lifting::IntLifting;
-use dwt_repro::core::metrics::psnr_i32;
-use dwt_repro::core::transform2d::forward_2d;
-use dwt_repro::imaging::pgm::{read_pgm, write_pgm};
-use dwt_repro::imaging::synth::standard_tile;
+use dwt_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let image = match std::env::args().nth(1) {

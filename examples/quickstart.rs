@@ -3,10 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use dwt_repro::core::lifting::IntLifting;
-use dwt_repro::core::metrics::psnr_i32;
-use dwt_repro::core::transform2d::{forward_2d, inverse_2d, Subband};
-use dwt_repro::imaging::synth::standard_tile;
+use dwt_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 128x128 still-tone tile (the repo's stand-in for the paper's

@@ -4,10 +4,7 @@
 //!
 //! Run with: `cargo run --example waveform_dump`
 
-use dwt_repro::arch::designs::Design;
-use dwt_repro::arch::golden::still_tone_pairs;
-use dwt_repro::rtl::sim::Simulator;
-use dwt_repro::rtl::vcd::VcdRecorder;
+use dwt_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let built = Design::D3.build()?;

@@ -44,6 +44,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod error;
+pub mod prelude;
+
+pub use error::{DwtError, Result};
+
 pub use dwt_arch as arch;
 pub use dwt_codec as codec;
 pub use dwt_core as core;

@@ -1,0 +1,73 @@
+//! One-import surface over the whole workspace.
+//!
+//! `use dwt_repro::prelude::*;` brings in the handful of entry points a
+//! program needs from each layer — the software transform, the netlist
+//! substrate and both simulation backends, the paper's datapaths, the
+//! FPGA models, the recovery runtime, the multi-lane pool, and the
+//! imaging/codec back end — without spelling out the crate paths. The
+//! full module tree stays reachable through the [`crate`] re-exports
+//! (`dwt_repro::rtl`, `dwt_repro::arch`, …) when something less common
+//! is needed.
+//!
+//! ```
+//! use dwt_repro::prelude::*;
+//!
+//! # fn main() -> Result<(), DwtError> {
+//! let built = Design::D2.build()?;
+//! let mut sim = Simulator::new(built.netlist)?;
+//! sim.set_input("in_even", 3)?;
+//! # Ok(())
+//! # }
+//! ```
+
+// core: the software 9/7 DWT and its measurement kit.
+pub use dwt_core::grid::Grid;
+pub use dwt_core::lifting::IntLifting;
+pub use dwt_core::metrics::{psnr, psnr_i32};
+pub use dwt_core::quant::Quantizer;
+pub use dwt_core::transform1d::LiftingF64Kernel;
+pub use dwt_core::transform2d::{forward_2d, inverse_2d, Subband};
+
+// rtl: netlist construction and both execution backends.
+pub use dwt_rtl::builder::NetlistBuilder;
+pub use dwt_rtl::compile::CompiledEngine;
+pub use dwt_rtl::engine::{Engine, EngineCaps};
+pub use dwt_rtl::fault::FaultSpec;
+pub use dwt_rtl::netlist::Netlist;
+pub use dwt_rtl::sim::Simulator;
+pub use dwt_rtl::vcd::VcdRecorder;
+
+// arch: the paper's designs and the golden reference.
+pub use dwt_arch::datapath::Hardening;
+pub use dwt_arch::designs::Design;
+pub use dwt_arch::filterbank::{build_filterbank, FilterbankPipelining};
+pub use dwt_arch::golden::{still_tone_pairs, GoldenStream};
+pub use dwt_arch::system2d::{build_pass_engine, run_pass};
+pub use dwt_arch::verify::{measure_activity, verify_datapath};
+
+// fpga: mapping, timing and power models.
+pub use dwt_fpga::device::Device;
+pub use dwt_fpga::map::map_netlist;
+pub use dwt_fpga::power::estimate;
+pub use dwt_fpga::timing::analyze;
+
+// recover: checkpointed tile execution with the degradation ladder.
+pub use dwt_recover::executor::{ExecutorConfig, StreamReport, TileExecutor};
+pub use dwt_recover::injector::NoFaults;
+pub use dwt_recover::watchdog::WatchdogConfig;
+
+// pool: the multi-lane scheduler and its chaos scenarios.
+pub use dwt_pool::chaos::ChaosConfig;
+pub use dwt_pool::report::PoolReport;
+pub use dwt_pool::scheduler::{Pool, PoolConfig};
+
+// imaging + codec: test imagery, PGM I/O, and the compression back end.
+pub use dwt_codec::image::{bits_per_pixel, compress, decompress, CodecConfig};
+pub use dwt_codec::rice;
+pub use dwt_imaging::pgm::{read_pgm, write_pgm};
+pub use dwt_imaging::synth::{standard_tile, StillToneImage};
+
+// The workspace-wide error type. The `Result` alias is deliberately
+// not re-exported: a glob import must not shadow `std::result::Result`
+// (use `dwt_repro::Result` where the alias is wanted).
+pub use crate::error::DwtError;
