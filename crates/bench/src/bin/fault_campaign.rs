@@ -18,34 +18,33 @@
 //! can gate on the protection claim — TMR masks, parity detects —
 //! instead of silently regressing; `--backend compiled` reruns the
 //! whole campaign on the levelized bit-sliced engine).
+//!
+//! Exit codes: 0 success, 1 gate failure, 2 usage error.
 
 use dwt_arch::designs::Design;
 use dwt_arch::hardened::HardenedVariant;
 use dwt_bench::campaign::{
-    campaign_json, run_campaign, BackendChoice, CampaignArgs, CampaignConfig, Outcome,
+    campaign_json, flag_value, run_campaign, unknown_flag, BackendChoice, CampaignArgs,
+    CampaignConfig, Outcome, UsageError,
 };
 use dwt_rtl::compile::CompiledEngine;
 use dwt_rtl::engine::Engine;
 use dwt_rtl::sim::Simulator;
 
-fn parse_cfg(shared: &CampaignArgs) -> CampaignConfig {
+fn parse_cfg(shared: &CampaignArgs) -> Result<CampaignConfig, UsageError> {
     let mut cfg = CampaignConfig::default();
     if let Some(seed) = shared.seed {
         cfg.seed = seed;
     }
     let mut args = shared.rest.iter();
     while let Some(flag) = args.next() {
-        let mut value = |what: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{flag} expects a {what}"))
-        };
         match flag.as_str() {
-            "--faults" => cfg.faults = value("count").parse().expect("--faults"),
-            "--pairs" => cfg.pairs = value("count").parse().expect("--pairs"),
-            other => panic!("unknown argument '{other}'"),
+            "--faults" => cfg.faults = flag_value(&mut args, "--faults", "count")?,
+            "--pairs" => cfg.pairs = flag_value(&mut args, "--pairs", "count")?,
+            other => return Err(unknown_flag(other)),
         }
     }
-    cfg
+    Ok(cfg)
 }
 
 /// The campaigned variants: every paper design, then the hardened
@@ -130,7 +129,7 @@ fn run<E: Engine>(shared: &CampaignArgs, cfg: &CampaignConfig) {
 
 fn main() {
     let shared = CampaignArgs::parse();
-    let cfg = parse_cfg(&shared);
+    let cfg = parse_cfg(&shared).unwrap_or_else(|e| e.exit());
     match shared.backend {
         BackendChoice::Event => run::<Simulator>(&shared, &cfg),
         BackendChoice::Compiled => run::<CompiledEngine>(&shared, &cfg),

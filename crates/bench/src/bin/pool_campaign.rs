@@ -25,9 +25,13 @@
 //! nonzero when any sweep point's availability falls below F. The CI
 //! smoke job gates on both. `--backend compiled` runs every lane on the
 //! levelized bit-sliced engine instead of the event-driven simulator.
+//!
+//! Exit codes: 0 success, 1 gate failure, 2 usage error.
 
-use dwt_arch::designs::Design;
-use dwt_bench::campaign::{BackendChoice, CampaignArgs};
+use dwt_bench::campaign::{
+    flag_value, parse_design, parse_list, parse_parts, unknown_flag, BackendChoice,
+    CampaignArgs, UsageError,
+};
 use dwt_bench::pool::{
     min_availability, pool_json, pool_lane_markdown, pool_markdown, run_pool_campaign,
     total_sdc_escapes, PoolCampaignConfig,
@@ -37,14 +41,7 @@ use dwt_rtl::compile::CompiledEngine;
 use dwt_rtl::engine::Engine;
 use dwt_rtl::sim::Simulator;
 
-/// Splits a `A,B,...` flag value into its parsed parts.
-fn parts<T: std::str::FromStr>(flag: &str, value: &str, n: usize) -> Vec<T> {
-    let out: Vec<T> = value.split(',').filter_map(|p| p.trim().parse().ok()).collect();
-    assert!(out.len() == n, "{flag} expects {n} comma-separated values, got '{value}'");
-    out
-}
-
-fn parse_cfg(shared: &CampaignArgs) -> PoolCampaignConfig {
+fn parse_cfg(shared: &CampaignArgs) -> Result<PoolCampaignConfig, UsageError> {
     let mut cfg = PoolCampaignConfig::default();
     if let Some(seed) = shared.seed {
         cfg.seed = seed;
@@ -52,36 +49,29 @@ fn parse_cfg(shared: &CampaignArgs) -> PoolCampaignConfig {
     }
     let mut args = shared.rest.iter();
     while let Some(flag) = args.next() {
-        let mut value = |what: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{flag} expects a {what}"))
-        };
         match flag.as_str() {
-            "--lanes" => cfg.pool.lanes = value("count").parse().expect("--lanes"),
+            "--lanes" => cfg.pool.lanes = flag_value(&mut args, "--lanes", "count")?,
             "--design" => {
-                let n: usize = value("1..=5").parse().expect("--design");
-                cfg.pool.design = *Design::all()
-                    .get(n.wrapping_sub(1))
-                    .unwrap_or_else(|| panic!("--design expects 1..=5, got {n}"));
+                let raw: String = flag_value(&mut args, "--design", "design number")?;
+                cfg.pool.design = parse_design("--design", &raw)?;
             }
-            "--pairs" => cfg.pairs = value("count").parse().expect("--pairs"),
-            "--tile" => cfg.pool.tile_pairs = value("count").parse().expect("--tile"),
+            "--pairs" => cfg.pairs = flag_value(&mut args, "--pairs", "count")?,
+            "--tile" => cfg.pool.tile_pairs = flag_value(&mut args, "--tile", "count")?,
             "--sweep" => {
-                let v = value("gap list");
-                cfg.interarrivals =
-                    v.split(',').map(|p| p.trim().parse().expect("--sweep")).collect();
-                assert!(!cfg.interarrivals.is_empty(), "--sweep expects at least one gap");
+                let raw: String = flag_value(&mut args, "--sweep", "gap list")?;
+                cfg.interarrivals = parse_list("--sweep", &raw)?;
             }
-            "--rate" => cfg.pool.chaos.seu_rate = value("rate").parse().expect("--rate"),
+            "--rate" => cfg.pool.chaos.seu_rate = flag_value(&mut args, "--rate", "rate")?,
             "--stuck" => {
-                cfg.pool.chaos.stuck_fraction = value("fraction").parse().expect("--stuck");
+                cfg.pool.chaos.stuck_fraction = flag_value(&mut args, "--stuck", "fraction")?;
             }
             "--common-mode" => {
-                cfg.pool.chaos.common_mode = value("fraction").parse().expect("--common-mode");
+                cfg.pool.chaos.common_mode =
+                    flag_value(&mut args, "--common-mode", "fraction")?;
             }
             "--burst" => {
-                let v = value("period,len,factor");
-                let p: Vec<f64> = parts("--burst", v, 3);
+                let raw: String = flag_value(&mut args, "--burst", "period,len,factor")?;
+                let p: Vec<f64> = parse_parts("--burst", &raw, 3)?;
                 cfg.pool.chaos.burst = Some(BurstConfig {
                     period: p[0] as u64,
                     len: p[1] as u64,
@@ -90,32 +80,32 @@ fn parse_cfg(shared: &CampaignArgs) -> PoolCampaignConfig {
             }
             "--no-burst" => cfg.pool.chaos.burst = None,
             "--stuck-lane" => {
-                let v = value("lane,cycle");
-                let p: Vec<u64> = parts("--stuck-lane", v, 2);
+                let raw: String = flag_value(&mut args, "--stuck-lane", "lane,cycle")?;
+                let p: Vec<u64> = parse_parts("--stuck-lane", &raw, 2)?;
                 cfg.pool.chaos.stuck_lanes =
                     vec![StuckLaneSpec { lane: p[0] as usize, from_cycle: p[1] }];
             }
             "--no-stuck-lane" => cfg.pool.chaos.stuck_lanes.clear(),
             "--slow-lane" => {
-                let v = value("lane,factor");
-                let p: Vec<f64> = parts("--slow-lane", v, 2);
+                let raw: String = flag_value(&mut args, "--slow-lane", "lane,factor")?;
+                let p: Vec<f64> = parse_parts("--slow-lane", &raw, 2)?;
                 cfg.pool.chaos.slow_lanes =
                     vec![SlowLaneSpec { lane: p[0] as usize, factor: p[1] }];
             }
             "--no-slow-lane" => cfg.pool.chaos.slow_lanes.clear(),
             "--deadline" => {
                 cfg.pool.admission.deadline_cycles =
-                    Some(value("cycles").parse().expect("--deadline"));
+                    Some(flag_value(&mut args, "--deadline", "cycles")?);
             }
             "--no-deadline" => cfg.pool.admission.deadline_cycles = None,
             "--max-redispatch" => {
-                cfg.pool.max_redispatch = value("count").parse().expect("--max-redispatch");
+                cfg.pool.max_redispatch = flag_value(&mut args, "--max-redispatch", "count")?;
             }
             "--no-dwc" => cfg.pool.dwc = false,
-            other => panic!("unknown argument '{other}'"),
+            other => return Err(unknown_flag(other)),
         }
     }
-    cfg
+    Ok(cfg)
 }
 
 fn run<E: Engine>(shared: &CampaignArgs, cfg: &PoolCampaignConfig) {
@@ -171,7 +161,7 @@ fn run<E: Engine>(shared: &CampaignArgs, cfg: &PoolCampaignConfig) {
 
 fn main() {
     let shared = CampaignArgs::parse();
-    let cfg = parse_cfg(&shared);
+    let cfg = parse_cfg(&shared).unwrap_or_else(|e| e.exit());
     match shared.backend {
         BackendChoice::Event => run::<Simulator>(&shared, &cfg),
         BackendChoice::Compiled => run::<CompiledEngine>(&shared, &cfg),

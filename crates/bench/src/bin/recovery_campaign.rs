@@ -19,8 +19,10 @@
 //! exceed N — the CI smoke job gates on `--max-sdc 0` with DWC on.
 //! `--backend compiled` runs every executor on the levelized
 //! bit-sliced engine instead of the event-driven simulator.
+//!
+//! Exit codes: 0 success, 1 gate failure, 2 usage error.
 
-use dwt_bench::campaign::{BackendChoice, CampaignArgs};
+use dwt_bench::campaign::{flag_value, unknown_flag, BackendChoice, CampaignArgs, UsageError};
 use dwt_bench::recovery::{
     recovery_json, recovery_markdown, run_recovery_campaign, total_sdc_escapes,
     RecoveryCampaignConfig,
@@ -29,36 +31,32 @@ use dwt_rtl::compile::CompiledEngine;
 use dwt_rtl::engine::Engine;
 use dwt_rtl::sim::Simulator;
 
-fn parse_cfg(shared: &CampaignArgs) -> RecoveryCampaignConfig {
+fn parse_cfg(shared: &CampaignArgs) -> Result<RecoveryCampaignConfig, UsageError> {
     let mut cfg = RecoveryCampaignConfig::default();
     if let Some(seed) = shared.seed {
         cfg.seed = seed;
     }
     let mut args = shared.rest.iter();
     while let Some(flag) = args.next() {
-        let mut value = |what: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{flag} expects a {what}"))
-        };
         match flag.as_str() {
-            "--pairs" => cfg.pairs = value("count").parse().expect("--pairs"),
-            "--tile" => cfg.tile_pairs = value("count").parse().expect("--tile"),
-            "--rate" => cfg.seu_rate = value("rate").parse().expect("--rate"),
-            "--stuck" => cfg.stuck_fraction = value("fraction").parse().expect("--stuck"),
+            "--pairs" => cfg.pairs = flag_value(&mut args, "--pairs", "count")?,
+            "--tile" => cfg.tile_pairs = flag_value(&mut args, "--tile", "count")?,
+            "--rate" => cfg.seu_rate = flag_value(&mut args, "--rate", "rate")?,
+            "--stuck" => cfg.stuck_fraction = flag_value(&mut args, "--stuck", "fraction")?,
             "--common-mode" => {
-                cfg.common_mode = value("fraction").parse().expect("--common-mode");
+                cfg.common_mode = flag_value(&mut args, "--common-mode", "fraction")?;
             }
             "--max-replays" => {
-                cfg.max_replays = value("count").parse().expect("--max-replays");
+                cfg.max_replays = flag_value(&mut args, "--max-replays", "count")?;
             }
             "--event-cap" => {
-                cfg.event_cap = Some(value("count").parse().expect("--event-cap"));
+                cfg.event_cap = Some(flag_value(&mut args, "--event-cap", "count")?);
             }
             "--no-dwc" => cfg.dwc = false,
-            other => panic!("unknown argument '{other}'"),
+            other => return Err(unknown_flag(other)),
         }
     }
-    cfg
+    Ok(cfg)
 }
 
 fn run<E: Engine>(shared: &CampaignArgs, cfg: &RecoveryCampaignConfig) {
@@ -91,7 +89,7 @@ fn run<E: Engine>(shared: &CampaignArgs, cfg: &RecoveryCampaignConfig) {
 
 fn main() {
     let shared = CampaignArgs::parse();
-    let cfg = parse_cfg(&shared);
+    let cfg = parse_cfg(&shared).unwrap_or_else(|e| e.exit());
     match shared.backend {
         BackendChoice::Event => run::<Simulator>(&shared, &cfg),
         BackendChoice::Compiled => run::<CompiledEngine>(&shared, &cfg),

@@ -18,13 +18,15 @@
 //! exits nonzero if any design's compiled-over-event speedup falls
 //! below F — CI gates on 1.0, i.e. "the compiled backend must not be
 //! slower than what it replaces".
+//!
+//! Exit codes: 0 success, 1 gate failure, 2 usage error.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use dwt_arch::designs::Design;
 use dwt_arch::golden::still_tone_pairs;
-use dwt_bench::campaign::json_escape;
+use dwt_bench::campaign::{flag_value, json_escape, unknown_flag, UsageError, EXIT_GATE};
 use dwt_rtl::compile::{CompiledEngine, LANES};
 use dwt_rtl::engine::Engine;
 use dwt_rtl::sim::Simulator;
@@ -36,7 +38,7 @@ struct Args {
     min_speedup: Option<f64>,
 }
 
-fn parse_args() -> Args {
+fn parse_args() -> Result<Args, UsageError> {
     let mut out = Args {
         pairs: 512,
         seed: 2005,
@@ -45,21 +47,17 @@ fn parse_args() -> Args {
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut value = |what: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{flag} expects a {what}"))
-        };
         match flag.as_str() {
-            "--pairs" => out.pairs = value("count").parse().expect("--pairs"),
-            "--seed" => out.seed = value("seed").parse().expect("--seed"),
-            "--json" => out.json = value("path"),
+            "--pairs" => out.pairs = flag_value(&mut args, "--pairs", "count")?,
+            "--seed" => out.seed = flag_value(&mut args, "--seed", "seed")?,
+            "--json" => out.json = flag_value(&mut args, "--json", "path")?,
             "--min-speedup" => {
-                out.min_speedup = Some(value("factor").parse().expect("--min-speedup"));
+                out.min_speedup = Some(flag_value(&mut args, "--min-speedup", "factor")?);
             }
-            other => panic!("unknown argument '{other}'"),
+            other => return Err(unknown_flag(other)),
         }
     }
-    out
+    Ok(out)
 }
 
 struct Row {
@@ -149,7 +147,7 @@ fn json_report(args: &Args, rows: &[Row]) -> String {
 }
 
 fn main() {
-    let args = parse_args();
+    let args = parse_args().unwrap_or_else(|e| e.exit());
     let stimulus = still_tone_pairs(args.pairs, args.seed);
     println!(
         "Simulation throughput — {} pairs per design, seed {}, {} compiled lanes",
@@ -204,7 +202,7 @@ fn main() {
             .fold(f64::INFINITY, f64::min);
         if worst < floor {
             eprintln!("FAIL: worst compiled speedup {worst:.2}x below --min-speedup {floor}");
-            std::process::exit(1);
+            std::process::exit(EXIT_GATE);
         }
         println!("speedup gate: worst {worst:.2}x ≥ {floor}x — ok");
     }

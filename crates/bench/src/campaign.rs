@@ -321,6 +321,147 @@ impl BackendChoice {
     }
 }
 
+/// Process exit code for a malformed invocation (bad flag, missing or
+/// unparsable value) — distinct from [`EXIT_GATE`] so CI can tell "the
+/// job is misconfigured" from "the result regressed".
+pub const EXIT_USAGE: i32 = 2;
+
+/// Process exit code for a failed result gate (`--max-sdc`,
+/// `--min-availability`, `--min-speedup`).
+pub const EXIT_GATE: i32 = 1;
+
+/// A typed command-line usage error: the offending flag and what went
+/// wrong. Campaign binaries print it to stderr and exit with
+/// [`EXIT_USAGE`] via [`UsageError::exit`] — never a panic, so a bad
+/// invocation yields one readable line instead of a backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError {
+    /// The flag (or stray argument) that failed.
+    pub flag: String,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl UsageError {
+    /// A usage error for `flag`.
+    #[must_use]
+    pub fn new(flag: impl Into<String>, message: impl Into<String>) -> Self {
+        UsageError { flag: flag.into(), message: message.into() }
+    }
+
+    /// Prints the error to stderr and exits with [`EXIT_USAGE`].
+    pub fn exit(&self) -> ! {
+        eprintln!("usage error: {self}");
+        std::process::exit(EXIT_USAGE);
+    }
+}
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.flag, self.message)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The error for an argument no flag loop recognised.
+#[must_use]
+pub fn unknown_flag(flag: &str) -> UsageError {
+    UsageError::new(flag, "unknown argument")
+}
+
+/// Parses one flag value, naming the flag and the expected shape in
+/// the error.
+///
+/// # Errors
+///
+/// [`UsageError`] when `raw` fails to parse as `T`.
+pub fn parse_value<T: std::str::FromStr>(
+    flag: &str,
+    raw: &str,
+    what: &str,
+) -> Result<T, UsageError> {
+    raw.parse()
+        .map_err(|_| UsageError::new(flag, format!("expects a {what}, got '{raw}'")))
+}
+
+/// Pulls `flag`'s value from the argument iterator and parses it —
+/// the shared body of every campaign binary's flag loop.
+///
+/// # Errors
+///
+/// [`UsageError`] when the value is missing or fails to parse.
+pub fn flag_value<T, I, S>(args: &mut I, flag: &str, what: &str) -> Result<T, UsageError>
+where
+    T: std::str::FromStr,
+    I: Iterator<Item = S>,
+    S: AsRef<str>,
+{
+    let raw = args
+        .next()
+        .ok_or_else(|| UsageError::new(flag, format!("expects a {what}")))?;
+    parse_value(flag, raw.as_ref(), what)
+}
+
+/// Splits a `A,B,...` flag value into exactly `n` parsed parts
+/// (`--burst 4000,800,6`, `--slow-lane 1,2.0`, …).
+///
+/// # Errors
+///
+/// [`UsageError`] when the count is off or any part fails to parse.
+pub fn parse_parts<T: std::str::FromStr>(
+    flag: &str,
+    raw: &str,
+    n: usize,
+) -> Result<Vec<T>, UsageError> {
+    let out: Result<Vec<T>, UsageError> = raw
+        .split(',')
+        .map(|p| parse_value(flag, p.trim(), "number"))
+        .collect();
+    let out = out?;
+    if out.len() == n {
+        Ok(out)
+    } else {
+        Err(UsageError::new(
+            flag,
+            format!("expects {n} comma-separated values, got '{raw}'"),
+        ))
+    }
+}
+
+/// Splits a `A,B,...` flag value into one-or-more parsed parts
+/// (`--sweep 16,8,4`).
+///
+/// # Errors
+///
+/// [`UsageError`] when the list is empty or any part fails to parse.
+pub fn parse_list<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<Vec<T>, UsageError> {
+    let out: Result<Vec<T>, UsageError> = raw
+        .split(',')
+        .filter(|p| !p.trim().is_empty())
+        .map(|p| parse_value(flag, p.trim(), "number"))
+        .collect();
+    let out = out?;
+    if out.is_empty() {
+        Err(UsageError::new(flag, format!("expects at least one value, got '{raw}'")))
+    } else {
+        Ok(out)
+    }
+}
+
+/// Parses a `--design` value (`1..=5`) into the paper design it names.
+///
+/// # Errors
+///
+/// [`UsageError`] outside `1..=5`.
+pub fn parse_design(flag: &str, raw: &str) -> Result<dwt_arch::designs::Design, UsageError> {
+    let n: usize = parse_value(flag, raw, "design number (1..=5)")?;
+    dwt_arch::designs::Design::all()
+        .get(n.wrapping_sub(1))
+        .copied()
+        .ok_or_else(|| UsageError::new(flag, format!("expects 1..=5, got {n}")))
+}
+
 /// The command-line flags every campaign binary shares, parsed once.
 ///
 /// [`CampaignArgs::parse`] consumes `--seed`, `--json`, `--max-sdc`,
@@ -329,7 +470,9 @@ impl BackendChoice {
 /// preserved) for the binary's own flag loop. The gate flags carry
 /// uniform semantics across all binaries via
 /// [`CampaignArgs::enforce_gates`]: print one line per configured gate,
-/// exit nonzero if any failed.
+/// exit with [`EXIT_GATE`] if any failed. Bad invocations exit with
+/// [`EXIT_USAGE`] instead, so the two failure modes are distinguishable
+/// from the exit code alone.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignArgs {
     /// `--seed S`: campaign seed override (applied by the binary).
@@ -347,52 +490,57 @@ pub struct CampaignArgs {
 }
 
 impl CampaignArgs {
-    /// Parses the shared flags out of the process arguments.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message when a shared flag is missing its
-    /// value or the value fails to parse — campaign binaries treat bad
-    /// invocations as fatal.
+    /// Parses the shared flags out of the process arguments, exiting
+    /// with [`EXIT_USAGE`] (after one line to stderr) when a shared
+    /// flag is missing its value or the value fails to parse.
     #[must_use]
     pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1))
+        Self::try_parse_from(std::env::args().skip(1)).unwrap_or_else(|e| e.exit())
     }
 
-    /// [`CampaignArgs::parse`] over an explicit argument iterator.
+    /// [`CampaignArgs::parse`] over an explicit argument iterator,
+    /// surfacing the usage error instead of exiting.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Same conditions as [`CampaignArgs::parse`].
-    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+    /// [`UsageError`] when a shared flag is missing its value or the
+    /// value fails to parse. Unrecognised arguments are not errors
+    /// here — they land in [`CampaignArgs::rest`] for the binary's own
+    /// flag loop to accept or reject.
+    pub fn try_parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, UsageError> {
         let mut out = CampaignArgs::default();
         let mut args = args.into_iter();
         while let Some(flag) = args.next() {
-            let mut value = |what: &str| {
-                args.next()
-                    .unwrap_or_else(|| panic!("{flag} expects a {what}"))
-            };
             match flag.as_str() {
-                "--seed" => out.seed = Some(value("seed").parse().expect("--seed")),
-                "--json" => out.json = Some(value("path")),
-                "--max-sdc" => {
-                    out.max_sdc = Some(value("count").parse().expect("--max-sdc"));
+                "--seed" => out.seed = Some(flag_value(&mut args, &flag, "seed")?),
+                "--json" => {
+                    out.json = Some(args.next().ok_or_else(|| {
+                        UsageError::new(&flag, "expects a path")
+                    })?);
                 }
+                "--max-sdc" => out.max_sdc = Some(flag_value(&mut args, &flag, "count")?),
                 "--min-availability" => {
-                    out.min_availability =
-                        Some(value("fraction").parse().expect("--min-availability"));
+                    out.min_availability = Some(flag_value(&mut args, &flag, "fraction")?);
                 }
                 "--backend" => {
-                    out.backend = match value("event|compiled").as_str() {
+                    let raw = args.next().ok_or_else(|| {
+                        UsageError::new(&flag, "expects event|compiled")
+                    })?;
+                    out.backend = match raw.as_str() {
                         "event" => BackendChoice::Event,
                         "compiled" => BackendChoice::Compiled,
-                        other => panic!("--backend expects event|compiled, got '{other}'"),
+                        other => {
+                            return Err(UsageError::new(
+                                &flag,
+                                format!("expects event|compiled, got '{other}'"),
+                            ))
+                        }
                     };
                 }
                 _ => out.rest.push(flag),
             }
         }
-        out
+        Ok(out)
     }
 
     /// Writes the rendered report to the `--json` path, if one was
@@ -410,8 +558,8 @@ impl CampaignArgs {
     }
 
     /// Enforces the `--max-sdc` / `--min-availability` gates with the
-    /// uniform pass/fail lines, exiting nonzero if any gate failed.
-    /// Binaries without an availability quantity pass `None`.
+    /// uniform pass/fail lines, exiting with [`EXIT_GATE`] if any gate
+    /// failed. Binaries without an availability quantity pass `None`.
     pub fn enforce_gates(&self, sdc_escapes: usize, min_availability: Option<f64>) {
         let mut failed = false;
         if let Some(max) = self.max_sdc {
@@ -435,7 +583,7 @@ impl CampaignArgs {
             }
         }
         if failed {
-            std::process::exit(1);
+            std::process::exit(EXIT_GATE);
         }
     }
 }
@@ -600,19 +748,58 @@ mod tests {
 
     #[test]
     fn shared_args_split_off_their_flags() {
-        let args = CampaignArgs::parse_from(
+        let args = CampaignArgs::try_parse_from(
             [
                 "--faults", "9", "--seed", "41", "--backend", "compiled", "--max-sdc", "0",
                 "--min-availability", "0.5", "--json", "out.json", "--tile", "8",
             ]
             .map(str::to_owned),
-        );
+        )
+        .unwrap();
         assert_eq!(args.seed, Some(41));
         assert_eq!(args.backend, BackendChoice::Compiled);
         assert_eq!(args.max_sdc, Some(0));
         assert_eq!(args.min_availability, Some(0.5));
         assert_eq!(args.json.as_deref(), Some("out.json"));
         assert_eq!(args.rest, ["--faults", "9", "--tile", "8"]);
+    }
+
+    #[test]
+    fn bad_shared_flags_are_typed_usage_errors_not_panics() {
+        let missing = CampaignArgs::try_parse_from(["--seed".to_owned()]).unwrap_err();
+        assert_eq!(missing.flag, "--seed");
+        let unparsable =
+            CampaignArgs::try_parse_from(["--seed", "banana"].map(str::to_owned)).unwrap_err();
+        assert!(unparsable.message.contains("banana"), "{unparsable}");
+        let backend =
+            CampaignArgs::try_parse_from(["--backend", "quantum"].map(str::to_owned))
+                .unwrap_err();
+        assert!(backend.message.contains("quantum"), "{backend}");
+    }
+
+    #[test]
+    fn flag_helpers_parse_and_reject() {
+        let mut args = ["8"].iter().map(|s| (*s).to_owned());
+        let n: usize = flag_value(&mut args, "--tile", "count").unwrap();
+        assert_eq!(n, 8);
+        let mut empty = std::iter::empty::<String>();
+        let err = flag_value::<usize, _, _>(&mut empty, "--tile", "count").unwrap_err();
+        assert_eq!(err.flag, "--tile");
+
+        assert_eq!(parse_parts::<u64>("--stuck-lane", "1, 900", 2).unwrap(), vec![1, 900]);
+        assert!(parse_parts::<u64>("--stuck-lane", "1", 2).is_err());
+        assert!(parse_parts::<u64>("--stuck-lane", "1,x", 2).is_err());
+
+        assert_eq!(parse_list::<u64>("--sweep", "16,8,4").unwrap(), vec![16, 8, 4]);
+        assert!(parse_list::<u64>("--sweep", "").is_err());
+
+        assert_eq!(
+            parse_design("--design", "3").unwrap(),
+            dwt_arch::designs::Design::D3
+        );
+        assert!(parse_design("--design", "0").is_err());
+        assert!(parse_design("--design", "6").is_err());
+        assert!(parse_design("--design", "three").is_err());
     }
 
     #[test]

@@ -17,12 +17,17 @@
 //! | `fault_campaign` | SEU outcome histogram per variant (masked / detected / SDC) |
 //! | `recovery_campaign` | Availability and ladder usage of the recovery runtime under Poisson SEUs |
 //! | `pool_campaign` | Goodput, availability and latency tails of the multi-lane scheduler under chaos |
+//! | `serve_load` | Wall-clock tiles/sec, latency tails and availability of the threaded serving runtime |
 //! | `sim_throughput` | Samples/sec of the event-driven vs compiled bit-sliced backends per design |
 //!
-//! The three campaign binaries share their common flags
+//! The campaign binaries share their common flags
 //! (`--seed`, `--json`, `--max-sdc`, `--min-availability`,
 //! `--backend event|compiled`) through [`campaign::CampaignArgs`], so
-//! exit-gate semantics are identical across them.
+//! exit-gate semantics are identical across them: exit code 0 on
+//! success, [`campaign::EXIT_GATE`] (1) when a `--max-sdc` /
+//! `--min-availability` / `--min-speedup` gate fails, and
+//! [`campaign::EXIT_USAGE`] (2) for a malformed command line (typed
+//! [`campaign::UsageError`] on stderr, never a panic).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +35,7 @@
 pub mod campaign;
 pub mod pool;
 pub mod recovery;
+pub mod serve;
 
 use dwt_arch::designs::Design;
 use dwt_arch::golden::still_tone_pairs;

@@ -20,6 +20,12 @@
 //! * [`chaos`] — correlated failure scenarios (common-mode SEU bursts,
 //!   permanently stuck lanes, slow lanes) compiled into per-lane
 //!   deterministic fault injectors.
+//! * [`clock`] — the tick-source abstraction that lets the breaker,
+//!   admission and cost-model machinery run identically on simulator
+//!   cycles (this crate's deterministic pool) and monotonic wall-clock
+//!   nanoseconds (the `dwt-serve` runtime), with a hand-cranked
+//!   [`clock::VirtualClock`] keeping wall-clock code testable
+//!   deterministically.
 //!
 //! Everything runs on virtual time: tile arrivals, queue depths,
 //! breaker cooldowns and fault arrivals are all keyed to simulator
@@ -37,6 +43,7 @@
 pub mod admission;
 pub mod breaker;
 pub mod chaos;
+pub mod clock;
 pub mod error;
 pub mod health;
 pub mod lane;

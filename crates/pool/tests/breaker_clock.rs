@@ -1,0 +1,161 @@
+//! The circuit breaker through the [`Clock`] trait: the wall-clock port
+//! must not change breaker semantics.
+//!
+//! `CircuitBreaker` takes "now" as a unit-agnostic `u64`, which is what
+//! lets `dwt-serve` drive it with monotonic nanoseconds while the pool
+//! drives it with simulator cycles. This suite proves the two drives
+//! are the same state machine: the exponential cooldown schedule is
+//! monotone (and capped) under a hand-cranked [`VirtualClock`], and a
+//! full Closed → Open → HalfOpen → Closed canary trajectory produces
+//! identical transitions whether "now" means cycles or nanoseconds.
+
+use dwt_pool::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use dwt_pool::clock::{Clock, MonotonicClock, VirtualClock};
+
+fn cfg(open: u64) -> BreakerConfig {
+    BreakerConfig { open_cycles: open, max_backoff_exp: 4, ..BreakerConfig::default() }
+}
+
+/// Drives the breaker to Open from Closed with the minimum failure
+/// burst, reading "now" from the clock.
+fn trip(b: &mut CircuitBreaker, clock: &dyn Clock) {
+    while b.state() != BreakerState::Open {
+        b.record(false, clock.now());
+    }
+}
+
+/// Waits (by advancing the virtual clock) until the breaker admits,
+/// returning how many ticks the cooldown held.
+fn cooldown_ticks(b: &CircuitBreaker, clock: &VirtualClock) -> u64 {
+    let start = clock.now();
+    while !b.admits(clock.now()) {
+        clock.advance(1);
+    }
+    clock.now() - start
+}
+
+#[test]
+fn exponential_cooldown_schedule_is_monotone_and_capped() {
+    // Nanosecond-scale cooldowns, as the serving runtime configures.
+    let open_ns = 1_000_000; // 1 ms
+    let clock = VirtualClock::new();
+    let mut b = CircuitBreaker::new(cfg(open_ns));
+    trip(&mut b, &clock);
+
+    let mut last = 0u64;
+    let mut schedule = Vec::new();
+    for reopen in 0..8 {
+        let held = cooldown_ticks(&b, &clock);
+        schedule.push(held);
+        assert!(
+            held >= last,
+            "cooldown schedule must be monotone: reopen {reopen} held {held} < {last}\n\
+             schedule so far: {schedule:?}"
+        );
+        // Below the cap every consecutive reopen doubles the cooldown.
+        if (1..=4).contains(&reopen) {
+            assert_eq!(held, schedule[reopen - 1] * 2, "doubling below the cap");
+        }
+        last = held;
+        // Failed canary: reopen with the longer cooldown.
+        assert!(b.on_dispatch(clock.now()), "post-cooldown dispatch is a canary");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(false, clock.now());
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+    // The cap: 2^4 x the base cooldown, never more.
+    assert_eq!(*schedule.last().unwrap(), open_ns << 4);
+    assert_eq!(schedule[schedule.len() - 2], open_ns << 4, "held at the cap");
+}
+
+#[test]
+fn canary_semantics_are_identical_across_time_units() {
+    // The same outcome sequence, once on a "cycle" clock (1 tick per
+    // event, cooldown 256 as the pool default) and once on a "nano"
+    // clock (1 us per event, cooldown 256 us). If the port to wall
+    // time changed any semantics, the transition sequences diverge.
+    let run = |tick: u64, open: u64| {
+        let clock = VirtualClock::new();
+        let mut b = CircuitBreaker::new(cfg(open));
+        let mut states = vec![b.state()];
+        let outcomes = [
+            false, false, // trip
+            true, // canary success -> Closed, history cleared
+            false, false, // trip again
+            false, // failed canary -> longer cooldown
+            true, // canary success -> Closed
+        ];
+        for &ok in &outcomes {
+            // Step to the next event instant; sit out any cooldown.
+            clock.advance(tick);
+            while !b.admits(clock.now()) {
+                clock.advance(tick);
+            }
+            b.on_dispatch(clock.now());
+            b.record(ok, clock.now());
+            states.push(b.state());
+        }
+        (
+            states,
+            b.transitions().iter().map(|t| (t.from, t.to)).collect::<Vec<_>>(),
+        )
+    };
+
+    let cycles = run(1, 256);
+    let nanos = run(1_000, 256_000);
+    assert_eq!(cycles, nanos, "time unit must not change the state machine");
+    // And the trajectory itself is the canonical canary story.
+    assert_eq!(
+        cycles.1,
+        vec![
+            (BreakerState::Closed, BreakerState::Open),
+            (BreakerState::Open, BreakerState::HalfOpen),
+            (BreakerState::HalfOpen, BreakerState::Closed),
+            (BreakerState::Closed, BreakerState::Open),
+            (BreakerState::Open, BreakerState::HalfOpen),
+            (BreakerState::HalfOpen, BreakerState::Open),
+            (BreakerState::Open, BreakerState::HalfOpen),
+            (BreakerState::HalfOpen, BreakerState::Closed),
+        ]
+    );
+}
+
+#[test]
+fn canary_close_resets_the_backoff_schedule() {
+    let clock = VirtualClock::new();
+    let mut b = CircuitBreaker::new(cfg(100));
+    trip(&mut b, &clock);
+    // Burn three reopens: cooldowns 100, 200, 400.
+    for _ in 0..3 {
+        cooldown_ticks(&b, &clock);
+        b.on_dispatch(clock.now());
+        b.record(false, clock.now());
+    }
+    cooldown_ticks(&b, &clock);
+    b.on_dispatch(clock.now());
+    b.record(true, clock.now()); // canary success
+    assert_eq!(b.state(), BreakerState::Closed);
+
+    // A fresh trip starts the schedule over at the base cooldown.
+    trip(&mut b, &clock);
+    assert_eq!(cooldown_ticks(&b, &clock), 100, "backoff history cleared by close");
+}
+
+#[test]
+fn wall_clock_drive_reaches_half_open_after_real_cooldown() {
+    // A tiny smoke against the real monotonic clock: trip, spin past
+    // the (very short) cooldown, and confirm the canary fires. Bounded
+    // by a wall timeout so a broken clock cannot hang the suite.
+    let clock = MonotonicClock::new();
+    let mut b = CircuitBreaker::new(cfg(50_000)); // 50 us cooldown
+    trip(&mut b, &clock);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while !b.admits(clock.now()) {
+        assert!(std::time::Instant::now() < deadline, "cooldown never elapsed");
+        std::thread::yield_now();
+    }
+    assert!(b.on_dispatch(clock.now()), "first wall-clock dispatch is a canary");
+    assert_eq!(b.state(), BreakerState::HalfOpen);
+    b.record(true, clock.now());
+    assert_eq!(b.state(), BreakerState::Closed);
+}

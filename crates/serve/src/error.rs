@@ -1,0 +1,60 @@
+//! Serving-runtime error type.
+
+use std::fmt;
+
+/// Any error the serving runtime can raise.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A worker's recovery harness failed (engine construction,
+    /// snapshot restore, …) — propagated from `dwt-recover`.
+    Recover(dwt_recover::Error),
+    /// Chaos-scenario construction failed — propagated from `dwt-pool`.
+    Pool(dwt_pool::Error),
+    /// The server configuration is malformed.
+    InvalidConfig(String),
+    /// A request was submitted to a server that has begun shutdown.
+    ShuttingDown,
+    /// A request carried no sample pairs.
+    EmptyRequest,
+    /// Every worker thread has died; the server cannot make progress.
+    AllWorkersDead,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Recover(e) => write!(f, "recovery harness: {e}"),
+            Error::Pool(e) => write!(f, "chaos scenario: {e}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            Error::ShuttingDown => write!(f, "server is shutting down"),
+            Error::EmptyRequest => write!(f, "request has no sample pairs"),
+            Error::AllWorkersDead => write!(f, "all worker threads have died"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Recover(e) => Some(e),
+            Error::Pool(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dwt_recover::Error> for Error {
+    fn from(e: dwt_recover::Error) -> Self {
+        Error::Recover(e)
+    }
+}
+
+impl From<dwt_pool::Error> for Error {
+    fn from(e: dwt_pool::Error) -> Self {
+        Error::Pool(e)
+    }
+}
+
+/// Serving-runtime result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,108 @@
+//! Requests into and responses out of the serving runtime.
+
+use dwt_recover::executor::Rung;
+
+/// One tile-compression request: an independent run of sample pairs.
+///
+/// Tiles are the serving unit because the recovery runtime's flush
+/// makes them self-contained: the committed coefficients of a tile
+/// depend only on its own pairs, so any worker (or the software golden
+/// model) can serve it and the answer is identical bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileRequest {
+    /// Caller-chosen identifier, echoed in the response.
+    pub id: u64,
+    /// The tile's sample pairs (even, odd). Must be non-empty.
+    pub pairs: Vec<(i64, i64)>,
+}
+
+/// Why a request was denied hardware service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The bounded ingress queue was full and the overload policy is
+    /// [`OverloadPolicy::Shed`](crate::config::OverloadPolicy::Shed).
+    QueueFull,
+    /// No worker's breaker admitted the request and none could meet
+    /// its deadline at submission time.
+    NoAdmissibleWorker,
+    /// The request's wall-clock deadline passed while it was queued.
+    DeadlineExceeded,
+    /// Every permitted hardware attempt failed.
+    RetriesExhausted,
+}
+
+impl ShedReason {
+    /// Stable lowercase name for reports.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::NoAdmissibleWorker => "no_admissible_worker",
+            ShedReason::DeadlineExceeded => "deadline_exceeded",
+            ShedReason::RetriesExhausted => "retries_exhausted",
+        }
+    }
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Who finally served a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// A worker's hardware lane served it, at the given ladder rung.
+    Worker {
+        /// Worker index.
+        worker: usize,
+        /// The recovery-ladder rung that committed the tile.
+        rung: Rung,
+    },
+    /// The software golden model served it — correct by definition,
+    /// zero hardware throughput. The reason records why hardware
+    /// couldn't.
+    Golden(ShedReason),
+}
+
+impl ServedBy {
+    /// Whether hardware (any worker, any rung short of the golden
+    /// fallback) served the request.
+    #[must_use]
+    pub fn hardware_served(&self) -> bool {
+        matches!(self, ServedBy::Worker { rung, .. } if *rung != Rung::GoldenFallback)
+    }
+}
+
+/// The served response for one [`TileRequest`].
+///
+/// Every submitted request gets exactly one response: the degradation
+/// ladder ends in the software golden model, which cannot fail, so the
+/// server sheds *hardware* service under overload or chaos but never
+/// drops a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileResponse {
+    /// The request's identifier.
+    pub id: u64,
+    /// Sample pairs the request carried.
+    pub pairs: usize,
+    /// Low-pass (approximation) coefficients, one per pair.
+    pub low: Vec<i64>,
+    /// High-pass (detail) coefficients, one per pair.
+    pub high: Vec<i64>,
+    /// Who served it.
+    pub served_by: ServedBy,
+    /// Hardware attempts dispatched (0 when shed before any dispatch).
+    pub attempts: u32,
+    /// Wall-clock latency from submission to commit, in nanoseconds.
+    pub latency_ns: u64,
+}
+
+impl TileResponse {
+    /// Whether hardware served this response.
+    #[must_use]
+    pub fn hardware_served(&self) -> bool {
+        self.served_by.hardware_served()
+    }
+}

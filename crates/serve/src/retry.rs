@@ -1,0 +1,124 @@
+//! Bounded retry with exponential backoff and deterministic jitter.
+//!
+//! A recoverable hardware failure (harness error, or a tile the
+//! worker's whole ladder failed to serve) re-enters the queue after a
+//! backoff delay rather than immediately: hammering a sick worker's
+//! siblings in lockstep is how one fault becomes a retry storm. The
+//! backoff doubles per attempt up to a cap, and jitter decorrelates
+//! the retriers. The jitter itself is *deterministic* — derived by
+//! hashing `(seed, request id, attempt)` — so a seeded campaign
+//! produces the same retry schedule every run, which keeps chaos
+//! benchmarks reproducible without threading an RNG through the
+//! server.
+
+/// Retry policy for recoverable hardware failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum hardware attempts per request (first dispatch
+    /// included). `1` disables retries; `0` is invalid.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in nanoseconds. Doubles each
+    /// further attempt.
+    pub base_backoff_ns: u64,
+    /// Backoff ceiling, in nanoseconds.
+    pub max_backoff_ns: u64,
+    /// Jitter amplitude as a fraction of the computed backoff, in
+    /// `[0, 1]`. The jittered delay is uniform in
+    /// `backoff x [1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ns: 200_000,    // 200 µs
+            max_backoff_ns: 10_000_000,  // 10 ms
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether attempt number `attempt` (1-based) may be dispatched.
+    #[must_use]
+    pub fn allows(&self, attempt: u32) -> bool {
+        attempt <= self.max_attempts
+    }
+
+    /// Backoff before retry `attempt` (the attempt about to run;
+    /// `attempt >= 2`), jittered deterministically from
+    /// `(seed, request_id, attempt)`.
+    #[must_use]
+    pub fn backoff_ns(&self, seed: u64, request_id: u64, attempt: u32) -> u64 {
+        let exp = attempt.saturating_sub(2).min(62);
+        let raw = self
+            .base_backoff_ns
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_ns);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 || raw == 0 {
+            return raw;
+        }
+        // Uniform in [1 - jitter, 1 + jitter] from a splitmix64 hash of
+        // the (seed, id, attempt) triple.
+        let h = splitmix64(
+            seed ^ request_id.rotate_left(17) ^ u64::from(attempt).rotate_left(41),
+        );
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let scale = 1.0 - jitter + 2.0 * jitter * unit;
+        let scaled = (raw as f64 * scale).round();
+        if scaled <= 0.0 {
+            1
+        } else if scaled >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            scaled as u64
+        }
+    }
+}
+
+/// SplitMix64 finalizer — the same mixing step the `rand` shim's
+/// seeding uses; enough to decorrelate retry delays.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_to_the_cap() {
+        let p = RetryPolicy { jitter: 0.0, ..RetryPolicy::default() };
+        assert_eq!(p.backoff_ns(0, 0, 2), 200_000);
+        assert_eq!(p.backoff_ns(0, 0, 3), 400_000);
+        assert_eq!(p.backoff_ns(0, 0, 4), 800_000);
+        assert_eq!(p.backoff_ns(0, 0, 9), 10_000_000, "capped");
+        assert_eq!(p.backoff_ns(0, 0, 100), 10_000_000, "cap holds far out");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = RetryPolicy { jitter: 0.5, ..RetryPolicy::default() };
+        for id in 0..200u64 {
+            let d = p.backoff_ns(42, id, 2);
+            assert!((100_000..=300_000).contains(&d), "jitter out of band: {d}");
+            assert_eq!(d, p.backoff_ns(42, id, 2), "same triple, same delay");
+        }
+        // Different requests actually get different delays.
+        let delays: std::collections::HashSet<u64> =
+            (0..200u64).map(|id| p.backoff_ns(42, id, 2)).collect();
+        assert!(delays.len() > 100, "jitter decorrelates requests");
+    }
+
+    #[test]
+    fn attempts_gate() {
+        let p = RetryPolicy { max_attempts: 3, ..RetryPolicy::default() };
+        assert!(p.allows(1) && p.allows(3));
+        assert!(!p.allows(4));
+    }
+}

@@ -28,6 +28,8 @@ pub enum DwtError {
     Recover(dwt_recover::Error),
     /// Multi-lane scheduler error (`dwt-pool`).
     Pool(dwt_pool::Error),
+    /// Wall-clock serving-runtime error (`dwt-serve`).
+    Serve(dwt_serve::Error),
 }
 
 impl fmt::Display for DwtError {
@@ -39,6 +41,7 @@ impl fmt::Display for DwtError {
             DwtError::Codec(e) => write!(f, "codec: {e}"),
             DwtError::Recover(e) => write!(f, "recover: {e}"),
             DwtError::Pool(e) => write!(f, "pool: {e}"),
+            DwtError::Serve(e) => write!(f, "serve: {e}"),
         }
     }
 }
@@ -52,6 +55,7 @@ impl StdError for DwtError {
             DwtError::Codec(e) => Some(e),
             DwtError::Recover(e) => Some(e),
             DwtError::Pool(e) => Some(e),
+            DwtError::Serve(e) => Some(e),
         }
     }
 }
@@ -89,6 +93,12 @@ impl From<dwt_recover::Error> for DwtError {
 impl From<dwt_pool::Error> for DwtError {
     fn from(e: dwt_pool::Error) -> Self {
         DwtError::Pool(e)
+    }
+}
+
+impl From<dwt_serve::Error> for DwtError {
+    fn from(e: dwt_serve::Error) -> Self {
+        DwtError::Serve(e)
     }
 }
 

@@ -24,6 +24,10 @@
 //! * [`pool`] — the fault-tolerant multi-lane tile scheduler built on
 //!   `recover`: health-scored lanes, cycle-clocked circuit breakers,
 //!   deadline admission control and correlated chaos scenarios.
+//! * [`serve`] — the wall-clock serving runtime: the pool's defences
+//!   (breakers, deadline admission, health scoring) carried onto real
+//!   worker threads via the `Clock` abstraction, with bounded-queue
+//!   backpressure, retries and a software-golden fallback.
 //! * [`imaging`] — synthetic still-tone test imagery and PGM I/O.
 //! * [`codec`] — the quantizer + entropy-coding back end completing the
 //!   compression pipeline of the paper's introduction.
@@ -58,3 +62,4 @@ pub use dwt_lint as lint;
 pub use dwt_pool as pool;
 pub use dwt_recover as recover;
 pub use dwt_rtl as rtl;
+pub use dwt_serve as serve;

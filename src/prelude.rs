@@ -58,8 +58,12 @@ pub use dwt_recover::watchdog::WatchdogConfig;
 
 // pool: the multi-lane scheduler and its chaos scenarios.
 pub use dwt_pool::chaos::ChaosConfig;
+pub use dwt_pool::clock::{Clock, MonotonicClock, VirtualClock};
 pub use dwt_pool::report::PoolReport;
 pub use dwt_pool::scheduler::{Pool, PoolConfig};
+
+// serve: the wall-clock serving runtime over real worker threads.
+pub use dwt_serve::{ServeConfig, ServeReport, ServeStats, Server, TileRequest, TileResponse};
 
 // imaging + codec: test imagery, PGM I/O, and the compression back end.
 pub use dwt_codec::image::{bits_per_pixel, compress, decompress, CodecConfig};
