@@ -87,16 +87,6 @@ fn targets() -> Vec<(String, Netlist, usize, usize)> {
     rows
 }
 
-/// The default planted-bug location per mutation (alpha-stage cells of
-/// any design), overridable with `--target`.
-fn default_target(mutation: Mutation) -> &'static str {
-    match mutation {
-        Mutation::BypassRegister => "r_in_even",
-        Mutation::ShrinkAdder => "alpha_pair",
-        Mutation::DisconnectNet => "alpha_sprev",
-    }
-}
-
 fn main() -> ExitCode {
     let args = parse_args();
     let selected: Vec<_> = targets()
@@ -121,7 +111,7 @@ fn main() -> ExitCode {
             None => swept,
             Some(m) => {
                 let target =
-                    args.mutate_target.clone().unwrap_or_else(|| default_target(m).to_owned());
+                    args.mutate_target.clone().unwrap_or_else(|| m.default_target().to_owned());
                 match m.apply(&swept, &target) {
                     Some(mutated) => mutated,
                     None => {

@@ -1,0 +1,257 @@
+//! And-inverter graph with structural hashing and constant folding.
+//!
+//! Every function is expressed over two-input AND nodes and literal
+//! inversion. [`Aig::and`] folds constants and idempotent/contradictory
+//! operand pairs, then strashes: a structurally identical node is never
+//! created twice, so syntactically identical cones (the common case
+//! when comparing a netlist against its own compiled form, or TMR
+//! replicas against each other) collapse to the *same literal* before
+//! any SAT query is posed.
+//!
+//! The graph also evaluates itself over `u64` words ([`Aig::eval`]),
+//! one bit per parallel pattern — the signature engine behind both
+//! SAT sweeping candidate detection and the fast sequential
+//! disproof-by-simulation pass.
+
+use std::collections::HashMap;
+use std::ops::Not;
+
+/// A literal: an AIG variable with an optional inversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from a variable index and phase.
+    #[must_use]
+    pub fn new(var: u32, negated: bool) -> Lit {
+        Lit(var << 1 | u32::from(negated))
+    }
+
+    /// The underlying variable.
+    #[must_use]
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the literal inverts its variable.
+    #[must_use]
+    pub fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// This literal with the given extra inversion applied.
+    #[must_use]
+    pub fn xor_sign(self, negate: bool) -> Lit {
+        Lit(self.0 ^ u32::from(negate))
+    }
+
+    /// The raw code (`var * 2 + phase`), used as a hash key.
+    #[must_use]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+/// One AIG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Node {
+    /// Variable 0: the constant-false source.
+    Const,
+    /// A free input (cut point): primary input bit or register state bit.
+    Input,
+    /// Conjunction of two literals over earlier variables.
+    And(Lit, Lit),
+}
+
+/// The and-inverter graph.
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    inputs: Vec<u32>,
+    strash: HashMap<(u32, u32), u32>,
+}
+
+impl Aig {
+    /// An empty graph holding only the constant node.
+    #[must_use]
+    pub fn new() -> Aig {
+        Aig { nodes: vec![Node::Const], inputs: Vec::new(), strash: HashMap::new() }
+    }
+
+    /// Number of variables (constant + inputs + AND nodes).
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of AND nodes.
+    #[must_use]
+    pub fn num_ands(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::And(..))).count()
+    }
+
+    /// The variables that are inputs, in creation order.
+    #[must_use]
+    pub fn inputs(&self) -> &[u32] {
+        &self.inputs
+    }
+
+    /// The node behind a variable.
+    #[must_use]
+    pub fn node(&self, var: u32) -> Node {
+        self.nodes[var as usize]
+    }
+
+    /// Creates a fresh input and returns its positive literal.
+    pub fn input(&mut self) -> Lit {
+        let var = self.nodes.len() as u32;
+        self.nodes.push(Node::Input);
+        self.inputs.push(var);
+        Lit::new(var, false)
+    }
+
+    /// `a AND b`, with constant folding, trivial-pair reduction and
+    /// structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant and trivial cases.
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE || a == b {
+            return b;
+        }
+        if b == Lit::TRUE {
+            return a;
+        }
+        // Canonical operand order for hashing.
+        let (x, y) = if a.code() <= b.code() { (a, b) } else { (b, a) };
+        if let Some(&var) = self.strash.get(&(x.code(), y.code())) {
+            return Lit::new(var, false);
+        }
+        let var = self.nodes.len() as u32;
+        self.nodes.push(Node::And(x, y));
+        self.strash.insert((x.code(), y.code()), var);
+        Lit::new(var, false)
+    }
+
+    /// `a OR b`.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// `a XOR b`.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let n = self.and(a, !b);
+        let m = self.and(!a, b);
+        self.or(n, m)
+    }
+
+    /// `if sel { a } else { b }`.
+    pub fn mux(&mut self, sel: Lit, a: Lit, b: Lit) -> Lit {
+        let t = self.and(sel, a);
+        let e = self.and(!sel, b);
+        self.or(t, e)
+    }
+
+    /// Three-input majority (the full-adder carry).
+    pub fn maj(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let t = self.or(ab, ac);
+        self.or(t, bc)
+    }
+
+    /// OR over a slice of literals.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        lits.iter().fold(Lit::FALSE, |acc, &l| self.or(acc, l))
+    }
+
+    /// Evaluates every variable over 64-bit pattern words.
+    ///
+    /// `input_words[i]` is the word for the `i`-th input (in
+    /// [`Aig::inputs`] order; missing entries read as zero). Returns a
+    /// word per variable.
+    #[must_use]
+    pub fn eval(&self, input_words: &[u64]) -> Vec<u64> {
+        let mut words = vec![0u64; self.nodes.len()];
+        let mut next_input = 0usize;
+        for (v, node) in self.nodes.iter().enumerate() {
+            words[v] = match *node {
+                Node::Const => 0,
+                Node::Input => {
+                    let w = input_words.get(next_input).copied().unwrap_or(0);
+                    next_input += 1;
+                    w
+                }
+                Node::And(a, b) => {
+                    let wa = words[a.var() as usize] ^ if a.is_negated() { !0 } else { 0 };
+                    let wb = words[b.var() as usize] ^ if b.is_negated() { !0 } else { 0 };
+                    wa & wb
+                }
+            };
+        }
+        words
+    }
+
+    /// The word value of a literal given an [`Aig::eval`] result.
+    #[must_use]
+    pub fn lit_word(words: &[u64], lit: Lit) -> u64 {
+        words[lit.var() as usize] ^ if lit.is_negated() { !0 } else { 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folding_and_strashing() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(Lit::TRUE, b), b);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), Lit::FALSE);
+        let n1 = g.and(a, b);
+        let n2 = g.and(b, a);
+        assert_eq!(n1, n2, "strashing must canonicalize operand order");
+        assert_eq!(g.num_ands(), 1);
+        // Majority of three copies of one literal collapses to it.
+        assert_eq!(g.maj(a, a, a), a);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let x = g.xor(a, b);
+        let m = g.maj(a, b, c);
+        let s = g.mux(c, a, b);
+        let wa = 0b1100u64;
+        let wb = 0b1010u64;
+        let wc = 0b1111u64;
+        let words = g.eval(&[wa, wb, wc]);
+        assert_eq!(Aig::lit_word(&words, x) & 0xf, (wa ^ wb) & 0xf);
+        assert_eq!(
+            Aig::lit_word(&words, m) & 0xf,
+            ((wa & wb) | (wa & wc) | (wb & wc)) & 0xf
+        );
+        assert_eq!(Aig::lit_word(&words, s) & 0xf, ((wc & wa) | (!wc & wb)) & 0xf);
+    }
+}

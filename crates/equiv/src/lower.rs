@@ -1,0 +1,342 @@
+//! Lowering a validated netlist into one combinational AIG frame.
+//!
+//! A *frame* is the netlist's combinational transition function: given
+//! literals for every input-port bit and every register output (state)
+//! bit, it computes literals for every net — and from those, the
+//! next-state (register D) literals and the output-port literals. The
+//! sequential checkers in [`crate::seq`] compose frames: one shared
+//! frame for product simulation, or an unrolled chain of them for
+//! bounded model checking.
+//!
+//! Undriven nets lower to constant false. This matches both `Engine`
+//! backends, which leave unassigned storage zeroed — important because
+//! mutated netlists (built via `assemble_unchecked`) routinely contain
+//! disconnected nets, and the counterexamples we extract must replay
+//! concretely on those engines.
+
+use std::collections::BTreeMap;
+
+use dwt_rtl::cell::CellKind;
+use dwt_rtl::net::NetId;
+use dwt_rtl::netlist::{Netlist, PortDirection};
+
+use crate::aig::{Aig, Lit};
+use crate::EquivError;
+
+/// A lowered combinational frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Literal per net (indexed by `NetId::index()`).
+    pub nets: Vec<Lit>,
+    /// Next-state literals per register, in `Netlist::registers()` order.
+    pub reg_next: Vec<Vec<Lit>>,
+    /// Current-state literals per register (as passed in), same order.
+    pub reg_state: Vec<Vec<Lit>>,
+    /// Output-port literals, LSB first.
+    pub outputs: BTreeMap<String, Vec<Lit>>,
+}
+
+/// Lowers one combinational frame of `netlist` into `aig`.
+///
+/// `inputs` maps each input-port name to its bit literals (LSB first,
+/// exactly port width). `reg_state` provides the register-output
+/// literals in `Netlist::registers()` order; pass literals from
+/// [`zero_state`] for a reset frame.
+///
+/// # Errors
+///
+/// Rejects RAM cells (outside the equivalence fragment) and
+/// mis-shaped input/state vectors.
+pub fn lower_frame(
+    aig: &mut Aig,
+    netlist: &Netlist,
+    inputs: &BTreeMap<String, Vec<Lit>>,
+    reg_state: &[Vec<Lit>],
+) -> Result<Frame, EquivError> {
+    let mut nets: Vec<Option<Lit>> = vec![None; netlist.net_count()];
+    for port in netlist.ports().values() {
+        if port.direction != PortDirection::Input {
+            continue;
+        }
+        let lits = inputs.get(&port.name).ok_or_else(|| {
+            EquivError::Shape(format!("no literals for input port `{}`", port.name))
+        })?;
+        if lits.len() != port.bus.width() {
+            return Err(EquivError::Shape(format!(
+                "input port `{}` is {} bits, got {} literals",
+                port.name,
+                port.bus.width(),
+                lits.len()
+            )));
+        }
+        for (net, &lit) in port.bus.bits().iter().zip(lits) {
+            nets[net.index()] = Some(lit);
+        }
+    }
+    let registers = netlist.registers();
+    if reg_state.len() != registers.len() {
+        return Err(EquivError::Shape(format!(
+            "netlist has {} registers, got {} state vectors",
+            registers.len(),
+            reg_state.len()
+        )));
+    }
+    for (&reg_id, state) in registers.iter().zip(reg_state) {
+        let CellKind::Register { q, .. } = &netlist.cell(reg_id).kind else {
+            unreachable!("registers() lists only Register cells");
+        };
+        if state.len() != q.width() {
+            return Err(EquivError::Shape(format!(
+                "register `{}` is {} bits, got {} state literals",
+                netlist.cell(reg_id).name,
+                q.width(),
+                state.len()
+            )));
+        }
+        for (net, &lit) in q.bits().iter().zip(state) {
+            nets[net.index()] = Some(lit);
+        }
+    }
+
+    // Evaluate combinational cells in topological order. Undriven
+    // combinational inputs read as constant false (engine semantics).
+    let net_lit =
+        |nets: &[Option<Lit>], id: NetId| -> Lit { nets[id.index()].unwrap_or(Lit::FALSE) };
+    for &cell_id in netlist.topo_order() {
+        let cell = netlist.cell(cell_id);
+        match &cell.kind {
+            CellKind::Register { .. } => {}
+            CellKind::Constant { value, out } => {
+                for (i, net) in out.bits().iter().enumerate() {
+                    let bit = (*value >> i) & 1 != 0;
+                    nets[net.index()] = Some(if bit { Lit::TRUE } else { Lit::FALSE });
+                }
+            }
+            CellKind::Lut { inputs, table, output } => {
+                let sels: Vec<Lit> = inputs.iter().map(|&n| net_lit(&nets, n)).collect();
+                nets[output.index()] = Some(lower_lut(aig, &sels, *table));
+            }
+            CellKind::FullAdder { a, b, cin, sum, cout, invert_b } => {
+                let la = net_lit(&nets, *a);
+                let lb = net_lit(&nets, *b).xor_sign(*invert_b);
+                let lc = net_lit(&nets, *cin);
+                let s = aig.xor(la, lb);
+                let s = aig.xor(s, lc);
+                let c = aig.maj(la, lb, lc);
+                nets[sum.index()] = Some(s);
+                nets[cout.index()] = Some(c);
+            }
+            CellKind::CarryAdd { a, b, out } | CellKind::CarrySub { a, b, out } => {
+                let subtract = matches!(cell.kind, CellKind::CarrySub { .. });
+                let mut carry = if subtract { Lit::TRUE } else { Lit::FALSE };
+                for i in 0..out.width() {
+                    let la = net_lit(&nets, a.bit(i));
+                    let lb = net_lit(&nets, b.bit(i)).xor_sign(subtract);
+                    let s = aig.xor(la, lb);
+                    let s = aig.xor(s, carry);
+                    carry = aig.maj(la, lb, carry);
+                    nets[out.bit(i).index()] = Some(s);
+                }
+            }
+            CellKind::Ram { .. } => {
+                return Err(EquivError::Unsupported(format!(
+                    "cell `{}`: RAM cells are outside the equivalence fragment",
+                    cell.name
+                )));
+            }
+        }
+    }
+
+    let resolved: Vec<Lit> = nets.iter().map(|n| n.unwrap_or(Lit::FALSE)).collect();
+    let mut reg_next = Vec::with_capacity(registers.len());
+    for &reg_id in registers {
+        let CellKind::Register { d, .. } = &netlist.cell(reg_id).kind else {
+            unreachable!("registers() lists only Register cells");
+        };
+        reg_next.push(d.bits().iter().map(|n| resolved[n.index()]).collect());
+    }
+    let mut outputs = BTreeMap::new();
+    for port in netlist.ports().values() {
+        if port.direction == PortDirection::Output {
+            outputs.insert(
+                port.name.clone(),
+                port.bus.bits().iter().map(|n| resolved[n.index()]).collect(),
+            );
+        }
+    }
+    Ok(Frame { nets: resolved, reg_next, reg_state: reg_state.to_vec(), outputs })
+}
+
+/// Lowers a LUT as a sum of minterms over its selector literals.
+///
+/// Going through [`Aig::and`]/[`Aig::or`] keeps all folding active: a
+/// majority LUT whose three inputs collapse to one literal reduces to
+/// that literal, constant selectors prune half the table per level, and
+/// structurally repeated LUTs strash to a single cone.
+fn lower_lut(aig: &mut Aig, sels: &[Lit], table: u16) -> Lit {
+    let mut acc = Lit::FALSE;
+    for m in 0..(1u16 << sels.len()) {
+        if table & (1 << m) == 0 {
+            continue;
+        }
+        let mut term = Lit::TRUE;
+        for (i, &sel) in sels.iter().enumerate() {
+            let phase = (m >> i) & 1 != 0;
+            term = aig.and(term, sel.xor_sign(!phase));
+        }
+        acc = aig.or(acc, term);
+    }
+    acc
+}
+
+/// Fresh input literals for every input port of a netlist, keyed by
+/// port name (LSB first). Port iteration is name-ordered, so two
+/// netlists with identical port signatures allocate identically.
+pub fn fresh_inputs(aig: &mut Aig, netlist: &Netlist) -> BTreeMap<String, Vec<Lit>> {
+    let mut map = BTreeMap::new();
+    for port in netlist.ports().values() {
+        if port.direction == PortDirection::Input {
+            map.insert(
+                port.name.clone(),
+                (0..port.bus.width()).map(|_| aig.input()).collect(),
+            );
+        }
+    }
+    map
+}
+
+/// All-false (power-on reset) state literals for every register.
+#[must_use]
+pub fn zero_state(netlist: &Netlist) -> Vec<Vec<Lit>> {
+    netlist
+        .registers()
+        .iter()
+        .map(|&id| {
+            let CellKind::Register { q, .. } = &netlist.cell(id).kind else {
+                unreachable!("registers() lists only Register cells");
+            };
+            vec![Lit::FALSE; q.width()]
+        })
+        .collect()
+}
+
+/// Fresh (symbolic) state literals for every register.
+pub fn fresh_state(aig: &mut Aig, netlist: &Netlist) -> Vec<Vec<Lit>> {
+    netlist
+        .registers()
+        .iter()
+        .map(|&id| {
+            let CellKind::Register { q, .. } = &netlist.cell(id).kind else {
+                unreachable!("registers() lists only Register cells");
+            };
+            (0..q.width()).map(|_| aig.input()).collect()
+        })
+        .collect()
+}
+
+/// Register names in `Netlist::registers()` order — the handle the
+/// sequential checker uses for correspondence diagnostics.
+#[must_use]
+pub fn register_names(netlist: &Netlist) -> Vec<String> {
+    netlist
+        .registers()
+        .iter()
+        .map(|&id| netlist.cell(id).name.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwt_rtl::builder::NetlistBuilder;
+    use dwt_rtl::sim::Simulator;
+
+    /// A small two-stage pipeline: out = reg(reg(a + x)) - a.
+    fn sample_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let a = b.input("a", 6).expect("input a");
+        let x = b.input("x", 6).expect("input x");
+        let sum = b.carry_add("sum", &a, &x, 7).expect("adder");
+        let r1 = b.register("r1", &sum).expect("r1");
+        let r2 = b.register("r2", &r1).expect("r2");
+        let diff = b.carry_sub("diff", &r2, &a, 8).expect("subtractor");
+        b.output("out", &diff).expect("output");
+        b.finish().expect("valid netlist")
+    }
+
+    #[test]
+    fn frame_matches_simulator_combinationally() {
+        let netlist = sample_netlist();
+        let mut aig = Aig::new();
+        let inputs = fresh_inputs(&mut aig, &netlist);
+        let state = zero_state(&netlist);
+        let frame = lower_frame(&mut aig, &netlist, &inputs, &state).expect("lowers");
+
+        // Drive the AIG and a freshly-reset Simulator with the same
+        // inputs and compare the settled output bit-exactly. 64 lanes
+        // of the AIG word evaluation are exercised one at a time.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for _ in 0..32 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let va = ((seed >> 10) as i64 & 0x3f) << 58 >> 58; // sign-extend 6 bits
+            let vx = ((seed >> 33) as i64 & 0x3f) << 58 >> 58;
+            let mut words = Vec::new();
+            for (name, lits) in &inputs {
+                let v = if name == "a" { va } else { vx };
+                for i in 0..lits.len() {
+                    words.push(if (v >> i) & 1 != 0 { !0u64 } else { 0 });
+                }
+            }
+            let evald = aig.eval(&words);
+            let out_lits = &frame.outputs["out"];
+            let mut got = 0i64;
+            for (i, &l) in out_lits.iter().enumerate() {
+                if Aig::lit_word(&evald, l) & 1 != 0 {
+                    got |= 1 << i;
+                }
+            }
+            let shift = 64 - out_lits.len();
+            let got = (got << shift) >> shift;
+
+            let mut sim = Simulator::new(netlist.clone()).expect("simulates");
+            sim.set_input("a", va).expect("input a");
+            sim.set_input("x", vx).expect("input x");
+            sim.settle();
+            let want = sim.peek("out").expect("output");
+            assert_eq!(got, want, "a={va} x={vx}");
+        }
+    }
+
+    #[test]
+    fn lut_lowering_covers_all_tables() {
+        // Exhaustively check 3-input LUT lowering against direct table
+        // lookup for a spread of tables.
+        for table in [0u16, 0xff, 0b1001_0110, 0b1110_1000, 0b0101_1010, 0x42] {
+            let mut g = Aig::new();
+            let sels = [g.input(), g.input(), g.input()];
+            let out = lower_lut(&mut g, &sels, table);
+            for m in 0u16..8 {
+                let words: Vec<u64> =
+                    (0..3).map(|i| if (m >> i) & 1 != 0 { !0 } else { 0 }).collect();
+                let evald = g.eval(&words);
+                let got = Aig::lit_word(&evald, out) & 1 != 0;
+                assert_eq!(got, table & (1 << m) != 0, "table={table:#x} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn reg_next_tracks_d_cone() {
+        let netlist = sample_netlist();
+        let mut aig = Aig::new();
+        let inputs = fresh_inputs(&mut aig, &netlist);
+        let state = fresh_state(&mut aig, &netlist);
+        let frame = lower_frame(&mut aig, &netlist, &inputs, &state).expect("lowers");
+        assert_eq!(frame.reg_next.len(), 2);
+        let names = register_names(&netlist);
+        let r1 = names.iter().position(|n| n == "r1").expect("r1 exists");
+        let r2 = names.iter().position(|n| n == "r2").expect("r2 exists");
+        // r2's next state is exactly r1's current state literals.
+        assert_eq!(frame.reg_next[r2], frame.reg_state[r1]);
+    }
+}

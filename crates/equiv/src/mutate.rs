@@ -1,0 +1,410 @@
+//! Mutation campaign: does the checker kill planted bugs that sampled
+//! simulation can miss?
+//!
+//! Reuses the three lint mutation kinds ([`dwt_lint::Mutation`]) and
+//! adds four equivalence-specific ones: miswired adder/register
+//! operand bits (classic netlist editing bugs), voter bypass, and
+//! parity-detector knockout. The last three are the interesting cases
+//! — a bypassed voter or a dead detector leaves the *fault-free*
+//! machine bit-exact, so no amount of random simulation (or plain
+//! equivalence checking) flags them; only the integrity obligations in
+//! [`crate::cases`] do.
+//!
+//! Every functional kill must also replay concretely on both `Engine`
+//! backends ([`crate::replay`]), which is what turns an abstract SAT
+//! model into a regression test.
+
+use dwt_arch::datapath::Hardening;
+use dwt_arch::designs::Design;
+use dwt_lint::Mutation;
+use dwt_rtl::cell::{tables, Cell, CellKind};
+use dwt_rtl::net::{Bus, NetId};
+use dwt_rtl::netlist::Netlist;
+
+use crate::cases::hardening_integrity;
+use crate::replay::replay_counterexample;
+use crate::seq::{prove, simulate_only, EquivOptions, Verdict};
+use crate::EquivError;
+
+/// A mutation kind usable by the equivalence campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EquivMutation {
+    /// One of the lint suite's planted bug classes.
+    Lint(Mutation),
+    /// Swap two adjacent (distinct) bits of an adder operand.
+    MiswireAdder,
+    /// Swap two adjacent (distinct) bits of a register's D input.
+    MiswireRegister,
+    /// Replace a TMR majority voter with a buffer of its first input.
+    BypassVoter,
+    /// Knock a parity detector down to constant 0.
+    BypassDetector,
+}
+
+impl EquivMutation {
+    /// All campaign mutation kinds.
+    #[must_use]
+    pub fn all() -> Vec<EquivMutation> {
+        let mut kinds: Vec<EquivMutation> =
+            Mutation::all().into_iter().map(EquivMutation::Lint).collect();
+        kinds.extend([
+            EquivMutation::MiswireAdder,
+            EquivMutation::MiswireRegister,
+            EquivMutation::BypassVoter,
+            EquivMutation::BypassDetector,
+        ]);
+        kinds
+    }
+
+    /// CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EquivMutation::Lint(m) => m.name(),
+            EquivMutation::MiswireAdder => "miswire-adder",
+            EquivMutation::MiswireRegister => "miswire-register",
+            EquivMutation::BypassVoter => "bypass-voter",
+            EquivMutation::BypassDetector => "bypass-detector",
+        }
+    }
+
+    /// Default planted-bug location, shared with the lint gate where
+    /// the kinds overlap.
+    #[must_use]
+    pub fn default_target(self) -> &'static str {
+        match self {
+            EquivMutation::Lint(m) => m.default_target(),
+            EquivMutation::MiswireAdder => "alpha_pair",
+            EquivMutation::MiswireRegister => "r_in_even",
+            EquivMutation::BypassVoter => "_vote",
+            EquivMutation::BypassDetector => "_perr",
+        }
+    }
+
+    /// Applies the mutation to the first matching cell. `None` when no
+    /// cell matches (e.g. voter bypass on an unhardened design).
+    #[must_use]
+    pub fn apply(self, netlist: &Netlist, target: &str) -> Option<Netlist> {
+        match self {
+            EquivMutation::Lint(m) => m.apply(netlist, target),
+            EquivMutation::MiswireAdder => miswire_adder(netlist, target),
+            EquivMutation::MiswireRegister => miswire_register(netlist, target),
+            EquivMutation::BypassVoter => bypass_voter(netlist, target),
+            EquivMutation::BypassDetector => bypass_detector(netlist, target),
+        }
+    }
+}
+
+fn rebuild(netlist: &Netlist, cells: Vec<Cell>) -> Netlist {
+    Netlist::assemble_unchecked(cells, netlist.net_count() as u32, netlist.ports().clone())
+}
+
+/// Swaps the first adjacent pair of distinct bits in a bus, if any.
+fn swap_adjacent(bus: &Bus) -> Option<Bus> {
+    let mut bits: Vec<NetId> = bus.bits().to_vec();
+    let i = (0..bits.len().saturating_sub(1)).find(|&i| bits[i] != bits[i + 1])?;
+    bits.swap(i, i + 1);
+    Bus::new(bits).ok()
+}
+
+/// Swaps two adjacent bits of the `a` operand of the first matching
+/// behavioral adder/subtractor.
+#[must_use]
+pub fn miswire_adder(netlist: &Netlist, target: &str) -> Option<Netlist> {
+    let idx = netlist.cells().iter().position(|c| {
+        c.name.contains(target)
+            && matches!(c.kind, CellKind::CarryAdd { .. } | CellKind::CarrySub { .. })
+    })?;
+    let mut cells = netlist.cells().to_vec();
+    let kind = match cells[idx].kind.clone() {
+        CellKind::CarryAdd { a, b, out } => {
+            CellKind::CarryAdd { a: swap_adjacent(&a)?, b, out }
+        }
+        CellKind::CarrySub { a, b, out } => {
+            CellKind::CarrySub { a: swap_adjacent(&a)?, b, out }
+        }
+        _ => unreachable!(),
+    };
+    cells[idx].kind = kind;
+    Some(rebuild(netlist, cells))
+}
+
+/// Swaps two adjacent bits of the D input of the first matching
+/// register.
+#[must_use]
+pub fn miswire_register(netlist: &Netlist, target: &str) -> Option<Netlist> {
+    let idx = netlist.cells().iter().position(|c| {
+        c.name.contains(target) && matches!(c.kind, CellKind::Register { .. })
+    })?;
+    let mut cells = netlist.cells().to_vec();
+    let CellKind::Register { d, q } = cells[idx].kind.clone() else { unreachable!() };
+    cells[idx].kind = CellKind::Register { d: swap_adjacent(&d)?, q };
+    Some(rebuild(netlist, cells))
+}
+
+/// Replaces the first matching voter LUT with a buffer of its first
+/// input — functionally invisible while all replicas agree.
+#[must_use]
+pub fn bypass_voter(netlist: &Netlist, target: &str) -> Option<Netlist> {
+    let idx = netlist.cells().iter().position(|c| {
+        c.name.contains(target) && matches!(c.kind, CellKind::Lut { .. })
+    })?;
+    let mut cells = netlist.cells().to_vec();
+    let CellKind::Lut { inputs, output, .. } = cells[idx].kind.clone() else {
+        unreachable!()
+    };
+    cells[idx].kind =
+        CellKind::Lut { inputs: vec![*inputs.first()?], table: tables::BUF1, output };
+    Some(rebuild(netlist, cells))
+}
+
+/// Knocks the first matching parity detector down to constant 0 —
+/// fault detection silently dies, data path untouched.
+#[must_use]
+pub fn bypass_detector(netlist: &Netlist, target: &str) -> Option<Netlist> {
+    let idx = netlist.cells().iter().position(|c| {
+        c.name.contains(target) && matches!(c.kind, CellKind::Lut { .. })
+    })?;
+    let mut cells = netlist.cells().to_vec();
+    let CellKind::Lut { inputs, output, .. } = cells[idx].kind.clone() else {
+        unreachable!()
+    };
+    cells[idx].kind = CellKind::Lut { inputs: vec![*inputs.first()?], table: 0, output };
+    Some(rebuild(netlist, cells))
+}
+
+/// How one mutant died (or didn't).
+#[derive(Debug, Clone)]
+pub struct MutantOutcome {
+    /// `design/hardening/mutation` id.
+    pub mutant: String,
+    /// Whether the mutation found a cell to hit.
+    pub applied: bool,
+    /// Whether the checker killed it.
+    pub killed: bool,
+    /// What killed it: `simulation`, `sat`, or `integrity`.
+    pub killed_by: Option<&'static str>,
+    /// Whether 96 cycles of random product simulation alone would have
+    /// caught it (the sampled-simulation baseline).
+    pub sim_caught: bool,
+    /// For functional kills: whether the counterexample replayed
+    /// concretely on both `Engine` backends.
+    pub confirmed: bool,
+    /// Human-readable summary.
+    pub detail: String,
+}
+
+/// Aggregated campaign result.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-mutant outcomes.
+    pub outcomes: Vec<MutantOutcome>,
+    /// Mutants that found a cell to hit.
+    pub applied: usize,
+    /// Killed mutants.
+    pub killed: usize,
+    /// Kills invisible to the sampled-simulation baseline.
+    pub sat_only_kills: usize,
+}
+
+impl CampaignReport {
+    /// Killed / applied, in percent.
+    #[must_use]
+    pub fn kill_rate(&self) -> f64 {
+        if self.applied == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            100.0 * self.killed as f64 / self.applied as f64
+        }
+    }
+}
+
+/// The campaign matrix for one design: which mutations run against
+/// which hardening variant.
+fn mutation_plan(hardening: Hardening) -> Vec<EquivMutation> {
+    match hardening {
+        Hardening::None => vec![
+            EquivMutation::Lint(Mutation::BypassRegister),
+            EquivMutation::Lint(Mutation::ShrinkAdder),
+            EquivMutation::Lint(Mutation::DisconnectNet),
+            EquivMutation::MiswireAdder,
+            EquivMutation::MiswireRegister,
+        ],
+        // Replica miswires are masked by the voters — fault-free
+        // equivalent, killable only through the integrity obligations.
+        Hardening::Tmr => vec![EquivMutation::BypassVoter, EquivMutation::MiswireRegister],
+        Hardening::Parity => {
+            vec![EquivMutation::BypassDetector, EquivMutation::Lint(Mutation::BypassRegister)]
+        }
+    }
+}
+
+fn check_mutant(
+    reference: &Netlist,
+    mutant: &Netlist,
+    hardening: Hardening,
+    opts: &EquivOptions,
+) -> Result<(bool, Option<&'static str>, bool, bool, String), EquivError> {
+    let sim_caught = simulate_only(reference, mutant, opts)?.is_some();
+    // Integrity obligations on the mutant (voter/parity cones).
+    let violations = hardening_integrity(mutant, hardening, opts)?;
+    if !violations.is_empty() {
+        return Ok((
+            true,
+            Some("integrity"),
+            sim_caught,
+            false,
+            format!("integrity: {}", violations.join("; ")),
+        ));
+    }
+    match prove(reference, mutant, opts)? {
+        Verdict::Inequivalent(cex) => {
+            let (confirmed, detail) = match replay_counterexample(reference, mutant, &cex) {
+                Ok(report) => (
+                    report.confirmed(),
+                    format!(
+                        "`{}` splits at frame {} ({} vs {}), {} inputs zeroed",
+                        report.minimized.port,
+                        report.minimized.frame,
+                        report.minimized.got.0,
+                        report.minimized.got.1,
+                        report.zeroed_inputs
+                    ),
+                ),
+                // Pathological mutants (e.g. a bypassed register closing
+                // a combinational loop) can refuse to settle; the
+                // divergence itself is still a kill, just not a
+                // replayable one.
+                Err(EquivError::Engine(e)) => (false, format!("replay diverged: {e}")),
+                Err(other) => return Err(other),
+            };
+            let killed_by = if sim_caught { "simulation" } else { "sat" };
+            Ok((true, Some(killed_by), sim_caught, confirmed, detail))
+        }
+        Verdict::Equivalent(_) => {
+            Ok((false, None, sim_caught, false, "survived: still equivalent".to_owned()))
+        }
+        Verdict::Unknown(reason) => {
+            Ok((false, None, sim_caught, false, format!("survived: {reason}")))
+        }
+    }
+}
+
+/// Runs the mutation campaign over the given designs.
+///
+/// For every design × hardening in the plan, plants each mutation at
+/// its default target in the (hardened) netlist and checks the mutant
+/// against the unmutated reference with the full pipeline: integrity
+/// obligations first, then sequential equivalence, then concrete
+/// replay of any disproof.
+///
+/// # Errors
+///
+/// Build and lowering failures propagate; verdicts (including
+/// `Unknown`) are recorded per mutant instead of failing the campaign.
+pub fn run_campaign(designs: &[Design], opts: &EquivOptions) -> Result<CampaignReport, EquivError> {
+    let mut outcomes = Vec::new();
+    for &design in designs {
+        for hardening in [Hardening::None, Hardening::Tmr, Hardening::Parity] {
+            let reference = design.build_hardened(hardening)?.netlist;
+            let opts = EquivOptions {
+                ignore_outputs: opts.ignore_outputs.clone(),
+                ..opts.clone()
+            };
+            for mutation in mutation_plan(hardening) {
+                let id = format!(
+                    "{}/{:?}/{}",
+                    design.name().to_lowercase().replace(' ', "-"),
+                    hardening,
+                    mutation.name()
+                );
+                let Some(mutant) = mutation.apply(&reference, mutation.default_target())
+                else {
+                    outcomes.push(MutantOutcome {
+                        mutant: id,
+                        applied: false,
+                        killed: false,
+                        killed_by: None,
+                        sim_caught: false,
+                        confirmed: false,
+                        detail: "no matching cell".to_owned(),
+                    });
+                    continue;
+                };
+                let (killed, killed_by, sim_caught, confirmed, detail) =
+                    check_mutant(&reference, &mutant, hardening, &opts)?;
+                outcomes.push(MutantOutcome {
+                    mutant: id,
+                    applied: true,
+                    killed,
+                    killed_by,
+                    sim_caught,
+                    confirmed,
+                    detail,
+                });
+            }
+        }
+    }
+    let applied = outcomes.iter().filter(|o| o.applied).count();
+    let killed = outcomes.iter().filter(|o| o.killed).count();
+    let sat_only_kills = outcomes.iter().filter(|o| o.killed && !o.sim_caught).count();
+    Ok(CampaignReport { outcomes, applied, killed, sat_only_kills })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miswire_adder_produces_a_killable_mutant() {
+        let reference = Design::D2.build().expect("build").netlist;
+        let mutant = EquivMutation::MiswireAdder
+            .apply(&reference, "alpha_pair")
+            .expect("alpha adder exists");
+        let verdict =
+            prove(&reference, &mutant, &EquivOptions::default()).expect("checkable");
+        assert!(
+            matches!(verdict, Verdict::Inequivalent(_)),
+            "miswired operand bits must change behavior: {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn voter_bypass_is_invisible_to_equivalence_but_killed_by_integrity() {
+        let reference = Design::D2
+            .build_hardened(Hardening::Tmr)
+            .expect("build")
+            .netlist;
+        let mutant = EquivMutation::BypassVoter
+            .apply(&reference, "_vote")
+            .expect("voters exist");
+        let opts = EquivOptions::default();
+        // The fault-free machines agree — sampled simulation sees
+        // nothing.
+        assert!(
+            simulate_only(&reference, &mutant, &opts).expect("simulates").is_none(),
+            "a bypassed voter is functionally invisible while replicas agree"
+        );
+        let violations =
+            hardening_integrity(&mutant, Hardening::Tmr, &opts).expect("checkable");
+        assert!(!violations.is_empty(), "integrity obligations must object");
+    }
+
+    #[test]
+    fn campaign_on_design2_kills_everything() {
+        let report =
+            run_campaign(&[Design::D2], &EquivOptions::default()).expect("campaign runs");
+        assert!(report.applied >= 8, "plan should find its targets");
+        for o in &report.outcomes {
+            assert!(o.applied, "{}: target missing", o.mutant);
+            assert!(o.killed, "{} survived: {}", o.mutant, o.detail);
+        }
+        assert!(
+            report.sat_only_kills >= 2,
+            "voter/detector kills must be invisible to sampled simulation"
+        );
+        assert!(report.kill_rate() >= 95.0);
+    }
+}

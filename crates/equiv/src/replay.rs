@@ -1,0 +1,195 @@
+//! Concrete replay of SAT counterexamples on both `Engine` backends.
+//!
+//! A disproof from [`crate::seq::prove`] is an abstract input sequence.
+//! This module closes the loop with the rest of the workspace: it
+//! drives the sequence through the event-driven [`Simulator`] *and* the
+//! [`CompiledEngine`] op-program interpreter (the existing differential
+//! pair), confirms the two netlists really diverge on silicon-faithful
+//! semantics, and then greedily zeroes inputs to leave a minimized
+//! directed test — the artifact a regression suite wants to keep.
+
+use std::collections::BTreeMap;
+
+use dwt_rtl::compile::CompiledEngine;
+use dwt_rtl::engine::Engine;
+use dwt_rtl::netlist::Netlist;
+use dwt_rtl::sim::Simulator;
+
+use crate::seq::CounterExample;
+use crate::EquivError;
+
+/// A replayed, confirmed, minimized counterexample.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// `(A, B)` values at the mismatch frame on the event-driven
+    /// backend, when it reproduced there.
+    pub event: Option<(i64, i64)>,
+    /// Same on the compiled backend.
+    pub compiled: Option<(i64, i64)>,
+    /// The minimized directed test (still a confirmed mismatch).
+    pub minimized: CounterExample,
+    /// Input values zeroed by minimization.
+    pub zeroed_inputs: usize,
+}
+
+impl ReplayReport {
+    /// True when both backends reproduced the mismatch.
+    #[must_use]
+    pub fn confirmed(&self) -> bool {
+        self.event.is_some() && self.compiled.is_some()
+    }
+}
+
+/// Drives `frames` through an engine and samples `port` every frame.
+///
+/// Frame protocol (matching the AIG convention `out_t = f(x_t, q_t)`,
+/// `q_{t+1} = g(x_t, q_t)`): stage inputs, settle, sample, tick.
+fn drive<E: Engine>(
+    netlist: &Netlist,
+    frames: &[BTreeMap<String, i64>],
+    port: &str,
+) -> Result<Vec<i64>, EquivError> {
+    let mut engine = E::from_netlist(netlist.clone())
+        .map_err(|e| EquivError::Engine(e.to_string()))?;
+    let mut samples = Vec::with_capacity(frames.len());
+    for frame in frames {
+        for (name, &value) in frame {
+            engine
+                .set_input(name, value)
+                .map_err(|e| EquivError::Engine(e.to_string()))?;
+        }
+        engine.try_settle().map_err(|e| EquivError::Engine(e.to_string()))?;
+        samples.push(engine.peek(port).map_err(|e| EquivError::Engine(e.to_string()))?);
+        engine.try_tick().map_err(|e| EquivError::Engine(e.to_string()))?;
+    }
+    Ok(samples)
+}
+
+/// Runs a candidate input sequence on one backend pair and returns the
+/// first frame where the two netlists split on `port`.
+fn first_split<E: Engine>(
+    a: &Netlist,
+    b: &Netlist,
+    frames: &[BTreeMap<String, i64>],
+    port: &str,
+) -> Result<Option<(usize, i64, i64)>, EquivError> {
+    let va = drive::<E>(a, frames, port)?;
+    let vb = drive::<E>(b, frames, port)?;
+    Ok(va
+        .iter()
+        .zip(&vb)
+        .enumerate()
+        .find(|(_, (x, y))| x != y)
+        .map(|(i, (&x, &y))| (i, x, y)))
+}
+
+/// Replays a counterexample on both backends and minimizes it.
+///
+/// The returned report says, per backend, whether the mismatch
+/// reproduced concretely; [`ReplayReport::confirmed`] is the gate the
+/// campaign and CI use. Minimization greedily zeroes input values
+/// (checking against the event-driven backend) while the mismatch on
+/// the same port persists, then re-confirms the smaller test on both
+/// backends.
+///
+/// # Errors
+///
+/// Engine construction/stepping failures (e.g. simulation divergence
+/// on a pathological mutant) surface as [`EquivError::Engine`].
+pub fn replay_counterexample(
+    a: &Netlist,
+    b: &Netlist,
+    cex: &CounterExample,
+) -> Result<ReplayReport, EquivError> {
+    let mut frames = cex.frames.clone();
+    frames.truncate(cex.frame + 1);
+
+    // Greedy minimization: zero any input value whose removal keeps
+    // the mismatch alive (possibly at an earlier frame).
+    let mut zeroed = 0usize;
+    let keys: Vec<(usize, String)> = frames
+        .iter()
+        .enumerate()
+        .flat_map(|(i, f)| f.keys().map(move |k| (i, k.clone())))
+        .collect();
+    for (i, key) in keys {
+        if frames[i][&key] == 0 {
+            continue;
+        }
+        let saved = frames[i][&key];
+        *frames[i].get_mut(&key).expect("key exists") = 0;
+        match first_split::<Simulator>(a, b, &frames, &cex.port) {
+            Ok(Some(_)) => zeroed += 1,
+            _ => *frames[i].get_mut(&key).expect("key exists") = saved,
+        }
+    }
+    // Drop trailing frames past the (possibly earlier) mismatch.
+    let event_split = first_split::<Simulator>(a, b, &frames, &cex.port)?;
+    if let Some((frame, _, _)) = event_split {
+        frames.truncate(frame + 1);
+    }
+    let compiled_split = first_split::<CompiledEngine>(a, b, &frames, &cex.port)?;
+
+    let minimized = match event_split {
+        Some((frame, va, vb)) => CounterExample {
+            frames: frames.clone(),
+            port: cex.port.clone(),
+            frame,
+            got: (va, vb),
+        },
+        None => cex.clone(),
+    };
+    Ok(ReplayReport {
+        event: event_split.map(|(_, va, vb)| (va, vb)),
+        compiled: compiled_split.map(|(_, va, vb)| (va, vb)),
+        minimized,
+        zeroed_inputs: zeroed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{prove, EquivOptions, Verdict};
+    use dwt_rtl::builder::NetlistBuilder;
+
+    fn adder(width: usize, bump: i64) -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", width).expect("input");
+        let y = b.input("y", width).expect("input");
+        let sum = b.carry_add("sum", &x, &y, width + 1).expect("adder");
+        let sum = if bump != 0 {
+            let c = b.constant(bump, 3).expect("constant");
+            b.carry_add("bump", &sum, &c, width + 1).expect("adder")
+        } else {
+            sum
+        };
+        let r = b.register("r", &sum).expect("register");
+        b.output("out", &r).expect("output");
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn disproof_replays_and_minimizes_on_both_backends() {
+        let a = adder(8, 0);
+        let b = adder(8, 1);
+        let verdict = prove(&a, &b, &EquivOptions::default()).expect("checkable");
+        let Verdict::Inequivalent(cex) = verdict else {
+            panic!("expected disproof");
+        };
+        let report = replay_counterexample(&a, &b, &cex).expect("replays");
+        assert!(report.confirmed(), "mismatch must reproduce on both backends");
+        let (va, vb) = report.event.expect("event mismatch");
+        assert_eq!(vb - va, 1, "B is the off-by-one design");
+        assert_eq!(report.event, report.compiled);
+        // Minimization keeps a valid mismatch and the off-by-one
+        // splits even on all-zero inputs, so everything zeroes out.
+        assert!(report.minimized.frames.len() <= cex.frames.len());
+        let all_zero = report
+            .minimized
+            .frames
+            .iter()
+            .all(|f| f.values().all(|&v| v == 0));
+        assert!(all_zero, "0 + 0 != 0 + 0 + 1 already distinguishes the designs");
+    }
+}

@@ -1,0 +1,630 @@
+//! A small self-contained CDCL SAT solver.
+//!
+//! Standard modern architecture, sized for the miters this workspace
+//! produces (tens of thousands of variables): two-watched-literal unit
+//! propagation, first-UIP conflict analysis with clause learning,
+//! VSIDS-style decaying variable activities on an order heap, phase
+//! saving, and Luby-sequence restarts. Queries run under *assumptions*
+//! (forced first decisions), which is how the sweeper asks "can these
+//! two cones differ?" incrementally against one growing clause
+//! database.
+//!
+//! No external dependencies, no unsafe code. A per-call conflict
+//! budget turns pathological queries into an explicit
+//! [`SolveResult::Budget`] instead of a hang.
+
+/// A solver literal: `var * 2 + phase` (phase 1 = negated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SLit(u32);
+
+impl SLit {
+    /// Positive literal of a variable.
+    #[must_use]
+    pub fn pos(var: u32) -> SLit {
+        SLit(var << 1)
+    }
+
+    /// Builds a literal with an explicit phase.
+    #[must_use]
+    pub fn new(var: u32, negated: bool) -> SLit {
+        SLit(var << 1 | u32::from(negated))
+    }
+
+    /// The underlying variable.
+    #[must_use]
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the literal is negated.
+    #[must_use]
+    pub fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    #[must_use]
+    pub fn negate(self) -> SLit {
+        SLit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment exists (model readable via
+    /// [`Solver::value`]).
+    Sat,
+    /// No satisfying assignment under the given assumptions.
+    Unsat,
+    /// The conflict budget ran out before an answer.
+    Budget,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+/// The CDCL solver.
+#[derive(Debug, Default)]
+pub struct Solver {
+    /// All clauses (original and learnt) in one arena.
+    clauses: Vec<Vec<SLit>>,
+    /// `watches[lit.index()]` = clause indices woken when `lit` becomes
+    /// true (i.e. clauses holding `!lit` in a watch slot).
+    watches: Vec<Vec<u32>>,
+    /// Assignment per variable: 0 unassigned, 1 true, -1 false.
+    assign: Vec<i8>,
+    /// Decision level per variable.
+    level: Vec<u32>,
+    /// Antecedent clause per variable (`NO_REASON` for decisions).
+    reason: Vec<u32>,
+    trail: Vec<SLit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// VSIDS activity, bump amount, and the order heap over it.
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: Vec<u32>,
+    heap_pos: Vec<i32>,
+    /// Saved phase per variable.
+    phase: Vec<bool>,
+    /// Scratch marker for conflict analysis.
+    seen: Vec<bool>,
+    /// Model captured at the last `Sat` answer.
+    model: Vec<bool>,
+    /// Total conflicts over the solver's lifetime.
+    pub conflicts: u64,
+    /// Total solve calls.
+    pub solve_calls: u64,
+    /// The problem is unsatisfiable regardless of assumptions.
+    root_unsat: bool,
+}
+
+impl Solver {
+    /// A fresh, empty solver.
+    #[must_use]
+    pub fn new() -> Solver {
+        Solver { var_inc: 1.0, ..Solver::default() }
+    }
+
+    /// Allocates a new variable.
+    pub fn new_var(&mut self) -> u32 {
+        let v = self.assign.len() as u32;
+        self.assign.push(0);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.model.push(false);
+        self.heap_pos.push(-1);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_insert(v);
+        v
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original plus learnt).
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    fn lit_value(&self, lit: SLit) -> i8 {
+        let v = self.assign[lit.var() as usize];
+        if lit.is_negated() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// The model value of a literal after a [`SolveResult::Sat`] answer.
+    #[must_use]
+    pub fn value(&self, lit: SLit) -> bool {
+        self.model[lit.var() as usize] != lit.is_negated()
+    }
+
+    /// Adds a clause (at decision level 0; the trail is already there
+    /// between solve calls). Returns `false` if the addition makes the
+    /// problem trivially unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[SLit]) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "clauses are added between solves");
+        if self.root_unsat {
+            return false;
+        }
+        // Simplify against the level-0 trail; detect tautologies.
+        let mut clause: Vec<SLit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if self.lit_value(l) > 0 || clause.contains(&l.negate()) {
+                return true; // already satisfied or tautological
+            }
+            if self.lit_value(l) < 0 || clause.contains(&l) {
+                continue; // falsified at root or duplicate
+            }
+            clause.push(l);
+        }
+        match clause.len() {
+            0 => {
+                self.root_unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(clause[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.root_unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach(clause);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, clause: Vec<SLit>) -> u32 {
+        let idx = self.clauses.len() as u32;
+        self.watches[clause[0].negate().index()].push(idx);
+        self.watches[clause[1].negate().index()].push(idx);
+        self.clauses.push(clause);
+        idx
+    }
+
+    fn enqueue(&mut self, lit: SLit, reason: u32) {
+        let v = lit.var() as usize;
+        debug_assert_eq!(self.assign[v], 0);
+        self.assign[v] = if lit.is_negated() { -1 } else { 1 };
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.phase[v] = !lit.is_negated();
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation; returns a conflicting clause index, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            let mut watchers = std::mem::take(&mut self.watches[lit.index()]);
+            let mut i = 0;
+            'next_clause: while i < watchers.len() {
+                let ci = watchers[i] as usize;
+                // Normalize: the falsified watch goes to slot 1.
+                if self.clauses[ci][0].negate() == lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci][1].negate(), lit);
+                if self.lit_value(self.clauses[ci][0]) > 0 {
+                    i += 1; // satisfied; keep watching
+                    continue;
+                }
+                for k in 2..self.clauses[ci].len() {
+                    if self.lit_value(self.clauses[ci][k]) >= 0 {
+                        self.clauses[ci].swap(1, k);
+                        let w = self.clauses[ci][1].negate().index();
+                        self.watches[w].push(ci as u32);
+                        watchers.swap_remove(i);
+                        continue 'next_clause;
+                    }
+                }
+                // Unit or conflicting.
+                let first = self.clauses[ci][0];
+                if self.lit_value(first) < 0 {
+                    self.watches[lit.index()] = watchers;
+                    self.qhead = self.trail.len();
+                    return Some(ci as u32);
+                }
+                self.enqueue(first, ci as u32);
+                i += 1;
+            }
+            self.watches[lit.index()] = watchers;
+        }
+        None
+    }
+
+    // --- activity order heap (binary max-heap with position index) ---
+
+    fn heap_less(&self, a: u32, b: u32) -> bool {
+        self.activity[a as usize] < self.activity[b as usize]
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[parent], self.heap[i]) {
+                self.heap.swap(parent, i);
+                self.heap_pos[self.heap[i] as usize] = i as i32;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap_pos[self.heap[i] as usize] = i as i32;
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[best], self.heap[l]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[best], self.heap[r]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap.swap(best, i);
+            self.heap_pos[self.heap[i] as usize] = i as i32;
+            i = best;
+        }
+        self.heap_pos[self.heap[i] as usize] = i as i32;
+    }
+
+    fn heap_insert(&mut self, v: u32) {
+        if self.heap_pos[v as usize] >= 0 {
+            return;
+        }
+        self.heap.push(v);
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.heap_pos[top as usize] = -1;
+        if top != last {
+            self.heap[0] = last;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn bump_var(&mut self, var: u32) {
+        let a = &mut self.activity[var as usize];
+        *a += self.var_inc;
+        if *a > 1e100 {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        let pos = self.heap_pos[var as usize];
+        if pos >= 0 {
+            self.heap_sift_up(pos as usize);
+        }
+    }
+
+    // --- conflict analysis ---
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal in slot 0, a backtrack-level literal in slot 1) and the
+    /// backtrack level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<SLit>, u32) {
+        let current_level = self.trail_lim.len() as u32;
+        let mut learnt: Vec<SLit> = vec![SLit::pos(0)]; // slot 0 patched below
+        let mut counter = 0usize;
+        let mut trail_pos = self.trail.len();
+        let mut first = true;
+        let uip = loop {
+            // Resolve on the conflict/reason clause. For reason clauses
+            // slot 0 is the literal being resolved on — skip it.
+            let clause = self.clauses[confl as usize].clone();
+            for &l in &clause[usize::from(!first)..] {
+                let v = l.var() as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(l.var());
+                    if self.level[v] == current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(l);
+                    }
+                }
+            }
+            first = false;
+            // Next marked literal on the trail, scanning backwards.
+            let resolve_on = loop {
+                trail_pos -= 1;
+                let l = self.trail[trail_pos];
+                if self.seen[l.var() as usize] {
+                    self.seen[l.var() as usize] = false;
+                    counter -= 1;
+                    break l;
+                }
+            };
+            if counter == 0 {
+                break resolve_on.negate();
+            }
+            confl = self.reason[resolve_on.var() as usize];
+            debug_assert_ne!(confl, NO_REASON, "non-UIP literal has an antecedent");
+        };
+        learnt[0] = uip;
+        for &l in &learnt[1..] {
+            self.seen[l.var() as usize] = false;
+        }
+        // Backtrack to the highest level among the other literals and
+        // keep one literal of that level in watch slot 1.
+        let bt = learnt[1..]
+            .iter()
+            .map(|l| self.level[l.var() as usize])
+            .max()
+            .unwrap_or(0);
+        if learnt.len() > 1 {
+            let pos = learnt[1..]
+                .iter()
+                .position(|l| self.level[l.var() as usize] == bt)
+                .expect("a literal at the backtrack level exists")
+                + 1;
+            learnt.swap(1, pos);
+        }
+        (learnt, bt)
+    }
+
+    fn backtrack_to(&mut self, target: u32) {
+        while self.trail_lim.len() as u32 > target {
+            let lim = self.trail_lim.pop().expect("above target level");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail reaches lim");
+                let v = l.var() as usize;
+                self.assign[v] = 0;
+                self.reason[v] = NO_REASON;
+                self.heap_insert(l.var());
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<SLit>) {
+        let asserting = learnt[0];
+        if learnt.len() == 1 {
+            self.enqueue(asserting, NO_REASON);
+        } else {
+            let idx = self.attach(learnt);
+            self.enqueue(asserting, idx);
+        }
+    }
+
+    fn decide(&mut self) -> Option<SLit> {
+        while let Some(v) = self.heap_pop() {
+            if self.assign[v as usize] == 0 {
+                return Some(SLit::new(v, !self.phase[v as usize]));
+            }
+        }
+        None
+    }
+
+    /// Solves under the given assumptions with a conflict budget.
+    ///
+    /// Assumptions are decided (in order) before any free decision; a
+    /// conflict that depends only on assumptions yields `Unsat`.
+    pub fn solve(&mut self, assumptions: &[SLit], budget: u64) -> SolveResult {
+        self.solve_calls += 1;
+        if self.root_unsat {
+            return SolveResult::Unsat;
+        }
+        debug_assert!(self.trail_lim.is_empty());
+        if self.propagate().is_some() {
+            self.root_unsat = true;
+            return SolveResult::Unsat;
+        }
+        let mut conflicts_here = 0u64;
+        let mut restart_idx = 0u32;
+        let mut restart_left = 128 * luby(restart_idx);
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_here += 1;
+                restart_left = restart_left.saturating_sub(1);
+                if self.trail_lim.is_empty() {
+                    self.root_unsat = true;
+                    return SolveResult::Unsat;
+                }
+                if self.trail_lim.len() <= assumptions.len() {
+                    // Only assumptions (and their consequences) are on
+                    // the trail: the query is unsatisfiable.
+                    self.backtrack_to(0);
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack_to(bt);
+                self.record_learnt(learnt);
+                self.var_inc /= 0.95;
+                if conflicts_here > budget {
+                    self.backtrack_to(0);
+                    return SolveResult::Budget;
+                }
+                if restart_left == 0 {
+                    restart_idx += 1;
+                    restart_left = 128 * luby(restart_idx);
+                    self.backtrack_to(0);
+                }
+                continue;
+            }
+            // Decision: assumptions first, then activity order.
+            let dl = self.trail_lim.len();
+            if dl < assumptions.len() {
+                let a = assumptions[dl];
+                match self.lit_value(a) {
+                    -1 => {
+                        self.backtrack_to(0);
+                        return SolveResult::Unsat;
+                    }
+                    1 => {
+                        // Already implied: open an empty level so the
+                        // level/assumption indices stay aligned.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    _ => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(a, NO_REASON);
+                    }
+                }
+                continue;
+            }
+            match self.decide() {
+                Some(lit) => {
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(lit, NO_REASON);
+                }
+                None => {
+                    // Full assignment: capture the model, then leave the
+                    // solver at level 0 so clauses can be added next.
+                    for v in 0..self.assign.len() {
+                        self.model[v] = self.assign[v] > 0;
+                    }
+                    self.backtrack_to(0);
+                    return SolveResult::Sat;
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence for 0-based `i`: 1, 1, 2, 1, 1, 2, 4, ...
+fn luby(i: u32) -> u64 {
+    let mut i = u64::from(i) + 1;
+    loop {
+        if (i + 1).is_power_of_two() {
+            return (i + 1) >> 1;
+        }
+        // Recurse on i minus the largest full block (2^k - 1 <= i).
+        let k = 63 - u64::from((i + 1).leading_zeros());
+        i -= (1u64 << k) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_sat_unsat_and_assumptions() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        // (a | b) & (!a | b) & (!b | c)
+        assert!(s.add_clause(&[SLit::pos(a), SLit::pos(b)]));
+        assert!(s.add_clause(&[SLit::new(a, true), SLit::pos(b)]));
+        assert!(s.add_clause(&[SLit::new(b, true), SLit::pos(c)]));
+        assert_eq!(s.solve(&[], 10_000), SolveResult::Sat);
+        assert!(s.value(SLit::pos(b)), "b is forced");
+        assert!(s.value(SLit::pos(c)), "c follows from b");
+        // Assuming !b is inconsistent; the query is Unsat but the
+        // problem survives.
+        assert_eq!(s.solve(&[SLit::new(b, true)], 10_000), SolveResult::Unsat);
+        assert_eq!(s.solve(&[], 10_000), SolveResult::Sat);
+        // Permanently adding !b makes it root-unsat.
+        assert!(!s.add_clause(&[SLit::new(b, true)]));
+        assert_eq!(s.solve(&[], 10_000), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // Variable p*2+h: pigeon p sits in hole h.
+        let mut s = Solver::new();
+        let v: Vec<u32> = (0..6).map(|_| s.new_var()).collect();
+        for p in 0..3 {
+            s.add_clause(&[SLit::pos(v[p * 2]), SLit::pos(v[p * 2 + 1])]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    s.add_clause(&[
+                        SLit::new(v[p1 * 2 + h], true),
+                        SLit::new(v[p2 * 2 + h], true),
+                    ]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[], 100_000), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn xor_miter_is_unsat_only_when_asserted() {
+        // Tseitin-encode y1 = a^b and y2 = b^a, miter m = y1^y2.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let encode_xor = |s: &mut Solver, p: u32, q: u32| -> u32 {
+            let y = s.new_var();
+            let (y, p, q) = (SLit::pos(y), SLit::pos(p), SLit::pos(q));
+            s.add_clause(&[y.negate(), p, q]);
+            s.add_clause(&[y.negate(), p.negate(), q.negate()]);
+            s.add_clause(&[y, p.negate(), q]);
+            s.add_clause(&[y, p, q.negate()]);
+            y.var()
+        };
+        let y1 = encode_xor(&mut s, a, b);
+        let y2 = encode_xor(&mut s, b, a);
+        let m = encode_xor(&mut s, y1, y2);
+        assert_eq!(s.solve(&[SLit::pos(m)], 100_000), SolveResult::Unsat);
+        assert_eq!(s.solve(&[SLit::new(m, true)], 100_000), SolveResult::Sat);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_budget() {
+        // A harder pigeonhole instance (7 pigeons, 6 holes) with a
+        // budget of one conflict cannot finish.
+        let mut s = Solver::new();
+        let n = 7usize;
+        let holes = 6usize;
+        let v: Vec<u32> = (0..n * holes).map(|_| s.new_var()).collect();
+        for p in 0..n {
+            let clause: Vec<SLit> =
+                (0..holes).map(|h| SLit::pos(v[p * holes + h])).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..n {
+                for p2 in (p1 + 1)..n {
+                    s.add_clause(&[
+                        SLit::new(v[p1 * holes + h], true),
+                        SLit::new(v[p2 * holes + h], true),
+                    ]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[], 1), SolveResult::Budget);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+}

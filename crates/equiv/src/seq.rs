@@ -1,0 +1,923 @@
+//! Sequential equivalence checking over two netlists.
+//!
+//! The pipeline, in order of increasing cost:
+//!
+//! 1. **Product simulation** — both machines run from power-on reset
+//!    (all registers zero, like both `Engine` backends) under shared
+//!    random inputs, 64 lanes at a time on the AIG word evaluator. Any
+//!    lane that splits a compared output is an immediate, concrete
+//!    counterexample. The same run collects per-register-bit value
+//!    streams, which become the *register correspondence* candidates.
+//! 2. **Van Eijk induction** — state bits with identical streams form
+//!    candidate classes (constant-zero joins as a virtual member).
+//!    Under the hypothesis that each class is equal, SAT sweeping
+//!    proves every class is preserved by one transition and every
+//!    compared output pair agrees. Counterexamples to induction refine
+//!    the classes and the loop retries; because both machines reset to
+//!    all-zero, the hypothesis holds at cycle 0, so a closed induction
+//!    step is a complete proof. Retimed pipelines (the Table 3 depth
+//!    variants) land here: extra balancing registers either join a
+//!    shifted class or stay unconstrained singletons.
+//! 3. **Bounded model checking** — when induction cannot close, frames
+//!    are unrolled from the concrete reset state. A satisfiable miter
+//!    is a sound counterexample (replayable on both engines); an
+//!    unsatisfiable prefix feeds the base case of **k-induction** on
+//!    the output property, which handles designs whose alignment needs
+//!    more than one step of history.
+//!
+//! Anything still open after that is reported as [`Verdict::Unknown`]
+//! with the reason — never as a silent pass.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+
+use dwt_rtl::netlist::{Netlist, PortDirection};
+
+use crate::aig::{Aig, Lit};
+use crate::lower::{fresh_inputs, fresh_state, lower_frame, zero_state, Frame};
+use crate::sweep::{Prove, Sweeper};
+use crate::EquivError;
+
+/// Knobs for [`prove`].
+#[derive(Debug, Clone)]
+pub struct EquivOptions {
+    /// Cycles of 64-lane random product simulation.
+    pub sim_cycles: usize,
+    /// Frames of bounded model checking from reset (also the base-case
+    /// depth available to k-induction).
+    pub bmc_depth: usize,
+    /// Maximum induction depth for the k-induction fallback.
+    pub max_k: usize,
+    /// RNG seed for simulation patterns.
+    pub seed: u64,
+    /// CDCL conflict budget per SAT query.
+    pub conflict_budget: u64,
+    /// Output ports excluded from comparison (e.g. `fault_detect` when
+    /// comparing a hardened design against its base).
+    pub ignore_outputs: Vec<String>,
+}
+
+impl Default for EquivOptions {
+    fn default() -> Self {
+        EquivOptions {
+            sim_cycles: 96,
+            bmc_depth: 12,
+            max_k: 3,
+            seed: 0x44_57_54_05, // "DWT" '05
+            conflict_budget: 400_000,
+            ignore_outputs: Vec::new(),
+        }
+    }
+}
+
+/// How an equivalence was established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Register-correspondence induction closed in one step.
+    Induction,
+    /// k-induction on the output property (with a BMC base case).
+    KInduction(usize),
+}
+
+/// Statistics carried by a successful proof.
+#[derive(Debug, Clone)]
+pub struct Proof {
+    /// The closing technique.
+    pub method: Method,
+    /// Correspondence classes in the final partition (induction only).
+    pub classes: usize,
+    /// SAT variables allocated across the proof.
+    pub sat_vars: usize,
+    /// CDCL conflicts spent.
+    pub conflicts: u64,
+    /// SAT queries issued.
+    pub solve_calls: u64,
+}
+
+/// A concrete distinguishing run, replayable on both engines.
+#[derive(Debug, Clone)]
+pub struct CounterExample {
+    /// Input values per frame (port name → signed value), frame 0 first.
+    pub frames: Vec<BTreeMap<String, i64>>,
+    /// The output port that splits.
+    pub port: String,
+    /// The frame (0-based) at which it splits.
+    pub frame: usize,
+    /// The two observed values (netlist A, netlist B).
+    pub got: (i64, i64),
+}
+
+/// Outcome of an equivalence query.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// The designs agree on every compared output in every reachable
+    /// state.
+    Equivalent(Proof),
+    /// A distinguishing input sequence exists.
+    Inequivalent(CounterExample),
+    /// Neither proved nor disproved within the configured budgets.
+    Unknown(String),
+}
+
+impl Verdict {
+    /// Whether this verdict is [`Verdict::Equivalent`].
+    #[must_use]
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Verdict::Equivalent(_))
+    }
+}
+
+/// Tiny deterministic generator (no external RNG dependencies).
+#[derive(Debug, Clone)]
+pub(crate) struct Lcg(pub u64);
+
+impl Lcg {
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        // splitmix64: full-width output, good lane independence.
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+pub(crate) fn sign_extend(value: i64, width: usize) -> i64 {
+    let shift = 64 - width as u32;
+    (value << shift) >> shift
+}
+
+/// The shared symbolic product machine of two netlists.
+struct Product {
+    aig: Aig,
+    /// Shared input literals and their `(port, bit)` positions in
+    /// `aig.inputs()` order (positions `0..input_order.len()`).
+    inputs: BTreeMap<String, Vec<Lit>>,
+    input_order: Vec<(String, usize)>,
+    /// Symbolic state literals, flattened A-then-B; positions
+    /// `input_order.len()..` in `aig.inputs()` order.
+    state_lits: Vec<Lit>,
+    next_lits: Vec<Lit>,
+    frame_a: Frame,
+    frame_b: Frame,
+    /// Compared output ports with widths.
+    compared: Vec<(String, usize)>,
+}
+
+fn compared_outputs(
+    a: &Netlist,
+    b: &Netlist,
+    opts: &EquivOptions,
+) -> Result<Vec<(String, usize)>, EquivError> {
+    // Input interfaces must be identical.
+    let sig = |n: &Netlist, dir| -> Vec<(String, usize)> {
+        n.ports()
+            .values()
+            .filter(|p| p.direction == dir)
+            .map(|p| (p.name.clone(), p.bus.width()))
+            .collect()
+    };
+    let ia = sig(a, PortDirection::Input);
+    let ib = sig(b, PortDirection::Input);
+    if ia != ib {
+        return Err(EquivError::Shape(format!(
+            "input interfaces differ: {ia:?} vs {ib:?}"
+        )));
+    }
+    let oa = sig(a, PortDirection::Output);
+    let ob = sig(b, PortDirection::Output);
+    let mut compared = Vec::new();
+    for (name, wa) in &oa {
+        if opts.ignore_outputs.iter().any(|i| i == name) {
+            continue;
+        }
+        if let Some((_, wb)) = ob.iter().find(|(n, _)| n == name) {
+            if wa != wb {
+                return Err(EquivError::Shape(format!(
+                    "output `{name}` is {wa} bits in A but {wb} bits in B"
+                )));
+            }
+            compared.push((name.clone(), *wa));
+        }
+    }
+    if compared.is_empty() {
+        return Err(EquivError::Shape(
+            "no common output ports to compare".to_owned(),
+        ));
+    }
+    Ok(compared)
+}
+
+fn build_product(
+    a: &Netlist,
+    b: &Netlist,
+    opts: &EquivOptions,
+) -> Result<Product, EquivError> {
+    let compared = compared_outputs(a, b, opts)?;
+    let mut aig = Aig::new();
+    let inputs = fresh_inputs(&mut aig, a);
+    let mut input_order = Vec::new();
+    for (name, lits) in &inputs {
+        for bit in 0..lits.len() {
+            input_order.push((name.clone(), bit));
+        }
+    }
+    let state_a = fresh_state(&mut aig, a);
+    let state_b = fresh_state(&mut aig, b);
+    let frame_a = lower_frame(&mut aig, a, &inputs, &state_a)?;
+    let frame_b = lower_frame(&mut aig, b, &inputs, &state_b)?;
+    let state_lits: Vec<Lit> =
+        state_a.iter().chain(&state_b).flatten().copied().collect();
+    let next_lits: Vec<Lit> = frame_a
+        .reg_next
+        .iter()
+        .chain(&frame_b.reg_next)
+        .flatten()
+        .copied()
+        .collect();
+    Ok(Product { aig, inputs, input_order, state_lits, next_lits, frame_a, frame_b, compared })
+}
+
+/// One simulated product run: either a concrete counterexample or the
+/// per-state-bit value streams for correspondence.
+enum SimOutcome {
+    Mismatch(CounterExample),
+    Streams(Vec<Vec<u64>>),
+}
+
+fn simulate_product(product: &Product, opts: &EquivOptions) -> SimOutcome {
+    let n_in = product.input_order.len();
+    let n_state = product.state_lits.len();
+    let mut rng = Lcg(opts.seed);
+    let mut state_words = vec![0u64; n_state];
+    let mut streams: Vec<Vec<u64>> = vec![Vec::new(); n_state];
+    let mut history: Vec<Vec<u64>> = Vec::new();
+    for cycle in 0..opts.sim_cycles.max(1) {
+        let in_words: Vec<u64> = (0..n_in).map(|_| rng.next_u64()).collect();
+        let mut words = in_words.clone();
+        words.extend_from_slice(&state_words);
+        history.push(in_words);
+        // Record the state *entering* this cycle into the streams.
+        for (stream, &w) in streams.iter_mut().zip(&state_words) {
+            stream.push(w);
+        }
+        let evald = product.aig.eval(&words);
+        // Output comparison across all 64 lanes.
+        for (port, width) in &product.compared {
+            let mut diff = 0u64;
+            for i in 0..*width {
+                let la = product.frame_a.outputs[port][i];
+                let lb = product.frame_b.outputs[port][i];
+                diff |= Aig::lit_word(&evald, la) ^ Aig::lit_word(&evald, lb);
+            }
+            if diff != 0 {
+                let lane = diff.trailing_zeros();
+                let cex = extract_sim_cex(product, &history, &evald, port, *width, cycle, lane);
+                return SimOutcome::Mismatch(cex);
+            }
+        }
+        for (i, &next) in product.next_lits.iter().enumerate() {
+            state_words[i] = Aig::lit_word(&evald, next);
+        }
+    }
+    SimOutcome::Streams(streams)
+}
+
+fn extract_sim_cex(
+    product: &Product,
+    history: &[Vec<u64>],
+    evald: &[u64],
+    port: &str,
+    width: usize,
+    cycle: usize,
+    lane: u32,
+) -> CounterExample {
+    let frames = history
+        .iter()
+        .map(|in_words| lane_inputs(product, in_words, lane))
+        .collect();
+    let (mut va, mut vb) = (0i64, 0i64);
+    for i in 0..width {
+        let la = product.frame_a.outputs[port][i];
+        let lb = product.frame_b.outputs[port][i];
+        if (Aig::lit_word(evald, la) >> lane) & 1 != 0 {
+            va |= 1 << i;
+        }
+        if (Aig::lit_word(evald, lb) >> lane) & 1 != 0 {
+            vb |= 1 << i;
+        }
+    }
+    CounterExample {
+        frames,
+        port: port.to_owned(),
+        frame: cycle,
+        got: (sign_extend(va, width), sign_extend(vb, width)),
+    }
+}
+
+fn lane_inputs(product: &Product, in_words: &[u64], lane: u32) -> BTreeMap<String, i64> {
+    let mut values: BTreeMap<String, i64> = BTreeMap::new();
+    for (pos, (port, bit)) in product.input_order.iter().enumerate() {
+        if (in_words[pos] >> lane) & 1 != 0 {
+            *values.entry(port.clone()).or_insert(0) |= 1 << bit;
+        } else {
+            values.entry(port.clone()).or_insert(0);
+        }
+    }
+    for (port, lits) in &product.inputs {
+        let v = values.entry(port.clone()).or_insert(0);
+        *v = sign_extend(*v, lits.len());
+    }
+    values
+}
+
+/// Candidate correspondence classes: state-bit indices grouped by
+/// identical value streams. Index `usize::MAX` stands for constant 0.
+fn partition(streams: &[Vec<u64>]) -> Vec<Vec<usize>> {
+    let mut by_sig: BTreeMap<&[u64], Vec<usize>> = BTreeMap::new();
+    for (i, sig) in streams.iter().enumerate() {
+        by_sig.entry(sig.as_slice()).or_default().push(i);
+    }
+    let zero_len = streams.first().map_or(0, Vec::len);
+    let zeros = vec![0u64; zero_len];
+    let mut classes = Vec::new();
+    for (sig, members) in by_sig {
+        let mut class = members;
+        if sig == zeros.as_slice() {
+            class.insert(0, usize::MAX); // virtual constant-0 member
+        }
+        if class.len() > 1 {
+            classes.push(class);
+        }
+    }
+    classes
+}
+
+struct InductionFailure {
+    /// Next-state patterns (one bit per state literal) from refuted
+    /// obligations that split at least one class. Empty means the
+    /// counterexamples refine nothing — induction cannot close.
+    patterns: Vec<Vec<u64>>,
+}
+
+/// SAT sweeping proper: prove and merge internal AIG nodes that share
+/// simulation signatures, in topological order.
+///
+/// Signatures are computed consistently with the class hypotheses
+/// (class members share one random word, the constant class reads 0),
+/// so every candidate respects what the solver already assumes. Each
+/// successful proof records the equality as clauses, which makes the
+/// supports of later candidates — and ultimately the induction
+/// obligations themselves — collapse under unit propagation. This is
+/// what keeps miters over structurally different implementations (a
+/// behavioral carry chain vs. its LUT-expanded compiled form, a
+/// shift-add tree vs. a Horner multiplier) within a small conflict
+/// budget.
+fn sweep_internal(
+    product: &mut Product,
+    sweeper: &mut Sweeper,
+    classes: &[Vec<usize>],
+    opts: &EquivOptions,
+) {
+    const ROUNDS: usize = 8;
+    let n_in = product.input_order.len();
+    let n_inputs_total = product.aig.inputs().len();
+    let mut rng = Lcg(opts.seed ^ 0x5357_4545_5021_3730);
+    let mut sigs: Vec<[u64; ROUNDS]> = vec![[0; ROUNDS]; product.aig.num_vars()];
+    for round in 0..ROUNDS {
+        let mut words: Vec<u64> =
+            (0..n_inputs_total).map(|_| rng.next_u64()).collect();
+        for class in classes {
+            let repr_word =
+                if class[0] == usize::MAX { 0 } else { words[n_in + class[0]] };
+            for &m in class {
+                if m != usize::MAX {
+                    words[n_in + m] = repr_word;
+                }
+            }
+        }
+        let evald = product.aig.eval(&words);
+        for (sig, w) in sigs.iter_mut().zip(&evald) {
+            sig[round] = *w;
+        }
+    }
+    // Topological merge pass: a node joins the first earlier node with
+    // the same canonical signature when SAT confirms the equality.
+    // (Complemented matches canonicalize on the low signature bit, so
+    // `n == !m` merges too. Variable 0 is the constant, so nodes that
+    // simulate constant merge against FALSE.)
+    let mut repr_by_sig: HashMap<[u64; ROUNDS], Lit> = HashMap::new();
+    let per_pair = opts.conflict_budget.min(20_000);
+    for v in 0..product.aig.num_vars() as u32 {
+        let mut lit = Lit::new(v, false);
+        let mut sig = sigs[v as usize];
+        if sig[0] & 1 == 1 {
+            for w in &mut sig {
+                *w = !*w;
+            }
+            lit = !lit;
+        }
+        match repr_by_sig.entry(sig) {
+            Entry::Vacant(e) => {
+                e.insert(lit);
+            }
+            Entry::Occupied(e) => {
+                let repr = *e.get();
+                if repr != lit
+                    && sweeper.prove_equal(&mut product.aig, repr, lit, per_pair)
+                        == Prove::Proved
+                {
+                    sweeper.assume_equal(&product.aig, repr, lit);
+                }
+            }
+        }
+    }
+}
+
+/// One Van Eijk induction attempt over the given classes.
+fn try_induction(
+    product: &mut Product,
+    classes: &[Vec<usize>],
+    opts: &EquivOptions,
+) -> Result<Result<Proof, InductionFailure>, EquivError> {
+    let mut sweeper = Sweeper::new();
+    let lit_of = |idx: usize| -> Lit {
+        if idx == usize::MAX {
+            Lit::FALSE
+        } else {
+            product.state_lits[idx]
+        }
+    };
+    // Hypotheses: every class member equals its representative.
+    for class in classes {
+        let repr = lit_of(class[0]);
+        for &m in &class[1..] {
+            sweeper.assume_equal(&product.aig, repr, lit_of(m));
+        }
+    }
+    // Merge internal equivalences bottom-up so the obligations below
+    // land on an already-swept graph.
+    sweep_internal(product, &mut sweeper, classes, opts);
+    // Obligations: classes are preserved by one transition…
+    let mut obligations: Vec<(Lit, Lit)> = Vec::new();
+    for class in classes {
+        let repr_next = if class[0] == usize::MAX {
+            Lit::FALSE
+        } else {
+            product.next_lits[class[0]]
+        };
+        for &m in &class[1..] {
+            let m_next =
+                if m == usize::MAX { Lit::FALSE } else { product.next_lits[m] };
+            obligations.push((repr_next, m_next));
+        }
+    }
+    // …and every compared output bit agrees.
+    for (port, width) in &product.compared {
+        for i in 0..*width {
+            obligations
+                .push((product.frame_a.outputs[port][i], product.frame_b.outputs[port][i]));
+        }
+    }
+    // Prove every obligation, batching refutations: each spurious
+    // class merge yields a next-state pattern, and splitting them all
+    // at once converges in a handful of attempts instead of one
+    // re-proof per merge.
+    let mut patterns: Vec<Vec<u64>> = Vec::new();
+    let mut refuted = 0usize;
+    for (p, q) in obligations {
+        match sweeper.prove_equal(&mut product.aig, p, q, opts.conflict_budget) {
+            Prove::Proved => {}
+            Prove::Budget => {
+                return Err(EquivError::Budget(format!(
+                    "induction query exceeded {} conflicts",
+                    opts.conflict_budget
+                )));
+            }
+            Prove::Refuted => {
+                // The hypotheses are hard clauses, so the model's
+                // *current* state satisfies every class by
+                // construction — the distinguishing information is in
+                // its successor: evaluate the next-state cones and
+                // keep the pattern if it splits any class.
+                let model = sweeper.input_model(&product.aig);
+                let words: Vec<u64> =
+                    model.iter().map(|&b| u64::from(b)).collect();
+                let evald = product.aig.eval(&words);
+                let pattern: Vec<u64> = product
+                    .next_lits
+                    .iter()
+                    .map(|&l| Aig::lit_word(&evald, l) & 1)
+                    .collect();
+                let splits = classes.iter().any(|class| {
+                    let val = |idx: usize| -> u64 {
+                        if idx == usize::MAX {
+                            0
+                        } else {
+                            pattern[idx]
+                        }
+                    };
+                    let first = val(class[0]);
+                    class[1..].iter().any(|&m| val(m) != first)
+                });
+                refuted += 1;
+                if splits {
+                    patterns.push(pattern);
+                }
+            }
+        }
+    }
+    if refuted > 0 {
+        return Ok(Err(InductionFailure { patterns }));
+    }
+    Ok(Ok(Proof {
+        method: Method::Induction,
+        classes: classes.len(),
+        sat_vars: sweeper.solver.num_vars(),
+        conflicts: sweeper.solver.conflicts,
+        solve_calls: sweeper.solver.solve_calls,
+    }))
+}
+
+/// One compared output port in one unrolled frame: name plus both
+/// machines' bit literals, kept for counterexample extraction.
+type FrameOuts = Vec<(String, Vec<Lit>, Vec<Lit>)>;
+
+/// BMC unrolling context shared by disproof and the k-induction base.
+struct Unrolled {
+    aig: Aig,
+    sweeper: Sweeper,
+    /// Per frame: `(port, bit)`-ordered input literals.
+    frame_inputs: Vec<BTreeMap<String, Vec<Lit>>>,
+    /// Per frame: the output miter literal.
+    miters: Vec<Lit>,
+    /// Per frame: compared output literals for cex extraction.
+    outs: Vec<FrameOuts>,
+}
+
+fn unroll_frame(
+    unrolled: &mut Unrolled,
+    a: &Netlist,
+    b: &Netlist,
+    compared: &[(String, usize)],
+    state_a: &mut Vec<Vec<Lit>>,
+    state_b: &mut Vec<Vec<Lit>>,
+) -> Result<(), EquivError> {
+    let inputs = fresh_inputs(&mut unrolled.aig, a);
+    let fa = lower_frame(&mut unrolled.aig, a, &inputs, state_a)?;
+    let fb = lower_frame(&mut unrolled.aig, b, &inputs, state_b)?;
+    let mut xors = Vec::new();
+    let mut outs = Vec::new();
+    for (port, width) in compared {
+        let la = fa.outputs[port].clone();
+        let lb = fb.outputs[port].clone();
+        for i in 0..*width {
+            let x = unrolled.aig.xor(la[i], lb[i]);
+            xors.push(x);
+        }
+        outs.push((port.clone(), la, lb));
+    }
+    let miter = unrolled.aig.or_many(&xors);
+    unrolled.frame_inputs.push(inputs);
+    unrolled.miters.push(miter);
+    unrolled.outs.push(outs);
+    *state_a = fa.reg_next;
+    *state_b = fb.reg_next;
+    Ok(())
+}
+
+fn extract_bmc_cex(unrolled: &Unrolled, frame: usize) -> CounterExample {
+    let model = unrolled.sweeper.input_model(&unrolled.aig);
+    let value_of = |lit: Lit| -> bool {
+        // Inputs carry their model bit; anything else evaluates below.
+        let pos = unrolled
+            .aig
+            .inputs()
+            .iter()
+            .position(|&v| v == lit.var())
+            .expect("input literal");
+        model[pos] != lit.is_negated()
+    };
+    let mut frames = Vec::new();
+    for inputs in unrolled.frame_inputs.iter().take(frame + 1) {
+        let mut values = BTreeMap::new();
+        for (port, lits) in inputs {
+            let mut v = 0i64;
+            for (i, &l) in lits.iter().enumerate() {
+                if value_of(l) {
+                    v |= 1 << i;
+                }
+            }
+            values.insert(port.clone(), sign_extend(v, lits.len()));
+        }
+        frames.push(values);
+    }
+    // Evaluate the whole unrolling under the model to read the outputs.
+    let words: Vec<u64> = model.iter().map(|&b| u64::from(b)).collect();
+    let evald = unrolled.aig.eval(&words);
+    let (port, got) = unrolled.outs[frame]
+        .iter()
+        .find_map(|(port, la, lb)| {
+            let mut va = 0i64;
+            let mut vb = 0i64;
+            let mut differ = false;
+            for i in 0..la.len() {
+                let ba = Aig::lit_word(&evald, la[i]) & 1 != 0;
+                let bb = Aig::lit_word(&evald, lb[i]) & 1 != 0;
+                if ba {
+                    va |= 1 << i;
+                }
+                if bb {
+                    vb |= 1 << i;
+                }
+                differ |= ba != bb;
+            }
+            differ.then(|| {
+                (port.clone(), (sign_extend(va, la.len()), sign_extend(vb, la.len())))
+            })
+        })
+        .expect("a satisfied miter names a differing port");
+    CounterExample { frames, port, frame, got }
+}
+
+/// BMC from reset. `Ok(None)` = all frames hold; `Ok(Some(cex))` =
+/// concrete disproof at some frame.
+fn bmc(
+    a: &Netlist,
+    b: &Netlist,
+    compared: &[(String, usize)],
+    opts: &EquivOptions,
+) -> Result<Option<CounterExample>, EquivError> {
+    let mut unrolled = Unrolled {
+        aig: Aig::new(),
+        sweeper: Sweeper::new(),
+        frame_inputs: Vec::new(),
+        miters: Vec::new(),
+        outs: Vec::new(),
+    };
+    let mut state_a = zero_state(a);
+    let mut state_b = zero_state(b);
+    for frame in 0..opts.bmc_depth {
+        unroll_frame(&mut unrolled, a, b, compared, &mut state_a, &mut state_b)?;
+        let miter = unrolled.miters[frame];
+        match unrolled.sweeper.satisfiable(&unrolled.aig, miter, opts.conflict_budget) {
+            Prove::Proved => return Ok(Some(extract_bmc_cex(&unrolled, frame))),
+            Prove::Refuted => {
+                // Proved unreachable: pin it for the later frames.
+                unrolled.sweeper.assert_true(&unrolled.aig, !miter);
+            }
+            Prove::Budget => {
+                return Err(EquivError::Budget(format!(
+                    "BMC frame {frame} exceeded {} conflicts",
+                    opts.conflict_budget
+                )));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// k-induction on the output property from a symbolic start state.
+/// Sound only when BMC has already covered `k` base frames.
+fn k_induction(
+    a: &Netlist,
+    b: &Netlist,
+    compared: &[(String, usize)],
+    opts: &EquivOptions,
+) -> Result<Option<(usize, Proof)>, EquivError> {
+    for k in 1..=opts.max_k.min(opts.bmc_depth) {
+        let mut unrolled = Unrolled {
+            aig: Aig::new(),
+            sweeper: Sweeper::new(),
+            frame_inputs: Vec::new(),
+            miters: Vec::new(),
+            outs: Vec::new(),
+        };
+        let mut state_a = fresh_state(&mut unrolled.aig, a);
+        let mut state_b = fresh_state(&mut unrolled.aig, b);
+        for _ in 0..=k {
+            unroll_frame(&mut unrolled, a, b, compared, &mut state_a, &mut state_b)?;
+        }
+        for t in 0..k {
+            let m = unrolled.miters[t];
+            unrolled.sweeper.assert_true(&unrolled.aig, !m);
+        }
+        let goal = unrolled.miters[k];
+        match unrolled.sweeper.prove_false(&unrolled.aig, goal, opts.conflict_budget) {
+            Prove::Proved => {
+                return Ok(Some((
+                    k,
+                    Proof {
+                        method: Method::KInduction(k),
+                        classes: 0,
+                        sat_vars: unrolled.sweeper.solver.num_vars(),
+                        conflicts: unrolled.sweeper.solver.conflicts,
+                        solve_calls: unrolled.sweeper.solver.solve_calls,
+                    },
+                )));
+            }
+            Prove::Refuted => continue,
+            Prove::Budget => {
+                return Err(EquivError::Budget(format!(
+                    "{k}-induction exceeded {} conflicts",
+                    opts.conflict_budget
+                )));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Random product simulation alone — the sampled-simulation baseline
+/// the mutation campaign measures SAT sweeping against.
+///
+/// # Errors
+///
+/// Same structural errors as [`prove`].
+pub fn simulate_only(
+    a: &Netlist,
+    b: &Netlist,
+    opts: &EquivOptions,
+) -> Result<Option<CounterExample>, EquivError> {
+    let product = build_product(a, b, opts)?;
+    match simulate_product(&product, opts) {
+        SimOutcome::Mismatch(cex) => Ok(Some(cex)),
+        SimOutcome::Streams(_) => Ok(None),
+    }
+}
+
+/// Prints prover progress to stderr when `DWT_EQUIV_DEBUG` is set.
+fn debug_log(msg: impl FnOnce() -> String) {
+    if std::env::var_os("DWT_EQUIV_DEBUG").is_some() {
+        eprintln!("{}", msg());
+    }
+}
+
+/// Proves or disproves sequential equivalence of two netlists.
+///
+/// Inputs must have identical interfaces; outputs are compared on the
+/// name intersection minus [`EquivOptions::ignore_outputs`]. Both
+/// machines start from the all-zero power-on state, exactly like the
+/// `Engine` backends.
+///
+/// # Errors
+///
+/// Structural problems ([`EquivError::Shape`], RAM cells) are errors;
+/// exhausted budgets inside the fallback chain degrade to
+/// [`Verdict::Unknown`] instead.
+pub fn prove(a: &Netlist, b: &Netlist, opts: &EquivOptions) -> Result<Verdict, EquivError> {
+    let mut product = build_product(a, b, opts)?;
+    let mut streams = match simulate_product(&product, opts) {
+        SimOutcome::Mismatch(cex) => return Ok(Verdict::Inequivalent(cex)),
+        SimOutcome::Streams(streams) => streams,
+    };
+
+    // Van Eijk induction with counterexample-guided refinement.
+    let mut refinements = 0usize;
+    let max_refinements = product.state_lits.len() + 8;
+    loop {
+        let classes = partition(&streams);
+        debug_log(|| format!("induction attempt: {} classes, refinement {refinements}", classes.len()));
+        match try_induction(&mut product, &classes, opts) {
+            Ok(Ok(proof)) => return Ok(Verdict::Equivalent(proof)),
+            Ok(Err(failure)) => {
+                debug_log(|| format!("  induction failed: {} splitting patterns", failure.patterns.len()));
+                if failure.patterns.is_empty() || refinements >= max_refinements {
+                    break; // cannot refine further: fall through to BMC
+                }
+                refinements += failure.patterns.len();
+                for pattern in &failure.patterns {
+                    for (stream, bit) in streams.iter_mut().zip(pattern) {
+                        stream.push(*bit);
+                    }
+                }
+            }
+            Err(EquivError::Budget(reason)) => {
+                debug_log(|| format!("  induction budget: {reason}"));
+                break;
+            }
+            Err(other) => return Err(other),
+        }
+    }
+
+    match bmc(a, b, &product.compared, opts) {
+        Ok(Some(cex)) => return Ok(Verdict::Inequivalent(cex)),
+        Ok(None) => {}
+        Err(EquivError::Budget(reason)) => return Ok(Verdict::Unknown(reason)),
+        Err(other) => return Err(other),
+    }
+    match k_induction(a, b, &product.compared, opts) {
+        Ok(Some((_, proof))) => Ok(Verdict::Equivalent(proof)),
+        Ok(None) => Ok(Verdict::Unknown(format!(
+            "induction did not close and no counterexample within {} BMC frames",
+            opts.bmc_depth
+        ))),
+        Err(EquivError::Budget(reason)) => Ok(Verdict::Unknown(reason)),
+        Err(other) => Err(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwt_rtl::builder::NetlistBuilder;
+
+    fn behavioral_pipe() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).expect("input");
+        let y = b.input("y", 8).expect("input");
+        let sum = b.carry_add("sum", &x, &y, 9).expect("adder");
+        let r = b.register("r", &sum).expect("register");
+        b.output("out", &r).expect("output");
+        b.finish().expect("valid")
+    }
+
+    fn structural_pipe() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).expect("input");
+        let y = b.input("y", 8).expect("input");
+        let sum = b.ripple_add("sum", &x, &y, 9).expect("adder");
+        let r = b.register("r", &sum).expect("register");
+        b.output("out", &r).expect("output");
+        b.finish().expect("valid")
+    }
+
+    fn off_by_one_pipe() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).expect("input");
+        let y = b.input("y", 8).expect("input");
+        let one = b.constant(1, 2).expect("constant");
+        let sum = b.carry_add("sum", &x, &y, 9).expect("adder");
+        let sum = b.carry_add("bump", &sum, &one, 9).expect("adder");
+        let r = b.register("r", &sum).expect("register");
+        b.output("out", &r).expect("output");
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn behavioral_vs_structural_adder_pipeline() {
+        let verdict = prove(&behavioral_pipe(), &structural_pipe(), &EquivOptions::default())
+            .expect("checkable");
+        assert!(verdict.is_equivalent(), "got {verdict:?}");
+    }
+
+    #[test]
+    fn off_by_one_is_inequivalent_with_concrete_cex() {
+        let verdict = prove(&behavioral_pipe(), &off_by_one_pipe(), &EquivOptions::default())
+            .expect("checkable");
+        let Verdict::Inequivalent(cex) = verdict else {
+            panic!("expected a counterexample, got {verdict:?}");
+        };
+        assert!(!cex.frames.is_empty());
+        assert_eq!(cex.port, "out");
+        assert_ne!(cex.got.0, cex.got.1);
+    }
+
+    #[test]
+    fn retimed_pipeline_depths_are_equivalent_when_padded() {
+        // Same function, but B carries one extra register on the whole
+        // path — a genuine latency difference, which must be reported
+        // as inequivalent…
+        let deeper = {
+            let mut b = NetlistBuilder::new();
+            let x = b.input("x", 8).expect("input");
+            let y = b.input("y", 8).expect("input");
+            let sum = b.carry_add("sum", &x, &y, 9).expect("adder");
+            let r = b.register("r", &sum).expect("register");
+            let r2 = b.register("r2", &r).expect("register");
+            b.output("out", &r2).expect("output");
+            b.finish().expect("valid")
+        };
+        let verdict = prove(&behavioral_pipe(), &deeper, &EquivOptions::default())
+            .expect("checkable");
+        assert!(
+            matches!(verdict, Verdict::Inequivalent(_)),
+            "latency mismatch must not be waved through: {verdict:?}"
+        );
+        // …whereas moving a register across the adder (retiming, same
+        // latency) stays equivalent.
+        let retimed = {
+            let mut b = NetlistBuilder::new();
+            let x = b.input("x", 8).expect("input");
+            let y = b.input("y", 8).expect("input");
+            let rx = b.register("rx", &x).expect("register");
+            let ry = b.register("ry", &y).expect("register");
+            let sum = b.carry_add("sum", &rx, &ry, 9).expect("adder");
+            b.output("out", &sum).expect("output");
+            b.finish().expect("valid")
+        };
+        let verdict = prove(&behavioral_pipe(), &retimed, &EquivOptions::default())
+            .expect("checkable");
+        assert!(verdict.is_equivalent(), "retiming must be accepted: {verdict:?}");
+    }
+
+    #[test]
+    fn interface_mismatch_is_an_error() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).expect("input");
+        b.output("out", &x).expect("output");
+        let tiny = b.finish().expect("valid");
+        let err = prove(&behavioral_pipe(), &tiny, &EquivOptions::default());
+        assert!(matches!(err, Err(EquivError::Shape(_))));
+    }
+}

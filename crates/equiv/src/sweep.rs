@@ -1,0 +1,247 @@
+//! SAT sweeping: incremental equivalence queries over AIG cones.
+//!
+//! The [`Sweeper`] owns one growing CDCL instance and a lazy
+//! AIG-variable → SAT-variable map. Cones are Tseitin-encoded on first
+//! touch, so a query only pays for the logic it actually reaches —
+//! after structural hashing has already collapsed syntactically equal
+//! cones to a single variable, the typical miter between a design and
+//! its compiled twin encodes almost nothing.
+//!
+//! Facts accumulate: every proved miter adds its unit clause, and every
+//! hypothesis ([`Sweeper::assume_equal`]) is a permanent constraint, so
+//! later queries in a sweep run against an ever-stronger database. The
+//! classic sweeping loop (simulate → candidate classes → prove → refine
+//! on counterexample) lives in [`crate::seq`]; this module provides the
+//! proof engine and the model extraction it refines with.
+
+use crate::aig::{Aig, Lit};
+use crate::sat::{SLit, SolveResult, Solver};
+
+/// Outcome of a sweeping proof query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prove {
+    /// The property holds (and was added to the clause database as a
+    /// unit fact).
+    Proved,
+    /// A counterexample exists; read it with [`Sweeper::input_model`].
+    Refuted,
+    /// The conflict budget ran out.
+    Budget,
+}
+
+/// Incremental SAT context over one AIG.
+#[derive(Debug, Default)]
+pub struct Sweeper {
+    /// The underlying CDCL solver (public for statistics).
+    pub solver: Solver,
+    /// AIG variable → SAT variable (`-1` = not yet encoded).
+    var_of: Vec<i64>,
+}
+
+impl Sweeper {
+    /// A fresh sweeper with an empty clause database.
+    #[must_use]
+    pub fn new() -> Sweeper {
+        Sweeper::default()
+    }
+
+    fn sat_var(&mut self, aig: &Aig, root: u32) -> u32 {
+        if self.var_of.len() < aig.num_vars() {
+            self.var_of.resize(aig.num_vars(), -1);
+        }
+        if self.var_of[root as usize] >= 0 {
+            return self.var_of[root as usize] as u32;
+        }
+        // Encode the cone iteratively (deep recursion would overflow on
+        // long carry chains).
+        let mut stack = vec![root];
+        while let Some(&v) = stack.last() {
+            if self.var_of[v as usize] >= 0 {
+                stack.pop();
+                continue;
+            }
+            match aig.node(v) {
+                crate::aig::Node::Const => {
+                    let sv = self.solver.new_var();
+                    self.solver.add_clause(&[SLit::new(sv, true)]);
+                    self.var_of[v as usize] = i64::from(sv);
+                    stack.pop();
+                }
+                crate::aig::Node::Input => {
+                    let sv = self.solver.new_var();
+                    self.var_of[v as usize] = i64::from(sv);
+                    stack.pop();
+                }
+                crate::aig::Node::And(a, b) => {
+                    let need_a = self.var_of[a.var() as usize] < 0;
+                    let need_b = self.var_of[b.var() as usize] < 0;
+                    if need_a {
+                        stack.push(a.var());
+                    }
+                    if need_b {
+                        stack.push(b.var());
+                    }
+                    if need_a || need_b {
+                        continue;
+                    }
+                    let sv = self.solver.new_var();
+                    let sl = SLit::pos(sv);
+                    let sa = self.to_slit(a);
+                    let sb = self.to_slit(b);
+                    // v ↔ a∧b
+                    self.solver.add_clause(&[sl.negate(), sa]);
+                    self.solver.add_clause(&[sl.negate(), sb]);
+                    self.solver.add_clause(&[sl, sa.negate(), sb.negate()]);
+                    self.var_of[v as usize] = i64::from(sv);
+                    stack.pop();
+                }
+            }
+        }
+        self.var_of[root as usize] as u32
+    }
+
+    fn to_slit(&self, lit: Lit) -> SLit {
+        SLit::new(self.var_of[lit.var() as usize] as u32, lit.is_negated())
+    }
+
+    /// The SAT literal of an AIG literal, encoding its cone on demand.
+    pub fn slit(&mut self, aig: &Aig, lit: Lit) -> SLit {
+        let v = self.sat_var(aig, lit.var());
+        SLit::new(v, lit.is_negated())
+    }
+
+    /// Permanently constrains `a == b` (an induction hypothesis or a
+    /// proved merge).
+    pub fn assume_equal(&mut self, aig: &Aig, a: Lit, b: Lit) {
+        let sa = self.slit(aig, a);
+        let sb = self.slit(aig, b);
+        self.solver.add_clause(&[sa.negate(), sb]);
+        self.solver.add_clause(&[sa, sb.negate()]);
+    }
+
+    /// Permanently asserts a literal true.
+    pub fn assert_true(&mut self, aig: &Aig, lit: Lit) {
+        let sl = self.slit(aig, lit);
+        self.solver.add_clause(&[sl]);
+    }
+
+    /// Proves a literal is constant false (UNSAT when asserted). On
+    /// success the fact is recorded as a unit clause; on refutation the
+    /// satisfying model is available via [`Sweeper::input_model`].
+    pub fn prove_false(&mut self, aig: &Aig, lit: Lit, budget: u64) -> Prove {
+        let sl = self.slit(aig, lit);
+        match self.solver.solve(&[sl], budget) {
+            SolveResult::Unsat => {
+                self.solver.add_clause(&[sl.negate()]);
+                Prove::Proved
+            }
+            SolveResult::Sat => Prove::Refuted,
+            SolveResult::Budget => Prove::Budget,
+        }
+    }
+
+    /// Proves `a == b` by refuting their XOR miter. The miter node is
+    /// built in `aig` (strashing keeps repeats free).
+    pub fn prove_equal(&mut self, aig: &mut Aig, a: Lit, b: Lit, budget: u64) -> Prove {
+        if a == b {
+            return Prove::Proved;
+        }
+        let miter = aig.xor(a, b);
+        self.prove_false(aig, miter, budget)
+    }
+
+    /// Checks whether a literal is satisfiable (used for the parity
+    /// liveness check, where we *want* the detector to be excitable).
+    pub fn satisfiable(&mut self, aig: &Aig, lit: Lit, budget: u64) -> Prove {
+        let sl = self.slit(aig, lit);
+        match self.solver.solve(&[sl], budget) {
+            SolveResult::Sat => Prove::Proved,
+            SolveResult::Unsat => Prove::Refuted,
+            SolveResult::Budget => Prove::Budget,
+        }
+    }
+
+    /// The last SAT model projected onto the AIG inputs, in
+    /// [`Aig::inputs`] order. Inputs the query never reached read as
+    /// false (any value satisfies; false matches engine reset defaults).
+    #[must_use]
+    pub fn input_model(&self, aig: &Aig) -> Vec<bool> {
+        aig.inputs()
+            .iter()
+            .map(|&v| {
+                let sv = self.var_of.get(v as usize).copied().unwrap_or(-1);
+                sv >= 0 && self.solver.value(SLit::pos(sv as u32))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proves_rebalanced_xor_trees_equal() {
+        // (a^b)^c and a^(b^c) differ structurally (strashing does not
+        // merge them) but are semantically equal.
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let ab = g.xor(a, b);
+        let left = g.xor(ab, c);
+        let bc = g.xor(b, c);
+        let right = g.xor(a, bc);
+        assert_ne!(left, right, "test needs structurally distinct cones");
+        let mut sw = Sweeper::new();
+        assert_eq!(sw.prove_equal(&mut g, left, right, 10_000), Prove::Proved);
+        // The proved fact is now a unit clause: re-proving is free.
+        let before = sw.solver.conflicts;
+        assert_eq!(sw.prove_equal(&mut g, left, right, 10_000), Prove::Proved);
+        assert_eq!(sw.solver.conflicts, before);
+    }
+
+    #[test]
+    fn refutes_with_a_replayable_model() {
+        // or(a,b) != xor(a,b) exactly when a=b=1.
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let o = g.or(a, b);
+        let x = g.xor(a, b);
+        let mut sw = Sweeper::new();
+        assert_eq!(sw.prove_equal(&mut g, o, x, 10_000), Prove::Refuted);
+        let model = sw.input_model(&g);
+        assert_eq!(model, vec![true, true]);
+        // The model really distinguishes the cones.
+        let words: Vec<u64> = model.iter().map(|&m| if m { 1 } else { 0 }).collect();
+        let evald = g.eval(&words);
+        assert_ne!(Aig::lit_word(&evald, o) & 1, Aig::lit_word(&evald, x) & 1);
+    }
+
+    #[test]
+    fn hypotheses_constrain_later_queries() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let mut sw = Sweeper::new();
+        // Under the hypothesis a == b, a&c == b&c is provable.
+        let ac = g.and(a, c);
+        let bc = g.and(b, c);
+        sw.assume_equal(&g, a, b);
+        assert_eq!(sw.prove_equal(&mut g, ac, bc, 10_000), Prove::Proved);
+    }
+
+    #[test]
+    fn satisfiable_distinguishes_live_and_dead_cones() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let live = g.xor(a, b);
+        let dead = g.and(a, !a); // folds to FALSE
+        let mut sw = Sweeper::new();
+        assert_eq!(sw.satisfiable(&g, live, 10_000), Prove::Proved);
+        assert_eq!(sw.satisfiable(&g, dead, 10_000), Prove::Refuted);
+    }
+}

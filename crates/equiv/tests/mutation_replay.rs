@@ -1,0 +1,162 @@
+//! Property: every counterexample the SAT checker produces is real.
+//!
+//! A seeded miswire mutation (adder operand or register D input, any
+//! design, any eligible cell) must be declared inequivalent, and the
+//! counterexample must replay concretely — same port, same frame-level
+//! divergence — on BOTH `Engine` backends, after minimization. This is
+//! the contract that lets CI attach a directed test to every formal
+//! disproof instead of an abstract SAT model.
+//!
+//! The second half is the inverse demonstration: a magic-constant bug
+//! that 96 cycles of random simulation essentially never excites, but
+//! the SAT disproof finds immediately. Together they pin down why the
+//! equivalence gate exists alongside the sampled-simulation gates.
+
+use proptest::prelude::*;
+
+use dwt_arch::designs::Design;
+use dwt_equiv::mutate::{miswire_adder, miswire_register};
+use dwt_equiv::seq::{prove, simulate_only, EquivOptions, Verdict};
+use dwt_equiv::{opts_for, replay_counterexample};
+use dwt_rtl::cell::{tables, CellKind};
+use dwt_rtl::net::Bus;
+use dwt_rtl::builder::NetlistBuilder;
+use dwt_rtl::netlist::Netlist;
+
+/// Cell names in `netlist` that the miswire accepts: behavioral
+/// adders/subtractors or registers, whichever `registers` selects.
+fn eligible_targets(netlist: &Netlist, registers: bool) -> Vec<String> {
+    netlist
+        .cells()
+        .iter()
+        .filter(|c| match &c.kind {
+            CellKind::Register { .. } => registers,
+            CellKind::CarryAdd { .. } | CellKind::CarrySub { .. } => !registers,
+            _ => false,
+        })
+        .map(|c| c.name.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Seeded miswire => Inequivalent, and the cex replays on both
+    /// backends.
+    #[test]
+    fn miswire_counterexamples_replay_on_both_backends(
+        design_idx in 0usize..5,
+        use_registers in any::<bool>(),
+        pick in 0usize..64,
+    ) {
+        let design = Design::all()[design_idx];
+        let built = design.build().expect("design builds");
+        // Fully LUT-mapped designs have no behavioral adders to
+        // miswire; fall back to their registers.
+        let mut use_registers = use_registers;
+        let mut targets = eligible_targets(&built.netlist, use_registers);
+        if targets.is_empty() {
+            use_registers = true;
+            targets = eligible_targets(&built.netlist, true);
+        }
+        prop_assert!(!targets.is_empty(), "design has no miswire targets");
+        let target = &targets[pick % targets.len()];
+
+        let mutant = if use_registers {
+            miswire_register(&built.netlist, target)
+        } else {
+            miswire_adder(&built.netlist, target)
+        };
+        // Some cells have no two adjacent distinct bits to swap (e.g.
+        // replicated constant nets); that mutation simply isn't
+        // expressible there and the case is vacuous.
+        let Some(mutant) = mutant else { return Ok(()) };
+
+        let opts = opts_for(&built.netlist);
+        let verdict = prove(&built.netlist, &mutant, &opts).expect("prover runs");
+        let Verdict::Inequivalent(cex) = verdict else {
+            // A bit swap can be functionally dead (bits provably equal
+            // on that net, e.g. inside a saturated slice). Accept a
+            // proof of equivalence, but never an Unknown.
+            prop_assert!(
+                matches!(verdict, Verdict::Equivalent(_)),
+                "miswire of {target} ended {verdict:?}"
+            );
+            return Ok(());
+        };
+
+        let report = replay_counterexample(&built.netlist, &mutant, &cex)
+            .expect("replay runs");
+        prop_assert!(
+            report.confirmed(),
+            "cex on {target} did not replay: event={:?} compiled={:?}",
+            report.event,
+            report.compiled
+        );
+        prop_assert!(report.minimized.frames.len() <= cex.frames.len());
+    }
+}
+
+/// Two copies of `x + 1` over a 16-bit input; the second flips the
+/// output LSB exactly when `x` equals a magic constant.
+fn magic_pair(magic: u16) -> (Netlist, Netlist) {
+    let golden = {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 16).expect("input");
+        let one = b.constant(1, 16).expect("constant");
+        let sum = b.carry_add("inc", &x, &one, 17).expect("adder");
+        b.output("out", &sum).expect("output");
+        b.finish().expect("valid")
+    };
+    let buggy = {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 16).expect("input");
+        let one = b.constant(1, 16).expect("constant");
+        let sum = b.carry_add("inc", &x, &one, 17).expect("adder");
+        // eq = AND over per-bit "x[i] == magic[i]".
+        let mut eq = if magic & 1 != 0 {
+            b.lut("m0", &[x.bit(0)], tables::BUF1).expect("lut")
+        } else {
+            b.lut("m0", &[x.bit(0)], tables::NOT1).expect("lut")
+        };
+        for i in 1..16 {
+            let bit = if magic >> i & 1 != 0 {
+                b.lut(&format!("m{i}"), &[x.bit(i)], tables::BUF1).expect("lut")
+            } else {
+                b.lut(&format!("m{i}"), &[x.bit(i)], tables::NOT1).expect("lut")
+            };
+            eq = b.lut(&format!("eq{i}"), &[eq, bit], tables::AND2).expect("lut");
+        }
+        let lsb = b.lut("bug", &[sum.bit(0), eq], tables::XOR2).expect("lut");
+        let mut bits = sum.bits().to_vec();
+        bits[0] = lsb;
+        let out = Bus::new(bits).expect("bus");
+        b.output("out", &out).expect("output");
+        b.finish().expect("valid")
+    };
+    (golden, buggy)
+}
+
+/// The reason the gate is SAT-based: random sampling at the campaign's
+/// budget misses a 1-in-65536 trigger, the solver does not.
+#[test]
+fn sat_finds_magic_constant_bug_that_sampling_misses() {
+    let (golden, buggy) = magic_pair(0xB00C);
+    let opts = EquivOptions { bmc_depth: 2, max_k: 1, ..EquivOptions::default() };
+
+    // Sampled simulation (the lint/verify gates' method) sees nothing.
+    let sampled = simulate_only(&golden, &buggy, &opts).expect("simulation runs");
+    assert!(sampled.is_none(), "96 random cycles should miss a 1/65536 trigger");
+
+    // The checker proper refutes equivalence with the exact trigger.
+    let verdict = prove(&golden, &buggy, &opts).expect("prover runs");
+    let Verdict::Inequivalent(cex) = verdict else {
+        panic!("expected a disproof, got {verdict:?}");
+    };
+    let frame = &cex.frames[cex.frame];
+    assert_eq!(frame["x"] as u16, 0xB00C, "cex must hit the magic constant");
+
+    // And the disproof turns into a concrete directed test.
+    let report = replay_counterexample(&golden, &buggy, &cex).expect("replay runs");
+    assert!(report.confirmed());
+}

@@ -46,6 +46,18 @@ impl Mutation {
         Mutation::all().into_iter().find(|m| m.name() == s)
     }
 
+    /// The default planted-bug location (alpha-stage cells, present in
+    /// every design), shared by the lint gate and the equivalence
+    /// checker's mutation campaigns. Overridable per call site.
+    #[must_use]
+    pub fn default_target(self) -> &'static str {
+        match self {
+            Mutation::BypassRegister => "r_in_even",
+            Mutation::ShrinkAdder => "alpha_pair",
+            Mutation::DisconnectNet => "alpha_sprev",
+        }
+    }
+
     /// Applies the mutation to the first matching cell whose name
     /// contains `target`. Returns `None` when no such cell exists.
     #[must_use]

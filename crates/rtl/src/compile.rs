@@ -25,7 +25,7 @@
 //! are bit-exact with the event-driven simulator's settled values; the
 //! deliberate differences are documented on [`CompiledEngine`].
 
-use crate::cell::CellKind;
+use crate::cell::{tables, Cell, CellKind};
 use crate::engine::{Engine, EngineCaps};
 use crate::fault::{self, FaultSpec, ResolvedFault};
 use crate::net::{bits_to_signed, signed_to_bits, Bus, NetId};
@@ -246,6 +246,151 @@ impl Program {
     pub fn levels(&self) -> usize {
         self.levels
     }
+
+    /// Back-translates the compiled program into a validated netlist.
+    ///
+    /// Every word slot becomes a net: slots `0..nets` keep the source
+    /// netlist's net ids (so ports and register names carry over
+    /// unchanged), the two constant slots become [`CellKind::Constant`]
+    /// drivers, and ripple-carry temporaries become fresh single-bit
+    /// nets. Each op lowers to the cell computing exactly that op —
+    /// generic ops become LUTs whose truth table is evaluated from the
+    /// op semantics, RAM reads copy the source RAM cell verbatim.
+    ///
+    /// The result is what the interpreter *actually executes*, expressed
+    /// back in the netlist IR, which lets `dwt-equiv` prove the lowering
+    /// correct against the source netlist instead of sampling it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SnapshotMismatch`] if `source` is not the netlist this
+    /// program was compiled from (net/cell counts differ), or a
+    /// validation error if the program somehow encodes a broken graph
+    /// (never expected for [`Program::compile`] output).
+    pub fn to_netlist(&self, source: &Netlist) -> Result<Netlist> {
+        if source.net_count() != self.zero as usize
+            || self.regs.iter().any(|r| r.cell.index() >= source.cell_count())
+        {
+            return Err(Error::SnapshotMismatch {
+                snapshot_nets: self.zero as usize,
+                simulator_nets: source.net_count(),
+                snapshot_cells: self.regs.len(),
+                simulator_cells: source.cell_count(),
+            });
+        }
+        let net = |s: u32| NetId(s);
+        let one_bit = |s: u32| Bus::new(vec![net(s)]);
+        let mut cells = Vec::with_capacity(self.ops.len() + self.regs.len() + 2);
+        cells.push(Cell {
+            name: "bt_zero".into(),
+            kind: CellKind::Constant { value: 0, out: one_bit(self.zero)? },
+        });
+        cells.push(Cell {
+            name: "bt_one".into(),
+            kind: CellKind::Constant { value: -1, out: one_bit(self.one)? },
+        });
+        for (i, op) in self.ops.iter().enumerate() {
+            let (name, kind) = match *op {
+                Op::Const { dst, ones } => (
+                    format!("bt{i}"),
+                    CellKind::Constant {
+                        value: if ones { -1 } else { 0 },
+                        out: one_bit(dst)?,
+                    },
+                ),
+                Op::Copy { dst, a } => (
+                    format!("bt{i}"),
+                    CellKind::Lut { inputs: vec![net(a)], table: tables::BUF1, output: net(dst) },
+                ),
+                Op::Not { dst, a } => (
+                    format!("bt{i}"),
+                    CellKind::Lut { inputs: vec![net(a)], table: tables::NOT1, output: net(dst) },
+                ),
+                Op::And { dst, a, b } => (
+                    format!("bt{i}"),
+                    CellKind::Lut {
+                        inputs: vec![net(a), net(b)],
+                        table: tables::AND2,
+                        output: net(dst),
+                    },
+                ),
+                Op::Or { dst, a, b } => (
+                    format!("bt{i}"),
+                    CellKind::Lut {
+                        inputs: vec![net(a), net(b)],
+                        table: tables::OR2,
+                        output: net(dst),
+                    },
+                ),
+                Op::Xor { dst, a, b } => (
+                    format!("bt{i}"),
+                    CellKind::Lut {
+                        inputs: vec![net(a), net(b)],
+                        table: tables::XOR2,
+                        output: net(dst),
+                    },
+                ),
+                Op::FaSum { dst, a, b, cin, invert_b } => (
+                    format!("bt{i}"),
+                    CellKind::Lut {
+                        inputs: vec![net(a), net(b), net(cin)],
+                        table: fa_table(invert_b, false),
+                        output: net(dst),
+                    },
+                ),
+                Op::FaCarry { dst, a, b, cin, invert_b } => (
+                    format!("bt{i}"),
+                    CellKind::Lut {
+                        inputs: vec![net(a), net(b), net(cin)],
+                        table: fa_table(invert_b, true),
+                        output: net(dst),
+                    },
+                ),
+                Op::Lut { dst, ref inputs, table } => (
+                    format!("bt{i}"),
+                    CellKind::Lut {
+                        inputs: inputs.iter().map(|&s| net(s)).collect(),
+                        table,
+                        output: net(dst),
+                    },
+                ),
+                Op::RamRead { port } => {
+                    // The op implements exactly the source RAM cell's
+                    // read port; the write port commits in the register
+                    // phase, as in the source. Copy the cell verbatim.
+                    let cell = source.cell(self.rams[port as usize].cell);
+                    (cell.name.clone(), cell.kind.clone())
+                }
+            };
+            cells.push(Cell { name, kind });
+        }
+        for reg in &self.regs {
+            let d = Bus::new(reg.d.iter().map(|&s| net(s)).collect())?;
+            let q = Bus::new(reg.q.iter().map(|&s| net(s)).collect())?;
+            cells.push(Cell {
+                name: source.cell(reg.cell).name.clone(),
+                kind: CellKind::Register { d, q },
+            });
+        }
+        Netlist::validate(cells, self.slots as u32, source.ports().clone())
+    }
+}
+
+/// Truth table of a full-adder sum (`carry == false`) or carry
+/// (`carry == true`) op over inputs `[a, b, cin]` (input 0 = least
+/// significant selector bit), honoring the op's `invert_b` flag.
+fn fa_table(invert_b: bool, carry: bool) -> u16 {
+    let mut table = 0u16;
+    for m in 0u16..8 {
+        let a = m & 1 != 0;
+        let b = ((m >> 1) & 1 != 0) ^ invert_b;
+        let c = (m >> 2) & 1 != 0;
+        let out = if carry { (a & b) | (a & c) | (b & c) } else { a ^ b ^ c };
+        if out {
+            table |= 1 << m;
+        }
+    }
+    table
 }
 
 /// Slot index of a net.
@@ -1134,6 +1279,53 @@ mod tests {
         for port in ["s", "p"] {
             assert_eq!(sim.peek(port).unwrap(), Engine::peek(&eng, port).unwrap());
         }
+    }
+
+    #[test]
+    fn back_translation_simulates_identically() {
+        // The netlist rebuilt from the compiled program must be a valid
+        // graph that simulates bit-exactly against the source, RAM
+        // included — this is the substrate the formal checker rests on.
+        for (netlist, inputs, outputs) in [
+            (
+                mixed_netlist(),
+                vec![("x", -128i64, 127i64), ("y", -128, 127)],
+                vec!["s", "p"],
+            ),
+            (
+                ram_netlist(),
+                vec![("raddr", -4, 3), ("waddr", -4, 3), ("wdata", -32, 31), ("wen", -1, 0)],
+                vec!["rdata"],
+            ),
+        ] {
+            let program = Program::compile(&netlist);
+            let back = program.to_netlist(&netlist).expect("back-translation validates");
+            let mut src = Simulator::new(netlist).unwrap();
+            let mut bt = Simulator::new(back).unwrap();
+            let mut rng = Lcg(41);
+            for t in 0..100 {
+                for &(name, lo, hi) in &inputs {
+                    let v = rng.in_range(lo, hi);
+                    src.set_input(name, v).unwrap();
+                    bt.set_input(name, v).unwrap();
+                }
+                src.try_tick().unwrap();
+                bt.try_tick().unwrap();
+                for &out in &outputs {
+                    assert_eq!(
+                        src.peek(out).unwrap(),
+                        bt.peek(out).unwrap(),
+                        "back-translated netlist diverged on {out} at tick {t}"
+                    );
+                }
+            }
+        }
+        // A program refuses to back-translate against a foreign netlist.
+        let program = Program::compile(&mixed_netlist());
+        assert!(matches!(
+            program.to_netlist(&ram_netlist()),
+            Err(Error::SnapshotMismatch { .. })
+        ));
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub enum DwtError {
     Arch(dwt_arch::Error),
     /// Quantizer / entropy-coding error (`dwt-codec`).
     Codec(dwt_codec::Error),
+    /// Formal equivalence-checking error (`dwt-equiv`).
+    Equiv(dwt_equiv::EquivError),
     /// Recovery-runtime harness error (`dwt-recover`).
     Recover(dwt_recover::Error),
     /// Multi-lane scheduler error (`dwt-pool`).
@@ -39,6 +41,7 @@ impl fmt::Display for DwtError {
             DwtError::Rtl(e) => write!(f, "rtl: {e}"),
             DwtError::Arch(e) => write!(f, "arch: {e}"),
             DwtError::Codec(e) => write!(f, "codec: {e}"),
+            DwtError::Equiv(e) => write!(f, "equiv: {e}"),
             DwtError::Recover(e) => write!(f, "recover: {e}"),
             DwtError::Pool(e) => write!(f, "pool: {e}"),
             DwtError::Serve(e) => write!(f, "serve: {e}"),
@@ -53,6 +56,7 @@ impl StdError for DwtError {
             DwtError::Rtl(e) => Some(e),
             DwtError::Arch(e) => Some(e),
             DwtError::Codec(e) => Some(e),
+            DwtError::Equiv(e) => Some(e),
             DwtError::Recover(e) => Some(e),
             DwtError::Pool(e) => Some(e),
             DwtError::Serve(e) => Some(e),
@@ -81,6 +85,12 @@ impl From<dwt_arch::Error> for DwtError {
 impl From<dwt_codec::Error> for DwtError {
     fn from(e: dwt_codec::Error) -> Self {
         DwtError::Codec(e)
+    }
+}
+
+impl From<dwt_equiv::EquivError> for DwtError {
+    fn from(e: dwt_equiv::EquivError) -> Self {
+        DwtError::Equiv(e)
     }
 }
 

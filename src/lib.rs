@@ -17,6 +17,10 @@
 //! * [`lint`] — the static-analysis passes (connectivity, width
 //!   safety, pipeline balance) that check the paper's structural
 //!   invariants without a single simulation cycle.
+//! * [`equiv`] — the SAT-sweeping combinational/sequential equivalence
+//!   checker: AIG lowering, a self-contained CDCL solver, register
+//!   correspondence and k-induction, with concrete counterexample
+//!   replay on both simulation backends.
 //! * [`recover`] — the detect–rollback–replay recovery runtime:
 //!   checkpointed tile execution with online fault detection and a
 //!   graceful-degradation ladder (replay → TMR spare → software
@@ -56,6 +60,7 @@ pub use error::{DwtError, Result};
 pub use dwt_arch as arch;
 pub use dwt_codec as codec;
 pub use dwt_core as core;
+pub use dwt_equiv as equiv;
 pub use dwt_fpga as fpga;
 pub use dwt_imaging as imaging;
 pub use dwt_lint as lint;

@@ -45,6 +45,9 @@ pub use dwt_arch::golden::{still_tone_pairs, GoldenStream};
 pub use dwt_arch::system2d::{build_pass_engine, run_pass};
 pub use dwt_arch::verify::{measure_activity, verify_datapath};
 
+// equiv: the SAT-sweeping equivalence oracle.
+pub use dwt_equiv::{prove, replay_counterexample, EquivOptions, Verdict};
+
 // fpga: mapping, timing and power models.
 pub use dwt_fpga::device::Device;
 pub use dwt_fpga::map::map_netlist;
