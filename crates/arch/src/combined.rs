@@ -95,22 +95,13 @@ pub fn build_combined() -> Result<BuiltCombined> {
         (ranges.after_alpha.min, ranges.after_alpha.max),
     )?;
     let half_bus = ctx.b.shift_right_arith(&pair.bus, 1)?;
-    let half = Sig {
-        bus: half_bus,
-        tau: pair.tau,
-        range: (pair_range.0 >> 1, pair_range.1 >> 1),
-    };
+    let half = Sig { bus: half_bus, tau: pair.tau, range: (pair_range.0 >> 1, pair_range.1 >> 1) };
     let d1_53 = ctx.add("p1_sub53", &d_in, &half, true)?;
-    let d1_mux = ctx
-        .b
-        .mux("p1_mux", mode_53, &d1_53.bus, &d1_97.bus)?;
+    let d1_mux = ctx.b.mux("p1_mux", mode_53, &d1_53.bus, &d1_97.bus)?;
     let d1 = Sig {
         bus: d1_mux,
         tau: pair.tau,
-        range: (
-            d1_97.range.0.min(d1_53.range.0),
-            d1_97.range.1.max(d1_53.range.1),
-        ),
+        range: (d1_97.range.0.min(d1_53.range.0), d1_97.range.1.max(d1_53.range.1)),
     };
     let d1 = ctx.reg("p1_out", &d1)?;
     let s_pass = ctx.align_to("p1_spass", &s_prev, d1.tau)?;
@@ -148,10 +139,7 @@ pub fn build_combined() -> Result<BuiltCombined> {
     let s1 = Sig {
         bus: s1_mux,
         tau: pair2.tau,
-        range: (
-            s1_97.range.0.min(s1_53.range.0),
-            s1_97.range.1.max(s1_53.range.1),
-        ),
+        range: (s1_97.range.0.min(s1_53.range.0), s1_97.range.1.max(s1_53.range.1)),
     };
     let s1 = ctx.reg("u1_out", &s1)?;
     let d1_pass = ctx.align_to("u1_dpass", &d1, s1.tau)?;
@@ -247,11 +235,7 @@ mod tests {
     use dwt_fpga::map::map_netlist;
     use dwt_rtl::sim::Simulator;
 
-    fn run_mode(
-        built: &BuiltCombined,
-        mode: i64,
-        pairs: &[(i64, i64)],
-    ) -> (Vec<i64>, Vec<i64>) {
+    fn run_mode(built: &BuiltCombined, mode: i64, pairs: &[(i64, i64)]) -> (Vec<i64>, Vec<i64>) {
         let latency = if mode == 0 { built.latency_97 } else { built.latency_53 };
         let mut sim = Simulator::new(built.netlist.clone()).unwrap();
         sim.set_input("mode", mode).unwrap();
@@ -312,10 +296,7 @@ mod tests {
         let combined = map_netlist(&build_combined().unwrap().netlist).le_count();
         let d2 = map_netlist(&Design::D2.build().unwrap().netlist).le_count();
         let d53 = map_netlist(&build_53_datapath().unwrap().netlist).le_count();
-        assert!(
-            combined < d2 + d53,
-            "combined {combined} LEs vs separate {d2} + {d53}"
-        );
+        assert!(combined < d2 + d53, "combined {combined} LEs vs separate {d2} + {d53}");
         // The 5/3 capability itself must stay well under doubling D2.
         assert!(combined < d2 * 3 / 2, "combined {combined} vs D2 {d2}");
     }

@@ -194,10 +194,8 @@ impl Ctx {
                 d_bits.push(parity);
                 let ext = Bus::new(d_bits).map_err(Error::Rtl)?;
                 let q = self.b.register(&name, &ext)?;
-                let data =
-                    Bus::new(q.bits()[..s.bus.width()].to_vec()).map_err(Error::Rtl)?;
-                let recomputed =
-                    self.b.xor_tree(&format!("{name}_pchk"), data.bits())?;
+                let data = Bus::new(q.bits()[..s.bus.width()].to_vec()).map_err(Error::Rtl)?;
+                let recomputed = self.b.xor_tree(&format!("{name}_pchk"), data.bits())?;
                 let mismatch = self.b.lut(
                     &format!("{name}_perr"),
                     &[recomputed, q.bit(s.bus.width())],
@@ -292,11 +290,7 @@ impl Ctx {
         // Result = concat(l[0..k], upper).
         let mut bits: Vec<dwt_rtl::net::NetId> = Vec::with_capacity(k + upper.bus.width());
         for i in 0..k {
-            bits.push(if i < l.bus.width() {
-                l.bus.bit(i)
-            } else {
-                l.bus.msb()
-            });
+            bits.push(if i < l.bus.width() { l.bus.bit(i) } else { l.bus.msb() });
         }
         bits.extend_from_slice(upper.bus.bits());
         let bus = Bus::new(bits).map_err(Error::Rtl)?;
@@ -314,11 +308,7 @@ impl Ctx {
             return Ok(s.clone());
         }
         let bus = self.b.shift_left(&s.bus, k as usize)?;
-        Ok(Sig {
-            bus,
-            tau: s.tau,
-            range: (s.range.0 << k, s.range.1 << k),
-        })
+        Ok(Sig { bus, tau: s.tau, range: (s.range.0 << k, s.range.1 << k) })
     }
 
     /// Reduces nodes to a single node as a balanced tree — the structure
@@ -426,11 +416,7 @@ impl Ctx {
         let shared = if plan.shared_shift().is_some() {
             let x1 = self.lift_shift(x, 1)?;
             let y = self.add(&format!("{stem}_shared"), x, &x1, false)?;
-            let y = if self.pipelined {
-                self.reg(&format!("{stem}_shared_r"), &y)?
-            } else {
-                y
-            };
+            let y = if self.pipelined { self.reg(&format!("{stem}_shared_r"), &y)? } else { y };
             Some(y)
         } else {
             None
@@ -549,14 +535,7 @@ impl Ctx {
                     let (a, b2, ci) = (col.pop().unwrap(), col.pop().unwrap(), col.pop().unwrap());
                     let sum = self.b.alloc_net()?;
                     let cout = self.b.alloc_net()?;
-                    self.b.full_adder(
-                        &format!("{stem}_csa{level}_{c}"),
-                        a,
-                        b2,
-                        ci,
-                        sum,
-                        cout,
-                    )?;
+                    self.b.full_adder(&format!("{stem}_csa{level}_{c}"), a, b2, ci, sum, cout)?;
                     next[c].push(sum);
                     if c + 1 < width {
                         next[c + 1].push(cout);
@@ -568,25 +547,16 @@ impl Ctx {
         }
 
         // Final carry-propagate add of the two remaining vectors.
-        let vec_a = Bus::new(
-            (0..width)
-                .map(|c| cols[c].first().copied().unwrap_or(gnd))
-                .collect(),
-        )
-        .map_err(Error::Rtl)?;
-        let vec_b = Bus::new(
-            (0..width)
-                .map(|c| cols[c].get(1).copied().unwrap_or(gnd))
-                .collect(),
-        )
-        .map_err(Error::Rtl)?;
+        let vec_a = Bus::new((0..width).map(|c| cols[c].first().copied().unwrap_or(gnd)).collect())
+            .map_err(Error::Rtl)?;
+        let vec_b = Bus::new((0..width).map(|c| cols[c].get(1).copied().unwrap_or(gnd)).collect())
+            .map_err(Error::Rtl)?;
         let mut product_bus = self.b.carry_add(&format!("{stem}_cpa"), &vec_a, &vec_b, width)?;
         // Subtract the sign row for a negative constant.
         if bits & (1 << 9) != 0 {
             let shifted = self.b.shift_left(&x.bus, 9)?;
             product_bus =
-                self.b
-                    .carry_sub(&format!("{stem}_sign"), &product_bus, &shifted, width)?;
+                self.b.carry_sub(&format!("{stem}_sign"), &product_bus, &shifted, width)?;
         }
         let adjusted = self.b.shift_right_arith(&product_bus, 8)?;
         let out_width = Self::width_for(out_range);
@@ -718,10 +688,7 @@ pub fn build_datapath(spec: &DatapathSpec) -> Result<BuiltDatapath> {
 ///
 /// Propagates netlist-construction failures (which indicate a generator
 /// bug rather than a user error).
-pub fn build_datapath_hardened(
-    spec: &DatapathSpec,
-    hardening: Hardening,
-) -> Result<BuiltDatapath> {
+pub fn build_datapath_hardened(spec: &DatapathSpec, hardening: Hardening) -> Result<BuiltDatapath> {
     assert!(
         (8..=16).contains(&spec.input_bits),
         "input precision {} outside 8..=16",
@@ -761,10 +728,8 @@ pub fn build_datapath_hardened(
             }
         }
     };
-    let generic = matches!(
-        spec.multiplier,
-        MultiplierImpl::GenericArray | MultiplierImpl::GenericCarrySave
-    );
+    let generic =
+        matches!(spec.multiplier, MultiplierImpl::GenericArray | MultiplierImpl::GenericCarrySave);
     let carry_save = matches!(spec.multiplier, MultiplierImpl::GenericCarrySave);
 
     // --- Input registers -------------------------------------------------
@@ -867,15 +832,8 @@ pub fn build_datapath_hardened(
         mac_kind,
         range_of(ranges.after_alpha),
     )?;
-    let s1 = update(
-        &mut ctx,
-        "beta",
-        &d1,
-        &s0p,
-        &plan(c.beta),
-        mac_kind,
-        range_of(ranges.after_beta),
-    )?;
+    let s1 =
+        update(&mut ctx, "beta", &d1, &s0p, &plan(c.beta), mac_kind, range_of(ranges.after_beta))?;
     let (d2, s1p) = predict(
         &mut ctx,
         "gamma",
@@ -896,7 +854,14 @@ pub fn build_datapath_hardened(
     )?;
 
     // --- Output scaling ---------------------------------------------------
-    let mut low = mac_kind.apply(&mut ctx, "inv_k", &s2, &plan(c.inv_k), None, range_of(ranges.low_output))?;
+    let mut low = mac_kind.apply(
+        &mut ctx,
+        "inv_k",
+        &s2,
+        &plan(c.inv_k),
+        None,
+        range_of(ranges.low_output),
+    )?;
     let mut high = mac_kind.apply(
         &mut ctx,
         "minus_k",
@@ -930,11 +895,7 @@ pub fn build_datapath_hardened(
 mod tests {
     use super::*;
 
-    fn spec(
-        multiplier: MultiplierImpl,
-        adder_style: AdderStyle,
-        pipelined: bool,
-    ) -> DatapathSpec {
+    fn spec(multiplier: MultiplierImpl, adder_style: AdderStyle, pipelined: bool) -> DatapathSpec {
         DatapathSpec {
             multiplier,
             adder_style,
@@ -948,14 +909,8 @@ mod tests {
     fn stage_pipelined_latency_is_8() {
         for (m, a) in [
             (MultiplierImpl::GenericArray, AdderStyle::CarryChain),
-            (
-                MultiplierImpl::ShiftAdd(Recoding::BinaryReuse),
-                AdderStyle::CarryChain,
-            ),
-            (
-                MultiplierImpl::ShiftAdd(Recoding::BinaryReuse),
-                AdderStyle::Ripple,
-            ),
+            (MultiplierImpl::ShiftAdd(Recoding::BinaryReuse), AdderStyle::CarryChain),
+            (MultiplierImpl::ShiftAdd(Recoding::BinaryReuse), AdderStyle::Ripple),
         ] {
             let built = build_datapath(&spec(m, a, false)).unwrap();
             assert_eq!(built.latency, 8, "{m:?} {a:?}");
@@ -965,12 +920,9 @@ mod tests {
     #[test]
     fn operator_pipelined_latency_is_21() {
         for a in [AdderStyle::CarryChain, AdderStyle::Ripple] {
-            let built = build_datapath(&spec(
-                MultiplierImpl::ShiftAdd(Recoding::BinaryReuse),
-                a,
-                true,
-            ))
-            .unwrap();
+            let built =
+                build_datapath(&spec(MultiplierImpl::ShiftAdd(Recoding::BinaryReuse), a, true))
+                    .unwrap();
             assert_eq!(built.latency, 21, "{a:?}");
         }
     }
@@ -1016,12 +968,9 @@ mod tests {
 
     #[test]
     fn generic_array_uses_more_adders_than_shift_add() {
-        let generic = build_datapath(&spec(
-            MultiplierImpl::GenericArray,
-            AdderStyle::CarryChain,
-            false,
-        ))
-        .unwrap();
+        let generic =
+            build_datapath(&spec(MultiplierImpl::GenericArray, AdderStyle::CarryChain, false))
+                .unwrap();
         let shift_add = build_datapath(&spec(
             MultiplierImpl::ShiftAdd(Recoding::BinaryReuse),
             AdderStyle::CarryChain,
@@ -1029,8 +978,7 @@ mod tests {
         ))
         .unwrap();
         assert!(
-            generic.netlist.census().carry_adder_bits
-                > shift_add.netlist.census().carry_adder_bits
+            generic.netlist.census().carry_adder_bits > shift_add.netlist.census().carry_adder_bits
         );
     }
 
@@ -1048,9 +996,7 @@ mod tests {
             true,
         ))
         .unwrap();
-        assert!(
-            piped.netlist.census().register_bits > 2 * flat.netlist.census().register_bits
-        );
+        assert!(piped.netlist.census().register_bits > 2 * flat.netlist.census().register_bits);
     }
 }
 
@@ -1092,9 +1038,6 @@ mod carry_save_tests {
         let csa = build_datapath(&csa_spec()).unwrap();
         let t_ripple = measure_activity(&ripple, &pairs).unwrap().toggles_per_cycle();
         let t_csa = measure_activity(&csa, &pairs).unwrap().toggles_per_cycle();
-        assert!(
-            t_csa < 0.6 * t_ripple,
-            "carry-save {t_csa} vs ripple {t_ripple} toggles/cycle"
-        );
+        assert!(t_csa < 0.6 * t_ripple, "carry-save {t_csa} vs ripple {t_ripple} toggles/cycle");
     }
 }

@@ -73,31 +73,19 @@ impl Design {
     #[must_use]
     pub fn spec(self, constants: LiftingConstants) -> DatapathSpec {
         let (multiplier, adder_style, pipelined) = match self {
-            Design::D1 => (
-                MultiplierImpl::GenericArray,
-                AdderStyle::CarryChain,
-                false,
-            ),
-            Design::D2 => (
-                MultiplierImpl::ShiftAdd(Recoding::BinaryReuse),
-                AdderStyle::CarryChain,
-                false,
-            ),
-            Design::D3 => (
-                MultiplierImpl::ShiftAdd(Recoding::BinaryReuse),
-                AdderStyle::CarryChain,
-                true,
-            ),
-            Design::D4 => (
-                MultiplierImpl::ShiftAdd(Recoding::BinaryReuse),
-                AdderStyle::Ripple,
-                false,
-            ),
-            Design::D5 => (
-                MultiplierImpl::ShiftAdd(Recoding::BinaryReuse),
-                AdderStyle::Ripple,
-                true,
-            ),
+            Design::D1 => (MultiplierImpl::GenericArray, AdderStyle::CarryChain, false),
+            Design::D2 => {
+                (MultiplierImpl::ShiftAdd(Recoding::BinaryReuse), AdderStyle::CarryChain, false)
+            }
+            Design::D3 => {
+                (MultiplierImpl::ShiftAdd(Recoding::BinaryReuse), AdderStyle::CarryChain, true)
+            }
+            Design::D4 => {
+                (MultiplierImpl::ShiftAdd(Recoding::BinaryReuse), AdderStyle::Ripple, false)
+            }
+            Design::D5 => {
+                (MultiplierImpl::ShiftAdd(Recoding::BinaryReuse), AdderStyle::Ripple, true)
+            }
         };
         DatapathSpec {
             multiplier,
@@ -203,9 +191,8 @@ mod tests {
         use crate::verify::verify_datapath;
         let pairs = still_tone_pairs(32, 5);
         for d in Design::all() {
-            let spare = d
-                .build_hardened(Hardening::Tmr)
-                .unwrap_or_else(|e| panic!("{d} TMR spare: {e}"));
+            let spare =
+                d.build_hardened(Hardening::Tmr).unwrap_or_else(|e| panic!("{d} TMR spare: {e}"));
             assert_eq!(spare.latency, d.paper_row().stages, "{d} spare latency");
             verify_datapath(&spare, &pairs).unwrap_or_else(|e| panic!("{d} spare: {e}"));
         }

@@ -96,12 +96,7 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let mismatch = Error::Mismatch {
-            port: "low".into(),
-            index: 7,
-            hardware: 12,
-            golden: 13,
-        };
+        let mismatch = Error::Mismatch { port: "low".into(), index: 7, hardware: 12, golden: 13 };
         let text = mismatch.to_string();
         assert!(text.contains("low[7]"));
         assert!(text.contains("12"));
@@ -131,12 +126,7 @@ mod tests {
         assert!(rtl.source().is_some());
         let core = Error::from(dwt_core::Error::Empty);
         assert!(core.source().is_some());
-        let mismatch = Error::Mismatch {
-            port: "high".into(),
-            index: 0,
-            hardware: 0,
-            golden: 1,
-        };
+        let mismatch = Error::Mismatch { port: "high".into(), index: 0, hardware: 0, golden: 1 };
         assert!(mismatch.source().is_none());
     }
 }

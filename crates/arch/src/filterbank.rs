@@ -153,63 +153,64 @@ pub fn build_filterbank(pipelining: FilterbankPipelining) -> Result<BuiltFilterb
 
     // Balanced accumulation tree per band; returns the >>8-adjusted bus
     // and the number of pipeline layers inserted.
-    let reduce = |b: &mut NetlistBuilder, mut leaves: Vec<Leaf>, stem: &str| -> Result<(Bus, u32)> {
-        let mut level = 0u32;
-        let mut layers = 0u32;
-        while leaves.len() > 1 {
-            level += 1;
-            let stage_registered = level.is_multiple_of(reg_every);
-            leaves.sort_by_key(|l| l.negate);
-            let mut next = Vec::with_capacity(leaves.len().div_ceil(2));
-            let mut idx = 0;
-            while idx < leaves.len() {
-                let name = format!("{stem}_l{level}_{idx}");
-                let combined = if idx + 1 < leaves.len() {
-                    let (a, bb) = (&leaves[idx], &leaves[idx + 1]);
-                    let s = a.shift.min(bb.shift);
-                    let (hi, lo, sub, neg) = match (a.negate, bb.negate) {
-                        (false, false) => (a, bb, false, false),
-                        (false, true) => (a, bb, true, false),
-                        (true, false) => (bb, a, true, false),
-                        (true, true) => (a, bb, false, true),
-                    };
-                    let ia = b.shift_left(&hi.bus, (hi.shift - s) as usize)?;
-                    let ib = b.shift_left(&lo.bus, (lo.shift - s) as usize)?;
-                    let max_val =
-                        (hi.max_abs << (hi.shift - s)) + (lo.max_abs << (lo.shift - s));
-                    let width = bits_for_range(-max_val, max_val) as usize;
-                    let sum = if sub {
-                        b.carry_sub(&name, &ia, &ib, width)?
+    let reduce =
+        |b: &mut NetlistBuilder, mut leaves: Vec<Leaf>, stem: &str| -> Result<(Bus, u32)> {
+            let mut level = 0u32;
+            let mut layers = 0u32;
+            while leaves.len() > 1 {
+                level += 1;
+                let stage_registered = level.is_multiple_of(reg_every);
+                leaves.sort_by_key(|l| l.negate);
+                let mut next = Vec::with_capacity(leaves.len().div_ceil(2));
+                let mut idx = 0;
+                while idx < leaves.len() {
+                    let name = format!("{stem}_l{level}_{idx}");
+                    let combined = if idx + 1 < leaves.len() {
+                        let (a, bb) = (&leaves[idx], &leaves[idx + 1]);
+                        let s = a.shift.min(bb.shift);
+                        let (hi, lo, sub, neg) = match (a.negate, bb.negate) {
+                            (false, false) => (a, bb, false, false),
+                            (false, true) => (a, bb, true, false),
+                            (true, false) => (bb, a, true, false),
+                            (true, true) => (a, bb, false, true),
+                        };
+                        let ia = b.shift_left(&hi.bus, (hi.shift - s) as usize)?;
+                        let ib = b.shift_left(&lo.bus, (lo.shift - s) as usize)?;
+                        let max_val =
+                            (hi.max_abs << (hi.shift - s)) + (lo.max_abs << (lo.shift - s));
+                        let width = bits_for_range(-max_val, max_val) as usize;
+                        let sum = if sub {
+                            b.carry_sub(&name, &ia, &ib, width)?
+                        } else {
+                            b.carry_add(&name, &ia, &ib, width)?
+                        };
+                        Leaf { bus: sum, shift: s, negate: neg, max_abs: max_val }
                     } else {
-                        b.carry_add(&name, &ia, &ib, width)?
+                        leaves[idx].clone()
                     };
-                    Leaf { bus: sum, shift: s, negate: neg, max_abs: max_val }
-                } else {
-                    leaves[idx].clone()
-                };
-                let combined = if stage_registered {
-                    let bus = b.register(&format!("{name}_r"), &combined.bus)?;
-                    Leaf { bus, ..combined }
-                } else {
-                    combined
-                };
-                next.push(combined);
-                idx += 2;
+                    let combined = if stage_registered {
+                        let bus = b.register(&format!("{name}_r"), &combined.bus)?;
+                        Leaf { bus, ..combined }
+                    } else {
+                        combined
+                    };
+                    next.push(combined);
+                    idx += 2;
+                }
+                if stage_registered {
+                    layers += 1;
+                }
+                leaves = next;
             }
-            if stage_registered {
-                layers += 1;
-            }
-            leaves = next;
-        }
-        let root = leaves.remove(0);
-        assert!(!root.negate, "net filter response must be positive-form");
-        let bus = if root.shift >= 8 {
-            b.shift_left(&root.bus, (root.shift - 8) as usize)?
-        } else {
-            b.shift_right_arith(&root.bus, (8 - root.shift) as usize)?
+            let root = leaves.remove(0);
+            assert!(!root.negate, "net filter response must be positive-form");
+            let bus = if root.shift >= 8 {
+                b.shift_left(&root.bus, (root.shift - 8) as usize)?
+            } else {
+                b.shift_right_arith(&root.bus, (8 - root.shift) as usize)?
+            };
+            Ok((bus, layers))
         };
-        Ok((bus, layers))
-    };
 
     let (low_raw, low_layers) = reduce(&mut b, low_leaves, "mac_low")?;
     let (high_raw, high_layers) = reduce(&mut b, high_leaves, "mac_high")?;
@@ -320,8 +321,7 @@ mod tests {
         // mirrored block transform of dwt-core.
         let pairs = still_tone_pairs(48, 3);
         let (low, high) = golden_filterbank(&pairs);
-        let flat: Vec<i32> =
-            pairs.iter().flat_map(|&(e, o)| [e as i32, o as i32]).collect();
+        let flat: Vec<i32> = pairs.iter().flat_map(|&(e, o)| [e as i32, o as i32]).collect();
         let bank = FirBank::daubechies_9_7().integer_rounded();
         let block = dwt_core::fir::analyze_i32(&flat, &bank).unwrap();
         for m in 4..44 {
@@ -335,9 +335,7 @@ mod tests {
         use dwt_fpga::device::Device;
         use dwt_fpga::timing::analyze;
         let t = Device::apex20ke().timing;
-        let fmax = |p| {
-            analyze(&build_filterbank(p).unwrap().netlist, &t).fmax_mhz
-        };
+        let fmax = |p| analyze(&build_filterbank(p).unwrap().netlist, &t).fmax_mhz;
         let comb = fmax(FilterbankPipelining::Combinational);
         let two = fmax(FilterbankPipelining::EveryTwoLevels);
         let one = fmax(FilterbankPipelining::EveryLevel);

@@ -202,10 +202,7 @@ pub fn still_tone_pairs(len: usize, seed: u64) -> Vec<(i64, i64)> {
 #[must_use]
 pub fn still_tone_pairs_scaled(len: usize, seed: u64, bits: u32) -> Vec<(i64, i64)> {
     let scale = 1i64 << (bits - 8);
-    still_tone_base(len, seed)
-        .into_iter()
-        .map(|(e, o)| (e * scale, o * scale))
-        .collect()
+    still_tone_base(len, seed).into_iter().map(|(e, o)| (e * scale, o * scale)).collect()
 }
 
 fn still_tone_base(len: usize, seed: u64) -> Vec<(i64, i64)> {
@@ -251,10 +248,7 @@ mod tests {
         for &(e, o) in &pairs {
             golden.push(e, o);
         }
-        let flat: Vec<i32> = pairs
-            .iter()
-            .flat_map(|&(e, o)| [e as i32, o as i32])
-            .collect();
+        let flat: Vec<i32> = pairs.iter().flat_map(|&(e, o)| [e as i32, o as i32]).collect();
         let block = IntLifting::default().forward(&flat).unwrap();
         // Skip a margin at both ends (filter support is ±4 samples).
         for m in 4..golden.low().len().min(block.low.len() - 4) {

@@ -101,10 +101,7 @@ impl HardenedVariant {
     /// # }
     /// ```
     pub fn build(self) -> Result<BuiltDatapath> {
-        build_datapath_hardened(
-            &self.base().spec(LiftingConstants::default()),
-            self.hardening(),
-        )
+        build_datapath_hardened(&self.base().spec(LiftingConstants::default()), self.hardening())
     }
 }
 
@@ -125,11 +122,7 @@ mod tests {
         let pairs = still_tone_pairs(48, 11);
         for v in HardenedVariant::all() {
             let built = v.build().unwrap_or_else(|e| panic!("{v}: {e}"));
-            assert_eq!(
-                built.latency,
-                v.base().paper_row().stages,
-                "{v} latency"
-            );
+            assert_eq!(built.latency, v.base().paper_row().stages, "{v} latency");
             verify_datapath(&built, &pairs).unwrap_or_else(|e| panic!("{v}: {e}"));
         }
     }

@@ -92,7 +92,13 @@ pub fn build_idwt(pipelined_operators: bool) -> Result<BuiltIdwt> {
     let high = ctx.reg("r_in_high", &high)?;
 
     // Undo the band scalings: s2 = (low * 315) >> 8, d2 = (high * -208) >> 8.
-    let mut s2 = ctx.mac("k_recip", &low, &ShiftAddPlan::new(k_recip, recoding), None, widen(ranges.after_delta))?;
+    let mut s2 = ctx.mac(
+        "k_recip",
+        &low,
+        &ShiftAddPlan::new(k_recip, recoding),
+        None,
+        widen(ranges.after_delta),
+    )?;
     let mut d2 = ctx.mac(
         "inv_k_recip",
         &high,
@@ -109,16 +115,44 @@ pub fn build_idwt(pipelined_operators: bool) -> Result<BuiltIdwt> {
     let d2 = ctx.align_to("d2_al", &d2, tau)?;
 
     // Undo δ (update-style, uses past d2): s1 = s2 - (δ(d2[m-1]+d2[m]))>>8.
-    let s1 = un_update(&mut ctx, "un_delta", &d2, &s2, &ShiftAddPlan::new(c.delta, recoding), widen(ranges.after_beta))?;
+    let s1 = un_update(
+        &mut ctx,
+        "un_delta",
+        &d2,
+        &s2,
+        &ShiftAddPlan::new(c.delta, recoding),
+        widen(ranges.after_beta),
+    )?;
 
     // Undo γ (predict-style, needs s1[m+1]): d1 = d2 - (γ(s1[m]+s1[m+1]))>>8.
-    let (d1, s1p) = un_predict(&mut ctx, "un_gamma", &s1, &d2, &ShiftAddPlan::new(c.gamma, recoding), widen(ranges.after_alpha))?;
+    let (d1, s1p) = un_predict(
+        &mut ctx,
+        "un_gamma",
+        &s1,
+        &d2,
+        &ShiftAddPlan::new(c.gamma, recoding),
+        widen(ranges.after_alpha),
+    )?;
 
     // Undo β: s0 = s1 - (β(d1[m-1]+d1[m]))>>8.
-    let s0 = un_update(&mut ctx, "un_beta", &d1, &s1p, &ShiftAddPlan::new(c.beta, recoding), (-256, 255))?;
+    let s0 = un_update(
+        &mut ctx,
+        "un_beta",
+        &d1,
+        &s1p,
+        &ShiftAddPlan::new(c.beta, recoding),
+        (-256, 255),
+    )?;
 
     // Undo α: d0 = d1 - (α(s0[m]+s0[m+1]))>>8.
-    let (d0, s0p) = un_predict(&mut ctx, "un_alpha", &s0, &d1, &ShiftAddPlan::new(c.alpha, recoding), (-256, 255))?;
+    let (d0, s0p) = un_predict(
+        &mut ctx,
+        "un_alpha",
+        &s0,
+        &d1,
+        &ShiftAddPlan::new(c.alpha, recoding),
+        (-256, 255),
+    )?;
 
     let tau = d0.tau.max(s0p.tau);
     let even = ctx.align_to("even_bal", &s0p, tau)?;
@@ -149,11 +183,7 @@ fn un_update(
     let name = ctx.name(&format!("{stem}_pair"));
     let bus = ctx.b.carry_add(&name, &d_cur.bus, &d_prev.bus, width)?;
     let pair = Sig { bus, tau: d_cur.tau, range };
-    let pair = if ctx.pipelined {
-        ctx.reg(&format!("{stem}_pair_r"), &pair)?
-    } else {
-        pair
-    };
+    let pair = if ctx.pipelined { ctx.reg(&format!("{stem}_pair_r"), &pair)? } else { pair };
     let acc_al = ctx.align_to(&format!("{stem}_al"), acc, pair.tau)?;
     let mut out = ctx.mac_signed(stem, &pair, plan, Some(&acc_al), out_range, true)?;
     if !ctx.pipelined {
@@ -180,11 +210,7 @@ fn un_predict(
     let name = ctx.name(&format!("{stem}_pair"));
     let bus = ctx.b.carry_add(&name, &s_cur.bus, &s_prev.bus, width)?;
     let pair = Sig { bus, tau: s_prev.tau, range };
-    let pair = if ctx.pipelined {
-        ctx.reg(&format!("{stem}_pair_r"), &pair)?
-    } else {
-        pair
-    };
+    let pair = if ctx.pipelined { ctx.reg(&format!("{stem}_pair_r"), &pair)? } else { pair };
     let acc_al = ctx.align_to(&format!("{stem}_al"), acc, pair.tau)?;
     let mut out = ctx.mac_signed(stem, &pair, plan, Some(&acc_al), out_range, true)?;
     if !ctx.pipelined {
@@ -333,12 +359,8 @@ mod tests {
             for &(e, o) in &pairs {
                 fwd.push(e, o);
             }
-            let coeffs: Vec<(i64, i64)> = fwd
-                .low()
-                .iter()
-                .zip(fwd.high())
-                .map(|(&l, &h)| (l, h))
-                .collect();
+            let coeffs: Vec<(i64, i64)> =
+                fwd.low().iter().zip(fwd.high()).map(|(&l, &h)| (l, h)).collect();
 
             let mut golden = GoldenInverse::new();
             for &(l, h) in &coeffs {

@@ -74,11 +74,7 @@ pub fn build_53_datapath() -> Result<Built53> {
     let pair_bus = ctx.b.carry_add("predict_pair", &se.bus, &s_prev.bus, 9)?;
     let pair = Sig { bus: pair_bus, tau: s_prev.tau, range: pair_range };
     let half_bus = ctx.b.shift_right_arith(&pair.bus, 1)?;
-    let half = Sig {
-        bus: half_bus,
-        tau: pair.tau,
-        range: (pair.range.0 >> 1, pair.range.1 >> 1),
-    };
+    let half = Sig { bus: half_bus, tau: pair.tau, range: (pair.range.0 >> 1, pair.range.1 >> 1) };
     let so_al = ctx.align_to("predict_dal", &so, half.tau)?;
     let high_comb = ctx.add("predict_sub", &so_al, &half, true)?;
     let high = ctx.reg("predict_out", &high_comb)?;
@@ -86,11 +82,7 @@ pub fn build_53_datapath() -> Result<Built53> {
     // Update: low[m] = even[m] + ((high[m-1] + high[m] + 2) >> 2).
     let d_prev = ctx.reg("update_dprev", &high)?;
     let pair2_bus = ctx.b.carry_add("update_pair", &high.bus, &d_prev.bus, 11)?;
-    let pair2 = Sig {
-        bus: pair2_bus,
-        tau: high.tau,
-        range: (high.range.0 * 2, high.range.1 * 2),
-    };
+    let pair2 = Sig { bus: pair2_bus, tau: high.tau, range: (high.range.0 * 2, high.range.1 * 2) };
     let two = ctx.b.constant(2, 3)?;
     let two = Sig { bus: two, tau: pair2.tau, range: (2, 2) };
     let biased = ctx.add("update_bias", &pair2, &two, false)?;
@@ -113,10 +105,7 @@ pub fn build_53_datapath() -> Result<Built53> {
     ctx.b.output("low", &low_bus)?;
     ctx.b.output("high", &high_bus)?;
 
-    Ok(Built53 {
-        netlist: ctx.b.finish().map_err(Error::Rtl)?,
-        latency: tau as usize,
-    })
+    Ok(Built53 { netlist: ctx.b.finish().map_err(Error::Rtl)?, latency: tau as usize })
 }
 
 /// Zero pairs prepended to mirror the hardware's cleared registers
@@ -134,12 +123,7 @@ pub struct Golden53 {
 
 impl Default for Golden53 {
     fn default() -> Self {
-        let mut g = Golden53 {
-            e: Vec::new(),
-            o: Vec::new(),
-            low: Vec::new(),
-            high: Vec::new(),
-        };
+        let mut g = Golden53 { e: Vec::new(), o: Vec::new(), low: Vec::new(), high: Vec::new() };
         for _ in 0..WARMUP53 {
             g.push(0, 0);
         }
@@ -242,10 +226,7 @@ mod tests {
         let d97 = crate::designs::Design::D2.build().unwrap();
         let les53 = map_netlist(&d53.netlist).le_count();
         let les97 = map_netlist(&d97.netlist).le_count();
-        assert!(
-            (les53 as f64) < 0.35 * les97 as f64,
-            "5/3 {les53} LEs vs 9/7 {les97} LEs"
-        );
+        assert!((les53 as f64) < 0.35 * les97 as f64, "5/3 {les53} LEs vs 9/7 {les97} LEs");
     }
 
     #[test]

@@ -78,26 +78,13 @@ pub fn build_line_based() -> Result<LineBasedEngine> {
     col_feed.connect(&mut b, &col_next)?;
 
     let parity_flip = b.lut("ctl_pflip", &[row_parity.bit(0)], tables::NOT1)?;
-    let parity_next = b.mux(
-        "ctl_parity_next",
-        at_last,
-        &Bus::from(parity_flip),
-        &row_parity,
-    )?;
+    let parity_next = b.mux("ctl_parity_next", at_last, &Bus::from(parity_flip), &row_parity)?;
     parity_feed.connect(&mut b, &parity_next)?;
 
     // seen_two latches once a row wraps while parity is odd (i.e. after
     // row 1 completes, every subsequent even row emits).
-    let wrap_from_odd = b.lut(
-        "ctl_wrap_odd",
-        &[at_last, row_parity.bit(0)],
-        tables::AND2,
-    )?;
-    let seen_next = b.lut(
-        "ctl_seen_next",
-        &[seen_two.bit(0), wrap_from_odd],
-        tables::OR2,
-    )?;
+    let wrap_from_odd = b.lut("ctl_wrap_odd", &[at_last, row_parity.bit(0)], tables::AND2)?;
+    let seen_next = b.lut("ctl_seen_next", &[seen_two.bit(0), wrap_from_odd], tables::OR2)?;
     seen_two_feed.connect(&mut b, &Bus::from(seen_next))?;
 
     let even_row = b.lut("ctl_even", &[row_parity.bit(0)], tables::NOT1)?;
@@ -156,9 +143,7 @@ pub fn build_line_based() -> Result<LineBasedEngine> {
     b.output("dbg_x", &x12)?;
     b.output("dbg_emit", &Bus::from(emitting))?;
 
-    Ok(LineBasedEngine {
-        netlist: b.finish().map_err(Error::Rtl)?,
-    })
+    Ok(LineBasedEngine { netlist: b.finish().map_err(Error::Rtl)? })
 }
 
 /// Streams an image (rows × cols, row-major) through a line-based

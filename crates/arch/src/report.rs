@@ -41,7 +41,8 @@ pub fn describe(design: Design) -> Result<String> {
 
     let mut out = String::new();
     let _ = writeln!(out, "{} — {}", design.name(), design.description());
-    let _ = writeln!(out, "pipeline: {} stages (paper: {})", built.latency, design.paper_row().stages);
+    let _ =
+        writeln!(out, "pipeline: {} stages (paper: {})", built.latency, design.paper_row().stages);
     let _ = writeln!(
         out,
         "cells: {} carry-chain adders ({} bits), {} full adders, {} register banks ({} flip-flop bits)",

@@ -77,10 +77,8 @@ impl ShiftAddPlan {
 
     fn binary(coeff: Q2x8) -> Self {
         let (bits, sign) = coeff.magnitude_bits();
-        let mut terms: Vec<Term> = bits
-            .iter()
-            .map(|&b| Term { shift: b, negate: false, uses_shared: false })
-            .collect();
+        let mut terms: Vec<Term> =
+            bits.iter().map(|&b| Term { shift: b, negate: false, uses_shared: false }).collect();
         if sign {
             terms.push(Term { shift: 9, negate: true, uses_shared: false });
         }
@@ -92,12 +90,7 @@ impl ShiftAddPlan {
         // Look for the adjacent-bit pair (b, b+1) occurring at two or
         // more distinct positions among the positive terms: each such
         // pair can be produced from one shared y = x + (x << 1).
-        let bits: Vec<u32> = plain
-            .terms
-            .iter()
-            .filter(|t| !t.negate)
-            .map(|t| t.shift)
-            .collect();
+        let bits: Vec<u32> = plain.terms.iter().filter(|t| !t.negate).map(|t| t.shift).collect();
         let mut used = vec![false; bits.len()];
         let mut pairs: Vec<u32> = Vec::new(); // base shift of each pair
         let mut i = 0;
@@ -131,12 +124,7 @@ impl ShiftAddPlan {
             terms.push(*t);
         }
         terms.sort_by_key(|t| t.shift);
-        ShiftAddPlan {
-            coeff,
-            recoding: Recoding::BinaryReuse,
-            shared: Some(1),
-            terms,
-        }
+        ShiftAddPlan { coeff, recoding: Recoding::BinaryReuse, shared: Some(1), terms }
     }
 
     fn csd(coeff: Q2x8) -> Self {
@@ -308,11 +296,7 @@ mod tests {
             for recoding in [Recoding::Binary, Recoding::BinaryReuse, Recoding::Csd] {
                 let plan = ShiftAddPlan::new(c, recoding);
                 for x in [-530i64, -128, -1, 0, 1, 127, 529] {
-                    assert_eq!(
-                        plan.apply(x),
-                        i64::from(c.raw()) * x,
-                        "{c} {recoding:?} x={x}"
-                    );
+                    assert_eq!(plan.apply(x), i64::from(c.raw()) * x, "{c} {recoding:?} x={x}");
                 }
             }
         }
@@ -347,19 +331,9 @@ mod tests {
         // "the sum between second, fourth, sixth, seventh and two
         // complement of tenth shifted partial products"
         let plan = ShiftAddPlan::new(Q2x8::from_raw(-406), Recoding::Binary);
-        let pos: Vec<u32> = plan
-            .terms()
-            .iter()
-            .filter(|t| !t.negate)
-            .map(|t| t.shift)
-            .collect();
+        let pos: Vec<u32> = plan.terms().iter().filter(|t| !t.negate).map(|t| t.shift).collect();
         assert_eq!(pos, vec![1, 3, 5, 6]);
-        let neg: Vec<u32> = plan
-            .terms()
-            .iter()
-            .filter(|t| t.negate)
-            .map(|t| t.shift)
-            .collect();
+        let neg: Vec<u32> = plan.terms().iter().filter(|t| t.negate).map(|t| t.shift).collect();
         assert_eq!(neg, vec![9]);
     }
 

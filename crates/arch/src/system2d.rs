@@ -79,10 +79,7 @@ pub fn build_line_engine(design: Design) -> Result<LineEngine> {
 ///
 /// Propagates netlist-construction failures (including missing ports on
 /// the supplied datapath).
-pub fn build_line_engine_around(
-    datapath: &Netlist,
-    latency: usize,
-) -> Result<LineEngine> {
+pub fn build_line_engine_around(datapath: &Netlist, latency: usize) -> Result<LineEngine> {
     let mut b = NetlistBuilder::new();
 
     let start = b.input("start", 1)?;
@@ -100,11 +97,7 @@ pub fn build_line_engine_around(
 
     let running = run.bit(0);
     let not_feed_done = b.lut("ctl_nfd", &[feed_done.bit(0)], dwt_rtl::cell::tables::NOT1)?;
-    let feeding = b.lut(
-        "ctl_feeding",
-        &[running, not_feed_done],
-        dwt_rtl::cell::tables::AND2,
-    )?;
+    let feeding = b.lut("ctl_feeding", &[running, not_feed_done], dwt_rtl::cell::tables::AND2)?;
 
     // --- Source memories and datapath ---------------------------------
     let src_even = b.ram("src_even", MAX_PAIRS, 10, &idx, &zero_addr, &zero8, gnd)?;
@@ -150,11 +143,8 @@ pub fn build_line_engine_around(
     // feed_done latches when the last pair is being fed; clears on start.
     let at_last = b.eq_bus("ctl_at_last", &idx, &cfg_last)?;
     let feeding_last = b.lut("ctl_flast", &[feeding, at_last], dwt_rtl::cell::tables::AND2)?;
-    let fd_set = b.lut(
-        "ctl_fd_or",
-        &[feed_done.bit(0), feeding_last],
-        dwt_rtl::cell::tables::OR2,
-    )?;
+    let fd_set =
+        b.lut("ctl_fd_or", &[feed_done.bit(0), feeding_last], dwt_rtl::cell::tables::OR2)?;
     let nstart = b.lut("ctl_nstart", &[start.bit(0)], dwt_rtl::cell::tables::NOT1)?;
     let fd_next = b.lut("ctl_fd_next", &[fd_set, nstart], dwt_rtl::cell::tables::AND2)?;
     feed_done_feed.connect(&mut b, &Bus::from(fd_next))?;
@@ -169,10 +159,7 @@ pub fn build_line_engine_around(
 
     b.output("busy", &run)?;
 
-    Ok(LineEngine {
-        netlist: b.finish().map_err(Error::Rtl)?,
-        datapath_latency: latency,
-    })
+    Ok(LineEngine { netlist: b.finish().map_err(Error::Rtl)?, datapath_latency: latency })
 }
 
 /// Host-side driver for a [`LineEngine`] simulator: loads a line, runs
@@ -233,10 +220,7 @@ pub fn golden_line(pairs: &[(i64, i64)]) -> (Vec<i64>, Vec<i64>) {
     for _ in 0..4 {
         g.push(0, 0);
     }
-    (
-        g.low()[..pairs.len()].to_vec(),
-        g.high()[..pairs.len()].to_vec(),
-    )
+    (g.low()[..pairs.len()].to_vec(), g.high()[..pairs.len()].to_vec())
 }
 
 #[cfg(test)]
@@ -349,9 +333,8 @@ pub fn run_line_mirrored(
     let m = |i: i64| flat[dwt_core::boundary::mirror(i, n)];
     // Extended signal covering indices -2E .. n + 2E.
     let e = MIRROR_PAIRS as i64;
-    let extended: Vec<(i64, i64)> = (-e..pairs.len() as i64 + e)
-        .map(|p| (m(2 * p), m(2 * p + 1)))
-        .collect();
+    let extended: Vec<(i64, i64)> =
+        (-e..pairs.len() as i64 + e).map(|p| (m(2 * p), m(2 * p + 1))).collect();
     let (low, high) = run_line(sim, engine, &extended)?;
     let from = MIRROR_PAIRS;
     let to = from + pairs.len();
@@ -370,10 +353,7 @@ mod mirror_tests {
         let mut sim = Simulator::new(engine.netlist.clone()).unwrap();
         for (len, seed) in [(8usize, 1u64), (16, 2), (25, 3), (40, 4)] {
             let pairs = still_tone_pairs(len, seed);
-            let flat: Vec<i32> = pairs
-                .iter()
-                .flat_map(|&(e, o)| [e as i32, o as i32])
-                .collect();
+            let flat: Vec<i32> = pairs.iter().flat_map(|&(e, o)| [e as i32, o as i32]).collect();
             let block = IntLifting::default().forward(&flat).unwrap();
             let (hw_low, hw_high) = run_line_mirrored(&mut sim, &engine, &pairs).unwrap();
             let gold_low: Vec<i64> = block.low.iter().map(|&v| i64::from(v)).collect();
@@ -482,11 +462,7 @@ pub fn build_pass_engine(design: Design) -> Result<PassEngine> {
     let at_last = b.eq_bus("ctl_at_last", &idx, &cfg_last)?;
     let line_end = b.lut("ctl_line_end", &[feeding, at_last], dwt_rtl::cell::tables::AND2)?;
     let at_last_line = b.eq_bus("ctl_at_lline", &line, &cfg_lines)?;
-    let pass_end = b.lut(
-        "ctl_pass_end",
-        &[line_end, at_last_line],
-        dwt_rtl::cell::tables::AND2,
-    )?;
+    let pass_end = b.lut("ctl_pass_end", &[line_end, at_last_line], dwt_rtl::cell::tables::AND2)?;
 
     // idx: 0 on start or line end; +1 while feeding.
     let idx_inc = b.carry_add("ctl_idx_inc", &idx, &one_addr, ADDR_BITS)?;
@@ -507,11 +483,7 @@ pub fn build_pass_engine(design: Design) -> Result<PassEngine> {
     base_feed.connect(&mut b, &base_next)?;
 
     // feed_done latches at pass end; clears on start.
-    let fd_set = b.lut(
-        "ctl_fd_or",
-        &[feed_done.bit(0), pass_end],
-        dwt_rtl::cell::tables::OR2,
-    )?;
+    let fd_set = b.lut("ctl_fd_or", &[feed_done.bit(0), pass_end], dwt_rtl::cell::tables::OR2)?;
     let nstart = b.lut("ctl_nstart", &[start.bit(0)], dwt_rtl::cell::tables::NOT1)?;
     let fd_next = b.lut("ctl_fd_next", &[fd_set, nstart], dwt_rtl::cell::tables::AND2)?;
     feed_done_feed.connect(&mut b, &Bus::from(fd_next))?;
@@ -530,11 +502,8 @@ pub fn build_pass_engine(design: Design) -> Result<PassEngine> {
     let w_at_last = b.eq_bus("ctl_w_at_last", &widx, &cfg_last)?;
     let wline_end = b.lut("ctl_wline_end", &[wvalid, w_at_last], dwt_rtl::cell::tables::AND2)?;
     let w_at_lline = b.eq_bus("ctl_w_at_lline", &wline, &cfg_lines)?;
-    let wpass_end = b.lut(
-        "ctl_wpass_end",
-        &[wline_end, w_at_lline],
-        dwt_rtl::cell::tables::AND2,
-    )?;
+    let wpass_end =
+        b.lut("ctl_wpass_end", &[wline_end, w_at_lline], dwt_rtl::cell::tables::AND2)?;
 
     let widx_inc = b.carry_add("ctl_widx_inc", &widx, &one_addr, ADDR_BITS)?;
     let widx_adv = b.mux("ctl_widx_adv", wvalid, &widx_inc, &widx)?;
@@ -555,19 +524,12 @@ pub fn build_pass_engine(design: Design) -> Result<PassEngine> {
     // run: set on start, cleared when the final write commits.
     let nfinish = b.lut("ctl_nfinish", &[wpass_end], dwt_rtl::cell::tables::NOT1)?;
     let run_kept = b.lut("ctl_run_keep", &[running, nfinish], dwt_rtl::cell::tables::AND2)?;
-    let run_next = b.lut(
-        "ctl_run_next",
-        &[run_kept, start.bit(0)],
-        dwt_rtl::cell::tables::OR2,
-    )?;
+    let run_next = b.lut("ctl_run_next", &[run_kept, start.bit(0)], dwt_rtl::cell::tables::OR2)?;
     run_feed.connect(&mut b, &Bus::from(run_next))?;
 
     b.output("busy", &run)?;
 
-    Ok(PassEngine {
-        netlist: b.finish().map_err(Error::Rtl)?,
-        datapath_latency: latency,
-    })
+    Ok(PassEngine { netlist: b.finish().map_err(Error::Rtl)?, datapath_latency: latency })
 }
 
 /// Runs one whole pass (`lines` lines of `pairs_per_line` pairs) on a
@@ -735,11 +697,8 @@ pub fn build_inverse_engine() -> Result<InverseEngine> {
 
     let at_last = b.eq_bus("ctl_at_last", &idx, &cfg_last)?;
     let feeding_last = b.lut("ctl_flast", &[feeding, at_last], dwt_rtl::cell::tables::AND2)?;
-    let fd_set = b.lut(
-        "ctl_fd_or",
-        &[feed_done.bit(0), feeding_last],
-        dwt_rtl::cell::tables::OR2,
-    )?;
+    let fd_set =
+        b.lut("ctl_fd_or", &[feed_done.bit(0), feeding_last], dwt_rtl::cell::tables::OR2)?;
     let nstart = b.lut("ctl_nstart", &[start.bit(0)], dwt_rtl::cell::tables::NOT1)?;
     let fd_next = b.lut("ctl_fd_next", &[fd_set, nstart], dwt_rtl::cell::tables::AND2)?;
     feed_done_feed.connect(&mut b, &Bus::from(fd_next))?;
@@ -748,19 +707,12 @@ pub fn build_inverse_engine() -> Result<InverseEngine> {
     let finishing = b.lut("ctl_finish", &[wvalid, wlast], dwt_rtl::cell::tables::AND2)?;
     let nfinish = b.lut("ctl_nfinish", &[finishing], dwt_rtl::cell::tables::NOT1)?;
     let run_kept = b.lut("ctl_run_keep", &[running, nfinish], dwt_rtl::cell::tables::AND2)?;
-    let run_next = b.lut(
-        "ctl_run_next",
-        &[run_kept, start.bit(0)],
-        dwt_rtl::cell::tables::OR2,
-    )?;
+    let run_next = b.lut("ctl_run_next", &[run_kept, start.bit(0)], dwt_rtl::cell::tables::OR2)?;
     run_feed.connect(&mut b, &Bus::from(run_next))?;
 
     b.output("busy", &run)?;
 
-    Ok(InverseEngine {
-        netlist: b.finish().map_err(Error::Rtl)?,
-        datapath_latency: latency,
-    })
+    Ok(InverseEngine { netlist: b.finish().map_err(Error::Rtl)?, datapath_latency: latency })
 }
 
 /// Streams one coefficient line through a reconstruction-engine
@@ -814,17 +766,14 @@ mod inverse_engine_tests {
 
         let pairs = still_tone_pairs(40, 33);
         let (low, high) = run_line(&mut fwd_sim, &fwd, &pairs).unwrap();
-        let coeffs: Vec<(i64, i64)> =
-            low.iter().zip(&high).map(|(&l, &h)| (l, h)).collect();
+        let coeffs: Vec<(i64, i64)> = low.iter().zip(&high).map(|(&l, &h)| (l, h)).collect();
         let rec = run_inverse_line(&mut inv_sim, &inv, &coeffs).unwrap();
 
         // Interior samples reconstruct within the bounded fixed-point
         // error budget (see the idwt module tests for its derivation).
         let mut worst = 0i64;
         for m in 3..pairs.len() - 3 {
-            worst = worst
-                .max((pairs[m].0 - rec[m].0).abs())
-                .max((pairs[m].1 - rec[m].1).abs());
+            worst = worst.max((pairs[m].0 - rec[m].0).abs()).max((pairs[m].1 - rec[m].1).abs());
         }
         assert!(worst <= 12, "hardware loop error {worst}");
     }

@@ -101,10 +101,7 @@ pub fn verify_datapath(built: &BuiltDatapath, pairs: &[(i64, i64)]) -> Result<Ve
         }
     }
 
-    Ok(VerifyReport {
-        coefficients_checked: hw_low.len(),
-        activity: sim.stats().clone(),
-    })
+    Ok(VerifyReport { coefficients_checked: hw_low.len(), activity: sim.stats().clone() })
 }
 
 /// Streams sample pairs through any datapath netlist with the standard
@@ -166,8 +163,7 @@ mod tests {
         let pairs = still_tone_pairs(96, 42);
         for d in Design::all() {
             let built = d.build().unwrap();
-            let report =
-                verify_datapath(&built, &pairs).unwrap_or_else(|e| panic!("{d}: {e}"));
+            let report = verify_datapath(&built, &pairs).unwrap_or_else(|e| panic!("{d}: {e}"));
             assert_eq!(report.coefficients_checked, 96, "{d}");
         }
     }

@@ -37,9 +37,8 @@ fn bench_rice(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("rice_64k");
     group.throughput(Throughput::Elements(values.len() as u64));
-    group.bench_function("encode", |b| {
-        b.iter(|| rice::encode(std::hint::black_box(&values)).len())
-    });
+    group
+        .bench_function("encode", |b| b.iter(|| rice::encode(std::hint::black_box(&values)).len()));
     group.bench_function("decode", |b| {
         b.iter(|| rice::decode(std::hint::black_box(&encoded), values.len()).unwrap().len())
     });

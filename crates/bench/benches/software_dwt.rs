@@ -39,13 +39,9 @@ fn bench_multi_octave(c: &mut Criterion) {
     let xf: Vec<f64> = (0..n).map(|i| ((i * 13) % 251) as f64 - 125.0).collect();
     let mut group = c.benchmark_group("decompose_1d");
     for octaves in [1usize, 3, 6] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(octaves),
-            &octaves,
-            |b, &octaves| {
-                b.iter(|| decompose(std::hint::black_box(&xf), octaves, &LiftingF64Kernel).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(octaves), &octaves, |b, &octaves| {
+            b.iter(|| decompose(std::hint::black_box(&xf), octaves, &LiftingF64Kernel).unwrap())
+        });
     }
     group.finish();
 }

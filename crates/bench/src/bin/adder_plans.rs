@@ -21,15 +21,9 @@ fn main() {
                     format!("{}({base}<<{})", if t.negate { "-" } else { "+" }, t.shift)
                 })
                 .collect();
-            let shared = plan
-                .shared_shift()
-                .map(|k| format!("  [y = x + (x<<{k})]"))
-                .unwrap_or_default();
-            println!(
-                "  {recoding:?}: {} adders: {}{shared}",
-                plan.adder_count(),
-                terms.join(" ")
-            );
+            let shared =
+                plan.shared_shift().map(|k| format!("  [y = x + (x<<{k})]")).unwrap_or_default();
+            println!("  {recoding:?}: {} adders: {}{shared}", plan.adder_count(), terms.join(" "));
         }
         println!();
     }

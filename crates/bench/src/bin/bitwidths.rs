@@ -29,12 +29,8 @@ fn main() {
         "{:<14} {:>24} {:>24} {:>24} {:>24}",
         "node", "paper", "attainable (gain)", "interval bound", "empirical (corpus)"
     );
-    for (((p, g), w), e) in published
-        .named()
-        .iter()
-        .zip(gain.named())
-        .zip(interval.named())
-        .zip(measured.named())
+    for (((p, g), w), e) in
+        published.named().iter().zip(gain.named()).zip(interval.named()).zip(measured.named())
     {
         println!(
             "{:<14} {:>24} {:>24} {:>24} {:>24}",

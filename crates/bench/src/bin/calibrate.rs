@@ -11,10 +11,7 @@ use dwt_fpga::map::map_netlist;
 use dwt_fpga::timing::analyze;
 
 fn main() {
-    let built: Vec<_> = Design::all()
-        .into_iter()
-        .map(|d| (d, d.build().expect("build")))
-        .collect();
+    let built: Vec<_> = Design::all().into_iter().map(|d| (d, d.build().expect("build"))).collect();
 
     // Activity report (for energy calibration).
     let pairs = still_tone_pairs(1024, 2005);
@@ -37,11 +34,19 @@ fn main() {
 
     // Timing grid search.
     let paper = [16.6, 44.0, 157.0, 54.4, 105.0];
-    let mut best = (f64::MAX, Timing {
-        t_lut_ns: 0.0, t_carry_ns: 0.0, t_route_ns: 0.0,
-        t_route_local_ns: 0.0, t_lab_feed_ns: 0.0,
-        t_clk_to_q_ns: 0.3, t_setup_ns: 0.4, t_esb_ns: 3.8,
-    });
+    let mut best = (
+        f64::MAX,
+        Timing {
+            t_lut_ns: 0.0,
+            t_carry_ns: 0.0,
+            t_route_ns: 0.0,
+            t_route_local_ns: 0.0,
+            t_lab_feed_ns: 0.0,
+            t_clk_to_q_ns: 0.3,
+            t_setup_ns: 0.4,
+            t_esb_ns: 3.8,
+        },
+    );
     for lut in [0.35f64, 0.4, 0.45, 0.5, 0.55] {
         for carry in [0.12f64, 0.16, 0.2, 0.24, 0.28] {
             for route in [0.8f64, 0.95, 1.1, 1.25, 1.4] {

@@ -20,12 +20,6 @@ fn main() {
         let built = design.build().expect("build");
         let f_a = analyze(&built.netlist, &apex.timing).fmax_mhz;
         let f_c = analyze(&built.netlist, &cyclone.timing).fmax_mhz;
-        println!(
-            "{:<10} {:>14.1} {:>16.1} {:>8.2}x",
-            design.name(),
-            f_a,
-            f_c,
-            f_c / f_a
-        );
+        println!("{:<10} {:>14.1} {:>16.1} {:>8.2}x", design.name(), f_a, f_c, f_c / f_a);
     }
 }

@@ -4,7 +4,8 @@
 //! checker itself.
 //!
 //! Usage: `dwt_equiv [--all-designs | --design N...]
-//! [--checker backend|hardening|shiftadd]... [--hardening none|tmr|parity]...
+//! [--checker backend|hardening|shiftadd|partition]...
+//! [--hardening none|tmr|parity]...
 //! [--campaign] [--min-kill-rate PCT] [--deny] [--json]`
 //!
 //! * `--all-designs` — run every design (the default when no
@@ -12,11 +13,13 @@
 //!   what they are).
 //! * `--design N` — restrict to design `N` (1–5, repeatable).
 //! * `--checker FAMILY` — restrict to one obligation family
-//!   (repeatable; default all three): `backend` proves the compiled
+//!   (repeatable; default all four): `backend` proves the compiled
 //!   op-program against its source netlist, `hardening` proves
 //!   TMR/parity variants against the base design plus the
 //!   voter/detector integrity obligations, `shiftadd` proves the
-//!   recoded adder trees against behavioral constant multiplication.
+//!   recoded adder trees against behavioral constant multiplication,
+//!   `partition` proves `stitch(partition(n))` against the unsplit
+//!   netlist for every shard count the partition campaign sweeps.
 //! * `--hardening VARIANT` — restrict backend/hardening cases to one
 //!   hardening variant (repeatable).
 //! * `--campaign` — also run the mutation campaign on the selected
@@ -34,8 +37,9 @@ use dwt_arch::datapath::Hardening;
 use dwt_arch::designs::Design;
 use dwt_bench::campaign::{flag_value, json_escape, unknown_flag, UsageError};
 use dwt_equiv::{
-    backend_case, backend_matrix, hardening_case, hardening_matrix, run_campaign,
-    shift_add_case, shift_add_matrix, CampaignReport, CaseReport, Checker, EquivOptions,
+    backend_case, backend_matrix, hardening_case, hardening_matrix, partition_case,
+    partition_matrix, run_campaign, shift_add_case, shift_add_matrix, CampaignReport, CaseReport,
+    Checker, EquivOptions,
 };
 
 struct Args {
@@ -53,6 +57,7 @@ fn parse_checker(raw: &str) -> Result<Checker, UsageError> {
         "backend" => Ok(Checker::Backend),
         "hardening" => Ok(Checker::Hardening),
         "shiftadd" => Ok(Checker::ShiftAdd),
+        "partition" => Ok(Checker::Partition),
         other => Err(UsageError::new("--checker", format!("unknown family '{other}'"))),
     }
 }
@@ -99,8 +104,7 @@ fn parse_args() -> Result<Args, UsageError> {
             }
             "--campaign" => parsed.campaign = true,
             "--min-kill-rate" => {
-                parsed.min_kill_rate =
-                    flag_value(&mut args, "--min-kill-rate", "percentage")?;
+                parsed.min_kill_rate = flag_value(&mut args, "--min-kill-rate", "percentage")?;
             }
             "--deny" => parsed.deny = true,
             "--json" => parsed.json = true,
@@ -112,7 +116,7 @@ fn parse_args() -> Result<Args, UsageError> {
     }
     if parsed.checkers.is_empty() {
         parsed.checkers =
-            vec![Checker::Backend, Checker::Hardening, Checker::ShiftAdd];
+            vec![Checker::Backend, Checker::Hardening, Checker::ShiftAdd, Checker::Partition];
     }
     if parsed.hardenings.is_empty() {
         parsed.hardenings = vec![Hardening::None, Hardening::Tmr, Hardening::Parity];
@@ -144,6 +148,13 @@ fn selected_cases(args: &Args) -> Result<Vec<CaseReport>, dwt_equiv::EquivError>
     if wants(Checker::ShiftAdd) {
         for (name, coeff, recoding) in shift_add_matrix() {
             reports.push(shift_add_case(&name, coeff, recoding)?);
+        }
+    }
+    if wants(Checker::Partition) {
+        for (d, parts) in partition_matrix() {
+            if design_in(d) {
+                reports.push(partition_case(d, parts)?);
+            }
         }
     }
     Ok(reports)
@@ -237,9 +248,8 @@ fn main() -> ExitCode {
     };
 
     let cases_failed = cases.iter().any(|c| !c.pass);
-    let campaign_failed = campaign
-        .as_ref()
-        .is_some_and(|r| r.applied == 0 || r.kill_rate() < args.min_kill_rate);
+    let campaign_failed =
+        campaign.as_ref().is_some_and(|r| r.applied == 0 || r.kill_rate() < args.min_kill_rate);
     let failed = cases_failed || campaign_failed;
 
     if args.json {
@@ -269,11 +279,7 @@ fn main() -> ExitCode {
                 r.sat_only_kills
             );
         }
-        println!(
-            "{} case(s), gate {}",
-            cases.len(),
-            if failed { "FAILED" } else { "passed" }
-        );
+        println!("{} case(s), gate {}", cases.len(), if failed { "FAILED" } else { "passed" });
     }
 
     if failed && args.deny {

@@ -47,22 +47,20 @@ fn parse_args() -> Args {
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut value = |what: &str| {
-            args.next().unwrap_or_else(|| panic!("{flag} expects a {what}"))
-        };
+        let mut value =
+            |what: &str| args.next().unwrap_or_else(|| panic!("{flag} expects a {what}"));
         match flag.as_str() {
             "--json" => parsed.json = true,
             "--deny" => {
                 let s = value("severity");
-                parsed.deny = Severity::parse(&s)
-                    .unwrap_or_else(|| panic!("unknown severity '{s}'"));
+                parsed.deny =
+                    Severity::parse(&s).unwrap_or_else(|| panic!("unknown severity '{s}'"));
             }
             "--dot" => parsed.dot = Some(value("directory")),
             "--mutate" => {
                 let s = value("mutation");
-                parsed.mutate = Some(
-                    Mutation::parse(&s).unwrap_or_else(|| panic!("unknown mutation '{s}'")),
-                );
+                parsed.mutate =
+                    Some(Mutation::parse(&s).unwrap_or_else(|| panic!("unknown mutation '{s}'")));
             }
             "--target" => parsed.mutate_target = Some(value("cell substring")),
             other if other.starts_with("--") => panic!("unknown argument '{other}'"),

@@ -55,11 +55,7 @@ fn variants() -> Vec<(String, dwt_arch::datapath::BuiltDatapath, Option<Design>)
         rows.push((d.name().to_owned(), d.build().expect("design build"), None));
     }
     for v in HardenedVariant::all() {
-        rows.push((
-            v.name().to_owned(),
-            v.build().expect("hardened build"),
-            Some(v.base()),
-        ));
+        rows.push((v.name().to_owned(), v.build().expect("hardened build"), Some(v.base())));
     }
     rows
 }
@@ -83,8 +79,8 @@ fn run<E: Engine>(shared: &CampaignArgs, cfg: &CampaignConfig) {
     let mut reports = Vec::new();
     let mut base_les: Vec<(Design, usize)> = Vec::new();
     for (name, built, base) in variants() {
-        let report = run_campaign::<E>(&name, &built, cfg)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report =
+            run_campaign::<E>(&name, &built, cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
         if let Some(d) = Design::all().iter().find(|d| d.name() == name) {
             base_les.push((*d, report.les));
         }

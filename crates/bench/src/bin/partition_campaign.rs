@@ -1,0 +1,372 @@
+//! Partition-scaling campaign: wall-clock throughput and
+//! fault-tolerance of the sharded emulation runner across partition
+//! counts, BEE-style.
+//!
+//! Every design is cut into 1/2/4/8 shards (min-cut on register
+//! boundaries) and streams seeded frames through the crash-recoverable
+//! `PartitionRunner`, one worker thread per shard. Each frame's
+//! outputs are compared bit-for-bit against a single-engine reference
+//! run of the unsplit netlist — any mismatch is a silent data
+//! corruption escape. Availability counts the frames that completed on
+//! the partitioned rung (no degradation to the single-engine or golden
+//! fallbacks).
+//!
+//! Usage: `partition_campaign [--design N]... [--parts LIST]
+//! [--frames N] [--cycles N] [--interval N] [--chaos] [--rate R]
+//! [--kill W:C] [--seed S] [--backend event|compiled] [--json PATH]
+//! [--max-sdc N] [--min-availability F]`
+//!
+//! * `--parts LIST` — shard counts to sweep (default `1,2,4,8`).
+//! * `--frames N` / `--cycles N` — frames per combination and virtual
+//!   cycles per frame (defaults 4 × 256).
+//! * `--interval N` — barrier snapshot cadence in cycles (default 64).
+//! * `--chaos` — enable the fault cocktail: Poisson SEUs inside every
+//!   worker (rate `--rate`, default 0.002/cycle/worker) with the
+//!   single-engine reference as the duplicate-with-compare oracle,
+//!   plus one stealth message corruption per multi-shard frame.
+//! * `--kill W:C` — crash worker W just before virtual cycle C in the
+//!   first frame of every multi-shard combination.
+//! * `--max-sdc N` / `--min-availability F` — CI gates: fail when SDC
+//!   escapes exceed N or any combination's availability drops below F.
+//!
+//! Exit codes: 0 success, 1 gate failure, 2 usage error.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dwt_arch::designs::Design;
+use dwt_bench::campaign::{
+    flag_value, json_escape, parse_design, parse_list, parse_parts, unknown_flag, BackendChoice,
+    CampaignArgs, MarkdownTable, UsageError,
+};
+use dwt_partition::{
+    partition, run_single, ChaosPlan, Corruption, CutOptions, FrameOutputs, PartitionRunner,
+    PartitionedNetlist, Rung, RunnerConfig, SeuChaos, Stimulus,
+};
+use dwt_rtl::compile::CompiledEngine;
+use dwt_rtl::engine::Engine;
+use dwt_rtl::sim::Simulator;
+
+struct Config {
+    designs: Vec<Design>,
+    parts: Vec<usize>,
+    frames: usize,
+    cycles: u64,
+    interval: u64,
+    chaos: bool,
+    rate: f64,
+    kill: Option<(usize, u64)>,
+    seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            designs: Vec::new(),
+            parts: vec![1, 2, 4, 8],
+            frames: 4,
+            cycles: 256,
+            interval: 64,
+            chaos: false,
+            rate: 0.002,
+            kill: None,
+            seed: 2005,
+        }
+    }
+}
+
+fn parse_cfg(shared: &CampaignArgs) -> Result<Config, UsageError> {
+    let mut cfg = Config::default();
+    if let Some(seed) = shared.seed {
+        cfg.seed = seed;
+    }
+    let mut args = shared.rest.iter();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--design" => {
+                let raw: String = flag_value(&mut args, "--design", "design number 1-5")?;
+                cfg.designs.push(parse_design("--design", &raw)?);
+            }
+            "--parts" => {
+                let raw: String = flag_value(&mut args, "--parts", "comma list")?;
+                cfg.parts = parse_list("--parts", &raw)?;
+            }
+            "--frames" => cfg.frames = flag_value(&mut args, "--frames", "count")?,
+            "--cycles" => cfg.cycles = flag_value(&mut args, "--cycles", "count")?,
+            "--interval" => cfg.interval = flag_value(&mut args, "--interval", "count")?,
+            "--chaos" => cfg.chaos = true,
+            "--rate" => cfg.rate = flag_value(&mut args, "--rate", "rate")?,
+            "--kill" => {
+                let raw: String = flag_value(&mut args, "--kill", "worker:cycle")?;
+                let pair: Vec<u64> = parse_parts("--kill", &raw.replace(':', ","), 2)?;
+                cfg.kill = Some((pair[0] as usize, pair[1]));
+            }
+            other => return Err(unknown_flag(other)),
+        }
+    }
+    if cfg.designs.is_empty() {
+        cfg.designs = Design::all().to_vec();
+    }
+    Ok(cfg)
+}
+
+/// Deterministic signed 8-bit sample stream.
+fn stimulus(cycles: u64, seed: u64) -> Stimulus {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) & 0xff) as i64 - 128
+    };
+    let mut even = Vec::with_capacity(cycles as usize);
+    let mut odd = Vec::with_capacity(cycles as usize);
+    for _ in 0..cycles {
+        even.push(next());
+        odd.push(next());
+    }
+    let mut inputs = BTreeMap::new();
+    inputs.insert("in_even".to_owned(), even);
+    inputs.insert("in_odd".to_owned(), odd);
+    Stimulus { cycles, inputs }
+}
+
+struct Row {
+    design: Design,
+    parts: usize,
+    cut_bits: usize,
+    wall_s: f64,
+    cycles_per_s: f64,
+    barriers: u64,
+    recoveries: u32,
+    detections: usize,
+    replayed: u64,
+    partitioned_frames: usize,
+    degraded_frames: usize,
+    sdc: usize,
+    frames: usize,
+}
+
+impl Row {
+    fn availability(&self) -> f64 {
+        if self.frames == 0 {
+            1.0
+        } else {
+            self.partitioned_frames as f64 / self.frames as f64
+        }
+    }
+}
+
+fn chaos_for(cfg: &Config, cut: &PartitionedNetlist, frame: usize) -> ChaosPlan {
+    let mut plan = ChaosPlan::default();
+    if cfg.chaos {
+        plan.seu = Some(SeuChaos {
+            rate: cfg.rate,
+            seed: cfg.seed ^ (frame as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        });
+        if let Some(link) = cut.links.first() {
+            plan.corruptions.push(Corruption {
+                from: link.from,
+                to: link.to,
+                cycle: cfg.cycles / 3,
+                stealth: true,
+            });
+        }
+    }
+    if frame == 0 && cut.parts() > 1 {
+        if let Some((worker, cycle)) = cfg.kill {
+            if worker < cut.parts() && cycle < cfg.cycles {
+                plan.kills.push((worker, cycle));
+            }
+        }
+    }
+    plan
+}
+
+fn run_combination<E>(
+    cfg: &Config,
+    design: Design,
+    parts: usize,
+    references: &[FrameOutputs],
+) -> Row
+where
+    E: Engine + Send + 'static,
+    E::Snapshot: Clone + Send + 'static,
+{
+    let built = design.build().unwrap_or_else(|e| panic!("{}: {e}", design.name()));
+    let cut = partition(&built.netlist, parts, &CutOptions::default())
+        .unwrap_or_else(|e| panic!("{} into {parts}: {e}", design.name()));
+    let config = RunnerConfig { snapshot_interval: cfg.interval, ..RunnerConfig::default() };
+    let runner = PartitionRunner::<E>::new(&cut, config);
+    let mut row = Row {
+        design,
+        parts,
+        cut_bits: cut.cut_bits(),
+        wall_s: 0.0,
+        cycles_per_s: 0.0,
+        barriers: 0,
+        recoveries: 0,
+        detections: 0,
+        replayed: 0,
+        partitioned_frames: 0,
+        degraded_frames: 0,
+        sdc: 0,
+        frames: cfg.frames,
+    };
+    let start = Instant::now();
+    for (frame, reference) in references.iter().enumerate() {
+        let stim = stimulus(cfg.cycles, cfg.seed.wrapping_add(frame as u64));
+        let chaos = chaos_for(cfg, &cut, frame);
+        let oracle = if cfg.chaos { Some(reference) } else { None };
+        let report = runner
+            .run_frame(&stim, oracle, &chaos, None)
+            .unwrap_or_else(|e| panic!("{} x {parts} frame {frame}: {e}", design.name()));
+        row.barriers += report.barriers;
+        row.recoveries += report.recoveries;
+        row.detections += report.detections.len();
+        row.replayed += report.replayed_cycles;
+        if report.rung == Rung::Partitioned {
+            row.partitioned_frames += 1;
+        } else {
+            row.degraded_frames += 1;
+        }
+        if &report.outputs != reference {
+            row.sdc += 1;
+        }
+    }
+    row.wall_s = start.elapsed().as_secs_f64();
+    row.cycles_per_s = (cfg.frames as u64 * cfg.cycles) as f64 / row.wall_s.max(1e-9);
+    row
+}
+
+fn json_report(cfg: &Config, shared: &CampaignArgs, rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{ \"frames\": {}, \"cycles\": {}, \"interval\": {}, \
+         \"chaos\": {}, \"rate\": {}, \"seed\": {}, \"backend\": \"{}\" }},",
+        cfg.frames,
+        cfg.cycles,
+        cfg.interval,
+        cfg.chaos,
+        cfg.rate,
+        cfg.seed,
+        shared.backend.name()
+    );
+    out.push_str("  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{ \"design\": \"{}\", \"parts\": {}, \"cut_bits\": {}, \
+             \"wall_s\": {:.6}, \"cycles_per_s\": {:.1}, \"barriers\": {}, \
+             \"recoveries\": {}, \"detections\": {}, \"replayed_cycles\": {}, \
+             \"partitioned_frames\": {}, \"degraded_frames\": {}, \
+             \"availability\": {:.4}, \"sdc\": {} }}",
+            json_escape(r.design.name()),
+            r.parts,
+            r.cut_bits,
+            r.wall_s,
+            r.cycles_per_s,
+            r.barriers,
+            r.recoveries,
+            r.detections,
+            r.replayed,
+            r.partitioned_frames,
+            r.degraded_frames,
+            r.availability(),
+            r.sdc
+        );
+    }
+    out.push_str("\n  ]\n}");
+    out
+}
+
+fn run<E>(shared: &CampaignArgs, cfg: &Config)
+where
+    E: Engine + Send + 'static,
+    E::Snapshot: Clone + Send + 'static,
+{
+    println!(
+        "Partition campaign — {} frame(s) x {} cycles, interval {}, chaos {}, \
+         kill {}, seed {}, backend {}",
+        cfg.frames,
+        cfg.cycles,
+        cfg.interval,
+        if cfg.chaos { format!("on (rate {})", cfg.rate) } else { "off".to_owned() },
+        cfg.kill.map_or_else(|| "none".to_owned(), |(w, c)| format!("{w}:{c}")),
+        cfg.seed,
+        shared.backend.name()
+    );
+    println!();
+
+    let mut rows = Vec::new();
+    for &design in &cfg.designs {
+        let built = design.build().unwrap_or_else(|e| panic!("{}: {e}", design.name()));
+        let references: Vec<FrameOutputs> = (0..cfg.frames)
+            .map(|frame| {
+                let stim = stimulus(cfg.cycles, cfg.seed.wrapping_add(frame as u64));
+                run_single::<E>(&built.netlist, &stim, None)
+                    .unwrap_or_else(|e| panic!("{} reference: {e}", design.name()))
+            })
+            .collect();
+        for &parts in &cfg.parts {
+            rows.push(run_combination::<E>(cfg, design, parts, &references));
+        }
+    }
+
+    let mut table = MarkdownTable::new(&[
+        "design",
+        "parts",
+        "cut bits",
+        "kcycles/s",
+        "speedup",
+        "barriers",
+        "recov",
+        "detect",
+        "avail",
+        "sdc",
+    ]);
+    let mut base: BTreeMap<Design, f64> = BTreeMap::new();
+    for r in &rows {
+        if r.parts == 1 {
+            base.insert(r.design, r.cycles_per_s);
+        }
+    }
+    for r in &rows {
+        let speedup = base
+            .get(&r.design)
+            .map_or_else(|| "-".to_owned(), |b| format!("{:.2}x", r.cycles_per_s / b));
+        table.push_row(vec![
+            r.design.name().to_owned(),
+            r.parts.to_string(),
+            r.cut_bits.to_string(),
+            format!("{:.1}", r.cycles_per_s / 1000.0),
+            speedup,
+            r.barriers.to_string(),
+            r.recoveries.to_string(),
+            r.detections.to_string(),
+            format!("{:.2}", r.availability()),
+            r.sdc.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!(
+        "avail = frames completed on the partitioned rung (no degradation); \
+         sdc = frames whose outputs differ from the single-engine reference."
+    );
+
+    let total_sdc: usize = rows.iter().map(|r| r.sdc).sum();
+    let min_avail = rows.iter().map(Row::availability).fold(1.0f64, f64::min);
+    shared.write_json_with(|| json_report(cfg, shared, &rows));
+    shared.enforce_gates(total_sdc, Some(min_avail));
+}
+
+fn main() {
+    let shared = CampaignArgs::parse();
+    let cfg = parse_cfg(&shared).unwrap_or_else(|e| e.exit());
+    match shared.backend {
+        BackendChoice::Event => run::<Simulator>(&shared, &cfg),
+        BackendChoice::Compiled => run::<CompiledEngine>(&shared, &cfg),
+    }
+}

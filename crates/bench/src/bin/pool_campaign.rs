@@ -29,8 +29,8 @@
 //! Exit codes: 0 success, 1 gate failure, 2 usage error.
 
 use dwt_bench::campaign::{
-    flag_value, parse_design, parse_list, parse_parts, unknown_flag, BackendChoice,
-    CampaignArgs, UsageError,
+    flag_value, parse_design, parse_list, parse_parts, unknown_flag, BackendChoice, CampaignArgs,
+    UsageError,
 };
 use dwt_bench::pool::{
     min_availability, pool_json, pool_lane_markdown, pool_markdown, run_pool_campaign,
@@ -66,17 +66,13 @@ fn parse_cfg(shared: &CampaignArgs) -> Result<PoolCampaignConfig, UsageError> {
                 cfg.pool.chaos.stuck_fraction = flag_value(&mut args, "--stuck", "fraction")?;
             }
             "--common-mode" => {
-                cfg.pool.chaos.common_mode =
-                    flag_value(&mut args, "--common-mode", "fraction")?;
+                cfg.pool.chaos.common_mode = flag_value(&mut args, "--common-mode", "fraction")?;
             }
             "--burst" => {
                 let raw: String = flag_value(&mut args, "--burst", "period,len,factor")?;
                 let p: Vec<f64> = parse_parts("--burst", &raw, 3)?;
-                cfg.pool.chaos.burst = Some(BurstConfig {
-                    period: p[0] as u64,
-                    len: p[1] as u64,
-                    factor: p[2],
-                });
+                cfg.pool.chaos.burst =
+                    Some(BurstConfig { period: p[0] as u64, len: p[1] as u64, factor: p[2] });
             }
             "--no-burst" => cfg.pool.chaos.burst = None,
             "--stuck-lane" => {

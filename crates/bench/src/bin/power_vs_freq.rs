@@ -10,11 +10,7 @@ fn main() {
     println!("Power vs operating frequency (activity measured on the");
     println!("standard still-tone vector set)\n");
 
-    let spot = [
-        (Design::D2, 40.0, 626.0),
-        (Design::D3, 128.0, 808.0),
-        (Design::D5, 95.0, 476.0),
-    ];
+    let spot = [(Design::D2, 40.0, 626.0), (Design::D3, 128.0, 808.0), (Design::D5, 95.0, 476.0)];
     println!("Spot checks from the Section 4 prose:");
     for (design, f, paper) in spot {
         let result = synthesize_design(design).expect("synthesis");

@@ -21,8 +21,7 @@ fn main() {
             let mut spec = design.spec(LiftingConstants::default());
             spec.input_bits = bits;
             let built = build_datapath(&spec).expect("build");
-            verify_datapath(&built, &still_tone_pairs_scaled(40, 3, bits))
-                .expect("equivalence");
+            verify_datapath(&built, &still_tone_pairs_scaled(40, 3, bits)).expect("equivalence");
             let les = map_netlist(&built.netlist).le_count();
             let fmax = analyze(&built.netlist, &device.timing).fmax_mhz;
             println!(

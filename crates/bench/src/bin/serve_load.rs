@@ -30,8 +30,8 @@
 //! Exit codes: 0 success, 1 gate failure, 2 usage error.
 
 use dwt_bench::campaign::{
-    flag_value, parse_design, parse_list, parse_parts, unknown_flag, BackendChoice,
-    CampaignArgs, UsageError,
+    flag_value, parse_design, parse_list, parse_parts, unknown_flag, BackendChoice, CampaignArgs,
+    UsageError,
 };
 use dwt_bench::serve::{
     default_chaos, min_availability, run_serve_campaign, serve_json, serve_markdown,
@@ -84,28 +84,21 @@ fn parse_cfg(shared: &CampaignArgs) -> Result<ServeCampaignConfig, UsageError> {
             "--rate" => {
                 chaos = true;
                 let rate = flag_value(&mut args, "--rate", "rate")?;
-                cfg.serve
-                    .chaos
-                    .get_or_insert_with(|| default_chaos(cfg.seed))
-                    .seu_rate = rate;
+                cfg.serve.chaos.get_or_insert_with(|| default_chaos(cfg.seed)).seu_rate = rate;
             }
             "--stuck-lane" => {
                 chaos = true;
                 let raw: String = flag_value(&mut args, "--stuck-lane", "lane,cycle")?;
                 let p: Vec<u64> = parse_parts("--stuck-lane", &raw, 2)?;
-                cfg.serve
-                    .chaos
-                    .get_or_insert_with(|| default_chaos(cfg.seed))
-                    .stuck_lanes = vec![StuckLaneSpec { lane: p[0] as usize, from_cycle: p[1] }];
+                cfg.serve.chaos.get_or_insert_with(|| default_chaos(cfg.seed)).stuck_lanes =
+                    vec![StuckLaneSpec { lane: p[0] as usize, from_cycle: p[1] }];
             }
             "--slow-lane" => {
                 chaos = true;
                 let raw: String = flag_value(&mut args, "--slow-lane", "lane,factor")?;
                 let p: Vec<f64> = parse_parts("--slow-lane", &raw, 2)?;
-                cfg.serve
-                    .chaos
-                    .get_or_insert_with(|| default_chaos(cfg.seed))
-                    .slow_lanes = vec![SlowLaneSpec { lane: p[0] as usize, factor: p[1] }];
+                cfg.serve.chaos.get_or_insert_with(|| default_chaos(cfg.seed)).slow_lanes =
+                    vec![SlowLaneSpec { lane: p[0] as usize, factor: p[1] }];
             }
             other => return Err(unknown_flag(other)),
         }
@@ -138,8 +131,7 @@ where
             OverloadPolicy::Block => "blocking backpressure",
             OverloadPolicy::Shed => "shed to golden",
         },
-        s.deadline_ns
-            .map_or_else(|| "none".to_owned(), |d| format!("{:.1}ms", d as f64 / 1e6)),
+        s.deadline_ns.map_or_else(|| "none".to_owned(), |d| format!("{:.1}ms", d as f64 / 1e6)),
         s.retry.max_attempts,
         s.chaos.as_ref().map_or_else(
             || "off".to_owned(),

@@ -196,10 +196,7 @@ fn main() {
     println!("\nreport written to {}", args.json);
 
     if let Some(floor) = args.min_speedup {
-        let worst = rows
-            .iter()
-            .map(Row::speedup)
-            .fold(f64::INFINITY, f64::min);
+        let worst = rows.iter().map(Row::speedup).fold(f64::INFINITY, f64::min);
         if worst < floor {
             eprintln!("FAIL: worst compiled speedup {worst:.2}x below --min-speedup {floor}");
             std::process::exit(EXIT_GATE);

@@ -7,10 +7,7 @@ use dwt_core::coeffs::{lifting, KRound, LiftingConstants};
 
 fn main() {
     println!("Table 1 — Lifting coefficients constants");
-    println!(
-        "{:<10} {:>16} {:>10} {:>14}",
-        "Coeff", "Floating point", "Integer", "Binary (Q2.8)"
-    );
+    println!("{:<10} {:>16} {:>10} {:>14}", "Coeff", "Floating point", "Integer", "Binary (Q2.8)");
     let floats = [
         lifting::ALPHA,
         lifting::BETA,
@@ -21,13 +18,7 @@ fn main() {
     ];
     let c = LiftingConstants::table1(KRound::Truncated);
     for ((name, q), f) in c.named().iter().zip(floats) {
-        println!(
-            "{:<10} {:>16.9} {:>10} {:>14}",
-            name,
-            f,
-            q.to_string(),
-            q.to_binary_string()
-        );
+        println!("{:<10} {:>16.9} {:>10} {:>14}", name, f, q.to_string(), q.to_binary_string());
     }
     println!();
     println!("Notes on the printed table's internal inconsistencies:");

@@ -54,9 +54,8 @@ fn main() {
     // Cross-check the analytic cycle formula against the executable
     // Figure 4 model on a small tile.
     let mut mem = FrameMemory::new(StillToneImage::new(64, 64).seed(3).generate());
-    let stats = MemoryController::new(2, 8)
-        .run(&mut mem, &IntLifting::default())
-        .expect("controller");
+    let stats =
+        MemoryController::new(2, 8).run(&mut mem, &IntLifting::default()).expect("controller");
     let analytic = cycles_for(64, 2, 8);
     println!(
         "\ncycle-model cross-check (64x64, 2 octaves, latency 8): controller {} vs analytic {}",

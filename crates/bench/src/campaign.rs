@@ -381,8 +381,7 @@ pub fn parse_value<T: std::str::FromStr>(
     raw: &str,
     what: &str,
 ) -> Result<T, UsageError> {
-    raw.parse()
-        .map_err(|_| UsageError::new(flag, format!("expects a {what}, got '{raw}'")))
+    raw.parse().map_err(|_| UsageError::new(flag, format!("expects a {what}, got '{raw}'")))
 }
 
 /// Pulls `flag`'s value from the argument iterator and parses it —
@@ -397,9 +396,7 @@ where
     I: Iterator<Item = S>,
     S: AsRef<str>,
 {
-    let raw = args
-        .next()
-        .ok_or_else(|| UsageError::new(flag, format!("expects a {what}")))?;
+    let raw = args.next().ok_or_else(|| UsageError::new(flag, format!("expects a {what}")))?;
     parse_value(flag, raw.as_ref(), what)
 }
 
@@ -414,18 +411,13 @@ pub fn parse_parts<T: std::str::FromStr>(
     raw: &str,
     n: usize,
 ) -> Result<Vec<T>, UsageError> {
-    let out: Result<Vec<T>, UsageError> = raw
-        .split(',')
-        .map(|p| parse_value(flag, p.trim(), "number"))
-        .collect();
+    let out: Result<Vec<T>, UsageError> =
+        raw.split(',').map(|p| parse_value(flag, p.trim(), "number")).collect();
     let out = out?;
     if out.len() == n {
         Ok(out)
     } else {
-        Err(UsageError::new(
-            flag,
-            format!("expects {n} comma-separated values, got '{raw}'"),
-        ))
+        Err(UsageError::new(flag, format!("expects {n} comma-separated values, got '{raw}'")))
     }
 }
 
@@ -514,18 +506,17 @@ impl CampaignArgs {
             match flag.as_str() {
                 "--seed" => out.seed = Some(flag_value(&mut args, &flag, "seed")?),
                 "--json" => {
-                    out.json = Some(args.next().ok_or_else(|| {
-                        UsageError::new(&flag, "expects a path")
-                    })?);
+                    out.json =
+                        Some(args.next().ok_or_else(|| UsageError::new(&flag, "expects a path"))?);
                 }
                 "--max-sdc" => out.max_sdc = Some(flag_value(&mut args, &flag, "count")?),
                 "--min-availability" => {
                     out.min_availability = Some(flag_value(&mut args, &flag, "fraction")?);
                 }
                 "--backend" => {
-                    let raw = args.next().ok_or_else(|| {
-                        UsageError::new(&flag, "expects event|compiled")
-                    })?;
+                    let raw = args
+                        .next()
+                        .ok_or_else(|| UsageError::new(&flag, "expects event|compiled"))?;
                     out.backend = match raw.as_str() {
                         "event" => BackendChoice::Event,
                         "compiled" => BackendChoice::Compiled,
@@ -551,8 +542,7 @@ impl CampaignArgs {
     /// Panics if the file cannot be written.
     pub fn write_json_with<F: FnOnce() -> String>(&self, render: F) {
         if let Some(path) = &self.json {
-            std::fs::write(path, render())
-                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            std::fs::write(path, render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
             println!("\nfull report written to {path}");
         }
     }
@@ -571,12 +561,10 @@ impl CampaignArgs {
             }
         }
         if let Some(floor) = self.min_availability {
-            let avail = min_availability
-                .expect("--min-availability gate needs an availability quantity");
+            let avail =
+                min_availability.expect("--min-availability gate needs an availability quantity");
             if avail < floor {
-                eprintln!(
-                    "FAIL: minimum availability {avail:.4} below --min-availability {floor}"
-                );
+                eprintln!("FAIL: minimum availability {avail:.4} below --min-availability {floor}");
                 failed = true;
             } else {
                 println!("availability gate: min {avail:.4} ≥ {floor} — ok");
@@ -750,8 +738,20 @@ mod tests {
     fn shared_args_split_off_their_flags() {
         let args = CampaignArgs::try_parse_from(
             [
-                "--faults", "9", "--seed", "41", "--backend", "compiled", "--max-sdc", "0",
-                "--min-availability", "0.5", "--json", "out.json", "--tile", "8",
+                "--faults",
+                "9",
+                "--seed",
+                "41",
+                "--backend",
+                "compiled",
+                "--max-sdc",
+                "0",
+                "--min-availability",
+                "0.5",
+                "--json",
+                "out.json",
+                "--tile",
+                "8",
             ]
             .map(str::to_owned),
         )
@@ -772,8 +772,7 @@ mod tests {
             CampaignArgs::try_parse_from(["--seed", "banana"].map(str::to_owned)).unwrap_err();
         assert!(unparsable.message.contains("banana"), "{unparsable}");
         let backend =
-            CampaignArgs::try_parse_from(["--backend", "quantum"].map(str::to_owned))
-                .unwrap_err();
+            CampaignArgs::try_parse_from(["--backend", "quantum"].map(str::to_owned)).unwrap_err();
         assert!(backend.message.contains("quantum"), "{backend}");
     }
 
@@ -793,10 +792,7 @@ mod tests {
         assert_eq!(parse_list::<u64>("--sweep", "16,8,4").unwrap(), vec![16, 8, 4]);
         assert!(parse_list::<u64>("--sweep", "").is_err());
 
-        assert_eq!(
-            parse_design("--design", "3").unwrap(),
-            dwt_arch::designs::Design::D3
-        );
+        assert_eq!(parse_design("--design", "3").unwrap(), dwt_arch::designs::Design::D3);
         assert!(parse_design("--design", "0").is_err());
         assert!(parse_design("--design", "6").is_err());
         assert!(parse_design("--design", "three").is_err());

@@ -162,10 +162,14 @@ impl Table2Method {
         match self {
             Table2Method::FirFloat => "FIR filter by floating point 9/7 Daubechies coefficients",
             Table2Method::FirInt => "FIR filter by integer rounded 9/7 Daubechies coefficients",
-            Table2Method::LiftingFloat => "Lifting scheme by floating point factorized coefficients",
+            Table2Method::LiftingFloat => {
+                "Lifting scheme by floating point factorized coefficients"
+            }
             Table2Method::LiftingInt => "Lifting scheme by integer rounded factorized coefficients",
             Table2Method::FirFixedPoint => "(ext) FIR, full fixed-point truncating datapath",
-            Table2Method::LiftingFixedPoint => "(ext) Lifting, full fixed-point truncating datapath",
+            Table2Method::LiftingFixedPoint => {
+                "(ext) Lifting, full fixed-point truncating datapath"
+            }
         }
     }
 
@@ -212,13 +216,14 @@ pub fn table2_psnr(
     // Encoder kernel per method; the decoder is always the ideal
     // floating-point inverse, as in a reference JPEG2000 decoder, so any
     // encoder-side coefficient perturbation shows up as distortion.
-    let float_pipeline = |enc: &dyn DynKernel, dec: &dyn DynKernel| -> Result<Vec<f64>, dwt_core::Error> {
-        let img = image.map(f64::from);
-        let mut decomp = enc.forward_2d(&img, octaves)?;
-        quant.roundtrip_slice(decomp.coeffs.as_mut_slice());
-        let out = dec.inverse_2d(&decomp)?;
-        Ok(out.into_vec())
-    };
+    let float_pipeline =
+        |enc: &dyn DynKernel, dec: &dyn DynKernel| -> Result<Vec<f64>, dwt_core::Error> {
+            let img = image.map(f64::from);
+            let mut decomp = enc.forward_2d(&img, octaves)?;
+            quant.roundtrip_slice(decomp.coeffs.as_mut_slice());
+            let out = dec.inverse_2d(&decomp)?;
+            Ok(out.into_vec())
+        };
 
     /// Object-safe adapter over `OctaveKernel<f64>` for the pipeline.
     trait DynKernel {
@@ -254,9 +259,8 @@ pub fn table2_psnr(
         Table2Method::FirFloat => float_pipeline(&ideal_fir, &ideal_fir)?,
         Table2Method::LiftingFloat => float_pipeline(&ideal_lift, &ideal_lift)?,
         Table2Method::FirInt => {
-            let rounded = FirF64Kernel::with_bank(
-                FirBank::daubechies_9_7().integer_rounded().to_f64_bank(),
-            );
+            let rounded =
+                FirF64Kernel::with_bank(FirBank::daubechies_9_7().integer_rounded().to_f64_bank());
             float_pipeline(&rounded, &ideal_fir)?
         }
         Table2Method::LiftingInt => {
@@ -274,9 +278,7 @@ pub fn table2_psnr(
             } else {
                 forward_2d(image, octaves, &IntLifting::default())?
             };
-            let coeffs = dec
-                .coeffs
-                .map(|v| quant.roundtrip(f64::from(v)).round() as i32);
+            let coeffs = dec.coeffs.map(|v| quant.roundtrip(f64::from(v)).round() as i32);
             let dec = Decomposition2d { coeffs, octaves: dec.octaves };
             let out = if method == Table2Method::FirFixedPoint {
                 inverse_2d(&dec, &IntFirKernel::new())?

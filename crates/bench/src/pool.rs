@@ -63,12 +63,7 @@ impl Default for PoolCampaignConfig {
             },
             ..PoolConfig::default()
         };
-        PoolCampaignConfig {
-            pool,
-            pairs: 192,
-            seed: 2005,
-            interarrivals: vec![48, 24, 12, 6],
-        }
+        PoolCampaignConfig { pool, pairs: 192, seed: 2005, interarrivals: vec![48, 24, 12, 6] }
     }
 }
 
@@ -119,24 +114,14 @@ pub fn total_sdc_escapes(rows: &[PoolRow]) -> usize {
 /// Lowest availability across the sweep (the CI floor quantity).
 #[must_use]
 pub fn min_availability(rows: &[PoolRow]) -> f64 {
-    rows.iter()
-        .map(|r| r.report.availability())
-        .fold(f64::INFINITY, f64::min)
+    rows.iter().map(|r| r.report.availability()).fold(f64::INFINITY, f64::min)
 }
 
 /// Renders the sweep as a markdown table, one row per offered load.
 #[must_use]
 pub fn pool_markdown(rows: &[PoolRow]) -> String {
     let mut table = MarkdownTable::new(&[
-        "gap",
-        "offered",
-        "goodput",
-        "avail",
-        "p50 lat",
-        "p99 lat",
-        "shed",
-        "misses",
-        "breaker",
+        "gap", "offered", "goodput", "avail", "p50 lat", "p99 lat", "shed", "misses", "breaker",
         "SDC esc",
     ]);
     for row in rows {
@@ -214,9 +199,7 @@ pub fn pool_json(cfg: &PoolCampaignConfig, rows: &[PoolRow]) -> String {
         p.max_replays,
         p.max_redispatch,
         p.dwc,
-        p.admission
-            .deadline_cycles
-            .map_or_else(|| "null".to_owned(), |d| d.to_string()),
+        p.admission.deadline_cycles.map_or_else(|| "null".to_owned(), |d| d.to_string()),
         c.seu_rate,
         c.stuck_fraction,
         c.common_mode,

@@ -128,19 +128,8 @@ pub fn total_sdc_escapes(rows: &[RecoveryRow]) -> usize {
 #[must_use]
 pub fn recovery_markdown(rows: &[RecoveryRow]) -> String {
     let mut table = MarkdownTable::new(&[
-        "Design",
-        "tiles",
-        "strikes",
-        "primary",
-        "replay",
-        "tmr",
-        "fallback",
-        "avail",
-        "degrade",
-        "det lat",
-        "p50 cyc",
-        "p99 cyc",
-        "SDC esc",
+        "Design", "tiles", "strikes", "primary", "replay", "tmr", "fallback", "avail", "degrade",
+        "det lat", "p50 cyc", "p99 cyc", "SDC esc",
     ]);
     for row in rows {
         let r = &row.report;
@@ -156,8 +145,7 @@ pub fn recovery_markdown(rows: &[RecoveryRow]) -> String {
             fallback.to_string(),
             format!("{:.4}", r.availability()),
             format!("{:+.2}%", r.throughput_degradation() * 100.0),
-            r.mean_detection_latency()
-                .map_or_else(|| "—".to_owned(), |l| format!("{l:.1}cy")),
+            r.mean_detection_latency().map_or_else(|| "—".to_owned(), |l| format!("{l:.1}cy")),
             hist.p50().map_or_else(|| "—".to_owned(), |l| l.to_string()),
             hist.p99().map_or_else(|| "—".to_owned(), |l| l.to_string()),
             r.sdc_escapes().to_string(),
@@ -203,14 +191,9 @@ pub fn recovery_json(cfg: &RecoveryCampaignConfig, rows: &[RecoveryRow]) -> Stri
             row.strikes,
             r.availability(),
             r.throughput_degradation(),
-            r.mean_detection_latency()
-                .map_or_else(|| "null".to_owned(), |l| format!("{l:.3}")),
-            tile_cycle_histogram(r)
-                .p50()
-                .map_or_else(|| "null".to_owned(), |l| l.to_string()),
-            tile_cycle_histogram(r)
-                .p99()
-                .map_or_else(|| "null".to_owned(), |l| l.to_string()),
+            r.mean_detection_latency().map_or_else(|| "null".to_owned(), |l| format!("{l:.3}")),
+            tile_cycle_histogram(r).p50().map_or_else(|| "null".to_owned(), |l| l.to_string()),
+            tile_cycle_histogram(r).p99().map_or_else(|| "null".to_owned(), |l| l.to_string()),
             r.sdc_escapes(),
         );
         for (j, t) in r.tiles.iter().enumerate() {
@@ -227,8 +210,7 @@ pub fn recovery_json(cfg: &RecoveryCampaignConfig, rows: &[RecoveryRow]) -> Stri
                 t.replays,
                 t.nominal_cycles,
                 t.recovery_cycles,
-                t.detection_latency
-                    .map_or_else(|| "null".to_owned(), |l| l.to_string()),
+                t.detection_latency.map_or_else(|| "null".to_owned(), |l| l.to_string()),
                 t.bit_exact,
                 detections.join(", "),
             );

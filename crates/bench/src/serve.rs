@@ -235,9 +235,7 @@ pub fn total_sdc_escapes(rows: &[ServeRow]) -> usize {
 /// Lowest availability across the sweep (the CI floor quantity).
 #[must_use]
 pub fn min_availability(rows: &[ServeRow]) -> f64 {
-    rows.iter()
-        .map(|r| r.stats.availability())
-        .fold(f64::INFINITY, f64::min)
+    rows.iter().map(|r| r.stats.availability()).fold(f64::INFINITY, f64::min)
 }
 
 /// Renders the sweep as a markdown table, one row per offered load.
@@ -280,9 +278,8 @@ pub fn serve_markdown(rows: &[ServeRow]) -> String {
 /// the heaviest load) as a markdown table.
 #[must_use]
 pub fn serve_worker_markdown(row: &ServeRow) -> String {
-    let mut table = MarkdownTable::new(&[
-        "worker", "tiles", "hw tiles", "health", "breaker", "trips", "dead",
-    ]);
+    let mut table =
+        MarkdownTable::new(&["worker", "tiles", "hw tiles", "health", "breaker", "trips", "dead"]);
     for w in &row.stats.workers {
         table.push_row(vec![
             w.worker.to_string(),

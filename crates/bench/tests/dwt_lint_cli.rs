@@ -6,10 +6,7 @@
 use std::process::{Command, Output};
 
 fn run(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_dwt_lint"))
-        .args(args)
-        .output()
-        .expect("spawn dwt_lint")
+    Command::new(env!("CARGO_BIN_EXE_dwt_lint")).args(args).output().expect("spawn dwt_lint")
 }
 
 #[test]
@@ -35,8 +32,7 @@ fn every_planted_bug_flips_the_exit_code() {
 
 #[test]
 fn planted_bugs_report_the_expected_rules() {
-    let cases =
-        [("drop-register", "L004"), ("shrink-adder", "L003"), ("disconnect-net", "L002")];
+    let cases = [("drop-register", "L004"), ("shrink-adder", "L003"), ("disconnect-net", "L002")];
     for (mutation, rule) in cases {
         let out = run(&["design 2", "--mutate", mutation, "--deny", "warning"]);
         let stdout = String::from_utf8(out.stdout).unwrap();

@@ -62,7 +62,10 @@ fn assert_backends_agree(
     let compiled = drive::<CompiledEngine>(netlist.clone(), pairs, fault);
     assert_eq!(event.len(), compiled.len(), "{label}: trace lengths differ");
     for (t, (ev, co)) in event.iter().zip(compiled.iter()).enumerate() {
-        assert_eq!(ev, co, "{label}: backends diverge at cycle {t} (event {ev:?}, compiled {co:?})");
+        assert_eq!(
+            ev, co,
+            "{label}: backends diverge at cycle {t} (event {ev:?}, compiled {co:?})"
+        );
     }
 }
 
@@ -146,10 +149,7 @@ fn parity_detection_agrees_under_upset() {
         // The upset must actually be visible, otherwise this test
         // would pass vacuously on two all-zero detect traces.
         let trace = drive::<CompiledEngine>(built.netlist.clone(), &pairs, Some(&fault));
-        assert!(
-            trace.iter().any(|&(_, _, d)| d != 0),
-            "{label}: upset never raised fault_detect"
-        );
+        assert!(trace.iter().any(|&(_, _, d)| d != 0), "{label}: upset never raised fault_detect");
     }
 }
 

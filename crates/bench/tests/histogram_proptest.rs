@@ -1,0 +1,87 @@
+//! `LatencyHistogram` percentile invariants, property-tested.
+//!
+//! The campaign binaries gate on p50/p99 latencies, so the nearest-rank
+//! implementation must agree with the textbook definition: sort the
+//! samples, take element `ceil(p/100 * n)` (1-indexed). For random
+//! sample sets the histogram's `p50`/`p99`/`percentile` must match that
+//! oracle exactly, and the edge cases the campaigns actually hit —
+//! empty histograms (no tiles committed) and single samples — must
+//! behave as documented.
+
+use proptest::prelude::*;
+
+use dwt_bench::campaign::LatencyHistogram;
+
+/// Textbook nearest-rank percentile: smallest sorted element with at
+/// least `p%` of the distribution at or below it.
+fn oracle(samples: &[u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+#[test]
+fn empty_histogram_has_no_percentiles() {
+    let h = LatencyHistogram::new();
+    assert!(h.is_empty());
+    assert_eq!(h.p50(), None);
+    assert_eq!(h.p99(), None);
+    assert_eq!(h.mean(), None);
+    assert_eq!(h.max(), None);
+}
+
+#[test]
+fn single_sample_is_every_percentile() {
+    let mut h = LatencyHistogram::new();
+    h.record(37);
+    assert_eq!(h.len(), 1);
+    assert_eq!(h.p50(), Some(37));
+    assert_eq!(h.p99(), Some(37));
+    assert_eq!(h.percentile(1.0), Some(37));
+    assert_eq!(h.percentile(100.0), Some(37));
+    assert_eq!(h.max(), Some(37));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn p50_and_p99_match_the_sort_oracle(samples in prop::collection::vec(0u64..100_000, 0..200)) {
+        let mut h = LatencyHistogram::new();
+        h.extend(samples.iter().copied());
+        prop_assert_eq!(h.len(), samples.len());
+        prop_assert_eq!(h.p50(), oracle(&samples, 50.0));
+        prop_assert_eq!(h.p99(), oracle(&samples, 99.0));
+    }
+
+    #[test]
+    fn arbitrary_percentiles_match_the_sort_oracle(
+        samples in prop::collection::vec(0u64..100_000, 1..100),
+        p in 1u32..=100,
+    ) {
+        let mut h = LatencyHistogram::new();
+        h.extend(samples.iter().copied());
+        let p = f64::from(p);
+        prop_assert_eq!(h.percentile(p), oracle(&samples, p));
+        // A percentile is always a recorded sample, bounded by the max.
+        let v = h.percentile(p).unwrap();
+        prop_assert!(samples.contains(&v));
+        prop_assert!(v <= h.max().unwrap());
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p(samples in prop::collection::vec(0u64..100_000, 1..100)) {
+        let mut h = LatencyHistogram::new();
+        h.extend(samples.iter().copied());
+        let mut prev = 0;
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p).unwrap();
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

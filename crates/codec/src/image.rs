@@ -6,9 +6,7 @@ use dwt_core::grid::Grid;
 use dwt_core::lifting::IntLifting;
 use dwt_core::lifting53::Lifting53Kernel;
 use dwt_core::quant::Quantizer;
-use dwt_core::transform2d::{
-    forward_2d, inverse_2d, max_octaves_2d, Decomposition2d, Subband,
-};
+use dwt_core::transform2d::{forward_2d, inverse_2d, max_octaves_2d, Decomposition2d, Subband};
 
 use crate::error::{Error, Result};
 use crate::rice;
@@ -93,8 +91,8 @@ pub fn decompress(bytes: &[u8]) -> Result<Grid<i32>> {
     let octaves = bytes[5] as usize;
     let rows = u32::from_le_bytes(bytes[6..10].try_into().expect("len checked")) as usize;
     let cols = u32::from_le_bytes(bytes[10..14].try_into().expect("len checked")) as usize;
-    let step = f64::from(u32::from_le_bytes(bytes[14..18].try_into().expect("len checked")))
-        / 1000.0;
+    let step =
+        f64::from(u32::from_le_bytes(bytes[14..18].try_into().expect("len checked"))) / 1000.0;
     if rows == 0 || cols == 0 || rows.checked_mul(cols).is_none() {
         return Err(Error::BadHeader(format!("bad dimensions {rows}x{cols}")));
     }
@@ -106,10 +104,7 @@ pub fn decompress(bytes: &[u8]) -> Result<Grid<i32>> {
         Ok(inverse_2d(&dec, &Lifting53Kernel)?)
     } else {
         let quant = Quantizer::new(step)?;
-        let coeffs: Vec<i32> = values
-            .iter()
-            .map(|&q| quant.dequantize(q).round() as i32)
-            .collect();
+        let coeffs: Vec<i32> = values.iter().map(|&q| quant.dequantize(q).round() as i32).collect();
         let dec = Decomposition2d { coeffs: Grid::from_vec(rows, cols, coeffs)?, octaves };
         Ok(inverse_2d(&dec, &IntLifting::default())?)
     }
@@ -131,10 +126,7 @@ fn subband_order(octaves: usize) -> Vec<Subband> {
 /// Splits a Mallat-layout coefficient grid into per-subband vectors,
 /// coarsest first.
 fn split_subbands(dec: &Decomposition2d<i64>) -> Vec<Vec<i64>> {
-    subband_order(dec.octaves)
-        .into_iter()
-        .map(|band| dec.subband(band).into_vec())
-        .collect()
+    subband_order(dec.octaves).into_iter().map(|band| dec.subband(band).into_vec()).collect()
 }
 
 /// Reassembles per-subband vectors into the Mallat layout.
@@ -172,9 +164,7 @@ pub fn compress_subband(image: &Grid<i32>, config: &CodecConfig) -> Result<Vec<u
     let octaves = config.octaves.min(max_octaves_2d(rows, cols));
 
     let coeffs: Grid<i64> = if config.lossless {
-        forward_2d(image, octaves, &Lifting53Kernel)?
-            .coeffs
-            .map(i64::from)
+        forward_2d(image, octaves, &Lifting53Kernel)?.coeffs.map(i64::from)
     } else {
         let quant = Quantizer::new(config.step)?;
         forward_2d(image, octaves, &IntLifting::default())?
@@ -212,8 +202,8 @@ pub fn decompress_subband(bytes: &[u8]) -> Result<Grid<i32>> {
     let octaves = bytes[5] as usize;
     let rows = u32::from_le_bytes(bytes[6..10].try_into().expect("len checked")) as usize;
     let cols = u32::from_le_bytes(bytes[10..14].try_into().expect("len checked")) as usize;
-    let step = f64::from(u32::from_le_bytes(bytes[14..18].try_into().expect("len checked")))
-        / 1000.0;
+    let step =
+        f64::from(u32::from_le_bytes(bytes[14..18].try_into().expect("len checked"))) / 1000.0;
     if rows == 0 || cols == 0 {
         return Err(Error::BadHeader("zero dimension".into()));
     }
@@ -227,8 +217,7 @@ pub fn decompress_subband(bytes: &[u8]) -> Result<Grid<i32>> {
             return Err(Error::Truncated);
         }
         let len =
-            u32::from_le_bytes(bytes[cursor..cursor + 4].try_into().expect("len checked"))
-                as usize;
+            u32::from_le_bytes(bytes[cursor..cursor + 4].try_into().expect("len checked")) as usize;
         cursor += 4;
         if cursor + len > bytes.len() {
             return Err(Error::Truncated);
@@ -244,10 +233,8 @@ pub fn decompress_subband(bytes: &[u8]) -> Result<Grid<i32>> {
         Ok(inverse_2d(&dec, &Lifting53Kernel)?)
     } else {
         let quant = Quantizer::new(step)?;
-        let dec = Decomposition2d {
-            coeffs: values.map(|q| quant.dequantize(q).round() as i32),
-            octaves,
-        };
+        let dec =
+            Decomposition2d { coeffs: values.map(|q| quant.dequantize(q).round() as i32), octaves };
         Ok(inverse_2d(&dec, &IntLifting::default())?)
     }
 }
@@ -315,10 +302,7 @@ mod tests {
     #[test]
     fn foreign_data_is_rejected() {
         assert!(matches!(decompress(b"nope"), Err(Error::BadHeader(_))));
-        assert!(matches!(
-            decompress(b"PNG\x89and more data here..."),
-            Err(Error::BadHeader(_))
-        ));
+        assert!(matches!(decompress(b"PNG\x89and more data here..."), Err(Error::BadHeader(_))));
     }
 
     #[test]
@@ -370,10 +354,7 @@ mod subband_tests {
         let cfg = CodecConfig { octaves: 4, step: 4.0, lossless: false };
         let single = compress(&image, &cfg).unwrap().len();
         let per_band = compress_subband(&image, &cfg).unwrap().len();
-        assert!(
-            (per_band as f64) < single as f64 * 1.02,
-            "per-band {per_band} vs single {single}"
-        );
+        assert!((per_band as f64) < single as f64 * 1.02, "per-band {per_band} vs single {single}");
     }
 
     #[test]

@@ -164,14 +164,8 @@ pub fn gain_based(input: NodeRange) -> RegisterRanges {
         let mut x = vec![0.0; N];
         x[p] = 1.0;
         let t = forward_trace_f64(&x).expect("N >= 2");
-        let taps = [
-            t.d1[CENTRE],
-            t.s1[CENTRE],
-            t.d2[CENTRE],
-            t.s2[CENTRE],
-            t.low[CENTRE],
-            t.high[CENTRE],
-        ];
+        let taps =
+            [t.d1[CENTRE], t.s1[CENTRE], t.d2[CENTRE], t.s2[CENTRE], t.low[CENTRE], t.high[CENTRE]];
         for (i, &w) in taps.iter().enumerate() {
             if w >= 0.0 {
                 pos[i] += w;
@@ -321,10 +315,7 @@ mod tests {
         let wc = worst_case(NodeRange::signed8(), &LiftingConstants::default());
         let gb = gain_based(NodeRange::signed8());
         for ((name, w), (_, g)) in wc.named().iter().zip(gb.named().iter()) {
-            assert!(
-                w.min <= g.min + 2 && w.max >= g.max - 2,
-                "{name}: {w} !⊇ {g}"
-            );
+            assert!(w.min <= g.min + 2 && w.max >= g.max - 2, "{name}: {w} !⊇ {g}");
         }
     }
 
@@ -342,11 +333,7 @@ mod tests {
     fn empirical_within_gain_based() {
         let kernel = IntLifting::default();
         let signals: Vec<Vec<i32>> = (0..8)
-            .map(|s| {
-                (0..128)
-                    .map(|i| ((i * (7 + s) + s * s) % 255) - 128)
-                    .collect()
-            })
+            .map(|s| (0..128).map(|i| ((i * (7 + s) + s * s) % 255) - 128).collect())
             .collect();
         let refs: Vec<&[i32]> = signals.iter().map(Vec::as_slice).collect();
         let emp = empirical(refs, &kernel).unwrap();

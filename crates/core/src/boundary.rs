@@ -141,7 +141,7 @@ mod tests {
         let data: Vec<i32> = (0..9).collect();
         let m = Mirrored::new(&data);
         for i in -12..24 {
-            assert_eq!(m.at(i), data[mirror(i, 9)] );
+            assert_eq!(m.at(i), data[mirror(i, 9)]);
         }
         assert_eq!(m.len(), 9);
         assert!(!m.is_empty());

@@ -303,11 +303,7 @@ mod tests {
 
     #[test]
     fn named_order_is_datapath_order() {
-        let names: Vec<_> = LiftingConstants::default()
-            .named()
-            .iter()
-            .map(|(n, _)| *n)
-            .collect();
+        let names: Vec<_> = LiftingConstants::default().named().iter().map(|(n, _)| *n).collect();
         assert_eq!(names, ["alpha", "beta", "gamma", "delta", "-k", "1/k"]);
     }
 
@@ -318,10 +314,7 @@ mod tests {
             assert!((bank.low[k] - bank.low[8 - k]).abs() < 1e-12, "low tap {k}");
         }
         for k in 0..3 {
-            assert!(
-                (bank.high[k] - bank.high[6 - k]).abs() < 1e-12,
-                "high tap {k}"
-            );
+            assert!((bank.high[k] - bank.high[6 - k]).abs() < 1e-12, "high tap {k}");
         }
     }
 
@@ -362,21 +355,11 @@ mod tests {
         ];
         let scale_l = l[4] / classic_low[4];
         for (i, c) in classic_low.iter().enumerate() {
-            assert!(
-                (l[i] - c * scale_l).abs() < 1e-6,
-                "low tap {i}: {} vs {}",
-                l[i],
-                c * scale_l
-            );
+            assert!((l[i] - c * scale_l).abs() < 1e-6, "low tap {i}: {} vs {}", l[i], c * scale_l);
         }
         let scale_h = h[3] / classic_high[3];
         for (i, c) in classic_high.iter().enumerate() {
-            assert!(
-                (h[i] - c * scale_h).abs() < 1e-6,
-                "high tap {i}: {} vs {}",
-                h[i],
-                c * scale_h
-            );
+            assert!((h[i] - c * scale_h).abs() < 1e-6, "high tap {i}: {} vs {}", h[i], c * scale_h);
         }
     }
 

@@ -58,22 +58,18 @@ impl fmt::Display for Error {
             Error::SignalTooShort { len } => {
                 write!(f, "signal of {len} samples is too short for the 9/7 kernel")
             }
-            Error::MismatchedBands { low, high } => write!(
-                f,
-                "band lengths (low {low}, high {high}) do not form a valid subband pair"
-            ),
-            Error::MismatchedDims { expected, actual } => write!(
-                f,
-                "grid dimensions {actual:?} do not match expected {expected:?}"
-            ),
-            Error::TooManyOctaves { requested, max } => write!(
-                f,
-                "requested {requested} octaves but at most {max} are possible"
-            ),
-            Error::BadGridLength { rows, cols, len } => write!(
-                f,
-                "buffer of {len} elements cannot form a {rows}x{cols} grid"
-            ),
+            Error::MismatchedBands { low, high } => {
+                write!(f, "band lengths (low {low}, high {high}) do not form a valid subband pair")
+            }
+            Error::MismatchedDims { expected, actual } => {
+                write!(f, "grid dimensions {actual:?} do not match expected {expected:?}")
+            }
+            Error::TooManyOctaves { requested, max } => {
+                write!(f, "requested {requested} octaves but at most {max} are possible")
+            }
+            Error::BadGridLength { rows, cols, len } => {
+                write!(f, "buffer of {len} elements cannot form a {rows}x{cols} grid")
+            }
             Error::BadQuantizerStep => write!(f, "quantizer step must be positive"),
             Error::Empty => write!(f, "input must not be empty"),
         }

@@ -148,11 +148,7 @@ impl<T: Copy> Grid<T> {
     /// Maps every element, producing a grid of a new type.
     #[must_use]
     pub fn map<U, F: FnMut(T) -> U>(&self, mut f: F) -> Grid<U> {
-        Grid {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Grid { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Extracts the sub-grid `[0..rows) x [0..cols)` from the top-left

@@ -18,7 +18,6 @@
 //! which is provably identical to mirroring the original signal because a
 //! mirrored even index stays even and a mirrored odd index stays odd.
 
-
 // Index-based loops mirror the paper's per-sample recurrences and read
 // neighbouring elements; iterator forms would obscure them.
 #![allow(clippy::needless_range_loop)]
@@ -497,16 +496,9 @@ impl IntLifting {
         let k_recip = 65536i64 / i64::from(c.inv_k.raw()); // ≈ k * 256
         let minus_inv_k_recip = 65536i64 / i64::from(c.minus_k.raw()); // ≈ -1/k * 256
 
-        let mut s: Vec<i64> = bands
-            .low
-            .iter()
-            .map(|&v| (i64::from(v) * k_recip) >> 8)
-            .collect();
-        let mut d: Vec<i64> = bands
-            .high
-            .iter()
-            .map(|&v| (i64::from(v) * minus_inv_k_recip) >> 8)
-            .collect();
+        let mut s: Vec<i64> = bands.low.iter().map(|&v| (i64::from(v) * k_recip) >> 8).collect();
+        let mut d: Vec<i64> =
+            bands.high.iter().map(|&v| (i64::from(v) * minus_inv_k_recip) >> 8).collect();
         let (ns, nd) = (s.len(), d.len());
 
         for i in 0..ns {
@@ -541,9 +533,7 @@ mod tests {
 
     #[test]
     fn float_perfect_reconstruction_even() {
-        let x: Vec<f64> = (0..64)
-            .map(|i| ((i * i) % 251) as f64 - 125.0)
-            .collect();
+        let x: Vec<f64> = (0..64).map(|i| ((i * i) % 251) as f64 - 125.0).collect();
         let bands = forward_f64(&x).unwrap();
         let y = inverse_f64(&bands).unwrap();
         for (a, b) in x.iter().zip(&y) {
@@ -574,20 +564,14 @@ mod tests {
 
     #[test]
     fn too_short_is_rejected() {
-        assert_eq!(
-            forward_f64(&[1.0]).unwrap_err(),
-            Error::SignalTooShort { len: 1 }
-        );
+        assert_eq!(forward_f64(&[1.0]).unwrap_err(), Error::SignalTooShort { len: 1 });
         assert_eq!(forward_f64(&[]).unwrap_err(), Error::SignalTooShort { len: 0 });
     }
 
     #[test]
     fn mismatched_bands_rejected() {
         let bands = Subbands { low: vec![1.0; 4], high: vec![1.0; 7] };
-        assert_eq!(
-            inverse_f64(&bands).unwrap_err(),
-            Error::MismatchedBands { low: 4, high: 7 }
-        );
+        assert_eq!(inverse_f64(&bands).unwrap_err(), Error::MismatchedBands { low: 4, high: 7 });
     }
 
     #[test]
@@ -684,19 +668,10 @@ mod tests {
     #[test]
     fn nearest_and_truncated_k_differ_only_in_high_band() {
         let xt: Vec<i32> = (0..64).map(|i| ((i * 29) % 255) - 128).collect();
-        let a = IntLifting::new(LiftingConstants::table1(KRound::Truncated))
-            .forward(&xt)
-            .unwrap();
-        let b = IntLifting::new(LiftingConstants::table1(KRound::Nearest))
-            .forward(&xt)
-            .unwrap();
+        let a = IntLifting::new(LiftingConstants::table1(KRound::Truncated)).forward(&xt).unwrap();
+        let b = IntLifting::new(LiftingConstants::table1(KRound::Nearest)).forward(&xt).unwrap();
         assert_eq!(a.low, b.low);
-        let diffs = a
-            .high
-            .iter()
-            .zip(&b.high)
-            .filter(|(x, y)| x != y)
-            .count();
+        let diffs = a.high.iter().zip(&b.high).filter(|(x, y)| x != y).count();
         assert!(diffs > 0, "the two k encodings should disagree somewhere");
         for (x, y) in a.high.iter().zip(&b.high) {
             assert!((x - y).abs() <= 2);

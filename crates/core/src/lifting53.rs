@@ -15,7 +15,6 @@
 //! inverse is lossless for *any* input — a stronger property than the
 //! 9/7's bounded error, pinned by the tests below.
 
-
 // Index-based loops mirror the paper's per-sample recurrences and read
 // neighbouring elements; iterator forms would obscure them.
 #![allow(clippy::needless_range_loop)]
@@ -135,9 +134,7 @@ mod tests {
     use crate::transform2d::{forward_2d, inverse_2d};
 
     fn signal(n: usize, seed: i32) -> Vec<i32> {
-        (0..n as i32)
-            .map(|i| ((i * (31 + seed) + seed * seed) % 255) - 128)
-            .collect()
+        (0..n as i32).map(|i| ((i * (31 + seed) + seed * seed) % 255) - 128).collect()
     }
 
     #[test]

@@ -206,9 +206,7 @@ mod tests {
         Grid::from_vec(
             rows,
             cols,
-            (0..rows * cols)
-                .map(|i| ((i * 31) % 255) as i32 - 127)
-                .collect(),
+            (0..rows * cols).map(|i| ((i * 31) % 255) as i32 - 127).collect(),
         )
         .unwrap()
     }
@@ -229,9 +227,7 @@ mod tests {
         // row pass, same for the column pass.
         let img = image(8, 8);
         let mut mem = FrameMemory::new(img);
-        let stats = MemoryController::new(1, 8)
-            .run(&mut mem, &IntLifting::default())
-            .unwrap();
+        let stats = MemoryController::new(1, 8).run(&mut mem, &IntLifting::default()).unwrap();
         assert_eq!(stats.reads, 2 * 64);
         assert_eq!(stats.writes, 2 * 64);
     }
@@ -240,9 +236,7 @@ mod tests {
     fn second_octave_touches_quarter_region() {
         let img = image(8, 8);
         let mut mem = FrameMemory::new(img);
-        let stats = MemoryController::new(2, 8)
-            .run(&mut mem, &IntLifting::default())
-            .unwrap();
+        let stats = MemoryController::new(2, 8).run(&mut mem, &IntLifting::default()).unwrap();
         assert_eq!(stats.reads, 2 * 64 + 2 * 16);
     }
 
@@ -251,9 +245,7 @@ mod tests {
         let img = image(8, 8);
         let mut mem = FrameMemory::new(img);
         let lat = 21;
-        let stats = MemoryController::new(1, lat)
-            .run(&mut mem, &IntLifting::default())
-            .unwrap();
+        let stats = MemoryController::new(1, lat).run(&mut mem, &IntLifting::default()).unwrap();
         // 8 rows + 8 cols, each 4 pair-cycles + latency.
         assert_eq!(stats.cycles_per_octave[0], 16 * (4 + lat));
         assert_eq!(stats.total_cycles(), 16 * (4 + lat));
@@ -274,9 +266,7 @@ mod tests {
     #[test]
     fn too_many_octaves_rejected() {
         let mut mem = FrameMemory::new(image(4, 4));
-        let e = MemoryController::new(5, 8)
-            .run(&mut mem, &IntLifting::default())
-            .unwrap_err();
+        let e = MemoryController::new(5, 8).run(&mut mem, &IntLifting::default()).unwrap_err();
         assert_eq!(e, Error::TooManyOctaves { requested: 5, max: 2 });
     }
 
@@ -285,9 +275,7 @@ mod tests {
         use crate::lifting53::Lifting53Kernel;
         let img = image(16, 16);
         let mut mem = FrameMemory::new(img.clone());
-        MemoryController::new(2, 3)
-            .run(&mut mem, &Lifting53Kernel)
-            .unwrap();
+        MemoryController::new(2, 3).run(&mut mem, &Lifting53Kernel).unwrap();
         let direct = forward_2d(&img, 2, &Lifting53Kernel).unwrap();
         assert_eq!(mem.contents(), &direct.coeffs);
     }
@@ -295,9 +283,7 @@ mod tests {
     #[test]
     fn samples_per_cycle_sane() {
         let mut mem = FrameMemory::new(image(32, 32));
-        let stats = MemoryController::new(1, 8)
-            .run(&mut mem, &IntLifting::default())
-            .unwrap();
+        let stats = MemoryController::new(1, 8).run(&mut mem, &IntLifting::default()).unwrap();
         let thr = stats.samples_per_cycle(32, 32);
         assert!(thr > 0.4 && thr < 1.1, "throughput {thr}");
     }

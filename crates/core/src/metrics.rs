@@ -29,11 +29,7 @@ pub fn mse(reference: &[f64], reconstructed: &[f64]) -> Result<f64> {
             actual: (1, reconstructed.len()),
         });
     }
-    let sum: f64 = reference
-        .iter()
-        .zip(reconstructed)
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum();
+    let sum: f64 = reference.iter().zip(reconstructed).map(|(a, b)| (a - b) * (a - b)).sum();
     Ok(sum / reference.len() as f64)
 }
 
@@ -118,9 +114,6 @@ mod tests {
         let b = [1i32, 10, 22];
         let fa: Vec<f64> = a.iter().map(|&v| f64::from(v)).collect();
         let fb: Vec<f64> = b.iter().map(|&v| f64::from(v)).collect();
-        assert_eq!(
-            psnr_i32(&a, &b, 255.0).unwrap(),
-            psnr(&fa, &fb, 255.0).unwrap()
-        );
+        assert_eq!(psnr_i32(&a, &b, 255.0).unwrap(), psnr(&fa, &fb, 255.0).unwrap());
     }
 }

@@ -89,9 +89,7 @@ impl ParamLiftingKernel {
     /// constants (`raw/256`) in floating point.
     #[must_use]
     pub fn from_q2x8(constants: &crate::coeffs::LiftingConstants) -> Self {
-        ParamLiftingKernel {
-            constants: lifting::FloatConstants::from_q2x8(constants),
-        }
+        ParamLiftingKernel { constants: lifting::FloatConstants::from_q2x8(constants) }
     }
 }
 
@@ -276,9 +274,7 @@ mod tests {
     use super::*;
 
     fn signal(n: usize) -> Vec<f64> {
-        (0..n)
-            .map(|i| (i as f64 * 0.21).sin() * 90.0 + (i % 11) as f64 * 3.0)
-            .collect()
+        (0..n).map(|i| (i as f64 * 0.21).sin() * 90.0 + (i % 11) as f64 * 3.0).collect()
     }
 
     #[test]

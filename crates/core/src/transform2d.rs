@@ -72,10 +72,7 @@ fn one_octave_inverse<T: Copy + Default, K: OctaveKernel<T>>(
     // Columns first (reverse of forward order).
     for c in 0..cols {
         let col = grid.column(c);
-        let bands = Subbands {
-            low: col[..half_r].to_vec(),
-            high: col[half_r..].to_vec(),
-        };
+        let bands = Subbands { low: col[..half_r].to_vec(), high: col[half_r..].to_vec() };
         let merged = kernel.inverse(&bands)?;
         grid.set_column(c, &merged);
     }
@@ -83,10 +80,7 @@ fn one_octave_inverse<T: Copy + Default, K: OctaveKernel<T>>(
     for r in 0..rows {
         let bands = {
             let row = grid.row(r);
-            Subbands {
-                low: row[..half_c].to_vec(),
-                high: row[half_c..].to_vec(),
-            }
+            Subbands { low: row[..half_c].to_vec(), high: row[half_c..].to_vec() }
         };
         let merged = kernel.inverse(&bands)?;
         grid.row_mut(r).copy_from_slice(&merged);

@@ -248,10 +248,7 @@ mod tests {
         let wc = 0b1111u64;
         let words = g.eval(&[wa, wb, wc]);
         assert_eq!(Aig::lit_word(&words, x) & 0xf, (wa ^ wb) & 0xf);
-        assert_eq!(
-            Aig::lit_word(&words, m) & 0xf,
-            ((wa & wb) | (wa & wc) | (wb & wc)) & 0xf
-        );
+        assert_eq!(Aig::lit_word(&words, m) & 0xf, ((wa & wb) | (wa & wc) | (wb & wc)) & 0xf);
         assert_eq!(Aig::lit_word(&words, s) & 0xf, ((wc & wa) | (!wc & wb)) & 0xf);
     }
 }

@@ -19,6 +19,12 @@
 //!    plan-lowered carry-chain adder tree against an independent
 //!    Horner-style structural multiplier, at the Q2.8 formats the
 //!    datapaths use.
+//! 4. **Partition** — `dwt_partition::stitch(partition(n)) ≡ n` for
+//!    every design × partition count: the reassembled shards are
+//!    proved sequentially equivalent to the unsplit netlist, with
+//!    structural coverage obligations (every cell in exactly one
+//!    shard, every primary port owned exactly once) that catch a
+//!    lossy cut even when the lost logic is functionally dead.
 
 use dwt_arch::datapath::Hardening;
 use dwt_arch::designs::Design;
@@ -48,6 +54,8 @@ pub enum Checker {
     Hardening,
     /// Shift-add recoded multiplier vs. behavioral golden.
     ShiftAdd,
+    /// Stitched partition vs. the unsplit netlist.
+    Partition,
 }
 
 impl Checker {
@@ -58,6 +66,7 @@ impl Checker {
             Checker::Backend => "backend",
             Checker::Hardening => "hardening",
             Checker::ShiftAdd => "shiftadd",
+            Checker::Partition => "partition",
         }
     }
 }
@@ -148,7 +157,7 @@ fn verdict_report(
 /// Propagates build and lowering failures.
 pub fn backend_case(design: Design, hardening: Hardening) -> Result<CaseReport, EquivError> {
     let built = design.build_hardened(hardening)?;
-    let program = Program::compile(&built.netlist);
+    let program = Program::compile(&built.netlist)?;
     let back = program.to_netlist(&built.netlist)?;
     let opts = opts_for(&built.netlist);
     let verdict = prove(&built.netlist, &back, &opts)?;
@@ -214,9 +223,7 @@ pub fn hardening_integrity(
 
 /// The triple base name of a TMR replica register, if it is one.
 fn tmr_base(name: &str) -> Option<&str> {
-    ["_tmr0", "_tmr1", "_tmr2"]
-        .iter()
-        .find_map(|suffix| name.strip_suffix(suffix))
+    ["_tmr0", "_tmr1", "_tmr2"].iter().find_map(|suffix| name.strip_suffix(suffix))
 }
 
 /// Replica lockstep: with all three replicas of a triple holding the
@@ -257,10 +264,8 @@ fn tmr_lockstep(netlist: &Netlist, opts: &EquivOptions) -> Result<Vec<String>, E
     let mut sweeper = Sweeper::new();
     for (base, members) in &triples {
         if members.len() != 3 {
-            violations.push(format!(
-                "register `{base}` has {} replicas, expected 3",
-                members.len()
-            ));
+            violations
+                .push(format!("register `{base}` has {} replicas, expected 3", members.len()));
             continue;
         }
         let first = &frame.reg_next[members[0]];
@@ -269,10 +274,8 @@ fn tmr_lockstep(netlist: &Netlist, opts: &EquivOptions) -> Result<Vec<String>, E
                 match sweeper.prove_equal(&mut aig, l0, lm, opts.conflict_budget) {
                     Prove::Proved => {}
                     Prove::Refuted => {
-                        violations.push(format!(
-                            "replica `{}` bit {bit} drifts from lockstep",
-                            names[m]
-                        ));
+                        violations
+                            .push(format!("replica `{}` bit {bit} drifts from lockstep", names[m]));
                     }
                     Prove::Budget => {
                         return Err(EquivError::Budget(format!(
@@ -295,10 +298,7 @@ fn tmr_lockstep(netlist: &Netlist, opts: &EquivOptions) -> Result<Vec<String>, E
 ///
 /// Voter-bypass or miswired-voter mutations leave the fault-free
 /// machine equivalent, so this is what actually kills them.
-fn tmr_integrity(
-    netlist: &Netlist,
-    opts: &EquivOptions,
-) -> Result<Vec<String>, EquivError> {
+fn tmr_integrity(netlist: &Netlist, opts: &EquivOptions) -> Result<Vec<String>, EquivError> {
     let mut violations = Vec::new();
     let mut aig = Aig::new();
     let inputs = fresh_inputs(&mut aig, netlist);
@@ -324,21 +324,17 @@ fn tmr_integrity(
         let mut sources = Vec::new();
         for &net in sels {
             match netlist.driver(net) {
-                Some(id)
-                    if matches!(netlist.cell(id).kind, CellKind::Register { .. }) =>
-                {
+                Some(id) if matches!(netlist.cell(id).kind, CellKind::Register { .. }) => {
                     sources.push(id);
                 }
-                _ => violations
-                    .push(format!("voter `{}` input is not a register output", cell.name)),
+                _ => {
+                    violations.push(format!("voter `{}` input is not a register output", cell.name))
+                }
             }
         }
         sources.dedup();
         if sources.len() != 3 {
-            violations.push(format!(
-                "voter `{}` does not read three distinct replicas",
-                cell.name
-            ));
+            violations.push(format!("voter `{}` does not read three distinct replicas", cell.name));
             continue;
         }
         // Semantic check: output == MAJ3 of its inputs, with registers
@@ -372,10 +368,7 @@ fn tmr_integrity(
 ///
 /// A detector knocked out (stuck at 0) or disconnected from the OR
 /// reduction passes plain equivalence; this check kills both.
-fn parity_integrity(
-    netlist: &Netlist,
-    opts: &EquivOptions,
-) -> Result<Vec<String>, EquivError> {
+fn parity_integrity(netlist: &Netlist, opts: &EquivOptions) -> Result<Vec<String>, EquivError> {
     let mut violations = Vec::new();
     let mut aig = Aig::new();
     let inputs = fresh_inputs(&mut aig, netlist);
@@ -534,8 +527,74 @@ pub fn shift_add_case(
     ))
 }
 
+/// Checker 4: `stitch(partition(n))` vs. the unsplit netlist.
+///
+/// Exact structural equality is already asserted by the partition
+/// crate's own tests; this obligation is the *semantic* one — it keeps
+/// holding even if `stitch` is later allowed to renumber or
+/// re-canonicalize, and its coverage checks catch a cut that drops or
+/// duplicates logic the fault-free machine never exercises.
+///
+/// # Errors
+///
+/// Propagates build and lowering failures; partitioning failures
+/// surface as [`EquivError::Shape`].
+pub fn partition_case(design: Design, parts: usize) -> Result<CaseReport, EquivError> {
+    let built = design.build()?;
+    let cut =
+        dwt_partition::partition(&built.netlist, parts, &dwt_partition::CutOptions::default())
+            .map_err(|e| EquivError::Shape(format!("partition into {parts} failed: {e}")))?;
+    let stitched = dwt_partition::stitch(&cut)
+        .map_err(|e| EquivError::Shape(format!("stitch of {parts}-way cut failed: {e}")))?;
+
+    let mut violations = Vec::new();
+    if cut.parts() != parts {
+        violations.push(format!("requested {parts} shards, got {}", cut.parts()));
+    }
+    let sharded: usize = cut.shards.iter().map(|s| s.cells.len()).sum();
+    if sharded != built.netlist.cell_count() {
+        violations.push(format!(
+            "shards hold {sharded} cells, original has {}",
+            built.netlist.cell_count()
+        ));
+    }
+    let mut seen = vec![false; built.netlist.cell_count()];
+    for shard in &cut.shards {
+        for &id in &shard.cells {
+            if std::mem::replace(&mut seen[id.index()], true) {
+                violations.push(format!("cell {} appears in two shards", id.index()));
+            }
+        }
+    }
+    let mut owned: BTreeMap<&str, usize> = BTreeMap::new();
+    for shard in &cut.shards {
+        for port in &shard.outputs {
+            *owned.entry(port.as_str()).or_insert(0) += 1;
+        }
+    }
+    for port in built.netlist.ports().values() {
+        if port.direction != dwt_rtl::netlist::PortDirection::Output {
+            continue;
+        }
+        match owned.get(port.name.as_str()) {
+            Some(1) => {}
+            Some(n) => violations.push(format!("output `{}` owned by {n} shards", port.name)),
+            None => violations.push(format!("output `{}` owned by no shard", port.name)),
+        }
+    }
+
+    let opts = opts_for(&built.netlist);
+    let verdict = prove(&built.netlist, &stitched, &opts)?;
+    Ok(verdict_report(
+        format!("partition/{}/{parts}-way", design_slug(design)),
+        Checker::Partition,
+        verdict,
+        violations,
+    ))
+}
+
 /// The full standing obligation set, as `(checker, runner)` inputs:
-/// backend 5×3, hardening 5×2, shift-add 6×3.
+/// backend 5×3, hardening 5×2, shift-add 6×3, partition 5×3.
 #[must_use]
 pub fn backend_matrix() -> Vec<(Design, Hardening)> {
     let mut cases = Vec::new();
@@ -572,6 +631,18 @@ pub fn shift_add_matrix() -> Vec<(String, Q2x8, Recoding)> {
     cases
 }
 
+/// The partition matrix: every design × the campaign's shard counts.
+#[must_use]
+pub fn partition_matrix() -> Vec<(Design, usize)> {
+    let mut cases = Vec::new();
+    for d in Design::all() {
+        for parts in [2usize, 4, 8] {
+            cases.push((d, parts));
+        }
+    }
+    cases
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,9 +670,18 @@ mod tests {
     }
 
     #[test]
+    fn partition_cases_prove_design2() {
+        for parts in [2usize, 4] {
+            let report = partition_case(Design::D2, parts).expect("runs");
+            assert!(report.pass, "{}: {}", report.case, report.detail);
+        }
+    }
+
+    #[test]
     fn matrices_have_expected_shapes() {
         assert_eq!(backend_matrix().len(), 15);
         assert_eq!(hardening_matrix().len(), 10);
         assert_eq!(shift_add_matrix().len(), 18);
+        assert_eq!(partition_matrix().len(), 15);
     }
 }

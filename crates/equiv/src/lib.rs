@@ -15,7 +15,7 @@
 //! fallback — so retimed pipelines (the paper's Table 3 depth
 //! variants) are proved by register mapping rather than rejected.
 //!
-//! Three standing checker families ([`cases`]) cover the places the
+//! Four standing checker families ([`cases`]) cover the places the
 //! workspace keeps two representations of one function:
 //!
 //! 1. the [`dwt_rtl::compile`] op program (back-translated) vs. its
@@ -25,7 +25,9 @@
 //!    vote, replicas hold lockstep, detectors can fire and reach
 //!    `fault_detect`) that catch what fault-free equivalence cannot,
 //! 3. shift-add recoded multipliers vs. behavioral constant
-//!    multiplication at the Q2.8 formats of Table 1.
+//!    multiplication at the Q2.8 formats of Table 1,
+//! 4. `dwt_partition::stitch(partition(n))` vs. the unsplit netlist,
+//!    for every design × shard count the partition campaign sweeps.
 //!
 //! Every disproof is replayed concretely on both `Engine` backends and
 //! greedily minimized into a directed test ([`replay`]); a mutation
@@ -46,8 +48,8 @@ pub mod seq;
 pub mod sweep;
 
 pub use cases::{
-    backend_case, backend_matrix, hardening_case, hardening_integrity, hardening_matrix,
-    opts_for, shift_add_case, shift_add_matrix, CaseReport, Checker,
+    backend_case, backend_matrix, hardening_case, hardening_integrity, hardening_matrix, opts_for,
+    partition_case, partition_matrix, shift_add_case, shift_add_matrix, CaseReport, Checker,
 };
 pub use mutate::{run_campaign, CampaignReport, EquivMutation, MutantOutcome};
 pub use replay::{replay_counterexample, ReplayReport};

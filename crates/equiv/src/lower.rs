@@ -196,10 +196,7 @@ pub fn fresh_inputs(aig: &mut Aig, netlist: &Netlist) -> BTreeMap<String, Vec<Li
     let mut map = BTreeMap::new();
     for port in netlist.ports().values() {
         if port.direction == PortDirection::Input {
-            map.insert(
-                port.name.clone(),
-                (0..port.bus.width()).map(|_| aig.input()).collect(),
-            );
+            map.insert(port.name.clone(), (0..port.bus.width()).map(|_| aig.input()).collect());
         }
     }
     map
@@ -238,11 +235,7 @@ pub fn fresh_state(aig: &mut Aig, netlist: &Netlist) -> Vec<Vec<Lit>> {
 /// sequential checker uses for correspondence diagnostics.
 #[must_use]
 pub fn register_names(netlist: &Netlist) -> Vec<String> {
-    netlist
-        .registers()
-        .iter()
-        .map(|&id| netlist.cell(id).name.clone())
-        .collect()
+    netlist.registers().iter().map(|&id| netlist.cell(id).name.clone()).collect()
 }
 
 #[cfg(test)]

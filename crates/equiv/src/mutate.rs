@@ -117,12 +117,8 @@ pub fn miswire_adder(netlist: &Netlist, target: &str) -> Option<Netlist> {
     })?;
     let mut cells = netlist.cells().to_vec();
     let kind = match cells[idx].kind.clone() {
-        CellKind::CarryAdd { a, b, out } => {
-            CellKind::CarryAdd { a: swap_adjacent(&a)?, b, out }
-        }
-        CellKind::CarrySub { a, b, out } => {
-            CellKind::CarrySub { a: swap_adjacent(&a)?, b, out }
-        }
+        CellKind::CarryAdd { a, b, out } => CellKind::CarryAdd { a: swap_adjacent(&a)?, b, out },
+        CellKind::CarrySub { a, b, out } => CellKind::CarrySub { a: swap_adjacent(&a)?, b, out },
         _ => unreachable!(),
     };
     cells[idx].kind = kind;
@@ -133,9 +129,10 @@ pub fn miswire_adder(netlist: &Netlist, target: &str) -> Option<Netlist> {
 /// register.
 #[must_use]
 pub fn miswire_register(netlist: &Netlist, target: &str) -> Option<Netlist> {
-    let idx = netlist.cells().iter().position(|c| {
-        c.name.contains(target) && matches!(c.kind, CellKind::Register { .. })
-    })?;
+    let idx = netlist
+        .cells()
+        .iter()
+        .position(|c| c.name.contains(target) && matches!(c.kind, CellKind::Register { .. }))?;
     let mut cells = netlist.cells().to_vec();
     let CellKind::Register { d, q } = cells[idx].kind.clone() else { unreachable!() };
     cells[idx].kind = CellKind::Register { d: swap_adjacent(&d)?, q };
@@ -146,15 +143,13 @@ pub fn miswire_register(netlist: &Netlist, target: &str) -> Option<Netlist> {
 /// input — functionally invisible while all replicas agree.
 #[must_use]
 pub fn bypass_voter(netlist: &Netlist, target: &str) -> Option<Netlist> {
-    let idx = netlist.cells().iter().position(|c| {
-        c.name.contains(target) && matches!(c.kind, CellKind::Lut { .. })
-    })?;
+    let idx = netlist
+        .cells()
+        .iter()
+        .position(|c| c.name.contains(target) && matches!(c.kind, CellKind::Lut { .. }))?;
     let mut cells = netlist.cells().to_vec();
-    let CellKind::Lut { inputs, output, .. } = cells[idx].kind.clone() else {
-        unreachable!()
-    };
-    cells[idx].kind =
-        CellKind::Lut { inputs: vec![*inputs.first()?], table: tables::BUF1, output };
+    let CellKind::Lut { inputs, output, .. } = cells[idx].kind.clone() else { unreachable!() };
+    cells[idx].kind = CellKind::Lut { inputs: vec![*inputs.first()?], table: tables::BUF1, output };
     Some(rebuild(netlist, cells))
 }
 
@@ -162,13 +157,12 @@ pub fn bypass_voter(netlist: &Netlist, target: &str) -> Option<Netlist> {
 /// fault detection silently dies, data path untouched.
 #[must_use]
 pub fn bypass_detector(netlist: &Netlist, target: &str) -> Option<Netlist> {
-    let idx = netlist.cells().iter().position(|c| {
-        c.name.contains(target) && matches!(c.kind, CellKind::Lut { .. })
-    })?;
+    let idx = netlist
+        .cells()
+        .iter()
+        .position(|c| c.name.contains(target) && matches!(c.kind, CellKind::Lut { .. }))?;
     let mut cells = netlist.cells().to_vec();
-    let CellKind::Lut { inputs, output, .. } = cells[idx].kind.clone() else {
-        unreachable!()
-    };
+    let CellKind::Lut { inputs, output, .. } = cells[idx].kind.clone() else { unreachable!() };
     cells[idx].kind = CellKind::Lut { inputs: vec![*inputs.first()?], table: 0, output };
     Some(rebuild(netlist, cells))
 }
@@ -309,10 +303,7 @@ pub fn run_campaign(designs: &[Design], opts: &EquivOptions) -> Result<CampaignR
     for &design in designs {
         for hardening in [Hardening::None, Hardening::Tmr, Hardening::Parity] {
             let reference = design.build_hardened(hardening)?.netlist;
-            let opts = EquivOptions {
-                ignore_outputs: opts.ignore_outputs.clone(),
-                ..opts.clone()
-            };
+            let opts = EquivOptions { ignore_outputs: opts.ignore_outputs.clone(), ..opts.clone() };
             for mutation in mutation_plan(hardening) {
                 let id = format!(
                     "{}/{:?}/{}",
@@ -320,8 +311,7 @@ pub fn run_campaign(designs: &[Design], opts: &EquivOptions) -> Result<CampaignR
                     hardening,
                     mutation.name()
                 );
-                let Some(mutant) = mutation.apply(&reference, mutation.default_target())
-                else {
+                let Some(mutant) = mutation.apply(&reference, mutation.default_target()) else {
                     outcomes.push(MutantOutcome {
                         mutant: id,
                         applied: false,
@@ -363,8 +353,7 @@ mod tests {
         let mutant = EquivMutation::MiswireAdder
             .apply(&reference, "alpha_pair")
             .expect("alpha adder exists");
-        let verdict =
-            prove(&reference, &mutant, &EquivOptions::default()).expect("checkable");
+        let verdict = prove(&reference, &mutant, &EquivOptions::default()).expect("checkable");
         assert!(
             matches!(verdict, Verdict::Inequivalent(_)),
             "miswired operand bits must change behavior: {verdict:?}"
@@ -373,13 +362,8 @@ mod tests {
 
     #[test]
     fn voter_bypass_is_invisible_to_equivalence_but_killed_by_integrity() {
-        let reference = Design::D2
-            .build_hardened(Hardening::Tmr)
-            .expect("build")
-            .netlist;
-        let mutant = EquivMutation::BypassVoter
-            .apply(&reference, "_vote")
-            .expect("voters exist");
+        let reference = Design::D2.build_hardened(Hardening::Tmr).expect("build").netlist;
+        let mutant = EquivMutation::BypassVoter.apply(&reference, "_vote").expect("voters exist");
         let opts = EquivOptions::default();
         // The fault-free machines agree — sampled simulation sees
         // nothing.
@@ -387,15 +371,13 @@ mod tests {
             simulate_only(&reference, &mutant, &opts).expect("simulates").is_none(),
             "a bypassed voter is functionally invisible while replicas agree"
         );
-        let violations =
-            hardening_integrity(&mutant, Hardening::Tmr, &opts).expect("checkable");
+        let violations = hardening_integrity(&mutant, Hardening::Tmr, &opts).expect("checkable");
         assert!(!violations.is_empty(), "integrity obligations must object");
     }
 
     #[test]
     fn campaign_on_design2_kills_everything() {
-        let report =
-            run_campaign(&[Design::D2], &EquivOptions::default()).expect("campaign runs");
+        let report = run_campaign(&[Design::D2], &EquivOptions::default()).expect("campaign runs");
         assert!(report.applied >= 8, "plan should find its targets");
         for o in &report.outcomes {
             assert!(o.applied, "{}: target missing", o.mutant);

@@ -49,14 +49,12 @@ fn drive<E: Engine>(
     frames: &[BTreeMap<String, i64>],
     port: &str,
 ) -> Result<Vec<i64>, EquivError> {
-    let mut engine = E::from_netlist(netlist.clone())
-        .map_err(|e| EquivError::Engine(e.to_string()))?;
+    let mut engine =
+        E::from_netlist(netlist.clone()).map_err(|e| EquivError::Engine(e.to_string()))?;
     let mut samples = Vec::with_capacity(frames.len());
     for frame in frames {
         for (name, &value) in frame {
-            engine
-                .set_input(name, value)
-                .map_err(|e| EquivError::Engine(e.to_string()))?;
+            engine.set_input(name, value).map_err(|e| EquivError::Engine(e.to_string()))?;
         }
         engine.try_settle().map_err(|e| EquivError::Engine(e.to_string()))?;
         samples.push(engine.peek(port).map_err(|e| EquivError::Engine(e.to_string()))?);
@@ -75,12 +73,7 @@ fn first_split<E: Engine>(
 ) -> Result<Option<(usize, i64, i64)>, EquivError> {
     let va = drive::<E>(a, frames, port)?;
     let vb = drive::<E>(b, frames, port)?;
-    Ok(va
-        .iter()
-        .zip(&vb)
-        .enumerate()
-        .find(|(_, (x, y))| x != y)
-        .map(|(i, (&x, &y))| (i, x, y)))
+    Ok(va.iter().zip(&vb).enumerate().find(|(_, (x, y))| x != y).map(|(i, (&x, &y))| (i, x, y)))
 }
 
 /// Replays a counterexample on both backends and minimizes it.
@@ -131,12 +124,9 @@ pub fn replay_counterexample(
     let compiled_split = first_split::<CompiledEngine>(a, b, &frames, &cex.port)?;
 
     let minimized = match event_split {
-        Some((frame, va, vb)) => CounterExample {
-            frames: frames.clone(),
-            port: cex.port.clone(),
-            frame,
-            got: (va, vb),
-        },
+        Some((frame, va, vb)) => {
+            CounterExample { frames: frames.clone(), port: cex.port.clone(), frame, got: (va, vb) }
+        }
         None => cex.clone(),
     };
     Ok(ReplayReport {
@@ -185,11 +175,7 @@ mod tests {
         // Minimization keeps a valid mismatch and the off-by-one
         // splits even on all-zero inputs, so everything zeroes out.
         assert!(report.minimized.frames.len() <= cex.frames.len());
-        let all_zero = report
-            .minimized
-            .frames
-            .iter()
-            .all(|f| f.values().all(|&v| v == 0));
+        let all_zero = report.minimized.frames.iter().all(|f| f.values().all(|&v| v == 0));
         assert!(all_zero, "0 + 0 != 0 + 0 + 1 already distinguishes the designs");
     }
 }

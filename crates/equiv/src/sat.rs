@@ -378,11 +378,7 @@ impl Solver {
         }
         // Backtrack to the highest level among the other literals and
         // keep one literal of that level in watch slot 1.
-        let bt = learnt[1..]
-            .iter()
-            .map(|l| self.level[l.var() as usize])
-            .max()
-            .unwrap_or(0);
+        let bt = learnt[1..].iter().map(|l| self.level[l.var() as usize]).max().unwrap_or(0);
         if learnt.len() > 1 {
             let pos = learnt[1..]
                 .iter()
@@ -564,10 +560,7 @@ mod tests {
         for h in 0..2 {
             for p1 in 0..3 {
                 for p2 in (p1 + 1)..3 {
-                    s.add_clause(&[
-                        SLit::new(v[p1 * 2 + h], true),
-                        SLit::new(v[p2 * 2 + h], true),
-                    ]);
+                    s.add_clause(&[SLit::new(v[p1 * 2 + h], true), SLit::new(v[p2 * 2 + h], true)]);
                 }
             }
         }
@@ -605,8 +598,7 @@ mod tests {
         let holes = 6usize;
         let v: Vec<u32> = (0..n * holes).map(|_| s.new_var()).collect();
         for p in 0..n {
-            let clause: Vec<SLit> =
-                (0..holes).map(|h| SLit::pos(v[p * holes + h])).collect();
+            let clause: Vec<SLit> = (0..holes).map(|h| SLit::pos(v[p * holes + h])).collect();
             s.add_clause(&clause);
         }
         for h in 0..holes {

@@ -180,9 +180,7 @@ fn compared_outputs(
     let ia = sig(a, PortDirection::Input);
     let ib = sig(b, PortDirection::Input);
     if ia != ib {
-        return Err(EquivError::Shape(format!(
-            "input interfaces differ: {ia:?} vs {ib:?}"
-        )));
+        return Err(EquivError::Shape(format!("input interfaces differ: {ia:?} vs {ib:?}")));
     }
     let oa = sig(a, PortDirection::Output);
     let ob = sig(b, PortDirection::Output);
@@ -201,18 +199,12 @@ fn compared_outputs(
         }
     }
     if compared.is_empty() {
-        return Err(EquivError::Shape(
-            "no common output ports to compare".to_owned(),
-        ));
+        return Err(EquivError::Shape("no common output ports to compare".to_owned()));
     }
     Ok(compared)
 }
 
-fn build_product(
-    a: &Netlist,
-    b: &Netlist,
-    opts: &EquivOptions,
-) -> Result<Product, EquivError> {
+fn build_product(a: &Netlist, b: &Netlist, opts: &EquivOptions) -> Result<Product, EquivError> {
     let compared = compared_outputs(a, b, opts)?;
     let mut aig = Aig::new();
     let inputs = fresh_inputs(&mut aig, a);
@@ -226,15 +218,9 @@ fn build_product(
     let state_b = fresh_state(&mut aig, b);
     let frame_a = lower_frame(&mut aig, a, &inputs, &state_a)?;
     let frame_b = lower_frame(&mut aig, b, &inputs, &state_b)?;
-    let state_lits: Vec<Lit> =
-        state_a.iter().chain(&state_b).flatten().copied().collect();
-    let next_lits: Vec<Lit> = frame_a
-        .reg_next
-        .iter()
-        .chain(&frame_b.reg_next)
-        .flatten()
-        .copied()
-        .collect();
+    let state_lits: Vec<Lit> = state_a.iter().chain(&state_b).flatten().copied().collect();
+    let next_lits: Vec<Lit> =
+        frame_a.reg_next.iter().chain(&frame_b.reg_next).flatten().copied().collect();
     Ok(Product { aig, inputs, input_order, state_lits, next_lits, frame_a, frame_b, compared })
 }
 
@@ -292,10 +278,7 @@ fn extract_sim_cex(
     cycle: usize,
     lane: u32,
 ) -> CounterExample {
-    let frames = history
-        .iter()
-        .map(|in_words| lane_inputs(product, in_words, lane))
-        .collect();
+    let frames = history.iter().map(|in_words| lane_inputs(product, in_words, lane)).collect();
     let (mut va, mut vb) = (0i64, 0i64);
     for i in 0..width {
         let la = product.frame_a.outputs[port][i];
@@ -385,11 +368,9 @@ fn sweep_internal(
     let mut rng = Lcg(opts.seed ^ 0x5357_4545_5021_3730);
     let mut sigs: Vec<[u64; ROUNDS]> = vec![[0; ROUNDS]; product.aig.num_vars()];
     for round in 0..ROUNDS {
-        let mut words: Vec<u64> =
-            (0..n_inputs_total).map(|_| rng.next_u64()).collect();
+        let mut words: Vec<u64> = (0..n_inputs_total).map(|_| rng.next_u64()).collect();
         for class in classes {
-            let repr_word =
-                if class[0] == usize::MAX { 0 } else { words[n_in + class[0]] };
+            let repr_word = if class[0] == usize::MAX { 0 } else { words[n_in + class[0]] };
             for &m in class {
                 if m != usize::MAX {
                     words[n_in + m] = repr_word;
@@ -424,8 +405,7 @@ fn sweep_internal(
             Entry::Occupied(e) => {
                 let repr = *e.get();
                 if repr != lit
-                    && sweeper.prove_equal(&mut product.aig, repr, lit, per_pair)
-                        == Prove::Proved
+                    && sweeper.prove_equal(&mut product.aig, repr, lit, per_pair) == Prove::Proved
                 {
                     sweeper.assume_equal(&product.aig, repr, lit);
                 }
@@ -461,22 +441,17 @@ fn try_induction(
     // Obligations: classes are preserved by one transition…
     let mut obligations: Vec<(Lit, Lit)> = Vec::new();
     for class in classes {
-        let repr_next = if class[0] == usize::MAX {
-            Lit::FALSE
-        } else {
-            product.next_lits[class[0]]
-        };
+        let repr_next =
+            if class[0] == usize::MAX { Lit::FALSE } else { product.next_lits[class[0]] };
         for &m in &class[1..] {
-            let m_next =
-                if m == usize::MAX { Lit::FALSE } else { product.next_lits[m] };
+            let m_next = if m == usize::MAX { Lit::FALSE } else { product.next_lits[m] };
             obligations.push((repr_next, m_next));
         }
     }
     // …and every compared output bit agrees.
     for (port, width) in &product.compared {
         for i in 0..*width {
-            obligations
-                .push((product.frame_a.outputs[port][i], product.frame_b.outputs[port][i]));
+            obligations.push((product.frame_a.outputs[port][i], product.frame_b.outputs[port][i]));
         }
     }
     // Prove every obligation, batching refutations: each spurious
@@ -501,14 +476,10 @@ fn try_induction(
                 // its successor: evaluate the next-state cones and
                 // keep the pattern if it splits any class.
                 let model = sweeper.input_model(&product.aig);
-                let words: Vec<u64> =
-                    model.iter().map(|&b| u64::from(b)).collect();
+                let words: Vec<u64> = model.iter().map(|&b| u64::from(b)).collect();
                 let evald = product.aig.eval(&words);
-                let pattern: Vec<u64> = product
-                    .next_lits
-                    .iter()
-                    .map(|&l| Aig::lit_word(&evald, l) & 1)
-                    .collect();
+                let pattern: Vec<u64> =
+                    product.next_lits.iter().map(|&l| Aig::lit_word(&evald, l) & 1).collect();
                 let splits = classes.iter().any(|class| {
                     let val = |idx: usize| -> u64 {
                         if idx == usize::MAX {
@@ -590,12 +561,8 @@ fn extract_bmc_cex(unrolled: &Unrolled, frame: usize) -> CounterExample {
     let model = unrolled.sweeper.input_model(&unrolled.aig);
     let value_of = |lit: Lit| -> bool {
         // Inputs carry their model bit; anything else evaluates below.
-        let pos = unrolled
-            .aig
-            .inputs()
-            .iter()
-            .position(|&v| v == lit.var())
-            .expect("input literal");
+        let pos =
+            unrolled.aig.inputs().iter().position(|&v| v == lit.var()).expect("input literal");
         model[pos] != lit.is_negated()
     };
     let mut frames = Vec::new();
@@ -632,9 +599,7 @@ fn extract_bmc_cex(unrolled: &Unrolled, frame: usize) -> CounterExample {
                 }
                 differ |= ba != bb;
             }
-            differ.then(|| {
-                (port.clone(), (sign_extend(va, la.len()), sign_extend(vb, la.len())))
-            })
+            differ.then(|| (port.clone(), (sign_extend(va, la.len()), sign_extend(vb, la.len()))))
         })
         .expect("a satisfied miter names a differing port");
     CounterExample { frames, port, frame, got }
@@ -777,11 +742,15 @@ pub fn prove(a: &Netlist, b: &Netlist, opts: &EquivOptions) -> Result<Verdict, E
     let max_refinements = product.state_lits.len() + 8;
     loop {
         let classes = partition(&streams);
-        debug_log(|| format!("induction attempt: {} classes, refinement {refinements}", classes.len()));
+        debug_log(|| {
+            format!("induction attempt: {} classes, refinement {refinements}", classes.len())
+        });
         match try_induction(&mut product, &classes, opts) {
             Ok(Ok(proof)) => return Ok(Verdict::Equivalent(proof)),
             Ok(Err(failure)) => {
-                debug_log(|| format!("  induction failed: {} splitting patterns", failure.patterns.len()));
+                debug_log(|| {
+                    format!("  induction failed: {} splitting patterns", failure.patterns.len())
+                });
                 if failure.patterns.is_empty() || refinements >= max_refinements {
                     break; // cannot refine further: fall through to BMC
                 }
@@ -888,8 +857,8 @@ mod tests {
             b.output("out", &r2).expect("output");
             b.finish().expect("valid")
         };
-        let verdict = prove(&behavioral_pipe(), &deeper, &EquivOptions::default())
-            .expect("checkable");
+        let verdict =
+            prove(&behavioral_pipe(), &deeper, &EquivOptions::default()).expect("checkable");
         assert!(
             matches!(verdict, Verdict::Inequivalent(_)),
             "latency mismatch must not be waved through: {verdict:?}"
@@ -906,8 +875,8 @@ mod tests {
             b.output("out", &sum).expect("output");
             b.finish().expect("valid")
         };
-        let verdict = prove(&behavioral_pipe(), &retimed, &EquivOptions::default())
-            .expect("checkable");
+        let verdict =
+            prove(&behavioral_pipe(), &retimed, &EquivOptions::default()).expect("checkable");
         assert!(verdict.is_equivalent(), "retiming must be accepted: {verdict:?}");
     }
 

@@ -18,9 +18,9 @@ use dwt_arch::designs::Design;
 use dwt_equiv::mutate::{miswire_adder, miswire_register};
 use dwt_equiv::seq::{prove, simulate_only, EquivOptions, Verdict};
 use dwt_equiv::{opts_for, replay_counterexample};
+use dwt_rtl::builder::NetlistBuilder;
 use dwt_rtl::cell::{tables, CellKind};
 use dwt_rtl::net::Bus;
-use dwt_rtl::builder::NetlistBuilder;
 use dwt_rtl::netlist::Netlist;
 
 /// Cell names in `netlist` that the miswire accepts: behavioral

@@ -110,12 +110,7 @@ pub fn pack(netlist: &Netlist, mapped: &MappedNetlist) -> Floorplan {
     }
 
     let les_used: usize = chains.iter().sum::<usize>() + loose;
-    Floorplan {
-        labs,
-        les_used,
-        fragmentation_les: fragmentation,
-        longest_chain,
-    }
+    Floorplan { labs, les_used, fragmentation_les: fragmentation, longest_chain }
 }
 
 #[cfg(test)]

@@ -102,10 +102,7 @@ mod tests {
     #[test]
     fn report_fields_are_consistent() {
         let r = sample();
-        assert_eq!(
-            r.les,
-            r.les_carry_chain + r.les_full_adder + r.les_standalone_ff + r.les_lut
-        );
+        assert_eq!(r.les, r.les_carry_chain + r.les_full_adder + r.les_standalone_ff + r.les_lut);
         assert!(r.fmax_mhz > 0.0);
         assert!((r.fmax_mhz - 1000.0 / r.critical_path_ns).abs() < 1e-9);
     }

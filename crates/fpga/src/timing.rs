@@ -103,9 +103,7 @@ pub fn analyze(netlist: &Netlist, timing: &Timing) -> TimingReport {
                 let worst = inputs
                     .iter()
                     .copied()
-                    .max_by(|&a, &b| {
-                        arr(&arrival, a).total_cmp(&arr(&arrival, b))
-                    })
+                    .max_by(|&a, &b| arr(&arrival, a).total_cmp(&arr(&arrival, b)))
                     .expect("luts have inputs");
                 let t = arr(&arrival, worst) + timing.t_route_ns + timing.t_lut_ns;
                 let d = inputs.iter().map(|&n| dep(&depth, n)).max().unwrap_or(0) + 1;
@@ -119,10 +117,7 @@ pub fn analyze(netlist: &Netlist, timing: &Timing) -> TimingReport {
                 let t_ab = arr(&arrival, *a).max(arr(&arrival, *b)) + timing.t_route_ns;
                 let t_c = arr(&arrival, *cin) + timing.t_route_local_ns;
                 let base = t_ab.max(t_c);
-                let d = dep(&depth, *a)
-                    .max(dep(&depth, *b))
-                    .max(dep(&depth, *cin))
-                    + 1;
+                let d = dep(&depth, *a).max(dep(&depth, *b)).max(dep(&depth, *cin)) + 1;
                 let worst = if t_c > t_ab {
                     *cin
                 } else if arr(&arrival, *a) >= arr(&arrival, *b) {
@@ -402,11 +397,7 @@ mod path_tests {
         // multiplier tree), matching the printed Table 3 analysis.
         let built = dwt_arch_stub::d2();
         let r = analyze(&built, &Device::apex20ke().timing);
-        assert!(
-            r.critical_cells.iter().any(|n| n.contains("beta")),
-            "{:?}",
-            r.critical_cells
-        );
+        assert!(r.critical_cells.iter().any(|n| n.contains("beta")), "{:?}", r.critical_cells);
     }
 
     /// Builds Design 2's netlist without a circular dev-dependency on

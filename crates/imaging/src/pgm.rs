@@ -70,10 +70,7 @@ pub fn write_pgm<W: Write>(image: &Grid<i32>, mut w: W) -> io::Result<()> {
     writeln!(w, "P5")?;
     writeln!(w, "{cols} {rows}")?;
     writeln!(w, "255")?;
-    let bytes: Vec<u8> = image
-        .iter()
-        .map(|&v| (v + 128).clamp(0, 255) as u8)
-        .collect();
+    let bytes: Vec<u8> = image.iter().map(|&v| (v + 128).clamp(0, 255) as u8).collect();
     w.write_all(&bytes)
 }
 
@@ -114,9 +111,8 @@ pub fn read_pgm<R: Read>(r: R) -> Result<Grid<i32>, PgmError> {
                 c => tok.push(c as char),
             }
         }
-        let value: usize = tok
-            .parse()
-            .map_err(|_| PgmError::Format(format!("bad header token '{tok}'")))?;
+        let value: usize =
+            tok.parse().map_err(|_| PgmError::Format(format!("bad header token '{tok}'")))?;
         header_fields.push(value);
     }
     let (cols, rows, maxval) = (header_fields[0], header_fields[1], header_fields[2]);
@@ -132,9 +128,7 @@ pub fn read_pgm<R: Read>(r: R) -> Result<Grid<i32>, PgmError> {
         let mut text = String::new();
         reader.read_to_string(&mut text)?;
         for tok in text.split_ascii_whitespace().take(rows * cols) {
-            let v: i32 = tok
-                .parse()
-                .map_err(|_| PgmError::Format(format!("bad pixel '{tok}'")))?;
+            let v: i32 = tok.parse().map_err(|_| PgmError::Format(format!("bad pixel '{tok}'")))?;
             data.push(v.clamp(0, 255) - 128);
         }
     } else {
@@ -185,10 +179,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert!(matches!(
-            read_pgm(b"P6\n1 1\n255\nx".as_slice()),
-            Err(PgmError::Format(_))
-        ));
+        assert!(matches!(read_pgm(b"P6\n1 1\n255\nx".as_slice()), Err(PgmError::Format(_))));
     }
 
     #[test]

@@ -44,11 +44,7 @@ pub fn analyze(image: &Grid<i32>) -> ImageStats {
     assert!(rows > 0 && cols >= 2, "image too small for statistics");
     let n = (rows * cols) as f64;
     let mean = image.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
-    let variance = image
-        .iter()
-        .map(|&v| (f64::from(v) - mean).powi(2))
-        .sum::<f64>()
-        / n;
+    let variance = image.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n;
     let min = image.iter().min().copied().expect("non-empty");
     let max = image.iter().max().copied().expect("non-empty");
 
@@ -116,9 +112,7 @@ mod tests {
             z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
             z ^ (z >> 31)
         };
-        let data: Vec<i32> = (0..64 * 64u64)
-            .map(|i| (splitmix(i) % 256) as i32 - 128)
-            .collect();
+        let data: Vec<i32> = (0..64 * 64u64).map(|i| (splitmix(i) % 256) as i32 - 128).collect();
         let img = Grid::from_vec(64, 64, data).unwrap();
         let s = analyze(&img);
         assert!(s.diff_entropy_bits > 0.9 * s.entropy_bits);
@@ -126,9 +120,8 @@ mod tests {
 
     #[test]
     fn checkerboard_statistics() {
-        let data: Vec<i32> = (0..16 * 16)
-            .map(|i| if (i / 16 + i % 16) % 2 == 0 { 100 } else { -100 })
-            .collect();
+        let data: Vec<i32> =
+            (0..16 * 16).map(|i| if (i / 16 + i % 16) % 2 == 0 { 100 } else { -100 }).collect();
         let img = Grid::from_vec(16, 16, data).unwrap();
         let s = analyze(&img);
         assert_eq!(s.mean, 0.0);

@@ -38,14 +38,7 @@ impl StillToneImage {
     /// Starts a builder for an image of the given dimensions.
     #[must_use]
     pub fn new(rows: usize, cols: usize) -> Self {
-        StillToneImage {
-            rows,
-            cols,
-            seed: 2005,
-            blobs: 6,
-            edges: 3,
-            texture_amplitude: 3.0,
-        }
+        StillToneImage { rows, cols, seed: 2005, blobs: 6, edges: 3, texture_amplitude: 3.0 }
     }
 
     /// Sets the random seed (images are deterministic per seed).
@@ -138,8 +131,7 @@ impl StillToneImage {
                     let t = (dx * x + dy * y - offset) / 3.0;
                     v += amp / (1.0 + (-t).exp());
                 }
-                v += self.texture_amplitude
-                    * ((tf1 * x + tp).sin() * (tf2 * y).cos());
+                v += self.texture_amplitude * ((tf1 * x + tp).sin() * (tf2 * y).cos());
                 let pixel = v.round().clamp(0.0, 255.0) as i32;
                 data.push(pixel - 128);
             }

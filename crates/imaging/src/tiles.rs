@@ -69,11 +69,7 @@ impl Iterator for Tiles<'_> {
         for r in row0..row0 + nr {
             data.extend_from_slice(&self.image.row(r)[col0..col0 + nc]);
         }
-        Some(Tile {
-            row0,
-            col0,
-            data: Grid::from_vec(nr, nc, data).expect("consistent dims"),
-        })
+        Some(Tile { row0, col0, data: Grid::from_vec(nr, nc, data).expect("consistent dims") })
     }
 }
 
@@ -88,10 +84,7 @@ pub fn assemble(rows: usize, cols: usize, parts: &[Tile]) -> Grid<i32> {
     let mut out = Grid::filled(rows, cols, 0);
     for tile in parts {
         let (nr, nc) = tile.data.dims();
-        assert!(
-            tile.row0 + nr <= rows && tile.col0 + nc <= cols,
-            "tile out of bounds"
-        );
+        assert!(tile.row0 + nr <= rows && tile.col0 + nc <= cols, "tile out of bounds");
         for r in 0..nr {
             let dst_row = out.row_mut(tile.row0 + r);
             dst_row[tile.col0..tile.col0 + nc].copy_from_slice(tile.data.row(r));

@@ -144,8 +144,7 @@ pub fn run(netlist: &Netlist, config: &LintConfig) -> (Vec<Diagnostic>, Option<u
                 rule: RuleId::L004,
                 severity: Severity::Error,
                 locus: Locus::Path(vec![]),
-                message: "sequential feedback loop: no global pipeline schedule exists"
-                    .to_owned(),
+                message: "sequential feedback loop: no global pipeline schedule exists".to_owned(),
                 fix_hint: None,
             }],
             None,
@@ -311,9 +310,7 @@ pub fn run(netlist: &Netlist, config: &LintConfig) -> (Vec<Diagnostic>, Option<u
                             message: format!(
                                 "output latency {d} disagrees with the {prev} seen on other outputs"
                             ),
-                            fix_hint: Some(
-                                "align the outputs with balancing registers".to_owned(),
-                            ),
+                            fix_hint: Some("align the outputs with balancing registers".to_owned()),
                         });
                     }
                     Some(_) => {}
@@ -343,6 +340,98 @@ pub fn run(netlist: &Netlist, config: &LintConfig) -> (Vec<Diagnostic>, Option<u
     (findings, inferred)
 }
 
+/// Solves the same schedule as [`run`] and returns the per-net time
+/// potentials, indexed by [`NetId::index`].
+///
+/// This is the cut-legality oracle for the partitioning pass: a net's
+/// potential says which pipeline stage its word belongs to, so cuts
+/// pinned to ascending potentials fall on register boundaries of the
+/// paper's stage structure. Returns `None` when no consistent global
+/// schedule exists (sequential feedback outside the self-tap waiver,
+/// words from different cycles meeting at one cell, or a sample shift
+/// outside `{0, 1}`). Per-net entries are `None` for nets the solve
+/// never reached (dead logic, constant outputs — constants adapt to
+/// any stage) or whose potential still depends on an unpinned sample
+/// shift. Cells feeding only `balance_exempt_ports` are not checked
+/// for consistency, mirroring [`run`].
+#[must_use]
+pub fn net_stages(netlist: &Netlist, config: &LintConfig) -> Option<Vec<Option<i64>>> {
+    let order = netlist.sequential_topo()?;
+    let relevant = reaches_checked_output(netlist, config);
+    let mut solver = Solver::new();
+    let mut p: Vec<Option<Expr>> = vec![None; netlist.net_count()];
+    for port in netlist.ports().values() {
+        if port.direction == PortDirection::Input {
+            for net in port.bus.bits() {
+                p[net.index()] = Some(Expr::konst(0));
+            }
+        }
+    }
+    for id in order {
+        let cell = netlist.cell(id);
+        if matches!(cell.kind, CellKind::Constant { .. }) {
+            continue;
+        }
+        let step = i64::from(matches!(cell.kind, CellKind::Register { .. }));
+        let tap_newer = self_tap_newer(netlist, &cell.kind);
+        let (checked, out_base): (Vec<NetId>, Option<Expr>) = match &tap_newer {
+            Some((newer, others)) => {
+                let base = newer
+                    .iter()
+                    .find_map(|n| p[n.index()])
+                    .map(|e| solver.resolve(e))
+                    .map(|e| match e.var {
+                        Some(_) => None,
+                        None => Some(Expr { c: e.c, var: Some(solver.fresh(&cell.name)) }),
+                    })
+                    .unwrap_or(None);
+                (others.clone(), base)
+            }
+            None => {
+                let inputs = cell.kind.comb_input_nets();
+                let base = inputs.iter().find_map(|n| p[n.index()]);
+                (inputs, base)
+            }
+        };
+        if let Some(base) = out_base {
+            if relevant[id.index()] {
+                for net in &checked {
+                    if let Some(e) = p[net.index()] {
+                        if solver.equate(base, e).is_err() {
+                            return None;
+                        }
+                    }
+                }
+            }
+            let out = Expr { c: base.c + step, var: base.var };
+            for net in cell.kind.output_nets() {
+                p[net.index()] = Some(out);
+            }
+        }
+    }
+    for v in 0..solver.parent.len() {
+        let (root, d) = solver.find(v);
+        if let Some(val) = solver.value[root] {
+            if !(0..=1).contains(&(val + d)) {
+                return None;
+            }
+        }
+    }
+    Some(
+        p.into_iter()
+            .map(|e| {
+                e.and_then(|e| {
+                    let r = solver.resolve(e);
+                    match r.var {
+                        None => Some(r.c),
+                        Some(_) => None,
+                    }
+                })
+            })
+            .collect(),
+    )
+}
+
 /// Detects the self-tap (two-tap FIR) shape: a 2-operand adder where
 /// one operand is, bit for bit, the register image of the other —
 /// through a plain register, a TMR voter, or a parity-extended
@@ -350,10 +439,7 @@ pub fn run(netlist: &Netlist, config: &LintConfig) -> (Vec<Diagnostic>, Option<u
 /// inputs that must agree with the output (a full adder's carry-in).
 fn self_tap_newer(netlist: &Netlist, kind: &CellKind) -> Option<(Vec<NetId>, Vec<NetId>)> {
     let pairs_up = |a: &[NetId], b: &[NetId]| -> bool {
-        a.len() == b.len()
-            && a.iter()
-                .zip(b)
-                .all(|(&x, &r)| reg_image(netlist, r) == Some(x))
+        a.len() == b.len() && a.iter().zip(b).all(|(&x, &r)| reg_image(netlist, r) == Some(x))
     };
     match kind {
         CellKind::CarryAdd { a, b, .. } | CellKind::CarrySub { a, b, .. } => {
@@ -471,10 +557,47 @@ mod tests {
 
         let (findings, depth) = super::run(&netlist, &LintConfig::default());
         assert_eq!(depth, None);
-        assert!(findings.iter().any(|f| {
-            matches!(&f.locus, crate::diag::Locus::Cell(c) if c == "mix")
-                && f.message.contains("different pipeline cycles")
-        }), "{findings:?}");
+        assert!(
+            findings.iter().any(|f| {
+                matches!(&f.locus, crate::diag::Locus::Cell(c) if c == "mix")
+                    && f.message.contains("different pipeline cycles")
+            }),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn net_stages_recovers_register_boundaries() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 4).unwrap();
+        let r1 = b.register("r1", &x).unwrap();
+        let r2 = b.register("r2", &r1).unwrap();
+        b.output("y", &r2).unwrap();
+        let netlist = b.finish().unwrap();
+
+        let stages = super::net_stages(&netlist, &LintConfig::default()).unwrap();
+        for net in x.bits() {
+            assert_eq!(stages[net.index()], Some(0));
+        }
+        for net in r1.bits() {
+            assert_eq!(stages[net.index()], Some(1));
+        }
+        for net in r2.bits() {
+            assert_eq!(stages[net.index()], Some(2));
+        }
+    }
+
+    #[test]
+    fn net_stages_refuses_an_unbalanced_netlist() {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let r1 = b.register("r1", &x).unwrap();
+        let r2 = b.register("r2", &r1).unwrap();
+        let mix = b.carry_add("mix", &x, &r2, 9).unwrap();
+        b.output("y", &mix).unwrap();
+        let netlist = b.finish().unwrap();
+
+        assert_eq!(super::net_stages(&netlist, &LintConfig::default()), None);
     }
 
     #[test]
@@ -488,9 +611,12 @@ mod tests {
         let config = LintConfig { expected_depth: Some(3), ..LintConfig::default() };
         let (findings, depth) = super::run(&netlist, &config);
         assert_eq!(depth, None);
-        assert!(findings.iter().any(|f| {
-            matches!(&f.locus, crate::diag::Locus::Port(p) if p == "y")
-                && f.message.contains("does not match")
-        }), "{findings:?}");
+        assert!(
+            findings.iter().any(|f| {
+                matches!(&f.locus, crate::diag::Locus::Port(p) if p == "y")
+                    && f.message.contains("does not match")
+            }),
+            "{findings:?}"
+        );
     }
 }

@@ -54,7 +54,11 @@ pub fn run(netlist: &Netlist) -> Vec<Diagnostic> {
                 rule: RuleId::L002,
                 severity: Severity::Error,
                 locus: Locus::Net { net: i as u32, near: drivers[i][0].clone() },
-                message: format!("net driven {} times ({})", drivers[i].len(), drivers[i].join(", ")),
+                message: format!(
+                    "net driven {} times ({})",
+                    drivers[i].len(),
+                    drivers[i].join(", ")
+                ),
                 fix_hint: Some("keep exactly one driver per net".to_owned()),
             });
         }

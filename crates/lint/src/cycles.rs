@@ -28,9 +28,8 @@ pub fn run(netlist: &Netlist) -> Vec<Diagnostic> {
             .filter(|&&net| netlist.driver(net).is_some_and(comb))
             .count() as u32;
     }
-    let mut queue: Vec<usize> = (0..n)
-        .filter(|&i| comb(CellId::from_index(i)) && indegree[i] == 0)
-        .collect();
+    let mut queue: Vec<usize> =
+        (0..n).filter(|&i| comb(CellId::from_index(i)) && indegree[i] == 0).collect();
     let mut peeled = vec![false; n];
     let mut head = 0;
     while head < queue.len() {
@@ -101,10 +100,7 @@ pub fn run(netlist: &Netlist) -> Vec<Diagnostic> {
                 rule: RuleId::L001,
                 severity: Severity::Error,
                 locus: Locus::Path(names),
-                message: format!(
-                    "combinational cycle through {} cell(s)",
-                    cycle.len()
-                ),
+                message: format!("combinational cycle through {} cell(s)", cycle.len()),
                 fix_hint: Some("break the loop with a register".to_owned()),
             });
         }

@@ -79,9 +79,10 @@ fn rebuild(netlist: &Netlist, cells: Vec<Cell>) -> Netlist {
 /// pipeline loses one stage along those paths.
 #[must_use]
 pub fn bypass_register(netlist: &Netlist, target: &str) -> Option<Netlist> {
-    let idx = netlist.cells().iter().position(|c| {
-        c.name.contains(target) && matches!(c.kind, CellKind::Register { .. })
-    })?;
+    let idx = netlist
+        .cells()
+        .iter()
+        .position(|c| c.name.contains(target) && matches!(c.kind, CellKind::Register { .. }))?;
     let mut cells = netlist.cells().to_vec();
     let CellKind::Register { d, q } = cells[idx].kind.clone() else { unreachable!() };
     let name = cells[idx].name.clone();

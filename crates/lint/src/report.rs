@@ -82,12 +82,7 @@ impl fmt::Display for LintReport {
             Some(d) => format!("{d}"),
             None => "?".to_owned(),
         };
-        writeln!(
-            f,
-            "{}: {} finding(s), inferred depth {depth}",
-            self.target,
-            self.findings.len()
-        )?;
+        writeln!(f, "{}: {} finding(s), inferred depth {depth}", self.target, self.findings.len())?;
         for d in &self.findings {
             writeln!(f, "  {d}")?;
         }

@@ -74,8 +74,7 @@ pub fn run(netlist: &Netlist) -> Vec<Diagnostic> {
                 rule: RuleId::L005,
                 severity: Severity::Warning,
                 locus: Locus::Cell(cell.name.clone()),
-                message: "register is unobservable: its output reaches no output port"
-                    .to_owned(),
+                message: "register is unobservable: its output reaches no output port".to_owned(),
                 fix_hint: Some("expose or remove the state".to_owned()),
             });
         }

@@ -157,11 +157,9 @@ pub fn run(netlist: &Netlist, config: &LintConfig) -> Vec<Diagnostic> {
                 let w = out.width();
                 if sum.fits(w) {
                     Some(sum)
-                } else if let Some(anchor) =
-                    pass.config.anchor_for(&cell.name).filter(|a| {
-                        Interval { min: a.min.into(), max: a.max.into(), exact: true }.fits(w)
-                    })
-                {
+                } else if let Some(anchor) = pass.config.anchor_for(&cell.name).filter(|a| {
+                    Interval { min: a.min.into(), max: a.max.into(), exact: true }.fits(w)
+                }) {
                     // Table 1 narrowing: the gain-based range fits even
                     // though naive interval propagation does not.
                     Some(Interval { min: anchor.min.into(), max: anchor.max.into(), exact: true })

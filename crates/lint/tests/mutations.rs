@@ -31,8 +31,7 @@ fn dropped_input_register_breaks_the_tap_schedule() {
     assert_eq!(report.inferred_depth, None);
     assert!(
         report.findings.iter().any(|f| {
-            f.rule == RuleId::L004
-                && matches!(&f.locus, Locus::Cell(c) if c.contains("alpha"))
+            f.rule == RuleId::L004 && matches!(&f.locus, Locus::Cell(c) if c.contains("alpha"))
         }),
         "{report}"
     );
@@ -60,8 +59,7 @@ fn shrunk_adder_truncates_the_value_range() {
     assert!(!report.is_clean());
     assert!(
         report.findings.iter().any(|f| {
-            f.rule == RuleId::L003
-                && matches!(&f.locus, Locus::Cell(c) if c.contains("alpha_pair"))
+            f.rule == RuleId::L003 && matches!(&f.locus, Locus::Cell(c) if c.contains("alpha_pair"))
         }),
         "{report}"
     );

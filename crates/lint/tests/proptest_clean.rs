@@ -128,9 +128,8 @@ fn build(ops: &[Op]) -> (dwt_rtl::netlist::Netlist, usize) {
             None => Node { bus: aligned, latency: depth, lo: n.lo, hi: n.hi },
             Some(acc) => {
                 let (lo, hi) = (acc.lo + n.lo, acc.hi + n.hi);
-                let bus = b
-                    .carry_add(&format!("fold{i}"), &acc.bus, &aligned, bits_for(lo, hi))
-                    .unwrap();
+                let bus =
+                    b.carry_add(&format!("fold{i}"), &acc.bus, &aligned, bits_for(lo, hi)).unwrap();
                 Node { bus, latency: depth, lo, hi }
             }
         });

@@ -1,0 +1,134 @@
+//! Error type for the partitioning pass and the partition runner.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use dwt_rtl::Error as RtlError;
+
+/// Errors from partitioning, stitching, or distributed execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// Zero-way partitions do not exist.
+    BadPartCount {
+        /// The requested part count.
+        parts: usize,
+    },
+    /// The netlist's combinational clusters cannot populate the
+    /// requested number of non-empty shards.
+    TooFewClusters {
+        /// Clusters available.
+        clusters: usize,
+        /// Shards requested.
+        parts: usize,
+    },
+    /// The balance-capped chain split is infeasible even with the cap
+    /// fully relaxed (degenerate cluster structure).
+    UnbalancedCut {
+        /// What made the split infeasible.
+        detail: String,
+    },
+    /// Shard reassembly found the shards inconsistent with the
+    /// original cell/port structure.
+    StitchMismatch {
+        /// What did not line up.
+        detail: String,
+    },
+    /// A per-cycle stimulus vector does not cover the ports or cycle
+    /// count the run needs.
+    Stimulus {
+        /// What was missing or mis-sized.
+        detail: String,
+    },
+    /// Spawning a worker thread failed.
+    Spawn {
+        /// The OS error, stringified.
+        detail: String,
+    },
+    /// Every rung of the degradation ladder failed — partitioned
+    /// execution exhausted its recovery budget, the single-engine
+    /// fallback failed, and no golden fallback was available (or it
+    /// declined).
+    Exhausted {
+        /// The terminal failure, for the post-mortem.
+        detail: String,
+    },
+    /// An underlying netlist/engine error.
+    Rtl(RtlError),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::BadPartCount { parts } => {
+                write!(f, "cannot split a netlist into {parts} parts")
+            }
+            PartitionError::TooFewClusters { clusters, parts } => {
+                write!(f, "only {clusters} combinational clusters available for {parts} shards")
+            }
+            PartitionError::UnbalancedCut { detail } => {
+                write!(f, "no balanced cut exists: {detail}")
+            }
+            PartitionError::StitchMismatch { detail } => {
+                write!(f, "shards do not reassemble: {detail}")
+            }
+            PartitionError::Stimulus { detail } => write!(f, "bad stimulus: {detail}"),
+            PartitionError::Spawn { detail } => {
+                write!(f, "failed to spawn a partition worker: {detail}")
+            }
+            PartitionError::Exhausted { detail } => {
+                write!(f, "all degradation rungs failed: {detail}")
+            }
+            PartitionError::Rtl(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl StdError for PartitionError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            PartitionError::Rtl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RtlError> for PartitionError {
+    fn from(e: RtlError) -> Self {
+        PartitionError::Rtl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_displays_its_payload() {
+        let cases: Vec<(PartitionError, Vec<&str>)> = vec![
+            (PartitionError::BadPartCount { parts: 0 }, vec!["0"]),
+            (PartitionError::TooFewClusters { clusters: 3, parts: 8 }, vec!["3", "8"]),
+            (
+                PartitionError::UnbalancedCut { detail: "one giant cluster".into() },
+                vec!["one giant cluster"],
+            ),
+            (
+                PartitionError::StitchMismatch { detail: "cell 7 missing".into() },
+                vec!["cell 7 missing"],
+            ),
+            (PartitionError::Stimulus { detail: "in_even has 3 cycles".into() }, vec!["in_even"]),
+            (PartitionError::Spawn { detail: "EAGAIN".into() }, vec!["EAGAIN"]),
+            (
+                PartitionError::Exhausted { detail: "golden declined".into() },
+                vec!["golden declined"],
+            ),
+            (PartitionError::Rtl(RtlError::UnknownPort { name: "zz".into() }), vec!["zz"]),
+        ];
+        for (err, needles) in cases {
+            let text = err.to_string();
+            for needle in needles {
+                assert!(text.contains(needle), "{text} missing {needle}");
+            }
+        }
+    }
+}

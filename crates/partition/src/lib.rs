@@ -1,0 +1,41 @@
+//! Fault-tolerant partitioned emulation of DWT netlists.
+//!
+//! Large-design emulators (BEE2-style FPGA farms, Palladium-class
+//! boxes) never fit a design in one device: the netlist is *sharded*
+//! across workers that exchange boundary values every virtual cycle,
+//! and the whole ensemble must tolerate a worker crashing mid-frame
+//! without corrupting the computation. This crate reproduces that
+//! architecture in software on top of the workspace's [`Engine`]
+//! backends:
+//!
+//! 1. [`cut`] — a min-cut partitioning pass over the validated
+//!    netlist IR. Cuts are only legal on register/constant boundaries
+//!    (dwt-lint's pipeline-balance solver pins the legal cut points),
+//!    so cross-shard values are stable for a full cycle and one
+//!    exchange round per cycle suffices. [`stitch`] is the exact
+//!    inverse, reassembling the original netlist — dwt-equiv proves
+//!    `stitch(partition(n)) ≡ n` as a standing obligation.
+//! 2. [`channel`] — the sequence-numbered, checksummed wire format
+//!    plus per-link running hashes for barrier crosschecks.
+//! 3. [`runner`] — the multi-threaded [`PartitionRunner`]: one
+//!    [`Engine`] per worker, lockstep boundary exchange, barrier-
+//!    consistent snapshots every N cycles, divergence/straggler/crash
+//!    detection, and recovery by restart-from-snapshot + replay. When
+//!    the recovery budget is exhausted the runner degrades to a
+//!    single-engine run, then to a caller-supplied software-golden
+//!    fallback, before giving up with a typed error.
+//!
+//! [`Engine`]: dwt_rtl::engine::Engine
+
+pub mod channel;
+pub mod cut;
+pub mod error;
+pub mod runner;
+
+pub use channel::{fnv1a, hash_seed, BoundaryMsg, LinkFault};
+pub use cut::{partition, stitch, BoundaryLink, CutOptions, CutPort, PartitionedNetlist, Shard};
+pub use error::PartitionError;
+pub use runner::{
+    run_single, ChaosPlan, Corruption, Detection, DetectionKind, FrameOutputs, FrameReport,
+    GoldenFallback, PartitionRunner, Rung, RunnerConfig, SeuChaos, Stimulus,
+};

@@ -1,0 +1,960 @@
+//! The crash-recoverable multi-threaded partition runner.
+//!
+//! One worker thread per shard, each owning an [`Engine`] (event or
+//! compiled backend — the runner is generic, like `recover`/`pool`/
+//! `serve`). Virtual cycle `k` is a fixed four-phase dance:
+//!
+//! 1. every worker stages its primary inputs for cycle `k`;
+//! 2. every worker ticks — registers capture from a state settled with
+//!    the boundary values of cycle `k-1`, exactly as the monolithic
+//!    machine's registers do;
+//! 3. every worker peeks its `__cut` output ports (the post-edge
+//!    register/constant values) and sends one [`BoundaryMsg`] per
+//!    outgoing link — **all sends precede all receives**, so cyclic
+//!    shard graphs cannot deadlock on the unbounded channels;
+//! 4. every worker receives, verifies (sequence + checksum), stages
+//!    the boundary inputs and settles — its combinational state now
+//!    matches the monolithic post-tick settled state bit for bit.
+//!
+//! A *prologue* exchange before the first tick distributes the
+//! power-on boundary values (register zeros, constant values), which
+//! need no fixpoint: cut-legal drivers never depend combinationally on
+//! other shards.
+//!
+//! Robustness is barrier-structured. Execution proceeds in batches of
+//! `snapshot_interval` cycles; after a batch, every worker returns its
+//! engine snapshot plus per-link running hashes. The coordinator
+//! commits the batch only if every worker reported, the two ends of
+//! every link hash identically (lockstep divergence detection), and —
+//! when an oracle is supplied — the outputs match it. Any checksum or
+//! sequence violation, watchdog timeout, crash (channel disconnect),
+//! hash mismatch or oracle mismatch aborts the batch: the epoch is
+//! torn down, every worker is respawned with a fresh engine restored
+//! from the last consistent global snapshot, and the lost cycles are
+//! replayed. Transient fault arrivals are keyed by a monotone attempt
+//! clock, so a strike never recurs on replay. After `max_recoveries`
+//! the runner degrades to a single full-netlist engine, and finally to
+//! a caller-supplied software-golden fallback — availability failures
+//! never become correctness failures.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use dwt_recover::injector::{FaultInjector, Lane};
+use dwt_recover::seu::PoissonSeuBuilder;
+use dwt_rtl::engine::Engine;
+use dwt_rtl::fault::FaultSpec;
+use dwt_rtl::netlist::{Netlist, PortDirection};
+
+use crate::channel::{hash_seed, BoundaryMsg, LinkFault};
+use crate::cut::PartitionedNetlist;
+use crate::error::PartitionError;
+
+/// Per-cycle input vectors for one frame.
+#[derive(Debug, Clone, Default)]
+pub struct Stimulus {
+    /// Frame length in virtual cycles.
+    pub cycles: u64,
+    /// One value per cycle for every primary input port.
+    pub inputs: BTreeMap<String, Vec<i64>>,
+}
+
+/// Per-cycle output samples for one frame (settled, post-edge).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrameOutputs {
+    /// One value per cycle for every primary output port.
+    pub ports: BTreeMap<String, Vec<i64>>,
+}
+
+/// The rung a frame finally completed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rung {
+    /// Partitioned execution (recoveries allowed).
+    Partitioned,
+    /// Single-engine re-execution of the whole frame.
+    SingleEngine,
+    /// The caller-supplied software-golden fallback.
+    Golden,
+}
+
+/// What the robustness layer noticed, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectionKind {
+    /// A message failed its checksum (payload corruption).
+    Checksum,
+    /// A message arrived out of sequence (loss or duplication).
+    Sequence,
+    /// Producer and consumer link hashes disagree at a barrier
+    /// (stealth corruption or silent state divergence).
+    LinkHashMismatch,
+    /// Outputs disagree with the supplied oracle (an SEU slipped
+    /// through to architectural state).
+    OracleMismatch,
+    /// A worker missed the watchdog window.
+    Stall,
+    /// A worker's channels disconnected (thread died).
+    Crash,
+    /// An engine error inside a worker.
+    Engine(String),
+}
+
+/// One detection event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detection {
+    /// Worker that reported (or failed to report); `None` for
+    /// barrier-level checks.
+    pub worker: Option<usize>,
+    /// Virtual cycle the batch started at.
+    pub batch_start: u64,
+    /// What was detected.
+    pub kind: DetectionKind,
+}
+
+/// Outcome of one frame.
+#[derive(Debug, Clone)]
+pub struct FrameReport {
+    /// The per-cycle outputs (authoritative, whatever the rung).
+    pub outputs: FrameOutputs,
+    /// The rung that produced [`FrameReport::outputs`].
+    pub rung: Rung,
+    /// Rollback-and-replay recoveries performed.
+    pub recoveries: u32,
+    /// Everything the detectors fired on.
+    pub detections: Vec<Detection>,
+    /// Barriers committed (consistent global snapshots taken).
+    pub barriers: u64,
+    /// Cycles re-executed during replays.
+    pub replayed_cycles: u64,
+}
+
+/// Chaos directives for fault-tolerance tests and campaigns. Kills,
+/// stalls and corruptions fire **once** each — after the recovery
+/// they provoke, the replay runs clean.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    /// `(worker, cycle)`: the worker thread dies just before ticking
+    /// that virtual cycle.
+    pub kills: Vec<(usize, u64)>,
+    /// `(worker, cycle, pause)`: the worker sleeps that long before
+    /// ticking — longer than the watchdog means its peers declare it
+    /// a straggler.
+    pub stalls: Vec<(usize, u64, Duration)>,
+    /// In-flight message corruptions.
+    pub corruptions: Vec<Corruption>,
+    /// Poisson-distributed transient register upsets inside every
+    /// worker's shard (rate per cycle per worker).
+    pub seu: Option<SeuChaos>,
+}
+
+/// One in-flight message corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Corruption {
+    /// Producer shard.
+    pub from: usize,
+    /// Consumer shard.
+    pub to: usize,
+    /// Virtual cycle whose message is corrupted.
+    pub cycle: u64,
+    /// `false`: flip a payload bit, leaving the checksum stale (caught
+    /// immediately by the consumer). `true`: flip the bit *and*
+    /// rewrite the checksum — only the barrier hash crosscheck can
+    /// catch it.
+    pub stealth: bool,
+}
+
+/// Poisson SEU chaos parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeuChaos {
+    /// Expected upsets per cycle per worker.
+    pub rate: f64,
+    /// Base seed (worker index is mixed in).
+    pub seed: u64,
+}
+
+/// Runner tuning.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Cycles per barrier (snapshot cadence). Shorter means cheaper
+    /// replays and more snapshot overhead.
+    pub snapshot_interval: u64,
+    /// How long a worker waits on a boundary receive before declaring
+    /// the producer a straggler.
+    pub watchdog: Duration,
+    /// Rollback-and-replay budget per frame before degrading to the
+    /// single-engine rung.
+    pub max_recoveries: u32,
+    /// Optional per-cycle event cap forwarded to every engine.
+    pub event_cap: Option<u64>,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            snapshot_interval: 32,
+            watchdog: Duration::from_millis(250),
+            max_recoveries: 8,
+            event_cap: None,
+        }
+    }
+}
+
+/// The caller-supplied terminal fallback.
+pub type GoldenFallback<'a> = &'a (dyn Fn(&Stimulus) -> Option<FrameOutputs> + Sync);
+
+// ---------------------------------------------------------------- wire
+
+/// What a worker receives per batch.
+struct Batch {
+    start: u64,
+    cycles: u64,
+    /// Run the power-on prologue exchange before the first tick.
+    prologue: bool,
+    /// `inputs[cycle][i]` feeds the worker's `i`-th primary input.
+    inputs: Vec<Vec<i64>>,
+    /// Transient faults due at `(offset, spec)`.
+    faults: Vec<(u64, FaultSpec)>,
+    kill_at: Option<u64>,
+    stall_at: Option<(u64, Duration)>,
+    /// `(offset, out-link index, stealth)`.
+    corrupt: Vec<(u64, usize, bool)>,
+}
+
+enum Cmd {
+    Run(Box<Batch>),
+}
+
+enum Resp<S> {
+    Done {
+        worker: usize,
+        /// `outputs[cycle][i]` is the worker's `i`-th owned output.
+        outputs: Vec<Vec<i64>>,
+        /// Running hash per outgoing link, after this batch.
+        out_hashes: Vec<u64>,
+        /// Running hash per incoming link, after this batch.
+        in_hashes: Vec<u64>,
+        snapshot: S,
+    },
+    Fault {
+        worker: usize,
+        kind: DetectionKind,
+    },
+}
+
+struct OutLink {
+    ports: Vec<String>,
+    tx: Sender<BoundaryMsg>,
+    seq: u64,
+    hash: u64,
+}
+
+struct InLink {
+    from: usize,
+    ports: Vec<String>,
+    rx: Receiver<BoundaryMsg>,
+    seq: u64,
+    hash: u64,
+}
+
+struct Worker<E: Engine> {
+    id: usize,
+    engine: E,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    out_links: Vec<OutLink>,
+    in_links: Vec<InLink>,
+    watchdog: Duration,
+}
+
+impl<E: Engine> Worker<E> {
+    /// Sends the current boundary values on every outgoing link, with
+    /// chaos corruption applied after the true values entered the
+    /// running hash.
+    fn exchange_send(&mut self, cycle: u64, corrupt: &[(u64, usize, bool)], offset: Option<u64>) {
+        for (li, link) in self.out_links.iter_mut().enumerate() {
+            let values: Vec<i64> =
+                link.ports.iter().map(|p| self.engine.peek(p).unwrap_or(0)).collect();
+            let mut msg = BoundaryMsg::new(link.seq, cycle, values);
+            link.hash = msg.fold_into(link.hash);
+            link.seq += 1;
+            if let Some(o) = offset {
+                for &(co, cl, stealth) in corrupt {
+                    if co == o && cl == li {
+                        let mut values = msg.values.clone();
+                        values[0] ^= 1;
+                        if stealth {
+                            msg = BoundaryMsg::new(msg.seq, msg.cycle, values);
+                        } else {
+                            msg.values = values;
+                        }
+                    }
+                }
+            }
+            // A closed peer is the coordinator's problem (it will see
+            // the peer's fault or absence); keep going.
+            let _ = link.tx.send(msg);
+        }
+    }
+
+    /// Receives one message per incoming link, verifies it, and stages
+    /// the boundary inputs. Returns the first link fault.
+    fn exchange_recv(&mut self) -> Result<(), (usize, LinkFault)> {
+        for link in &mut self.in_links {
+            let msg = match link.rx.recv_timeout(self.watchdog) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => return Err((link.from, LinkFault::Timeout)),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err((link.from, LinkFault::Disconnected))
+                }
+            };
+            msg.verify(link.seq).map_err(|f| (link.from, f))?;
+            link.hash = msg.fold_into(link.hash);
+            link.seq += 1;
+            for (port, &value) in link.ports.iter().zip(&msg.values) {
+                // Boundary values come from a peer's register bus of
+                // the same width; set_input cannot range-fail.
+                if self.engine.set_input(port, value).is_err() {
+                    return Err((link.from, LinkFault::Checksum { seq: msg.seq }));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_batch(&mut self, batch: &Batch) -> Result<Resp<E::Snapshot>, ()> {
+        let id = self.id;
+        let fault = move |kind: DetectionKind| Resp::Fault { worker: id, kind };
+        let link_fault = |f: LinkFault| match f {
+            LinkFault::Checksum { .. } => DetectionKind::Checksum,
+            LinkFault::Sequence { .. } => DetectionKind::Sequence,
+            LinkFault::Timeout => DetectionKind::Stall,
+            LinkFault::Disconnected => DetectionKind::Crash,
+        };
+        if batch.prologue {
+            self.exchange_send(batch.start, &[], None);
+            if let Err((_, f)) = self.exchange_recv() {
+                return Ok(fault(link_fault(f)));
+            }
+            if let Err(e) = self.engine.try_settle() {
+                return Ok(fault(DetectionKind::Engine(e.to_string())));
+            }
+        }
+        let mut outputs = Vec::with_capacity(batch.cycles as usize);
+        for offset in 0..batch.cycles {
+            if batch.kill_at == Some(offset) {
+                // Simulated crash: vanish without a response; the
+                // dropped channels are the peers' first hint.
+                return Err(());
+            }
+            if let Some((at, pause)) = batch.stall_at {
+                if at == offset {
+                    thread::sleep(pause);
+                }
+            }
+            let cycle = batch.start + offset;
+            for (i, port) in self.inputs.iter().enumerate() {
+                let value = batch.inputs[offset as usize][i];
+                if let Err(e) = self.engine.set_input(port, value) {
+                    return Ok(fault(DetectionKind::Engine(e.to_string())));
+                }
+            }
+            for (due, spec) in &batch.faults {
+                if *due == offset {
+                    let rebased = rebase(spec.clone(), self.engine.cycle());
+                    if let Err(e) = self.engine.inject(&rebased) {
+                        return Ok(fault(DetectionKind::Engine(e.to_string())));
+                    }
+                }
+            }
+            if let Err(e) = self.engine.try_tick() {
+                return Ok(fault(DetectionKind::Engine(e.to_string())));
+            }
+            self.exchange_send(cycle, &batch.corrupt, Some(offset));
+            if let Err((_, f)) = self.exchange_recv() {
+                return Ok(fault(link_fault(f)));
+            }
+            if let Err(e) = self.engine.try_settle() {
+                return Ok(fault(DetectionKind::Engine(e.to_string())));
+            }
+            let row: Vec<i64> =
+                self.outputs.iter().map(|p| self.engine.peek(p).unwrap_or(0)).collect();
+            outputs.push(row);
+        }
+        Ok(Resp::Done {
+            worker: self.id,
+            outputs,
+            out_hashes: self.out_links.iter().map(|l| l.hash).collect(),
+            in_hashes: self.in_links.iter().map(|l| l.hash).collect(),
+            snapshot: self.engine.snapshot(),
+        })
+    }
+}
+
+/// Rebase a transient fault to strike at the engine's next clock edge
+/// (same contract as the recover executor's injection point).
+fn rebase(spec: FaultSpec, now: u64) -> FaultSpec {
+    match spec {
+        FaultSpec::BitFlip { register, bit, .. } => {
+            FaultSpec::BitFlip { register, bit, cycle: now }
+        }
+        FaultSpec::RamUpset { ram, addr, bit, .. } => {
+            FaultSpec::RamUpset { ram, addr, bit, cycle: now }
+        }
+        stuck @ FaultSpec::StuckAt { .. } => stuck,
+    }
+}
+
+fn worker_main<E: Engine>(
+    mut worker: Worker<E>,
+    cmd_rx: &Receiver<Cmd>,
+    resp_tx: &Sender<Resp<E::Snapshot>>,
+) {
+    while let Ok(cmd) = cmd_rx.recv() {
+        match cmd {
+            Cmd::Run(batch) => match worker.run_batch(&batch) {
+                Ok(resp) => {
+                    if resp_tx.send(resp).is_err() {
+                        return;
+                    }
+                }
+                // Simulated crash: drop everything, silently.
+                Err(()) => return,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------- coordinator
+
+/// A handle on one epoch's worth of spawned workers.
+struct Epoch<S> {
+    cmd_txs: Vec<Sender<Cmd>>,
+    resp_rx: Receiver<Resp<S>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<S> Epoch<S> {
+    fn teardown(self) {
+        drop(self.cmd_txs);
+        drop(self.resp_rx);
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runs a partitioned netlist across one OS thread per shard, with
+/// barrier snapshots, divergence detection and rollback-replay
+/// recovery. See the module docs for the protocol.
+pub struct PartitionRunner<'a, E: Engine> {
+    parts: &'a PartitionedNetlist,
+    config: RunnerConfig,
+    _engine: std::marker::PhantomData<E>,
+}
+
+impl<'a, E> PartitionRunner<'a, E>
+where
+    E: Engine + Send + 'static,
+    E::Snapshot: Clone + Send + 'static,
+{
+    /// Creates a runner over an existing partition.
+    #[must_use]
+    pub fn new(parts: &'a PartitionedNetlist, config: RunnerConfig) -> Self {
+        PartitionRunner { parts, config, _engine: std::marker::PhantomData }
+    }
+
+    /// Runs one frame to completion.
+    ///
+    /// `oracle`, when supplied, is checked at every barrier (the
+    /// duplicate-with-compare detector for SEU chaos): a mismatch
+    /// rolls the frame back like any other detection. `golden` is the
+    /// terminal degradation rung.
+    ///
+    /// # Errors
+    ///
+    /// * [`PartitionError::Stimulus`] if the stimulus does not cover
+    ///   every shard input for every cycle.
+    /// * [`PartitionError::Exhausted`] if every rung fails.
+    pub fn run_frame(
+        &self,
+        stim: &Stimulus,
+        oracle: Option<&FrameOutputs>,
+        chaos: &ChaosPlan,
+        golden: Option<GoldenFallback<'_>>,
+    ) -> Result<FrameReport, PartitionError> {
+        self.check_stimulus(stim)?;
+        match self.run_partitioned(stim, oracle, chaos) {
+            Ok(report) => Ok(report),
+            Err((mut detections, recoveries, replayed)) => {
+                // Rung 2: one engine over the unsplit netlist, no
+                // faults. Rung 3: the caller's golden model.
+                match run_single::<E>(&self.parts.original, stim, self.config.event_cap) {
+                    Ok(outputs) => Ok(FrameReport {
+                        outputs,
+                        rung: Rung::SingleEngine,
+                        recoveries,
+                        detections,
+                        barriers: 0,
+                        replayed_cycles: replayed,
+                    }),
+                    Err(e) => {
+                        detections.push(Detection {
+                            worker: None,
+                            batch_start: 0,
+                            kind: DetectionKind::Engine(e.to_string()),
+                        });
+                        match golden.and_then(|g| g(stim)) {
+                            Some(outputs) => Ok(FrameReport {
+                                outputs,
+                                rung: Rung::Golden,
+                                recoveries,
+                                detections,
+                                barriers: 0,
+                                replayed_cycles: replayed,
+                            }),
+                            None => Err(PartitionError::Exhausted {
+                                detail: format!(
+                                    "{} detections, single-engine rung failed: {e}",
+                                    detections.len()
+                                ),
+                            }),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_stimulus(&self, stim: &Stimulus) -> Result<(), PartitionError> {
+        for shard in &self.parts.shards {
+            for input in &shard.inputs {
+                let Some(values) = stim.inputs.get(input) else {
+                    return Err(PartitionError::Stimulus {
+                        detail: format!("no values for input port '{input}'"),
+                    });
+                };
+                if (values.len() as u64) < stim.cycles {
+                    return Err(PartitionError::Stimulus {
+                        detail: format!(
+                            "input '{input}' has {} values for {} cycles",
+                            values.len(),
+                            stim.cycles
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The partitioned rung. On failure returns the evidence for the
+    /// report: `(detections, recoveries, replayed_cycles)`.
+    #[allow(clippy::type_complexity, clippy::too_many_lines)]
+    fn run_partitioned(
+        &self,
+        stim: &Stimulus,
+        oracle: Option<&FrameOutputs>,
+        chaos: &ChaosPlan,
+    ) -> Result<FrameReport, (Vec<Detection>, u32, u64)> {
+        let n = self.parts.parts();
+        let mut committed = FrameOutputs::default();
+        for shard in &self.parts.shards {
+            for out in &shard.outputs {
+                committed.ports.insert(out.clone(), Vec::new());
+            }
+        }
+        let mut cursor: u64 = 0;
+        let mut snapshots: Option<Vec<E::Snapshot>> = None;
+        let mut detections: Vec<Detection> = Vec::new();
+        let mut recoveries: u32 = 0;
+        let mut barriers: u64 = 0;
+        let mut replayed: u64 = 0;
+
+        // Chaos directives fire once; SEU arrivals are keyed by a
+        // monotone per-worker attempt clock so replays run clean.
+        let mut fired_kills = vec![false; chaos.kills.len()];
+        let mut fired_stalls = vec![false; chaos.stalls.len()];
+        let mut fired_corruptions = vec![false; chaos.corruptions.len()];
+        let mut seu: Vec<Option<Box<dyn FaultInjector>>> = (0..n)
+            .map(|w| {
+                let plan = chaos.seu.as_ref()?;
+                let netlist = &self.parts.shards[w].netlist;
+                PoissonSeuBuilder::new()
+                    .rate(plan.rate)
+                    .stuck_fraction(0.0)
+                    .common_mode(0.0)
+                    .seed(plan.seed.wrapping_add(w as u64).wrapping_mul(0x9e37_79b9))
+                    .build(netlist, netlist)
+                    .ok()
+                    .map(|inj| Box::new(inj) as Box<dyn FaultInjector>)
+            })
+            .collect();
+        let mut attempt_clock: u64 = 0;
+
+        while cursor < stim.cycles {
+            let epoch = match self.spawn_epoch(snapshots.as_ref()) {
+                Ok(epoch) => epoch,
+                Err(_) => return Err((detections, recoveries, replayed)),
+            };
+            let mut epoch_first = true;
+            let mut epoch_alive = true;
+            while epoch_alive && cursor < stim.cycles {
+                let batch_len = self.config.snapshot_interval.min(stim.cycles - cursor);
+                // Distribute the batch.
+                for (w, cmd_tx) in epoch.cmd_txs.iter().enumerate() {
+                    let shard = &self.parts.shards[w];
+                    let inputs: Vec<Vec<i64>> = (0..batch_len)
+                        .map(|o| {
+                            shard
+                                .inputs
+                                .iter()
+                                .map(|p| stim.inputs[p][(cursor + o) as usize])
+                                .collect()
+                        })
+                        .collect();
+                    let mut faults = Vec::new();
+                    if let Some(inj) = seu[w].as_mut() {
+                        for o in 0..batch_len {
+                            for spec in inj.arrivals(attempt_clock + o, Lane::Primary) {
+                                faults.push((o, spec));
+                            }
+                        }
+                    }
+                    let in_window = |c: u64| c >= cursor && c < cursor + batch_len;
+                    let mut kill_at = None;
+                    for (i, &(kw, kc)) in chaos.kills.iter().enumerate() {
+                        if kw == w && in_window(kc) && !fired_kills[i] {
+                            fired_kills[i] = true;
+                            kill_at = Some(kc - cursor);
+                        }
+                    }
+                    let mut stall_at = None;
+                    for (i, &(sw, sc, pause)) in chaos.stalls.iter().enumerate() {
+                        if sw == w && in_window(sc) && !fired_stalls[i] {
+                            fired_stalls[i] = true;
+                            stall_at = Some((sc - cursor, pause));
+                        }
+                    }
+                    let mut corrupt = Vec::new();
+                    for (i, c) in chaos.corruptions.iter().enumerate() {
+                        if c.from == w && in_window(c.cycle) && !fired_corruptions[i] {
+                            let link = self
+                                .parts
+                                .links
+                                .iter()
+                                .filter(|l| l.from == w)
+                                .position(|l| l.to == c.to);
+                            if let Some(link) = link {
+                                fired_corruptions[i] = true;
+                                corrupt.push((c.cycle - cursor, link, c.stealth));
+                            }
+                        }
+                    }
+                    let batch = Batch {
+                        start: cursor,
+                        cycles: batch_len,
+                        prologue: epoch_first && snapshots.is_none() && cursor == 0,
+                        inputs,
+                        faults,
+                        kill_at,
+                        stall_at,
+                        corrupt,
+                    };
+                    // A dead worker's closed channel surfaces below as
+                    // a missing response.
+                    let _ = cmd_tx.send(Cmd::Run(Box::new(batch)));
+                }
+                epoch_first = false;
+                attempt_clock += batch_len;
+
+                // Collect one response per worker.
+                let deadline = self.config.watchdog * 4 + Duration::from_millis(500);
+                let mut responses: Vec<Option<Resp<E::Snapshot>>> = (0..n).map(|_| None).collect();
+                let mut received = 0usize;
+                let mut batch_ok = true;
+                while received < n {
+                    match epoch.resp_rx.recv_timeout(deadline) {
+                        Ok(resp) => {
+                            let w = match &resp {
+                                Resp::Done { worker, .. } | Resp::Fault { worker, .. } => *worker,
+                            };
+                            if let Resp::Fault { worker, kind } = &resp {
+                                detections.push(Detection {
+                                    worker: Some(*worker),
+                                    batch_start: cursor,
+                                    kind: kind.clone(),
+                                });
+                                batch_ok = false;
+                            }
+                            if responses[w].is_none() {
+                                received += 1;
+                            }
+                            responses[w] = Some(resp);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for (w, resp) in responses.iter().enumerate() {
+                    if resp.is_none() {
+                        detections.push(Detection {
+                            worker: Some(w),
+                            batch_start: cursor,
+                            kind: DetectionKind::Crash,
+                        });
+                        batch_ok = false;
+                    }
+                }
+
+                // Barrier crosschecks.
+                if batch_ok {
+                    batch_ok = self.crosscheck(&responses, cursor, &mut detections);
+                }
+                if batch_ok {
+                    if let Some(expected) = oracle {
+                        batch_ok = self.check_oracle(&responses, expected, cursor, &mut detections);
+                    }
+                }
+
+                if batch_ok {
+                    // Commit: outputs append, snapshots advance.
+                    let mut fresh = Vec::with_capacity(n);
+                    for (w, resp) in responses.into_iter().enumerate() {
+                        let Some(Resp::Done { outputs, snapshot, .. }) = resp else {
+                            unreachable!("batch_ok implies every response is Done");
+                        };
+                        for (i, port) in self.parts.shards[w].outputs.iter().enumerate() {
+                            let sink = committed.ports.get_mut(port).expect("port registered");
+                            sink.extend(outputs.iter().map(|row| row[i]));
+                        }
+                        fresh.push(snapshot);
+                    }
+                    snapshots = Some(fresh);
+                    cursor += batch_len;
+                    barriers += 1;
+                } else {
+                    recoveries += 1;
+                    replayed += batch_len;
+                    epoch_alive = false;
+                    if recoveries > self.config.max_recoveries {
+                        epoch.teardown();
+                        return Err((detections, recoveries, replayed));
+                    }
+                }
+            }
+            if epoch_alive {
+                epoch.teardown();
+                return Ok(FrameReport {
+                    outputs: committed,
+                    rung: Rung::Partitioned,
+                    recoveries,
+                    detections,
+                    barriers,
+                    replayed_cycles: replayed,
+                });
+            }
+            epoch.teardown();
+            // Roll back: uncommitted outputs were never appended, so
+            // recovery is just a respawn from `snapshots` + replay.
+        }
+        Ok(FrameReport {
+            outputs: committed,
+            rung: Rung::Partitioned,
+            recoveries,
+            detections,
+            barriers,
+            replayed_cycles: replayed,
+        })
+    }
+
+    fn spawn_epoch(
+        &self,
+        snapshots: Option<&Vec<E::Snapshot>>,
+    ) -> Result<Epoch<E::Snapshot>, PartitionError> {
+        type Endpoints<C> = Vec<Vec<(usize, Vec<String>, C)>>;
+        let n = self.parts.parts();
+        // Point-to-point boundary channels.
+        let mut senders: Endpoints<Sender<BoundaryMsg>> = (0..n).map(|_| Vec::new()).collect();
+        let mut receivers: Endpoints<Receiver<BoundaryMsg>> = (0..n).map(|_| Vec::new()).collect();
+        for link in &self.parts.links {
+            let (tx, rx) = mpsc::channel();
+            senders[link.from].push((link.to, link.ports.clone(), tx));
+            receivers[link.to].push((link.from, link.ports.clone(), rx));
+        }
+        let (resp_tx, resp_rx) = mpsc::channel::<Resp<E::Snapshot>>();
+        let mut cmd_txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (w, (outs, ins)) in senders.into_iter().zip(receivers).enumerate() {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+            cmd_txs.push(cmd_tx);
+            let resp_tx = resp_tx.clone();
+            let shard = &self.parts.shards[w];
+            let netlist = shard.netlist.clone();
+            let inputs = shard.inputs.clone();
+            let outputs = shard.outputs.clone();
+            let watchdog = self.config.watchdog;
+            let event_cap = self.config.event_cap;
+            let initial = snapshots.map(|s| s[w].clone());
+            let builder = thread::Builder::new().name(format!("dwt-partition-{w}"));
+            let handle = builder
+                .spawn(move || {
+                    let mut engine = match E::from_netlist(netlist) {
+                        Ok(engine) => engine,
+                        Err(e) => {
+                            let _ = resp_tx.send(Resp::Fault {
+                                worker: w,
+                                kind: DetectionKind::Engine(e.to_string()),
+                            });
+                            return;
+                        }
+                    };
+                    if let Some(cap) = event_cap {
+                        engine.set_event_cap(cap);
+                    }
+                    if let Some(snapshot) = initial {
+                        if let Err(e) = engine.restore(&snapshot) {
+                            let _ = resp_tx.send(Resp::Fault {
+                                worker: w,
+                                kind: DetectionKind::Engine(e.to_string()),
+                            });
+                            return;
+                        }
+                    }
+                    let worker = Worker {
+                        id: w,
+                        engine,
+                        inputs,
+                        outputs,
+                        out_links: outs
+                            .into_iter()
+                            .map(|(_, ports, tx)| OutLink { ports, tx, seq: 0, hash: hash_seed() })
+                            .collect(),
+                        in_links: ins
+                            .into_iter()
+                            .map(|(from, ports, rx)| InLink {
+                                from,
+                                ports,
+                                rx,
+                                seq: 0,
+                                hash: hash_seed(),
+                            })
+                            .collect(),
+                        watchdog,
+                    };
+                    worker_main(worker, &cmd_rx, &resp_tx);
+                })
+                .map_err(|e| PartitionError::Spawn { detail: e.to_string() })?;
+            handles.push(handle);
+        }
+        Ok(Epoch { cmd_txs, resp_rx, handles })
+    }
+
+    /// Producer vs consumer running hash, per link.
+    fn crosscheck(
+        &self,
+        responses: &[Option<Resp<E::Snapshot>>],
+        cursor: u64,
+        detections: &mut Vec<Detection>,
+    ) -> bool {
+        let mut ok = true;
+        // Link order within a worker's out/in lists mirrors
+        // spawn_epoch's iteration over self.parts.links.
+        let mut out_idx = vec![0usize; self.parts.parts()];
+        let mut in_idx = vec![0usize; self.parts.parts()];
+        for link in &self.parts.links {
+            let (produced, consumed) = {
+                let p = match &responses[link.from] {
+                    Some(Resp::Done { out_hashes, .. }) => out_hashes[out_idx[link.from]],
+                    _ => return false,
+                };
+                let c = match &responses[link.to] {
+                    Some(Resp::Done { in_hashes, .. }) => in_hashes[in_idx[link.to]],
+                    _ => return false,
+                };
+                (p, c)
+            };
+            out_idx[link.from] += 1;
+            in_idx[link.to] += 1;
+            if produced != consumed {
+                detections.push(Detection {
+                    worker: Some(link.to),
+                    batch_start: cursor,
+                    kind: DetectionKind::LinkHashMismatch,
+                });
+                ok = false;
+            }
+        }
+        ok
+    }
+
+    /// Batch outputs vs the oracle slice.
+    fn check_oracle(
+        &self,
+        responses: &[Option<Resp<E::Snapshot>>],
+        expected: &FrameOutputs,
+        cursor: u64,
+        detections: &mut Vec<Detection>,
+    ) -> bool {
+        let mut ok = true;
+        for (w, resp) in responses.iter().enumerate() {
+            let Some(Resp::Done { outputs, .. }) = resp else { return false };
+            for (i, port) in self.parts.shards[w].outputs.iter().enumerate() {
+                let Some(want) = expected.ports.get(port) else { continue };
+                for (o, row) in outputs.iter().enumerate() {
+                    let cycle = cursor as usize + o;
+                    if cycle < want.len() && row[i] != want[cycle] {
+                        detections.push(Detection {
+                            worker: Some(w),
+                            batch_start: cursor,
+                            kind: DetectionKind::OracleMismatch,
+                        });
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        ok
+    }
+}
+
+/// Runs one frame on a single engine over an unsplit netlist — the
+/// reference the differential suite compares against, and the
+/// runner's second degradation rung.
+///
+/// # Errors
+///
+/// Propagates engine construction/simulation errors.
+pub fn run_single<E: Engine>(
+    netlist: &Netlist,
+    stim: &Stimulus,
+    event_cap: Option<u64>,
+) -> Result<FrameOutputs, PartitionError> {
+    let output_ports: Vec<String> = netlist
+        .ports()
+        .values()
+        .filter(|p| p.direction == PortDirection::Output)
+        .map(|p| p.name.clone())
+        .collect();
+    let mut engine = E::from_netlist(netlist.clone())?;
+    if let Some(cap) = event_cap {
+        engine.set_event_cap(cap);
+    }
+    let mut outputs = FrameOutputs::default();
+    for port in &output_ports {
+        outputs.ports.insert(port.clone(), Vec::with_capacity(stim.cycles as usize));
+    }
+    for t in 0..stim.cycles {
+        for (port, values) in &stim.inputs {
+            if netlist.ports().contains_key(port) {
+                engine.set_input(port, values[t as usize])?;
+            }
+        }
+        engine.try_tick()?;
+        for port in &output_ports {
+            let v = engine.peek(port)?;
+            outputs.ports.get_mut(port).expect("registered").push(v);
+        }
+    }
+    Ok(outputs)
+}

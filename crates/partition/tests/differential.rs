@@ -1,0 +1,256 @@
+//! Differential suite: partitioned execution must be bit-exact against
+//! both single-engine backends across partition counts, and must stay
+//! bit-exact under chaos — SEU storms, killed workers, stragglers, and
+//! in-flight corruption (plain and stealth).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use dwt_arch::designs::Design;
+use dwt_partition::{
+    partition, run_single, stitch, ChaosPlan, Corruption, CutOptions, DetectionKind, FrameOutputs,
+    PartitionRunner, Rung, RunnerConfig, SeuChaos, Stimulus,
+};
+use dwt_rtl::compile::CompiledEngine;
+use dwt_rtl::engine::Engine;
+use dwt_rtl::sim::Simulator;
+
+/// Deterministic 8-bit sample stream for the `in_even`/`in_odd` ports.
+fn stimulus(cycles: u64, seed: u64) -> Stimulus {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) & 0xff) as i64 - 128
+    };
+    let mut even = Vec::with_capacity(cycles as usize);
+    let mut odd = Vec::with_capacity(cycles as usize);
+    for _ in 0..cycles {
+        even.push(next());
+        odd.push(next());
+    }
+    let mut inputs = BTreeMap::new();
+    inputs.insert("in_even".to_string(), even);
+    inputs.insert("in_odd".to_string(), odd);
+    Stimulus { cycles, inputs }
+}
+
+fn differential_matrix<E>()
+where
+    E: Engine + Send + 'static,
+    E::Snapshot: Clone + Send + 'static,
+{
+    for design in Design::all() {
+        let built = design.build().expect("design builds");
+        let stim = stimulus(80, 0x5eed ^ design as u64);
+        let reference = run_single::<E>(&built.netlist, &stim, None).expect("reference run");
+        for parts in [2usize, 4, 8] {
+            let cut = partition(&built.netlist, parts, &CutOptions::default())
+                .unwrap_or_else(|e| panic!("{} into {parts}: {e}", design.name()));
+            assert_eq!(cut.parts(), parts);
+            let runner = PartitionRunner::<E>::new(&cut, RunnerConfig::default());
+            let report = runner
+                .run_frame(&stim, None, &ChaosPlan::default(), None)
+                .unwrap_or_else(|e| panic!("{} x {parts}: {e}", design.name()));
+            assert_eq!(report.rung, Rung::Partitioned);
+            assert_eq!(report.recoveries, 0, "{} x {parts} needed recovery", design.name());
+            assert_eq!(report.outputs, reference, "{} x {parts} diverged", design.name());
+        }
+    }
+}
+
+#[test]
+fn partitioned_event_backend_matches_single_engine() {
+    differential_matrix::<Simulator>();
+}
+
+#[test]
+fn partitioned_compiled_backend_matches_single_engine() {
+    differential_matrix::<CompiledEngine>();
+}
+
+#[test]
+fn single_shard_degenerate_partition_runs() {
+    let built = Design::D1.build().expect("design builds");
+    let stim = stimulus(48, 9);
+    let reference = run_single::<Simulator>(&built.netlist, &stim, None).expect("reference");
+    let cut = partition(&built.netlist, 1, &CutOptions::default()).expect("1-way cut");
+    assert!(cut.links.is_empty());
+    let runner = PartitionRunner::<Simulator>::new(&cut, RunnerConfig::default());
+    let report = runner.run_frame(&stim, None, &ChaosPlan::default(), None).expect("run");
+    assert_eq!(report.outputs, reference);
+}
+
+#[test]
+fn stitch_inverts_partition_on_every_design() {
+    for design in Design::all() {
+        let built = design.build().expect("design builds");
+        for parts in [2usize, 4, 8] {
+            let cut = partition(&built.netlist, parts, &CutOptions::default())
+                .unwrap_or_else(|e| panic!("{} into {parts}: {e}", design.name()));
+            let back = stitch(&cut).expect("stitch");
+            assert_eq!(back, built.netlist, "{} x {parts} did not reassemble", design.name());
+        }
+    }
+}
+
+#[test]
+fn seu_chaos_causes_zero_silent_data_corruption() {
+    let built = Design::D3.build().expect("design builds");
+    let stim = stimulus(96, 77);
+    let reference = run_single::<Simulator>(&built.netlist, &stim, None).expect("reference");
+    let cut = partition(&built.netlist, 4, &CutOptions::default()).expect("cut");
+    let config = RunnerConfig { snapshot_interval: 16, ..RunnerConfig::default() };
+    let runner = PartitionRunner::<Simulator>::new(&cut, config);
+    let chaos = ChaosPlan { seu: Some(SeuChaos { rate: 0.01, seed: 42 }), ..ChaosPlan::default() };
+    let golden_outputs = reference.clone();
+    let golden = move |_: &Stimulus| Some(golden_outputs.clone());
+    let report =
+        runner.run_frame(&stim, Some(&reference), &chaos, Some(&golden)).expect("frame completes");
+    eprintln!(
+        "seu chaos: rung {:?}, {} recoveries, {} detections, {} replayed",
+        report.rung,
+        report.recoveries,
+        report.detections.len(),
+        report.replayed_cycles
+    );
+    // This storm rate strikes on every attempt (deterministic seed),
+    // so the detectors must have fired. Whatever rung the frame ended
+    // on, the outputs must be bit-exact: availability may degrade
+    // under chaos, correctness may not.
+    assert!(!report.detections.is_empty(), "the storm must be detected");
+    assert_eq!(report.outputs, reference, "silent data corruption");
+}
+
+#[test]
+fn sparse_seu_strike_recovers_on_the_partitioned_rung() {
+    // One whole-frame batch so a strike's effect reaches the outputs
+    // (and the oracle) inside the batch window, making rollback-replay
+    // sufficient — no degradation needed.
+    let built = Design::D3.build().expect("design builds");
+    let stim = stimulus(96, 77);
+    let reference = run_single::<Simulator>(&built.netlist, &stim, None).expect("reference");
+    let cut = partition(&built.netlist, 4, &CutOptions::default()).expect("cut");
+    let config = RunnerConfig { snapshot_interval: 96, ..RunnerConfig::default() };
+    let runner = PartitionRunner::<Simulator>::new(&cut, config);
+    let chaos = ChaosPlan { seu: Some(SeuChaos { rate: 0.002, seed: 7 }), ..ChaosPlan::default() };
+    let report = runner.run_frame(&stim, Some(&reference), &chaos, None).expect("frame completes");
+    assert_eq!(report.rung, Rung::Partitioned, "rollback-replay should suffice");
+    assert!(report.recoveries >= 1, "this seed strikes: a recovery must happen");
+    assert!(
+        report.detections.iter().any(|d| d.kind == DetectionKind::OracleMismatch),
+        "the upset must surface as an oracle mismatch: {:?}",
+        report.detections
+    );
+    assert_eq!(report.outputs, reference, "post-recovery outputs diverged");
+}
+
+#[test]
+fn killed_worker_mid_frame_recovers_bit_exact() {
+    let built = Design::D2.build().expect("design builds");
+    let stim = stimulus(96, 5);
+    let reference = run_single::<Simulator>(&built.netlist, &stim, None).expect("reference");
+    let cut = partition(&built.netlist, 4, &CutOptions::default()).expect("cut");
+    let config = RunnerConfig {
+        snapshot_interval: 32,
+        watchdog: Duration::from_millis(100),
+        ..RunnerConfig::default()
+    };
+    let runner = PartitionRunner::<Simulator>::new(&cut, config);
+    let chaos = ChaosPlan { kills: vec![(1, 40)], ..ChaosPlan::default() };
+    let report = runner.run_frame(&stim, None, &chaos, None).expect("frame completes");
+    assert_eq!(report.rung, Rung::Partitioned, "should recover without degrading");
+    assert!(report.recoveries >= 1, "the kill must cost at least one recovery");
+    assert!(
+        report
+            .detections
+            .iter()
+            .any(|d| matches!(d.kind, DetectionKind::Crash | DetectionKind::Stall)),
+        "the dead worker must be detected: {:?}",
+        report.detections
+    );
+    assert!(report.replayed_cycles >= 1);
+    assert_eq!(report.outputs, reference, "post-recovery outputs diverged");
+}
+
+#[test]
+fn stalled_worker_trips_the_watchdog_and_recovers() {
+    let built = Design::D1.build().expect("design builds");
+    let stim = stimulus(64, 13);
+    let reference = run_single::<Simulator>(&built.netlist, &stim, None).expect("reference");
+    let cut = partition(&built.netlist, 2, &CutOptions::default()).expect("cut");
+    let config = RunnerConfig {
+        snapshot_interval: 32,
+        watchdog: Duration::from_millis(30),
+        ..RunnerConfig::default()
+    };
+    let runner = PartitionRunner::<Simulator>::new(&cut, config);
+    let chaos =
+        ChaosPlan { stalls: vec![(1, 40, Duration::from_millis(200))], ..ChaosPlan::default() };
+    let report = runner.run_frame(&stim, None, &chaos, None).expect("frame completes");
+    assert_eq!(report.rung, Rung::Partitioned);
+    assert!(report.recoveries >= 1, "the stall must cost at least one recovery");
+    assert!(
+        report
+            .detections
+            .iter()
+            .any(|d| matches!(d.kind, DetectionKind::Stall | DetectionKind::Crash)),
+        "the straggler must be detected: {:?}",
+        report.detections
+    );
+    assert_eq!(report.outputs, reference, "post-recovery outputs diverged");
+}
+
+#[test]
+fn plain_corruption_is_caught_by_the_checksum() {
+    let built = Design::D2.build().expect("design builds");
+    let stim = stimulus(64, 21);
+    let reference = run_single::<Simulator>(&built.netlist, &stim, None).expect("reference");
+    let cut = partition(&built.netlist, 2, &CutOptions::default()).expect("cut");
+    let (from, to) = (cut.links[0].from, cut.links[0].to);
+    let runner = PartitionRunner::<Simulator>::new(&cut, RunnerConfig::default());
+    let chaos = ChaosPlan {
+        corruptions: vec![Corruption { from, to, cycle: 10, stealth: false }],
+        ..ChaosPlan::default()
+    };
+    let report = runner.run_frame(&stim, None, &chaos, None).expect("frame completes");
+    assert_eq!(report.rung, Rung::Partitioned);
+    assert!(
+        report.detections.iter().any(|d| d.kind == DetectionKind::Checksum),
+        "a stale checksum must be caught at the consumer: {:?}",
+        report.detections
+    );
+    assert_eq!(report.outputs, reference, "post-recovery outputs diverged");
+}
+
+#[test]
+fn stealth_corruption_is_caught_by_the_barrier_hash_crosscheck() {
+    let built = Design::D2.build().expect("design builds");
+    let stim = stimulus(64, 22);
+    let reference = run_single::<Simulator>(&built.netlist, &stim, None).expect("reference");
+    let cut = partition(&built.netlist, 2, &CutOptions::default()).expect("cut");
+    let (from, to) = (cut.links[0].from, cut.links[0].to);
+    let runner = PartitionRunner::<Simulator>::new(&cut, RunnerConfig::default());
+    let chaos = ChaosPlan {
+        corruptions: vec![Corruption { from, to, cycle: 10, stealth: true }],
+        ..ChaosPlan::default()
+    };
+    let report = runner.run_frame(&stim, None, &chaos, None).expect("frame completes");
+    assert_eq!(report.rung, Rung::Partitioned);
+    assert!(
+        report.detections.iter().any(|d| d.kind == DetectionKind::LinkHashMismatch),
+        "a checksum-rewriting corruption must be caught at the barrier: {:?}",
+        report.detections
+    );
+    assert_eq!(report.outputs, reference, "post-recovery outputs diverged");
+}
+
+#[test]
+fn missing_stimulus_is_a_typed_error() {
+    let built = Design::D1.build().expect("design builds");
+    let cut = partition(&built.netlist, 2, &CutOptions::default()).expect("cut");
+    let runner = PartitionRunner::<Simulator>::new(&cut, RunnerConfig::default());
+    let stim = Stimulus { cycles: 8, inputs: BTreeMap::new() };
+    let err = runner.run_frame(&stim, None, &ChaosPlan::default(), None).unwrap_err();
+    assert!(matches!(err, dwt_partition::PartitionError::Stimulus { .. }));
+    let _ = FrameOutputs::default();
+}

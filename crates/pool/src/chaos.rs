@@ -133,10 +133,7 @@ impl ChaosConfig {
     /// Cycle-cost multiplier of one lane (1.0 unless configured slow).
     #[must_use]
     pub fn slow_factor(&self, lane: usize) -> f64 {
-        self.slow_lanes
-            .iter()
-            .find(|s| s.lane == lane)
-            .map_or(1.0, |s| s.factor)
+        self.slow_lanes.iter().find(|s| s.lane == lane).map_or(1.0, |s| s.factor)
     }
 
     /// Builds the injector for one lane over its two netlists. Each
@@ -154,9 +151,8 @@ impl ChaosConfig {
         primary: &Netlist,
         spare: &Netlist,
     ) -> Result<ChaosInjector> {
-        let lane_seed = self
-            .seed
-            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(lane as u64 + 1));
+        let lane_seed =
+            self.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(lane as u64 + 1));
         let base = if self.seu_rate > 0.0 {
             Some(
                 PoissonSeuBuilder::new()
@@ -179,11 +175,7 @@ impl ChaosConfig {
             )),
             _ => None,
         };
-        let stuck_from = self
-            .stuck_lanes
-            .iter()
-            .find(|s| s.lane == lane)
-            .map(|s| s.from_cycle);
+        let stuck_from = self.stuck_lanes.iter().find(|s| s.lane == lane).map(|s| s.from_cycle);
         Ok(ChaosInjector {
             base,
             burst,
@@ -209,9 +201,7 @@ fn register_sites(netlist: &Netlist) -> Vec<(String, usize)> {
 
 /// The base name of a TMR replica register, if it is one.
 fn tmr_base(name: &str) -> Option<&str> {
-    ["_tmr0", "_tmr1", "_tmr2"]
-        .iter()
-        .find_map(|suf| name.strip_suffix(suf))
+    ["_tmr0", "_tmr1", "_tmr2"].iter().find_map(|suf| name.strip_suffix(suf))
 }
 
 /// Stuck-at faults that defeat a lane's datapath outright: the first
@@ -232,11 +222,7 @@ fn defeating_faults(netlist: &Netlist) -> Vec<FaultSpec> {
             continue;
         }
         let members: Vec<(String, usize)> = match tmr_base(name) {
-            Some(base) => regs
-                .iter()
-                .filter(|(n, _)| tmr_base(n) == Some(base))
-                .cloned()
-                .collect(),
+            Some(base) => regs.iter().filter(|(n, _)| tmr_base(n) == Some(base)).cloned().collect(),
             None => vec![(name.clone(), *width)],
         };
         for (n, w) in members {

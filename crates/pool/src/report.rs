@@ -128,10 +128,7 @@ impl PoolReport {
     /// Tiles served by the software path.
     #[must_use]
     pub fn shed_tiles(&self) -> usize {
-        self.tiles
-            .iter()
-            .filter(|t| matches!(t.served, ServedBy::Shed { .. }))
-            .count()
+        self.tiles.iter().filter(|t| matches!(t.served, ServedBy::Shed { .. })).count()
     }
 
     /// Sample pairs served by lane hardware.
@@ -190,10 +187,7 @@ impl PoolReport {
     /// Total breaker transitions across all lanes.
     #[must_use]
     pub fn breaker_transitions(&self) -> usize {
-        self.lane_summaries
-            .iter()
-            .map(|l| l.breaker_transitions.len())
-            .sum()
+        self.lane_summaries.iter().map(|l| l.breaker_transitions.len()).sum()
     }
 
     /// Tiles that finished past their deadline.

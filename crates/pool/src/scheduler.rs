@@ -171,10 +171,7 @@ impl<E: Engine> Pool<E> {
                 injector,
                 health: HealthScore::new(cfg.health),
                 breaker: CircuitBreaker::new(cfg.breaker),
-                cost: CostModel::new(
-                    (nominal as f64 * slow_factor).ceil() as u64,
-                    cfg.cost_alpha,
-                ),
+                cost: CostModel::new((nominal as f64 * slow_factor).ceil() as u64, cfg.cost_alpha),
                 free_at: 0,
                 slow_factor,
                 stats: LaneStats::default(),
@@ -337,11 +334,7 @@ impl<E: Engine> Pool<E> {
                 burnt_cycles: burnt,
                 detections,
                 replays,
-                deadline_missed: self
-                    .cfg
-                    .admission
-                    .deadline_cycles
-                    .is_some_and(|d| latency > d),
+                deadline_missed: self.cfg.admission.deadline_cycles.is_some_and(|d| latency > d),
                 bit_exact,
             });
         }
@@ -425,11 +418,7 @@ mod tests {
         let pairs = still_tone_pairs(64, 9);
         let mut pool = Pool::new(quiet_cfg()).unwrap();
         let report = pool.run(&pairs).unwrap();
-        let busy = report
-            .lane_summaries
-            .iter()
-            .filter(|l| l.stats.served > 0)
-            .count();
+        let busy = report.lane_summaries.iter().filter(|l| l.stats.served > 0).count();
         assert!(busy >= 2, "a backlogged pool must use more than one lane: {busy}");
     }
 

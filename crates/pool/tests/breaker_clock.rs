@@ -80,10 +80,10 @@ fn canary_semantics_are_identical_across_time_units() {
         let mut states = vec![b.state()];
         let outcomes = [
             false, false, // trip
-            true, // canary success -> Closed, history cleared
+            true,  // canary success -> Closed, history cleared
             false, false, // trip again
             false, // failed canary -> longer cooldown
-            true, // canary success -> Closed
+            true,  // canary success -> Closed
         ];
         for &ok in &outcomes {
             // Step to the next event instant; sit out any cooldown.
@@ -95,10 +95,7 @@ fn canary_semantics_are_identical_across_time_units() {
             b.record(ok, clock.now());
             states.push(b.state());
         }
-        (
-            states,
-            b.transitions().iter().map(|t| (t.from, t.to)).collect::<Vec<_>>(),
-        )
+        (states, b.transitions().iter().map(|t| (t.from, t.to)).collect::<Vec<_>>())
     };
 
     let cycles = run(1, 256);

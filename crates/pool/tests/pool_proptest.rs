@@ -64,7 +64,12 @@ fn chaos_for(chaos_kind: u8, lanes: usize, seed: u64) -> ChaosConfig {
             ..ChaosConfig::default()
         },
         // A permanently stuck lane plus a slow lane.
-        2 => ChaosConfig { stuck_lanes: vec![stuck], slow_lanes: vec![slow], seed, ..ChaosConfig::default() },
+        2 => ChaosConfig {
+            stuck_lanes: vec![stuck],
+            slow_lanes: vec![slow],
+            seed,
+            ..ChaosConfig::default()
+        },
         // Everything at once.
         _ => ChaosConfig {
             seu_rate: 0.004,

@@ -552,8 +552,7 @@ impl<E: Engine> TileExecutor<E> {
                     detections.push(kind);
                     detection_latency.get_or_insert(at);
                     recovery += out.cycles;
-                    if attempt >= self.cfg.max_replays
-                        || tile_cycles >= self.cfg.watchdog.budget()
+                    if attempt >= self.cfg.max_replays || tile_cycles >= self.cfg.watchdog.budget()
                     {
                         break;
                     }
@@ -811,11 +810,7 @@ mod tests {
             })
             .unwrap();
         let mut inj = ScriptedFaults {
-            at: vec![(
-                6,
-                Lane::Primary,
-                FaultSpec::BitFlip { register: reg, bit: 0, cycle: 0 },
-            )],
+            at: vec![(6, Lane::Primary, FaultSpec::BitFlip { register: reg, bit: 0, cycle: 0 })],
             ..ScriptedFaults::default()
         };
         let report = exec.run_stream(&pairs, &mut inj).unwrap();
@@ -944,11 +939,7 @@ mod tests {
             })
             .unwrap();
         let mut inj = ScriptedFaults {
-            at: vec![(
-                4,
-                Lane::Primary,
-                FaultSpec::BitFlip { register: reg, bit: 0, cycle: 0 },
-            )],
+            at: vec![(4, Lane::Primary, FaultSpec::BitFlip { register: reg, bit: 0, cycle: 0 })],
             ..ScriptedFaults::default()
         };
         let report = exec.run_stream(&pairs, &mut inj).unwrap();

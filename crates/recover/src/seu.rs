@@ -158,11 +158,7 @@ impl PoissonSeuBuilder {
     /// outside `[0, 1]` (NaN included), and
     /// [`SeuConfigError::NoRegisters`] for a netlist with no upset
     /// cross-section.
-    pub fn build(
-        self,
-        primary: &Netlist,
-        spare: &Netlist,
-    ) -> Result<PoissonSeu, SeuConfigError> {
+    pub fn build(self, primary: &Netlist, spare: &Netlist) -> Result<PoissonSeu, SeuConfigError> {
         if !self.rate.is_finite() || self.rate < 0.0 {
             return Err(SeuConfigError::InvalidRate(self.rate));
         }
@@ -381,7 +377,10 @@ mod tests {
     fn builder_rejects_invalid_parameters() {
         let (p, s) = nets();
         let check = |b: PoissonSeuBuilder| b.build(&p, &s).err();
-        assert_eq!(check(PoissonSeuBuilder::new().rate(-0.1)), Some(SeuConfigError::InvalidRate(-0.1)));
+        assert_eq!(
+            check(PoissonSeuBuilder::new().rate(-0.1)),
+            Some(SeuConfigError::InvalidRate(-0.1))
+        );
         assert!(matches!(
             check(PoissonSeuBuilder::new().rate(f64::NAN)),
             Some(SeuConfigError::InvalidRate(_))
@@ -430,20 +429,13 @@ mod tests {
     #[test]
     fn common_mode_zero_never_touches_the_spare() {
         let (p, s) = nets();
-        let mut seu = PoissonSeuBuilder::new()
-            .rate(0.05)
-            .stuck_fraction(1.0)
-            .seed(4)
-            .build(&p, &s)
-            .unwrap();
+        let mut seu =
+            PoissonSeuBuilder::new().rate(0.05).stuck_fraction(1.0).seed(4).build(&p, &s).unwrap();
         for c in 0..600 {
             seu.arrivals(c, Lane::Primary);
         }
         assert!(!seu.persistent(Lane::Primary).is_empty());
-        assert!(
-            seu.persistent(Lane::Tmr).is_empty(),
-            "common-mode 0 must leave the spare clean"
-        );
+        assert!(seu.persistent(Lane::Tmr).is_empty(), "common-mode 0 must leave the spare clean");
     }
 
     #[test]

@@ -74,11 +74,7 @@ fn tile_cycle_budget_stops_replaying_a_persistent_fault() {
         };
         let mut exec = TileExecutor::new(Design::D2, cfg).unwrap();
         let mut inj = ScriptedFaults {
-            hard_primary: vec![FaultSpec::StuckAt {
-                net: "in_even".into(),
-                bit: 0,
-                value: true,
-            }],
+            hard_primary: vec![FaultSpec::StuckAt { net: "in_even".into(), bit: 0, value: true }],
             ..ScriptedFaults::default()
         };
         exec.run_stream(&pairs, &mut inj).unwrap()

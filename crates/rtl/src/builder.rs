@@ -113,10 +113,7 @@ impl NetlistBuilder {
         if self.ports.contains_key(name) {
             return Err(Error::DuplicatePort { name: name.to_owned() });
         }
-        self.ports.insert(
-            name.to_owned(),
-            Port { name: name.to_owned(), direction, bus },
-        );
+        self.ports.insert(name.to_owned(), Port { name: name.to_owned(), direction, bus });
         Ok(())
     }
 
@@ -496,11 +493,7 @@ impl NetlistBuilder {
             // sel=1 -> a: minterms where (sel&a): idx 3, 7; sel=0 -> b:
             // idx 4, 6.
             let table = 0b1101_1000;
-            bits.push(self.lut(
-                &format!("{name}_m{i}"),
-                &[sel, a.bit(i), b.bit(i)],
-                table,
-            )?);
+            bits.push(self.lut(&format!("{name}_m{i}"), &[sel, a.bit(i), b.bit(i)], table)?);
         }
         Bus::new(bits)
     }
@@ -668,11 +661,7 @@ impl NetlistBuilder {
                 }
             }
         }
-        fn map_net(
-            this: &mut NetlistBuilder,
-            map: &mut [Option<NetId>],
-            net: NetId,
-        ) -> NetId {
+        fn map_net(this: &mut NetlistBuilder, map: &mut [Option<NetId>], net: NetId) -> NetId {
             if let Some(mapped) = map[net.index()] {
                 mapped
             } else {
@@ -696,16 +685,14 @@ impl NetlistBuilder {
                     table: *table,
                     output: map_net(self, &mut map, *output),
                 },
-                CellKind::FullAdder { a, b, cin, sum, cout, invert_b } => {
-                    CellKind::FullAdder {
-                        a: map_net(self, &mut map, *a),
-                        b: map_net(self, &mut map, *b),
-                        cin: map_net(self, &mut map, *cin),
-                        sum: map_net(self, &mut map, *sum),
-                        cout: map_net(self, &mut map, *cout),
-                        invert_b: *invert_b,
-                    }
-                }
+                CellKind::FullAdder { a, b, cin, sum, cout, invert_b } => CellKind::FullAdder {
+                    a: map_net(self, &mut map, *a),
+                    b: map_net(self, &mut map, *b),
+                    cin: map_net(self, &mut map, *cin),
+                    sum: map_net(self, &mut map, *sum),
+                    cout: map_net(self, &mut map, *cout),
+                    invert_b: *invert_b,
+                },
                 CellKind::CarryAdd { a, b, out } => CellKind::CarryAdd {
                     a: map_bus_fn(self, &mut map, a)?,
                     b: map_bus_fn(self, &mut map, b)?,
@@ -720,10 +707,9 @@ impl NetlistBuilder {
                     d: map_bus_fn(self, &mut map, d)?,
                     q: map_bus_fn(self, &mut map, q)?,
                 },
-                CellKind::Constant { value, out } => CellKind::Constant {
-                    value: *value,
-                    out: map_bus_fn(self, &mut map, out)?,
-                },
+                CellKind::Constant { value, out } => {
+                    CellKind::Constant { value: *value, out: map_bus_fn(self, &mut map, out)? }
+                }
                 CellKind::Ram { words, raddr, rdata, waddr, wdata, wen } => CellKind::Ram {
                     words: *words,
                     raddr: map_bus_fn(self, &mut map, raddr)?,
@@ -739,10 +725,7 @@ impl NetlistBuilder {
         let mut outputs = BTreeMap::new();
         for port in other.ports().values() {
             if port.direction == PortDirection::Output {
-                outputs.insert(
-                    port.name.clone(),
-                    map_bus_fn(self, &mut map, &port.bus)?,
-                );
+                outputs.insert(port.name.clone(), map_bus_fn(self, &mut map, &port.bus)?);
             }
         }
         Ok(outputs)
@@ -773,10 +756,7 @@ mod tests {
     fn duplicate_port_rejected() {
         let mut b = NetlistBuilder::new();
         b.input("x", 4).unwrap();
-        assert_eq!(
-            b.input("x", 4).unwrap_err(),
-            Error::DuplicatePort { name: "x".into() }
-        );
+        assert_eq!(b.input("x", 4).unwrap_err(), Error::DuplicatePort { name: "x".into() });
     }
 
     #[test]
@@ -871,9 +851,7 @@ mod hierarchy_tests {
         let waddr = b.input("waddr", 4).unwrap();
         let wdata = b.input("wdata", 8).unwrap();
         let wen = b.input("wen", 1).unwrap();
-        let rdata = b
-            .ram("mem", 16, 8, &raddr, &waddr, &wdata, wen.bit(0))
-            .unwrap();
+        let rdata = b.ram("mem", 16, 8, &raddr, &waddr, &wdata, wen.bit(0)).unwrap();
         b.output("rdata", &rdata).unwrap();
         let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
 
@@ -1002,13 +980,9 @@ mod hierarchy_tests {
         // Parent: two instances in series.
         let mut b = NetlistBuilder::new();
         let x = b.input("x", 8).unwrap();
-        let out1 = b
-            .instantiate(&child, "u1_", &[("x".to_owned(), x)].into())
-            .unwrap();
+        let out1 = b.instantiate(&child, "u1_", &[("x".to_owned(), x)].into()).unwrap();
         let y1 = b.resize(&out1["y"], 8).unwrap();
-        let out2 = b
-            .instantiate(&child, "u2_", &[("x".to_owned(), y1)].into())
-            .unwrap();
+        let out2 = b.instantiate(&child, "u2_", &[("x".to_owned(), y1)].into()).unwrap();
         b.output("y", &out2["y"]).unwrap();
         let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
         sim.set_input("x", 11).unwrap();

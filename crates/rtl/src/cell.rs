@@ -151,9 +151,7 @@ impl CellKind {
         match self {
             CellKind::Lut { output, .. } => vec![*output],
             CellKind::FullAdder { sum, cout, .. } => vec![*sum, *cout],
-            CellKind::CarryAdd { out, .. } | CellKind::CarrySub { out, .. } => {
-                out.bits().to_vec()
-            }
+            CellKind::CarryAdd { out, .. } | CellKind::CarrySub { out, .. } => out.bits().to_vec(),
             CellKind::Register { q, .. } => q.bits().to_vec(),
             CellKind::Constant { out, .. } => out.bits().to_vec(),
             CellKind::Ram { rdata, .. } => rdata.bits().to_vec(),
@@ -234,10 +232,8 @@ mod tests {
     #[test]
     fn truth_tables_are_correct() {
         let eval = |table: u16, bits: &[bool]| {
-            let idx = bits
-                .iter()
-                .enumerate()
-                .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i));
+            let idx =
+                bits.iter().enumerate().fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i));
             table & (1 << idx) != 0
         };
         for a in [false, true] {

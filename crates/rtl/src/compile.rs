@@ -112,8 +112,13 @@ pub struct Program {
 
 impl Program {
     /// Lowers a validated netlist into a compiled program.
-    #[must_use]
-    pub fn compile(netlist: &Netlist) -> Program {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedProgram`] when the lowering pass finds
+    /// an internal inconsistency — in practice only possible for
+    /// netlists that bypassed validation.
+    pub fn compile(netlist: &Netlist) -> Result<Program> {
         let nets = netlist.net_count();
         let mut ops = Vec::new();
         let mut next_slot = nets as u32;
@@ -184,7 +189,12 @@ impl Program {
                     .copied()
                     .filter(|&id| matches!(netlist.cell(id).kind, CellKind::Ram { .. }))
                     .nth(rams.len())
-                    .expect("RamRead op without a Ram cell");
+                    .ok_or_else(|| Error::MalformedProgram {
+                        detail: format!(
+                            "RamRead op {} has no matching Ram cell in the schedule",
+                            rams.len()
+                        ),
+                    })?;
                 if let CellKind::Ram { words, raddr, rdata, waddr, wdata, wen } =
                     &netlist.cell(cell).kind
                 {
@@ -216,16 +226,7 @@ impl Program {
             }
         }
 
-        Program {
-            ops,
-            slots: next_slot as usize,
-            zero,
-            one,
-            regs,
-            rams,
-            levels,
-            reg_bits,
-        }
+        Ok(Program { ops, slots: next_slot as usize, zero, one, regs, rams, levels, reg_bits })
     }
 
     /// Word operations executed per pass.
@@ -293,10 +294,7 @@ impl Program {
             let (name, kind) = match *op {
                 Op::Const { dst, ones } => (
                     format!("bt{i}"),
-                    CellKind::Constant {
-                        value: if ones { -1 } else { 0 },
-                        out: one_bit(dst)?,
-                    },
+                    CellKind::Constant { value: if ones { -1 } else { 0 }, out: one_bit(dst)? },
                 ),
                 Op::Copy { dst, a } => (
                     format!("bt{i}"),
@@ -416,12 +414,8 @@ fn lower_lut(inputs: &[NetId], table: u16, dst: u32) -> Op {
         (&[a, b], 0b1000) => Op::And { dst, a, b },
         (&[a, b], 0b1110) => Op::Or { dst, a, b },
         (&[a, b], 0b0110) => Op::Xor { dst, a, b },
-        (&[a, b, c], 0b1001_0110) => {
-            Op::FaSum { dst, a, b, cin: c, invert_b: false }
-        }
-        (&[a, b, c], 0b1110_1000) => {
-            Op::FaCarry { dst, a, b, cin: c, invert_b: false }
-        }
+        (&[a, b, c], 0b1001_0110) => Op::FaSum { dst, a, b, cin: c, invert_b: false },
+        (&[a, b, c], 0b1110_1000) => Op::FaCarry { dst, a, b, cin: c, invert_b: false },
         _ => Op::Lut { dst, inputs: s.into_boxed_slice(), table },
     }
 }
@@ -548,18 +542,15 @@ impl CompiledEngine {
     ///
     /// # Errors
     ///
-    /// Never fails today (the netlist was validated at build time);
-    /// the `Result` matches the [`Engine`] constructor contract.
+    /// Returns [`Error::MalformedProgram`] if lowering finds an
+    /// internal inconsistency — unreachable for netlists that passed
+    /// validation at build time.
     pub fn new(netlist: Netlist) -> Result<Self> {
-        let program = Program::compile(&netlist);
+        let program = Program::compile(&netlist)?;
         let slots = program.slots;
         let mut engine = CompiledEngine {
             words: vec![0; slots],
-            ram: program
-                .rams
-                .iter()
-                .map(|r| vec![0; r.words * r.width])
-                .collect(),
+            ram: program.rams.iter().map(|r| vec![0; r.words * r.width]).collect(),
             scratch: Vec::with_capacity(program.reg_bits),
             staged: Vec::new(),
             and_mask: vec![ALL; slots],
@@ -647,11 +638,8 @@ impl CompiledEngine {
 
     /// Signed value of a bus in one lane.
     fn read_bus_lane(&self, bus: &Bus, lane: usize) -> i64 {
-        let bits: Vec<bool> = bus
-            .bits()
-            .iter()
-            .map(|&n| (self.words[n.index()] >> lane) & 1 == 1)
-            .collect();
+        let bits: Vec<bool> =
+            bus.bits().iter().map(|&n| (self.words[n.index()] >> lane) & 1 == 1).collect();
         bits_to_signed(&bits)
     }
 
@@ -971,8 +959,7 @@ impl Engine for CompiledEngine {
     }
 
     fn restore(&mut self, snapshot: &CompiledSnapshot) -> Result<()> {
-        if snapshot.nets != self.netlist.net_count()
-            || snapshot.cells != self.netlist.cell_count()
+        if snapshot.nets != self.netlist.net_count() || snapshot.cells != self.netlist.cell_count()
         {
             return Err(Error::SnapshotMismatch {
                 snapshot_nets: snapshot.nets,
@@ -1287,18 +1274,14 @@ mod tests {
         // graph that simulates bit-exactly against the source, RAM
         // included — this is the substrate the formal checker rests on.
         for (netlist, inputs, outputs) in [
-            (
-                mixed_netlist(),
-                vec![("x", -128i64, 127i64), ("y", -128, 127)],
-                vec!["s", "p"],
-            ),
+            (mixed_netlist(), vec![("x", -128i64, 127i64), ("y", -128, 127)], vec!["s", "p"]),
             (
                 ram_netlist(),
                 vec![("raddr", -4, 3), ("waddr", -4, 3), ("wdata", -32, 31), ("wen", -1, 0)],
                 vec!["rdata"],
             ),
         ] {
-            let program = Program::compile(&netlist);
+            let program = Program::compile(&netlist).unwrap();
             let back = program.to_netlist(&netlist).expect("back-translation validates");
             let mut src = Simulator::new(netlist).unwrap();
             let mut bt = Simulator::new(back).unwrap();
@@ -1321,11 +1304,8 @@ mod tests {
             }
         }
         // A program refuses to back-translate against a foreign netlist.
-        let program = Program::compile(&mixed_netlist());
-        assert!(matches!(
-            program.to_netlist(&ram_netlist()),
-            Err(Error::SnapshotMismatch { .. })
-        ));
+        let program = Program::compile(&mixed_netlist()).unwrap();
+        assert!(matches!(program.to_netlist(&ram_netlist()), Err(Error::SnapshotMismatch { .. })));
     }
 
     #[test]

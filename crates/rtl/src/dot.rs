@@ -67,11 +67,7 @@ pub fn render_with_diagnostics(netlist: &Netlist, highlights: &[DotHighlight]) -
 
 fn render(netlist: &Netlist, highlights: &[DotHighlight]) -> String {
     let notes_for = |node: &str| -> Vec<&str> {
-        highlights
-            .iter()
-            .filter(|h| h.node == node)
-            .map(|h| h.note.as_str())
-            .collect()
+        highlights.iter().filter(|h| h.node == node).map(|h| h.note.as_str()).collect()
     };
     let mut out = String::from("digraph netlist {\n  rankdir=LR;\n  node [fontsize=9];\n");
 
@@ -147,27 +143,18 @@ fn render(netlist: &Netlist, highlights: &[DotHighlight]) -> String {
     };
     for cell in netlist.cells() {
         for net in cell.kind.input_nets() {
-            *edges
-                .entry((source_name(net), cell.name.clone()))
-                .or_insert(0) += 1;
+            *edges.entry((source_name(net), cell.name.clone())).or_insert(0) += 1;
         }
     }
     for port in netlist.ports().values() {
         if port.direction == PortDirection::Output {
             for &net in port.bus.bits() {
-                *edges
-                    .entry((source_name(net), format!("port:{}", port.name)))
-                    .or_insert(0) += 1;
+                *edges.entry((source_name(net), format!("port:{}", port.name))).or_insert(0) += 1;
             }
         }
     }
     for ((from, to), bits) in edges {
-        let _ = writeln!(
-            out,
-            "  \"{}\" -> \"{}\" [label=\"{bits}\"];",
-            escape(&from),
-            escape(&to)
-        );
+        let _ = writeln!(out, "  \"{}\" -> \"{}\" [label=\"{bits}\"];", escape(&from), escape(&to));
     }
     out.push_str("}\n");
     out

@@ -76,6 +76,15 @@ pub enum Error {
         /// Cell count of the restoring simulator's netlist.
         simulator_cells: usize,
     },
+    /// Lowering a netlist into a compiled op program found an internal
+    /// inconsistency (e.g. an emitted RAM read op with no matching RAM
+    /// cell in the schedule). Unreachable for netlists that passed
+    /// validation; malformed programs surface here instead of aborting
+    /// the process.
+    MalformedProgram {
+        /// What the lowering pass found inconsistent.
+        detail: String,
+    },
     /// The event loop exceeded its iteration budget inside one cycle —
     /// the netlist (possibly under an injected fault) is oscillating
     /// instead of settling.
@@ -124,6 +133,9 @@ impl fmt::Display for Error {
                  {snapshot_cells} cells vs simulator's {simulator_nets} nets / \
                  {simulator_cells} cells"
             ),
+            Error::MalformedProgram { detail } => {
+                write!(f, "malformed compiled program: {detail}")
+            }
             Error::SimulationDiverged { cell, cycle, events } => write!(
                 f,
                 "simulation diverged at cycle {cycle}: {events} events without settling \
@@ -145,10 +157,7 @@ mod tests {
     #[test]
     fn every_variant_displays_its_payload() {
         let cases: Vec<(Error, Vec<&str>)> = vec![
-            (
-                Error::MultipleDrivers { net: 4, driver: "acc2".into() },
-                vec!["4", "acc2"],
-            ),
+            (Error::MultipleDrivers { net: 4, driver: "acc2".into() }, vec!["4", "acc2"]),
             (
                 Error::Undriven { net: 9, reader: "output port 'low'".into() },
                 vec!["9", "output port 'low'"],
@@ -165,6 +174,10 @@ mod tests {
                     detail: "bit 31 out of range".into(),
                 },
                 vec!["alpha_r", "bit 31"],
+            ),
+            (
+                Error::MalformedProgram { detail: "RamRead op without a Ram cell".into() },
+                vec!["RamRead op without a Ram cell"],
             ),
             (
                 Error::SimulationDiverged { cell: "osc".into(), cycle: 12, events: 99 },

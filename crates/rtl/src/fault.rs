@@ -178,10 +178,7 @@ pub(crate) fn resolve(netlist: &Netlist, spec: &FaultSpec) -> Result<ResolvedFau
                 ));
             }
             if *bit >= width {
-                return Err(fault_error(
-                    ram,
-                    format!("bit {bit} out of range (width {width})"),
-                ));
+                return Err(fault_error(ram, format!("bit {bit} out of range (width {width})")));
             }
             Ok(ResolvedFault::Ram { cell: id, addr: *addr, bit: *bit, cycle: *cycle })
         }
@@ -208,21 +205,13 @@ mod tests {
     #[test]
     fn resolves_ports_cells_registers_and_rams() {
         let n = sample();
-        let stuck_port =
-            resolve(&n, &FaultSpec::StuckAt { net: "x".into(), bit: 3, value: true });
+        let stuck_port = resolve(&n, &FaultSpec::StuckAt { net: "x".into(), bit: 3, value: true });
         assert!(matches!(stuck_port, Ok(ResolvedFault::Stuck { value: true, .. })));
-        let stuck_cell =
-            resolve(&n, &FaultSpec::StuckAt { net: "s".into(), bit: 8, value: false });
+        let stuck_cell = resolve(&n, &FaultSpec::StuckAt { net: "s".into(), bit: 8, value: false });
         assert!(matches!(stuck_cell, Ok(ResolvedFault::Stuck { value: false, .. })));
-        let flip = resolve(
-            &n,
-            &FaultSpec::BitFlip { register: "q".into(), bit: 0, cycle: 7 },
-        );
+        let flip = resolve(&n, &FaultSpec::BitFlip { register: "q".into(), bit: 0, cycle: 7 });
         assert!(matches!(flip, Ok(ResolvedFault::Flip { bit: 0, cycle: 7, .. })));
-        let ram = resolve(
-            &n,
-            &FaultSpec::RamUpset { ram: "m".into(), addr: 3, bit: 8, cycle: 1 },
-        );
+        let ram = resolve(&n, &FaultSpec::RamUpset { ram: "m".into(), addr: 3, bit: 8, cycle: 1 });
         assert!(matches!(ram, Ok(ResolvedFault::Ram { addr: 3, bit: 8, .. })));
     }
 
@@ -239,10 +228,7 @@ mod tests {
         ];
         for spec in cases {
             let err = resolve(&n, &spec).unwrap_err();
-            assert!(
-                matches!(err, Error::FaultTarget { .. }),
-                "{spec} resolved to {err:?}"
-            );
+            assert!(matches!(err, Error::FaultTarget { .. }), "{spec} resolved to {err:?}");
             assert!(!err.to_string().is_empty());
         }
     }

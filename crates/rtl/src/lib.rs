@@ -49,7 +49,6 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
-mod proptests;
 pub mod builder;
 pub mod cell;
 pub mod compile;
@@ -60,6 +59,7 @@ pub mod fault;
 pub mod net;
 pub mod netlist;
 pub mod opt;
+mod proptests;
 pub mod query;
 pub mod sim;
 pub mod stats;

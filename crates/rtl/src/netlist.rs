@@ -112,9 +112,7 @@ impl Netlist {
     ///
     /// Returns [`Error::UnknownPort`] if it does not exist.
     pub fn port(&self, name: &str) -> Result<&Port> {
-        self.ports
-            .get(name)
-            .ok_or_else(|| Error::UnknownPort { name: name.to_owned() })
+        self.ports.get(name).ok_or_else(|| Error::UnknownPort { name: name.to_owned() })
     }
 
     /// Cells reading the given net.
@@ -177,10 +175,7 @@ impl Netlist {
         for (i, cell) in cells.iter().enumerate() {
             for net in cell.kind.output_nets() {
                 if driver[net.index()].is_some() || driven_by_input[net.index()] {
-                    return Err(Error::MultipleDrivers {
-                        net: net.0,
-                        driver: cell.name.clone(),
-                    });
+                    return Err(Error::MultipleDrivers { net: net.0, driver: cell.name.clone() });
                 }
                 driver[net.index()] = Some(CellId(i as u32));
             }
@@ -209,9 +204,8 @@ impl Netlist {
                     .map(|c| c.name.clone())
                     .or_else(|| {
                         ports.iter().find_map(|(name, p)| {
-                            (p.direction == PortDirection::Output
-                                && p.bus.bits().contains(&id))
-                            .then(|| format!("output port '{name}'"))
+                            (p.direction == PortDirection::Output && p.bus.bits().contains(&id))
+                                .then(|| format!("output port '{name}'"))
                         })
                     })
                     .unwrap_or_default();
@@ -271,12 +265,8 @@ impl Netlist {
                     if !rc.kind.is_combinational() {
                         continue;
                     }
-                    let edges = rc
-                        .kind
-                        .comb_input_nets()
-                        .iter()
-                        .filter(|&&n| n == net)
-                        .count() as u32;
+                    let edges =
+                        rc.kind.comb_input_nets().iter().filter(|&&n| n == net).count() as u32;
                     if edges > 0 {
                         indegree[reader.index()] -= edges;
                         if indegree[reader.index()] == 0 {
@@ -299,6 +289,29 @@ impl Netlist {
 
         let registers = Netlist::scan_registers(&cells);
         Ok(Netlist { cells, net_count, ports, fanout, driver, topo, registers })
+    }
+
+    /// Assembles and **validates** a netlist from raw parts.
+    ///
+    /// This is the public counterpart of the builder's `finish` step for
+    /// tooling that restructures existing netlists — the partitioning
+    /// pass carves sub-netlists out of a parent graph (reusing the
+    /// parent's net-id space, so stranded unused ids are expected and
+    /// legal) and `stitch` reassembles them. The full validation suite
+    /// runs: single driver per used net, acyclic combinational logic,
+    /// and fanout/topological-order construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`Error`] variants as
+    /// [`crate::builder::NetlistBuilder::finish`]: [`Error::MultipleDrivers`],
+    /// [`Error::Undriven`], or [`Error::CombinationalLoop`].
+    pub fn from_parts(
+        cells: Vec<Cell>,
+        net_count: u32,
+        ports: BTreeMap<String, Port>,
+    ) -> Result<Self> {
+        Netlist::validate(cells, net_count, ports)
     }
 
     /// Assembles a netlist from raw parts **without** validating it.
@@ -373,15 +386,10 @@ impl Netlist {
                     if !rc.kind.is_combinational() {
                         continue;
                     }
-                    let edges = rc
-                        .kind
-                        .comb_input_nets()
-                        .iter()
-                        .filter(|&&n| n == net)
-                        .count() as u32;
+                    let edges =
+                        rc.kind.comb_input_nets().iter().filter(|&&n| n == net).count() as u32;
                     if edges > 0 && driver[net.index()].is_some() {
-                        indegree[reader.index()] =
-                            indegree[reader.index()].saturating_sub(edges);
+                        indegree[reader.index()] = indegree[reader.index()].saturating_sub(edges);
                         if indegree[reader.index()] == 0 {
                             queue.push(reader);
                         }

@@ -105,9 +105,7 @@ pub fn eliminate_dead_cells(netlist: &Netlist) -> Result<(Netlist, OptStats)> {
     let mut removed = 0;
     for (i, cell) in netlist.cells().iter().enumerate() {
         let keep = match &cell.kind {
-            CellKind::Register { q, .. } => {
-                live[i] || q.bits().iter().any(|n| seen_net[n.index()])
-            }
+            CellKind::Register { q, .. } => live[i] || q.bits().iter().any(|n| seen_net[n.index()]),
             CellKind::Ram { .. } => true,
             _ => live[i],
         };
@@ -122,10 +120,7 @@ pub fn eliminate_dead_cells(netlist: &Netlist) -> Result<(Netlist, OptStats)> {
     // drop because validation only requires *used* nets be driven —
     // they are no longer used).
     let rebuilt = rebuild(netlist, kept)?;
-    Ok((
-        rebuilt,
-        OptStats { dead_cells_removed: removed, ..OptStats::default() },
-    ))
+    Ok((rebuilt, OptStats { dead_cells_removed: removed, ..OptStats::default() }))
 }
 
 /// Folds constant LUT inputs: a LUT whose inputs are all constants
@@ -202,11 +197,7 @@ pub fn fold_constants(netlist: &Netlist) -> Result<(Netlist, OptStats)> {
                 }
                 kept.push(Cell {
                     name: cell.name.clone(),
-                    kind: CellKind::Lut {
-                        inputs: new_inputs,
-                        table: new_table,
-                        output: *output,
-                    },
+                    kind: CellKind::Lut { inputs: new_inputs, table: new_table, output: *output },
                 });
                 stats.luts_shrunk += 1;
                 continue;
@@ -279,9 +270,7 @@ mod tests {
 
         let mut b = NetlistBuilder::new();
         let x = b.input("x", 4).unwrap();
-        let outs = b
-            .instantiate(&child, "u_", &[("x".to_owned(), x)].into())
-            .unwrap();
+        let outs = b.instantiate(&child, "u_", &[("x".to_owned(), x)].into()).unwrap();
         b.output("o", &outs["sum"]).unwrap(); // "diff" unused
         let n = b.finish().unwrap();
         let (opt, stats) = eliminate_dead_cells(&n).unwrap();

@@ -55,10 +55,7 @@ fn build_netlist(
     let mut b = NetlistBuilder::new();
     let x = b.input("x", 10).unwrap();
     let y = b.input("y", 10).unwrap();
-    let mut nodes: Vec<Bus> = vec![
-        b.sign_extend(&x, W).unwrap(),
-        b.sign_extend(&y, W).unwrap(),
-    ];
+    let mut nodes: Vec<Bus> = vec![b.sign_extend(&x, W).unwrap(), b.sign_extend(&y, W).unwrap()];
     let mut regs_on_path = 0;
     for (i, op) in ops.iter().enumerate() {
         let pick = |v: &Vec<Bus>, i: usize| v[i % v.len()].clone();

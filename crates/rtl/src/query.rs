@@ -43,13 +43,8 @@ impl Netlist {
         let mut depth = vec![0usize; self.net_count()];
         for &id in self.topo_order() {
             let cell = self.cell(id);
-            let d_in = cell
-                .kind
-                .comb_input_nets()
-                .iter()
-                .map(|n| depth[n.index()])
-                .max()
-                .unwrap_or(0);
+            let d_in =
+                cell.kind.comb_input_nets().iter().map(|n| depth[n.index()]).max().unwrap_or(0);
             let d_out = match cell.kind {
                 CellKind::Constant { .. } => 0,
                 _ => d_in + 1,
@@ -140,10 +135,9 @@ impl Netlist {
                 if let Some(l) = lat[net.index()] {
                     incoming = Some(match incoming {
                         None => l,
-                        Some(acc) => PathLatency {
-                            min: acc.min.min(l.min),
-                            max: acc.max.max(l.max),
-                        },
+                        Some(acc) => {
+                            PathLatency { min: acc.min.min(l.min), max: acc.max.max(l.max) }
+                        }
                     });
                 }
             }
@@ -154,10 +148,9 @@ impl Netlist {
                     if net != from {
                         lat[net.index()] = Some(match lat[net.index()] {
                             None => out,
-                            Some(acc) => PathLatency {
-                                min: acc.min.min(out.min),
-                                max: acc.max.max(out.max),
-                            },
+                            Some(acc) => {
+                                PathLatency { min: acc.min.min(out.min), max: acc.max.max(out.max) }
+                            }
                         });
                     }
                 }
@@ -226,12 +219,7 @@ mod tests {
         let n = b.finish().unwrap();
         let order = n.sequential_topo().unwrap();
         assert_eq!(order.len(), n.cell_count());
-        let pos = |name: &str| {
-            order
-                .iter()
-                .position(|&id| n.cell(id).name == name)
-                .unwrap()
-        };
+        let pos = |name: &str| order.iter().position(|&id| n.cell(id).name == name).unwrap();
         assert!(pos("q1") < pos("q2"));
     }
 }

@@ -240,12 +240,10 @@ impl Simulator {
         let mut net_class = vec![NetClass::Local; netlist.net_count()];
         for (idx, class) in net_class.iter_mut().enumerate() {
             let net = crate::net::NetId(idx as u32);
-            let routed_reader = netlist.fanout(net).iter().any(|&r| {
-                match &netlist.cell(r).kind {
-                    CellKind::Register { .. } => false,
-                    CellKind::FullAdder { cin, .. } => *cin != net,
-                    _ => true,
-                }
+            let routed_reader = netlist.fanout(net).iter().any(|&r| match &netlist.cell(r).kind {
+                CellKind::Register { .. } => false,
+                CellKind::FullAdder { cin, .. } => *cin != net,
+                _ => true,
             });
             if routed_reader {
                 *class = NetClass::Routed;
@@ -569,11 +567,7 @@ impl Simulator {
                     .last_eval
                     .map(|id| self.netlist.cell(id).name.clone())
                     .unwrap_or_else(|| "<none>".to_owned());
-                return Err(Error::SimulationDiverged {
-                    cell,
-                    cycle: self.cycle,
-                    events,
-                });
+                return Err(Error::SimulationDiverged { cell, cycle: self.cycle, events });
             }
             if kind == 0 {
                 // Net value change token: deliver the queued change if it
@@ -748,19 +742,12 @@ impl Simulator {
             }
             CellKind::Constant { value, out } => {
                 let bits = signed_to_bits(*value, out.width());
-                bits.into_iter()
-                    .enumerate()
-                    .map(|(i, b)| (out.bit(i), b, 0))
-                    .collect()
+                bits.into_iter().enumerate().map(|(i, b)| (out.bit(i), b, 0)).collect()
             }
             CellKind::Register { .. } => vec![],
             CellKind::Ram { words, raddr, rdata, .. } => {
                 let addr = self.read_bus_unsigned(raddr) as usize;
-                let value = if addr < *words {
-                    self.ram_contents[id.index()][addr]
-                } else {
-                    0
-                };
+                let value = if addr < *words { self.ram_contents[id.index()][addr] } else { 0 };
                 signed_to_bits(value, rdata.width())
                     .into_iter()
                     .enumerate()
@@ -887,13 +874,10 @@ impl Simulator {
     /// [`Error::ValueOutOfRange`] for an out-of-bounds address.
     pub fn peek_ram(&self, name: &str, addr: usize) -> Result<i64> {
         let id = self.find_ram(name)?;
-        self.ram_contents[id.index()]
-            .get(addr)
-            .copied()
-            .ok_or(Error::ValueOutOfRange {
-                value: addr as i64,
-                width: self.ram_contents[id.index()].len(),
-            })
+        self.ram_contents[id.index()].get(addr).copied().ok_or(Error::ValueOutOfRange {
+            value: addr as i64,
+            width: self.ram_contents[id.index()].len(),
+        })
     }
 
     /// Arms a fault on the running simulation.
@@ -1121,10 +1105,7 @@ mod tests {
         };
         let shallow = run(chain(2));
         let deep = run(chain(8));
-        assert!(
-            deep > shallow * 2.0,
-            "deep {deep} should glitch much more than shallow {shallow}"
-        );
+        assert!(deep > shallow * 2.0, "deep {deep} should glitch much more than shallow {shallow}");
     }
 
     #[test]
@@ -1153,10 +1134,7 @@ mod tests {
         };
         let flat = run(build(false));
         let piped = run(build(true));
-        assert!(
-            piped < flat,
-            "pipelined {piped} should not exceed unpipelined {flat}"
-        );
+        assert!(piped < flat, "pipelined {piped} should not exceed unpipelined {flat}");
     }
 
     #[test]
@@ -1181,8 +1159,7 @@ mod tests {
         let s = b.carry_add("s", &x, &x, 5).unwrap();
         b.output("o", &s).unwrap();
         let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
-        sim.inject(&FaultSpec::StuckAt { net: "x".into(), bit: 0, value: true })
-            .unwrap();
+        sim.inject(&FaultSpec::StuckAt { net: "x".into(), bit: 0, value: true }).unwrap();
         // Injection on a settled machine propagates immediately: x = 1.
         assert_eq!(sim.peek("o").unwrap(), 2);
         // Staged input writes are clamped too: 4 becomes 5.
@@ -1202,8 +1179,7 @@ mod tests {
         let q = b.register("q", &x).unwrap();
         b.output("o", &q).unwrap();
         let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
-        sim.inject(&FaultSpec::BitFlip { register: "q".into(), bit: 2, cycle: 1 })
-            .unwrap();
+        sim.inject(&FaultSpec::BitFlip { register: "q".into(), bit: 2, cycle: 1 }).unwrap();
         sim.set_input("x", 0).unwrap();
         sim.tick(); // cycle 0: clean capture
         assert_eq!(sim.peek("o").unwrap(), 0);
@@ -1223,8 +1199,7 @@ mod tests {
         let rd = b.ram("m", 4, 8, &addr, &addr, &x, gnd).unwrap();
         b.output("o", &rd).unwrap();
         let mut sim = Simulator::new(b.finish().unwrap()).unwrap();
-        sim.inject(&FaultSpec::RamUpset { ram: "m".into(), addr: 0, bit: 3, cycle: 1 })
-            .unwrap();
+        sim.inject(&FaultSpec::RamUpset { ram: "m".into(), addr: 0, bit: 3, cycle: 1 }).unwrap();
         sim.tick();
         assert_eq!(sim.peek("o").unwrap(), 0);
         sim.tick(); // upset strikes at the edge, read port refreshes
@@ -1273,12 +1248,8 @@ mod tests {
         };
         let run = |mut sim: Simulator, arm: bool| {
             if arm {
-                sim.inject(&FaultSpec::BitFlip {
-                    register: "q".into(),
-                    bit: 0,
-                    cycle: 1_000_000,
-                })
-                .unwrap();
+                sim.inject(&FaultSpec::BitFlip { register: "q".into(), bit: 0, cycle: 1_000_000 })
+                    .unwrap();
             }
             for v in [1i64, -5, 60, 0, 33] {
                 sim.set_input("x", v).unwrap();
@@ -1348,10 +1319,8 @@ mod tests {
         sim.set_input("x", 11).unwrap();
         sim.tick();
         let snap = sim.snapshot();
-        sim.inject(&FaultSpec::StuckAt { net: "x".into(), bit: 0, value: true })
-            .unwrap();
-        sim.inject(&FaultSpec::BitFlip { register: "q".into(), bit: 1, cycle: 5 })
-            .unwrap();
+        sim.inject(&FaultSpec::StuckAt { net: "x".into(), bit: 0, value: true }).unwrap();
+        sim.inject(&FaultSpec::BitFlip { register: "q".into(), bit: 1, cycle: 5 }).unwrap();
         assert!(sim.snapshot().has_armed_faults());
         sim.restore(&snap).unwrap();
         assert!(!sim.snapshot().has_armed_faults());

@@ -107,11 +107,7 @@ impl std::fmt::Display for NetlistStats {
             }
         }
         writeln!(f)?;
-        write!(
-            f,
-            "max fanout {} at '{}'",
-            self.max_fanout.0, self.max_fanout.1
-        )
+        write!(f, "max fanout {} at '{}'", self.max_fanout.0, self.max_fanout.1)
     }
 }
 

@@ -38,11 +38,7 @@ impl VcdRecorder {
     /// Samples all watched buses at the current simulation state. Call
     /// once per clock cycle, after [`Simulator::tick`].
     pub fn sample(&mut self, sim: &Simulator) {
-        let row = self
-            .signals
-            .iter()
-            .map(|(_, bus)| sim.read_bus(bus))
-            .collect();
+        let row = self.signals.iter().map(|(_, bus)| sim.read_bus(bus)).collect();
         self.samples.push(row);
     }
 
@@ -103,10 +99,7 @@ fn ident(mut i: usize) -> String {
 
 /// Two's-complement binary image of `v` over `width` bits, MSB first.
 fn to_bin(v: i64, width: usize) -> String {
-    (0..width)
-        .rev()
-        .map(|i| if (v >> i) & 1 != 0 { '1' } else { '0' })
-        .collect()
+    (0..width).rev().map(|i| if (v >> i) & 1 != 0 { '1' } else { '0' }).collect()
 }
 
 #[cfg(test)]

@@ -129,7 +129,10 @@ impl ServeConfig {
                 self.retry.jitter
             )));
         }
-        if !self.cost_alpha.is_finite() || !(0.0..=1.0).contains(&self.cost_alpha) || self.cost_alpha == 0.0 {
+        if !self.cost_alpha.is_finite()
+            || !(0.0..=1.0).contains(&self.cost_alpha)
+            || self.cost_alpha == 0.0
+        {
             return Err(Error::InvalidConfig(format!(
                 "cost_alpha {} must be in (0, 1]",
                 self.cost_alpha

@@ -19,6 +19,9 @@ pub enum Error {
     EmptyRequest,
     /// Every worker thread has died; the server cannot make progress.
     AllWorkersDead,
+    /// The OS refused to spawn a runtime thread; any workers that did
+    /// start have been shut down and joined.
+    Spawn(String),
 }
 
 impl fmt::Display for Error {
@@ -30,6 +33,7 @@ impl fmt::Display for Error {
             Error::ShuttingDown => write!(f, "server is shutting down"),
             Error::EmptyRequest => write!(f, "request has no sample pairs"),
             Error::AllWorkersDead => write!(f, "all worker threads have died"),
+            Error::Spawn(detail) => write!(f, "failed to spawn a runtime thread: {detail}"),
         }
     }
 }

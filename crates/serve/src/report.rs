@@ -141,8 +141,7 @@ mod tests {
 
     #[test]
     fn percentiles_are_nearest_rank() {
-        let responses: Vec<TileResponse> =
-            (1..=100).map(|i| resp(i, true, i * 1000)).collect();
+        let responses: Vec<TileResponse> = (1..=100).map(|i| resp(i, true, i * 1000)).collect();
         let report = ServeReport::from_responses(&responses);
         assert_eq!(report.p50_latency_ns, 50_000);
         assert_eq!(report.p99_latency_ns, 99_000);
@@ -152,7 +151,8 @@ mod tests {
 
     #[test]
     fn availability_counts_hardware_fraction() {
-        let responses = vec![resp(0, true, 10), resp(1, false, 20), resp(2, true, 30), resp(3, true, 40)];
+        let responses =
+            vec![resp(0, true, 10), resp(1, false, 20), resp(2, true, 30), resp(3, true, 40)];
         let report = ServeReport::from_responses(&responses);
         assert_eq!(report.hardware_served, 3);
         assert!((report.availability - 0.75).abs() < 1e-12);

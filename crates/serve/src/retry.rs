@@ -32,8 +32,8 @@ impl Default for RetryPolicy {
     fn default() -> Self {
         RetryPolicy {
             max_attempts: 3,
-            base_backoff_ns: 200_000,    // 200 µs
-            max_backoff_ns: 10_000_000,  // 10 ms
+            base_backoff_ns: 200_000,   // 200 µs
+            max_backoff_ns: 10_000_000, // 10 ms
             jitter: 0.5,
         }
     }
@@ -52,19 +52,14 @@ impl RetryPolicy {
     #[must_use]
     pub fn backoff_ns(&self, seed: u64, request_id: u64, attempt: u32) -> u64 {
         let exp = attempt.saturating_sub(2).min(62);
-        let raw = self
-            .base_backoff_ns
-            .saturating_mul(1u64 << exp)
-            .min(self.max_backoff_ns);
+        let raw = self.base_backoff_ns.saturating_mul(1u64 << exp).min(self.max_backoff_ns);
         let jitter = self.jitter.clamp(0.0, 1.0);
         if jitter == 0.0 || raw == 0 {
             return raw;
         }
         // Uniform in [1 - jitter, 1 + jitter] from a splitmix64 hash of
         // the (seed, id, attempt) triple.
-        let h = splitmix64(
-            seed ^ request_id.rotate_left(17) ^ u64::from(attempt).rotate_left(41),
-        );
+        let h = splitmix64(seed ^ request_id.rotate_left(17) ^ u64::from(attempt).rotate_left(41));
         let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
         let scale = 1.0 - jitter + 2.0 * jitter * unit;
         let scaled = (raw as f64 * scale).round();

@@ -138,11 +138,8 @@ impl Shared {
                 any_breaker_admitted = true;
                 let est = slot.cost.estimate().max(1);
                 let backlog = slot.backlog_ns();
-                let verdict = self.admission.judge(
-                    job.arrival_ns,
-                    now.saturating_add(backlog),
-                    est,
-                );
+                let verdict =
+                    self.admission.judge(job.arrival_ns, now.saturating_add(backlog), est);
                 if verdict != dwt_pool::admission::AdmissionVerdict::Admit {
                     continue;
                 }
@@ -158,7 +155,8 @@ impl Shared {
                 return Ok(w);
             }
         }
-        let fail = if any_breaker_admitted { DispatchFail::Deadline } else { DispatchFail::Breakers };
+        let fail =
+            if any_breaker_admitted { DispatchFail::Deadline } else { DispatchFail::Breakers };
         Err((job, fail))
     }
 
@@ -237,13 +235,8 @@ impl Shared {
                     st.counters.retries += 1;
                     st.retry_pending += 1;
                 }
-                let seq = self
-                    .retry_seq
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                self.retry_heap
-                    .lock()
-                    .unwrap()
-                    .push(Delayed { due, seq, job });
+                let seq = self.retry_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.retry_heap.lock().unwrap().push(Delayed { due, seq, job });
                 self.retry_cv.notify_all();
                 return;
             }
@@ -304,11 +297,9 @@ where
         for w in 0..cfg.workers {
             let exec = TileExecutor::<E>::with_backend(cfg.design, cfg.executor)?;
             let injector: Box<dyn FaultInjector + Send> = match &cfg.chaos {
-                Some(chaos) => Box::new(chaos.injector_for(
-                    w,
-                    exec.primary_netlist(),
-                    exec.spare_netlist(),
-                )?),
+                Some(chaos) => {
+                    Box::new(chaos.injector_for(w, exec.primary_netlist(), exec.spare_netlist())?)
+                }
                 None => Box::new(NoFaults),
             };
             execs.push(exec);
@@ -336,29 +327,55 @@ where
         });
 
         let mut workers = Vec::with_capacity(shared.cfg.workers);
+        let mut spawn_failure: Option<std::io::Error> = None;
         for (w, (exec, injector)) in execs.into_iter().zip(injectors).enumerate() {
             let shared = Arc::clone(&shared);
             let tx = tx.clone();
             let slow = shared.cfg.chaos.as_ref().map_or(1.0, |c| c.slow_factor(w));
             let handle = std::thread::Builder::new()
                 .name(format!("dwt-serve-{w}"))
-                .spawn(move || worker_loop(w, &shared, exec, injector, slow, &tx))
-                .expect("spawn worker thread");
-            workers.push(handle);
+                .spawn(move || worker_loop(w, &shared, exec, injector, slow, &tx));
+            match handle {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    spawn_failure = Some(e);
+                    break;
+                }
+            }
         }
-        let retry_thread = {
+        let retry_thread = if spawn_failure.is_none() {
             let shared = Arc::clone(&shared);
             let tx = tx.clone();
-            std::thread::Builder::new()
+            match std::thread::Builder::new()
                 .name("dwt-serve-retry".into())
                 .spawn(move || retry_loop(&shared, &tx))
-                .expect("spawn retry thread")
+            {
+                Ok(handle) => Some(handle),
+                Err(e) => {
+                    spawn_failure = Some(e);
+                    None
+                }
+            }
+        } else {
+            None
         };
+        if let Some(e) = spawn_failure {
+            // A partially-started runtime must not leak threads: flip
+            // shutdown, wake everyone, and join whatever did spawn.
+            shared.state.lock().unwrap().shutdown = true;
+            shared.work.notify_all();
+            shared.space.notify_all();
+            shared.retry_cv.notify_all();
+            for handle in workers {
+                let _ = handle.join();
+            }
+            if let Some(handle) = retry_thread {
+                let _ = handle.join();
+            }
+            return Err(Error::Spawn(e.to_string()));
+        }
 
-        Ok((
-            Server { shared, tx, workers, retry_thread: Some(retry_thread), _engine: PhantomData },
-            rx,
-        ))
+        Ok((Server { shared, tx, workers, retry_thread, _engine: PhantomData }, rx))
     }
 
     /// Submits one tile request. Exactly one [`TileResponse`] will
@@ -394,8 +411,7 @@ where
             match self.shared.cfg.overload {
                 OverloadPolicy::Shed => {
                     drop(st);
-                    self.shared
-                        .shed_to_golden(&self.tx, job, ShedReason::QueueFull, None);
+                    self.shared.shed_to_golden(&self.tx, job, ShedReason::QueueFull, None);
                     return Ok(());
                 }
                 OverloadPolicy::Block => {
@@ -722,10 +738,7 @@ fn retry_loop(shared: &Shared, tx: &Sender<TileResponse>) {
                     }
                 }
                 let heap = shared.retry_heap.lock().unwrap();
-                let _ = shared
-                    .retry_cv
-                    .wait_timeout(heap, Duration::from_millis(2))
-                    .unwrap();
+                let _ = shared.retry_cv.wait_timeout(heap, Duration::from_millis(2)).unwrap();
             }
         }
     }

@@ -26,8 +26,7 @@ fn drain(rx: &std::sync::mpsc::Receiver<TileResponse>, n: usize) -> Vec<TileResp
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(
-            rx.recv_timeout(std::time::Duration::from_secs(60))
-                .expect("response within timeout"),
+            rx.recv_timeout(std::time::Duration::from_secs(60)).expect("response within timeout"),
         );
     }
     out
@@ -112,10 +111,7 @@ fn chaos_killed_worker_opens_breaker_and_stream_stays_bit_exact() {
     assert_eq!(stats.counters.completed(), 60, "every request answered exactly once");
 
     let w0 = &stats.workers[0];
-    assert!(
-        w0.breaker_transitions > 0,
-        "stuck worker's breaker never moved: {stats:?}"
-    );
+    assert!(w0.breaker_transitions > 0, "stuck worker's breaker never moved: {stats:?}");
     assert!(
         w0.breaker_state == BreakerState::Open || w0.breaker_state == BreakerState::HalfOpen,
         "stuck worker's breaker should be open(ish) at shutdown, was {:?}",
@@ -149,10 +145,7 @@ fn shed_policy_serves_golden_under_overload_without_blocking() {
     assert_eq!(stats.counters.completed(), 30);
     // With a 2-deep queue and a burst of 30, some requests must have
     // been shed to golden — and shed responses are still bit-exact.
-    assert_eq!(
-        stats.counters.hardware_served + stats.counters.golden_served,
-        30
-    );
+    assert_eq!(stats.counters.hardware_served + stats.counters.golden_served, 30);
 }
 
 #[test]
@@ -172,10 +165,7 @@ fn deadline_admission_sheds_rather_than_serving_late() {
 
     assert_bit_exact(&requests, &responses);
     assert_eq!(stats.counters.completed(), 20);
-    assert!(
-        stats.counters.shed_deadline > 0,
-        "a 1 µs deadline must shed: {stats:?}"
-    );
+    assert!(stats.counters.shed_deadline > 0, "a 1 µs deadline must shed: {stats:?}");
 }
 
 #[test]
@@ -190,12 +180,20 @@ fn submit_after_shutdown_is_refused() {
 }
 
 #[test]
+fn spawn_error_reports_the_os_detail() {
+    let err = dwt_serve::Error::Spawn("resource temporarily unavailable".into());
+    assert_eq!(
+        err.to_string(),
+        "failed to spawn a runtime thread: resource temporarily unavailable"
+    );
+    assert!(std::error::Error::source(&err).is_none());
+}
+
+#[test]
 fn empty_request_is_rejected() {
     let cfg = base_config();
     let (server, _rx) = Server::<CompiledEngine>::start(cfg).unwrap();
-    let err = server
-        .submit(TileRequest { id: 0, pairs: Vec::new() })
-        .unwrap_err();
+    let err = server.submit(TileRequest { id: 0, pairs: Vec::new() }).unwrap_err();
     assert_eq!(err, dwt_serve::Error::EmptyRequest);
     let _ = server.shutdown();
 }

@@ -28,10 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reference: Vec<f64> = image.iter().map(|&v| f64::from(v)).collect();
     let img = image.map(f64::from);
 
-    println!(
-        "{:>6} {:>12} {:>10} {:>12}",
-        "step", "PSNR (dB)", "bits/px", "compression"
-    );
+    println!("{:>6} {:>12} {:>10} {:>12}", "step", "PSNR (dB)", "bits/px", "compression");
     for step in [2.0, 4.0, 8.0, 16.0, 32.0] {
         let quant = Quantizer::new(step)?;
         let dec = forward_2d(&img, 3, &LiftingF64Kernel)?;

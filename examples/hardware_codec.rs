@@ -51,10 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Host back end: quantize + entropy-code -------------------------
     let quant = Quantizer::new(8.0)?;
-    let indices: Vec<i64> = coeffs
-        .iter()
-        .map(|&c| quant.quantize(c as f64))
-        .collect();
+    let indices: Vec<i64> = coeffs.iter().map(|&c| quant.quantize(c as f64)).collect();
     let bytes = rice::encode(&indices);
     println!(
         "quantized + Rice-coded: {} bytes = {:.3} bits/pixel",

@@ -17,9 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Energy concentrates in the LL quadrant — the property JPEG2000
     // compression exploits.
-    let energy = |vals: &[i32]| -> f64 {
-        vals.iter().map(|&v| f64::from(v) * f64::from(v)).sum()
-    };
+    let energy = |vals: &[i32]| -> f64 { vals.iter().map(|&v| f64::from(v) * f64::from(v)).sum() };
     let total = energy(dec.coeffs.as_slice());
     let ll = energy(dec.subband(Subband::Ll).as_slice());
     println!(

@@ -143,12 +143,7 @@ impl BenchmarkGroup<'_> {
             }
             _ => String::new(),
         };
-        println!(
-            "  {}/{:<28} {:>12.3} ms/iter{rate}",
-            self.name,
-            id.id,
-            per_iter * 1e3,
-        );
+        println!("  {}/{:<28} {:>12.3} ms/iter{rate}", self.name, id.id, per_iter * 1e3,);
     }
 }
 

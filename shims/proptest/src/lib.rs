@@ -164,14 +164,14 @@ pub mod strategy {
         };
     }
 
-    tuple_strategy!(A/a);
-    tuple_strategy!(A/a, B/b);
-    tuple_strategy!(A/a, B/b, C/c);
-    tuple_strategy!(A/a, B/b, C/c, D/d);
-    tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
-    tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
-    tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f, G/g);
-    tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f, G/g, H/h);
+    tuple_strategy!(A / a);
+    tuple_strategy!(A / a, B / b);
+    tuple_strategy!(A / a, B / b, C / c);
+    tuple_strategy!(A / a, B / b, C / c, D / d);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g, H / h);
 }
 
 use strategy::Strategy;

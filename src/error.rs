@@ -32,6 +32,8 @@ pub enum DwtError {
     Pool(dwt_pool::Error),
     /// Wall-clock serving-runtime error (`dwt-serve`).
     Serve(dwt_serve::Error),
+    /// Partitioned-emulation error (`dwt-partition`).
+    Partition(dwt_partition::PartitionError),
 }
 
 impl fmt::Display for DwtError {
@@ -45,6 +47,7 @@ impl fmt::Display for DwtError {
             DwtError::Recover(e) => write!(f, "recover: {e}"),
             DwtError::Pool(e) => write!(f, "pool: {e}"),
             DwtError::Serve(e) => write!(f, "serve: {e}"),
+            DwtError::Partition(e) => write!(f, "partition: {e}"),
         }
     }
 }
@@ -60,6 +63,7 @@ impl StdError for DwtError {
             DwtError::Recover(e) => Some(e),
             DwtError::Pool(e) => Some(e),
             DwtError::Serve(e) => Some(e),
+            DwtError::Partition(e) => Some(e),
         }
     }
 }
@@ -109,6 +113,12 @@ impl From<dwt_pool::Error> for DwtError {
 impl From<dwt_serve::Error> for DwtError {
     fn from(e: dwt_serve::Error) -> Self {
         DwtError::Serve(e)
+    }
+}
+
+impl From<dwt_partition::PartitionError> for DwtError {
+    fn from(e: dwt_partition::PartitionError) -> Self {
+        DwtError::Partition(e)
     }
 }
 

@@ -32,6 +32,11 @@
 //!   (breakers, deadline admission, health scoring) carried onto real
 //!   worker threads via the `Clock` abstraction, with bounded-queue
 //!   backpressure, retries and a software-golden fallback.
+//! * [`partition`] — fault-tolerant partitioned emulation: min-cut
+//!   netlist sharding on register boundaries, one cycle-accurate
+//!   engine per worker thread with checksummed boundary exchange,
+//!   barrier-consistent snapshots, lockstep divergence detection and
+//!   restart-from-snapshot recovery.
 //! * [`imaging`] — synthetic still-tone test imagery and PGM I/O.
 //! * [`codec`] — the quantizer + entropy-coding back end completing the
 //!   compression pipeline of the paper's introduction.
@@ -64,6 +69,7 @@ pub use dwt_equiv as equiv;
 pub use dwt_fpga as fpga;
 pub use dwt_imaging as imaging;
 pub use dwt_lint as lint;
+pub use dwt_partition as partition;
 pub use dwt_pool as pool;
 pub use dwt_recover as recover;
 pub use dwt_rtl as rtl;

@@ -65,6 +65,12 @@ pub use dwt_pool::clock::{Clock, MonotonicClock, VirtualClock};
 pub use dwt_pool::report::PoolReport;
 pub use dwt_pool::scheduler::{Pool, PoolConfig};
 
+// partition: min-cut sharded emulation across crash-recoverable
+// workers.
+pub use dwt_partition::{
+    partition, stitch, CutOptions, PartitionRunner, PartitionedNetlist, RunnerConfig, Stimulus,
+};
+
 // serve: the wall-clock serving runtime over real worker threads.
 pub use dwt_serve::{ServeConfig, ServeReport, ServeStats, Server, TileRequest, TileResponse};
 

@@ -150,10 +150,7 @@ fn widened_datapaths_are_bit_exact() {
         let built = build_datapath(&spec).expect("build");
         let pairs = still_tone_pairs_scaled(48, u64::from(bits), bits);
         verify_datapath(&built, &pairs).unwrap_or_else(|e| panic!("{bits} bits: {e}"));
-        assert_eq!(
-            built.netlist.port("in_even").unwrap().bus.width(),
-            bits as usize
-        );
+        assert_eq!(built.netlist.port("in_even").unwrap().bus.width(), bits as usize);
     }
 }
 

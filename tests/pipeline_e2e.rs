@@ -55,9 +55,7 @@ fn full_compression_loop_on_tiles() {
     let mut parts = Vec::new();
     for mut tile in tiles(&image, 32, 32) {
         let dec = forward_2d(&tile.data, 2, &kernel).expect("fwd");
-        let coeffs = dec
-            .coeffs
-            .map(|v| quant.roundtrip(f64::from(v)).round() as i32);
+        let coeffs = dec.coeffs.map(|v| quant.roundtrip(f64::from(v)).round() as i32);
         let rec = inverse_2d(&Decomposition2d { coeffs, octaves: 2 }, &kernel).expect("inv");
         tile.data = rec;
         parts.push(tile);

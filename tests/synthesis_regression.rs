@@ -176,8 +176,5 @@ fn power_vectors_are_seed_robust() {
     }
     let min = rates.iter().cloned().fold(f64::MAX, f64::min);
     let max = rates.iter().cloned().fold(0.0f64, f64::max);
-    assert!(
-        max / min < 1.2,
-        "toggle rate spread too wide: {min:.1}..{max:.1}"
-    );
+    assert!(max / min < 1.2, "toggle rate spread too wide: {min:.1}..{max:.1}");
 }

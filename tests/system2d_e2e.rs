@@ -62,9 +62,8 @@ fn hardware_engine_2d_equals_golden_orchestration() {
     let engine: LineEngine = build_line_engine(Design::D2).expect("engine");
     let mut sim = Simulator::new(engine.netlist.clone()).expect("sim");
 
-    let by_hardware = transform_2d(&image, 2, |pairs| {
-        run_line(&mut sim, &engine, pairs).expect("hardware line")
-    });
+    let by_hardware =
+        transform_2d(&image, 2, |pairs| run_line(&mut sim, &engine, pairs).expect("hardware line"));
     let by_golden = transform_2d(&image, 2, golden_line);
 
     assert_eq!(by_hardware, by_golden);
@@ -80,9 +79,8 @@ fn hardware_2d_concentrates_energy_like_the_software_transform() {
     let image = StillToneImage::new(16, 16).seed(2).generate().map(|v| v / 2);
     let engine = build_line_engine(Design::D2).expect("engine");
     let mut sim = Simulator::new(engine.netlist.clone()).expect("sim");
-    let dec = transform_2d(&image, 1, |pairs| {
-        run_line(&mut sim, &engine, pairs).expect("hardware line")
-    });
+    let dec =
+        transform_2d(&image, 1, |pairs| run_line(&mut sim, &engine, pairs).expect("hardware line"));
     let energy = |vals: &[i64]| -> f64 { vals.iter().map(|&v| (v * v) as f64).sum() };
     let total = energy(dec.as_slice());
     let mut ll = 0.0;
