@@ -1,0 +1,94 @@
+//! `dwt_partition_worker` — one shard of a process-isolated partition
+//! run.
+//!
+//! The process-mode supervisor (`partition_campaign --isolation
+//! process`, or any [`dwt_partition::ProcSupervisor`] embedder) forks
+//! one instance of this binary per shard. Each instance rebuilds the
+//! named paper design, cuts it exactly the way the supervisor did
+//! (same min-cut, same options — the cut fingerprint in the Hello
+//! frame proves it), extracts its own shard, connects to the
+//! supervisor's Unix-domain socket, and hands control to
+//! [`dwt_partition::run_worker`].
+//!
+//! Usage: `dwt_partition_worker --design N --parts N --shard W
+//! --socket PATH [--backend event|compiled]`
+//!
+//! Exit codes follow the campaign-binary convention: 0 on a clean
+//! shutdown (or a supervisor that simply went away while this worker
+//! was idle), 1 on a runtime failure (engine error, protocol
+//! violation, supervisor silent mid-protocol), 2 on a usage error.
+
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+use dwt_arch::designs::Design;
+use dwt_bench::campaign::{
+    flag_value, parse_design, unknown_flag, BackendChoice, CampaignArgs, UsageError,
+};
+use dwt_partition::{partition, run_worker, CutOptions, SocketTransport, WorkerConfig, WorkerSpec};
+use dwt_rtl::compile::CompiledEngine;
+use dwt_rtl::sim::Simulator;
+
+struct WorkerArgs {
+    design: Design,
+    parts: usize,
+    shard: usize,
+    socket: PathBuf,
+    backend: BackendChoice,
+}
+
+fn parse_args(shared: &CampaignArgs) -> Result<WorkerArgs, UsageError> {
+    let mut design = None;
+    let mut parts = None;
+    let mut shard = None;
+    let mut socket = None;
+    let mut args = shared.rest.iter();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--design" => {
+                let raw: String = flag_value(&mut args, "--design", "design number 1-5")?;
+                design = Some(parse_design("--design", &raw)?);
+            }
+            "--parts" => parts = Some(flag_value(&mut args, "--parts", "count")?),
+            "--shard" => shard = Some(flag_value(&mut args, "--shard", "index")?),
+            "--socket" => {
+                let raw: String = flag_value(&mut args, "--socket", "path")?;
+                socket = Some(PathBuf::from(raw));
+            }
+            other => return Err(unknown_flag(other)),
+        }
+    }
+    let require = |name: &str| UsageError::new(name, "is required");
+    Ok(WorkerArgs {
+        design: design.ok_or_else(|| require("--design"))?,
+        parts: parts.ok_or_else(|| require("--parts"))?,
+        shard: shard.ok_or_else(|| require("--shard"))?,
+        socket: socket.ok_or_else(|| require("--socket"))?,
+        backend: shared.backend,
+    })
+}
+
+fn run(args: &WorkerArgs) -> Result<(), String> {
+    let built = args.design.build().map_err(|e| format!("{}: {e}", args.design.name()))?;
+    let cut = partition(&built.netlist, args.parts, &CutOptions::default())
+        .map_err(|e| format!("cutting {} into {}: {e}", args.design.name(), args.parts))?;
+    let spec = WorkerSpec::from_cut(&cut, args.shard).map_err(|e| e.to_string())?;
+    let stream = UnixStream::connect(&args.socket)
+        .map_err(|e| format!("connecting {}: {e}", args.socket.display()))?;
+    let mut transport = SocketTransport::new(stream);
+    let config = WorkerConfig::default();
+    match args.backend {
+        BackendChoice::Event => run_worker::<Simulator, _>(&spec, &mut transport, &config),
+        BackendChoice::Compiled => run_worker::<CompiledEngine, _>(&spec, &mut transport, &config),
+    }
+    .map_err(|e| format!("shard {}: {e}", args.shard))
+}
+
+fn main() {
+    let shared = CampaignArgs::parse();
+    let args = parse_args(&shared).unwrap_or_else(|e| e.exit());
+    if let Err(message) = run(&args) {
+        eprintln!("dwt_partition_worker: {message}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,295 @@
+//! Differential suite for process-isolated partitioned emulation.
+//!
+//! Every test forks real `dwt_partition_worker` OS processes (cargo
+//! builds the binary for us — `CARGO_BIN_EXE_dwt_partition_worker`)
+//! under a [`ProcSupervisor`] and compares the committed outputs
+//! bit-for-bit against a single-engine run of the unsplit netlist.
+//! The matrix covers two paper designs, two shard counts and both
+//! simulation backends; the chaos tests layer SIGKILL mid-window,
+//! heartbeat stalls past the liveness deadline, and torn durable
+//! snapshots on top — all of which must recover with zero silent data
+//! corruption. The restart test kills the *supervisor* (stops it after
+//! a durable barrier) and proves a fresh one resumes from the store,
+//! not from cycle 0.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use dwt_arch::designs::Design;
+use dwt_partition::{
+    partition, run_single, CutOptions, FrameOutputs, PartitionedNetlist, ProcChaos, ProcConfig,
+    ProcReport, ProcSupervisor, Stimulus, WorkerLauncher,
+};
+use dwt_rtl::compile::CompiledEngine;
+use dwt_rtl::sim::Simulator;
+
+const CYCLES: u64 = 96;
+const INTERVAL: u64 = 32;
+const SEED: u64 = 2005;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dwt-proc-test-{}-{}-{}",
+        tag,
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// The same deterministic signed 8-bit stream `partition_campaign`
+/// feeds its frames.
+fn stimulus(cycles: u64, seed: u64) -> Stimulus {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) & 0xff) as i64 - 128
+    };
+    let mut even = Vec::with_capacity(cycles as usize);
+    let mut odd = Vec::with_capacity(cycles as usize);
+    for _ in 0..cycles {
+        even.push(next());
+        odd.push(next());
+    }
+    let mut inputs = BTreeMap::new();
+    inputs.insert("in_even".to_owned(), even);
+    inputs.insert("in_odd".to_owned(), odd);
+    Stimulus { cycles, inputs }
+}
+
+fn design_number(design: Design) -> usize {
+    Design::all().iter().position(|d| *d == design).expect("paper design") + 1
+}
+
+fn launcher(design: Design, parts: usize, backend: &str) -> WorkerLauncher {
+    WorkerLauncher {
+        program: PathBuf::from(env!("CARGO_BIN_EXE_dwt_partition_worker")),
+        args: vec![
+            "--design".to_owned(),
+            design_number(design).to_string(),
+            "--parts".to_owned(),
+            parts.to_string(),
+            "--backend".to_owned(),
+            backend.to_owned(),
+        ],
+    }
+}
+
+struct Combo {
+    design: Design,
+    parts: usize,
+    backend: &'static str,
+    cut: PartitionedNetlist,
+    reference: FrameOutputs,
+    stim: Stimulus,
+}
+
+fn combos() -> Vec<Combo> {
+    let mut out = Vec::new();
+    for design in [Design::D1, Design::D3] {
+        let built = design.build().expect("design builds");
+        let stim = stimulus(CYCLES, SEED);
+        for parts in [2usize, 4] {
+            let cut = partition(&built.netlist, parts, &CutOptions::default())
+                .expect("cut on register boundaries");
+            for backend in ["event", "compiled"] {
+                let reference = match backend {
+                    "event" => run_single::<Simulator>(&built.netlist, &stim, None),
+                    _ => run_single::<CompiledEngine>(&built.netlist, &stim, None),
+                }
+                .expect("reference run");
+                out.push(Combo {
+                    design,
+                    parts,
+                    backend,
+                    cut: cut.clone(),
+                    reference,
+                    stim: stim.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn run_combo(combo: &Combo, config: ProcConfig) -> ProcReport {
+    let launcher = launcher(combo.design, combo.parts, combo.backend);
+    ProcSupervisor::new(&combo.cut, launcher, config).run(&combo.stim).unwrap_or_else(|e| {
+        panic!("{} x {} ({}) process run: {e}", combo.design.name(), combo.parts, combo.backend)
+    })
+}
+
+fn assert_bit_exact(combo: &Combo, report: &ProcReport, what: &str) {
+    assert_eq!(
+        report.outputs,
+        combo.reference,
+        "{what}: {} x {} ({}) diverged from the single-engine oracle",
+        combo.design.name(),
+        combo.parts,
+        combo.backend
+    );
+}
+
+#[test]
+fn clean_process_matrix_is_bit_exact() {
+    for combo in combos() {
+        let config = ProcConfig { snapshot_interval: INTERVAL, ..ProcConfig::default() };
+        let report = run_combo(&combo, config);
+        assert_bit_exact(&combo, &report, "clean");
+        assert!(report.completed);
+        assert_eq!(report.recoveries, 0, "clean run recovered?");
+        assert_eq!(report.respawns, 0, "clean run respawned?");
+        assert!(report.detections.is_empty(), "clean run detected {:?}", report.detections);
+        assert_eq!(report.barriers, CYCLES / INTERVAL);
+    }
+}
+
+#[test]
+fn sigkill_mid_window_recovers_bit_exactly_across_the_matrix() {
+    for combo in combos() {
+        let config = ProcConfig {
+            snapshot_interval: INTERVAL,
+            chaos: ProcChaos {
+                // SIGKILL the last shard mid-way through the second
+                // barrier window.
+                kill9: vec![(combo.parts - 1, INTERVAL + INTERVAL / 2)],
+                ..ProcChaos::default()
+            },
+            ..ProcConfig::default()
+        };
+        let report = run_combo(&combo, config);
+        assert_bit_exact(&combo, &report, "kill-9");
+        assert!(report.completed);
+        assert!(report.recoveries >= 1, "SIGKILL provoked no recovery");
+        assert!(report.respawns >= 1, "SIGKILL provoked no respawn");
+        assert!(!report.detections.is_empty());
+    }
+}
+
+#[test]
+fn heartbeat_stall_is_detected_and_recovered_across_the_matrix() {
+    for combo in combos() {
+        let config = ProcConfig {
+            snapshot_interval: INTERVAL,
+            // Short liveness window so an 800 ms wedge trips it fast.
+            liveness: Duration::from_millis(250),
+            chaos: ProcChaos { stalls: vec![(0, INTERVAL + 3, 800)], ..ProcChaos::default() },
+            ..ProcConfig::default()
+        };
+        let report = run_combo(&combo, config);
+        assert_bit_exact(&combo, &report, "stall");
+        assert!(report.completed);
+        assert!(report.recoveries >= 1, "stall provoked no recovery");
+        assert!(report.respawns >= 1, "stalled worker was not respawned");
+    }
+}
+
+#[test]
+fn torn_snapshot_falls_back_one_barrier_across_the_matrix() {
+    for combo in combos() {
+        let store = scratch_dir("torn");
+        let config = ProcConfig {
+            snapshot_interval: INTERVAL,
+            store_dir: Some(store.clone()),
+            chaos: ProcChaos {
+                // Tear the newest durable record right after the first
+                // commit, then SIGKILL a worker in the next window: the
+                // rollback must fall back cleanly (here to power-on,
+                // since the only record is torn) and still replay to a
+                // bit-exact finish.
+                torn_after: Some(1),
+                kill9: vec![(0, INTERVAL + INTERVAL / 2)],
+                ..ProcChaos::default()
+            },
+            ..ProcConfig::default()
+        };
+        let report = run_combo(&combo, config);
+        assert_bit_exact(&combo, &report, "torn snapshot");
+        assert!(report.completed);
+        assert!(report.recoveries >= 1);
+        // The torn record forced the replay past the snapshot the
+        // in-memory path would have used.
+        assert!(report.replayed_cycles > INTERVAL, "torn record did not widen the replay");
+        let _ = std::fs::remove_dir_all(&store);
+    }
+}
+
+#[test]
+fn restarted_supervisor_resumes_from_the_durable_barrier_not_cycle_zero() {
+    let built = Design::D1.build().expect("design builds");
+    let stim = stimulus(CYCLES, SEED);
+    let cut = partition(&built.netlist, 2, &CutOptions::default()).expect("cut");
+    let reference = run_single::<Simulator>(&built.netlist, &stim, None).expect("reference");
+    let store = scratch_dir("restart");
+
+    // First supervisor: commits two durable barriers, then "crashes"
+    // (stops early, exactly as if SIGKILLed after the fsync).
+    let first_cfg = ProcConfig {
+        snapshot_interval: INTERVAL,
+        store_dir: Some(store.clone()),
+        stop_after_barriers: Some(2),
+        ..ProcConfig::default()
+    };
+    let first = ProcSupervisor::new(&cut, launcher(Design::D1, 2, "event"), first_cfg)
+        .run(&stim)
+        .expect("first supervisor");
+    assert!(!first.completed, "stop_after_barriers should stop early");
+    assert_eq!(first.barriers, 2);
+
+    // Second supervisor: resumes from the store and finishes the
+    // frame. It must pick up at the durable barrier, not cycle 0.
+    let resume_cfg = ProcConfig {
+        snapshot_interval: INTERVAL,
+        store_dir: Some(store.clone()),
+        resume: true,
+        ..ProcConfig::default()
+    };
+    let resumed = ProcSupervisor::new(&cut, launcher(Design::D1, 2, "event"), resume_cfg)
+        .run(&stim)
+        .expect("resumed supervisor");
+    assert_eq!(resumed.resumed_from, Some(2 * INTERVAL), "resume point is the durable barrier");
+    assert!(resumed.completed);
+    assert_eq!(resumed.outputs, reference, "resumed run diverged from the oracle");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn wrong_fingerprint_store_is_refused_on_resume() {
+    let built = Design::D1.build().expect("design builds");
+    let stim = stimulus(CYCLES, SEED);
+    let cut = partition(&built.netlist, 2, &CutOptions::default()).expect("cut");
+    let store = scratch_dir("mismatch");
+
+    let seed_cfg = ProcConfig {
+        snapshot_interval: INTERVAL,
+        store_dir: Some(store.clone()),
+        stop_after_barriers: Some(1),
+        ..ProcConfig::default()
+    };
+    ProcSupervisor::new(&cut, launcher(Design::D1, 2, "event"), seed_cfg)
+        .run(&stim)
+        .expect("seeding run");
+
+    // A different cut (4 shards) must refuse the 2-shard store rather
+    // than restore mismatched snapshots.
+    let other_cut = partition(&built.netlist, 4, &CutOptions::default()).expect("cut");
+    let resume_cfg = ProcConfig {
+        snapshot_interval: INTERVAL,
+        store_dir: Some(store.clone()),
+        resume: true,
+        ..ProcConfig::default()
+    };
+    let err = ProcSupervisor::new(&other_cut, launcher(Design::D1, 4, "event"), resume_cfg)
+        .run(&stim)
+        .expect_err("mismatched fingerprint must be refused");
+    assert!(
+        matches!(err, dwt_partition::PartitionError::Store { .. }),
+        "expected a Store error, got {err}"
+    );
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -138,6 +138,49 @@ impl PartitionedNetlist {
     pub fn parts(&self) -> usize {
         self.shards.len()
     }
+
+    /// FNV-1a fingerprint of the cut's observable structure: shard
+    /// count, per-shard cell counts and port lists, and the full link
+    /// schedule.
+    ///
+    /// A worker process rebuilds its shard independently from
+    /// `(design, parts)` command-line arguments; the supervisor
+    /// compares fingerprints at admission so a worker launched against
+    /// a different design, part count, or partitioner version is
+    /// rejected before it can feed wrong boundary values into the
+    /// lockstep.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use crate::channel::{fnv1a, hash_seed};
+        fn word(h: u64, v: u64) -> u64 {
+            fnv1a(h, &v.to_le_bytes())
+        }
+        fn name(h: u64, s: &str) -> u64 {
+            fnv1a(fnv1a(h, s.as_bytes()), &[0])
+        }
+        let mut h = hash_seed();
+        h = word(h, self.shards.len() as u64);
+        for shard in &self.shards {
+            h = word(h, shard.cells.len() as u64);
+            h = word(h, shard.inputs.len() as u64);
+            h = word(h, shard.outputs.len() as u64);
+        }
+        for shard in &self.shards {
+            for port in shard.inputs.iter().chain(&shard.outputs) {
+                h = name(h, port);
+            }
+        }
+        h = word(h, self.links.len() as u64);
+        for link in &self.links {
+            h = word(h, link.from as u64);
+            h = word(h, link.to as u64);
+            h = word(h, link.bits as u64);
+            for port in &link.ports {
+                h = name(h, port);
+            }
+        }
+        h
+    }
 }
 
 struct UnionFind {

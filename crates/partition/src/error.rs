@@ -45,6 +45,24 @@ pub enum PartitionError {
         /// The OS error, stringified.
         detail: String,
     },
+    /// A wire frame was malformed: bad magic/version, unknown type,
+    /// checksum mismatch, truncation, or an unparseable payload.
+    Protocol {
+        /// What the decoder found malformed.
+        detail: String,
+    },
+    /// Socket/process plumbing failed (connect, accept, send, recv,
+    /// spawn of a worker process).
+    Transport {
+        /// The OS error, stringified.
+        detail: String,
+    },
+    /// The durable snapshot store failed (I/O error, or no consistent
+    /// barrier record where one was required).
+    Store {
+        /// What went wrong.
+        detail: String,
+    },
     /// Every rung of the degradation ladder failed — partitioned
     /// execution exhausted its recovery budget, the single-engine
     /// fallback failed, and no golden fallback was available (or it
@@ -75,6 +93,15 @@ impl fmt::Display for PartitionError {
             PartitionError::Stimulus { detail } => write!(f, "bad stimulus: {detail}"),
             PartitionError::Spawn { detail } => {
                 write!(f, "failed to spawn a partition worker: {detail}")
+            }
+            PartitionError::Protocol { detail } => {
+                write!(f, "malformed wire frame: {detail}")
+            }
+            PartitionError::Transport { detail } => {
+                write!(f, "worker transport failed: {detail}")
+            }
+            PartitionError::Store { detail } => {
+                write!(f, "snapshot store failed: {detail}")
             }
             PartitionError::Exhausted { detail } => {
                 write!(f, "all degradation rungs failed: {detail}")
@@ -118,6 +145,15 @@ mod tests {
             ),
             (PartitionError::Stimulus { detail: "in_even has 3 cycles".into() }, vec!["in_even"]),
             (PartitionError::Spawn { detail: "EAGAIN".into() }, vec!["EAGAIN"]),
+            (
+                PartitionError::Protocol { detail: "checksum mismatch".into() },
+                vec!["checksum mismatch"],
+            ),
+            (PartitionError::Transport { detail: "ECONNRESET".into() }, vec!["ECONNRESET"]),
+            (
+                PartitionError::Store { detail: "no consistent barrier".into() },
+                vec!["no consistent barrier"],
+            ),
             (
                 PartitionError::Exhausted { detail: "golden declined".into() },
                 vec!["golden declined"],

@@ -30,12 +30,23 @@
 pub mod channel;
 pub mod cut;
 pub mod error;
+pub mod proc;
 pub mod runner;
+pub mod store;
+pub mod transport;
+pub mod wire;
 
 pub use channel::{fnv1a, hash_seed, BoundaryMsg, LinkFault};
 pub use cut::{partition, stitch, BoundaryLink, CutOptions, CutPort, PartitionedNetlist, Shard};
 pub use error::PartitionError;
+pub use proc::{
+    run_worker, ProcChaos, ProcConfig, ProcReport, ProcSupervisor, WorkerConfig, WorkerLauncher,
+    WorkerSpec,
+};
 pub use runner::{
     run_single, ChaosPlan, Corruption, Detection, DetectionKind, FrameOutputs, FrameReport,
     GoldenFallback, PartitionRunner, Rung, RunnerConfig, SeuChaos, Stimulus,
 };
+pub use store::{crc32, BarrierRecord, FsckReport, RunStore, WorkerBlob};
+pub use transport::{ChannelTransport, RecvError, SocketTransport, Transport};
+pub use wire::Frame;

@@ -39,9 +39,11 @@
 
 use std::collections::BTreeMap;
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
+use dwt_pool::clock::{Clock, Deadline, MonotonicClock};
 use dwt_recover::injector::{FaultInjector, Lane};
 use dwt_recover::seu::PoissonSeuBuilder;
 use dwt_rtl::engine::Engine;
@@ -51,6 +53,8 @@ use dwt_rtl::netlist::{Netlist, PortDirection};
 use crate::channel::{hash_seed, BoundaryMsg, LinkFault};
 use crate::cut::PartitionedNetlist;
 use crate::error::PartitionError;
+use crate::transport::{ChannelTransport, RecvError, Transport};
+use crate::wire::Frame;
 
 /// Per-cycle input vectors for one frame.
 #[derive(Debug, Clone, Default)]
@@ -174,7 +178,7 @@ pub struct SeuChaos {
 }
 
 /// Runner tuning.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RunnerConfig {
     /// Cycles per barrier (snapshot cadence). Shorter means cheaper
     /// replays and more snapshot overhead.
@@ -187,6 +191,26 @@ pub struct RunnerConfig {
     pub max_recoveries: u32,
     /// Optional per-cycle event cap forwarded to every engine.
     pub event_cap: Option<u64>,
+    /// Clock the coordinator's batch-collection deadline reads.
+    /// [`MonotonicClock`] (ticks are nanoseconds) in production; a
+    /// `VirtualClock` makes stall detection deterministic in tests.
+    pub clock: Arc<dyn Clock>,
+    /// Batch-collection budget in clock ticks. `None` derives a
+    /// wall-clock budget from the watchdog (`watchdog × 4 + 500 ms`,
+    /// in nanoseconds — the [`MonotonicClock`] tick unit).
+    pub batch_budget: Option<u64>,
+}
+
+impl std::fmt::Debug for RunnerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunnerConfig")
+            .field("snapshot_interval", &self.snapshot_interval)
+            .field("watchdog", &self.watchdog)
+            .field("max_recoveries", &self.max_recoveries)
+            .field("event_cap", &self.event_cap)
+            .field("batch_budget", &self.batch_budget)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for RunnerConfig {
@@ -196,6 +220,8 @@ impl Default for RunnerConfig {
             watchdog: Duration::from_millis(250),
             max_recoveries: 8,
             event_cap: None,
+            clock: Arc::new(MonotonicClock::new()),
+            batch_budget: None,
         }
     }
 }
@@ -242,9 +268,13 @@ enum Resp<S> {
     },
 }
 
+/// An outgoing boundary link. Thread mode speaks the same
+/// [`Frame::Boundary`] wire protocol as process mode, over an
+/// in-process [`ChannelTransport`] — every exchanged value round-trips
+/// through the full byte codec on every run.
 struct OutLink {
     ports: Vec<String>,
-    tx: Sender<BoundaryMsg>,
+    tx: ChannelTransport,
     seq: u64,
     hash: u64,
 }
@@ -252,7 +282,7 @@ struct OutLink {
 struct InLink {
     from: usize,
     ports: Vec<String>,
-    rx: Receiver<BoundaryMsg>,
+    rx: ChannelTransport,
     seq: u64,
     hash: u64,
 }
@@ -293,7 +323,7 @@ impl<E: Engine> Worker<E> {
             }
             // A closed peer is the coordinator's problem (it will see
             // the peer's fault or absence); keep going.
-            let _ = link.tx.send(msg);
+            let _ = link.tx.send(&Frame::Boundary { generation: 0, link: li as u32, msg });
         }
     }
 
@@ -301,12 +331,17 @@ impl<E: Engine> Worker<E> {
     /// the boundary inputs. Returns the first link fault.
     fn exchange_recv(&mut self) -> Result<(), (usize, LinkFault)> {
         for link in &mut self.in_links {
-            let msg = match link.rx.recv_timeout(self.watchdog) {
-                Ok(msg) => msg,
-                Err(RecvTimeoutError::Timeout) => return Err((link.from, LinkFault::Timeout)),
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err((link.from, LinkFault::Disconnected))
+            let frame = match link.rx.recv_timeout(self.watchdog) {
+                Ok(frame) => frame,
+                Err(RecvError::Timeout) => return Err((link.from, LinkFault::Timeout)),
+                Err(RecvError::Disconnected) => return Err((link.from, LinkFault::Disconnected)),
+                // Undecodable bytes on the link are payload corruption.
+                Err(RecvError::Protocol(_)) => {
+                    return Err((link.from, LinkFault::Checksum { seq: link.seq }))
                 }
+            };
+            let Frame::Boundary { msg, .. } = frame else {
+                return Err((link.from, LinkFault::Checksum { seq: link.seq }));
             };
             msg.verify(link.seq).map_err(|f| (link.from, f))?;
             link.hash = msg.fold_into(link.hash);
@@ -393,7 +428,7 @@ impl<E: Engine> Worker<E> {
 
 /// Rebase a transient fault to strike at the engine's next clock edge
 /// (same contract as the recover executor's injection point).
-fn rebase(spec: FaultSpec, now: u64) -> FaultSpec {
+pub(crate) fn rebase(spec: FaultSpec, now: u64) -> FaultSpec {
     match spec {
         FaultSpec::BitFlip { register, bit, .. } => {
             FaultSpec::BitFlip { register, bit, cycle: now }
@@ -527,25 +562,7 @@ where
     }
 
     fn check_stimulus(&self, stim: &Stimulus) -> Result<(), PartitionError> {
-        for shard in &self.parts.shards {
-            for input in &shard.inputs {
-                let Some(values) = stim.inputs.get(input) else {
-                    return Err(PartitionError::Stimulus {
-                        detail: format!("no values for input port '{input}'"),
-                    });
-                };
-                if (values.len() as u64) < stim.cycles {
-                    return Err(PartitionError::Stimulus {
-                        detail: format!(
-                            "input '{input}' has {} values for {} cycles",
-                            values.len(),
-                            stim.cycles
-                        ),
-                    });
-                }
-            }
-        }
-        Ok(())
+        check_stimulus(self.parts, stim)
     }
 
     /// The partitioned rung. On failure returns the evidence for the
@@ -668,13 +685,21 @@ where
                 epoch_first = false;
                 attempt_clock += batch_len;
 
-                // Collect one response per worker.
-                let deadline = self.config.watchdog * 4 + Duration::from_millis(500);
+                // Collect one response per worker, against a clock-
+                // driven deadline: short real-time polls so a virtual
+                // clock (tests) or the monotonic clock (production)
+                // decides when the batch has stalled out.
+                let budget = self.config.batch_budget.unwrap_or_else(|| {
+                    let wall = self.config.watchdog * 4 + Duration::from_millis(500);
+                    u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX)
+                });
+                let deadline = Deadline::after(Arc::clone(&self.config.clock), budget);
                 let mut responses: Vec<Option<Resp<E::Snapshot>>> = (0..n).map(|_| None).collect();
                 let mut received = 0usize;
                 let mut batch_ok = true;
-                while received < n {
-                    match epoch.resp_rx.recv_timeout(deadline) {
+                let mut disconnected = false;
+                while received < n && !deadline.expired() {
+                    match epoch.resp_rx.recv_timeout(Duration::from_millis(10)) {
                         Ok(resp) => {
                             let w = match &resp {
                                 Resp::Done { worker, .. } | Resp::Fault { worker, .. } => *worker,
@@ -692,7 +717,11 @@ where
                             }
                             responses[w] = Some(resp);
                         }
-                        Err(_) => break,
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => {
+                            disconnected = true;
+                            break;
+                        }
                     }
                 }
                 for (w, resp) in responses.iter().enumerate() {
@@ -700,7 +729,13 @@ where
                         detections.push(Detection {
                             worker: Some(w),
                             batch_start: cursor,
-                            kind: DetectionKind::Crash,
+                            // All response channels gone: the thread
+                            // died. Deadline expiry: it's wedged.
+                            kind: if disconnected {
+                                DetectionKind::Crash
+                            } else {
+                                DetectionKind::Stall
+                            },
                         });
                         batch_ok = false;
                     }
@@ -771,13 +806,14 @@ where
         &self,
         snapshots: Option<&Vec<E::Snapshot>>,
     ) -> Result<Epoch<E::Snapshot>, PartitionError> {
-        type Endpoints<C> = Vec<Vec<(usize, Vec<String>, C)>>;
+        type Endpoints = Vec<Vec<(usize, Vec<String>, ChannelTransport)>>;
         let n = self.parts.parts();
-        // Point-to-point boundary channels.
-        let mut senders: Endpoints<Sender<BoundaryMsg>> = (0..n).map(|_| Vec::new()).collect();
-        let mut receivers: Endpoints<Receiver<BoundaryMsg>> = (0..n).map(|_| Vec::new()).collect();
+        // Point-to-point boundary transports: each link is a framed
+        // byte pipe, so thread mode exercises the wire codec too.
+        let mut senders: Endpoints = (0..n).map(|_| Vec::new()).collect();
+        let mut receivers: Endpoints = (0..n).map(|_| Vec::new()).collect();
         for link in &self.parts.links {
-            let (tx, rx) = mpsc::channel();
+            let (tx, rx) = ChannelTransport::pair();
             senders[link.from].push((link.to, link.ports.clone(), tx));
             receivers[link.to].push((link.from, link.ports.clone(), rx));
         }
@@ -916,6 +952,33 @@ where
         }
         ok
     }
+}
+
+/// Every shard input must have a value for every cycle; shared by the
+/// thread-mode runner and the process supervisor.
+pub(crate) fn check_stimulus(
+    parts: &PartitionedNetlist,
+    stim: &Stimulus,
+) -> Result<(), PartitionError> {
+    for shard in &parts.shards {
+        for input in &shard.inputs {
+            let Some(values) = stim.inputs.get(input) else {
+                return Err(PartitionError::Stimulus {
+                    detail: format!("no values for input port '{input}'"),
+                });
+            };
+            if (values.len() as u64) < stim.cycles {
+                return Err(PartitionError::Stimulus {
+                    detail: format!(
+                        "input '{input}' has {} values for {} cycles",
+                        values.len(),
+                        stim.cycles
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Runs one frame on a single engine over an unsplit netlist — the

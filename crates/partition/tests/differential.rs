@@ -254,3 +254,41 @@ fn missing_stimulus_is_a_typed_error() {
     assert!(matches!(err, dwt_partition::PartitionError::Stimulus { .. }));
     let _ = FrameOutputs::default();
 }
+
+#[test]
+fn virtual_clock_batch_deadline_is_deterministic() {
+    use std::sync::Arc;
+
+    use dwt_pool::clock::VirtualClock;
+
+    let built = Design::D1.build().expect("design builds");
+    let stim = stimulus(48, 21);
+    let reference = run_single::<Simulator>(&built.netlist, &stim, None).expect("reference");
+    let cut = partition(&built.netlist, 2, &CutOptions::default()).expect("cut");
+
+    // A virtual clock that never advances: with a nonzero budget the
+    // collection deadline can never expire, and the clean run completes
+    // on the partitioned rung exactly as under wall time.
+    let clock = Arc::new(VirtualClock::new());
+    let config =
+        RunnerConfig { clock: clock.clone(), batch_budget: Some(1_000), ..RunnerConfig::default() };
+    let report = PartitionRunner::<Simulator>::new(&cut, config)
+        .run_frame(&stim, None, &ChaosPlan::default(), None)
+        .expect("clean run");
+    assert_eq!(report.rung, Rung::Partitioned);
+    assert_eq!(report.outputs, reference);
+
+    // A zero budget on the same clock: every batch's deadline is born
+    // expired, so collection gives up before any worker can report —
+    // a deterministic stand-in for "the whole batch wedged". The
+    // runner records Stall detections for the unreported workers and
+    // degrades to the single-engine rung, still bit-exact.
+    let config =
+        RunnerConfig { clock, batch_budget: Some(0), max_recoveries: 1, ..RunnerConfig::default() };
+    let report = PartitionRunner::<Simulator>::new(&cut, config)
+        .run_frame(&stim, None, &ChaosPlan::default(), None)
+        .expect("degraded run");
+    assert_eq!(report.rung, Rung::SingleEngine);
+    assert!(report.detections.iter().any(|d| d.kind == DetectionKind::Stall));
+    assert_eq!(report.outputs, reference);
+}

@@ -101,6 +101,59 @@ impl Clock for VirtualClock {
     }
 }
 
+/// A fixed point in a [`Clock`]'s tick stream, for bounded waits.
+///
+/// Liveness supervision (the partition runner's batch collection, the
+/// process supervisor's worker heartbeats) needs "give up after N
+/// ticks of real time" expressed against an injectable clock so tests
+/// can crank a [`VirtualClock`] instead of sleeping. A `Deadline`
+/// freezes `now + budget` at construction; [`expired`](Deadline::expired)
+/// and [`remaining`](Deadline::remaining) then compare against the
+/// same clock, so the deadline is exact under virtual time and
+/// monotone under wall time.
+#[derive(Clone)]
+pub struct Deadline {
+    clock: Arc<dyn Clock>,
+    at: u64,
+}
+
+impl std::fmt::Debug for Deadline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deadline")
+            .field("at", &self.at)
+            .field("now", &self.clock.now())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Deadline {
+    /// A deadline `budget` ticks after the clock's current now,
+    /// saturating at the end of time.
+    #[must_use]
+    pub fn after(clock: Arc<dyn Clock>, budget: u64) -> Self {
+        let at = clock.now().saturating_add(budget);
+        Deadline { clock, at }
+    }
+
+    /// The absolute tick at which the deadline expires.
+    #[must_use]
+    pub fn at(&self) -> u64 {
+        self.at
+    }
+
+    /// Whether the clock has reached (or passed) the deadline.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.clock.now() >= self.at
+    }
+
+    /// Ticks left before expiry; zero once expired.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.at.saturating_sub(self.clock.now())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +180,32 @@ mod tests {
         shared.advance(5);
         assert_eq!(clock.now(), 30, "clones share the counter");
         assert_eq!(VirtualClock::at(100).now(), 100);
+    }
+
+    #[test]
+    fn deadline_expires_exactly_under_virtual_time() {
+        let clock = VirtualClock::at(40);
+        let deadline = Deadline::after(Arc::new(clock.clone()), 60);
+        assert_eq!(deadline.at(), 100);
+        assert!(!deadline.expired());
+        assert_eq!(deadline.remaining(), 60);
+        clock.advance(59);
+        assert!(!deadline.expired(), "one tick short is still live");
+        assert_eq!(deadline.remaining(), 1);
+        clock.advance(1);
+        assert!(deadline.expired(), "expiry is inclusive at the boundary");
+        assert_eq!(deadline.remaining(), 0);
+        clock.advance(1000);
+        assert!(deadline.expired());
+        assert_eq!(deadline.remaining(), 0, "remaining saturates at zero");
+
+        // A zero budget expires immediately; a huge one saturates
+        // instead of wrapping.
+        let now = VirtualClock::at(7);
+        assert!(Deadline::after(Arc::new(now.clone()), 0).expired());
+        let forever = Deadline::after(Arc::new(now), u64::MAX);
+        assert!(!forever.expired());
+        assert_eq!(forever.at(), u64::MAX);
     }
 
     #[test]

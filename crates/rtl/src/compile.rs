@@ -30,6 +30,7 @@ use crate::engine::{Engine, EngineCaps};
 use crate::fault::{self, FaultSpec, ResolvedFault};
 use crate::net::{bits_to_signed, signed_to_bits, Bus, NetId};
 use crate::netlist::{CellId, Netlist, PortDirection};
+use crate::snapbytes::{ByteReader, ByteWriter};
 use crate::{Error, Result};
 
 /// Independent sample streams packed into each machine word.
@@ -484,6 +485,174 @@ impl CompiledSnapshot {
     #[must_use]
     pub fn has_armed_faults(&self) -> bool {
         !self.stuck.is_empty() || !self.flips.is_empty() || !self.ram_upsets.is_empty()
+    }
+}
+
+/// Leading tag byte of a serialized compiled snapshot (`'C'`).
+const SNAPSHOT_TAG: u8 = b'C';
+/// Encoding version; bump on any field/layout change.
+const SNAPSHOT_VERSION: u8 = 1;
+
+fn write_bus(w: &mut ByteWriter, bus: &Bus) {
+    w.len(bus.width());
+    for &net in bus.bits() {
+        w.u32(net.index() as u32);
+    }
+}
+
+fn read_bus(r: &mut ByteReader<'_>) -> Result<Bus> {
+    let width = r.len(4)?;
+    let mut bits = Vec::with_capacity(width);
+    for _ in 0..width {
+        bits.push(NetId(r.u32()?));
+    }
+    Bus::new(bits).map_err(|e| Error::SnapshotDecode { detail: format!("bad bus: {e}") })
+}
+
+impl crate::engine::PortableSnapshot for CompiledSnapshot {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(SNAPSHOT_TAG);
+        w.u8(SNAPSHOT_VERSION);
+        w.usize(self.nets);
+        w.usize(self.cells);
+        w.len(self.words.len());
+        for &word in &self.words {
+            w.u64(word);
+        }
+        w.len(self.ram.len());
+        for planes in &self.ram {
+            w.len(planes.len());
+            for &word in planes {
+                w.u64(word);
+            }
+        }
+        w.len(self.staged.len());
+        for staged in &self.staged {
+            match staged {
+                StagedInput::Broadcast(bus, value) => {
+                    w.u8(0);
+                    write_bus(&mut w, bus);
+                    w.i64(*value);
+                }
+                StagedInput::Lane(bus, lane, value) => {
+                    w.u8(1);
+                    write_bus(&mut w, bus);
+                    w.usize(*lane);
+                    w.i64(*value);
+                }
+                StagedInput::Lanes(bus, values) => {
+                    w.u8(2);
+                    write_bus(&mut w, bus);
+                    w.len(values.len());
+                    for &v in values {
+                        w.i64(v);
+                    }
+                }
+            }
+        }
+        w.len(self.stuck.len());
+        for &(net, value) in &self.stuck {
+            w.u32(net);
+            w.bool(value);
+        }
+        w.len(self.flips.len());
+        for &(cell, bit, cycle) in &self.flips {
+            w.u32(cell.index() as u32);
+            w.usize(bit);
+            w.u64(cycle);
+        }
+        w.len(self.ram_upsets.len());
+        for &(cell, addr, bit, cycle) in &self.ram_upsets {
+            w.u32(cell.index() as u32);
+            w.usize(addr);
+            w.usize(bit);
+            w.u64(cycle);
+        }
+        w.u64(self.cycle);
+        w.finish()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let tag = r.u8()?;
+        if tag != SNAPSHOT_TAG {
+            return Err(Error::SnapshotDecode {
+                detail: format!("tag {tag:#04x} is not a compiled snapshot"),
+            });
+        }
+        let version = r.u8()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(Error::SnapshotDecode {
+                detail: format!("unsupported snapshot version {version}"),
+            });
+        }
+        let nets = r.usize()?;
+        let cells = r.usize()?;
+        let mut words = Vec::with_capacity(r.len(8)?);
+        for _ in 0..words.capacity() {
+            words.push(r.u64()?);
+        }
+        let mut ram = Vec::with_capacity(r.len(4)?);
+        for _ in 0..ram.capacity() {
+            let mut planes = Vec::with_capacity(r.len(8)?);
+            for _ in 0..planes.capacity() {
+                planes.push(r.u64()?);
+            }
+            ram.push(planes);
+        }
+        let mut staged = Vec::with_capacity(r.len(5)?);
+        for _ in 0..staged.capacity() {
+            let entry = match r.u8()? {
+                0 => {
+                    let bus = read_bus(&mut r)?;
+                    StagedInput::Broadcast(bus, r.i64()?)
+                }
+                1 => {
+                    let bus = read_bus(&mut r)?;
+                    let lane = r.usize()?;
+                    StagedInput::Lane(bus, lane, r.i64()?)
+                }
+                2 => {
+                    let bus = read_bus(&mut r)?;
+                    let mut values = Vec::with_capacity(r.len(8)?);
+                    for _ in 0..values.capacity() {
+                        values.push(r.i64()?);
+                    }
+                    StagedInput::Lanes(bus, values)
+                }
+                other => {
+                    return Err(Error::SnapshotDecode {
+                        detail: format!("bad staged-input tag {other}"),
+                    })
+                }
+            };
+            staged.push(entry);
+        }
+        let mut stuck = Vec::with_capacity(r.len(5)?);
+        for _ in 0..stuck.capacity() {
+            let net = r.u32()?;
+            let value = r.bool()?;
+            stuck.push((net, value));
+        }
+        let mut flips = Vec::with_capacity(r.len(20)?);
+        for _ in 0..flips.capacity() {
+            let cell = CellId(r.u32()?);
+            let bit = r.usize()?;
+            let due = r.u64()?;
+            flips.push((cell, bit, due));
+        }
+        let mut ram_upsets = Vec::with_capacity(r.len(28)?);
+        for _ in 0..ram_upsets.capacity() {
+            let cell = CellId(r.u32()?);
+            let addr = r.usize()?;
+            let bit = r.usize()?;
+            let due = r.u64()?;
+            ram_upsets.push((cell, addr, bit, due));
+        }
+        let cycle = r.u64()?;
+        r.finish()?;
+        Ok(CompiledSnapshot { nets, cells, words, ram, staged, stuck, flips, ram_upsets, cycle })
     }
 }
 
@@ -1194,6 +1363,68 @@ mod tests {
         // A snapshot from a different netlist shape is rejected.
         let mut other = CompiledEngine::new(ram_netlist()).unwrap();
         assert!(matches!(other.restore(&snap), Err(Error::SnapshotMismatch { .. })));
+    }
+
+    #[test]
+    fn portable_snapshot_bytes_round_trip_and_reject_corruption() {
+        use crate::engine::PortableSnapshot;
+        use crate::fault::FaultSpec;
+        let netlist = ram_netlist();
+        let mut eng = CompiledEngine::new(netlist.clone()).unwrap();
+        let mut rng = Lcg(31);
+        for _ in 0..12 {
+            Engine::set_input(&mut eng, "raddr", rng.in_range(0, 3)).unwrap();
+            Engine::set_input(&mut eng, "waddr", rng.in_range(0, 3)).unwrap();
+            Engine::set_input(&mut eng, "wdata", rng.in_range(-32, 31)).unwrap();
+            Engine::set_input(&mut eng, "wen", rng.in_range(-1, 0)).unwrap();
+            eng.try_tick().unwrap();
+        }
+        // Exercise every StagedInput arm plus armed faults.
+        Engine::set_input(&mut eng, "raddr", 2).unwrap();
+        eng.set_input_lane("wdata", 3, 19).unwrap();
+        eng.set_input_lanes("waddr", &[1; LANES]).unwrap();
+        eng.inject(&FaultSpec::StuckAt { net: "wdata".into(), bit: 0, value: true }).unwrap();
+        eng.inject(&FaultSpec::RamUpset { ram: "m".into(), addr: 1, bit: 2, cycle: 40 }).unwrap();
+        let snap = eng.snapshot();
+        let bytes = snap.to_bytes();
+        let decoded = CompiledSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, snap, "byte round-trip is identity");
+
+        // A restore from the decoded snapshot resumes identically in
+        // every lane.
+        let mut twin = CompiledEngine::new(netlist).unwrap();
+        twin.restore(&decoded).unwrap();
+        for _ in 0..15 {
+            let ra = rng.in_range(0, 3);
+            let wa = rng.in_range(0, 3);
+            let wd = rng.in_range(-32, 31);
+            for e in [&mut eng, &mut twin] {
+                Engine::set_input(e, "raddr", ra).unwrap();
+                Engine::set_input(e, "waddr", wa).unwrap();
+                Engine::set_input(e, "wdata", wd).unwrap();
+                Engine::set_input(e, "wen", -1).unwrap();
+                e.try_tick().unwrap();
+            }
+            assert_eq!(eng.peek_lanes("rdata").unwrap(), twin.peek_lanes("rdata").unwrap());
+        }
+
+        // Truncation anywhere is a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(
+                    CompiledSnapshot::from_bytes(&bytes[..cut]),
+                    Err(Error::SnapshotDecode { .. })
+                ),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        let mut long = bytes.clone();
+        long.push(9);
+        assert!(matches!(CompiledSnapshot::from_bytes(&long), Err(Error::SnapshotDecode { .. })));
+        // An event-driven tag must not decode as a compiled snapshot.
+        let mut wrong = bytes;
+        wrong[0] = b'E';
+        assert!(matches!(CompiledSnapshot::from_bytes(&wrong), Err(Error::SnapshotDecode { .. })));
     }
 
     #[test]

@@ -44,6 +44,36 @@ pub struct EngineCaps {
     pub divergence_detection: bool,
 }
 
+/// A snapshot that can cross address spaces: encodable to a
+/// self-contained byte string and decodable back, bit-exactly.
+///
+/// The partition layer's process-isolated emulation mode is the
+/// customer: worker processes ship their engine snapshot to the
+/// supervisor at every barrier, the supervisor parks it in a durable
+/// on-disk store, and a respawned worker is re-seeded from those same
+/// bytes. Round-tripping must be identity (`from_bytes(to_bytes(s)) ==
+/// s`), so a restore from decoded bytes resumes execution exactly like
+/// a restore from the original in-memory snapshot.
+///
+/// Encodings are backend-tagged and versioned; decoding bytes produced
+/// by a different backend, a truncated record, or corrupt data yields
+/// [`Error::SnapshotDecode`](crate::Error::SnapshotDecode), never a
+/// panic. Shape compatibility with the restoring engine's netlist is
+/// *not* checked here — [`Engine::restore`] performs that check and
+/// reports [`Error::SnapshotMismatch`](crate::Error::SnapshotMismatch).
+pub trait PortableSnapshot: Sized {
+    /// Encodes the complete snapshot as a self-contained byte string.
+    fn to_bytes(&self) -> Vec<u8>;
+
+    /// Decodes a byte string produced by [`to_bytes`](PortableSnapshot::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SnapshotDecode`](crate::Error::SnapshotDecode)
+    /// for truncated, corrupted, wrong-backend or wrong-version bytes.
+    fn from_bytes(bytes: &[u8]) -> Result<Self>;
+}
+
 /// A cycle-accurate netlist execution backend.
 ///
 /// The trait captures the contract the event-driven

@@ -85,6 +85,15 @@ pub enum Error {
         /// What the lowering pass found inconsistent.
         detail: String,
     },
+    /// A serialized snapshot failed to decode: truncated, corrupted,
+    /// or produced by an incompatible encoder version. The snapshot
+    /// byte codecs ([`engine::PortableSnapshot`](crate::engine::PortableSnapshot))
+    /// raise this instead of panicking so torn store records and
+    /// hostile bytes surface as recoverable errors.
+    SnapshotDecode {
+        /// What the decoder found malformed.
+        detail: String,
+    },
     /// The event loop exceeded its iteration budget inside one cycle —
     /// the netlist (possibly under an injected fault) is oscillating
     /// instead of settling.
@@ -136,6 +145,9 @@ impl fmt::Display for Error {
             Error::MalformedProgram { detail } => {
                 write!(f, "malformed compiled program: {detail}")
             }
+            Error::SnapshotDecode { detail } => {
+                write!(f, "snapshot bytes failed to decode: {detail}")
+            }
             Error::SimulationDiverged { cell, cycle, events } => write!(
                 f,
                 "simulation diverged at cycle {cycle}: {events} events without settling \
@@ -183,6 +195,7 @@ mod tests {
                 Error::SimulationDiverged { cell: "osc".into(), cycle: 12, events: 99 },
                 vec!["osc", "12", "99"],
             ),
+            (Error::SnapshotDecode { detail: "7 trailing bytes".into() }, vec!["7 trailing bytes"]),
             (
                 Error::SnapshotMismatch {
                     snapshot_nets: 10,

@@ -62,6 +62,7 @@ pub mod opt;
 mod proptests;
 pub mod query;
 pub mod sim;
+pub(crate) mod snapbytes;
 pub mod stats;
 pub mod vcd;
 

@@ -15,6 +15,7 @@ use crate::error::{Error, Result};
 use crate::fault::{self, FaultSpec, ResolvedFault};
 use crate::net::{bits_to_signed, signed_to_bits, Bus, NetId};
 use crate::netlist::{CellId, Netlist, PortDirection};
+use crate::snapbytes::{ByteReader, ByteWriter};
 
 /// Per-cell and aggregate switching-activity counters.
 ///
@@ -145,6 +146,239 @@ impl Snapshot {
     #[must_use]
     pub fn has_armed_faults(&self) -> bool {
         !self.stuck.is_empty() || !self.flips.is_empty() || !self.ram_upsets.is_empty()
+    }
+}
+
+/// Leading tag byte of a serialized event-driven snapshot (`'E'`).
+const SNAPSHOT_TAG: u8 = b'E';
+/// Encoding version; bump on any field/layout change.
+const SNAPSHOT_VERSION: u8 = 1;
+
+fn write_bus(w: &mut ByteWriter, bus: &Bus) {
+    w.len(bus.width());
+    for &net in bus.bits() {
+        w.u32(net.index() as u32);
+    }
+}
+
+fn read_bus(r: &mut ByteReader<'_>) -> Result<Bus> {
+    let width = r.len(4)?;
+    let mut bits = Vec::with_capacity(width);
+    for _ in 0..width {
+        bits.push(NetId(r.u32()?));
+    }
+    Bus::new(bits).map_err(|e| Error::SnapshotDecode { detail: format!("bad bus: {e}") })
+}
+
+impl crate::engine::PortableSnapshot for Snapshot {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(SNAPSHOT_TAG);
+        w.u8(SNAPSHOT_VERSION);
+        w.len(self.values.len());
+        for &v in &self.values {
+            w.bool(v);
+        }
+        w.len(self.projected.len());
+        for &v in &self.projected {
+            w.bool(v);
+        }
+        w.len(self.staged_inputs.len());
+        for (bus, value) in &self.staged_inputs {
+            write_bus(&mut w, bus);
+            w.i64(*value);
+        }
+        w.len(self.stats.cell_toggles.len());
+        for &t in &self.stats.cell_toggles {
+            w.u64(t);
+        }
+        w.u64(self.stats.routed_toggles);
+        w.u64(self.stats.local_toggles);
+        w.u64(self.stats.carry_toggles);
+        w.u64(self.stats.ff_toggles);
+        w.u64(self.stats.cycles);
+        w.len(self.pending.len());
+        for queue in &self.pending {
+            w.len(queue.len());
+            for &(at, value) in queue {
+                w.u32(at);
+                w.bool(value);
+            }
+        }
+        w.len(self.wheel.len());
+        for &std::cmp::Reverse((at, tier, net, value)) in &self.wheel {
+            w.u32(at);
+            w.u8(tier);
+            w.u32(net);
+            w.bool(value);
+        }
+        w.len(self.enqueued_at.len());
+        for &at in &self.enqueued_at {
+            w.u32(at);
+        }
+        w.len(self.ram_contents.len());
+        for ram in &self.ram_contents {
+            w.len(ram.len());
+            for &word in ram {
+                w.i64(word);
+            }
+        }
+        w.len(self.carry_state.len());
+        for &s in &self.carry_state {
+            w.u64(s);
+        }
+        w.u64(self.cycle);
+        w.len(self.stuck.len());
+        for &(net, value) in &self.stuck {
+            w.u32(net);
+            w.bool(value);
+        }
+        w.len(self.flips.len());
+        for &(cell, bit, cycle) in &self.flips {
+            w.u32(cell.index() as u32);
+            w.usize(bit);
+            w.u64(cycle);
+        }
+        w.len(self.ram_upsets.len());
+        for &(cell, addr, bit, cycle) in &self.ram_upsets {
+            w.u32(cell.index() as u32);
+            w.usize(addr);
+            w.usize(bit);
+            w.u64(cycle);
+        }
+        w.u64(self.event_cap);
+        match self.last_eval {
+            None => w.u8(0),
+            Some(cell) => {
+                w.u8(1);
+                w.u32(cell.index() as u32);
+            }
+        }
+        w.finish()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let tag = r.u8()?;
+        if tag != SNAPSHOT_TAG {
+            return Err(Error::SnapshotDecode {
+                detail: format!("tag {tag:#04x} is not an event-driven snapshot"),
+            });
+        }
+        let version = r.u8()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(Error::SnapshotDecode {
+                detail: format!("unsupported snapshot version {version}"),
+            });
+        }
+        let mut values = Vec::with_capacity(r.len(1)?);
+        for _ in 0..values.capacity() {
+            values.push(r.bool()?);
+        }
+        let mut projected = Vec::with_capacity(r.len(1)?);
+        for _ in 0..projected.capacity() {
+            projected.push(r.bool()?);
+        }
+        let mut staged_inputs = Vec::with_capacity(r.len(4)?);
+        for _ in 0..staged_inputs.capacity() {
+            let bus = read_bus(&mut r)?;
+            let value = r.i64()?;
+            staged_inputs.push((bus, value));
+        }
+        let mut cell_toggles = Vec::with_capacity(r.len(8)?);
+        for _ in 0..cell_toggles.capacity() {
+            cell_toggles.push(r.u64()?);
+        }
+        let stats = ActivityStats {
+            cell_toggles,
+            routed_toggles: r.u64()?,
+            local_toggles: r.u64()?,
+            carry_toggles: r.u64()?,
+            ff_toggles: r.u64()?,
+            cycles: r.u64()?,
+        };
+        let mut pending = Vec::with_capacity(r.len(4)?);
+        for _ in 0..pending.capacity() {
+            let mut queue = std::collections::VecDeque::with_capacity(r.len(5)?);
+            for _ in 0..queue.capacity() {
+                let at = r.u32()?;
+                let value = r.bool()?;
+                queue.push_back((at, value));
+            }
+            pending.push(queue);
+        }
+        let mut wheel = Vec::with_capacity(r.len(10)?);
+        for _ in 0..wheel.capacity() {
+            let at = r.u32()?;
+            let tier = r.u8()?;
+            let net = r.u32()?;
+            let value = r.bool()?;
+            wheel.push(std::cmp::Reverse((at, tier, net, value)));
+        }
+        let mut enqueued_at = Vec::with_capacity(r.len(4)?);
+        for _ in 0..enqueued_at.capacity() {
+            enqueued_at.push(r.u32()?);
+        }
+        let mut ram_contents = Vec::with_capacity(r.len(4)?);
+        for _ in 0..ram_contents.capacity() {
+            let mut ram = Vec::with_capacity(r.len(8)?);
+            for _ in 0..ram.capacity() {
+                ram.push(r.i64()?);
+            }
+            ram_contents.push(ram);
+        }
+        let mut carry_state = Vec::with_capacity(r.len(8)?);
+        for _ in 0..carry_state.capacity() {
+            carry_state.push(r.u64()?);
+        }
+        let cycle = r.u64()?;
+        let mut stuck = Vec::with_capacity(r.len(5)?);
+        for _ in 0..stuck.capacity() {
+            let net = r.u32()?;
+            let value = r.bool()?;
+            stuck.push((net, value));
+        }
+        let mut flips = Vec::with_capacity(r.len(20)?);
+        for _ in 0..flips.capacity() {
+            let cell = CellId(r.u32()?);
+            let bit = r.usize()?;
+            let due = r.u64()?;
+            flips.push((cell, bit, due));
+        }
+        let mut ram_upsets = Vec::with_capacity(r.len(28)?);
+        for _ in 0..ram_upsets.capacity() {
+            let cell = CellId(r.u32()?);
+            let addr = r.usize()?;
+            let bit = r.usize()?;
+            let due = r.u64()?;
+            ram_upsets.push((cell, addr, bit, due));
+        }
+        let event_cap = r.u64()?;
+        let last_eval = match r.u8()? {
+            0 => None,
+            1 => Some(CellId(r.u32()?)),
+            other => {
+                return Err(Error::SnapshotDecode { detail: format!("bad last_eval tag {other}") })
+            }
+        };
+        r.finish()?;
+        Ok(Snapshot {
+            values,
+            projected,
+            staged_inputs,
+            stats,
+            pending,
+            wheel,
+            enqueued_at,
+            ram_contents,
+            carry_state,
+            cycle,
+            stuck,
+            flips,
+            ram_upsets,
+            event_cap,
+            last_eval,
+        })
     }
 }
 
@@ -1307,6 +1541,63 @@ mod tests {
             replay.push(sim.peek("o").unwrap());
         }
         assert_eq!(replay, reference);
+    }
+
+    #[test]
+    fn portable_snapshot_bytes_round_trip_and_reject_corruption() {
+        use crate::engine::PortableSnapshot;
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let s = b.carry_add("s", &x, &x, 9).unwrap();
+        let q = b.register("q", &s).unwrap();
+        let addr = b.constant(1, 2).unwrap();
+        let vcc = b.vcc().unwrap();
+        let rd = b.ram("m", 4, 9, &addr, &addr, &q, vcc).unwrap();
+        let q2 = b.register("q2", &rd).unwrap();
+        b.output("o", &q2).unwrap();
+        let netlist = b.finish().unwrap();
+        let mut sim = Simulator::new(netlist.clone()).unwrap();
+        for i in 0..9 {
+            sim.set_input("x", (i * 13) % 100 - 50).unwrap();
+            sim.tick();
+        }
+        // Arm faults and stage an input so the optional state is
+        // exercised by the codec, not just the dense vectors.
+        sim.inject(&FaultSpec::StuckAt { net: "x".into(), bit: 0, value: true }).unwrap();
+        sim.inject(&FaultSpec::BitFlip { register: "q".into(), bit: 2, cycle: 30 }).unwrap();
+        sim.set_input("x", 17).unwrap();
+        let snap = sim.snapshot();
+        let bytes = snap.to_bytes();
+        let decoded = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, snap, "byte round-trip is identity");
+
+        // A restore from the decoded snapshot resumes bit-exactly.
+        let mut other = Simulator::new(netlist).unwrap();
+        other.restore(&decoded).unwrap();
+        for i in 0..20 {
+            let v = (i * 7) % 90 - 45;
+            sim.set_input("x", v).unwrap();
+            other.set_input("x", v).unwrap();
+            sim.tick();
+            other.tick();
+            assert_eq!(sim.peek("o").unwrap(), other.peek("o").unwrap());
+        }
+
+        // Truncation at any point is a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(Snapshot::from_bytes(&bytes[..cut]), Err(Error::SnapshotDecode { .. })),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(Snapshot::from_bytes(&long), Err(Error::SnapshotDecode { .. })));
+        // A wrong backend tag is rejected.
+        let mut wrong = bytes;
+        wrong[0] = b'C';
+        assert!(matches!(Snapshot::from_bytes(&wrong), Err(Error::SnapshotDecode { .. })));
     }
 
     #[test]

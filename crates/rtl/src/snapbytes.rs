@@ -1,0 +1,205 @@
+//! Crate-internal little-endian byte codec for portable snapshots.
+//!
+//! The partition runner's process-isolation mode ships engine
+//! snapshots across address spaces (worker → supervisor at every
+//! barrier, supervisor → respawned worker on rollback) and parks them
+//! in a durable on-disk store. Both ends therefore need a stable byte
+//! encoding of each backend's opaque snapshot struct. This module is
+//! the shared plumbing: a bounds-checked reader and a plain writer
+//! over the primitive shapes the two snapshot types are made of.
+//! Field order is fixed by each snapshot's own `to_bytes`; versioning
+//! and checksums live one layer up (a leading tag/version byte pair in
+//! the snapshot encodings, CRC framing in the partition store).
+//!
+//! Decoding is strict: every length is bounds-checked before
+//! allocation, booleans must be exactly 0 or 1, and the caller is
+//! expected to reject trailing bytes via [`ByteReader::finish`]. A
+//! malformed buffer yields [`Error::SnapshotDecode`], never a panic —
+//! torn or corrupted store records must surface as typed errors.
+
+use crate::error::{Error, Result};
+
+/// Hard ceiling on any single decoded collection, so a corrupt length
+/// prefix cannot request an absurd allocation before the bounds check
+/// against the remaining buffer catches it.
+const MAX_LEN: usize = 1 << 28;
+
+/// Appends primitives to a growing byte buffer.
+#[derive(Debug, Default)]
+pub(crate) struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub(crate) fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    pub(crate) fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Length prefix for a collection about to be written element-wise.
+    pub(crate) fn len(&mut self, n: usize) {
+        self.u32(u32::try_from(n).expect("collection fits a u32 length"));
+    }
+}
+
+/// Cursor over an encoded snapshot, with typed bounds-checked reads.
+#[derive(Debug)]
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn bad(detail: impl Into<String>) -> Error {
+    Error::SnapshotDecode { detail: detail.into() }
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad(format!("need {n} bytes at offset {}", self.pos)))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(bad(format!("bool byte {other}"))),
+        }
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn usize(&mut self) -> Result<usize> {
+        usize::try_from(self.u64()?).map_err(|_| bad("usize overflow"))
+    }
+
+    /// Reads a collection length prefix, rejecting lengths that cannot
+    /// possibly fit in the remaining buffer (each element is at least
+    /// `min_elem_bytes` wide).
+    pub(crate) fn len(&mut self, min_elem_bytes: usize) -> Result<usize> {
+        let n = self.u32()? as usize;
+        let floor = n.saturating_mul(min_elem_bytes.max(1));
+        if n > MAX_LEN || floor > self.buf.len() - self.pos {
+            return Err(bad(format!(
+                "length {n} exceeds remaining {} bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Rejects trailing garbage after the last expected field.
+    pub(crate) fn finish(self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad(format!("{} trailing bytes", self.buf.len() - self.pos)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.u8(0xab);
+        w.bool(true);
+        w.bool(false);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.i64(-12345);
+        w.usize(77);
+        w.len(3);
+        for byte in [4u8, 5, 6] {
+            w.u8(byte);
+        }
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -12345);
+        assert_eq!(r.usize().unwrap(), 77);
+        assert_eq!(r.len(1).unwrap(), 3);
+        assert_eq!(r.u8().unwrap(), 4);
+        assert_eq!(r.u8().unwrap(), 5);
+        assert_eq!(r.u8().unwrap(), 6);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_bad_bools_and_absurd_lengths_are_typed_errors() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(Error::SnapshotDecode { .. })));
+
+        let mut r = ByteReader::new(&[7]);
+        assert!(matches!(r.bool(), Err(Error::SnapshotDecode { .. })));
+
+        // A length prefix claiming more elements than bytes remain.
+        let mut w = ByteWriter::new();
+        w.len(1000);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.len(8), Err(Error::SnapshotDecode { .. })));
+
+        // Trailing bytes are rejected.
+        let r = ByteReader::new(&[0]);
+        assert!(matches!(r.finish(), Err(Error::SnapshotDecode { .. })));
+    }
+}
