@@ -11,7 +11,7 @@
 //! [`dwt_partition::run_worker`].
 //!
 //! Usage: `dwt_partition_worker --design N --parts N --shard W
-//! --socket PATH [--backend event|compiled]`
+//! --socket PATH [--backend event|compiled|jit]`
 //!
 //! Exit codes follow the campaign-binary convention: 0 on a clean
 //! shutdown (or a supervisor that simply went away while this worker
@@ -22,19 +22,16 @@ use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 
 use dwt_arch::designs::Design;
-use dwt_bench::campaign::{
-    flag_value, parse_design, unknown_flag, BackendChoice, CampaignArgs, UsageError,
-};
+use dwt_bench::campaign::{flag_value, parse_design, unknown_flag, CampaignArgs, UsageError};
 use dwt_partition::{partition, run_worker, CutOptions, SocketTransport, WorkerConfig, WorkerSpec};
-use dwt_rtl::compile::CompiledEngine;
-use dwt_rtl::sim::Simulator;
+use dwt_rtl::engine::{Backend, BackendRunner, Engine, PortableSnapshot};
 
 struct WorkerArgs {
     design: Design,
     parts: usize,
     shard: usize,
     socket: PathBuf,
-    backend: BackendChoice,
+    backend: Backend,
 }
 
 fn parse_args(shared: &CampaignArgs) -> Result<WorkerArgs, UsageError> {
@@ -68,6 +65,24 @@ fn parse_args(shared: &CampaignArgs) -> Result<WorkerArgs, UsageError> {
     })
 }
 
+struct Worker<'a> {
+    spec: &'a WorkerSpec,
+    transport: &'a mut SocketTransport,
+    config: &'a WorkerConfig,
+}
+
+impl BackendRunner for Worker<'_> {
+    type Output = Result<(), dwt_partition::PartitionError>;
+
+    fn run<E>(self) -> Self::Output
+    where
+        E: Engine + Send + 'static,
+        E::Snapshot: PortableSnapshot + Send + 'static,
+    {
+        run_worker::<E, _>(self.spec, self.transport, self.config)
+    }
+}
+
 fn run(args: &WorkerArgs) -> Result<(), String> {
     let built = args.design.build().map_err(|e| format!("{}: {e}", args.design.name()))?;
     let cut = partition(&built.netlist, args.parts, &CutOptions::default())
@@ -77,11 +92,9 @@ fn run(args: &WorkerArgs) -> Result<(), String> {
         .map_err(|e| format!("connecting {}: {e}", args.socket.display()))?;
     let mut transport = SocketTransport::new(stream);
     let config = WorkerConfig::default();
-    match args.backend {
-        BackendChoice::Event => run_worker::<Simulator, _>(&spec, &mut transport, &config),
-        BackendChoice::Compiled => run_worker::<CompiledEngine, _>(&spec, &mut transport, &config),
-    }
-    .map_err(|e| format!("shard {}: {e}", args.shard))
+    args.backend
+        .dispatch(Worker { spec: &spec, transport: &mut transport, config: &config })
+        .map_err(|e| format!("shard {}: {e}", args.shard))
 }
 
 fn main() {

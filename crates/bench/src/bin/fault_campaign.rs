@@ -10,7 +10,7 @@
 //! LE cost — the area price of lowering the SDC rate.
 //!
 //! Usage: `fault_campaign [--faults N] [--pairs N] [--seed S]
-//! [--backend event|compiled] [--json PATH] [--max-sdc N]` (markdown
+//! [--backend event|compiled|jit] [--json PATH] [--max-sdc N]` (markdown
 //! goes to stdout; `--json` additionally writes the full per-fault
 //! record set as JSON — with the seed echoed so a failing campaign can
 //! be replayed exactly; `--max-sdc N` makes the process exit nonzero
@@ -24,12 +24,10 @@
 use dwt_arch::designs::Design;
 use dwt_arch::hardened::HardenedVariant;
 use dwt_bench::campaign::{
-    campaign_json, flag_value, run_campaign, unknown_flag, BackendChoice, CampaignArgs,
-    CampaignConfig, Outcome, UsageError,
+    campaign_json, flag_value, run_campaign, unknown_flag, CampaignArgs, CampaignConfig, Outcome,
+    UsageError,
 };
-use dwt_rtl::compile::CompiledEngine;
-use dwt_rtl::engine::Engine;
-use dwt_rtl::sim::Simulator;
+use dwt_rtl::engine::{BackendRunner, Engine, PortableSnapshot};
 
 fn parse_cfg(shared: &CampaignArgs) -> Result<CampaignConfig, UsageError> {
     let mut cfg = CampaignConfig::default();
@@ -123,11 +121,25 @@ fn run<E: Engine>(shared: &CampaignArgs, cfg: &CampaignConfig) {
     }
 }
 
+struct Campaign {
+    shared: CampaignArgs,
+    cfg: CampaignConfig,
+}
+
+impl BackendRunner for Campaign {
+    type Output = ();
+
+    fn run<E>(self)
+    where
+        E: Engine + Send + 'static,
+        E::Snapshot: PortableSnapshot + Send,
+    {
+        run::<E>(&self.shared, &self.cfg);
+    }
+}
+
 fn main() {
     let shared = CampaignArgs::parse();
     let cfg = parse_cfg(&shared).unwrap_or_else(|e| e.exit());
-    match shared.backend {
-        BackendChoice::Event => run::<Simulator>(&shared, &cfg),
-        BackendChoice::Compiled => run::<CompiledEngine>(&shared, &cfg),
-    }
+    shared.backend.dispatch(Campaign { shared, cfg });
 }

@@ -16,7 +16,7 @@
 //! [--kill W:C] [--isolation thread|process] [--kill-9 W:C]
 //! [--stall-ms W:C:MS] [--torn-snapshot N] [--restart-after N]
 //! [--run-dir PATH] [--liveness-ms N] [--seed S]
-//! [--backend event|compiled] [--json PATH] [--max-sdc N]
+//! [--backend event|compiled|jit] [--json PATH] [--max-sdc N]
 //! [--min-availability F]`
 //!
 //! * `--parts LIST` — shard counts to sweep (default `1,2,4,8`).
@@ -58,17 +58,15 @@ use std::time::{Duration, Instant};
 
 use dwt_arch::designs::Design;
 use dwt_bench::campaign::{
-    flag_value, json_escape, parse_design, parse_list, parse_parts, unknown_flag, BackendChoice,
-    CampaignArgs, MarkdownTable, UsageError,
+    flag_value, json_escape, parse_design, parse_list, parse_parts, unknown_flag, CampaignArgs,
+    MarkdownTable, UsageError,
 };
 use dwt_partition::{
     partition, run_single, ChaosPlan, Corruption, CutOptions, FrameOutputs, PartitionRunner,
     PartitionedNetlist, ProcChaos, ProcConfig, ProcSupervisor, Rung, RunnerConfig, SeuChaos,
     Stimulus, WorkerLauncher,
 };
-use dwt_rtl::compile::CompiledEngine;
-use dwt_rtl::engine::Engine;
-use dwt_rtl::sim::Simulator;
+use dwt_rtl::engine::{BackendRunner, Engine, PortableSnapshot};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Isolation {
@@ -633,11 +631,25 @@ where
     shared.enforce_gates(total_sdc, Some(min_avail));
 }
 
+struct Campaign {
+    shared: CampaignArgs,
+    cfg: Config,
+}
+
+impl BackendRunner for Campaign {
+    type Output = ();
+
+    fn run<E>(self)
+    where
+        E: Engine + Send + 'static,
+        E::Snapshot: PortableSnapshot + Send + 'static,
+    {
+        run::<E>(&self.shared, &self.cfg);
+    }
+}
+
 fn main() {
     let shared = CampaignArgs::parse();
     let cfg = parse_cfg(&shared).unwrap_or_else(|e| e.exit());
-    match shared.backend {
-        BackendChoice::Event => run::<Simulator>(&shared, &cfg),
-        BackendChoice::Compiled => run::<CompiledEngine>(&shared, &cfg),
-    }
+    shared.backend.dispatch(Campaign { shared, cfg });
 }

@@ -17,7 +17,7 @@
 //! [--burst PERIOD,LEN,FACTOR] [--no-burst] [--stuck-lane LANE,CYCLE]
 //! [--no-stuck-lane] [--slow-lane LANE,FACTOR] [--no-slow-lane]
 //! [--deadline N] [--no-deadline] [--max-redispatch N] [--no-dwc]
-//! [--seed S] [--backend event|compiled] [--json PATH] [--max-sdc N]
+//! [--seed S] [--backend event|compiled|jit] [--json PATH] [--max-sdc N]
 //! [--min-availability F]`
 //!
 //! With `--max-sdc N` the process exits nonzero when total SDC escapes
@@ -29,17 +29,14 @@
 //! Exit codes: 0 success, 1 gate failure, 2 usage error.
 
 use dwt_bench::campaign::{
-    flag_value, parse_design, parse_list, parse_parts, unknown_flag, BackendChoice, CampaignArgs,
-    UsageError,
+    flag_value, parse_design, parse_list, parse_parts, unknown_flag, CampaignArgs, UsageError,
 };
 use dwt_bench::pool::{
     min_availability, pool_json, pool_lane_markdown, pool_markdown, run_pool_campaign,
     total_sdc_escapes, PoolCampaignConfig,
 };
 use dwt_pool::chaos::{BurstConfig, SlowLaneSpec, StuckLaneSpec};
-use dwt_rtl::compile::CompiledEngine;
-use dwt_rtl::engine::Engine;
-use dwt_rtl::sim::Simulator;
+use dwt_rtl::engine::{BackendRunner, Engine, PortableSnapshot};
 
 fn parse_cfg(shared: &CampaignArgs) -> Result<PoolCampaignConfig, UsageError> {
     let mut cfg = PoolCampaignConfig::default();
@@ -155,11 +152,25 @@ fn run<E: Engine>(shared: &CampaignArgs, cfg: &PoolCampaignConfig) {
     shared.enforce_gates(total_sdc_escapes(&rows), Some(min_availability(&rows)));
 }
 
+struct Campaign {
+    shared: CampaignArgs,
+    cfg: PoolCampaignConfig,
+}
+
+impl BackendRunner for Campaign {
+    type Output = ();
+
+    fn run<E>(self)
+    where
+        E: Engine + Send + 'static,
+        E::Snapshot: PortableSnapshot + Send,
+    {
+        run::<E>(&self.shared, &self.cfg);
+    }
+}
+
 fn main() {
     let shared = CampaignArgs::parse();
     let cfg = parse_cfg(&shared).unwrap_or_else(|e| e.exit());
-    match shared.backend {
-        BackendChoice::Event => run::<Simulator>(&shared, &cfg),
-        BackendChoice::Compiled => run::<CompiledEngine>(&shared, &cfg),
-    }
+    shared.backend.dispatch(Campaign { shared, cfg });
 }

@@ -12,7 +12,7 @@
 //!
 //! Usage: `recovery_campaign [--pairs N] [--tile N] [--rate R]
 //! [--stuck F] [--common-mode F] [--seed S] [--max-replays N]
-//! [--event-cap N] [--no-dwc] [--backend event|compiled] [--json PATH]
+//! [--event-cap N] [--no-dwc] [--backend event|compiled|jit] [--json PATH]
 //! [--max-sdc N]`
 //!
 //! With `--max-sdc N` the process exits nonzero when total SDC escapes
@@ -22,14 +22,12 @@
 //!
 //! Exit codes: 0 success, 1 gate failure, 2 usage error.
 
-use dwt_bench::campaign::{flag_value, unknown_flag, BackendChoice, CampaignArgs, UsageError};
+use dwt_bench::campaign::{flag_value, unknown_flag, CampaignArgs, UsageError};
 use dwt_bench::recovery::{
     recovery_json, recovery_markdown, run_recovery_campaign, total_sdc_escapes,
     RecoveryCampaignConfig,
 };
-use dwt_rtl::compile::CompiledEngine;
-use dwt_rtl::engine::Engine;
-use dwt_rtl::sim::Simulator;
+use dwt_rtl::engine::{BackendRunner, Engine, PortableSnapshot};
 
 fn parse_cfg(shared: &CampaignArgs) -> Result<RecoveryCampaignConfig, UsageError> {
     let mut cfg = RecoveryCampaignConfig::default();
@@ -87,11 +85,25 @@ fn run<E: Engine>(shared: &CampaignArgs, cfg: &RecoveryCampaignConfig) {
     shared.enforce_gates(total_sdc_escapes(&rows), None);
 }
 
+struct Campaign {
+    shared: CampaignArgs,
+    cfg: RecoveryCampaignConfig,
+}
+
+impl BackendRunner for Campaign {
+    type Output = ();
+
+    fn run<E>(self)
+    where
+        E: Engine + Send + 'static,
+        E::Snapshot: PortableSnapshot + Send,
+    {
+        run::<E>(&self.shared, &self.cfg);
+    }
+}
+
 fn main() {
     let shared = CampaignArgs::parse();
     let cfg = parse_cfg(&shared).unwrap_or_else(|e| e.exit());
-    match shared.backend {
-        BackendChoice::Event => run::<Simulator>(&shared, &cfg),
-        BackendChoice::Compiled => run::<CompiledEngine>(&shared, &cfg),
-    }
+    shared.backend.dispatch(Campaign { shared, cfg });
 }

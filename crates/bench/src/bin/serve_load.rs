@@ -16,7 +16,7 @@
 //! [--requests N] [--sweep R1,R2,...] [--queue N] [--deadline-ms F]
 //! [--block] [--attempts N] [--reset-every N] [--chaos]
 //! [--rate F] [--stuck-lane LANE,CYCLE] [--slow-lane LANE,FACTOR]
-//! [--seed S] [--backend event|compiled] [--json PATH] [--max-sdc N]
+//! [--seed S] [--backend event|compiled|jit] [--json PATH] [--max-sdc N]
 //! [--min-availability F]`
 //!
 //! `--chaos` enables the default fault campaign (Poisson SEUs on every
@@ -30,17 +30,14 @@
 //! Exit codes: 0 success, 1 gate failure, 2 usage error.
 
 use dwt_bench::campaign::{
-    flag_value, parse_design, parse_list, parse_parts, unknown_flag, BackendChoice, CampaignArgs,
-    UsageError,
+    flag_value, parse_design, parse_list, parse_parts, unknown_flag, CampaignArgs, UsageError,
 };
 use dwt_bench::serve::{
     default_chaos, min_availability, run_serve_campaign, serve_json, serve_markdown,
     serve_worker_markdown, total_sdc_escapes, ServeCampaignConfig,
 };
 use dwt_pool::chaos::{SlowLaneSpec, StuckLaneSpec};
-use dwt_rtl::compile::CompiledEngine;
-use dwt_rtl::engine::Engine;
-use dwt_rtl::sim::Simulator;
+use dwt_rtl::engine::{BackendRunner, Engine, PortableSnapshot};
 use dwt_serve::OverloadPolicy;
 
 fn parse_cfg(shared: &CampaignArgs) -> Result<ServeCampaignConfig, UsageError> {
@@ -166,11 +163,25 @@ where
     shared.enforce_gates(total_sdc_escapes(&rows), Some(min_availability(&rows)));
 }
 
+struct Campaign {
+    shared: CampaignArgs,
+    cfg: ServeCampaignConfig,
+}
+
+impl BackendRunner for Campaign {
+    type Output = ();
+
+    fn run<E>(self)
+    where
+        E: Engine + Send + 'static,
+        E::Snapshot: PortableSnapshot + Send,
+    {
+        run::<E>(&self.shared, &self.cfg);
+    }
+}
+
 fn main() {
     let shared = CampaignArgs::parse();
     let cfg = parse_cfg(&shared).unwrap_or_else(|e| e.exit());
-    match shared.backend {
-        BackendChoice::Event => run::<Simulator>(&shared, &cfg),
-        BackendChoice::Compiled => run::<CompiledEngine>(&shared, &cfg),
-    }
+    shared.backend.dispatch(Campaign { shared, cfg });
 }

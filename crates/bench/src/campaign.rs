@@ -297,30 +297,6 @@ pub fn campaign_json(cfg: &CampaignConfig, reports: &[CampaignReport]) -> String
     out
 }
 
-/// Which simulation backend a campaign binary drives.
-///
-/// Selected on the command line with `--backend event|compiled`; the
-/// binaries dispatch their generic campaign runner on this.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum BackendChoice {
-    /// The event-driven, glitch-modelling [`dwt_rtl::sim::Simulator`].
-    #[default]
-    Event,
-    /// The levelized bit-sliced [`dwt_rtl::compile::CompiledEngine`].
-    Compiled,
-}
-
-impl BackendChoice {
-    /// Stable lowercase name for reports and JSON.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            BackendChoice::Event => "event",
-            BackendChoice::Compiled => "compiled",
-        }
-    }
-}
-
 /// Process exit code for a malformed invocation (bad flag, missing or
 /// unparsable value) — distinct from [`EXIT_GATE`] so CI can tell "the
 /// job is misconfigured" from "the result regressed".
@@ -475,8 +451,8 @@ pub struct CampaignArgs {
     pub max_sdc: Option<usize>,
     /// `--min-availability F`: fail when availability falls below F.
     pub min_availability: Option<f64>,
-    /// `--backend event|compiled`: which engine runs the campaign.
-    pub backend: BackendChoice,
+    /// `--backend event|compiled|jit`: which engine runs the campaign.
+    pub backend: dwt_rtl::engine::Backend,
     /// Unconsumed arguments, in their original order.
     pub rest: Vec<String>,
 }
@@ -514,19 +490,13 @@ impl CampaignArgs {
                     out.min_availability = Some(flag_value(&mut args, &flag, "fraction")?);
                 }
                 "--backend" => {
+                    let expected = dwt_rtl::engine::Backend::EXPECTED;
                     let raw = args
                         .next()
-                        .ok_or_else(|| UsageError::new(&flag, "expects event|compiled"))?;
-                    out.backend = match raw.as_str() {
-                        "event" => BackendChoice::Event,
-                        "compiled" => BackendChoice::Compiled,
-                        other => {
-                            return Err(UsageError::new(
-                                &flag,
-                                format!("expects event|compiled, got '{other}'"),
-                            ))
-                        }
-                    };
+                        .ok_or_else(|| UsageError::new(&flag, format!("expects {expected}")))?;
+                    out.backend = raw.parse().map_err(|_| {
+                        UsageError::new(&flag, format!("expects {expected}, got '{raw}'"))
+                    })?;
                 }
                 _ => out.rest.push(flag),
             }
@@ -757,7 +727,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(args.seed, Some(41));
-        assert_eq!(args.backend, BackendChoice::Compiled);
+        assert_eq!(args.backend, dwt_rtl::engine::Backend::Compiled);
         assert_eq!(args.max_sdc, Some(0));
         assert_eq!(args.min_availability, Some(0.5));
         assert_eq!(args.json.as_deref(), Some("out.json"));

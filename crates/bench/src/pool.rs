@@ -99,7 +99,7 @@ pub fn run_pool_campaign<E: Engine>(cfg: &PoolCampaignConfig) -> Result<Vec<Pool
     let mut rows = Vec::new();
     for &interarrival in &cfg.interarrivals {
         let pool_cfg = PoolConfig { interarrival_cycles: interarrival, ..cfg.pool.clone() };
-        let report = Pool::<E>::with_backend(pool_cfg)?.run(&pairs)?;
+        let report = Pool::<E>::new(pool_cfg)?.run(&pairs)?;
         rows.push(PoolRow { interarrival, report });
     }
     Ok(rows)

@@ -102,7 +102,7 @@ pub fn run_recovery_campaign<E: Engine>(
             dwc: cfg.dwc,
             watchdog: WatchdogConfig { event_cap: cfg.event_cap, tile_cycle_budget: None },
         };
-        let mut exec = TileExecutor::<E>::with_backend(design, exec_cfg)?;
+        let mut exec = TileExecutor::<E>::new(design, exec_cfg)?;
         let mut seu = PoissonSeu::new(
             exec.primary_netlist(),
             exec.spare_netlist(),

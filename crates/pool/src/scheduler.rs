@@ -116,9 +116,11 @@ pub struct Pool<E: Engine = Simulator> {
     lanes: Vec<Lane<E>>,
 }
 
-impl Pool {
+impl<E: Engine> Pool<E> {
     /// Builds every lane (executor + chaos injector) for the config,
-    /// on the event-driven backend.
+    /// on the backend named by `E`. Callers selecting the backend at
+    /// runtime go through
+    /// [`dwt_rtl::engine::Backend::dispatch`](dwt_rtl::engine::Backend).
     ///
     /// # Errors
     ///
@@ -126,18 +128,6 @@ impl Pool {
     /// for a malformed chaos scenario or tile size, and lane
     /// construction failures.
     pub fn new(cfg: PoolConfig) -> Result<Self> {
-        Pool::with_backend(cfg)
-    }
-}
-
-impl<E: Engine> Pool<E> {
-    /// Builds every lane (executor + chaos injector) for the config,
-    /// on the backend named by `E`.
-    ///
-    /// # Errors
-    ///
-    /// Same failure modes as [`Pool::new`].
-    pub fn with_backend(cfg: PoolConfig) -> Result<Self> {
         if cfg.lanes == 0 {
             return Err(Error::NoLanes);
         }
@@ -160,7 +150,7 @@ impl<E: Engine> Pool<E> {
         };
         let mut lanes = Vec::with_capacity(cfg.lanes);
         for id in 0..cfg.lanes {
-            let exec = TileExecutor::<E>::with_backend(cfg.design, exec_cfg)?;
+            let exec = TileExecutor::<E>::new(cfg.design, exec_cfg)?;
             let injector =
                 cfg.chaos.injector_for(id, exec.primary_netlist(), exec.spare_netlist())?;
             let nominal = exec.nominal_window(cfg.tile_pairs);
@@ -401,7 +391,7 @@ mod tests {
     #[test]
     fn fault_free_pool_matches_tiled_golden() {
         let pairs = still_tone_pairs(40, 5);
-        let mut pool = Pool::new(quiet_cfg()).unwrap();
+        let mut pool = Pool::<Simulator>::new(quiet_cfg()).unwrap();
         let report = pool.run(&pairs).unwrap();
         let (exp_low, exp_high) = tiled_reference(&pairs, 8);
         assert_eq!(report.low, exp_low);
@@ -416,7 +406,7 @@ mod tests {
     #[test]
     fn load_spreads_across_lanes() {
         let pairs = still_tone_pairs(64, 9);
-        let mut pool = Pool::new(quiet_cfg()).unwrap();
+        let mut pool = Pool::<Simulator>::new(quiet_cfg()).unwrap();
         let report = pool.run(&pairs).unwrap();
         let busy = report.lane_summaries.iter().filter(|l| l.stats.served > 0).count();
         assert!(busy >= 2, "a backlogged pool must use more than one lane: {busy}");
@@ -432,7 +422,7 @@ mod tests {
             },
             ..quiet_cfg()
         };
-        let mut pool = Pool::new(cfg).unwrap();
+        let mut pool = Pool::<Simulator>::new(cfg).unwrap();
         let report = pool.run(&pairs).unwrap();
         let (exp_low, exp_high) = tiled_reference(&pairs, 8);
         assert_eq!(report.low, exp_low, "redistribution preserves output ordering");
@@ -461,7 +451,7 @@ mod tests {
             admission: AdmissionConfig { deadline_cycles: Some(4) },
             ..PoolConfig::default()
         };
-        let mut pool = Pool::new(cfg).unwrap();
+        let mut pool = Pool::<Simulator>::new(cfg).unwrap();
         let report = pool.run(&pairs).unwrap();
         assert_eq!(report.shed_tiles(), report.tiles.len());
         assert!(report
@@ -488,8 +478,8 @@ mod tests {
             ..PoolConfig::default()
         };
         let baseline = PoolConfig { lanes: 1, tile_pairs: 8, ..PoolConfig::default() };
-        let slow_report = Pool::new(slow).unwrap().run(&pairs).unwrap();
-        let base_report = Pool::new(baseline).unwrap().run(&pairs).unwrap();
+        let slow_report = Pool::<Simulator>::new(slow).unwrap().run(&pairs).unwrap();
+        let base_report = Pool::<Simulator>::new(baseline).unwrap().run(&pairs).unwrap();
         assert!(
             slow_report.makespan > 2 * base_report.makespan,
             "3x cycle cost shows up in makespan: {} vs {}",
@@ -512,7 +502,7 @@ mod tests {
             },
             ..quiet_cfg()
         };
-        let mut pool = Pool::new(cfg).unwrap();
+        let mut pool = Pool::<Simulator>::new(cfg).unwrap();
         let report = pool.run(&pairs).unwrap();
         let (exp_low, exp_high) = tiled_reference(&pairs, 8);
         assert_eq!(report.low, exp_low);
@@ -534,18 +524,18 @@ mod tests {
             },
             ..quiet_cfg()
         };
-        let a = Pool::new(cfg.clone()).unwrap().run(&pairs).unwrap();
-        let b = Pool::new(cfg).unwrap().run(&pairs).unwrap();
+        let a = Pool::<Simulator>::new(cfg.clone()).unwrap().run(&pairs).unwrap();
+        let b = Pool::<Simulator>::new(cfg).unwrap().run(&pairs).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn zero_lanes_and_empty_workloads_are_errors() {
         assert_eq!(
-            Pool::new(PoolConfig { lanes: 0, ..PoolConfig::default() }).unwrap_err(),
+            Pool::<Simulator>::new(PoolConfig { lanes: 0, ..PoolConfig::default() }).unwrap_err(),
             Error::NoLanes
         );
-        let mut pool = Pool::new(PoolConfig::default()).unwrap();
+        let mut pool = Pool::<Simulator>::new(PoolConfig::default()).unwrap();
         assert_eq!(pool.run(&[]).unwrap_err(), Error::EmptyWorkload);
     }
 }

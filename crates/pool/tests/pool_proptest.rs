@@ -24,6 +24,7 @@ use dwt_pool::admission::AdmissionConfig;
 use dwt_pool::chaos::{BurstConfig, ChaosConfig, SlowLaneSpec, StuckLaneSpec};
 use dwt_pool::report::ServedBy;
 use dwt_pool::{Pool, PoolConfig};
+use dwt_rtl::sim::Simulator;
 
 /// The tiled software reference: what the pool must commit for this
 /// workload at this tile size, bit for bit.
@@ -112,7 +113,7 @@ proptest! {
             chaos,
             ..PoolConfig::default()
         };
-        let report = Pool::new(cfg.clone()).unwrap().run(&pairs).unwrap();
+        let report = Pool::<Simulator>::new(cfg.clone()).unwrap().run(&pairs).unwrap();
 
         // Every tile commits exactly once, in workload order.
         let expected_tiles = npairs.div_ceil(tile_pairs);
@@ -144,7 +145,7 @@ proptest! {
 
         // Determinism: an identically configured pool reproduces the
         // run, report for report.
-        let again = Pool::new(cfg).unwrap().run(&pairs).unwrap();
+        let again = Pool::<Simulator>::new(cfg).unwrap().run(&pairs).unwrap();
         prop_assert_eq!(report, again);
     }
 }

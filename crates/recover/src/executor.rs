@@ -308,10 +308,9 @@ struct Attempt {
 /// The recovery runtime: checkpointed tile execution over one design.
 ///
 /// Generic over the simulation [`Engine`] driving the primary datapath
-/// and its TMR spare; defaults to the event-driven
-/// [`Simulator`] so existing callers are unchanged. Use
-/// [`TileExecutor::with_backend`] to run on the compiled bit-sliced
-/// backend instead.
+/// and its TMR spare; defaults to the event-driven [`Simulator`].
+/// Callers selecting the backend at runtime dispatch through
+/// [`dwt_rtl::engine::Backend`] instead of naming `E` themselves.
 #[derive(Debug)]
 pub struct TileExecutor<E: Engine = Simulator> {
     design: Design,
@@ -336,26 +335,18 @@ pub struct TileExecutor<E: Engine = Simulator> {
     tile_index: usize,
 }
 
-impl TileExecutor {
-    /// Builds the primary datapath (with the configured hardening) and
-    /// its TMR spare for `design`, on the event-driven backend.
-    ///
-    /// # Errors
-    ///
-    /// Propagates datapath-generator and simulator construction errors.
-    pub fn new(design: Design, cfg: ExecutorConfig) -> Result<Self> {
-        TileExecutor::with_backend(design, cfg)
-    }
-}
-
 impl<E: Engine> TileExecutor<E> {
     /// Builds the primary datapath (with the configured hardening) and
     /// its TMR spare for `design`, on the backend named by `E`.
     ///
+    /// Callers selecting the backend at runtime go through
+    /// [`dwt_rtl::engine::Backend::dispatch`](dwt_rtl::engine::Backend)
+    /// instead of naming `E` themselves.
+    ///
     /// # Errors
     ///
     /// Propagates datapath-generator and engine construction errors.
-    pub fn with_backend(design: Design, cfg: ExecutorConfig) -> Result<Self> {
+    pub fn new(design: Design, cfg: ExecutorConfig) -> Result<Self> {
         let primary = design.build_hardened(cfg.hardening)?;
         let spare = design.build_hardened(Hardening::Tmr)?;
         let mut sim = E::from_netlist(primary.netlist.clone())?;
@@ -753,7 +744,7 @@ mod tests {
     fn fault_free_stream_matches_golden_on_every_design() {
         let pairs = still_tone_pairs(48, 7);
         for d in Design::all() {
-            let mut exec = TileExecutor::new(d, small_cfg()).unwrap();
+            let mut exec = TileExecutor::<Simulator>::new(d, small_cfg()).unwrap();
             let report = exec.run_stream(&pairs, &mut NoFaults).unwrap();
             assert_eq!(report.tiles.len(), 3, "{d}");
             assert_eq!(report.low.len(), 48, "{d}");
@@ -772,7 +763,7 @@ mod tests {
         // the reference is a golden stream fed the same tiled way. The
         // hardware must match it bit-exactly across every boundary.
         let pairs = still_tone_pairs(40, 3);
-        let mut exec = TileExecutor::new(Design::D3, small_cfg()).unwrap();
+        let mut exec = TileExecutor::<Simulator>::new(Design::D3, small_cfg()).unwrap();
         let flush = exec.flush();
         let report = exec.run_stream(&pairs, &mut NoFaults).unwrap();
 
@@ -797,7 +788,7 @@ mod tests {
     #[test]
     fn transient_flip_recovers_via_replay() {
         let pairs = still_tone_pairs(16, 5);
-        let mut exec = TileExecutor::new(Design::D2, small_cfg()).unwrap();
+        let mut exec = TileExecutor::<Simulator>::new(Design::D2, small_cfg()).unwrap();
         // Strike a register mid-tile; the monotone injector clock means
         // the replay runs clean.
         let reg = exec
@@ -829,7 +820,7 @@ mod tests {
     #[test]
     fn hard_primary_fault_escalates_to_tmr_spare() {
         let pairs = still_tone_pairs(16, 5);
-        let mut exec = TileExecutor::new(Design::D1, small_cfg()).unwrap();
+        let mut exec = TileExecutor::<Simulator>::new(Design::D1, small_cfg()).unwrap();
         let reg = exec
             .primary_netlist()
             .cells()
@@ -857,7 +848,7 @@ mod tests {
     #[test]
     fn common_mode_hard_faults_reach_golden_fallback() {
         let pairs = still_tone_pairs(16, 5);
-        let mut exec = TileExecutor::new(Design::D2, small_cfg()).unwrap();
+        let mut exec = TileExecutor::<Simulator>::new(Design::D2, small_cfg()).unwrap();
         let preg = exec
             .primary_netlist()
             .cells()
@@ -902,7 +893,7 @@ mod tests {
     fn dwc_off_lets_sdc_escape_and_the_audit_counts_it() {
         let pairs = still_tone_pairs(16, 5);
         let cfg = ExecutorConfig { dwc: false, ..small_cfg() };
-        let mut exec = TileExecutor::new(Design::D2, cfg).unwrap();
+        let mut exec = TileExecutor::<Simulator>::new(Design::D2, cfg).unwrap();
         let reg = exec
             .primary_netlist()
             .cells()
@@ -928,7 +919,7 @@ mod tests {
     fn parity_hardened_primary_raises_its_flag() {
         let pairs = still_tone_pairs(16, 5);
         let cfg = ExecutorConfig { hardening: Hardening::Parity, dwc: false, ..small_cfg() };
-        let mut exec = TileExecutor::new(Design::D2, cfg).unwrap();
+        let mut exec = TileExecutor::<Simulator>::new(Design::D2, cfg).unwrap();
         let reg = exec
             .primary_netlist()
             .cells()
@@ -956,7 +947,7 @@ mod tests {
     #[test]
     fn reset_rearms_without_rebuilding() {
         let pairs = still_tone_pairs(24, 11);
-        let mut exec = TileExecutor::new(Design::D3, small_cfg()).unwrap();
+        let mut exec = TileExecutor::<Simulator>::new(Design::D3, small_cfg()).unwrap();
         let first = exec.run_stream(&pairs, &mut NoFaults).unwrap();
         let cycles_after_first = exec.executed_cycles();
         assert!(cycles_after_first > 0);
@@ -974,7 +965,7 @@ mod tests {
     #[test]
     fn status_condenses_the_outcome() {
         let pairs = still_tone_pairs(16, 5);
-        let mut exec = TileExecutor::new(Design::D2, small_cfg()).unwrap();
+        let mut exec = TileExecutor::<Simulator>::new(Design::D2, small_cfg()).unwrap();
         let clean = exec.run_stream(&pairs, &mut NoFaults).unwrap();
         assert_eq!(clean.tiles[0].status(), TileStatus::Clean);
         assert!(clean.tiles[0].status().hardware_served());
@@ -1000,9 +991,9 @@ mod tests {
 
     #[test]
     fn nominal_window_is_pairs_plus_flush() {
-        let exec = TileExecutor::new(Design::D2, small_cfg()).unwrap();
+        let exec = TileExecutor::<Simulator>::new(Design::D2, small_cfg()).unwrap();
         let report = {
-            let mut e = TileExecutor::new(Design::D2, small_cfg()).unwrap();
+            let mut e = TileExecutor::<Simulator>::new(Design::D2, small_cfg()).unwrap();
             e.run_stream(&still_tone_pairs(16, 1), &mut NoFaults).unwrap()
         };
         assert_eq!(exec.nominal_window(16), report.tiles[0].nominal_cycles);
@@ -1010,7 +1001,7 @@ mod tests {
 
     #[test]
     fn empty_stream_is_an_error() {
-        let mut exec = TileExecutor::new(Design::D1, small_cfg()).unwrap();
+        let mut exec = TileExecutor::<Simulator>::new(Design::D1, small_cfg()).unwrap();
         assert_eq!(exec.run_stream(&[], &mut NoFaults), Err(Error::EmptyTile));
     }
 }

@@ -44,9 +44,10 @@
 //! use dwt_arch::golden::still_tone_pairs;
 //! use dwt_recover::executor::{ExecutorConfig, TileExecutor};
 //! use dwt_recover::injector::NoFaults;
+//! use dwt_rtl::sim::Simulator;
 //!
 //! let cfg = ExecutorConfig { tile_pairs: 16, ..ExecutorConfig::default() };
-//! let mut exec = TileExecutor::new(Design::D2, cfg)?;
+//! let mut exec = TileExecutor::<Simulator>::new(Design::D2, cfg)?;
 //! let report = exec.run_stream(&still_tone_pairs(32, 1), &mut NoFaults)?;
 //! assert_eq!(report.tiles.len(), 2);
 //! assert_eq!(report.sdc_escapes(), 0);

@@ -16,6 +16,7 @@ use dwt_recover::executor::{Detection, ExecutorConfig, Rung, TileExecutor};
 use dwt_recover::injector::{Lane, ScriptedFaults};
 use dwt_recover::watchdog::WatchdogConfig;
 use dwt_rtl::fault::FaultSpec;
+use dwt_rtl::sim::Simulator;
 
 #[test]
 fn watchdog_catches_settle_stall_and_replay_recovers() {
@@ -24,7 +25,7 @@ fn watchdog_catches_settle_stall_and_replay_recovers() {
         watchdog: WatchdogConfig { event_cap: Some(8), tile_cycle_budget: None },
         ..ExecutorConfig::default()
     };
-    let mut exec = TileExecutor::new(Design::D2, cfg).unwrap();
+    let mut exec = TileExecutor::<Simulator>::new(Design::D2, cfg).unwrap();
 
     let strike_cycle = 5;
     let mut inj = ScriptedFaults {
@@ -72,7 +73,7 @@ fn tile_cycle_budget_stops_replaying_a_persistent_fault() {
             watchdog: WatchdogConfig { event_cap: Some(8), tile_cycle_budget: budget },
             ..ExecutorConfig::default()
         };
-        let mut exec = TileExecutor::new(Design::D2, cfg).unwrap();
+        let mut exec = TileExecutor::<Simulator>::new(Design::D2, cfg).unwrap();
         let mut inj = ScriptedFaults {
             hard_primary: vec![FaultSpec::StuckAt { net: "in_even".into(), bit: 0, value: true }],
             ..ScriptedFaults::default()

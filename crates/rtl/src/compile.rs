@@ -42,7 +42,7 @@ const ALL: u64 = !0;
 /// One word operation of a compiled program. `dst`/operand fields are
 /// slot indices into the flat word file.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Op {
+pub(crate) enum Op {
     /// Broadcast a constant bit to every lane of `dst`.
     Const { dst: u32, ones: bool },
     /// `dst = a`.
@@ -67,25 +67,25 @@ enum Op {
 
 /// Register slots: where to capture D from and where Q lives.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct RegSlots {
-    cell: CellId,
+pub(crate) struct RegSlots {
+    pub(crate) cell: CellId,
     /// Offset of this register's bits in the capture scratch buffer.
-    offset: usize,
-    d: Vec<u32>,
-    q: Vec<u32>,
+    pub(crate) offset: usize,
+    pub(crate) d: Vec<u32>,
+    pub(crate) q: Vec<u32>,
 }
 
 /// RAM port slots and geometry.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct RamSlots {
-    cell: CellId,
-    words: usize,
-    width: usize,
-    raddr: Vec<u32>,
-    rdata: Vec<u32>,
-    waddr: Vec<u32>,
-    wdata: Vec<u32>,
-    wen: u32,
+pub(crate) struct RamSlots {
+    pub(crate) cell: CellId,
+    pub(crate) words: usize,
+    pub(crate) width: usize,
+    pub(crate) raddr: Vec<u32>,
+    pub(crate) rdata: Vec<u32>,
+    pub(crate) waddr: Vec<u32>,
+    pub(crate) wdata: Vec<u32>,
+    pub(crate) wen: u32,
 }
 
 /// A netlist lowered to a levelized straight-line word program.
@@ -96,19 +96,19 @@ struct RamSlots {
 /// temporaries and the two constant words.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
-    ops: Vec<Op>,
+    pub(crate) ops: Vec<Op>,
     /// Total word-file size (nets + constants + temporaries).
-    slots: usize,
+    pub(crate) slots: usize,
     /// Slot permanently holding all-zeros.
-    zero: u32,
+    pub(crate) zero: u32,
     /// Slot permanently holding all-ones.
-    one: u32,
-    regs: Vec<RegSlots>,
-    rams: Vec<RamSlots>,
+    pub(crate) one: u32,
+    pub(crate) regs: Vec<RegSlots>,
+    pub(crate) rams: Vec<RamSlots>,
     /// Combinational depth: the longest chain of dependent cells.
     levels: usize,
     /// Total register bits (capture-buffer size).
-    reg_bits: usize,
+    pub(crate) reg_bits: usize,
 }
 
 impl Program {
@@ -393,7 +393,7 @@ fn fa_table(invert_b: bool, carry: bool) -> u16 {
 }
 
 /// Slot index of a net.
-fn slot(net: NetId) -> u32 {
+pub(crate) fn slot(net: NetId) -> u32 {
     net.index() as u32
 }
 
@@ -449,7 +449,7 @@ fn lower_ripple(
 
 /// A staged input write, applied at the next tick/settle.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum StagedInput {
+pub(crate) enum StagedInput {
     /// One value broadcast to every lane.
     Broadcast(Bus, i64),
     /// One value into a single lane.
@@ -1080,6 +1080,10 @@ impl Engine for CompiledEngine {
             activity_stats: false,
             glitch_model: false,
             divergence_detection: false,
+            native_codegen: false,
+            fault_stuck_at: true,
+            fault_bit_flip: true,
+            fault_ram_upset: true,
         }
     }
 
@@ -1110,7 +1114,19 @@ impl Engine for CompiledEngine {
     }
 
     fn peek(&self, name: &str) -> Result<i64> {
-        self.peek_lane(name, 0)
+        CompiledEngine::peek_lane(self, name, 0)
+    }
+
+    fn set_input_lanes(&mut self, name: &str, values: &[i64]) -> Result<()> {
+        CompiledEngine::set_input_lanes(self, name, values)
+    }
+
+    fn peek_lane(&self, name: &str, lane: usize) -> Result<i64> {
+        CompiledEngine::peek_lane(self, name, lane)
+    }
+
+    fn peek_lanes(&self, name: &str) -> Result<Vec<i64>> {
+        CompiledEngine::peek_lanes(self, name)
     }
 
     fn snapshot(&self) -> CompiledSnapshot {

@@ -16,23 +16,32 @@
 //!
 //! Backends self-describe through [`EngineCaps`] so callers can check
 //! at runtime which fidelity features (activity stats, divergence
-//! detection) are actually present, and how many independent sample
-//! lanes one engine instance advances per tick.
+//! detection, lane width, native codegen, fault families) are actually
+//! present. [`Backend`] names the three backends and is the single
+//! selection API: parse it from a `--backend` flag, then either
+//! [`Backend::build`] a boxed engine or [`Backend::dispatch`] a
+//! generic runner on the concrete type.
 
 use crate::fault::FaultSpec;
 use crate::netlist::Netlist;
-use crate::Result;
+use crate::{Error, Result};
 
 /// Static capability description of a simulation backend.
 ///
 /// Obtained from [`Engine::caps`]; lets generic code (and reports)
-/// distinguish backends without naming concrete types.
+/// distinguish backends without naming concrete types. This is the
+/// single capability gate: callers check `lanes` before lane-wide I/O,
+/// the `fault_*` family flags before arming a fault class, and
+/// `native_codegen` to know whether a `rustc`-compiled kernel (not an
+/// interpreter) is on the hot path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineCaps {
-    /// Short backend name for reports ("event-driven", "compiled").
+    /// Short backend name for reports ("event-driven", "compiled",
+    /// "jit").
     pub backend: &'static str,
     /// Independent sample streams advanced per tick (1 for the scalar
-    /// event-driven simulator, 64 for the bit-sliced engine).
+    /// event-driven simulator, 64 for the bit-sliced interpreter, 256
+    /// for the jit backend).
     pub lanes: usize,
     /// Whether the backend records switching-activity statistics.
     pub activity_stats: bool,
@@ -42,6 +51,15 @@ pub struct EngineCaps {
     /// Whether runaway combinational activity is detected and reported
     /// as [`Error::SimulationDiverged`](crate::Error::SimulationDiverged).
     pub divergence_detection: bool,
+    /// Whether cycles execute through natively compiled code (codegen →
+    /// `rustc` → loaded kernel) rather than an interpreter loop.
+    pub native_codegen: bool,
+    /// Whether [`FaultSpec::StuckAt`] faults are supported.
+    pub fault_stuck_at: bool,
+    /// Whether [`FaultSpec::BitFlip`] register faults are supported.
+    pub fault_bit_flip: bool,
+    /// Whether [`FaultSpec::RamUpset`] array faults are supported.
+    pub fault_ram_upset: bool,
 }
 
 /// A snapshot that can cross address spaces: encodable to a
@@ -178,6 +196,67 @@ pub trait Engine: Sized + std::fmt::Debug {
     /// detection. A no-op on backends without an event loop
     /// ([`EngineCaps::divergence_detection`] is `false`).
     fn set_event_cap(&mut self, cap: u64);
+
+    /// Stages per-lane values on an input port: `values[i]` goes to
+    /// lane `i`, and when fewer than [`EngineCaps::lanes`] values are
+    /// given the remaining lanes keep their previously staged or
+    /// settled value.
+    ///
+    /// Gated by [`EngineCaps::lanes`] > 1; the default implementation
+    /// (used by single-lane backends) returns
+    /// [`Error::Unsupported`](crate::Error::Unsupported).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unsupported`](crate::Error::Unsupported) on single-lane
+    /// backends; otherwise the same failure modes as
+    /// [`set_input`](Engine::set_input), plus an error when `values` is
+    /// empty or longer than the lane count.
+    fn set_input_lanes(&mut self, name: &str, values: &[i64]) -> Result<()> {
+        let _ = values;
+        let _ = name;
+        Err(Error::Unsupported {
+            backend: self.caps().backend.to_owned(),
+            what: "lane I/O (set_input_lanes)".to_owned(),
+        })
+    }
+
+    /// Reads the settled value of a port on one specific lane,
+    /// sign-extended from the port width.
+    ///
+    /// Gated by [`EngineCaps::lanes`] > 1; the default implementation
+    /// returns [`Error::Unsupported`](crate::Error::Unsupported).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unsupported`](crate::Error::Unsupported) on single-lane
+    /// backends; otherwise unknown ports and out-of-range lanes.
+    fn peek_lane(&self, name: &str, lane: usize) -> Result<i64> {
+        let _ = lane;
+        let _ = name;
+        Err(Error::Unsupported {
+            backend: self.caps().backend.to_owned(),
+            what: "lane I/O (peek_lane)".to_owned(),
+        })
+    }
+
+    /// Reads the settled value of a port on every lane
+    /// (`result.len() == EngineCaps::lanes`).
+    ///
+    /// Gated by [`EngineCaps::lanes`] > 1; the default implementation
+    /// returns [`Error::Unsupported`](crate::Error::Unsupported).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unsupported`](crate::Error::Unsupported) on single-lane
+    /// backends; otherwise unknown ports.
+    fn peek_lanes(&self, name: &str) -> Result<Vec<i64>> {
+        let _ = name;
+        Err(Error::Unsupported {
+            backend: self.caps().backend.to_owned(),
+            what: "lane I/O (peek_lanes)".to_owned(),
+        })
+    }
 }
 
 impl Engine for crate::sim::Simulator {
@@ -198,6 +277,10 @@ impl Engine for crate::sim::Simulator {
             activity_stats: true,
             glitch_model: true,
             divergence_detection: true,
+            native_codegen: false,
+            fault_stuck_at: true,
+            fault_bit_flip: true,
+            fault_ram_upset: true,
         }
     }
 
@@ -239,5 +322,377 @@ impl Engine for crate::sim::Simulator {
 
     fn set_event_cap(&mut self, cap: u64) {
         self.set_event_cap(cap);
+    }
+}
+
+/// The canonical backend selector: one name per execution backend,
+/// one parse, one factory.
+///
+/// Every executor that used to grow its own per-crate constructor
+/// family or ad-hoc selector enum plumbs through this one instead. Two
+/// ways to go from a `Backend` value to running code:
+///
+/// * [`Backend::build`] — erase the concrete type behind
+///   [`BoxedEngine`] when the caller only needs the [`DynEngine`]
+///   verbs;
+/// * [`Backend::dispatch`] — hand a [`BackendRunner`] the *concrete*
+///   engine type, for callers that are generic over `E: Engine`
+///   (executors, pools, partition workers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The scalar event-driven simulator
+    /// ([`sim::Simulator`](crate::sim::Simulator)): full fidelity,
+    /// glitch model, activity statistics, 1 lane.
+    #[default]
+    Event,
+    /// The levelized bit-sliced interpreter
+    /// ([`compile::CompiledEngine`](crate::compile::CompiledEngine)):
+    /// 64 lanes, functional two-phase clocking.
+    Compiled,
+    /// The native-codegen backend
+    /// ([`jit::JitEngine`](crate::jit::JitEngine)): the op program is
+    /// emitted as Rust, compiled by `rustc` into a cached `cdylib`,
+    /// and executed 256 lanes wide.
+    Jit,
+}
+
+impl Backend {
+    /// The accepted spellings, for usage strings and error messages.
+    pub const EXPECTED: &'static str = "event|compiled|jit";
+
+    /// Every backend, in fidelity-to-throughput order.
+    pub const ALL: [Backend; 3] = [Backend::Event, Backend::Compiled, Backend::Jit];
+
+    /// The canonical flag spelling (`"event"`, `"compiled"`, `"jit"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Event => "event",
+            Backend::Compiled => "compiled",
+            Backend::Jit => "jit",
+        }
+    }
+
+    /// Builds a type-erased engine for `netlist` on this backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation errors, and for [`Backend::Jit`]
+    /// the codegen/compile/load pipeline errors
+    /// ([`Error::NativeCodegen`](crate::Error::NativeCodegen)).
+    pub fn build(self, netlist: Netlist) -> Result<BoxedEngine> {
+        struct Build(Netlist);
+        impl BackendRunner for Build {
+            type Output = Result<BoxedEngine>;
+            fn run<E>(self) -> Self::Output
+            where
+                E: Engine + Send + 'static,
+                E::Snapshot: PortableSnapshot + Send,
+            {
+                Ok(Box::new(E::from_netlist(self.0)?))
+            }
+        }
+        self.dispatch(Build(netlist))
+    }
+
+    /// Resolves this backend to its concrete engine type and invokes
+    /// `runner` with it.
+    ///
+    /// This is the one `match` over backends in the workspace: a caller
+    /// generic over `E: Engine` writes a small [`BackendRunner`] and
+    /// gets monomorphized entry points for every backend without
+    /// repeating the dispatch.
+    pub fn dispatch<R: BackendRunner>(self, runner: R) -> R::Output {
+        match self {
+            Backend::Event => runner.run::<crate::sim::Simulator>(),
+            Backend::Compiled => runner.run::<crate::compile::CompiledEngine>(),
+            Backend::Jit => runner.run::<crate::jit::JitEngine>(),
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "event" => Ok(Backend::Event),
+            "compiled" => Ok(Backend::Compiled),
+            "jit" => Ok(Backend::Jit),
+            other => Err(Error::UnknownBackend { name: other.to_owned() }),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A generic continuation for [`Backend::dispatch`]: `run` is called
+/// with the concrete engine type the backend names.
+///
+/// The bounds are the superset every executor in the workspace needs —
+/// engines move into worker threads (serve, pool, partition) and their
+/// snapshots cross process boundaries (partition's process-isolation
+/// mode), so `Send + 'static` and [`PortableSnapshot`] are part of the
+/// dispatch contract rather than re-negotiated at each call site.
+pub trait BackendRunner {
+    /// What the continuation produces (typically `Result<...>` or an
+    /// exit code).
+    type Output;
+
+    /// Invoked with the concrete engine type selected by the backend.
+    fn run<E>(self) -> Self::Output
+    where
+        E: Engine + Send + 'static,
+        E::Snapshot: PortableSnapshot + Send + 'static;
+}
+
+/// Object-safe subset of [`Engine`] for callers that pick a backend at
+/// runtime and don't need to be generic.
+///
+/// Snapshots are carried as portable bytes (the associated `Snapshot`
+/// type can't appear in an object-safe trait); every backend's
+/// snapshot codec round-trips bit-exactly, so `restore_bytes ∘
+/// snapshot_bytes` is identity on the architectural state.
+pub trait DynEngine: std::fmt::Debug + Send {
+    /// See [`Engine::netlist`].
+    fn netlist(&self) -> &Netlist;
+    /// See [`Engine::caps`].
+    fn caps(&self) -> EngineCaps;
+    /// See [`Engine::set_input`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::set_input`].
+    fn set_input(&mut self, name: &str, value: i64) -> Result<()>;
+    /// See [`Engine::try_tick`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::try_tick`].
+    fn try_tick(&mut self) -> Result<()>;
+    /// See [`Engine::try_settle`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::try_settle`].
+    fn try_settle(&mut self) -> Result<()>;
+    /// See [`Engine::peek`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::peek`].
+    fn peek(&self, name: &str) -> Result<i64>;
+    /// Captures the architectural state as portable snapshot bytes.
+    fn snapshot_bytes(&self) -> Vec<u8>;
+    /// Restores state captured by
+    /// [`snapshot_bytes`](DynEngine::snapshot_bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SnapshotDecode`](crate::Error::SnapshotDecode) for
+    /// malformed bytes,
+    /// [`Error::SnapshotMismatch`](crate::Error::SnapshotMismatch) for
+    /// a different netlist shape.
+    fn restore_bytes(&mut self, bytes: &[u8]) -> Result<()>;
+    /// See [`Engine::inject`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::inject`].
+    fn inject(&mut self, spec: &FaultSpec) -> Result<()>;
+    /// See [`Engine::clear_faults`].
+    fn clear_faults(&mut self);
+    /// See [`Engine::cycle`].
+    fn cycle(&self) -> u64;
+    /// See [`Engine::set_event_cap`].
+    fn set_event_cap(&mut self, cap: u64);
+    /// See [`Engine::set_input_lanes`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::set_input_lanes`].
+    fn set_input_lanes(&mut self, name: &str, values: &[i64]) -> Result<()>;
+    /// See [`Engine::peek_lane`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::peek_lane`].
+    fn peek_lane(&self, name: &str, lane: usize) -> Result<i64>;
+    /// See [`Engine::peek_lanes`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::peek_lanes`].
+    fn peek_lanes(&self, name: &str) -> Result<Vec<i64>>;
+}
+
+impl<E> DynEngine for E
+where
+    E: Engine + Send + 'static,
+    E::Snapshot: PortableSnapshot,
+{
+    fn netlist(&self) -> &Netlist {
+        Engine::netlist(self)
+    }
+    fn caps(&self) -> EngineCaps {
+        Engine::caps(self)
+    }
+    fn set_input(&mut self, name: &str, value: i64) -> Result<()> {
+        Engine::set_input(self, name, value)
+    }
+    fn try_tick(&mut self) -> Result<()> {
+        Engine::try_tick(self)
+    }
+    fn try_settle(&mut self) -> Result<()> {
+        Engine::try_settle(self)
+    }
+    fn peek(&self, name: &str) -> Result<i64> {
+        Engine::peek(self, name)
+    }
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        Engine::snapshot(self).to_bytes()
+    }
+    fn restore_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        let snapshot = E::Snapshot::from_bytes(bytes)?;
+        Engine::restore(self, &snapshot)
+    }
+    fn inject(&mut self, spec: &FaultSpec) -> Result<()> {
+        Engine::inject(self, spec)
+    }
+    fn clear_faults(&mut self) {
+        Engine::clear_faults(self)
+    }
+    fn cycle(&self) -> u64 {
+        Engine::cycle(self)
+    }
+    fn set_event_cap(&mut self, cap: u64) {
+        Engine::set_event_cap(self, cap);
+    }
+    fn set_input_lanes(&mut self, name: &str, values: &[i64]) -> Result<()> {
+        Engine::set_input_lanes(self, name, values)
+    }
+    fn peek_lane(&self, name: &str, lane: usize) -> Result<i64> {
+        Engine::peek_lane(self, name, lane)
+    }
+    fn peek_lanes(&self, name: &str) -> Result<Vec<i64>> {
+        Engine::peek_lanes(self, name)
+    }
+}
+
+/// A runtime-selected, type-erased engine as produced by
+/// [`Backend::build`].
+pub type BoxedEngine = Box<dyn DynEngine>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn tiny_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let x = b.input("x", 8).unwrap();
+        let q = b.register("q", &x).unwrap();
+        b.output("y", &q).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn backend_parses_every_canonical_name_and_round_trips() {
+        for backend in Backend::ALL {
+            let parsed: Backend = backend.name().parse().unwrap();
+            assert_eq!(parsed, backend);
+            assert_eq!(backend.to_string(), backend.name());
+        }
+    }
+
+    #[test]
+    fn unknown_backend_name_is_a_typed_error() {
+        let err = "quantum".parse::<Backend>().unwrap_err();
+        assert_eq!(err, Error::UnknownBackend { name: "quantum".into() });
+        assert!(err.to_string().contains(Backend::EXPECTED));
+    }
+
+    #[test]
+    fn default_backend_is_event() {
+        assert_eq!(Backend::default(), Backend::Event);
+    }
+
+    #[test]
+    fn build_produces_working_engines_on_every_backend() {
+        for backend in Backend::ALL {
+            let mut engine = backend.build(tiny_netlist()).unwrap();
+            assert_eq!(
+                engine.caps().backend,
+                match backend {
+                    Backend::Event => "event-driven",
+                    Backend::Compiled => "compiled",
+                    Backend::Jit => "jit",
+                }
+            );
+            // Staged inputs apply after register capture, so the
+            // registered output needs two edges on every backend.
+            engine.set_input("x", 42).unwrap();
+            engine.try_tick().unwrap();
+            engine.try_tick().unwrap();
+            assert_eq!(engine.peek("y").unwrap(), 42, "{backend}");
+            assert_eq!(engine.cycle(), 2);
+        }
+    }
+
+    #[test]
+    fn boxed_snapshot_bytes_round_trip() {
+        for backend in Backend::ALL {
+            let mut engine = backend.build(tiny_netlist()).unwrap();
+            engine.set_input("x", -7).unwrap();
+            engine.try_tick().unwrap();
+            engine.try_tick().unwrap();
+            let bytes = engine.snapshot_bytes();
+            engine.set_input("x", 3).unwrap();
+            engine.try_tick().unwrap();
+            engine.try_tick().unwrap();
+            assert_eq!(engine.peek("y").unwrap(), 3, "{backend}");
+            engine.restore_bytes(&bytes).unwrap();
+            assert_eq!(engine.peek("y").unwrap(), -7, "{backend}");
+        }
+    }
+
+    #[test]
+    fn dispatch_hands_the_runner_the_concrete_type() {
+        struct CapsOf;
+        impl BackendRunner for CapsOf {
+            type Output = (&'static str, usize);
+            fn run<E>(self) -> Self::Output
+            where
+                E: Engine + Send + 'static,
+                E::Snapshot: PortableSnapshot + Send,
+            {
+                let engine = E::from_netlist(tiny_netlist()).unwrap();
+                let caps = engine.caps();
+                (caps.backend, caps.lanes)
+            }
+        }
+        assert_eq!(Backend::Event.dispatch(CapsOf), ("event-driven", 1));
+        assert_eq!(Backend::Compiled.dispatch(CapsOf), ("compiled", 64));
+        assert_eq!(Backend::Jit.dispatch(CapsOf), ("jit", 256));
+    }
+
+    #[test]
+    fn single_lane_backend_reports_unsupported_lane_io() {
+        let mut sim = crate::sim::Simulator::new(tiny_netlist()).unwrap();
+        assert_eq!(Engine::caps(&sim).lanes, 1);
+        let err = Engine::set_input_lanes(&mut sim, "x", &[1, 2]).unwrap_err();
+        assert_eq!(
+            err,
+            Error::Unsupported {
+                backend: "event-driven".into(),
+                what: "lane I/O (set_input_lanes)".into(),
+            }
+        );
+        assert!(matches!(Engine::peek_lane(&sim, "y", 0), Err(Error::Unsupported { .. })));
+        assert!(matches!(Engine::peek_lanes(&sim, "y"), Err(Error::Unsupported { .. })));
     }
 }

@@ -94,6 +94,32 @@ pub enum Error {
         /// What the decoder found malformed.
         detail: String,
     },
+    /// A backend name failed to parse. The canonical spelling set is
+    /// [`engine::Backend`](crate::engine::Backend)'s — every consumer
+    /// (campaign CLIs, factories) reports unknown backends through this
+    /// one variant so the message is uniform everywhere.
+    UnknownBackend {
+        /// The unrecognised name.
+        name: String,
+    },
+    /// The operation needs a capability this backend does not have
+    /// (see [`engine::EngineCaps`](crate::engine::EngineCaps)) — e.g.
+    /// multi-lane I/O on the single-lane event-driven simulator.
+    Unsupported {
+        /// The backend's report name.
+        backend: String,
+        /// The capability that is missing.
+        what: String,
+    },
+    /// The native-codegen (`jit`) backend failed to generate, compile
+    /// or load its kernel. `stage` names the pipeline step ("codegen",
+    /// "rustc", "dlopen", …).
+    NativeCodegen {
+        /// Pipeline step that failed.
+        stage: String,
+        /// What went wrong.
+        detail: String,
+    },
     /// The event loop exceeded its iteration budget inside one cycle —
     /// the netlist (possibly under an injected fault) is oscillating
     /// instead of settling.
@@ -148,6 +174,19 @@ impl fmt::Display for Error {
             Error::SnapshotDecode { detail } => {
                 write!(f, "snapshot bytes failed to decode: {detail}")
             }
+            Error::UnknownBackend { name } => {
+                write!(
+                    f,
+                    "unknown backend '{name}' (expected {})",
+                    crate::engine::Backend::EXPECTED
+                )
+            }
+            Error::Unsupported { backend, what } => {
+                write!(f, "backend '{backend}' does not support {what}")
+            }
+            Error::NativeCodegen { stage, detail } => {
+                write!(f, "native codegen failed at {stage}: {detail}")
+            }
             Error::SimulationDiverged { cell, cycle, events } => write!(
                 f,
                 "simulation diverged at cycle {cycle}: {events} events without settling \
@@ -196,6 +235,18 @@ mod tests {
                 vec!["osc", "12", "99"],
             ),
             (Error::SnapshotDecode { detail: "7 trailing bytes".into() }, vec!["7 trailing bytes"]),
+            (
+                Error::UnknownBackend { name: "quantum".into() },
+                vec!["quantum", "event|compiled|jit"],
+            ),
+            (
+                Error::Unsupported { backend: "event-driven".into(), what: "lane I/O".into() },
+                vec!["event-driven", "lane I/O"],
+            ),
+            (
+                Error::NativeCodegen { stage: "rustc".into(), detail: "exit status 1".into() },
+                vec!["rustc", "exit status 1"],
+            ),
             (
                 Error::SnapshotMismatch {
                     snapshot_nets: 10,

@@ -295,7 +295,7 @@ where
         let mut execs = Vec::with_capacity(cfg.workers);
         let mut injectors: Vec<Box<dyn FaultInjector + Send>> = Vec::with_capacity(cfg.workers);
         for w in 0..cfg.workers {
-            let exec = TileExecutor::<E>::with_backend(cfg.design, cfg.executor)?;
+            let exec = TileExecutor::<E>::new(cfg.design, cfg.executor)?;
             let injector: Box<dyn FaultInjector + Send> = match &cfg.chaos {
                 Some(chaos) => {
                     Box::new(chaos.injector_for(w, exec.primary_netlist(), exec.spare_netlist())?)
